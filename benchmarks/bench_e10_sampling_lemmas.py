@@ -1,0 +1,109 @@
+"""E10 — the probabilistic engine: Lemmas 1, 2 and 3, measured.
+
+Paper claims:
+
+* Lemma 1 — in a p-sample, the rank-``ceil(2kp)`` element has full-set
+  rank in ``[k, 4k]`` with probability ``>= 1 - delta`` when
+  ``kp >= 3 ln(3/delta)`` and ``n >= 4k``.
+* Lemma 2 — the core-set has size ``<= 12 lam (n/K) ln n``.
+* Lemma 3 — the max of a (1/K)-sample has rank in ``(K, 4K]`` with
+  probability ``>= 0.09``.
+
+Measured: Monte-Carlo success frequencies against the guaranteed
+bounds, and core-set sizes against the 12-lambda envelope.
+"""
+
+import math
+import random
+
+from repro.bench.tables import render_table
+from repro.core.coreset import build_coreset
+from repro.core.params import TuningParams
+from repro.core.problem import Element
+from repro.core.sampling import empirical_rank_window, rank_of_max_in_sample
+
+TRIALS = 300
+
+
+def _lemma1_rows():
+    rows = []
+    rng = random.Random(1)
+    for (n, k, delta) in ((4_000, 150, 0.3), (8_000, 300, 0.2), (16_000, 500, 0.1)):
+        p = 3.0 * math.log(3.0 / delta) / k
+        success, avg_size = empirical_rank_window(n, k, p, TRIALS, rng)
+        rows.append(
+            [n, k, round(p, 4), round(1 - delta, 2), round(success, 3), round(avg_size, 1)]
+        )
+    return rows
+
+
+def _lemma2_rows():
+    rows = []
+    params = TuningParams.paper_faithful(lam=2.0)
+    for (n, K) in ((4_000, 64.0), (8_000, 128.0), (16_000, 256.0)):
+        elements = [Element(i, float(i)) for i in range(n)]
+        sizes = [
+            len(build_coreset(elements, K, params, random.Random(s))) for s in range(20)
+        ]
+        bound = 12 * params.lam * (n / K) * math.log(n)
+        rows.append(
+            [n, int(K), round(sum(sizes) / len(sizes), 1), round(bound, 1)]
+        )
+    return rows
+
+
+def _lemma3_rows():
+    rows = []
+    rng = random.Random(2)
+    for (n, K) in ((4_000, 100.0), (8_000, 200.0), (16_000, 400.0)):
+        weights_desc = [float(n - i) for i in range(n)]
+        hits = 0
+        for _ in range(TRIALS):
+            sample = [w for w in weights_desc if rng.random() < 1.0 / K]
+            rank = rank_of_max_in_sample(weights_desc, sample)
+            if rank is not None and K < rank <= 4 * K:
+                hits += 1
+        rows.append([n, int(K), round(hits / TRIALS, 3), 0.09])
+    return rows
+
+
+def bench_e10_sampling_lemmas(benchmark, results_sink):
+    l1 = _lemma1_rows()
+    results_sink(
+        render_table(
+            "E10a  Lemma 1: rank-window success frequency vs guarantee",
+            ["n", "k", "p", "guaranteed >=", "measured", "avg |R|"],
+            l1,
+        )
+    )
+    for row in l1:
+        assert row[4] >= row[3] - 0.08, f"Lemma 1 frequency below bound: {row}"
+
+    l2 = _lemma2_rows()
+    results_sink(
+        render_table(
+            "E10b  Lemma 2: core-set size vs the 12*lam*(n/K)*ln n envelope",
+            ["n", "K", "mean |R|", "bound"],
+            l2,
+        )
+    )
+    for row in l2:
+        assert row[2] <= row[3], f"core-set exceeded the lemma bound: {row}"
+
+    l3 = _lemma3_rows()
+    results_sink(
+        render_table(
+            "E10c  Lemma 3: max-of-sample rank in (K, 4K] vs the 0.09 guarantee",
+            ["n", "K", "measured", "guaranteed >="],
+            l3,
+        )
+    )
+    for row in l3:
+        assert row[2] >= row[3], f"Lemma 3 frequency below bound: {row}"
+
+    rng = random.Random(3)
+
+    def run_monte_carlo():
+        empirical_rank_window(4_000, 150, 0.05, 20, rng)
+
+    benchmark(run_monte_carlo)

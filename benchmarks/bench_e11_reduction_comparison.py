@@ -1,0 +1,113 @@
+"""E11 — every reduction the paper discusses, head to head.
+
+Four routes from black boxes to top-k on one substrate (1D range
+reporting, the literature's flagship problem per Section 2):
+
+* Theorem 1 (prioritized only, worst case),
+* Theorem 2 (prioritized + max, expected, no degradation),
+* Section 2's counting reduction (reporting + counting), with exact
+  and 2-approximate counters,
+* the binary-search baseline of [28] (eqs. (1)-(2)).
+
+All five must return identical (exact) answers; the table reports wall
+time per query across a k sweep.  The shape to reproduce: the baseline
+degrades fastest as k grows (its extra ``log n`` rides on ``k``),
+Theorem 2 is the flattest, and approximate counting costs only a
+constant factor over exact counting.
+"""
+
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.counting import CountingTopKIndex, InflatedCounter
+from repro.core.problem import top_k_of
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.structures.range1d import RangeTree1DCounter
+
+N = 4_000
+KS = (1, 8, 64, 512)
+QUERIES = 20
+
+
+def _build_all():
+    problem = make_problem("range1d", N, seed=11)
+    contenders = {
+        "Thm1": WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=1),
+        "Thm2": ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=2
+        ),
+        "Count(c=1)": CountingTopKIndex(
+            problem.elements, problem.prioritized_factory, RangeTree1DCounter
+        ),
+        "Count(c=2)": CountingTopKIndex(
+            problem.elements,
+            problem.prioritized_factory,
+            lambda subset: InflatedCounter(RangeTree1DCounter(subset), 2.0, salt=3),
+        ),
+        "Baseline[28]": BinarySearchTopKIndex(problem.elements, problem.prioritized_factory),
+    }
+    return problem, contenders
+
+
+def _sweep():
+    problem, contenders = _build_all()
+    predicates = problem.predicates(QUERIES, seed=4)
+    # Exactness first: all contenders must agree with brute force.
+    for p in predicates[:5]:
+        expect = top_k_of(problem.elements, p, 32)
+        for name, index in contenders.items():
+            assert index.query(p, 32) == expect, name
+    rows = []
+    per_contender = {name: [] for name in contenders}
+    for k in KS:
+        row = [k]
+        for name, index in contenders.items():
+            start = time.perf_counter()
+            for p in predicates:
+                index.query(p, k)
+            wall = 1e6 * (time.perf_counter() - start) / QUERIES
+            row.append(round(wall, 1))
+            per_contender[name].append(wall)
+        rows.append(row)
+    return rows, per_contender, contenders
+
+
+def bench_e11_reduction_comparison(benchmark, results_sink):
+    rows, per_contender, contenders = _sweep()
+    results_sink(
+        render_table(
+            f"E11  All reductions on 1D range reporting (n={N}), us/query",
+            ["k", "Thm1", "Thm2", "Count(c=1)", "Count(c=2)", "Baseline[28]"],
+            rows,
+            note=(
+                "identical exact answers; baseline degrades fastest in k, "
+                "Thm2 flattest, approx counting a constant factor over exact"
+            ),
+        )
+    )
+    # The baseline's growth in k must exceed Theorem 2's.
+    def growth(name):
+        series = per_contender[name]
+        return series[-1] / max(series[0], 1e-9)
+
+    assert growth("Baseline[28]") > growth("Thm2"), (
+        growth("Baseline[28]"),
+        growth("Thm2"),
+    )
+    # Approximate counting stays within a constant factor of exact.
+    assert max(per_contender["Count(c=2)"]) <= 20 * max(per_contender["Count(c=1)"])
+
+    problem = make_problem("range1d", N, seed=11)
+    index = ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory, problem.max_factory, seed=5
+    )
+    predicates = problem.predicates(QUERIES, seed=6)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, KS[-1])
+
+    benchmark(run_batch)

@@ -1,0 +1,106 @@
+"""E12 — Section 5.4's max structure: point location vs the generic tree.
+
+The paper's halfplane max reporting uses planar point location over the
+``rho_i`` subdivision [31] for ``O(log n)`` queries.  The repository
+also carries a generic ``O(log^2 n)`` weight-partition hull tree
+(:class:`HalfplaneMax`) that works for *arbitrary* halfplanes.  This
+ablation pits them against each other on upper-halfplane queries:
+
+* counted search operations — the persistent structure must stay at
+  one ``O(log n)`` descent while the hull tree pays ``O(log n)`` probes
+  of ``O(log n)`` each, so the ops ratio must grow with ``n``;
+* identical answers on every query (both are exact);
+* the full Section 5.4 pipeline: Theorem 2 instantiated with the
+  point-location max structure stays exact and flat.
+"""
+
+import math
+import random
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.core.problem import Element, top_k_of
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.geometry.primitives import Halfplane
+from repro.structures.halfplane import HalfplaneMax, HalfplanePredicate, HalfplanePrioritized
+from repro.structures.line_max import UpperHalfplanePointMax
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+QUERIES = 60
+
+
+def make_points(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element((rng.uniform(-10, 10), rng.uniform(-10, 10)), float(weights[i]))
+        for i in range(n)
+    ]
+
+
+def upper_halfplanes(count, seed=0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        theta = rng.uniform(0.05, math.pi - 0.05)  # normal_y > 0
+        out.append(
+            HalfplanePredicate(Halfplane((math.cos(theta), math.sin(theta)), rng.uniform(-12, 12)))
+        )
+    return out
+
+
+def _hull_tree_ops(index: HalfplaneMax, n: int) -> float:
+    """Model ops: each descent step performs one O(log n) hull search."""
+    return index.ops.node_visits * max(1.0, math.log2(max(2, n)))
+
+
+def _sweep():
+    rows = []
+    ratios = []
+    for n in SIZES:
+        elements = make_points(n, seed=n)
+        fast = UpperHalfplanePointMax(elements)
+        general = HalfplaneMax(elements)
+        predicates = upper_halfplanes(QUERIES, seed=n + 1)
+        locator = fast._inner._locator
+        locator.ops.reset()
+        general.ops.reset()
+        for p in predicates:
+            assert fast.query(p) == general.query(p)
+        fast_ops = locator.ops.total / QUERIES
+        general_ops = _hull_tree_ops(general, n) / QUERIES
+        ratio = general_ops / max(fast_ops, 1e-9)
+        rows.append([n, round(fast_ops, 1), round(general_ops, 1), round(ratio, 2)])
+        ratios.append(ratio)
+    return rows, ratios
+
+
+def bench_e12_point_location_ablation(benchmark, results_sink):
+    rows, ratios = _sweep()
+    results_sink(
+        render_table(
+            "E12  Section 5.4 max: persistent point location vs hull tree (ops/query)",
+            ["n", "point-location ops", "hull-tree ops", "hull/PL"],
+            rows,
+            note="the paper's [31] route is one log cheaper; the ratio must grow with n",
+        )
+    )
+    assert ratios[-1] > 1.0, f"point location not cheaper at the top size: {ratios}"
+    assert ratios[-1] > ratios[0], f"the log-factor gap should widen: {ratios}"
+
+    # Full Section 5.4 pipeline through Theorem 2: exact and flat.
+    elements = make_points(2_000, seed=99)
+    index = ExpectedTopKIndex(
+        elements, HalfplanePrioritized, UpperHalfplanePointMax, seed=5
+    )
+    predicates = upper_halfplanes(12, seed=100)
+    for p in predicates[:6]:
+        for k in (1, 10, 100):
+            assert index.query(p, k) == top_k_of(elements, p, k)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, 10)
+
+    benchmark(run_batch)

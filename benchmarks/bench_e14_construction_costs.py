@@ -1,0 +1,81 @@
+"""E14 — construction costs: every structure's build scaling.
+
+The paper's bounds are query/space/update bounds; construction is
+"preprocessing" and may be superlinear, but a usable library must keep
+it near-linear-with-logs.  This experiment measures build wall time per
+element across ``n`` for every registered problem's prioritized and max
+structures plus both reductions, asserting no build explodes
+(log-log slope safely below quadratic).
+"""
+
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+SIZES = (500, 1_000, 2_000, 4_000)
+PROBLEMS = ("range1d", "interval_stabbing", "dominance3d", "halfplane2d")
+
+
+def _build_time(build) -> float:
+    start = time.perf_counter()
+    build()
+    return time.perf_counter() - start
+
+
+def _sweep():
+    rows = []
+    worst_slope = 0.0
+    for name in PROBLEMS:
+        times_pri, times_t2 = [], []
+        for n in SIZES:
+            problem = make_problem(name, n, seed=14)
+            times_pri.append(
+                _build_time(lambda: problem.prioritized_factory(problem.elements))
+            )
+            times_t2.append(
+                _build_time(
+                    lambda: ExpectedTopKIndex(
+                        problem.elements,
+                        problem.prioritized_factory,
+                        problem.max_factory,
+                        seed=1,
+                    )
+                )
+            )
+        slope_pri = fit_loglog_slope(list(SIZES), times_pri)
+        slope_t2 = fit_loglog_slope(list(SIZES), times_t2)
+        worst_slope = max(worst_slope, slope_pri, slope_t2)
+        rows.append(
+            [
+                name,
+                round(1e3 * times_pri[-1], 1),
+                round(slope_pri, 2),
+                round(1e3 * times_t2[-1], 1),
+                round(slope_t2, 2),
+            ]
+        )
+    return rows, worst_slope
+
+
+def bench_e14_construction_costs(benchmark, results_sink):
+    rows, worst_slope = _sweep()
+    results_sink(
+        render_table(
+            f"E14  Build costs at n={SIZES[-1]} and build-time slopes over n",
+            ["problem", "prioritized ms", "slope", "Theorem 2 ms", "slope"],
+            rows,
+            note="slopes near 1 = near-linear construction; anything ~2 would flag quadratic blow-up",
+        )
+    )
+    assert worst_slope < 1.8, f"a construction cost is close to quadratic: {worst_slope:.2f}"
+
+    problem = make_problem("interval_stabbing", 2_000, seed=14)
+
+    def run_build():
+        WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=2)
+
+    benchmark(run_build)

@@ -1,0 +1,76 @@
+"""E1 — Theorem 1: query I/Os scale as Q_pri x log_B n; space stays O(S_pri).
+
+Paper claim (eqs. (3)-(4)): from a prioritized structure with cost
+``Q_pri(n) + O(t/B)``, the derived top-k structure answers in
+``O(Q_pri(n) log_B n) + O(k/B)`` with no space blow-up.
+
+Measured here on the EM interval-stabbing substrate: I/Os per top-k
+query as ``n`` doubles, against the prioritized structure's own cost —
+the ratio is the reduction's overhead and must grow at most
+logarithmically (log-log slope far below any polynomial).
+"""
+
+import math
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.core.theorem1 import WorstCaseTopKIndex
+
+from helpers import em_context, em_interval_factories, interval_elements, measure_ios, stab_queries
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+K = 10
+QUERIES = 24
+
+
+def _build(n):
+    ctx = em_context()
+    prioritized, _ = em_interval_factories(ctx)
+    elements = list(interval_elements(n))
+    index = WorstCaseTopKIndex(elements, prioritized, B=ctx.B, seed=1)
+    ground = prioritized(elements)
+    return ctx, index, ground
+
+
+def _sweep():
+    rows = []
+    topk_costs, pri_costs = [], []
+    for n in SIZES:
+        ctx, index, ground = _build(n)
+        predicates = stab_queries(QUERIES, seed=n)
+        topk_ios = measure_ios(
+            ctx, lambda: [index.query(p, K) for p in predicates]
+        ) / QUERIES
+        pri_ios = measure_ios(
+            ctx, lambda: [ground.query(p, -math.inf, limit=4 * K) for p in predicates]
+        ) / QUERIES
+        ratio = topk_ios / max(pri_ios, 1e-9)
+        space_ratio = index.space_units() / max(1, index.ground_space_units())
+        rows.append([n, round(pri_ios, 1), round(topk_ios, 1), round(ratio, 2), round(space_ratio, 2)])
+        topk_costs.append(topk_ios)
+        pri_costs.append(pri_ios)
+    slope = fit_loglog_slope(list(SIZES), topk_costs)
+    return rows, slope
+
+
+def bench_e1_theorem1_scaling(benchmark, results_sink):
+    rows, slope = _sweep()
+    results_sink(
+        render_table(
+            "E1  Theorem 1: top-k I/Os vs prioritized I/Os (k=10, EM interval stabbing)",
+            ["n", "Q_pri I/Os", "Q_top I/Os", "ratio", "S_top/S_pri"],
+            rows,
+            note=f"log-log slope of Q_top in n = {slope:.3f} (polylog expected, <<1)",
+        )
+    )
+    assert slope < 0.55, f"top-k query cost grew polynomially (slope {slope:.2f})"
+    assert all(row[4] <= 10 for row in rows), "space blow-up beyond O(S_pri)"
+
+    ctx, index, _ = _build(SIZES[-1])
+    predicates = stab_queries(QUERIES, seed=7)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

@@ -1,0 +1,83 @@
+"""E2 — Theorem 2: no degradation — Q_top = O(Q_pri + Q_max + k/B).
+
+Paper claim (eqs. (5)-(6)): combining prioritized + max structures
+yields a top-k structure whose expected query cost matches the *sum* of
+one prioritized and one max query plus the output term — no log factor.
+
+Measured: I/Os per top-k query vs the measured cost of one prioritized
+probe plus one max probe, as ``n`` doubles.  The overhead ratio must
+stay bounded (flat in ``n``) instead of growing like E1's log ladder.
+"""
+
+import math
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.core.theorem2 import ExpectedTopKIndex
+
+from helpers import em_context, em_interval_factories, interval_elements_scaled, measure_ios, stab_queries
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+K = 10
+QUERIES = 24
+
+
+def _build(n):
+    ctx = em_context()
+    prioritized, maxi = em_interval_factories(ctx)
+    elements = list(interval_elements_scaled(n))
+    index = ExpectedTopKIndex(elements, prioritized, maxi, B=ctx.B, seed=2)
+    ground = prioritized(elements)
+    max_index = maxi(elements)
+    return ctx, index, ground, max_index
+
+
+def _sweep():
+    rows = []
+    ratios = []
+    topk_costs = []
+    for n in SIZES:
+        ctx, index, ground, max_index = _build(n)
+        predicates = stab_queries(QUERIES, seed=n + 1)
+        topk_ios = measure_ios(
+            ctx, lambda: [index.query(p, K) for p in predicates]
+        ) / QUERIES
+        component_ios = measure_ios(
+            ctx,
+            lambda: [
+                (ground.query(p, -math.inf, limit=4 * K), max_index.query(p))
+                for p in predicates
+            ],
+        ) / QUERIES
+        ratio = topk_ios / max(component_ios, 1e-9)
+        rows.append([n, round(component_ios, 1), round(topk_ios, 1), round(ratio, 2)])
+        ratios.append(ratio)
+        topk_costs.append(topk_ios)
+    ratio_slope = fit_loglog_slope(list(SIZES), ratios)
+    return rows, ratio_slope
+
+
+def bench_e2_theorem2_scaling(benchmark, results_sink):
+    rows, ratio_slope = _sweep()
+    results_sink(
+        render_table(
+            "E2  Theorem 2: top-k I/Os vs (one prioritized + one max) probe (k=10)",
+            ["n", "Q_pri+Q_max I/Os", "Q_top I/Os", "overhead ratio"],
+            rows,
+            note=(
+                "no-degradation claim: the overhead ratio stays flat in n "
+                f"(log-log slope {ratio_slope:.3f})"
+            ),
+        )
+    )
+    # Flat overhead: the ratio must not grow with any clear trend.
+    assert ratio_slope < 0.25, f"Theorem 2 overhead grows with n (slope {ratio_slope:.2f})"
+
+    ctx, index, _, _ = _build(SIZES[-1])
+    predicates = stab_queries(QUERIES, seed=3)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

@@ -1,0 +1,69 @@
+"""E3 — output term: Theorem 2's O(k/B) vs the baseline's O((k/B) log n).
+
+The motivating deficiency (Section 1.2): the prior reduction [28]
+multiplies the output term by ``log n`` — "essentially prevents the
+reduction from producing any structure with linear output-sensitive
+cost".  Both theorems remove it.
+
+Measured: I/Os per query as ``k`` doubles at fixed ``n``.  The
+baseline/theorem-2 I/O ratio must *grow* with k toward ``Theta(log n)``
+— the crossover the paper's analysis predicts.
+"""
+
+from repro.bench.tables import render_table
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+from helpers import em_context, em_interval_factories, interval_elements, measure_ios, stab_queries
+
+N = 4_000
+KS = (8, 32, 128, 512, 1024)
+QUERIES = 16
+
+
+def _build():
+    elements = list(interval_elements(N, seed=3))
+    ctx2 = em_context()
+    pri2, max2 = em_interval_factories(ctx2)
+    theorem2 = ExpectedTopKIndex(elements, pri2, max2, B=ctx2.B, seed=4)
+    ctxb = em_context()
+    prib, _ = em_interval_factories(ctxb)
+    baseline = BinarySearchTopKIndex(elements, prib)
+    return ctx2, theorem2, ctxb, baseline
+
+
+def _sweep():
+    ctx2, theorem2, ctxb, baseline = _build()
+    predicates = stab_queries(QUERIES, seed=5)
+    rows = []
+    ratios = []
+    for k in KS:
+        t2 = measure_ios(ctx2, lambda: [theorem2.query(p, k) for p in predicates]) / QUERIES
+        bl = measure_ios(ctxb, lambda: [baseline.query(p, k) for p in predicates]) / QUERIES
+        ratio = bl / max(t2, 1e-9)
+        rows.append([k, round(t2, 1), round(bl, 1), round(ratio, 2)])
+        ratios.append(ratio)
+    return rows, ratios
+
+
+def bench_e3_k_sweep_crossover(benchmark, results_sink):
+    rows, ratios = _sweep()
+    results_sink(
+        render_table(
+            f"E3  Output term: Theorem 2 vs binary-search baseline [28] (n={N})",
+            ["k", "Thm2 I/Os", "baseline I/Os", "baseline/Thm2"],
+            rows,
+            note="the ratio must grow with k: the baseline pays (k/B) log n, Thm2 pays k/B",
+        )
+    )
+    assert ratios[-1] > ratios[0], "baseline's log-factor on k/B not observed"
+    assert ratios[-1] > 2.0, f"large-k ratio too small: {ratios[-1]:.2f}"
+
+    ctx2, theorem2, _, _ = _build()
+    predicates = stab_queries(QUERIES, seed=6)
+
+    def run_batch():
+        for p in predicates:
+            theorem2.query(p, KS[-1])
+
+    benchmark(run_batch)

@@ -1,0 +1,72 @@
+"""E4 — space: S_top = O(S_pri) (Thm 1) and the ladder bound (Thm 2).
+
+Paper claims: eq. (3) — Theorem 1's structure occupies ``O(S_pri(n))``;
+eq. (5) — Theorem 2 adds only max structures over geometrically
+shrinking samples, totalling ``o(n/B) + O(S_max(6n/(B Q_max)))``.
+
+Measured: structure space (native units) as ``n`` doubles; the
+top-k/ground ratios must stay flat, and Theorem 2's ladder samples must
+sum to a vanishing fraction of ``n``.
+"""
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.structures.interval_stabbing import (
+    DynamicIntervalStabbingMax,
+    SegmentTreeIntervalPrioritized,
+)
+
+from helpers import interval_elements
+
+SIZES = (1_000, 2_000, 4_000, 8_000, 16_000)
+
+
+def _sweep():
+    rows = []
+    t1_ratios = []
+    for n in SIZES:
+        elements = list(interval_elements(n, seed=4))
+        t1 = WorstCaseTopKIndex(elements, SegmentTreeIntervalPrioritized, seed=5)
+        t2 = ExpectedTopKIndex(
+            elements, SegmentTreeIntervalPrioritized, DynamicIntervalStabbingMax, seed=6
+        )
+        ground = t1.ground_space_units()
+        t1_ratio = t1.space_units() / max(1, ground)
+        ladder_total = sum(t2.ladder_sample_sizes())
+        rows.append(
+            [
+                n,
+                ground,
+                round(t1_ratio, 3),
+                ladder_total,
+                round(ladder_total / n, 4),
+                t2.num_levels,
+            ]
+        )
+        t1_ratios.append(t1_ratio)
+    ratio_slope = fit_loglog_slope(list(SIZES), t1_ratios)
+    return rows, ratio_slope
+
+
+def bench_e4_space_audit(benchmark, results_sink):
+    rows, ratio_slope = _sweep()
+    results_sink(
+        render_table(
+            "E4  Space audit: Theorem 1 total vs ground; Theorem 2 sample ladder",
+            ["n", "S_pri (words)", "S_top/S_pri", "ladder |R_i| sum", "ladder/n", "levels"],
+            rows,
+            note=f"S_top/S_pri log-log slope = {ratio_slope:.3f} (flat expected)",
+        )
+    )
+    assert all(row[2] <= 8 for row in rows), "Theorem 1 space exceeded O(S_pri)"
+    assert abs(ratio_slope) < 0.2, "Theorem 1 space ratio trends with n"
+    # Theorem 2's samples shrink geometrically: their union is tiny.
+    assert all(row[4] < 0.35 for row in rows), "ladder samples too large"
+
+    def run_build():
+        elements = list(interval_elements(2_000, seed=4))
+        WorstCaseTopKIndex(elements, SegmentTreeIntervalPrioritized, seed=5)
+
+    benchmark(run_build)

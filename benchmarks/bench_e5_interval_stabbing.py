@@ -1,0 +1,112 @@
+"""E5 — Theorem 4: dynamic top-k interval stabbing.
+
+Paper claim: O(n/B)-space structure with expected query
+``O(log_B n + k/B)`` and amortized expected updates ``O(log_B n)``
+(first bullet), via Theorem 2 on the ray-stabbing + stabbing-max
+substrates.
+
+Measured on the RAM substrate (updates are RAM-mode): per-query
+operation counts and per-update wall time as ``n`` doubles — both must
+grow polylogarithmically (log-log slope far below 0.5), and queries
+must stay exact under a mixed insert/delete/query trace.
+"""
+
+import random
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.core.problem import top_k_of
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.structures.interval_stabbing import (
+    DynamicIntervalStabbingMax,
+    SegmentTreeIntervalPrioritized,
+)
+
+from helpers import interval_elements, interval_elements_scaled, stab_queries
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+K = 10
+QUERIES = 30
+
+
+def _build(n):
+    elements = list(interval_elements_scaled(n, seed=5))
+    index = ExpectedTopKIndex(
+        elements, SegmentTreeIntervalPrioritized, DynamicIntervalStabbingMax, seed=7
+    )
+    return elements, index
+
+
+def _sweep():
+    rows = []
+    query_costs, update_costs = [], []
+    for n in SIZES:
+        elements, index = _build(n)
+        predicates = stab_queries(QUERIES, seed=n + 2)
+        ground = index._ground
+        ground.ops.reset()
+        start = time.perf_counter()
+        for p in predicates:
+            index.query(p, K)
+        query_wall = (time.perf_counter() - start) / QUERIES
+        ops_per_query = ground.ops.total / QUERIES
+
+        # Update trace: fresh elements with out-of-range weights.
+        fresh = [
+            e for e in interval_elements(200, seed=n + 3)
+        ]
+        fresh = [type(e)(e.obj, e.weight + 10 * n + 0.5, e.payload) for e in fresh]
+        start = time.perf_counter()
+        for e in fresh:
+            index.insert(e)
+        for e in fresh[:100]:
+            index.delete(e)
+        update_wall = (time.perf_counter() - start) / 300
+        rows.append(
+            [n, round(ops_per_query, 1), round(1e6 * query_wall, 1), round(1e6 * update_wall, 1)]
+        )
+        query_costs.append(ops_per_query)
+        update_costs.append(update_wall)
+    return rows, fit_loglog_slope(list(SIZES), query_costs), fit_loglog_slope(
+        list(SIZES), update_costs
+    )
+
+
+def bench_e5_interval_stabbing(benchmark, results_sink):
+    rows, query_slope, update_slope = _sweep()
+    results_sink(
+        render_table(
+            "E5  Theorem 4: dynamic top-k interval stabbing (k=10)",
+            ["n", "prioritized ops/query", "query us", "update us"],
+            rows,
+            note=(
+                f"log-log slopes: query ops {query_slope:.3f}, update wall {update_slope:.3f} "
+                "(polylog expected)"
+            ),
+        )
+    )
+    assert query_slope < 0.55, f"query cost polynomial in n (slope {query_slope:.2f})"
+    assert update_slope < 0.75, f"update cost polynomial in n (slope {update_slope:.2f})"
+
+    # Exactness under churn, then the timed batch.
+    elements, index = _build(2_000)
+    rng = random.Random(9)
+    current = list(elements)
+    for step in range(60):
+        e = current[0]
+        fresh = type(e)(e.obj, 10 * 2_000 + step + 0.5, None)
+        index.insert(fresh)
+        current.append(fresh)
+        victim = current.pop(rng.randrange(len(current)))
+        index.delete(victim)
+    for p in stab_queries(10, seed=11):
+        assert index.query(p, K) == top_k_of(current, p, K)
+
+    predicates = stab_queries(QUERIES, seed=12)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

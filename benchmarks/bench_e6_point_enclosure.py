@@ -1,0 +1,129 @@
+"""E6 — Theorem 5: top-k point enclosure + the fractional-cascading ablation.
+
+Paper claims: polylog + O(k) top-k point enclosure (Theorem 5), and —
+inside its max substrate (Section 5.2) — that fractional cascading
+turns the ``O(log^2 n)`` stabbing-max query into ``O(log n)``.
+
+Measured: (a) top-k query cost scaling on the dating-site workload;
+(b) the ablation: node-visit counts of the cascaded vs the plain 2D
+stabbing max — their ratio must *grow* with n (one less log factor).
+"""
+
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.structures.point_enclosure import (
+    CascadedRectangleStabbingMax,
+    RectangleStabbingMax,
+)
+
+from helpers import rect_elements_scaled
+
+from repro.structures.point_enclosure import EnclosurePredicate, RectanglePrioritized
+import random
+
+SIZES = (500, 1_000, 2_000, 4_000)
+K = 10
+QUERIES = 20
+
+
+def _queries(count, seed):
+    rng = random.Random(seed)
+    return [
+        EnclosurePredicate((rng.uniform(100, 900), rng.uniform(100, 900)))
+        for _ in range(count)
+    ]
+
+
+def _sweep_topk():
+    # Scaled rectangles: expected enclosure count fixed in n, so the
+    # sweep isolates the search term of the query cost.
+    rows = []
+    costs = []
+    for n in SIZES:
+        elements = list(rect_elements_scaled(n, seed=6))
+        index = ExpectedTopKIndex(
+            elements, RectanglePrioritized, CascadedRectangleStabbingMax, seed=8
+        )
+        predicates = _queries(QUERIES, seed=n)
+        start = time.perf_counter()
+        for p in predicates:
+            index.query(p, K)
+        wall = (time.perf_counter() - start) / QUERIES
+        rows.append([n, round(1e6 * wall, 1)])
+        costs.append(wall)
+    return rows, fit_loglog_slope(list(SIZES), costs)
+
+
+def _sweep_ablation():
+    """Model-operation counts: predecessor searches cost their log.
+
+    Wall time hides the asymptotic gap behind CPython constants, so the
+    ablation compares *counted* search operations: the plain structure
+    pays one ``O(log)`` predecessor search per path node (aggregated
+    from its per-node 1D tables), the cascaded one pays a single
+    ``O(log n)`` root search plus ``O(1)`` per node.
+    """
+    rows = []
+    ratios = []
+    for n in SIZES:
+        problem = make_problem("point_enclosure", n, seed=7)
+        plain = RectangleStabbingMax(problem.elements)
+        cascaded = CascadedRectangleStabbingMax(problem.elements)
+        predicates = problem.predicates(60, seed=n + 1)
+        plain.ops.reset()
+        for table in plain._ymax.values():
+            table.ops.reset()
+        for p in predicates:
+            plain.query(p)
+        plain_ops = plain.ops.total + sum(t.ops.total for t in plain._ymax.values())
+        cascaded.ops.reset()
+        for p in predicates:
+            cascaded.query(p)
+        cascaded_ops = cascaded.ops.total
+        ratio = plain_ops / max(cascaded_ops, 1)
+        rows.append(
+            [n, round(plain_ops / 60, 1), round(cascaded_ops / 60, 1), round(ratio, 2)]
+        )
+        ratios.append(ratio)
+    return rows, ratios
+
+
+def bench_e6_point_enclosure(benchmark, results_sink):
+    topk_rows, slope = _sweep_topk()
+    results_sink(
+        render_table(
+            "E6a  Theorem 5: top-k point enclosure query time (k=10)",
+            ["n", "query us"],
+            topk_rows,
+            note=f"log-log slope {slope:.3f} (polylog expected)",
+        )
+    )
+    assert slope < 0.6, f"point-enclosure top-k grew polynomially (slope {slope:.2f})"
+
+    ablation_rows, ratios = _sweep_ablation()
+    results_sink(
+        render_table(
+            "E6b  Ablation: plain O(log^2) vs cascaded O(log) 2D stabbing max",
+            ["n", "plain ops/query", "cascaded ops/query", "plain/cascaded"],
+            ablation_rows,
+            note="Section 5.2: cascading removes one log factor, so the ratio grows with n",
+        )
+    )
+    assert ratios[-1] > 1.3, f"cascading advantage not visible: {ratios}"
+    assert ratios[-1] >= ratios[0], f"cascading advantage should grow: {ratios}"
+
+    elements = list(rect_elements_scaled(SIZES[-1], seed=6))
+    index = ExpectedTopKIndex(
+        elements, RectanglePrioritized, CascadedRectangleStabbingMax, seed=8
+    )
+    predicates = _queries(QUERIES, seed=1)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

@@ -1,0 +1,82 @@
+"""E7 — Theorem 6: top-k 3D dominance + the "bootstrapping power" remark.
+
+Paper claims: a top-k 3D dominance structure with polylog + O(k) query
+(Theorem 6), and the Section 1.4 remark that Theorem 2's space bound
+``S_max(6n / (B Q_pri))`` lets the final structure be *smaller* than a
+max structure on all of D — "one does not need to try very hard to
+minimize the space of the max structure".
+
+Measured: (a) query-time scaling on the hotel workload; (b) the space
+of the ladder's max structures vs one max structure over the full
+input — the ratio must shrink as n grows.
+"""
+
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.theorem2 import ExpectedTopKIndex
+
+from helpers import bounded_predicates
+
+SIZES = (500, 1_000, 2_000, 4_000)
+K = 10
+QUERIES = 20
+
+
+def _sweep():
+    rows = []
+    costs = []
+    boot_ratios = []
+    for n in SIZES:
+        problem = make_problem("dominance3d", n, seed=7)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=9
+        )
+        predicates = bounded_predicates(problem, QUERIES, target=80, seed=n)
+        start = time.perf_counter()
+        for p in predicates:
+            index.query(p, K)
+        wall = (time.perf_counter() - start) / QUERIES
+        # Bootstrapping: ladder max structures vs a max structure on all of D.
+        ladder_space = sum(m.space_units() for m in index._max_indexes)
+        full_max_space = problem.max_factory(problem.elements).space_units()
+        ratio = ladder_space / max(1, full_max_space)
+        rows.append([n, round(1e6 * wall, 1), ladder_space, full_max_space, round(ratio, 3)])
+        costs.append(wall)
+        boot_ratios.append(ratio)
+    return rows, fit_loglog_slope(list(SIZES), costs), boot_ratios
+
+
+def bench_e7_dominance3d(benchmark, results_sink):
+    rows, slope, boot_ratios = _sweep()
+    results_sink(
+        render_table(
+            "E7  Theorem 6: top-k 3D dominance (k=10) + bootstrapping power",
+            ["n", "query us", "ladder max space", "full max space", "ladder/full"],
+            rows,
+            note=(
+                f"query log-log slope {slope:.3f}; the ladder/full ratio shrinking with n "
+                "is the paper's bootstrapping remark"
+            ),
+        )
+    )
+    assert slope < 0.7, f"3D dominance top-k grew polynomially (slope {slope:.2f})"
+    # Bootstrapping: the ladder's max structures must undercut one max
+    # structure on all of D by a wide margin (the paper's remark), and
+    # the advantage must not erode as n grows.
+    assert all(r < 0.2 for r in boot_ratios), f"bootstrapping margin too small: {boot_ratios}"
+    assert boot_ratios[-1] < 2.0 * boot_ratios[0], f"bootstrapping erodes with n: {boot_ratios}"
+
+    problem = make_problem("dominance3d", SIZES[-1], seed=7)
+    index = ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory, problem.max_factory, seed=9
+    )
+    predicates = bounded_predicates(problem, QUERIES, target=80, seed=2)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

@@ -1,0 +1,101 @@
+"""E8 — Theorem 3 (d=2): top-k halfplane reporting.
+
+Paper claim (first bullet): ``O(n log n)`` space and ``O(log n + k)``
+expected query via Theorem 2 over the Chazelle–Guibas–Lee-style
+reporting structure and a halfplane max structure — beating the prior
+``O(log^2 n + k)`` combination.
+
+Measured: query time scaling vs ``n`` (must stay polylog) and the
+Theorem 2 index vs the binary-search baseline at fixed n over a k
+sweep (who wins, and by how much, as k grows).
+"""
+
+import time
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+from helpers import bounded_predicates
+
+SIZES = (500, 1_000, 2_000, 4_000)
+KS = (1, 16, 128, 512)
+K = 10
+QUERIES = 20
+
+
+def _sweep_n():
+    rows, costs = [], []
+    for n in SIZES:
+        problem = make_problem("halfplane2d", n, seed=8)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=10
+        )
+        predicates = bounded_predicates(problem, QUERIES, target=60, seed=n)
+        start = time.perf_counter()
+        for p in predicates:
+            index.query(p, K)
+        wall = (time.perf_counter() - start) / QUERIES
+        rows.append([n, round(1e6 * wall, 1)])
+        costs.append(wall)
+    return rows, fit_loglog_slope(list(SIZES), costs)
+
+
+def _sweep_k():
+    n = 2_000
+    problem = make_problem("halfplane2d", n, seed=9)
+    theorem2 = ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory, problem.max_factory, seed=11
+    )
+    baseline = BinarySearchTopKIndex(problem.elements, problem.prioritized_factory)
+    predicates = problem.predicates(QUERIES, seed=12)
+    rows = []
+    for k in KS:
+        start = time.perf_counter()
+        for p in predicates:
+            theorem2.query(p, k)
+        t2 = (time.perf_counter() - start) / QUERIES
+        start = time.perf_counter()
+        for p in predicates:
+            baseline.query(p, k)
+        bl = (time.perf_counter() - start) / QUERIES
+        rows.append([k, round(1e6 * t2, 1), round(1e6 * bl, 1), round(bl / max(t2, 1e-9), 2)])
+    return rows
+
+
+def bench_e8_halfplane2d(benchmark, results_sink):
+    n_rows, slope = _sweep_n()
+    results_sink(
+        render_table(
+            "E8a  Theorem 3 (d=2): top-k halfplane query time (k=10)",
+            ["n", "query us"],
+            n_rows,
+            note=f"log-log slope {slope:.3f} (polylog expected)",
+        )
+    )
+    assert slope < 0.75, f"halfplane top-k grew like a polynomial (slope {slope:.2f})"
+
+    k_rows = _sweep_k()
+    results_sink(
+        render_table(
+            "E8b  Theorem 2 vs baseline [28] on halfplanes (n=2000), k sweep",
+            ["k", "Thm2 us", "baseline us", "baseline/Thm2"],
+            k_rows,
+            note="the baseline re-pays its probes per binary-search step; Thm2 pays once",
+        )
+    )
+    assert k_rows[-1][3] > 1.0, "Theorem 2 should win at large k"
+
+    problem = make_problem("halfplane2d", SIZES[-1], seed=8)
+    index = ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory, problem.max_factory, seed=10
+    )
+    predicates = bounded_predicates(problem, QUERIES, target=60, seed=3)
+
+    def run_batch():
+        for p in predicates:
+            index.query(p, K)
+
+    benchmark(run_batch)

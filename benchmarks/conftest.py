@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_eN_*.py`` file regenerates one experiment from DESIGN.md
+section 6.  Every experiment does two things:
+
+1. prints (and appends to ``benchmarks/results/experiments.txt``) the
+   shape table recorded in EXPERIMENTS.md — I/O counts or operation
+   counts swept over ``n`` or ``k``;
+2. registers one pytest-benchmark timing for a representative query
+   batch, so ``pytest benchmarks/ --benchmark-only`` also reports
+   wall-clock numbers.
+
+Builds are cached per session so sweeps don't re-generate data.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Append rendered experiment tables to one results file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "experiments.txt"
+    handle = path.open("a", encoding="utf-8")
+
+    def emit(text: str) -> None:
+        print()
+        print(text)
+        handle.write(text + "\n\n")
+        handle.flush()
+
+    yield emit
+    handle.close()

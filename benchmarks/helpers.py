@@ -1,0 +1,114 @@
+"""Builders shared by the experiment benches (cached per process)."""
+
+from __future__ import annotations
+
+import functools
+import math
+import random
+from typing import Callable, List, Tuple
+
+from repro.bench.workloads import bounded_predicates  # noqa: F401 (re-export)
+from repro.core.problem import Element
+from repro.em.model import EMContext
+from repro.geometry.primitives import Interval
+from repro.structures.interval_stabbing import (
+    SegmentTreeIntervalPrioritized,
+    StabbingPredicate,
+    StaticIntervalStabbingMax,
+)
+
+UNIVERSE = 1000.0
+
+
+@functools.lru_cache(maxsize=None)
+def interval_elements(n: int, seed: int = 0) -> Tuple[Element, ...]:
+    """Cached weighted-interval datasets (hashable for lru_cache)."""
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    out = []
+    for i in range(n):
+        center = rng.uniform(0, UNIVERSE)
+        length = math.exp(rng.uniform(math.log(0.1), math.log(UNIVERSE / 4)))
+        out.append(
+            Element(Interval(center - length / 2, center + length / 2), float(weights[i]))
+        )
+    return tuple(out)
+
+
+@functools.lru_cache(maxsize=None)
+def interval_elements_scaled(n: int, seed: int = 0, mean_stabs: float = 24.0) -> Tuple[Element, ...]:
+    """Intervals whose expected stab count stays fixed as ``n`` grows.
+
+    Interval lengths scale like ``mean_stabs * UNIVERSE / n``, so a
+    random stabbing point matches ~``mean_stabs`` intervals at every
+    ``n`` — isolating the *search term* of a query from its output
+    term, which is what the E2/E5 scaling experiments need to expose.
+    """
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    mean_length = mean_stabs * UNIVERSE / n
+    out = []
+    for i in range(n):
+        center = rng.uniform(0, UNIVERSE)
+        length = rng.uniform(0.2 * mean_length, 1.8 * mean_length)
+        out.append(
+            Element(Interval(center - length / 2, center + length / 2), float(weights[i]))
+        )
+    return tuple(out)
+
+
+@functools.lru_cache(maxsize=None)
+def rect_elements_scaled(n: int, seed: int = 0, mean_stabs: float = 24.0) -> Tuple[Element, ...]:
+    """Rectangles whose expected enclosure count stays fixed as ``n`` grows.
+
+    Side lengths scale like ``UNIVERSE * sqrt(mean_stabs / n)`` so a
+    random query point falls in ~``mean_stabs`` rectangles at every
+    ``n`` — the point-enclosure analogue of
+    :func:`interval_elements_scaled`.
+    """
+    from repro.geometry.primitives import Rect
+
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    side = UNIVERSE * math.sqrt(mean_stabs / n)
+    out = []
+    for i in range(n):
+        cx, cy = rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE)
+        wx = rng.uniform(0.4 * side, 1.6 * side)
+        wy = rng.uniform(0.4 * side, 1.6 * side)
+        out.append(
+            Element(Rect(cx - wx / 2, cx + wx / 2, cy - wy / 2, cy + wy / 2), float(weights[i]))
+        )
+    return tuple(out)
+
+
+def stab_queries(count: int, seed: int = 0) -> List[StabbingPredicate]:
+    rng = random.Random(seed)
+    return [StabbingPredicate(rng.uniform(0, UNIVERSE)) for _ in range(count)]
+
+
+def em_context(B: int = 16) -> EMContext:
+    return EMContext(B=B, M=8 * B)
+
+
+def em_interval_factories(ctx: EMContext):
+    """(prioritized, max) factories sharing one EM context."""
+
+    def prioritized(subset):
+        return SegmentTreeIntervalPrioritized(subset, ctx=ctx)
+
+    def maxi(subset):
+        return StaticIntervalStabbingMax(subset, ctx=ctx)
+
+    return prioritized, maxi
+
+
+def measure_ios(ctx: EMContext, run: Callable[[], None]) -> int:
+    """I/Os of ``run`` from a cold cache."""
+    ctx.drop_cache()
+    ctx.stats.reset()
+    run()
+    return ctx.stats.total
+
+
+# bounded_predicates lives in the package so the CLI runner can share it.

@@ -1,0 +1,85 @@
+"""Watching the external-memory model at work: exact I/O accounting.
+
+The paper analyses everything in the EM model of Aggarwal and Vitter:
+cost = block transfers between a disk of B-word blocks and an M-word
+memory.  This example builds the Theorem 2 top-k index over EM-resident
+interval structures and prints *measured* I/O counts as the block size
+B varies, on two workloads:
+
+* a **sparse** one (few intervals stab any point) whose cost is the
+  search term — it barely moves with B;
+* a **dense** one (hundreds of intervals stab every point) whose cost
+  is the output term — it scales down like 1/B,
+
+together showing the shape of Theorem 4's ``O(log n + k/B)``.
+
+Run:  python examples/em_io_accounting.py
+"""
+
+import math
+import random
+
+from repro import Element, ExpectedTopKIndex
+from repro.em.model import EMContext
+from repro.geometry.primitives import Interval
+from repro.structures.interval_stabbing import (
+    SegmentTreeIntervalPrioritized,
+    StabbingPredicate,
+    StaticIntervalStabbingMax,
+)
+
+N = 4_000
+K = 16
+QUERIES = 25
+
+
+def make_intervals(n: int, seed: int, mean_length: float) -> list:
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    out = []
+    for i in range(n):
+        center = rng.uniform(0, 1_000)
+        length = rng.uniform(0.5 * mean_length, 1.5 * mean_length)
+        out.append(
+            Element(Interval(center - length / 2, center + length / 2), float(weights[i]))
+        )
+    return out
+
+
+def measure(B: int, elements) -> float:
+    """Average I/Os per top-K query at block size B (cold cache)."""
+    ctx = EMContext(B=B, M=8 * B)
+    index = ExpectedTopKIndex(
+        elements,
+        prioritized_factory=lambda subset: SegmentTreeIntervalPrioritized(subset, ctx=ctx),
+        max_factory=lambda subset: StaticIntervalStabbingMax(subset, ctx=ctx),
+        B=B,
+        seed=1,
+    )
+    rng = random.Random(2)
+    predicates = [StabbingPredicate(rng.uniform(100, 900)) for _ in range(QUERIES)]
+    ctx.drop_cache()
+    ctx.stats.reset()
+    for predicate in predicates:
+        index.query(predicate, K)
+    return ctx.stats.total / QUERIES
+
+
+def main() -> None:
+    sparse = make_intervals(N, seed=7, mean_length=2.0)    # ~8 stabs/query
+    dense = make_intervals(N, seed=8, mean_length=200.0)   # ~800 stabs/query
+    print(f"Top-{K} interval stabbing over n={N} intervals: I/Os per query")
+    print("(Theorem 2 structure on a simulated disk, cold cache)\n")
+    print(f"{'B':>4}  {'sparse workload':>16}  {'dense workload':>15}")
+    print(f"{'-'*4}  {'-'*16}  {'-'*15}")
+    for B in (8, 16, 32, 64, 128):
+        print(f"{B:>4}  {measure(B, sparse):>16.1f}  {measure(B, dense):>15.1f}")
+    print(
+        "\nThe sparse column is the search term of O(log n + k/B): it barely"
+        "\nmoves with B.  The dense column is output-dominated: it shrinks"
+        "\nlike 1/B as each block carries more of the fetched candidates."
+    )
+
+
+if __name__ == "__main__":
+    main()

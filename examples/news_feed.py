@@ -1,0 +1,87 @@
+"""A diversified news feed: colored top-k + online sorted reporting.
+
+A feed query asks for the most relevant stories published inside a time
+range — but showing ten stories from the same outlet is a bad feed, so
+the product wants the top stories from *distinct outlets* (colored
+top-k, as in the categorical variants [25, 26, 30] the paper's survey
+cites), streamed lazily as the user scrolls (online sorted reporting
+[12]).
+
+Both features are generic wrappers over any exact top-k structure; here
+the underlying structure is Theorem 2 over the dynamic range treap, so
+the feed also ingests new stories live.
+
+Run:  python examples/news_feed.py
+"""
+
+import itertools
+import random
+
+from repro import Element, ExpectedTopKIndex
+from repro.core.extensions import ColoredTopKIndex, iter_top
+from repro.structures.range1d import RangePredicate1D
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+
+OUTLETS = [
+    "The Daily Block", "I/O Times", "Cache Courier", "The Treap Tribune",
+    "Envelope Weekly", "Halfspace Herald", "Top-k Today", "Range Report",
+]
+TOPICS = [
+    "elections", "markets", "storms", "football", "chips", "space",
+    "privacy", "energy", "health", "films",
+]
+
+
+def make_stories(count: int, seed: int) -> list:
+    """Stories on a timeline: coordinate = publish hour, weight = relevance."""
+    rng = random.Random(seed)
+    relevance = rng.sample(range(count * 10), count)
+    stories = []
+    for i in range(count):
+        hour = rng.uniform(0, 24 * 30)  # one month of hours
+        outlet = rng.choice(OUTLETS)
+        headline = f"{rng.choice(TOPICS).title()} update #{i}"
+        stories.append(
+            Element(
+                hour,
+                float(relevance[i]),
+                payload={"outlet": outlet, "headline": headline},
+            )
+        )
+    return stories
+
+
+def main() -> None:
+    stories = make_stories(5_000, seed=2016)
+    index = ExpectedTopKIndex(stories, DynamicRangeTreap, DynamicRangeTreap, seed=1)
+
+    window = RangePredicate1D(24.0 * 7, 24.0 * 14)  # the second week
+    in_window = sum(1 for s in stories if window.matches(s.obj))
+    print(f"{in_window} stories published in the query week.\n")
+
+    print("Top stories, one per outlet (colored top-k, k=5):")
+    feed = ColoredTopKIndex(index, color_of=lambda story: story.payload["outlet"])
+    for rank, story in enumerate(feed.query(window, k=5), 1):
+        print(
+            f"  {rank}. [{story.payload['outlet']:<18}] {story.payload['headline']:<22}"
+            f" relevance={story.weight:>7.0f}"
+        )
+
+    print("\nInfinite scroll (online sorted reporting), first 8 stories:")
+    for story in itertools.islice(iter_top(index, window), 8):
+        print(f"  {story.weight:>7.0f}  {story.payload['headline']}")
+
+    # Breaking news lands and immediately tops the feed.
+    breaking = Element(
+        24.0 * 9,
+        10.0 ** 7,
+        payload={"outlet": "I/O Times", "headline": "BREAKING: B-tree elected"},
+    )
+    index.insert(breaking)
+    top = index.query(window, 1)[0]
+    assert top is breaking
+    print(f"\nAfter a live insert, the new top story is: {top.payload['headline']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of *Efficient Top-k Indexing via General Reductions*.
+
+Rahul & Tao, PODS 2016.  The package provides:
+
+* the paper's two black-box reductions —
+  :class:`~repro.core.theorem1.WorstCaseTopKIndex` (prioritized -> top-k,
+  worst case) and :class:`~repro.core.theorem2.ExpectedTopKIndex`
+  (prioritized + max -> top-k, no degradation in expectation);
+* the prior binary-search reduction used as the baseline
+  (:class:`~repro.core.baseline.BinarySearchTopKIndex`);
+* prioritized/max structures for the paper's five application problems
+  (interval stabbing, 2D point enclosure, 3D dominance, halfplane and
+  circular range reporting) in :mod:`repro.structures`;
+* an external-memory model simulator with exact I/O counting in
+  :mod:`repro.em`;
+* workload generators and the experiment harness in :mod:`repro.bench`.
+
+Quickstart::
+
+    from repro import Element, ExpectedTopKIndex
+    from repro.structures import (
+        StabbingPredicate, SegmentTreeIntervalPrioritized,
+        DynamicIntervalStabbingMax)
+    from repro.geometry import Interval
+
+    data = [Element(Interval(0, 10), 5.0), Element(Interval(3, 7), 9.0)]
+    index = ExpectedTopKIndex(
+        data, SegmentTreeIntervalPrioritized, DynamicIntervalStabbingMax)
+    index.query(StabbingPredicate(5.0), k=1)
+"""
+
+from repro.core import (
+    BinarySearchTopKIndex,
+    CountingIndex,
+    CountingTopKIndex,
+    DynamicMaxIndex,
+    DynamicPrioritizedIndex,
+    Element,
+    ExpectedTopKIndex,
+    MaxIndex,
+    Predicate,
+    PrioritizedFromTopK,
+    PrioritizedIndex,
+    PrioritizedResult,
+    TopKIndex,
+    TuningParams,
+    WorstCaseTopKIndex,
+    ensure_distinct_weights,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Element",
+    "Predicate",
+    "ensure_distinct_weights",
+    "PrioritizedIndex",
+    "PrioritizedResult",
+    "MaxIndex",
+    "TopKIndex",
+    "DynamicPrioritizedIndex",
+    "DynamicMaxIndex",
+    "TuningParams",
+    "WorstCaseTopKIndex",
+    "ExpectedTopKIndex",
+    "BinarySearchTopKIndex",
+    "CountingTopKIndex",
+    "CountingIndex",
+    "PrioritizedFromTopK",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Benchmark harness: workload generators, sweeps, and table output.
+
+* :mod:`repro.bench.workloads` — synthetic datasets and query
+  generators for each of the paper's five problems, plus a registry
+  that binds each problem to its prioritized/max factories.
+* :mod:`repro.bench.runner` — parameter sweeps, cost probes (I/Os, op
+  counts, wall time) and log-log slope fitting.
+* :mod:`repro.bench.tables` — aligned-text table rendering so each
+  bench prints the rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.workloads import (
+    PROBLEMS,
+    ProblemInstance,
+    bounded_predicates,
+    make_problem,
+)
+from repro.bench.runner import (
+    CostSample,
+    fit_loglog_slope,
+    measure_queries,
+)
+from repro.bench.tables import render_table
+
+__all__ = [
+    "PROBLEMS",
+    "ProblemInstance",
+    "bounded_predicates",
+    "make_problem",
+    "CostSample",
+    "fit_loglog_slope",
+    "measure_queries",
+    "render_table",
+]

@@ -1,0 +1,110 @@
+"""Standalone experiment runner: ``python -m repro.bench.run_all``.
+
+Regenerates a compact version of the claim-validation tables without
+pytest — useful for quick eyeballing after a change.  The full
+experiment suite (with assertions and pytest-benchmark timings) lives
+in ``benchmarks/``; this runner reuses the same library pieces at
+smaller sizes.
+
+Options::
+
+    python -m repro.bench.run_all            # default sizes
+    python -m repro.bench.run_all --quick    # tiny sizes, seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+from typing import List
+
+from repro.bench.runner import fit_loglog_slope
+from repro.bench.tables import render_table
+from repro.bench.workloads import bounded_predicates, make_problem
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.counting import CountingTopKIndex
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.structures.range1d import RangeTree1DCounter
+
+
+def _wall(run, queries) -> float:
+    start = time.perf_counter()
+    for predicate in queries:
+        run(predicate)
+    return 1e6 * (time.perf_counter() - start) / max(1, len(queries))
+
+
+def reduction_comparison(n: int, ks: List[int], query_count: int) -> str:
+    """The E11-style all-reductions table on 1D range reporting."""
+    problem = make_problem("range1d", n, seed=11)
+    contenders = {
+        "Thm1": WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=1),
+        "Thm2": ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=2
+        ),
+        "Counting": CountingTopKIndex(
+            problem.elements, problem.prioritized_factory, RangeTree1DCounter
+        ),
+        "Baseline": BinarySearchTopKIndex(problem.elements, problem.prioritized_factory),
+    }
+    queries = problem.predicates(query_count, seed=4)
+    rows = []
+    for k in ks:
+        row: List[object] = [k]
+        for index in contenders.values():
+            row.append(round(_wall(lambda p: index.query(p, k), queries), 1))
+        rows.append(row)
+    return render_table(
+        f"All reductions on 1D range reporting (n={n}), us/query",
+        ["k", *contenders.keys()],
+        rows,
+    )
+
+
+def scaling_table(problem_name: str, sizes: List[int], k: int, query_count: int) -> str:
+    """Query-time scaling of the Theorem 2 index on one problem."""
+    rows = []
+    costs = []
+    for n in sizes:
+        problem = make_problem(problem_name, n, seed=7)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=9
+        )
+        # Bounded result sizes isolate the search term (see workloads).
+        # A small target stays reachable at every size in the sweep.
+        queries = bounded_predicates(problem, query_count, target=15, seed=n)
+        wall = _wall(lambda p: index.query(p, k), queries)
+        rows.append([n, wall])
+        costs.append(wall)
+    slope = fit_loglog_slope([float(s) for s in sizes], costs)
+    return render_table(
+        f"Theorem 2 on {problem_name} (k={k}), us/query",
+        ["n", "query us"],
+        rows,
+        note=f"log-log slope {slope:.3f}",
+    )
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see the module docstring for options)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny sizes, finishes in seconds")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, n_cmp, ks, queries = [250, 500, 1000], 1000, [1, 8, 64], 8
+    else:
+        sizes, n_cmp, ks, queries = [500, 1000, 2000, 4000], 4000, [1, 8, 64, 512], 16
+
+    print(reduction_comparison(n_cmp, ks, queries))
+    print()
+    for name in ("range1d", "interval_stabbing", "dominance3d", "halfplane2d"):
+        print(scaling_table(name, sizes, k=10, query_count=queries))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Measurement utilities: cost probes, sweeps, and slope fitting.
+
+The experiments (DESIGN.md section 6) validate *shapes*: how costs grow
+with ``n`` and ``k``, who wins, and where crossovers fall.  Costs come
+from three sources and all are captured per query batch:
+
+* exact I/O counts from an :class:`~repro.em.model.EMContext` (the EM
+  experiments),
+* operation counters (:class:`~repro.core.interfaces.OpCounter`) from
+  the RAM structures,
+* wall-clock time (reported for context; never used for verdicts).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import OpCounter
+from repro.em.model import EMContext
+
+
+@dataclass
+class CostSample:
+    """The measured cost of one query batch."""
+
+    label: str
+    queries: int
+    wall_seconds: float
+    ios: Optional[int] = None
+    ops: Optional[int] = None
+    reported: int = 0
+
+    @property
+    def wall_per_query_us(self) -> float:
+        """Microseconds per query."""
+        if self.queries == 0:
+            return 0.0
+        return 1e6 * self.wall_seconds / self.queries
+
+    @property
+    def ios_per_query(self) -> Optional[float]:
+        if self.ios is None or self.queries == 0:
+            return None
+        return self.ios / self.queries
+
+    @property
+    def ops_per_query(self) -> Optional[float]:
+        if self.ops is None or self.queries == 0:
+            return None
+        return self.ops / self.queries
+
+
+def measure_queries(
+    label: str,
+    run_one: Callable[[object], Sequence],
+    predicates: Sequence[object],
+    ctx: Optional[EMContext] = None,
+    ops: Optional[OpCounter] = None,
+) -> CostSample:
+    """Run ``run_one`` over every predicate, capturing all cost sources.
+
+    ``run_one`` returns the query's result sequence (its length is
+    accumulated into ``reported`` so output-sensitivity can be checked).
+    """
+    if ctx is not None:
+        ctx.drop_cache()
+        ctx.stats.reset()
+    if ops is not None:
+        ops.reset()
+    reported = 0
+    start = time.perf_counter()
+    for predicate in predicates:
+        result = run_one(predicate)
+        reported += len(result)
+    wall = time.perf_counter() - start
+    return CostSample(
+        label=label,
+        queries=len(predicates),
+        wall_seconds=wall,
+        ios=ctx.stats.total if ctx is not None else None,
+        ops=ops.total if ops is not None else None,
+        reported=reported,
+    )
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    A growth exponent: ~0 for constant, ~1 for linear; logarithmic
+    growth shows up as a slope well below any polynomial's.  Used by
+    benches and tests to check scaling shapes without absolute-number
+    brittleness.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching samples")
+    lx = [math.log(max(x, 1e-12)) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+def geometric_sizes(lo: int, hi: int, ratio: float = 2.0) -> List[int]:
+    """Sizes ``lo, lo*ratio, ...`` up to ``hi`` inclusive-ish."""
+    sizes = []
+    size = float(lo)
+    while size <= hi:
+        sizes.append(int(round(size)))
+        size *= ratio
+    return sizes

@@ -1,0 +1,475 @@
+"""Synthetic workloads for the five application problems.
+
+The paper has no experimental section, so these generators define the
+workloads for the claim-validation experiments (DESIGN.md section 6):
+uniformly scattered objects with distinct weights, plus the two
+motivating scenarios from Section 1.4 (the dating-site rectangles and
+the hotel 3D-dominance points).
+
+Every generator is fully deterministic in its seed, so EXPERIMENTS.md
+rows are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.interfaces import MaxFactory, PrioritizedFactory
+from repro.core.problem import Element, Predicate
+from repro.geometry.primitives import Ball, Halfplane, Interval, Rect
+from repro.structures.circular import (
+    CircularPredicate,
+    LiftedCircularMax,
+    LiftedCircularPrioritized,
+)
+from repro.structures.dominance import DominanceMax, DominancePredicate, DominancePrioritized
+from repro.structures.halfplane import HalfplaneMax, HalfplanePredicate, HalfplanePrioritized
+from repro.structures.interval_stabbing import (
+    DynamicIntervalStabbingMax,
+    SegmentTreeIntervalPrioritized,
+    StabbingPredicate,
+)
+from repro.structures.kdtree import (
+    Box,
+    HalfspacePredicate,
+    KDTreeIndex,
+    KDTreeMax,
+    OrthogonalRangePredicate,
+)
+from repro.structures.point_enclosure import (
+    CascadedRectangleStabbingMax,
+    EnclosurePredicate,
+    RectanglePrioritized,
+)
+from repro.structures.range1d import (
+    RangePredicate1D,
+    RangeTree1DMax,
+    RangeTree1DPrioritized,
+)
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+
+UNIVERSE = 1000.0  # coordinate range for every synthetic workload
+
+
+@dataclass
+class ProblemInstance:
+    """One generated problem: data, factories, and a query generator."""
+
+    name: str
+    elements: List[Element]
+    prioritized_factory: PrioritizedFactory
+    max_factory: MaxFactory
+    predicate_gen: Callable[[random.Random], Predicate]
+    supports_updates: bool = False
+    element_gen: Optional[Callable[[random.Random, float], Element]] = None
+
+    def predicates(self, count: int, seed: int = 0) -> List[Predicate]:
+        """A reproducible batch of query predicates."""
+        rng = random.Random(seed)
+        return [self.predicate_gen(rng) for _ in range(count)]
+
+
+def distinct_weights(n: int, rng: random.Random) -> List[float]:
+    """``n`` distinct weights, uniformly shuffled (the paper's convention)."""
+    return [float(w) for w in rng.sample(range(10 * n), n)]
+
+
+DISTRIBUTIONS = ("uniform", "clustered", "correlated")
+
+
+def position_for(rng: random.Random, distribution: str) -> float:
+    """A coordinate in [0, UNIVERSE] under the named distribution.
+
+    ``uniform`` — i.i.d. uniform; ``clustered`` — a mixture of three
+    tight Gaussians (hot spots stress the canonical decompositions);
+    ``correlated`` — handled by :func:`correlate_weights`, positions
+    stay uniform here.
+    """
+    if distribution == "clustered":
+        center = rng.choice((0.15, 0.5, 0.85)) * UNIVERSE
+        return min(UNIVERSE, max(0.0, rng.gauss(center, UNIVERSE * 0.03)))
+    return rng.uniform(0, UNIVERSE)
+
+
+def correlate_weights(elements: List[Element], anchor: float) -> List[Element]:
+    """Re-rank weights so elements near ``anchor`` are heaviest.
+
+    Keeps the weight *multiset* (still distinct) but assigns the
+    largest weights to the spatially closest elements — the adversarial
+    case for top-k structures, where every heavy element crowds into
+    the same canonical nodes.
+    """
+
+    def locus(element: Element) -> float:
+        obj = element.obj
+        if isinstance(obj, Interval):
+            return (obj.lo + obj.hi) / 2.0
+        if isinstance(obj, tuple):
+            return obj[0]
+        return float(obj)
+
+    weights = sorted((e.weight for e in elements), reverse=True)
+    by_distance = sorted(elements, key=lambda e: abs(locus(e) - anchor))
+    return [Element(e.obj, w, e.payload) for e, w in zip(by_distance, weights)]
+
+
+# ----------------------------------------------------------------------
+# Element generators
+# ----------------------------------------------------------------------
+def gen_interval(rng: random.Random, weight: float) -> Element:
+    """A random interval; lengths are log-uniform so stab counts vary."""
+    center = rng.uniform(0, UNIVERSE)
+    length = math.exp(rng.uniform(math.log(0.1), math.log(UNIVERSE / 4)))
+    return Element(Interval(center - length / 2, center + length / 2), weight)
+
+
+def gen_rect(rng: random.Random, weight: float) -> Element:
+    """A random rectangle (the dating-site acceptable-range box)."""
+    cx, cy = rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE)
+    wx = math.exp(rng.uniform(math.log(1.0), math.log(UNIVERSE / 3)))
+    wy = math.exp(rng.uniform(math.log(1.0), math.log(UNIVERSE / 3)))
+    return Element(Rect(cx - wx / 2, cx + wx / 2, cy - wy / 2, cy + wy / 2), weight)
+
+
+def gen_point3(rng: random.Random, weight: float) -> Element:
+    """A random 3D point (the hotel price/distance/rating triple)."""
+    return Element(
+        (rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE)),
+        weight,
+    )
+
+
+def gen_point2(rng: random.Random, weight: float) -> Element:
+    """A random 2D point (halfplane reporting)."""
+    return Element((rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE)), weight)
+
+
+def gen_point_d(d: int) -> Callable[[random.Random, float], Element]:
+    """Generator of random d-dimensional points."""
+
+    def gen(rng: random.Random, weight: float) -> Element:
+        return Element(tuple(rng.uniform(0, UNIVERSE) for _ in range(d)), weight)
+
+    return gen
+
+
+# ----------------------------------------------------------------------
+# Predicate generators
+# ----------------------------------------------------------------------
+def gen_stab_predicate(rng: random.Random) -> StabbingPredicate:
+    """A uniform stabbing point."""
+    return StabbingPredicate(rng.uniform(0, UNIVERSE))
+
+
+def gen_point1(rng: random.Random, weight: float) -> Element:
+    """A random point on the line (1D range reporting)."""
+    return Element(rng.uniform(0, UNIVERSE), weight)
+
+
+def gen_range1d_predicate(rng: random.Random) -> RangePredicate1D:
+    """A random range with log-uniform width (varied selectivity)."""
+    width = math.exp(rng.uniform(math.log(UNIVERSE / 100), math.log(UNIVERSE / 2)))
+    lo = rng.uniform(-width / 2, UNIVERSE - width / 2)
+    return RangePredicate1D(lo, lo + width)
+
+
+def gen_enclosure_predicate(rng: random.Random) -> EnclosurePredicate:
+    """A uniform query point for point enclosure."""
+    return EnclosurePredicate((rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE)))
+
+
+def gen_dominance_predicate(rng: random.Random) -> DominancePredicate:
+    # Corners biased upward so result sizes span empty to nearly-all.
+    return DominancePredicate(
+        tuple(UNIVERSE * rng.random() ** 0.5 for _ in range(3))
+    )
+
+
+def gen_halfplane_predicate(rng: random.Random) -> HalfplanePredicate:
+    """A halfplane with uniform normal direction through a uniform anchor."""
+    theta = rng.uniform(0, 2 * math.pi)
+    normal = (math.cos(theta), math.sin(theta))
+    anchor = (rng.uniform(0, UNIVERSE), rng.uniform(0, UNIVERSE))
+    c = normal[0] * anchor[0] + normal[1] * anchor[1]
+    return HalfplanePredicate(Halfplane(normal, c))
+
+
+def gen_halfspace_predicate(d: int) -> Callable[[random.Random], HalfspacePredicate]:
+    """Generator of random d-dimensional halfspaces (Gaussian normals)."""
+
+    def gen(rng: random.Random) -> HalfspacePredicate:
+        normal = tuple(rng.gauss(0, 1) for _ in range(d))
+        anchor = tuple(rng.uniform(0, UNIVERSE) for _ in range(d))
+        c = sum(a * b for a, b in zip(normal, anchor))
+        return HalfspacePredicate(Halfplane(normal, c))
+
+    return gen
+
+
+def gen_circular_predicate(d: int) -> Callable[[random.Random], CircularPredicate]:
+    """Generator of random balls with log-uniform radii."""
+
+    def gen(rng: random.Random) -> CircularPredicate:
+        center = tuple(rng.uniform(0, UNIVERSE) for _ in range(d))
+        radius = math.exp(rng.uniform(math.log(UNIVERSE / 50), math.log(UNIVERSE / 2)))
+        return CircularPredicate(Ball(center, radius))
+
+    return gen
+
+
+def gen_orthorange_predicate(d: int) -> Callable[[random.Random], OrthogonalRangePredicate]:
+    """Generator of random axis-parallel query boxes."""
+
+    def gen(rng: random.Random) -> OrthogonalRangePredicate:
+        lo, hi = [], []
+        for _ in range(d):
+            width = math.exp(rng.uniform(math.log(UNIVERSE / 50), math.log(UNIVERSE / 1.5)))
+            a = rng.uniform(-width / 2, UNIVERSE - width / 2)
+            lo.append(a)
+            hi.append(a + width)
+        return OrthogonalRangePredicate(Box(tuple(lo), tuple(hi)))
+
+    return gen
+
+
+def bounded_predicates(
+    problem: "ProblemInstance",
+    count: int,
+    target: int,
+    seed: int = 0,
+    max_tries: int = 4000,
+) -> List[Predicate]:
+    """Predicates whose result size is ``Theta(target)`` regardless of n.
+
+    Rejection-samples the problem's own query generator, keeping
+    predicates with ``target/2 <= |q(D)| <= 2*target`` (brute counted).
+    Scaling experiments use these so a query's *search term* is
+    measured rather than its output term.
+    """
+    rng = random.Random(seed)
+    kept: List[Predicate] = []
+    for _ in range(max_tries):
+        predicate = problem.predicate_gen(rng)
+        size = sum(1 for e in problem.elements if predicate.matches(e.obj))
+        if target / 2 <= size <= 2 * target:
+            kept.append(predicate)
+            if len(kept) == count:
+                return kept
+    if not kept:
+        raise RuntimeError(
+            f"could not find predicates with ~{target} results for {problem.name}"
+        )
+    found = len(kept)
+    while len(kept) < count:  # recycle on sparse generators
+        kept.append(kept[len(kept) % found])
+    return kept[:count]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def make_problem(
+    name: str, n: int, seed: int = 0, distribution: str = "uniform"
+) -> ProblemInstance:
+    """Generate a named problem instance of size ``n``.
+
+    Known names: ``range1d``, ``range1d_dynamic``, ``interval_stabbing``,
+    ``point_enclosure``, ``dominance3d``, ``halfplane2d``,
+    ``halfspace3d``, ``halfspace4d``, ``circular2d``, ``circular3d``.
+
+    ``distribution`` selects the data shape (``uniform``, ``clustered``
+    or ``correlated`` — see :func:`position_for`); the non-uniform
+    shapes currently apply to the 1D problems (``range1d*``,
+    ``interval_stabbing``), which are the canonical stress substrates.
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise KeyError(
+            f"unknown distribution {distribution!r}; known: {DISTRIBUTIONS}"
+        )
+    try:
+        builder = PROBLEMS[name]
+    except KeyError:
+        raise KeyError(f"unknown problem {name!r}; known: {sorted(PROBLEMS)}") from None
+    instance = builder(n, seed)
+    if distribution == "uniform" or name not in (
+        "range1d",
+        "range1d_dynamic",
+        "interval_stabbing",
+    ):
+        return instance
+    rng = random.Random(seed + 101)
+    if distribution == "clustered":
+        if name == "interval_stabbing":
+            elements = []
+            for e in instance.elements:
+                center = position_for(rng, "clustered")
+                half = e.obj.length / 2.0
+                elements.append(Element(Interval(center - half, center + half), e.weight))
+        else:
+            elements = [
+                Element(position_for(rng, "clustered"), e.weight)
+                for e in instance.elements
+            ]
+        instance.elements = elements
+    elif distribution == "correlated":
+        instance.elements = correlate_weights(instance.elements, UNIVERSE / 2.0)
+    return instance
+
+
+def _make_range1d(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_point1(rng, w) for w in weights]
+    return ProblemInstance(
+        name="range1d",
+        elements=elements,
+        prioritized_factory=RangeTree1DPrioritized,
+        max_factory=RangeTree1DMax,
+        predicate_gen=gen_range1d_predicate,
+        element_gen=gen_point1,
+    )
+
+
+def _make_range1d_dynamic(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_point1(rng, w) for w in weights]
+    return ProblemInstance(
+        name="range1d_dynamic",
+        elements=elements,
+        prioritized_factory=DynamicRangeTreap,
+        max_factory=DynamicRangeTreap,
+        predicate_gen=gen_range1d_predicate,
+        supports_updates=True,
+        element_gen=gen_point1,
+    )
+
+
+def _make_interval_stabbing(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_interval(rng, w) for w in weights]
+    return ProblemInstance(
+        name="interval_stabbing",
+        elements=elements,
+        prioritized_factory=SegmentTreeIntervalPrioritized,
+        max_factory=DynamicIntervalStabbingMax,
+        predicate_gen=gen_stab_predicate,
+        supports_updates=True,
+        element_gen=gen_interval,
+    )
+
+
+def _make_point_enclosure(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_rect(rng, w) for w in weights]
+    return ProblemInstance(
+        name="point_enclosure",
+        elements=elements,
+        prioritized_factory=RectanglePrioritized,
+        max_factory=CascadedRectangleStabbingMax,
+        predicate_gen=gen_enclosure_predicate,
+        element_gen=gen_rect,
+    )
+
+
+def _make_dominance3d(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_point3(rng, w) for w in weights]
+    return ProblemInstance(
+        name="dominance3d",
+        elements=elements,
+        prioritized_factory=DominancePrioritized,
+        max_factory=DominanceMax,
+        predicate_gen=gen_dominance_predicate,
+        element_gen=gen_point3,
+    )
+
+
+def _make_halfplane2d(n: int, seed: int) -> ProblemInstance:
+    rng = random.Random(seed)
+    weights = distinct_weights(n, rng)
+    elements = [gen_point2(rng, w) for w in weights]
+    return ProblemInstance(
+        name="halfplane2d",
+        elements=elements,
+        prioritized_factory=HalfplanePrioritized,
+        max_factory=HalfplaneMax,
+        predicate_gen=gen_halfplane_predicate,
+        element_gen=gen_point2,
+    )
+
+
+def _make_orthorange(d: int) -> Callable[[int, int], ProblemInstance]:
+    def build(n: int, seed: int) -> ProblemInstance:
+        rng = random.Random(seed)
+        weights = distinct_weights(n, rng)
+        gen = gen_point_d(d)
+        elements = [gen(rng, w) for w in weights]
+        return ProblemInstance(
+            name=f"orthorange{d}d",
+            elements=elements,
+            prioritized_factory=KDTreeIndex,
+            max_factory=KDTreeMax,
+            predicate_gen=gen_orthorange_predicate(d),
+            element_gen=gen,
+        )
+
+    return build
+
+
+def _make_halfspace(d: int) -> Callable[[int, int], ProblemInstance]:
+    def build(n: int, seed: int) -> ProblemInstance:
+        rng = random.Random(seed)
+        weights = distinct_weights(n, rng)
+        gen = gen_point_d(d)
+        elements = [gen(rng, w) for w in weights]
+        return ProblemInstance(
+            name=f"halfspace{d}d",
+            elements=elements,
+            prioritized_factory=KDTreeIndex,
+            max_factory=KDTreeMax,
+            predicate_gen=gen_halfspace_predicate(d),
+            element_gen=gen,
+        )
+
+    return build
+
+
+def _make_circular(d: int) -> Callable[[int, int], ProblemInstance]:
+    def build(n: int, seed: int) -> ProblemInstance:
+        rng = random.Random(seed)
+        weights = distinct_weights(n, rng)
+        gen = gen_point_d(d)
+        elements = [gen(rng, w) for w in weights]
+        return ProblemInstance(
+            name=f"circular{d}d",
+            elements=elements,
+            prioritized_factory=LiftedCircularPrioritized,
+            max_factory=LiftedCircularMax,
+            predicate_gen=gen_circular_predicate(d),
+            element_gen=gen,
+        )
+
+    return build
+
+
+PROBLEMS: Dict[str, Callable[[int, int], ProblemInstance]] = {
+    "range1d": _make_range1d,
+    "range1d_dynamic": _make_range1d_dynamic,
+    "interval_stabbing": _make_interval_stabbing,
+    "point_enclosure": _make_point_enclosure,
+    "dominance3d": _make_dominance3d,
+    "halfplane2d": _make_halfplane2d,
+    "orthorange2d": _make_orthorange(2),
+    "orthorange3d": _make_orthorange(3),
+    "halfspace3d": _make_halfspace(3),
+    "halfspace4d": _make_halfspace(4),
+    "circular2d": _make_circular(2),
+    "circular3d": _make_circular(3),
+}

@@ -1,0 +1,67 @@
+"""The paper's primary contribution: general top-k reductions.
+
+* :mod:`repro.core.problem` — elements, predicates, datasets.
+* :mod:`repro.core.interfaces` — the three query-structure contracts
+  (prioritized / max / top-k) the reductions compose.
+* :mod:`repro.core.sampling` — rank-sampling lemmas (Lemmas 1 and 3).
+* :mod:`repro.core.coreset` — top-k core-sets (Lemma 2).
+* :mod:`repro.core.theorem1` — the worst-case reduction (Theorem 1).
+* :mod:`repro.core.theorem2` — the expected, no-degradation reduction
+  (Theorem 2), with insert/delete support.
+* :mod:`repro.core.baseline` — the prior binary-search reduction of
+  Rahul–Janardan [28] (eqs. (1)–(2)), the comparison point.
+* :mod:`repro.core.inverse` — the opposite direction (prioritized from
+  top-k) of [26, 28, 29], completing the equivalence picture.
+"""
+
+from repro.core.problem import Element, Predicate, ensure_distinct_weights
+from repro.core.interfaces import (
+    CountingIndex,
+    MaxIndex,
+    PrioritizedIndex,
+    PrioritizedResult,
+    TopKIndex,
+    DynamicPrioritizedIndex,
+    DynamicMaxIndex,
+)
+from repro.core.params import TuningParams
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.counting import CountingTopKIndex, InflatedCounter
+from repro.core.extensions import ColoredTopKIndex, iter_top
+from repro.core.validation import (
+    ValidationReport,
+    validate_counting,
+    validate_max,
+    validate_prioritized,
+    validate_problem_factories,
+)
+from repro.core.inverse import PrioritizedFromTopK
+
+__all__ = [
+    "Element",
+    "Predicate",
+    "ensure_distinct_weights",
+    "PrioritizedIndex",
+    "PrioritizedResult",
+    "MaxIndex",
+    "TopKIndex",
+    "DynamicPrioritizedIndex",
+    "DynamicMaxIndex",
+    "TuningParams",
+    "WorstCaseTopKIndex",
+    "ExpectedTopKIndex",
+    "BinarySearchTopKIndex",
+    "CountingTopKIndex",
+    "InflatedCounter",
+    "CountingIndex",
+    "ColoredTopKIndex",
+    "iter_top",
+    "PrioritizedFromTopK",
+    "ValidationReport",
+    "validate_prioritized",
+    "validate_max",
+    "validate_counting",
+    "validate_problem_factories",
+]

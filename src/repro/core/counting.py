@@ -1,0 +1,194 @@
+"""The Section 2 reduction: top-k from counting + conventional reporting.
+
+Besides the reduction giving eqs. (1)-(2), Rahul–Janardan [28] showed —
+and the paper's Section 2 sharpens to *approximate* counting — that a
+reporting structure plus a counting structure yield a top-k structure:
+
+    S_top(n) = O((S_rep(n) + S_cnt(n)) * log2 n)
+    Q_top(n) = O((Q_rep(n) + Q_cnt(n)) * log2 n)        (+ O(k/B))
+
+Construction: a balanced binary tree over the elements in descending
+weight order; every node carries a reporting structure and a counting
+structure over its subtree.  A top-k query descends from the root
+maintaining a residual budget: at each node it counts the matches in
+the heavier child; if the budget fits inside, descend there, otherwise
+take the heavier child *whole* (a canonical node) and continue into the
+lighter child with the reduced budget.  The canonical nodes collected
+this way are strictly ordered by weight, so reporting them in order and
+stopping at ``k`` accumulated matches keeps the output term ``O(c*k)``
+even with a ``c``-approximate counter.
+
+With approximate counts the residual budget is reduced by the *lower*
+bound ``ceil(count / c)`` — never more than the true count — so the
+fetched set always contains the true top-k; k-selection then returns
+the exact answer.  (This is the sense in which approximate counting
+suffices; the paper contrasts this with [28], which required exact
+counts.)
+
+This module completes the repository's coverage of every reduction the
+paper discusses, and bench E11 compares all four on one substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import (
+    CountingFactory,
+    CountingIndex,
+    OpCounter,
+    PrioritizedFactory,
+    TopKIndex,
+)
+from repro.core.problem import Element, Predicate
+from repro.core.theorem1 import ReductionStats
+from repro.em.selection import select_top_k
+
+
+class CountingTopKIndex(TopKIndex):
+    """Top-k via counting-guided descent over a weight tree (Section 2).
+
+    Parameters
+    ----------
+    elements:
+        The input set ``D``.
+    reporting_factory:
+        Builds the (unweighted) reporting black box per tree node.  Any
+        :class:`PrioritizedIndex` serves: reporting = prioritized with
+        ``tau = -inf``.
+    counting_factory:
+        Builds the counting black box per tree node.  Its
+        ``approximation_factor`` (``c >= 1``) governs the budget
+        arithmetic; exact counters (``c = 1``) reproduce [28].
+    leaf_size:
+        Subtrees of at most this many elements are scanned directly.
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        reporting_factory: PrioritizedFactory,
+        counting_factory: CountingFactory,
+        leaf_size: int = 4,
+    ) -> None:
+        self.stats = ReductionStats()
+        self.ops = OpCounter()
+        self._leaf_size = max(1, leaf_size)
+        # Descending weight order: node (a, b) covers ranks a..b-1.
+        self._by_weight: List[Element] = sorted(elements, key=lambda e: -e.weight)
+        self._reporters: Dict[Tuple[int, int], object] = {}
+        self._counters: Dict[Tuple[int, int], CountingIndex] = {}
+        self._c = 1.0
+        if self._by_weight:
+            self._build(0, len(self._by_weight), reporting_factory, counting_factory)
+
+    def _build(self, a: int, b: int, reporting_factory, counting_factory) -> None:
+        subtree = self._by_weight[a:b]
+        self._reporters[(a, b)] = reporting_factory(subtree)
+        counter = counting_factory(subtree)
+        self._counters[(a, b)] = counter
+        self._c = max(self._c, counter.approximation_factor)
+        if b - a > self._leaf_size:
+            mid = (a + b) // 2
+            self._build(a, mid, reporting_factory, counting_factory)
+            self._build(mid, b, reporting_factory, counting_factory)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self._by_weight)
+
+    def query(self, predicate: Predicate, k: int) -> List[Element]:
+        """Exact top-k, heaviest first."""
+        self.stats.queries += 1
+        if k <= 0 or not self._by_weight:
+            return []
+        canonical: List[Tuple[int, int]] = []
+        node = (0, len(self._by_weight))
+        remaining = float(k)
+        while node[1] - node[0] > self._leaf_size:
+            a, b = node
+            mid = (a + b) // 2
+            heavy = (a, mid)
+            self.stats.monitored_probes += 1
+            approx = self._counters[heavy].count(predicate)
+            if remaining <= approx / self._c:
+                # Even the pessimistic true count covers the budget:
+                # the k-th heaviest match lies inside the heavy child.
+                node = heavy
+                continue
+            # Take the heavy child whole (always sound) and continue
+            # into the light child.  The budget shrinks by approx/c — a
+            # lower bound on the true count — so the light side is
+            # still asked for at least as much as it must supply.
+            canonical.append(heavy)
+            remaining -= approx / self._c
+            node = (mid, b)
+        canonical.append(node)
+
+        # Canonical nodes are strictly weight-ordered (each later one is
+        # lighter than everything in the earlier ones), so report in
+        # order and stop once k matches have accumulated.
+        out: List[Element] = []
+        for a, b in canonical:
+            self.stats.threshold_fetches += 1
+            out.extend(self._report(a, b, predicate))
+            if len(out) >= k:
+                break
+        return select_top_k(out, k)
+
+    def _report(self, a: int, b: int, predicate: Predicate) -> List[Element]:
+        if b - a <= self._leaf_size:
+            self.ops.scanned += b - a
+            return [e for e in self._by_weight[a:b] if predicate.matches(e.obj)]
+        result = self._reporters[(a, b)].query(predicate, -math.inf)
+        return result.elements
+
+    def space_units(self) -> int:
+        """``O((S_rep + S_cnt) log n)`` — summed over every tree node."""
+        total = 0
+        for reporter in self._reporters.values():
+            total += reporter.space_units()
+        for counter in self._counters.values():
+            total += counter.space_units()
+        return total
+
+
+class InflatedCounter(CountingIndex):
+    """A test/ablation wrapper that degrades an exact counter to c-approx.
+
+    Returns a deterministic value in ``[true, c * true]`` (pseudo-random
+    in the query, reproducible per instance), exercising the reduction's
+    approximate-budget arithmetic.
+    """
+
+    def __init__(self, inner: CountingIndex, c: float, salt: int = 0) -> None:
+        if c < 1.0:
+            raise ValueError(f"approximation factor must be >= 1, got {c}")
+        if inner.approximation_factor != 1.0:
+            raise ValueError("InflatedCounter wraps exact counters only")
+        self._inner = inner
+        self._c = c
+        self._salt = salt
+        self.ops = inner.ops
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    @property
+    def approximation_factor(self) -> float:
+        return self._c
+
+    def count(self, predicate: Predicate) -> int:
+        true = self._inner.count(predicate)
+        if true == 0:
+            return 0
+        # Deterministic inflation in [1, c], varying with the predicate.
+        wobble = (hash((repr(predicate), self._salt)) % 1000) / 1000.0
+        factor = 1.0 + (self._c - 1.0) * wobble
+        return min(int(self._c * true), max(true, int(factor * true)))
+
+    def space_units(self) -> int:
+        return self._inner.space_units()

@@ -1,0 +1,108 @@
+"""Extensions from the surrounding literature, built on the reductions.
+
+Section 2 surveys problems adjacent to plain top-k that the reduction
+framework immediately serves:
+
+* **Online sorted reporting** (Brodal et al. [12]): report matches one
+  by one in descending weight, not knowing ``k`` in advance.
+  :func:`iter_top` turns any :class:`TopKIndex` into such an iterator
+  by geometric re-querying — fetching ``1, 2, 4, ...`` heaviest matches
+  costs ``O(Q_top(n) log k + k)`` amortised for ``k`` consumed items,
+  with every item yielded exactly once and in exact order.
+* **Colored (categorical) top-k** ([25, 30]; also the categorical
+  range maxima of [26]): report the ``k`` heaviest *distinct colors*,
+  where each match's color is derived from its payload.
+  :class:`ColoredTopKIndex` oversamples the underlying top-k structure
+  geometrically until ``k`` distinct colors surface — exact, with
+  expected overhead proportional to the color-duplication rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.interfaces import TopKIndex
+from repro.core.problem import Element, Predicate
+
+
+def iter_top(
+    index: TopKIndex,
+    predicate: Predicate,
+    start_k: int = 1,
+) -> Iterator[Element]:
+    """Yield matches heaviest-first, lazily, without a k in advance.
+
+    Each exhausted batch doubles ``k`` and re-queries; since the top-k
+    structures return *prefixes* of the same descending order, already
+    yielded elements are skipped positionally, not by membership tests.
+    """
+    if start_k < 1:
+        raise ValueError(f"start_k must be >= 1, got {start_k}")
+    k = start_k
+    yielded = 0
+    while True:
+        batch = index.query(predicate, k)
+        for element in batch[yielded:]:
+            yield element
+            yielded += 1
+        if len(batch) < k:
+            return  # fewer matches than asked: everything is out
+        k *= 2
+
+
+class ColoredTopKIndex:
+    """Top-k *distinct colors*: the heaviest representative per color.
+
+    Parameters
+    ----------
+    index:
+        Any exact top-k structure over the elements.
+    color_of:
+        Maps an element to its color (hashable).  Defaults to the
+        element's payload.
+
+    A query returns, for the ``k`` heaviest distinct colors among the
+    matches, that color's heaviest matching element — the categorical
+    semantics of [25, 26].  Implementation: consume the underlying
+    structure's descending stream and keep first-seen colors; the
+    stream is fetched in geometrically growing batches so the cost is
+    ``O(Q_top log m + m)`` where ``m`` is how deep the stream must go
+    to surface ``k`` colors.
+    """
+
+    def __init__(
+        self,
+        index: TopKIndex,
+        color_of: Optional[Callable[[Element], Any]] = None,
+    ) -> None:
+        self._index = index
+        self._color_of = color_of if color_of is not None else _payload_color
+
+    @property
+    def n(self) -> int:
+        return self._index.n
+
+    def query(self, predicate: Predicate, k: int) -> List[Element]:
+        """The heaviest representative of each of the top-k colors."""
+        if k <= 0:
+            return []
+        representatives: Dict[Any, Element] = {}
+        for element in iter_top(self._index, predicate, start_k=max(1, 2 * k)):
+            color = self._color_of(element)
+            if color not in representatives:
+                representatives[color] = element
+                if len(representatives) == k:
+                    break
+        # Dict preserves insertion order == descending weight order.
+        return list(representatives.values())
+
+    def colors_matching(self, predicate: Predicate) -> int:
+        """Total distinct matching colors (diagnostic, exhaustive)."""
+        seen = set()
+        for element in iter_top(self._index, predicate):
+            seen.add(self._color_of(element))
+        return len(seen)
+
+
+def _payload_color(element: Element) -> Any:
+    return element.payload

@@ -1,0 +1,54 @@
+"""The opposite direction: prioritized reporting from a top-k structure.
+
+Section 1.2 recalls the known reduction [26, 28, 29]: a top-k structure
+with space ``S_top`` and query ``Q_top + O(k/B)`` yields a prioritized
+structure with ``S_pri = O(S_top)`` and ``Q_pri = O(Q_top)`` — i.e.
+prioritized reporting is *no harder* than top-k reporting, which is why
+the paper's forward reductions complete an equivalence.
+
+Implementation: doubling search on ``k``.  Query ``(q, tau)`` asks for
+top-``B``, top-``2B``, top-``4B``... until the answer either has fewer
+than ``k`` elements (so it is all of ``q(D)``) or its lightest element
+falls below ``tau`` (so everything at or above ``tau`` is present).
+With output size ``t``, the last call dominates: ``O(Q_top + t/B)``
+amortized over the geometric ladder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.interfaces import PrioritizedIndex, PrioritizedResult, OpCounter
+from repro.core.interfaces import TopKIndex
+from repro.core.problem import Element, Predicate
+
+
+class PrioritizedFromTopK(PrioritizedIndex):
+    """Answers prioritized queries by doubling ``k`` on a top-k structure."""
+
+    def __init__(self, topk: TopKIndex, B: int = 2) -> None:
+        self._topk = topk
+        self._B = max(1, B)
+        self.ops = OpCounter()
+
+    @property
+    def n(self) -> int:
+        return self._topk.n
+
+    def query(
+        self, predicate: Predicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        """All matches with weight >= tau via geometrically growing top-k calls."""
+        k = self._B
+        while True:
+            top: List[Element] = self._topk.query(predicate, k)
+            self.ops.node_visits += 1
+            if len(top) < k or top[-1].weight < tau:
+                elements = [e for e in top if e.weight >= tau]
+                if limit is not None and len(elements) > limit:
+                    return PrioritizedResult(elements[: limit + 1], truncated=True)
+                return PrioritizedResult(elements, truncated=False)
+            if limit is not None and len(top) > limit:
+                # Already more than the monitor allows; stop early.
+                return PrioritizedResult(top[: limit + 1], truncated=True)
+            k *= 2

@@ -1,0 +1,97 @@
+"""Tuning knobs shared by the reductions.
+
+The paper fixes constants for proof convenience — ``f = 12*lambda*B*
+Q_pri(n)``, sampling rate ``p = 4*(lambda/K)*ln n``, rank threshold
+``ceil(8*lambda*ln n)``, escalation ratio ``sigma = 1/20``.  Those
+constants make union bounds over ``n^lambda`` predicates go through;
+at bench-scale ``n`` they would render every core-set trivial (``f``
+exceeds ``n``).  The *algorithms* never depend on the constants for
+correctness (both reductions verify what they fetched and re-probe on a
+miss), so :class:`TuningParams` exposes them with practical defaults and
+a :meth:`paper_faithful` preset for tests that exercise the exact
+constants of the proofs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TuningParams:
+    """Constants parameterising Theorems 1 and 2.
+
+    Attributes
+    ----------
+    lam:
+        The polynomial-boundedness exponent ``lambda`` (the paper's
+        halfspace example has ``lambda = 2``).
+    coreset_rate_c:
+        Multiplier ``c`` in the sampling rate ``p = c*(lam/K)*ln n`` of
+        Lemma 2 (paper: 4).
+    rank_threshold_c:
+        Multiplier ``c`` in the probe rank ``ceil(c*lam*ln n)`` used by
+        the query algorithm (paper: 8).
+    small_k_factor:
+        Multiplier ``c`` in ``f = c*lam*B*Q_pri(n)`` separating the
+        small-k and large-k regimes (paper: 12).
+    sigma:
+        Theorem 2's escalation ratio for ``K_i = K_1*(1+sigma)^{i-1}``
+        (paper: 1/20).  Larger values mean fewer sample levels but the
+        analysis needs ``(1+sigma) * P[round fails] < 1`` for the
+        expected cost to converge — Lemma 3 only guarantees failure
+        ``<= 0.91``, so sigma must stay well below ``1/0.91 - 1 ~ 0.099``
+        for worst-case workloads; 0.2 is safe for the ~0.65 failure
+        rates seen empirically while keeping ladders short.
+    slack:
+        The "4" in the paper's ``[K, 4K]`` rank windows and ``4K``
+        cost-monitoring caps.
+    max_retries:
+        How many times a query re-probes with a relaxed rank before
+        falling back to an exact (unmonitored) prioritized query.  The
+        paper's constants make failure vanishingly unlikely; practical
+        constants trade a small failure rate for usable core-set sizes.
+    """
+
+    lam: float = 1.0
+    coreset_rate_c: float = 1.0
+    rank_threshold_c: float = 1.0
+    small_k_factor: float = 1.0
+    sigma: float = 0.2
+    slack: float = 4.0
+    max_retries: int = 3
+
+    @staticmethod
+    def paper_faithful(lam: float = 2.0) -> "TuningParams":
+        """The exact constants used in the paper's proofs."""
+        return TuningParams(
+            lam=lam,
+            coreset_rate_c=4.0,
+            rank_threshold_c=8.0,
+            small_k_factor=12.0,
+            sigma=1.0 / 20.0,
+            slack=4.0,
+            max_retries=3,
+        )
+
+    def with_(self, **overrides) -> "TuningParams":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+    def coreset_rate(self, n: int, K: float) -> float:
+        """Sampling probability ``p = c*(lam/K)*ln n``, clamped to (0, 1]."""
+        if n <= 1:
+            return 1.0
+        p = self.coreset_rate_c * (self.lam / K) * math.log(n)
+        return min(1.0, max(p, 1e-12))
+
+    def probe_rank(self, n: int) -> int:
+        """Rank ``ceil(c*lam*ln n)`` probed inside a core-set."""
+        if n <= 1:
+            return 1
+        return max(1, math.ceil(self.rank_threshold_c * self.lam * math.log(n)))
+
+    def small_k_cutoff(self, B: int, q_pri: float) -> int:
+        """``f = c*lam*B*Q_pri(n)`` — the small-k/large-k boundary."""
+        return max(1, math.ceil(self.small_k_factor * self.lam * B * q_pri))

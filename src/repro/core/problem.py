@@ -1,0 +1,129 @@
+"""Elements, predicates, and the abstract reporting problem.
+
+The paper's setting (Section 1): a set ``D`` of ``n`` elements from a
+domain, each with a distinct real weight, and a family ``Q`` of
+predicates.  A predicate ``q`` selects the subset ``q(D)`` of matching
+elements.  Everything else in the repository — structures and
+reductions alike — speaks in terms of :class:`Element` and
+:class:`Predicate`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=False)
+class Element:
+    """One weighted element of the input set ``D``.
+
+    Attributes
+    ----------
+    obj:
+        The underlying geometric/combinatorial object — a point, an
+        interval, a rectangle...  It is what predicates test.
+    weight:
+        The element's priority.  The paper assumes weights are distinct
+        (standard in the top-k literature, to make the answer unique);
+        :func:`ensure_distinct_weights` enforces this on raw data.
+    payload:
+        Optional application data carried along (a name, a record id, a
+        dict of attributes).  Excluded from equality and hashing so it
+        may be any type: an element's identity is its object and its
+        (distinct) weight.
+    """
+
+    obj: Any
+    weight: float
+    payload: Any = field(default=None, compare=False)
+
+    def __lt__(self, other: "Element") -> bool:
+        # Weight order with the object as a deterministic tie-breaker, so
+        # heaps over elements never compare arbitrary payloads.
+        return (self.weight, repr(self.obj)) < (other.weight, repr(other.obj))
+
+
+class Predicate(ABC):
+    """One query predicate ``q`` from the family ``Q``.
+
+    Concrete predicates (stabbing point, halfplane, dominance corner,
+    ball ...) live next to their structures in
+    :mod:`repro.structures`.  The single abstract method is the
+    membership test the brute-force oracle and the correctness tests
+    rely on; the indexed structures never call it on every element.
+    """
+
+    @abstractmethod
+    def matches(self, obj: Any) -> bool:
+        """Whether the element object satisfies this predicate."""
+
+    def filter(self, elements: Iterable[Element]) -> List[Element]:
+        """``q(D)``: the matching subset, by brute force."""
+        return [e for e in elements if self.matches(e.obj)]
+
+
+def ensure_distinct_weights(elements: Sequence[Element]) -> List[Element]:
+    """Return a copy of ``elements`` whose weights are strictly distinct.
+
+    Ties are broken deterministically by nudging each duplicate weight up
+    by the smallest representable step, preserving the original order
+    among tied weights.  This realises the paper's distinct-weights
+    convention on arbitrary input data.
+    """
+    by_weight = sorted(range(len(elements)), key=lambda i: elements[i].weight)
+    out: List[Element] = list(elements)
+    previous = -math.inf
+    for index in by_weight:
+        element = out[index]
+        weight = element.weight
+        if weight <= previous:
+            weight = math.nextafter(previous, math.inf)
+        out[index] = Element(element.obj, weight, element.payload)
+        previous = weight
+    return out
+
+
+def top_k_of(elements: Iterable[Element], predicate: Predicate, k: int) -> List[Element]:
+    """Brute-force top-k: the reference answer every test compares against.
+
+    Sorted by descending weight; returns all matches when fewer than
+    ``k`` satisfy the predicate — exactly the paper's query semantics.
+    """
+    matching = predicate.filter(elements)
+    matching.sort(key=lambda e: e.weight, reverse=True)
+    return matching[:k] if k < len(matching) else matching
+
+
+def prioritized_of(
+    elements: Iterable[Element], predicate: Predicate, tau: float
+) -> List[Element]:
+    """Brute-force prioritized reporting (matches with weight >= tau)."""
+    return [e for e in elements if e.weight >= tau and self_matches(predicate, e)]
+
+
+def self_matches(predicate: Predicate, element: Element) -> bool:
+    """Membership test lifted from objects to elements."""
+    return predicate.matches(element.obj)
+
+
+def max_of(elements: Iterable[Element], predicate: Predicate):
+    """Brute-force max reporting; ``None`` when nothing matches."""
+    best = None
+    for element in elements:
+        if predicate.matches(element.obj):
+            if best is None or element.weight > best.weight:
+                best = element
+    return best
+
+
+def weights_are_distinct(elements: Sequence[Element]) -> bool:
+    """Check the paper's distinct-weights convention."""
+    seen = set()
+    for element in elements:
+        if element.weight in seen:
+            return False
+        seen.add(element.weight)
+    return True

@@ -1,0 +1,149 @@
+"""Rank sampling: the probabilistic engine behind both reductions.
+
+Two lemmas from the paper are implemented and empirically checkable:
+
+* **Lemma 1** — in a ``p``-sample ``R`` of ``S``, the element with rank
+  ``ceil(2kp)`` in ``R`` has rank between ``k`` and ``4k`` in ``S`` with
+  probability ``>= 1 - delta`` whenever ``kp >= 3 ln(3/delta)`` and
+  ``n >= 4k``.  Theorem 1's core-sets rest on this.
+* **Lemma 3** — in a ``(1/K)``-sample, the *largest* sampled element has
+  rank in ``(K, 4K]`` with probability at least ``0.09``.  Theorem 2's
+  rounds rest on this (a constant success probability is enough because
+  failed rounds escalate geometrically).
+
+The module also carries the Chernoff bounds from the paper's appendix as
+plain functions, used by tests to compute the predicted failure
+probabilities that the Monte-Carlo bench (E10) compares against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def bernoulli_sample(
+    items: Sequence[T], p: float, rng: random.Random
+) -> List[T]:
+    """Independently keep each item with probability ``p`` (a p-sample).
+
+    For small ``p`` the geometric-gap trick is used so the cost is
+    proportional to the sample size, not to ``len(items)`` — this keeps
+    core-set construction cheap at bench scale.
+    """
+    if p >= 1.0:
+        return list(items)
+    if p <= 0.0:
+        return []
+    out: List[T] = []
+    n = len(items)
+    if p > 0.1:
+        for item in items:
+            if rng.random() < p:
+                out.append(item)
+        return out
+    # Skip-ahead sampling: gaps between successes are geometric.
+    log1p = math.log1p(-p)
+    index = -1
+    while True:
+        gap = math.log(1.0 - rng.random()) / log1p
+        if gap >= n - index:  # also catches overflow to +inf for tiny p
+            return out
+        index += int(gap) + 1
+        if index >= n:
+            return out
+        out.append(items[index])
+
+
+def chernoff_lower_tail(mu: float, alpha: float) -> float:
+    """Appendix bound (16): ``Pr[X <= (1-alpha) mu] <= exp(-alpha^2 mu / 3)``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0,1), got {alpha}")
+    return math.exp(-(alpha**2) * mu / 3.0)
+
+
+def chernoff_upper_tail(mu: float, alpha: float) -> float:
+    """Appendix bound (17): ``Pr[X >= alpha mu] <= exp(-alpha mu / 6)`` for alpha >= 2."""
+    if alpha < 2.0:
+        raise ValueError(f"alpha must be >= 2, got {alpha}")
+    return math.exp(-alpha * mu / 6.0)
+
+
+def lemma1_conditions_hold(n: int, k: int, p: float, delta: float) -> bool:
+    """The working conditions of Lemma 1: ``kp >= 3 ln(3/delta)``, ``n >= 4k``."""
+    return k * p >= 3.0 * math.log(3.0 / delta) and n >= 4 * k
+
+
+def lemma1_failure_bound(delta: float) -> float:
+    """Lemma 1 guarantees success with probability at least ``1 - delta``."""
+    return delta
+
+
+def lemma1_sample_rank(k: int, p: float) -> int:
+    """The rank ``ceil(2kp)`` probed in the sample by Lemma 1."""
+    return max(1, math.ceil(2.0 * k * p))
+
+
+def lemma3_success_probability() -> float:
+    """Lemma 3's guaranteed success probability (``>= 0.09``).
+
+    The proof shows failure probability at most ``2/e^4 + (1 - 1/e^2)``.
+    """
+    return 1.0 - (2.0 / math.e**4 + (1.0 - 1.0 / math.e**2))
+
+
+def rank_of_max_in_sample(
+    weights_desc: Sequence[float], sampled: Sequence[float]
+) -> Optional[int]:
+    """1-based rank (in the full set) of the largest sampled weight.
+
+    Test/bench helper for Lemma 3: ``weights_desc`` is the full set in
+    descending order, ``sampled`` a subset.  ``None`` if the sample is
+    empty.
+    """
+    if not sampled:
+        return None
+    top = max(sampled)
+    # Distinct weights: position by binary search over the descending list.
+    lo, hi = 0, len(weights_desc)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if weights_desc[mid] > top:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo + 1
+
+
+def empirical_rank_window(
+    n: int,
+    k: int,
+    p: float,
+    trials: int,
+    rng: random.Random,
+) -> Tuple[float, float]:
+    """Monte-Carlo check of Lemma 1 on the canonical weighted set.
+
+    Samples ``{1..n}`` (rank i == value n - i + 1) ``trials`` times and
+    returns ``(fraction of trials where both bullets held, average
+    sample size)``.  Used by bench E10 and the property tests to compare
+    the observed failure rate with the union-bound prediction.
+    """
+    successes = 0
+    total_size = 0
+    target_rank = lemma1_sample_rank(k, p)
+    for _ in range(trials):
+        sample = [i for i in range(1, n + 1) if rng.random() < p]
+        total_size += len(sample)
+        if len(sample) <= 2 * k * p:
+            continue
+        if target_rank > len(sample):
+            continue
+        # Items are ranks directly: sample is ascending rank order.
+        rank_in_full = sample[target_rank - 1]
+        if k <= rank_in_full <= 4 * k:
+            successes += 1
+    return successes / trials, total_size / trials

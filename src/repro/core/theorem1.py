@@ -1,0 +1,281 @@
+"""Theorem 1: a worst-case top-k structure from a prioritized structure.
+
+Given any prioritized structure for a polynomially-bounded problem with
+``Q_pri(n) >= log_B n`` and geometrically converging space, the paper
+builds a top-k structure with ``S_top = O(S_pri)`` and
+
+    Q_top(n) = O( Q_pri(n) * log n / (log B + log(Q_pri/log_B n)) )
+             = O( Q_pri(n) * log_B n ).
+
+The construction (Section 3.2) has two regimes:
+
+* **small k** (``k <= f`` with ``f = Theta(B * Q_pri(n))``): a nested
+  chain of core-sets ``D = R_0 ⊃ R_1 ⊃ ...`` all at level ``K = f``,
+  each carrying its own prioritized structure.  A top-f query recurses:
+  if the cost-monitored probe on ``R_j`` truncates (``|q(R_j)| > 4f``),
+  the recursion obtains from ``R_{j+1}`` an element whose weight rank in
+  ``q(R_j)`` is between ``f`` and ``4f`` and uses it as the threshold of
+  an exact prioritized query on ``R_j``.
+* **large k**: a doubling ladder of core-sets ``R[i]`` at levels
+  ``K = 2^{i-1} f``, each carrying a *top-f structure* of the first
+  kind.  The top-f answer on ``R[i]`` supplies the threshold for one
+  prioritized query on ``D`` that fetches ``Theta(K) = Theta(k)``
+  candidates, finished by k-selection.
+
+Sampling can fail (the paper's constants make this improbable; our
+practical constants make it merely rare).  Every failure is *detected*
+— the thresholded fetch returns fewer elements than needed — and the
+query falls back to an exact prioritized query, so answers are always
+exact; the event is counted in :attr:`WorstCaseTopKIndex.stats`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.coreset import CoresetHierarchy, build_hierarchy, doubling_coresets
+from repro.core.interfaces import PrioritizedFactory, PrioritizedIndex, TopKIndex
+from repro.core.params import TuningParams
+from repro.core.problem import Element, Predicate
+from repro.em.selection import select_top_k
+
+
+@dataclass
+class ReductionStats:
+    """Per-index counters exposed to the benchmarks."""
+
+    queries: int = 0
+    monitored_probes: int = 0
+    threshold_fetches: int = 0
+    fallbacks: int = 0
+    full_scans: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.monitored_probes = 0
+        self.threshold_fetches = 0
+        self.fallbacks = 0
+        self.full_scans = 0
+
+
+class _TopFStructure:
+    """The small-k structure: a core-set chain with per-level indexes.
+
+    ``levels[0]`` is the ground set this structure answers top-f queries
+    about; deeper levels are nested core-sets at the fixed level
+    ``K = f``.  ``indexes[j]`` is the prioritized structure on
+    ``levels[j]`` (the deepest level is answered by scanning instead).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        f: int,
+        factory: PrioritizedFactory,
+        params: TuningParams,
+        rng: random.Random,
+        stats: ReductionStats,
+        ground_index: Optional[PrioritizedIndex] = None,
+    ) -> None:
+        self.f = f
+        self.params = params
+        self.stats = stats
+        self.hierarchy: CoresetHierarchy = build_hierarchy(elements, float(f), params, rng)
+        self.levels = self.hierarchy.levels
+        self.indexes: List[Optional[PrioritizedIndex]] = []
+        last = len(self.levels) - 1
+        for j, level in enumerate(self.levels):
+            if j == last and len(level) <= params.slack * f:
+                # Bottom level: answered by a scan, no index needed.
+                self.indexes.append(None)
+            elif j == 0 and ground_index is not None:
+                self.indexes.append(ground_index)
+            else:
+                self.indexes.append(factory(level))
+
+    # ------------------------------------------------------------------
+    def top_f(self, predicate: Predicate) -> List[Element]:
+        """The up-to-``f`` heaviest elements of ``q(levels[0])``, heaviest first."""
+        return self._query_level(0, predicate)
+
+    def _query_level(self, j: int, predicate: Predicate) -> List[Element]:
+        level = self.levels[j]
+        index = self.indexes[j]
+        cap = math.ceil(self.params.slack * self.f)
+        if index is None:
+            # Bottom of the recursion: |R_h| <= 4f, scan it.
+            matching = [e for e in level if predicate.matches(e.obj)]
+            return select_top_k(matching, self.f)
+        self.stats.monitored_probes += 1
+        probe = index.query(predicate, -math.inf, limit=cap)
+        if not probe.truncated:
+            # |q(R_j)| <= 4f: the probe fetched everything; k-select.
+            return select_top_k(probe.elements, self.f)
+        if j + 1 >= len(self.levels):
+            # The chain stopped early (saturated sampling rate): exact query.
+            self.stats.fallbacks += 1
+            exact = index.query(predicate, -math.inf)
+            return select_top_k(exact.elements, self.f)
+        # |q(R_j)| > 4f: consult the next core-set for a threshold.
+        deeper = self._query_level(j + 1, predicate)
+        rank = self._probe_rank(j)
+        if rank <= len(deeper):
+            threshold = deeper[rank - 1].weight
+            self.stats.threshold_fetches += 1
+            fetched = index.query(predicate, threshold)
+            if len(fetched.elements) >= self.f:
+                return select_top_k(fetched.elements, self.f)
+        # The sampled rank fell outside its window — exact fallback.
+        self.stats.fallbacks += 1
+        exact = index.query(predicate, -math.inf)
+        return select_top_k(exact.elements, self.f)
+
+    def _probe_rank(self, j: int) -> int:
+        """The rank probed in ``q(R_{j+1})`` — Lemma 1's ``ceil(2 K p)``.
+
+        ``p`` is the rate actually used to sample ``R_{j+1}`` from
+        ``R_j`` (recorded at build time), so the rank matches the
+        sampling regardless of tuned constants.
+        """
+        rates = self.hierarchy.stats.rates
+        p = rates[j + 1] if j + 1 < len(rates) else 1.0
+        return max(1, math.ceil(2.0 * self.f * p))
+
+    def space_units(self) -> int:
+        """Total space of the per-level prioritized structures."""
+        return sum(index.space_units() for index in self.indexes if index is not None)
+
+
+class WorstCaseTopKIndex(TopKIndex):
+    """The Theorem 1 top-k structure.
+
+    Parameters
+    ----------
+    elements:
+        The input set ``D`` (distinct weights).
+    factory:
+        Builds a prioritized structure over any subset — the black box
+        being reduced.
+    params:
+        Tuning constants; ``TuningParams.paper_faithful()`` reproduces
+        the proof's constants exactly.
+    B:
+        The block size used to set ``f = Theta(B * Q_pri(n))``.  In the
+        RAM model pass a small constant (the default 2), as the paper
+        prescribes ("by setting M and B to appropriate constants").
+    rng / seed:
+        Randomness for core-set sampling (construction only — queries
+        are deterministic, as Theorem 1's bounds are worst-case).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        factory: PrioritizedFactory,
+        params: Optional[TuningParams] = None,
+        B: int = 2,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params if params is not None else TuningParams()
+        self._elements = list(elements)
+        self._factory = factory
+        self.B = B
+        self.stats = ReductionStats()
+        rng = rng if rng is not None else random.Random(seed)
+
+        self._ground = factory(self._elements)
+        q_pri = self._ground.query_cost_bound()
+        self.f = min(
+            self.params.small_k_cutoff(B, q_pri),
+            max(1, len(self._elements)),
+        )
+        # Small-k machinery: a top-f structure whose ground level is D
+        # itself (reusing the main prioritized index).
+        self._small = _TopFStructure(
+            self._elements, self.f, factory, self.params, rng, self.stats,
+            ground_index=self._ground,
+        )
+        # Large-k machinery: the doubling ladder R[1..h], each level
+        # carrying its own top-f structure.
+        self._ladder: List[_TopFStructure] = []
+        self._ladder_rates: List[float] = []
+        n = len(self._elements)
+        for i, coreset in enumerate(doubling_coresets(self._elements, self.f, self.params, rng)):
+            K = float((2**i) * self.f)  # 0-based i: ladder level K = 2^{i-1} f, 1-based
+            self._ladder.append(
+                _TopFStructure(coreset, self.f, factory, self.params, rng, self.stats)
+            )
+            self._ladder_rates.append(self.params.coreset_rate(n, K))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self._elements)
+
+    def query(self, predicate: Predicate, k: int) -> List[Element]:
+        """Exact top-k answer, heaviest first."""
+        self.stats.queries += 1
+        if k <= 0:
+            return []
+        n = self.n
+        if n == 0:
+            return []
+        if k <= self.f:
+            top = self._small.top_f(predicate)
+            return top[:k]
+        if k >= n / 2:
+            # O(n/B) = O(k/B): scan everything — through the ground
+            # structure so the cost is counted.
+            self.stats.full_scans += 1
+            result = self._ground.query(predicate, -math.inf)
+            return select_top_k(result.elements, k)
+        return self._large_k(predicate, k)
+
+    def _large_k(self, predicate: Predicate, k: int) -> List[Element]:
+        """Queries with ``f < k < n/2`` via the doubling ladder."""
+        # Smallest i (1-based) with 2^{i-1} f >= k; K in [k, 2k).
+        i = max(1, math.ceil(math.log2(k / self.f)) + 1)
+        while (2 ** (i - 1)) * self.f < k:  # guard against float rounding
+            i += 1
+        if i > len(self._ladder):
+            self.stats.full_scans += 1
+            result = self._ground.query(predicate, -math.inf)
+            return select_top_k(result.elements, k)
+        K = (2 ** (i - 1)) * self.f
+        cap = math.ceil(self.params.slack * K)
+        self.stats.monitored_probes += 1
+        probe = self._ground.query(predicate, -math.inf, limit=cap)
+        if not probe.truncated:
+            return select_top_k(probe.elements, k)
+        # |q(D)| > 4K: obtain a threshold from the ladder's top-f answer.
+        top_f = self._ladder[i - 1].top_f(predicate)
+        rank = max(1, math.ceil(2.0 * K * self._ladder_rates[i - 1]))
+        if rank <= len(top_f):
+            threshold = top_f[rank - 1].weight
+            self.stats.threshold_fetches += 1
+            fetched = self._ground.query(predicate, threshold)
+            if len(fetched.elements) >= k:
+                return select_top_k(fetched.elements, k)
+        self.stats.fallbacks += 1
+        exact = self._ground.query(predicate, -math.inf)
+        return select_top_k(exact.elements, k)
+
+    # ------------------------------------------------------------------
+    def space_units(self) -> int:
+        """Space of every prioritized structure in the reduction.
+
+        Theorem 1 claims ``S_top = O(S_pri)``; bench E4 audits this
+        number against the ground structure's own footprint.
+        """
+        total = self._small.space_units()
+        for ladder_struct in self._ladder:
+            total += ladder_struct.space_units()
+        return total
+
+    def ground_space_units(self) -> int:
+        """Footprint of the single prioritized structure on ``D``."""
+        return self._ground.space_units()

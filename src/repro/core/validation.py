@@ -1,0 +1,179 @@
+"""Contract validation for user-supplied structures.
+
+The reductions treat prioritized/max/counting structures as black
+boxes, so a downstream user plugging in their own structure has three
+contracts to honour (Section 1.1 / 3.2 semantics):
+
+1. **prioritized**: ``query(q, tau)`` reports *exactly* the matches
+   with weight ``>= tau``; with ``limit`` it may stop early but must
+   then set ``truncated`` and have produced ``limit + 1`` elements'
+   worth of evidence;
+2. **max**: ``query(q)`` is the heaviest match or ``None``;
+3. **counting**: ``count(q)`` lies in ``[|q(D)|, c |q(D)|]``.
+
+:func:`validate_prioritized` / :func:`validate_max` /
+:func:`validate_counting` check these against brute force on random
+workloads and return a :class:`ValidationReport`; the reductions'
+guarantees then apply verbatim.  ``repro``'s own structures pass these
+checks in the test suite — the same gate a user's structure should
+clear before being trusted inside a reduction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.interfaces import CountingIndex, MaxIndex, PrioritizedIndex
+from repro.core.problem import Element, Predicate
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a contract validation run."""
+
+    structure: str
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, condition: bool, message: str) -> None:
+        self.checks += 1
+        if not condition:
+            self.failures.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` summarising any violations."""
+        if self.failures:
+            summary = "; ".join(self.failures[:5])
+            raise AssertionError(
+                f"{self.structure} violated its contract "
+                f"({len(self.failures)}/{self.checks} checks failed): {summary}"
+            )
+
+
+def _matching(elements: Sequence[Element], predicate: Predicate) -> List[Element]:
+    return [e for e in elements if predicate.matches(e.obj)]
+
+
+def validate_prioritized(
+    index: PrioritizedIndex,
+    elements: Sequence[Element],
+    predicates: Sequence[Predicate],
+    rng: Optional[random.Random] = None,
+) -> ValidationReport:
+    """Check the prioritized-reporting contract against brute force."""
+    rng = rng if rng is not None else random.Random(0)
+    report = ValidationReport(structure=type(index).__name__)
+    weights = sorted(e.weight for e in elements)
+    for i, predicate in enumerate(predicates):
+        matching = _matching(elements, predicate)
+        # Thresholds probing below, inside, and above the weight range.
+        taus = [-math.inf, math.inf]
+        if weights:
+            taus.append(weights[rng.randrange(len(weights))])
+            taus.append(weights[0] - 1.0)
+            taus.append(weights[-1] + 1.0)
+        for tau in taus:
+            expected = sorted(
+                (e for e in matching if e.weight >= tau), key=lambda e: -e.weight
+            )
+            result = index.query(predicate, tau)
+            got = sorted(result.elements, key=lambda e: -e.weight)
+            report.record(
+                got == expected,
+                f"predicate #{i}, tau={tau}: expected {len(expected)} elements, "
+                f"got {len(got)}",
+            )
+            report.record(
+                not result.truncated,
+                f"predicate #{i}, tau={tau}: unmonitored query claimed truncation",
+            )
+        # Cost-monitoring contract.
+        if len(matching) >= 3:
+            limit = len(matching) // 2
+            monitored = index.query(predicate, -math.inf, limit=limit)
+            report.record(
+                monitored.truncated,
+                f"predicate #{i}: limit={limit} < matches={len(matching)} "
+                "but truncated flag not set",
+            )
+            report.record(
+                len(monitored.elements) >= limit + 1,
+                f"predicate #{i}: truncated result holds {len(monitored.elements)} "
+                f"elements, fewer than limit+1={limit + 1}",
+            )
+            relaxed = index.query(predicate, -math.inf, limit=10 * len(elements) + 10)
+            report.record(
+                not relaxed.truncated,
+                f"predicate #{i}: limit above |q(D)| still reported truncation",
+            )
+    return report
+
+
+def validate_max(
+    index: MaxIndex,
+    elements: Sequence[Element],
+    predicates: Sequence[Predicate],
+) -> ValidationReport:
+    """Check the max-reporting contract against brute force."""
+    report = ValidationReport(structure=type(index).__name__)
+    for i, predicate in enumerate(predicates):
+        matching = _matching(elements, predicate)
+        expected = max(matching, key=lambda e: e.weight, default=None)
+        got = index.query(predicate)
+        report.record(
+            got == expected,
+            f"predicate #{i}: expected "
+            f"{expected.weight if expected else None}, "
+            f"got {got.weight if got else None}",
+        )
+    return report
+
+
+def validate_counting(
+    index: CountingIndex,
+    elements: Sequence[Element],
+    predicates: Sequence[Predicate],
+) -> ValidationReport:
+    """Check the (approximate) counting contract against brute force."""
+    report = ValidationReport(structure=type(index).__name__)
+    c = index.approximation_factor
+    report.record(c >= 1.0, f"approximation factor {c} below 1")
+    for i, predicate in enumerate(predicates):
+        true = len(_matching(elements, predicate))
+        got = index.count(predicate)
+        report.record(
+            true <= got <= c * true or (true == 0 and got == 0),
+            f"predicate #{i}: count {got} outside [{true}, {c * true}]",
+        )
+    return report
+
+
+def validate_problem_factories(
+    elements: Sequence[Element],
+    predicates: Sequence[Predicate],
+    prioritized_factory: Optional[Callable] = None,
+    max_factory: Optional[Callable] = None,
+    counting_factory: Optional[Callable] = None,
+) -> List[ValidationReport]:
+    """Validate every supplied factory in one call (raises on failure)."""
+    reports = []
+    if prioritized_factory is not None:
+        reports.append(
+            validate_prioritized(prioritized_factory(elements), elements, predicates)
+        )
+    if max_factory is not None:
+        reports.append(validate_max(max_factory(elements), elements, predicates))
+    if counting_factory is not None:
+        reports.append(
+            validate_counting(counting_factory(elements), elements, predicates)
+        )
+    for report in reports:
+        report.raise_if_failed()
+    return reports

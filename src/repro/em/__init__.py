@@ -1,0 +1,38 @@
+"""External-memory (EM) model substrate.
+
+The paper carries out its analysis in the standard external memory model
+of Aggarwal and Vitter: a machine with ``M`` words of memory and a disk
+formatted into blocks of ``B`` words; cost is the number of block I/Os.
+
+This subpackage simulates that model faithfully enough to *count* I/Os:
+
+* :mod:`repro.em.model` — the block device, the ``B``/``M`` parameters,
+  an LRU frame cache and I/O counters.
+* :mod:`repro.em.blockarray` — a record array laid out in blocks.
+* :mod:`repro.em.sort` — external merge sort.
+* :mod:`repro.em.selection` — ``O(n/B)`` k-selection, used by both
+  reductions to finish a top-k query.
+* :mod:`repro.em.btree` — a bulk-loaded B+-tree with ``O(log_B n)``
+  searches and canonical-set decomposition over weight suffixes.
+
+Every structure built on this substrate performs its reads and writes
+through an :class:`~repro.em.model.EMContext`, so the benchmark harness
+reports exact I/O counts rather than only wall-clock time.
+"""
+
+from repro.em.model import Disk, EMContext, IOStats
+from repro.em.blockarray import BlockArray
+from repro.em.sort import external_merge_sort
+from repro.em.selection import select_top_k, select_top_k_blocked
+from repro.em.btree import BPlusTree
+
+__all__ = [
+    "Disk",
+    "EMContext",
+    "IOStats",
+    "BlockArray",
+    "external_merge_sort",
+    "select_top_k",
+    "select_top_k_blocked",
+    "BPlusTree",
+]

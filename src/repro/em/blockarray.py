@@ -1,0 +1,133 @@
+"""A record array laid out in disk blocks.
+
+:class:`BlockArray` is the workhorse container for every EM structure in
+this repository: sorted weight lists, endpoint lists and core-set
+snapshots are all stored as block arrays so that scanning ``t`` records
+costs ``ceil(t / B)`` I/Os — exactly the ``O(t/B)`` output term that the
+paper's query bounds carry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.em.model import EMContext
+
+
+class BlockArray:
+    """A fixed-content array of records stored in ``ceil(n/B)`` blocks.
+
+    Records are written once at construction (bulk load) and read through
+    the context's cache.  Random access to record ``i`` touches one
+    block; a scan of a range touches the covering blocks once each in
+    order, which is what gives prioritized queries their ``O(t/B)``
+    output term.
+    """
+
+    def __init__(self, ctx: EMContext, records: Iterable[object] = ()) -> None:
+        self.ctx = ctx
+        self._block_ids: List[int] = []
+        self._length = 0
+        self.extend(records)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def extend(self, records: Iterable[object]) -> None:
+        """Append records in bulk, filling the trailing block first."""
+        B = self.ctx.B
+        pending: List[object] = []
+        if self._block_ids and self._length % B != 0:
+            # Reopen the partially filled tail block.
+            tail_id = self._block_ids.pop()
+            pending = list(self.ctx.read_block(tail_id))
+            self._length -= len(pending)
+        for record in records:
+            pending.append(record)
+            if len(pending) == B:
+                self._block_ids.append(self.ctx.allocate_block(pending))
+                self._length += B
+                pending = []
+        if pending:
+            self._length += len(pending)
+            self._block_ids.append(self.ctx.allocate_block(pending))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks occupied — the EM space measure for this array."""
+        return len(self._block_ids)
+
+    def get(self, index: int) -> object:
+        """Random access to record ``index`` (one block read)."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range for BlockArray of length {self._length}")
+        B = self.ctx.B
+        block = self.ctx.read_block(self._block_ids[index // B])
+        return block[index % B]
+
+    def __getitem__(self, index: int) -> object:
+        return self.get(index)
+
+    def scan(self, start: int = 0, stop: Optional[int] = None) -> Iterator[object]:
+        """Yield records ``start..stop`` reading each covering block once."""
+        if stop is None:
+            stop = self._length
+        stop = min(stop, self._length)
+        if start < 0 or start > stop:
+            raise IndexError(f"invalid scan range [{start}, {stop})")
+        B = self.ctx.B
+        index = start
+        while index < stop:
+            block_idx, offset = divmod(index, B)
+            block = self.ctx.read_block(self._block_ids[block_idx])
+            upper = min(stop - index + offset, len(block))
+            for record in block[offset:upper]:
+                yield record
+            index += upper - offset
+
+    def scan_until(self, predicate, start: int = 0) -> Iterator[object]:
+        """Yield records from ``start`` while ``predicate(record)`` holds.
+
+        Stops at (and does not yield) the first failing record.  This is
+        the access pattern of a prioritized query over a weight-descending
+        list: scan until the weight drops below ``tau``; the I/O cost is
+        one block per ``B`` reported records plus at most one extra block.
+        """
+        for record in self.scan(start):
+            if not predicate(record):
+                return
+            yield record
+
+    def to_list(self) -> List[object]:
+        """Materialise the whole array (charges a full scan)."""
+        return list(self.scan())
+
+    # ------------------------------------------------------------------
+    # Search (for arrays the caller keeps sorted)
+    # ------------------------------------------------------------------
+    def bisect_left(self, value, key=lambda record: record) -> int:
+        """Binary search over a key-ascending array; ``O(log_2 n)`` I/Os.
+
+        Returns the first index whose key is ``>= value``.  Callers that
+        need ``O(log_B n)`` searches should use :class:`repro.em.btree.BPlusTree`
+        instead; this helper exists for small auxiliary arrays.
+        """
+        lo, hi = 0, self._length
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key(self.get(mid)) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def block_array_from_sorted(ctx: EMContext, records: Sequence[object]) -> BlockArray:
+    """Bulk-load a :class:`BlockArray` from an already-ordered sequence."""
+    return BlockArray(ctx, records)

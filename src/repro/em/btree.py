@@ -1,0 +1,224 @@
+"""A bulk-loaded B+-tree with ``O(log_B n)`` searches.
+
+Used in two places that the paper calls for explicitly:
+
+* Section 5.5 (EM prioritized halfspace) builds "a B-tree T on the
+  weights of the n points" and answers a prioritized query by collecting
+  the *canonical set* of nodes covering ``{e : w(e) >= tau}`` —
+  :meth:`BPlusTree.canonical_cover_geq` implements that decomposition.
+* Section 5.2's static 1D stabbing-max reduces to predecessor search,
+  which in EM is :meth:`BPlusTree.predecessor` in ``O(log_B n)`` I/Os.
+
+Each node occupies one disk block (fanout ``Theta(B)``), so every node
+visit is one I/O through the context cache.  The tree is static
+(bulk-loaded); the dynamic structures in this repository (interval
+trees) manage their own rebalancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.em.model import EMContext
+
+
+@dataclass
+class BTreeNode:
+    """One node of the B+-tree; occupies a single disk block.
+
+    Leaves hold ``(key, value)`` pairs; internal nodes hold router keys
+    and child block ids.  ``subtree_size`` lets canonical-set consumers
+    size their per-node secondary structures.
+    """
+
+    node_id: int
+    is_leaf: bool
+    keys: List[float] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)  # leaf payloads
+    children: List[int] = field(default_factory=list)  # internal child block ids
+    subtree_size: int = 0
+    min_key: float = 0.0
+    max_key: float = 0.0
+
+
+class BPlusTree:
+    """Static B+-tree over ``(key, value)`` pairs sorted by key.
+
+    Parameters
+    ----------
+    ctx:
+        EM context; fanout defaults to ``ctx.B`` so a node fills a block.
+    items:
+        ``(key, value)`` pairs; sorted internally if ``presorted`` is
+        false.  Keys need not be unique.
+    fanout:
+        Override the fanout (Section 5.5 uses fanout ``(n/B)^{eps/2}``).
+    """
+
+    def __init__(
+        self,
+        ctx: EMContext,
+        items: Sequence[Tuple[float, Any]],
+        fanout: Optional[int] = None,
+        presorted: bool = False,
+    ) -> None:
+        self.ctx = ctx
+        self.fanout = max(2, fanout if fanout is not None else ctx.B)
+        if not presorted:
+            items = sorted(items, key=lambda kv: kv[0])
+            ctx.charge_reads(len(items))  # model the sorting scan
+            ctx.charge_writes(len(items))
+        self._items = list(items)
+        self.n = len(self._items)
+        self._root_id: Optional[int] = None
+        self.height = 0
+        if self.n:
+            self._bulk_load()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _bulk_load(self) -> None:
+        f = self.fanout
+        level: List[BTreeNode] = []
+        for start in range(0, self.n, f):
+            chunk = self._items[start : start + f]
+            node = self._new_node(is_leaf=True)
+            node.keys = [key for key, _ in chunk]
+            node.values = [value for _, value in chunk]
+            node.subtree_size = len(chunk)
+            node.min_key, node.max_key = node.keys[0], node.keys[-1]
+            self._store(node)
+            level.append(node)
+        self.height = 1
+        while len(level) > 1:
+            parents: List[BTreeNode] = []
+            for start in range(0, len(level), f):
+                group = level[start : start + f]
+                node = self._new_node(is_leaf=False)
+                node.children = [child.node_id for child in group]
+                node.keys = [child.min_key for child in group]
+                node.subtree_size = sum(child.subtree_size for child in group)
+                node.min_key = group[0].min_key
+                node.max_key = group[-1].max_key
+                self._store(node)
+                parents.append(node)
+            level = parents
+            self.height += 1
+        self._root_id = level[0].node_id
+
+    def _new_node(self, is_leaf: bool) -> BTreeNode:
+        block_id = self.ctx.allocate_block()
+        return BTreeNode(node_id=block_id, is_leaf=is_leaf)
+
+    def _store(self, node: BTreeNode) -> None:
+        # The node object is the block's single record; it "is" the block.
+        self.ctx.write_block(node.node_id, [node])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> BTreeNode:
+        """Load a node (one I/O through the cache)."""
+        return self.ctx.read_block(node_id)[0]
+
+    @property
+    def root(self) -> Optional[BTreeNode]:
+        """The root node, or ``None`` for an empty tree."""
+        if self._root_id is None:
+            return None
+        return self.node(self._root_id)
+
+    def iter_nodes(self) -> Iterator[BTreeNode]:
+        """Yield every node (root first) — used to attach per-node payloads."""
+        if self._root_id is None:
+            return
+        stack = [self._root_id]
+        while stack:
+            node = self.node(stack.pop())
+            yield node
+            if not node.is_leaf:
+                stack.extend(reversed(node.children))
+
+    def leaf_items_under(self, node_id: int) -> List[Tuple[float, Any]]:
+        """All ``(key, value)`` pairs in the subtree of ``node_id``."""
+        out: List[Tuple[float, Any]] = []
+        stack = [node_id]
+        while stack:
+            node = self.node(stack.pop())
+            if node.is_leaf:
+                out.extend(zip(node.keys, node.values))
+            else:
+                stack.extend(reversed(node.children))
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predecessor(self, key: float) -> Optional[Tuple[float, Any]]:
+        """Largest ``(k, v)`` with ``k <= key``; ``O(log_B n)`` I/Os."""
+        if self._root_id is None:
+            return None
+        node = self.node(self._root_id)
+        best: Optional[Tuple[float, Any]] = None
+        while True:
+            if node.is_leaf:
+                for k, v in zip(node.keys, node.values):
+                    if k <= key:
+                        best = (k, v)
+                    else:
+                        break
+                return best
+            # Descend into the rightmost child whose min_key <= key.
+            child_index = 0
+            for i, router in enumerate(node.keys):
+                if router <= key:
+                    child_index = i
+                else:
+                    break
+            if node.keys[0] > key:
+                # Every key in the tree exceeds ``key``.
+                return best
+            # The chosen child's min_key <= key, so its subtree contains
+            # the predecessor; no sibling look-back is needed.
+            node = self.node(node.children[child_index])
+
+    def canonical_cover_geq(self, tau: float) -> List[BTreeNode]:
+        """Canonical nodes whose disjoint subtrees cover ``{k : k >= tau}``.
+
+        Walks the root-to-leaf path of ``tau``; at each internal node all
+        children strictly right of the path child are taken whole.  The
+        path leaf contributes itself (callers filter its items by key).
+        Returns ``O(fanout * log_fanout n)`` nodes in ``O(log_fanout n)``
+        I/Os (taken nodes are returned by id without being opened —
+        opening them is the caller's cost).
+        """
+        if self._root_id is None:
+            return []
+        cover: List[BTreeNode] = []
+        node = self.node(self._root_id)
+        while not node.is_leaf:
+            child_index = 0
+            for i, router in enumerate(node.keys):
+                if router <= tau:
+                    child_index = i
+                else:
+                    break
+            for sibling_id in node.children[child_index + 1 :]:
+                cover.append(self.node(sibling_id))
+            node = self.node(node.children[child_index])
+        cover.append(node)
+        return cover
+
+    def range_items(self, lo: float, hi: float) -> List[Tuple[float, Any]]:
+        """All items with ``lo <= key <= hi`` (test/diagnostic helper)."""
+        return [(k, v) for k, v in self._items if lo <= k <= hi]
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks occupied by the tree: one per node."""
+        count = 0
+        for _ in self.iter_nodes():
+            count += 1
+        return count

@@ -1,0 +1,236 @@
+"""The external-memory machine: disk, blocks, memory frames, I/O counters.
+
+The model follows Aggarwal and Vitter [8 in the paper]: the disk is an
+unbounded sequence of blocks, each holding ``B`` records; the machine has
+``M`` records of memory (``M >= 2B``), organised here as an LRU cache of
+``M // B`` block frames.  Reading a block that is already resident is
+free; a miss costs one read I/O, and evicting a dirty frame costs one
+write I/O.  The paper assumes ``B >= 64`` for its constants; the
+simulator accepts any ``B >= 2`` so tests can exercise tiny
+configurations.
+
+A "record" is one Python object — the paper's "each element is stored in
+O(1) words" convention.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters attached to an :class:`EMContext`.
+
+    ``reads``/``writes`` count block transfers.  ``cache_hits`` counts
+    block accesses served from memory (free in the EM model, tracked for
+    diagnostics only).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/Os (reads + writes) — the EM cost measure."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark phases)."""
+        self.reads = 0
+        self.writes = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(self.reads, self.writes, self.cache_hits)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return IOStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.cache_hits - earlier.cache_hits,
+        )
+
+
+class Disk:
+    """An unbounded array of blocks, each a list of at most ``B`` records.
+
+    The disk itself never counts I/Os — transfers are charged by the
+    :class:`EMContext` that mediates access.  Blocks are identified by
+    dense integer ids.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: List[List[object]] = []
+
+    def allocate(self) -> int:
+        """Reserve a fresh empty block and return its id."""
+        self._blocks.append([])
+        return len(self._blocks) - 1
+
+    def raw_read(self, block_id: int) -> List[object]:
+        """Fetch block contents without charging an I/O (internal use)."""
+        return self._blocks[block_id]
+
+    def raw_write(self, block_id: int, records: List[object]) -> None:
+        """Store block contents without charging an I/O (internal use)."""
+        self._blocks[block_id] = records
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks ever allocated — the space measure."""
+        return len(self._blocks)
+
+
+class EMContext:
+    """Mediates all block access, enforcing the cache and counting I/Os.
+
+    Parameters
+    ----------
+    B:
+        Records per block.  The paper assumes ``B >= 64``; any ``B >= 2``
+        is accepted.
+    M:
+        Records of memory.  Must satisfy ``M >= 2 * B`` so at least two
+        frames exist (the minimum for merging).
+    disk:
+        Optional shared :class:`Disk`; a private one is created when
+        omitted.
+
+    The context offers both a *cached* interface (:meth:`read_block` /
+    :meth:`write_block`) used by the data structures, and explicit
+    charging hooks (:meth:`charge_reads`) used by components that model
+    a scan analytically.
+    """
+
+    def __init__(self, B: int = 64, M: Optional[int] = None, disk: Optional[Disk] = None) -> None:
+        if B < 2:
+            raise ValueError(f"block size B must be >= 2, got {B}")
+        if M is None:
+            M = 4 * B
+        if M < 2 * B:
+            raise ValueError(f"memory M must be >= 2B = {2 * B}, got {M}")
+        self.B = B
+        self.M = M
+        self.disk = disk if disk is not None else Disk()
+        self.stats = IOStats()
+        self._frames: "OrderedDict[int, List[object]]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Cached block interface
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        """Number of memory frames available (``M // B``)."""
+        return self.M // self.B
+
+    def read_block(self, block_id: int) -> List[object]:
+        """Return the contents of ``block_id``, charging an I/O on a miss.
+
+        The returned list must be treated as read-only; use
+        :meth:`write_block` to mutate a block.
+        """
+        if block_id in self._frames:
+            self._frames.move_to_end(block_id)
+            self.stats.cache_hits += 1
+            return self._frames[block_id]
+        self.stats.reads += 1
+        records = self.disk.raw_read(block_id)
+        self._install_frame(block_id, records, dirty=False)
+        return records
+
+    def write_block(self, block_id: int, records: List[object]) -> None:
+        """Replace the contents of ``block_id`` through the cache.
+
+        The write is buffered; the I/O is charged when the dirty frame is
+        evicted or flushed, matching write-back semantics.
+        """
+        if len(records) > self.B:
+            raise ValueError(f"block overflow: {len(records)} records > B={self.B}")
+        if block_id in self._frames:
+            self._frames[block_id] = records
+            self._frames.move_to_end(block_id)
+            self._dirty[block_id] = True
+            return
+        self._install_frame(block_id, records, dirty=True)
+
+    def allocate_block(self, records: Optional[List[object]] = None) -> int:
+        """Allocate a fresh block, optionally writing initial contents."""
+        block_id = self.disk.allocate()
+        if records is not None:
+            self.write_block(block_id, records)
+        return block_id
+
+    def flush(self) -> None:
+        """Write back every dirty frame and empty the cache."""
+        for block_id in list(self._frames):
+            self._evict(block_id)
+
+    def drop_cache(self) -> None:
+        """Flush then forget all frames — forces cold-cache measurements."""
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Analytic charging (for components modelled as sequential scans)
+    # ------------------------------------------------------------------
+    def charge_reads(self, num_records: int) -> int:
+        """Charge the I/Os of sequentially reading ``num_records`` records.
+
+        Returns the number of I/Os charged (``ceil(num_records / B)``).
+        Used by structures whose contiguous layout makes per-block
+        bookkeeping redundant.
+        """
+        if num_records <= 0:
+            return 0
+        ios = -(-num_records // self.B)
+        self.stats.reads += ios
+        return ios
+
+    def charge_writes(self, num_records: int) -> int:
+        """Charge the I/Os of sequentially writing ``num_records`` records."""
+        if num_records <= 0:
+            return 0
+        ios = -(-num_records // self.B)
+        self.stats.writes += ios
+        return ios
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _install_frame(self, block_id: int, records: List[object], dirty: bool) -> None:
+        while len(self._frames) >= self.num_frames:
+            victim, _ = next(iter(self._frames.items()))
+            self._evict(victim)
+        self._frames[block_id] = records
+        self._dirty[block_id] = dirty
+
+    def _evict(self, block_id: int) -> None:
+        records = self._frames.pop(block_id)
+        if self._dirty.pop(block_id, False):
+            self.stats.writes += 1
+            self.disk.raw_write(block_id, records)
+        # Clean frames were never modified; the disk copy is current.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EMContext(B={self.B}, M={self.M}, frames={self.num_frames}, "
+            f"reads={self.stats.reads}, writes={self.stats.writes})"
+        )
+
+
+def ram_context() -> EMContext:
+    """An :class:`EMContext` configured to behave like the RAM model.
+
+    The paper notes all results hold in RAM "by setting M and B to
+    appropriate constants".  We use ``B = 2`` (the minimum) with a large
+    memory so the cache almost never misses; RAM-model structures simply
+    never touch a context at all, but components shared with the EM path
+    (sorting, selection) accept this one.
+    """
+    return EMContext(B=2, M=1 << 20)

@@ -1,0 +1,47 @@
+"""Computational-geometry substrate shared by the per-problem structures.
+
+* :mod:`repro.geometry.primitives` — points, intervals, rectangles,
+  halfplanes, balls, and exact orientation tests.
+* :mod:`repro.geometry.convexhull` — monotone-chain hulls and convex
+  layers (the Chazelle–Guibas–Lee-style halfplane reporting substrate).
+* :mod:`repro.geometry.duality` — point/line duality and the lifting
+  map (circular queries -> halfspace queries, Corollary 1).
+* :mod:`repro.geometry.envelope` — lower/upper envelopes of lines with
+  ``O(log n)`` evaluation (halfplane max reporting substrate).
+* :mod:`repro.geometry.cascading` — fractional cascading over binary
+  trees [14], used to shave the extra ``log`` from root-to-leaf
+  predecessor searches (Sections 5.2 and 5.4).
+"""
+
+from repro.geometry.primitives import (
+    Ball,
+    Halfplane,
+    Interval,
+    Point,
+    Rect,
+    cross,
+    dot,
+    squared_distance,
+)
+from repro.geometry.convexhull import convex_hull, convex_layers
+from repro.geometry.duality import dual_line_of_point, dual_point_of_line, lift_point, lift_ball_to_halfspace
+from repro.geometry.envelope import LowerEnvelope, UpperEnvelope
+
+__all__ = [
+    "Point",
+    "Interval",
+    "Rect",
+    "Halfplane",
+    "Ball",
+    "dot",
+    "cross",
+    "squared_distance",
+    "convex_hull",
+    "convex_layers",
+    "dual_line_of_point",
+    "dual_point_of_line",
+    "lift_point",
+    "lift_ball_to_halfspace",
+    "LowerEnvelope",
+    "UpperEnvelope",
+]

@@ -1,0 +1,140 @@
+"""Fractional cascading over binary trees (Chazelle–Guibas [14]).
+
+The paper deploys fractional cascading twice: to bring the 2D stabbing
+max query from ``O(log^2 n)`` to ``O(log n)`` (Section 5.2) and the 2D
+prioritized halfplane query from ``O(log^2 n + t)`` to ``O(log n + t)``
+(Section 5.4).  Both uses share one shape: descend a root-to-leaf path
+of a balanced binary tree, and at every visited node run a predecessor
+search over that node's own sorted list.  Cascading replaces the
+``O(log n)`` search per node with one ``O(log n)`` search at the root
+plus ``O(1)`` pointer-following per step.
+
+Construction: each node's *augmented list* merges its own keys with
+every second entry of each child's augmented list; every augmented
+entry carries (a) the predecessor position among the node's own keys
+and (b) for each child, the predecessor position in that child's
+augmented list.  Because only every second child entry is promoted, the
+child pointer is off by at most two positions, fixed by a bounded
+forward walk.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class CascadeNode:
+    """A binary-tree node carrying a sorted key list to cascade over.
+
+    ``keys`` must be sorted ascending; ``payloads`` aligns with ``keys``
+    (the 1D stabbing-max structures store the running max weight of each
+    subinterval here).
+    """
+
+    keys: List[float]
+    payloads: List[Any] = field(default_factory=list)
+    left: Optional["CascadeNode"] = None
+    right: Optional["CascadeNode"] = None
+
+    # Filled in by FractionalCascading._augment:
+    aug_keys: List[float] = field(default_factory=list, repr=False)
+    aug_own: List[int] = field(default_factory=list, repr=False)
+    aug_left: List[int] = field(default_factory=list, repr=False)
+    aug_right: List[int] = field(default_factory=list, repr=False)
+
+
+class FractionalCascading:
+    """Prepares a binary tree for cascaded root-to-leaf predecessor search."""
+
+    def __init__(self, root: CascadeNode) -> None:
+        self.root = root
+        self._augment(root)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _augment(self, node: CascadeNode) -> None:
+        for child in (node.left, node.right):
+            if child is not None:
+                self._augment(child)
+        left_sample = _every_second(node.left.aug_keys) if node.left else []
+        right_sample = _every_second(node.right.aug_keys) if node.right else []
+        merged = sorted(
+            [(key, 0) for key in node.keys]
+            + [(key, 1) for key in left_sample]
+            + [(key, 2) for key in right_sample]
+        )
+        node.aug_keys = [key for key, _ in merged]
+        node.aug_own = _predecessor_positions(node.aug_keys, node.keys)
+        node.aug_left = (
+            _predecessor_positions(node.aug_keys, node.left.aug_keys) if node.left else []
+        )
+        node.aug_right = (
+            _predecessor_positions(node.aug_keys, node.right.aug_keys) if node.right else []
+        )
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def descend(
+        self,
+        x: float,
+        chooser: Callable[[CascadeNode], Optional[str]],
+    ) -> Iterator[Tuple[CascadeNode, int]]:
+        """Walk the path selected by ``chooser``, yielding ``(node, pred)``.
+
+        ``pred`` is the index of the largest own key ``<= x`` at each
+        visited node (``-1`` when every own key exceeds ``x``).  One
+        binary search happens at the root; every subsequent step costs
+        ``O(1)`` via the cascade pointers.  ``chooser`` returns
+        ``"left"``, ``"right"`` or ``None`` (stop after this node).
+        """
+        node: Optional[CascadeNode] = self.root
+        aug_pos = bisect_right(self.root.aug_keys, x) - 1
+        while node is not None:
+            own_pred = node.aug_own[aug_pos] if aug_pos >= 0 else -1
+            yield node, own_pred
+            direction = chooser(node)
+            if direction is None:
+                return
+            child = node.left if direction == "left" else node.right
+            if child is None:
+                return
+            pointers = node.aug_left if direction == "left" else node.aug_right
+            child_pos = pointers[aug_pos] if aug_pos >= 0 else -1
+            # The pointer lags the true predecessor by O(1) positions.
+            child_keys = child.aug_keys
+            while child_pos + 1 < len(child_keys) and child_keys[child_pos + 1] <= x:
+                child_pos += 1
+            node, aug_pos = child, child_pos
+
+    def path_predecessors(
+        self,
+        x: float,
+        chooser: Callable[[CascadeNode], Optional[str]],
+    ) -> List[Tuple[CascadeNode, int]]:
+        """Materialised form of :meth:`descend` (convenience for callers)."""
+        return list(self.descend(x, chooser))
+
+
+def _every_second(keys: Sequence[float]) -> List[float]:
+    """Promote every second entry (odd positions) of a child list."""
+    return list(keys[1::2])
+
+
+def _predecessor_positions(outer: Sequence[float], inner: Sequence[float]) -> List[int]:
+    """For each key of ``outer``, the predecessor index in ``inner``.
+
+    Linear two-pointer merge: both lists are sorted, so the whole table
+    costs ``O(|outer| + |inner|)``.
+    """
+    positions: List[int] = []
+    j = -1
+    for key in outer:
+        while j + 1 < len(inner) and inner[j + 1] <= key:
+            j += 1
+        positions.append(j)
+    return positions

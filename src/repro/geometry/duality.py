@@ -1,0 +1,54 @@
+"""Point/line duality and the lifting map.
+
+Two classical transforms the paper leans on:
+
+* **Duality** (Section 5.4, max reporting): the standard map sends the
+  point ``p = (px, py)`` to the line ``y = px * x - py`` and the line
+  ``y = a x + b`` to the point ``(a, -b)``.  It preserves
+  above/below-ness: ``p`` lies above line ``l`` iff the dual point of
+  ``l`` lies above the dual line of ``p``.  Max-weight halfplane
+  *containment* queries thus become max-weight point-below-line
+  queries on dual lines.
+* **Lifting** (Corollary 1): the map ``x -> (x, |x|^2)`` onto the unit
+  paraboloid turns a ball in ``R^d`` into a halfspace in ``R^{d+1}``:
+  ``|x - q|^2 <= r^2`` iff the lifted point lies below the hyperplane
+  ``2 q . x - z >= |q|^2 - r^2`` — so top-k circular reporting reduces
+  to top-k halfspace reporting one dimension up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.geometry.primitives import Ball, Halfplane, Line2D, Point
+
+
+def dual_line_of_point(point: Point) -> Line2D:
+    """Dual of the point ``(px, py)``: the line ``y = px * x - py``."""
+    return Line2D(point[0], -point[1])
+
+
+def dual_point_of_line(line: Line2D) -> Point:
+    """Dual of the line ``y = a x + b``: the point ``(a, -b)``."""
+    return (line.a, -line.b)
+
+
+def lift_point(point: Sequence[float]) -> Tuple[float, ...]:
+    """Lift ``x in R^d`` to ``(x, |x|^2) in R^{d+1}`` on the paraboloid."""
+    return tuple(point) + (sum(c * c for c in point),)
+
+
+def lift_ball_to_halfspace(ball: Ball) -> Halfplane:
+    """The halfspace in ``R^{d+1}`` whose lifted members are the ball's.
+
+    ``|x - q|^2 <= r^2``
+    ``<=> |x|^2 - 2 q.x + |q|^2 <= r^2``
+    ``<=> 2 q.x - z >= |q|^2 - r^2``   (with ``z = |x|^2`` the lift)
+
+    so the halfspace has normal ``(2 q, -1)`` and offset
+    ``|q|^2 - r^2``.
+    """
+    q = ball.center
+    normal = tuple(2.0 * c for c in q) + (-1.0,)
+    offset = sum(c * c for c in q) - ball.radius**2
+    return Halfplane(normal, offset)

@@ -1,0 +1,111 @@
+"""Lower and upper envelopes of lines with ``O(log n)`` evaluation.
+
+The 2D halfplane *max* structure (Section 5.4) needs, per weight-class
+node, the question "is any line of this set below/above the query
+point?"  For a set of lines that is exactly an envelope evaluation: a
+point ``(qx, qy)`` has some line below it iff the *lower envelope* at
+``qx`` is at most ``qy``.
+
+The envelope of ``n`` static lines is built in ``O(n log n)`` by the
+convex-hull-trick stack sweep and evaluated by binary search over
+breakpoints.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.primitives import Line2D
+
+
+class LowerEnvelope:
+    """Pointwise minimum of a set of non-vertical lines."""
+
+    def __init__(self, lines: Iterable[Line2D]) -> None:
+        self._hull: List[Line2D] = _envelope_hull(lines, lower=True)
+        self._breaks: List[float] = _breakpoints(self._hull)
+
+    def __len__(self) -> int:
+        return len(self._hull)
+
+    def value_at(self, x: float) -> Optional[float]:
+        """min over lines of ``line.at(x)``; ``None`` for an empty set."""
+        line = self.line_at(x)
+        return line.at(x) if line is not None else None
+
+    def line_at(self, x: float) -> Optional[Line2D]:
+        """The line attaining the minimum at abscissa ``x``."""
+        if not self._hull:
+            return None
+        index = bisect.bisect_right(self._breaks, x)
+        return self._hull[index]
+
+
+class UpperEnvelope:
+    """Pointwise maximum of a set of non-vertical lines."""
+
+    def __init__(self, lines: Iterable[Line2D]) -> None:
+        self._hull: List[Line2D] = _envelope_hull(lines, lower=False)
+        self._breaks: List[float] = _breakpoints(self._hull)
+
+    def __len__(self) -> int:
+        return len(self._hull)
+
+    def value_at(self, x: float) -> Optional[float]:
+        """max over lines of ``line.at(x)``; ``None`` for an empty set."""
+        line = self.line_at(x)
+        return line.at(x) if line is not None else None
+
+    def line_at(self, x: float) -> Optional[Line2D]:
+        """The line attaining the maximum at abscissa ``x``."""
+        if not self._hull:
+            return None
+        index = bisect.bisect_right(self._breaks, x)
+        return self._hull[index]
+
+
+def _envelope_hull(lines: Iterable[Line2D], lower: bool) -> List[Line2D]:
+    """The lines appearing on the envelope, ordered left to right.
+
+    For the lower envelope, slopes decrease... no: walking x from -inf
+    to +inf along the lower envelope, the active slope *decreases*?  The
+    minimum at ``x -> -inf`` is attained by the largest slope and at
+    ``x -> +inf`` by the smallest, so active slopes decrease for the
+    lower envelope and increase for the upper one.  The classic stack
+    sweep below processes lines sorted accordingly.
+    """
+    # Deduplicate parallel lines, keeping the dominating one.
+    best_by_slope = {}
+    for line in lines:
+        kept = best_by_slope.get(line.a)
+        if kept is None:
+            best_by_slope[line.a] = line
+        elif lower and line.b < kept.b:
+            best_by_slope[line.a] = line
+        elif not lower and line.b > kept.b:
+            best_by_slope[line.a] = line
+    ordered = sorted(best_by_slope.values(), key=lambda l: l.a, reverse=lower)
+    hull: List[Line2D] = []
+    for line in ordered:
+        while len(hull) >= 2 and _useless(hull[-2], hull[-1], line):
+            hull.pop()
+        hull.append(line)
+    return hull
+
+
+def _useless(first: Line2D, middle: Line2D, last: Line2D) -> bool:
+    """Whether ``middle`` never attains the envelope between its neighbours.
+
+    ``middle`` is useless iff ``last`` overtakes ``first`` no later than
+    ``middle`` does — the standard convex-hull-trick pop test (slopes
+    are distinct after the parallel-line dedup).
+    """
+    x_fm = first.intersect_x(middle)
+    x_fl = first.intersect_x(last)
+    return x_fl <= x_fm
+
+
+def _breakpoints(hull: Sequence[Line2D]) -> List[float]:
+    """Abscissae where the active envelope line changes."""
+    return [hull[i].intersect_x(hull[i + 1]) for i in range(len(hull) - 1)]

@@ -1,0 +1,174 @@
+"""Geometric primitives and exact predicates.
+
+Points are plain tuples of floats (``Point = Tuple[float, ...]``) so
+they hash, compare and unpack naturally; the shaped objects the paper
+queries — intervals, rectangles, halfplanes/halfspaces, balls — are
+small frozen dataclasses with a ``contains`` test each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+
+def dot(a: Sequence[float], b: Sequence[float]) -> float:
+    """Inner product of two equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return sum(x * y for x, y in zip(a, b))
+
+
+def cross(o: Point, a: Point, b: Point) -> float:
+    """2D cross product of ``(a - o)`` and ``(b - o)``.
+
+    Positive when the turn o->a->b is counter-clockwise.
+    """
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt in comparisons)."""
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` on the real line.
+
+    The element domain of the interval-stabbing problem (Theorem 4).
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: [{self.lo}, {self.hi}]")
+
+    def contains(self, x: float) -> bool:
+        """Whether the stabbing point ``x`` lies inside."""
+        return self.lo <= x <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals intersect."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-parallel rectangle ``[x1, x2] x [y1, y2]``.
+
+    The element domain of 2D point enclosure (Theorem 5).
+    """
+
+    x1: float
+    x2: float
+    y1: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"empty rectangle: [{self.x1}, {self.x2}] x [{self.y1}, {self.y2}]"
+            )
+
+    def contains(self, point: Point) -> bool:
+        """Whether the query point falls inside (closed on all sides)."""
+        x, y = point[0], point[1]
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.x1, self.x2)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.y1, self.y2)
+
+
+@dataclass(frozen=True)
+class Halfplane:
+    """The halfspace ``{x : normal . x >= c}`` in any fixed dimension.
+
+    The predicate domain of halfspace reporting (Theorem 3).  In 2D,
+    a *lower* halfplane ``y <= a x + b`` is ``Halfplane((a, -1), -b)``
+    and an *upper* halfplane ``y >= a x + b`` is ``Halfplane((-a, 1), b)``.
+    """
+
+    normal: Tuple[float, ...]
+    c: float
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` satisfies ``normal . point >= c``."""
+        return dot(self.normal, point) >= self.c
+
+    @property
+    def dim(self) -> int:
+        return len(self.normal)
+
+    @staticmethod
+    def below_line(a: float, b: float) -> "Halfplane":
+        """The 2D halfplane on or below ``y = a x + b``.
+
+        ``y <= a x + b`` rewrites as ``(a, -1) . (x, y) >= -b``.
+        """
+        return Halfplane((a, -1.0), -b)
+
+    @staticmethod
+    def above_line(a: float, b: float) -> "Halfplane":
+        """The 2D halfplane on or above ``y = a x + b``.
+
+        ``y >= a x + b`` rewrites as ``(-a, 1) . (x, y) >= b``.
+        """
+        return Halfplane((-a, 1.0), b)
+
+
+@dataclass(frozen=True)
+class Ball:
+    """The ball ``{x : dist(x, center) <= radius}``.
+
+    The predicate domain of circular range reporting (Corollary 1).
+    """
+
+    center: Tuple[float, ...]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"negative radius: {self.radius}")
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies inside the closed ball."""
+        return squared_distance(self.center, point) <= self.radius**2
+
+    @property
+    def dim(self) -> int:
+        return len(self.center)
+
+
+@dataclass(frozen=True)
+class Line2D:
+    """The non-vertical line ``y = a x + b`` (dual-space object)."""
+
+    a: float
+    b: float
+
+    def at(self, x: float) -> float:
+        """Evaluate the line at abscissa ``x``."""
+        return self.a * x + self.b
+
+    def intersect_x(self, other: "Line2D") -> float:
+        """Abscissa where the two (non-parallel) lines cross."""
+        if self.a == other.a:
+            raise ValueError("parallel lines do not cross")
+        return (other.b - self.b) / (self.a - other.a)

@@ -1,0 +1,112 @@
+"""Per-problem structures: the black boxes the reductions compose.
+
+Each module defines the problem's predicate type plus its prioritized,
+max and (where the paper gives one) native structures:
+
+* :mod:`repro.structures.interval_stabbing` — Theorem 4's substrate.
+* :mod:`repro.structures.point_enclosure` — Theorem 5's substrate.
+* :mod:`repro.structures.dominance` — Theorem 6's substrate.
+* :mod:`repro.structures.halfplane` — Theorem 3, d = 2.
+* :mod:`repro.structures.kdtree` — Theorem 3, the polynomial-query
+  regimes (d >= 3).
+* :mod:`repro.structures.circular` — Corollary 1 via the lifting map.
+* :mod:`repro.structures.priority_search` — McCreight's PST, the
+  innermost level of the dominance range trees.
+"""
+
+from repro.structures.interval_stabbing import (
+    StabbingPredicate,
+    SegmentTreeIntervalPrioritized,
+    StaticIntervalStabbingMax,
+    DynamicIntervalStabbingMax,
+)
+from repro.structures.point_enclosure import (
+    EnclosurePredicate,
+    RectanglePrioritized,
+    RectangleStabbingMax,
+    CascadedRectangleStabbingMax,
+)
+from repro.structures.dominance import (
+    DominancePredicate,
+    DominancePrioritized,
+    DominanceMax,
+)
+from repro.structures.halfplane import (
+    HalfplanePredicate,
+    ConvexLayerReporting,
+    HalfplanePrioritized,
+    HalfplaneMax,
+)
+from repro.structures.kdtree import (
+    Box,
+    HalfspacePredicate,
+    KDTreeIndex,
+    KDTreeMax,
+    OrthogonalRangePredicate,
+)
+from repro.structures.circular import (
+    CircularPredicate,
+    LiftedCircularPrioritized,
+    LiftedCircularMax,
+)
+from repro.structures.priority_search import PrioritySearchTree
+from repro.structures.range1d import (
+    RangePredicate1D,
+    RangeTree1DPrioritized,
+    RangeTree1DMax,
+    RangeTree1DCounter,
+)
+from repro.structures.interval_stabbing import IntervalStabbingCounter
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+from repro.structures.weight_suffix import (
+    WeightSuffixPrioritized,
+    em_halfspace_prioritized,
+)
+from repro.structures.persistent import PersistentTreap
+from repro.structures.point_location import PLSegment, SlabPointLocation
+from repro.structures.line_max import (
+    LineAbovePointMax,
+    LineAboveQuery,
+    UpperHalfplanePointMax,
+)
+
+__all__ = [
+    "StabbingPredicate",
+    "SegmentTreeIntervalPrioritized",
+    "StaticIntervalStabbingMax",
+    "DynamicIntervalStabbingMax",
+    "EnclosurePredicate",
+    "RectanglePrioritized",
+    "RectangleStabbingMax",
+    "CascadedRectangleStabbingMax",
+    "DominancePredicate",
+    "DominancePrioritized",
+    "DominanceMax",
+    "HalfplanePredicate",
+    "ConvexLayerReporting",
+    "HalfplanePrioritized",
+    "HalfplaneMax",
+    "HalfspacePredicate",
+    "Box",
+    "OrthogonalRangePredicate",
+    "KDTreeIndex",
+    "KDTreeMax",
+    "CircularPredicate",
+    "LiftedCircularPrioritized",
+    "LiftedCircularMax",
+    "PrioritySearchTree",
+    "RangePredicate1D",
+    "RangeTree1DPrioritized",
+    "RangeTree1DMax",
+    "RangeTree1DCounter",
+    "IntervalStabbingCounter",
+    "DynamicRangeTreap",
+    "WeightSuffixPrioritized",
+    "em_halfspace_prioritized",
+    "PersistentTreap",
+    "PLSegment",
+    "SlabPointLocation",
+    "LineAbovePointMax",
+    "LineAboveQuery",
+    "UpperHalfplanePointMax",
+]

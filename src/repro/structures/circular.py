@@ -1,0 +1,102 @@
+"""Circular (ball) range structures via the lifting map (Corollary 1).
+
+Top-k circular reporting in ``R^d`` reduces to top-k halfspace
+reporting in ``R^{d+1}`` by lifting every point onto the unit
+paraboloid (``x -> (x, |x|^2)``) and every query ball to a halfspace
+(:func:`repro.geometry.duality.lift_ball_to_halfspace`).  This module
+realises the corollary literally: the circular structures *are* the
+halfspace kd-tree structures built over the lifted points.
+
+The indexed elements keep their original ``R^d`` objects — the lift is
+internal — so the reductions' fallback paths (which evaluate
+``predicate.matches`` on original objects) stay correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.geometry.duality import lift_ball_to_halfspace, lift_point
+from repro.geometry.primitives import Ball, Point
+from repro.structures.kdtree import HalfspacePredicate, KDTreeIndex
+
+
+@dataclass(frozen=True)
+class CircularPredicate(Predicate):
+    """Matches every point inside the closed query ball."""
+
+    ball: Ball
+
+    def matches(self, obj: Point) -> bool:
+        return self.ball.contains(obj)
+
+
+def _lift_elements(elements: Sequence[Element]) -> List[Element]:
+    """Lift each element's point; the payload carries the original."""
+    return [
+        Element(lift_point(element.obj), element.weight, payload=element)
+        for element in elements
+    ]
+
+
+def _unlift(lifted: Sequence[Element]) -> List[Element]:
+    return [element.payload for element in lifted]
+
+
+class LiftedCircularPrioritized(PrioritizedIndex):
+    """Prioritized ball reporting = lifted halfspace reporting."""
+
+    def __init__(self, elements: Sequence[Element], leaf_size: int = 8) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        self._tree = KDTreeIndex(_lift_elements(elements), leaf_size)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """Polynomial, inherited from the lifted kd-tree."""
+        return self._tree.query_cost_bound()
+
+    def query(
+        self, predicate: CircularPredicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        halfspace = lift_ball_to_halfspace(predicate.ball)
+        result = self._tree.query(HalfspacePredicate(halfspace), tau, limit)
+        self.ops.node_visits += self._tree.ops.node_visits
+        self._tree.ops.reset()
+        return PrioritizedResult(_unlift(result.elements), truncated=result.truncated)
+
+    def space_units(self) -> int:
+        return self._tree.space_units()
+
+
+class LiftedCircularMax(MaxIndex):
+    """Max-weight point in a ball = lifted halfspace max."""
+
+    def __init__(self, elements: Sequence[Element], leaf_size: int = 8) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        self._tree = KDTreeIndex(_lift_elements(elements), leaf_size)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        return max(1.0, math.log2(max(2, self._n)) ** 2)
+
+    def query(self, predicate: CircularPredicate) -> Optional[Element]:
+        halfspace = lift_ball_to_halfspace(predicate.ball)
+        hit = self._tree.max_query(HalfspacePredicate(halfspace))
+        self.ops.node_visits += self._tree.ops.node_visits
+        self._tree.ops.reset()
+        return hit.payload if hit is not None else None
+
+    def space_units(self) -> int:
+        return self._tree.space_units()

@@ -1,0 +1,198 @@
+"""3D dominance structures (the substrate of Theorem 6).
+
+Problem: ``D`` is a set of weighted points in ``R^3``; a predicate is a
+corner ``q = (x, y, z)``, matched by every point dominated by it
+coordinate-wise (``e <= q`` in all three coordinates).  The paper's
+hotel example: (price, distance, negated security rating) per hotel,
+weight = guest rating.
+
+Structures — substitutes for Afshani et al. [2] (prioritized, i.e. 4D
+dominance) and Rahul's point-location max structure [27], per DESIGN.md
+section 4:
+
+* :class:`DominancePrioritized` — a two-level range tree (x, then y)
+  whose innermost level is a priority search tree on (z, weight):
+  query ``O(log^2 n (log n) + t)``, i.e. polylog plus exact output.
+* :class:`DominanceMax` — the same skeleton with ``max_in_prefix``
+  probes at the PSTs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.geometry.primitives import Point
+from repro.structures.priority_search import PrioritySearchTree
+
+
+@dataclass(frozen=True)
+class DominancePredicate(Predicate):
+    """Matches every point dominated by the corner ``q`` (``e <= q``)."""
+
+    q: Point
+
+    def matches(self, obj: Point) -> bool:
+        return obj[0] <= self.q[0] and obj[1] <= self.q[1] and obj[2] <= self.q[2]
+
+
+def _z_of(element: Element) -> float:
+    return element.obj[2]
+
+
+class _RangeNode:
+    """A node of a 1D balanced tree over one coordinate.
+
+    ``lo``/``hi`` delimit the node's coordinate range among the sorted
+    inputs; ``payload`` is the secondary structure over the node's
+    elements (another range tree level, or the innermost PST).
+    """
+
+    __slots__ = ("max_key", "payload", "left", "right")
+
+    def __init__(self) -> None:
+        self.max_key: float = 0.0
+        self.payload: object = None
+        self.left: Optional["_RangeNode"] = None
+        self.right: Optional["_RangeNode"] = None
+
+
+def _build_range_tree(
+    ordered: List[Element],
+    key_index: int,
+    payload_factory,
+) -> Optional[_RangeNode]:
+    """Balanced tree over ``ordered`` (sorted by coordinate ``key_index``).
+
+    Every node carries ``payload_factory(subtree_elements)``; a prefix
+    query ``key <= q`` decomposes into ``O(log n)`` disjoint payloads.
+    """
+    if not ordered:
+        return None
+    node = _RangeNode()
+    node.max_key = ordered[-1].obj[key_index]
+    node.payload = payload_factory(ordered)
+    if len(ordered) > 1:
+        mid = len(ordered) // 2
+        node.left = _build_range_tree(ordered[:mid], key_index, payload_factory)
+        node.right = _build_range_tree(ordered[mid:], key_index, payload_factory)
+    return node
+
+
+def _canonical_prefix(
+    node: Optional[_RangeNode], bound: float, out: List[object], ops: OpCounter
+) -> None:
+    """Collect payloads of the canonical cover of ``{key <= bound}``."""
+    while node is not None:
+        ops.node_visits += 1
+        if node.max_key <= bound:
+            out.append(node.payload)
+            return
+        if node.left is None and node.right is None:
+            return  # single element with key > bound
+        # max of left subtree vs bound decides the split.
+        left = node.left
+        if left is not None and left.max_key <= bound:
+            out.append(left.payload)
+            node = node.right
+        else:
+            node = left
+    return
+
+
+class DominancePrioritized(PrioritizedIndex):
+    """Prioritized 3D dominance via range-tree + PST composition.
+
+    The x-tree decomposes ``{e_x <= q_x}`` into ``O(log n)`` canonical
+    y-trees; each y-tree decomposes ``{e_y <= q_y}`` into ``O(log n)``
+    canonical PSTs; each PST reports ``{e_z <= q_z, w >= tau}`` in
+    ``O(log + t)``.  Space ``O(n log^2 n)`` words.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+
+        def pst_factory(subset: List[Element]) -> PrioritySearchTree:
+            return PrioritySearchTree(subset, _z_of)
+
+        def ytree_factory(subset: List[Element]) -> Optional[_RangeNode]:
+            ordered = sorted(subset, key=lambda e: e.obj[1])
+            return _build_range_tree(ordered, 1, pst_factory)
+
+        ordered_x = sorted(elements, key=lambda e: e.obj[0])
+        self._root = _build_range_tree(ordered_x, 0, ytree_factory)
+        self._stored = self._count_stored()
+
+    def _count_stored(self) -> int:
+        # Each element appears in O(log n) x-nodes x O(log n) y-nodes.
+        log_n = max(1, int(math.log2(max(2, self._n))))
+        return self._n * log_n * log_n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_pri = O(log^3 n)`` (two canonical levels x PST search)."""
+        log_n = max(1.0, math.log2(max(2, self._n)))
+        return log_n**3
+
+    def query(
+        self, predicate: DominancePredicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        qx, qy, qz = predicate.q
+        ytrees: List[object] = []
+        _canonical_prefix(self._root, qx, ytrees, self.ops)
+        out: List[Element] = []
+        for ytree in ytrees:
+            psts: List[object] = []
+            _canonical_prefix(ytree, qy, psts, self.ops)
+            for pst in psts:
+                for element in pst.query_prefix(qz, tau):
+                    out.append(element)
+                    self.ops.scanned += 1
+                    if limit is not None and len(out) > limit:
+                        return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def space_units(self) -> int:
+        """``O(n log^2 n)`` words (each element in log^2 canonical PSTs)."""
+        return self._stored
+
+
+class DominanceMax(MaxIndex):
+    """3D dominance max: the same skeleton probed with ``max_in_prefix``."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._inner = DominancePrioritized(elements)
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    def query_cost_bound(self) -> float:
+        """``Q_max = O(log^2 n)`` canonical PSTs, each probed once."""
+        log_n = max(1.0, math.log2(max(2, self.n)))
+        return log_n**2
+
+    def query(self, predicate: DominancePredicate) -> Optional[Element]:
+        qx, qy, qz = predicate.q
+        ytrees: List[object] = []
+        _canonical_prefix(self._inner._root, qx, ytrees, self.ops)
+        best: Optional[Element] = None
+        for ytree in ytrees:
+            psts: List[object] = []
+            _canonical_prefix(ytree, qy, psts, self.ops)
+            for pst in psts:
+                candidate = pst.max_in_prefix(qz)
+                if candidate is not None and (best is None or candidate.weight > best.weight):
+                    best = candidate
+        return best
+
+    def space_units(self) -> int:
+        return self._inner.space_units()

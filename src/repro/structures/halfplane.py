@@ -1,0 +1,274 @@
+"""2D halfplane structures (Theorem 3, first bullet).
+
+Problem: ``D`` is a set of weighted points in the plane; a predicate is
+a halfplane ``{x : normal . x >= c}``, matched by every point inside.
+
+Structures:
+
+* :class:`ConvexLayerReporting` — *unweighted* halfplane reporting in
+  the shape of Chazelle–Guibas–Lee [15]: convex layers; per layer find
+  the extreme vertex in the normal direction by the prepared-hull
+  binary search, walk the hull both ways while inside, stop at the
+  first empty layer (inner layers are then empty too).  Query
+  ``O((1 + L) log n + t)`` where ``L <= t`` is the number of layers
+  intersected.
+* :class:`HalfplanePrioritized` — the paper's Section 5.4 construction:
+  a balanced tree over weights whose canonical suffix nodes each carry
+  a :class:`ConvexLayerReporting` over their points.
+* :class:`HalfplaneMax` — a weight-partition tree: each node covers a
+  weight range and stores the convex hull of its points; a query
+  descends greedily into the heaviest half whose hull still meets the
+  halfplane (an emptiness test = one extreme-vertex probe), reaching
+  the answer in ``O(log^2 n)``.  Substitutes for the planar
+  point-location structure of [31]; Theorem 2's "bootstrapping power"
+  erases the extra log (bench E8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.geometry.convexhull import PreparedHull, convex_hull, convex_layers
+from repro.geometry.primitives import Halfplane, Point
+
+
+@dataclass(frozen=True)
+class HalfplanePredicate(Predicate):
+    """Matches every point inside the halfplane."""
+
+    halfplane: Halfplane
+
+    def matches(self, obj: Point) -> bool:
+        return self.halfplane.contains(obj)
+
+
+class ConvexLayerReporting:
+    """Unweighted halfplane reporting over convex layers.
+
+    Points are reported (not their weights filtered) — this is the
+    building block the prioritized structure composes per weight node.
+    Duplicate coordinates are collapsed at build and re-expanded at
+    report time so multi-element points report correctly.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._by_point: Dict[Point, List[Element]] = {}
+        for element in elements:
+            self._by_point.setdefault(element.obj, []).append(element)
+        self._layers: List[PreparedHull] = [
+            PreparedHull(layer) for layer in convex_layers(list(self._by_point))
+        ]
+
+    @property
+    def n(self) -> int:
+        return sum(len(group) for group in self._by_point.values())
+
+    def report(self, halfplane: Halfplane, limit: Optional[int] = None) -> Tuple[List[Element], bool]:
+        """All elements inside ``halfplane``; truncation at ``limit``.
+
+        Accepts either a bare :class:`Halfplane` or a predicate carrying
+        one (so the structure plugs directly into
+        :class:`~repro.structures.weight_suffix.WeightSuffixPrioritized`).
+        Returns ``(elements, truncated)`` with the same cost-monitoring
+        contract as prioritized queries.
+        """
+        halfplane = getattr(halfplane, "halfplane", halfplane)
+        direction = (halfplane.normal[0], halfplane.normal[1])
+        out: List[Element] = []
+        for hull in self._layers:
+            self.ops.node_visits += 1
+            if len(hull) == 0:
+                continue
+            start = hull.extreme_index(direction)
+            if not halfplane.contains(hull.hull[start]):
+                # This layer misses the halfplane; inner layers are
+                # inside this layer's hull, so they miss it too.
+                break
+            size = len(hull.hull)
+            # Walk both ways from the extreme vertex while inside.
+            indices = [start]
+            step = 1
+            while step < size:
+                index = (start + step) % size
+                if not halfplane.contains(hull.hull[index]):
+                    break
+                indices.append(index)
+                step += 1
+            covered = set(indices)
+            step = 1
+            while step < size:
+                index = (start - step) % size
+                if index in covered:
+                    break
+                if not halfplane.contains(hull.hull[index]):
+                    break
+                indices.append(index)
+                covered.add(index)
+                step += 1
+            for index in indices:
+                for element in self._by_point[hull.hull[index]]:
+                    out.append(element)
+                    self.ops.scanned += 1
+                    if limit is not None and len(out) > limit:
+                        return out, True
+        return out, False
+
+
+class HalfplanePrioritized(PrioritizedIndex):
+    """Prioritized halfplane reporting (Section 5.4's weight tree).
+
+    A balanced binary tree over weights; each node stores a
+    :class:`ConvexLayerReporting` over the points in its weight range.
+    The canonical suffix cover of ``{w >= tau}`` has ``O(log n)``
+    nodes, each answered by one layer query.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        ordered = sorted(elements, key=lambda e: e.weight)
+        self._root = self._build(ordered)
+
+    class _Node:
+        __slots__ = ("min_weight", "max_weight", "structure", "left", "right")
+
+        def __init__(self) -> None:
+            self.min_weight = 0.0
+            self.max_weight = 0.0
+            self.structure: Optional[ConvexLayerReporting] = None
+            self.left = None
+            self.right = None
+
+    def _build(self, ordered: List[Element]) -> Optional["HalfplanePrioritized._Node"]:
+        if not ordered:
+            return None
+        node = HalfplanePrioritized._Node()
+        node.min_weight = ordered[0].weight
+        node.max_weight = ordered[-1].weight
+        node.structure = ConvexLayerReporting(ordered)
+        if len(ordered) > 1:
+            mid = len(ordered) // 2
+            node.left = self._build(ordered[:mid])
+            node.right = self._build(ordered[mid:])
+        return node
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_pri = O(log^2 n)`` (canonical nodes x extreme searches)."""
+        log_n = max(1.0, math.log2(max(2, self._n)))
+        return log_n * log_n
+
+    def query(
+        self, predicate: HalfplanePredicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        canonical: List[ConvexLayerReporting] = []
+        node = self._root
+        while node is not None:
+            self.ops.node_visits += 1
+            if node.min_weight >= tau:
+                canonical.append(node.structure)
+                break
+            if node.left is None and node.right is None:
+                break  # single element below tau
+            if node.right is not None and node.right.min_weight >= tau:
+                canonical.append(node.right.structure)
+                node = node.left
+            else:
+                node = node.right
+        out: List[Element] = []
+        for structure in canonical:
+            # report() may return up to its limit + 1 elements (the one
+            # that trips the monitor), so hand it the slack before ours.
+            remaining = None if limit is None else limit - len(out)
+            elements, truncated = structure.report(predicate.halfplane, remaining)
+            out.extend(elements)
+            if truncated:
+                return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def space_units(self) -> int:
+        """``O(n log n)`` words: each point on every level of the tree."""
+        log_n = max(1, int(math.log2(max(2, self._n))))
+        return self._n * log_n
+
+
+class HalfplaneMax(MaxIndex):
+    """Max-weight point in a halfplane via a weight-partition tree.
+
+    The hull emptiness test "does this weight class contain a point of
+    the halfplane?" is one extreme-vertex probe (``O(log n)``); the
+    greedy descent visits ``O(log n)`` nodes, always preferring the
+    heavier half, so the first leaf reached is the answer.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        ordered = sorted(elements, key=lambda e: e.weight)
+        self._root = self._build(ordered)
+
+    class _Node:
+        __slots__ = ("element", "hull", "left", "right")
+
+        def __init__(self) -> None:
+            self.element: Optional[Element] = None  # leaf only
+            self.hull: Optional[PreparedHull] = None
+            self.left = None
+            self.right = None
+
+    def _build(self, ordered: List[Element]) -> Optional["HalfplaneMax._Node"]:
+        if not ordered:
+            return None
+        node = HalfplaneMax._Node()
+        node.hull = PreparedHull(convex_hull([e.obj for e in ordered]))
+        if len(ordered) == 1:
+            node.element = ordered[0]
+        else:
+            mid = len(ordered) // 2
+            node.left = self._build(ordered[:mid])  # lighter half
+            node.right = self._build(ordered[mid:])  # heavier half
+        return node
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_max = O(log^2 n)`` (descent x hull probes)."""
+        log_n = max(1.0, math.log2(max(2, self._n)))
+        return log_n * log_n
+
+    def query(self, predicate: HalfplanePredicate) -> Optional[Element]:
+        halfplane = predicate.halfplane
+        node = self._root
+        if node is None or not self._hull_hits(node, halfplane):
+            return None
+        while node.element is None:
+            self.ops.node_visits += 1
+            if node.right is not None and self._hull_hits(node.right, halfplane):
+                node = node.right  # the heavier half wins if non-empty
+            else:
+                node = node.left
+        return node.element
+
+    def _hull_hits(self, node: "HalfplaneMax._Node", halfplane: Halfplane) -> bool:
+        """Emptiness test: does the node's point set meet the halfplane?"""
+        hull = node.hull
+        if hull is None or len(hull.hull) == 0:
+            return False
+        direction = (halfplane.normal[0], halfplane.normal[1])
+        extreme = hull.hull[hull.extreme_index(direction)]
+        return halfplane.contains(extreme)
+
+    def space_units(self) -> int:
+        """``O(n log n)`` words: hulls on every level."""
+        log_n = max(1, int(math.log2(max(2, self._n))))
+        return self._n * log_n

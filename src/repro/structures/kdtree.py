@@ -1,0 +1,373 @@
+"""kd-trees for halfspace and ball queries in dimension ``d >= 2``.
+
+Theorem 3's second and third bullets concern regimes where the
+prioritized query cost is *polynomial* (``Q_pri ~ n^{1 - 1/floor(d/2)}``),
+in which case Theorem 1 adds **no** asymptotic overhead.  Any substrate
+with polynomial query cost exhibits that regime; a kd-tree
+(``O(n^{1-1/d} + t)`` for convex ranges) is the canonical
+implementable choice (substituting for the partition trees of
+Afshani–Chan [4] and Agarwal et al. [6] — DESIGN.md section 4).
+
+The tree stores, at every node, its axis-aligned bounding box, the
+subtree's elements ordered by descending weight, and the subtree's
+maximum weight — supporting all three query flavours:
+
+* prioritized: prune by ``region x box`` relations and by subtree max
+  weight; fully-contained subtrees stream their weight-descending list
+  down to ``tau``, so the output term is exact.
+* max: branch-and-bound on subtree max weight.
+* top-k (native): best-first search — used as an independent
+  comparison point in bench E9.
+
+Regions are :class:`~repro.geometry.primitives.Halfplane` (any ``d``),
+:class:`~repro.geometry.primitives.Ball`, or :class:`Box` (orthogonal
+range reporting, the survey's flagship problem); the node-box
+classification logic lives in :func:`classify_halfspace` /
+:func:`classify_ball` / :func:`classify_box`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.geometry.primitives import Ball, Halfplane, Point
+
+DISJOINT, PARTIAL, CONTAINED = 0, 1, 2
+
+Region = Union[Halfplane, Ball, "Box"]
+
+
+@dataclass(frozen=True)
+class HalfspacePredicate(Predicate):
+    """Matches every point inside the halfspace (any dimension)."""
+
+    halfspace: Halfplane
+
+    def matches(self, obj: Point) -> bool:
+        return self.halfspace.contains(obj)
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-parallel box ``[lo_1, hi_1] x ... x [lo_d, hi_d]``.
+
+    The query region of *orthogonal range reporting* — whose top-k
+    variant is the problem the paper's survey calls the most
+    extensively studied ([28, 29] for 2D, [3, 11, 33, 35] for 1D).
+    """
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("box corner dimensions differ")
+        if any(a > b for a, b in zip(self.lo, self.hi)):
+            raise ValueError(f"empty box: {self.lo} .. {self.hi}")
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return all(
+            lo <= c <= hi for lo, c, hi in zip(self.lo, point, self.hi)
+        )
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+
+@dataclass(frozen=True)
+class OrthogonalRangePredicate(Predicate):
+    """Matches every point inside the axis-parallel query box."""
+
+    box: Box
+
+    @property
+    def region(self) -> Box:
+        return self.box
+
+    def matches(self, obj: Point) -> bool:
+        return self.box.contains(obj)
+
+
+def classify_halfspace(halfspace: Halfplane, lo: Point, hi: Point) -> int:
+    """Relation of the box ``[lo, hi]`` to the halfspace.
+
+    Evaluated at the box corners extreme along the normal: if even the
+    best corner misses, the box is disjoint; if even the worst corner
+    is inside, the box is contained.
+    """
+    best = 0.0
+    worst = 0.0
+    for axis, coeff in enumerate(halfspace.normal):
+        if coeff >= 0:
+            best += coeff * hi[axis]
+            worst += coeff * lo[axis]
+        else:
+            best += coeff * lo[axis]
+            worst += coeff * hi[axis]
+    if best < halfspace.c:
+        return DISJOINT
+    if worst >= halfspace.c:
+        return CONTAINED
+    return PARTIAL
+
+
+def classify_ball(ball: Ball, lo: Point, hi: Point) -> int:
+    """Relation of the box ``[lo, hi]`` to the closed ball."""
+    near = 0.0
+    far = 0.0
+    for axis, center in enumerate(ball.center):
+        clamped = min(max(center, lo[axis]), hi[axis])
+        near += (center - clamped) ** 2
+        far += max(center - lo[axis], hi[axis] - center) ** 2
+    r2 = ball.radius**2
+    if near > r2:
+        return DISJOINT
+    if far <= r2:
+        return CONTAINED
+    return PARTIAL
+
+
+def classify_box(box: "Box", lo: Point, hi: Point) -> int:
+    """Relation of the node box ``[lo, hi]`` to the query box."""
+    contained = True
+    for axis in range(len(lo)):
+        if hi[axis] < box.lo[axis] or lo[axis] > box.hi[axis]:
+            return DISJOINT
+        if lo[axis] < box.lo[axis] or hi[axis] > box.hi[axis]:
+            contained = False
+    return CONTAINED if contained else PARTIAL
+
+
+def classify(region: Region, lo: Point, hi: Point) -> int:
+    """Dispatch on the region type."""
+    if isinstance(region, Halfplane):
+        return classify_halfspace(region, lo, hi)
+    if isinstance(region, Ball):
+        return classify_ball(region, lo, hi)
+    if isinstance(region, Box):
+        return classify_box(region, lo, hi)
+    raise TypeError(f"unsupported region type: {type(region).__name__}")
+
+
+class _KDNode:
+    __slots__ = ("lo", "hi", "elements_desc", "left", "right", "max_weight")
+
+    def __init__(self) -> None:
+        self.lo: Point = ()
+        self.hi: Point = ()
+        self.elements_desc: List[Element] = []  # subtree, weight-descending
+        self.left: Optional["_KDNode"] = None
+        self.right: Optional["_KDNode"] = None
+        self.max_weight: float = -math.inf
+
+
+class KDTreeIndex(PrioritizedIndex):
+    """A weight-augmented kd-tree answering all three query flavours.
+
+    ``leaf_size`` controls the recursion cutoff; per-node
+    weight-descending element lists make space ``O(n log n)`` words.
+    The region to query comes from the predicate's ``region`` attribute
+    (:class:`HalfspacePredicate` or circular predicates).
+    """
+
+    def __init__(self, elements: Sequence[Element], leaf_size: int = 8) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        self._dim = len(elements[0].obj) if elements else 2
+        self._leaf_size = max(1, leaf_size)
+        self._root = self._build(list(elements), 0)
+
+    def _build(self, elements: List[Element], depth: int) -> Optional[_KDNode]:
+        if not elements:
+            return None
+        node = _KDNode()
+        node.lo = tuple(min(e.obj[a] for e in elements) for a in range(self._dim))
+        node.hi = tuple(max(e.obj[a] for e in elements) for a in range(self._dim))
+        node.elements_desc = sorted(elements, key=lambda e: -e.weight)
+        node.max_weight = node.elements_desc[0].weight
+        if len(elements) > self._leaf_size:
+            axis = depth % self._dim
+            elements.sort(key=lambda e: e.obj[axis])
+            mid = len(elements) // 2
+            node.left = self._build(elements[:mid], depth + 1)
+            node.right = self._build(elements[mid:], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_pri ~ n^{1 - 1/d}`` — the polynomial regime of Theorem 3."""
+        if self._n <= 1:
+            return 1.0
+        return float(self._n) ** (1.0 - 1.0 / self._dim)
+
+    def _region_of(self, predicate: Predicate) -> Region:
+        region = getattr(predicate, "region", None)
+        if region is None and isinstance(predicate, HalfspacePredicate):
+            region = predicate.halfspace
+        if region is None:
+            raise TypeError(
+                f"predicate {type(predicate).__name__} carries no kd-tree region"
+            )
+        return region
+
+    def query(
+        self, predicate: Predicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        """Prioritized reporting: region members with weight >= tau."""
+        region = self._region_of(predicate)
+        out: List[Element] = []
+        truncated = self._collect(self._root, region, tau, limit, out)
+        return PrioritizedResult(out, truncated=truncated)
+
+    def _collect(
+        self,
+        node: Optional[_KDNode],
+        region: Region,
+        tau: float,
+        limit: Optional[int],
+        out: List[Element],
+    ) -> bool:
+        if node is None or node.max_weight < tau:
+            return False
+        self.ops.node_visits += 1
+        relation = classify(region, node.lo, node.hi)
+        if relation == DISJOINT:
+            return False
+        if relation == CONTAINED:
+            for element in node.elements_desc:
+                if element.weight < tau:
+                    break
+                out.append(element)
+                self.ops.scanned += 1
+                if limit is not None and len(out) > limit:
+                    return True
+            return False
+        if node.left is None and node.right is None:
+            for element in node.elements_desc:
+                if element.weight < tau:
+                    break
+                self.ops.scanned += 1
+                if region.contains(element.obj):
+                    out.append(element)
+                    if limit is not None and len(out) > limit:
+                        return True
+            return False
+        if self._collect(node.left, region, tau, limit, out):
+            return True
+        return self._collect(node.right, region, tau, limit, out)
+
+    # ------------------------------------------------------------------
+    def max_query(self, predicate: Predicate) -> Optional[Element]:
+        """Max reporting by branch-and-bound on subtree max weights."""
+        region = self._region_of(predicate)
+        return self._max(self._root, region, None)
+
+    def _max(
+        self, node: Optional[_KDNode], region: Region, best: Optional[Element]
+    ) -> Optional[Element]:
+        if node is None:
+            return best
+        if best is not None and node.max_weight <= best.weight:
+            return best
+        self.ops.node_visits += 1
+        relation = classify(region, node.lo, node.hi)
+        if relation == DISJOINT:
+            return best
+        if relation == CONTAINED:
+            candidate = node.elements_desc[0]
+            if best is None or candidate.weight > best.weight:
+                return candidate
+            return best
+        if node.left is None and node.right is None:
+            for element in node.elements_desc:
+                if best is not None and element.weight <= best.weight:
+                    break
+                if region.contains(element.obj):
+                    best = element
+                    break
+            return best
+        # Prefer the child with the larger potential first.
+        children = [child for child in (node.left, node.right) if child is not None]
+        children.sort(key=lambda child: -child.max_weight)
+        for child in children:
+            best = self._max(child, region, best)
+        return best
+
+    def top_k(self, predicate: Predicate, k: int) -> List[Element]:
+        """Native top-k by best-first search (comparison point, bench E9)."""
+        region = self._region_of(predicate)
+        if self._root is None or k <= 0:
+            return []
+        out: List[Element] = []
+        heap: List[Tuple[float, int, str, object]] = []
+        counter = itertools.count()
+        heap.append((-self._root.max_weight, next(counter), "node", self._root))
+        while heap and len(out) < k:
+            _, _, kind, item = heapq.heappop(heap)
+            if kind == "element":
+                out.append(item)
+                continue
+            node: _KDNode = item
+            self.ops.node_visits += 1
+            relation = classify(region, node.lo, node.hi)
+            if relation == DISJOINT:
+                continue
+            if relation == CONTAINED:
+                for element in node.elements_desc[:k]:
+                    heapq.heappush(heap, (-element.weight, next(counter), "element", element))
+                continue
+            if node.left is None and node.right is None:
+                for element in node.elements_desc:
+                    if region.contains(element.obj):
+                        heapq.heappush(
+                            heap, (-element.weight, next(counter), "element", element)
+                        )
+                continue
+            for child in (node.left, node.right):
+                if child is not None:
+                    heapq.heappush(heap, (-child.max_weight, next(counter), "node", child))
+        return out
+
+    def space_units(self) -> int:
+        """``O(n log n)`` words: per-node subtree lists."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            total += len(node.elements_desc)
+            stack.extend((node.left, node.right))
+        return total
+
+
+class KDTreeMax(MaxIndex):
+    """Adapter exposing :meth:`KDTreeIndex.max_query` as a MaxIndex."""
+
+    def __init__(self, elements: Sequence[Element], leaf_size: int = 8) -> None:
+        self._tree = KDTreeIndex(elements, leaf_size)
+        self.ops = self._tree.ops
+
+    @property
+    def n(self) -> int:
+        return self._tree.n
+
+    def query_cost_bound(self) -> float:
+        return max(1.0, math.log2(max(2, self.n)) ** 2)
+
+    def query(self, predicate: Predicate) -> Optional[Element]:
+        return self._tree.max_query(predicate)
+
+    def space_units(self) -> int:
+        return self._tree.space_units()

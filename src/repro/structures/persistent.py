@@ -1,0 +1,197 @@
+"""A fully persistent balanced search tree (path-copying treap).
+
+Sarnak and Tarjan's planar point location [31] — the structure the
+paper plugs into its Section 5.4 max reporting — rests on a *partially
+persistent* balanced BST: the plane-sweep updates the tree at every
+slab boundary, and a query searches the version that was current at
+its slab.  Path copying gives full persistence at ``O(log n)`` extra
+space per update, which is all the sweep needs.
+
+The tree is a treap with deterministic per-key priorities (so rebuilds
+are reproducible), ordered by a caller-supplied comparator — the
+segment ordering of :mod:`repro.structures.point_location` compares
+two non-crossing segments at an interior point of their common
+x-range, which is globally consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+Comparator = Callable[[Any, Any], int]
+
+
+class _Node:
+    """An immutable treap node (never mutated after construction)."""
+
+    __slots__ = ("item", "priority", "left", "right", "size")
+
+    def __init__(self, item, priority, left, right) -> None:
+        self.item = item
+        self.priority = priority
+        self.left = left
+        self.right = right
+        self.size = 1 + _size(left) + _size(right)
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _priority_of(item: Any) -> int:
+    # Deterministic pseudo-random priority (reproducible across runs):
+    # a multiplicative scramble of the item's repr hash.
+    return (hash(repr(item)) * 2654435761) & 0xFFFFFFFF
+
+
+class PersistentTreap:
+    """One *version* of the treap; every update returns a new version.
+
+    Versions share structure: an update copies only the search path.
+    The empty version is ``PersistentTreap(comparator)``.
+    """
+
+    __slots__ = ("_cmp", "_root")
+
+    def __init__(self, comparator: Comparator, _root: Optional[_Node] = None) -> None:
+        self._cmp = comparator
+        self._root = _root
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def insert(self, item: Any) -> "PersistentTreap":
+        """A new version containing ``item`` (duplicates rejected)."""
+        root = self._insert(self._root, item, _priority_of(item))
+        return PersistentTreap(self._cmp, root)
+
+    def delete(self, item: Any) -> "PersistentTreap":
+        """A new version without ``item``; raises ``KeyError`` if absent."""
+        found, root = self._delete(self._root, item)
+        if not found:
+            raise KeyError(f"item not in treap: {item!r}")
+        return PersistentTreap(self._cmp, root)
+
+    def items(self) -> Iterator[Any]:
+        """In-order iteration (ascending by the comparator)."""
+        stack: List[Tuple[Optional[_Node], bool]] = [(self._root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node is None:
+                continue
+            if expanded:
+                yield node.item
+            else:
+                stack.append((node.right, False))
+                stack.append((node, True))
+                stack.append((node.left, False))
+
+    def iter_from(self, goes_right: Callable[[Any], bool]) -> Iterator[Any]:
+        """In-order iteration starting at the first item failing ``goes_right``.
+
+        ``goes_right`` must be (weakly) monotone along the order — True
+        on a prefix.  Yields the suffix of items in ascending order;
+        consuming ``t`` items costs ``O(log n + t)``.
+        """
+        stack: List[_Node] = []
+        node = self._root
+        while node is not None:
+            if goes_right(node.item):
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            yield node.item
+            child = node.right
+            while child is not None:
+                stack.append(child)
+                child = child.left
+
+    def first_satisfying(self, goes_right: Callable[[Any], bool]) -> Optional[Any]:
+        """The smallest item for which ``goes_right(item)`` is False.
+
+        ``goes_right`` must be monotone along the order: True for a
+        prefix of items, False for the suffix; the first False item is
+        returned (``None`` when every item is True).  This is the
+        "lowest segment above the query point" search of the
+        point-location sweep.
+        """
+        node = self._root
+        answer = None
+        while node is not None:
+            if goes_right(node.item):
+                node = node.right
+            else:
+                answer = node.item
+                node = node.left
+        return answer
+
+    # ------------------------------------------------------------------
+    # Internals (all path-copying)
+    # ------------------------------------------------------------------
+    def _insert(self, node: Optional[_Node], item, priority) -> _Node:
+        if node is None:
+            return _Node(item, priority, None, None)
+        order = self._cmp(item, node.item)
+        if order == 0:
+            raise KeyError(f"duplicate item: {item!r}")
+        if order < 0:
+            left = self._insert(node.left, item, priority)
+            candidate = _Node(node.item, node.priority, left, node.right)
+            if left.priority > candidate.priority:
+                return _rotate_right(candidate)
+            return candidate
+        right = self._insert(node.right, item, priority)
+        candidate = _Node(node.item, node.priority, node.left, right)
+        if right.priority > candidate.priority:
+            return _rotate_left(candidate)
+        return candidate
+
+    def _delete(self, node: Optional[_Node], item) -> Tuple[bool, Optional[_Node]]:
+        if node is None:
+            return False, None
+        order = self._cmp(item, node.item)
+        if order < 0:
+            found, left = self._delete(node.left, item)
+            if not found:
+                return False, node
+            return True, _Node(node.item, node.priority, left, node.right)
+        if order > 0:
+            found, right = self._delete(node.right, item)
+            if not found:
+                return False, node
+            return True, _Node(node.item, node.priority, node.left, right)
+        return True, _merge(node.left, node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    left = node.left
+    return _Node(
+        left.item,
+        left.priority,
+        left.left,
+        _Node(node.item, node.priority, left.right, node.right),
+    )
+
+
+def _rotate_left(node: _Node) -> _Node:
+    right = node.right
+    return _Node(
+        right.item,
+        right.priority,
+        _Node(node.item, node.priority, node.left, right.left),
+        right.right,
+    )
+
+
+def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        return _Node(left.item, left.priority, left.left, _merge(left.right, right))
+    return _Node(right.item, right.priority, _merge(left, right.left), right.right)

@@ -1,0 +1,265 @@
+"""2D point enclosure structures (the substrate of Theorem 5).
+
+Problem: ``D`` is a set of weighted axis-parallel rectangles; a
+predicate is a point ``q = (x, y)``, matched by every rectangle
+containing it ("2D stabbing").  The paper's dating-site example: each
+rectangle is a member's acceptable (age, height) box, the weight their
+salary, the query a candidate's own (age, height).
+
+Structures:
+
+* :class:`RectanglePrioritized` — segment tree on the rectangles'
+  x-projections; each canonical node stores its rectangles in a nested
+  1D prioritized stabbing structure over the y-projections.  Query:
+  walk the x-path (``O(log n)`` nodes), run a y-stabbing prioritized
+  query at each — ``O(log^2 n + t)``.  Substitutes for Rahul's
+  ``O(n log* n)``-space structure [27]; space here is ``O(n log^2 n)``.
+* :class:`RectangleStabbingMax` — exactly the paper's Section 5.2
+  construction: segment tree on x-projections with a static 1D stabbing
+  max per node — ``O(log^2 n)`` plain, ``O(log n)`` with fractional
+  cascading (:class:`CascadedRectangleStabbingMax`), as the paper
+  prescribes via [14].
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.geometry.cascading import CascadeNode, FractionalCascading
+from repro.geometry.primitives import Interval, Point, Rect
+from repro.structures.interval_stabbing import (
+    SegmentTreeIntervalPrioritized,
+    StabbingPredicate,
+    StaticIntervalStabbingMax,
+    _SegmentTree,
+)
+
+
+@dataclass(frozen=True)
+class EnclosurePredicate(Predicate):
+    """Matches every rectangle containing the query point."""
+
+    point: Point
+
+    def matches(self, obj: Rect) -> bool:
+        return obj.contains(self.point)
+
+
+def _x_interval(element: Element) -> Interval:
+    return element.obj.x_interval
+
+
+def _y_interval(element: Element) -> Interval:
+    return element.obj.y_interval
+
+
+class RectanglePrioritized(PrioritizedIndex):
+    """Prioritized point enclosure: ``O(log^2 n + t)``, static.
+
+    The x-segment tree's canonical nodes each carry a
+    :class:`SegmentTreeIntervalPrioritized` over the y-projections of
+    the rectangles assigned there, so both coordinates are resolved
+    with exact output sensitivity.
+    """
+
+    def __init__(self, elements: Sequence[Element], ctx=None) -> None:
+        self.ops = OpCounter()
+        self.ctx = ctx
+        self._n = len(elements)
+        self._xtree = _SegmentTree(
+            [c for e in elements for c in (e.obj.x1, e.obj.x2)], _x_interval
+        )
+        for element in elements:
+            self._xtree.insert(element)
+        # Replace each canonical list with a nested y-structure; in EM
+        # mode (ctx given) the nested structures share the context, so
+        # their list scans and node visits are I/O-counted.
+        self._ynodes: Dict[Tuple[int, int], SegmentTreeIntervalPrioritized] = {
+            key: SegmentTreeIntervalPrioritized(lst, ctx=ctx, interval_of=_y_interval)
+            for key, lst in self._xtree.lists.items()
+        }
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_pri = O(log^2 n)`` — x-path times nested y-paths."""
+        log_n = max(1.0, math.log2(max(2, self._n)))
+        return log_n * log_n
+
+    def query(
+        self, predicate: EnclosurePredicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        x, y = predicate.point[0], predicate.point[1]
+        y_predicate = StabbingPredicate(y)
+        out: List[Element] = []
+        for key, is_leaf in self._xtree.path_nodes(x):
+            self.ops.node_visits += 1
+            ystruct = self._ynodes.get(key)
+            if ystruct is None:
+                continue
+            remaining = None if limit is None else limit + 1 - len(out)
+            sub = ystruct.query(y_predicate, tau, limit=remaining)
+            for element in sub.elements:
+                # Leaf assignments may cover the x-slab partially.
+                if is_leaf and not element.obj.x_interval.contains(x):
+                    continue
+                out.append(element)
+                if limit is not None and len(out) > limit:
+                    return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def space_units(self) -> int:
+        """Nested list entries (``O(n log^2 n)`` words)."""
+        return sum(ystruct.space_units() for ystruct in self._ynodes.values())
+
+
+class RectangleStabbingMax(MaxIndex):
+    """The paper's 2D stabbing max (Section 5.2), without cascading.
+
+    Segment tree on x-projections; per node the folklore static 1D
+    stabbing max on the y-projections.  Query: ``O(log n)`` path nodes
+    x ``O(log n)`` predecessor searches = ``O(log^2 n)``.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        self._xtree = _SegmentTree(
+            [c for e in elements for c in (e.obj.x1, e.obj.x2)], _x_interval
+        )
+        for element in elements:
+            self._xtree.insert(element)
+        self._ymax: Dict[Tuple[int, int], StaticIntervalStabbingMax] = {
+            key: StaticIntervalStabbingMax(lst, interval_of=_y_interval)
+            for key, lst in self._xtree.lists.items()
+        }
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        log_n = max(1.0, math.log2(max(2, self._n)))
+        return log_n * log_n
+
+    def query(self, predicate: EnclosurePredicate) -> Optional[Element]:
+        x, y = predicate.point[0], predicate.point[1]
+        y_predicate = StabbingPredicate(y)
+        best: Optional[Element] = None
+        for key, is_leaf in self._xtree.path_nodes(x):
+            self.ops.node_visits += 1
+            ystruct = self._ymax.get(key)
+            if ystruct is None:
+                continue
+            candidate = ystruct.query(y_predicate)
+            if candidate is None:
+                continue
+            if is_leaf and not candidate.obj.x_interval.contains(x):
+                # Partial leaf assignment: fall back to scanning the
+                # leaf's own (small) list exactly.
+                candidate = self._leaf_exact_max(key, predicate)
+                if candidate is None:
+                    continue
+            if best is None or candidate.weight > best.weight:
+                best = candidate
+        return best
+
+    def _leaf_exact_max(
+        self, key: Tuple[int, int], predicate: EnclosurePredicate
+    ) -> Optional[Element]:
+        best: Optional[Element] = None
+        for element in self._xtree.lists.get(key, []):
+            if element.obj.contains(predicate.point):
+                if best is None or element.weight > best.weight:
+                    best = element
+        return best
+
+    def space_units(self) -> int:
+        return sum(ystruct.space_units() for ystruct in self._ymax.values())
+
+
+class CascadedRectangleStabbingMax(MaxIndex):
+    """2D stabbing max in ``O(log n)`` via fractional cascading.
+
+    The paper (Section 5.2): "each 1D query performs nothing but
+    predecessor search on a sorted list", so cascading the per-node
+    endpoint grids along the x-path removes the inner ``log``.  This
+    class builds an *explicit* x-segment tree whose nodes carry (a) the
+    node's 1D stabbing-max champion table and (b) the cascade keys (the
+    y endpoint grid); one :class:`FractionalCascading` preprocessing
+    pass links them.
+
+    Static and grid-aligned (no partial leaf assignments), matching the
+    paper's static setting.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._n = len(elements)
+        self._xcoords: List[float] = sorted({c for e in elements for c in (e.obj.x1, e.obj.x2)})
+        num_leaves = 2 * len(self._xcoords) + 1
+        # Canonical assignment reuses the implicit segment tree, then an
+        # explicit cascade-ready mirror is built over the same ranges.
+        helper = _SegmentTree(self._xcoords, _x_interval)
+        for element in elements:
+            helper.insert(element)
+        self._helper = helper
+        self._root = self._build_cascade_node(0, num_leaves - 1)
+        self._fc = FractionalCascading(self._root)
+
+    def _build_cascade_node(self, lo: int, hi: int) -> CascadeNode:
+        elements = self._helper.lists.get((lo, hi), [])
+        table = StaticIntervalStabbingMax(elements, interval_of=_y_interval)
+        node = CascadeNode(keys=list(table.endpoint_grid), payloads=[table])
+        node.range = (lo, hi)  # type: ignore[attr-defined]
+        if lo != hi:
+            mid = (lo + hi) // 2
+            node.left = self._build_cascade_node(lo, mid)
+            node.right = self._build_cascade_node(mid + 1, hi)
+        return node
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """``Q_max = O(log n)`` — one search plus O(1) per path node."""
+        return max(1.0, math.log2(max(2, self._n)))
+
+    def query(self, predicate: EnclosurePredicate) -> Optional[Element]:
+        x, y = predicate.point[0], predicate.point[1]
+        leaf = self._leaf_of(x)
+        # Model cost of the single binary search at the cascade root;
+        # each subsequent path node costs O(1) (counted as node_visits).
+        root_keys = len(self._fc.root.aug_keys)
+        self.ops.scanned += max(1, math.ceil(math.log2(root_keys + 2)))
+
+        def chooser(node: CascadeNode) -> Optional[str]:
+            lo, hi = node.range  # type: ignore[attr-defined]
+            if lo == hi:
+                return None
+            mid = (lo + hi) // 2
+            return "left" if leaf <= mid else "right"
+
+        best: Optional[Element] = None
+        for node, pred in self._fc.descend(y, chooser):
+            self.ops.node_visits += 1
+            table: StaticIntervalStabbingMax = node.payloads[0]
+            candidate = table.champion_for_predecessor(pred, y)
+            if candidate is not None and (best is None or candidate.weight > best.weight):
+                best = candidate
+        return best
+
+    def _leaf_of(self, x: float) -> int:
+        i = bisect.bisect_left(self._xcoords, x)
+        if i < len(self._xcoords) and self._xcoords[i] == x:
+            return 2 * i + 1
+        return 2 * i
+

@@ -1,0 +1,193 @@
+"""Planar point location by persistence (Sarnak–Tarjan [31]).
+
+The query the paper's Section 5.4 max structure needs is *vertical ray
+shooting*: among a set of interior-disjoint x-monotone segments, find
+the first segment straight above a query point.  The classic solution
+sweeps a vertical line left to right, maintaining the segments that
+cross it ordered bottom-to-top in a **persistent** balanced BST
+(:mod:`repro.structures.persistent`); each slab between consecutive
+endpoints gets a version, and a query binary-searches its slab then
+searches that version — ``O(log n)`` time, ``O(n log n)`` space from
+path copying (Sarnak–Tarjan shave the log with limited-node-copying;
+the query bound is identical).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import OpCounter
+from repro.structures.persistent import PersistentTreap
+
+
+@dataclass(frozen=True)
+class PLSegment:
+    """An x-monotone (here: straight) segment with a payload.
+
+    Segments handed to :class:`SlabPointLocation` must be interior
+    disjoint: they may share endpoints but never properly cross, so
+    comparing two overlapping segments at an interior point of their
+    common x-range yields a consistent vertical order.
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    payload: Any = field(default=None, compare=False)
+    # Optional exact evaluator (an object with ``.at(x)``, e.g. the
+    # supporting Line2D).  Endpoint interpolation loses precision when a
+    # conceptually unbounded segment was clipped at huge abscissae; the
+    # support evaluates heights exactly.
+    support: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.x1 >= self.x2:
+            raise ValueError(f"segment must have x1 < x2: {self.x1} >= {self.x2}")
+
+    def y_at(self, x: float) -> float:
+        """Height of the segment at abscissa ``x`` (clamped inside)."""
+        x = min(max(x, self.x1), self.x2)
+        if self.support is not None:
+            return self.support.at(x)
+        t = (x - self.x1) / (self.x2 - self.x1)
+        return self.y1 + t * (self.y2 - self.y1)
+
+    @property
+    def slope(self) -> float:
+        return (self.y2 - self.y1) / (self.x2 - self.x1)
+
+
+def _vertical_order(a: PLSegment, b: PLSegment) -> int:
+    """Bottom-to-top order of two non-crossing overlapping segments.
+
+    Compared at the midpoint of the common x-range; ties (segments
+    touching along their shared endpoint) break by slope and then by
+    coordinates so the order is a strict total order.
+    """
+    if a is b or a == b:
+        return 0
+    lo = max(a.x1, b.x1)
+    hi = min(a.x2, b.x2)
+    x = (lo + hi) / 2.0
+    ya, yb = a.y_at(x), b.y_at(x)
+    if ya < yb:
+        return -1
+    if ya > yb:
+        return 1
+    if a.slope != b.slope:
+        return -1 if a.slope < b.slope else 1
+    key_a = (a.x1, a.y1, a.x2, a.y2)
+    key_b = (b.x1, b.y1, b.x2, b.y2)
+    return -1 if key_a < key_b else 1
+
+
+class SlabPointLocation:
+    """Vertical ray shooting over interior-disjoint segments.
+
+    ``shoot_up(x, y)`` returns the lowest segment whose height at ``x``
+    is ``>= y`` among segments whose x-range contains ``x`` (``None``
+    when the ray escapes).  Preprocessing sweeps the endpoints once,
+    taking a persistent-tree version per slab.
+    """
+
+    def __init__(self, segments: Sequence[PLSegment]) -> None:
+        self.ops = OpCounter()
+        self._n = len(segments)
+        events: List[Tuple[float, int, PLSegment]] = []
+        for segment in segments:
+            events.append((segment.x1, 1, segment))  # open
+            events.append((segment.x2, 0, segment))  # close (before opens at same x)
+        events.sort(key=lambda ev: (ev[0], ev[1]))
+        self._slab_starts: List[float] = []
+        self._versions: List[PersistentTreap] = []
+        tree = PersistentTreap(_vertical_order)
+        index = 0
+        while index < len(events):
+            x = events[index][0]
+            while index < len(events) and events[index][0] == x:
+                _, kind, segment = events[index]
+                if kind == 0:
+                    tree = tree.delete(segment)
+                else:
+                    tree = tree.insert(segment)
+                index += 1
+            self._slab_starts.append(x)
+            self._versions.append(tree)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def shoot_up(self, x: float, y: float) -> Optional[PLSegment]:
+        """The first segment hit by the upward ray from ``(x, y)``."""
+        slab = bisect.bisect_right(self._slab_starts, x) - 1
+        self.ops.node_visits += max(1, len(self._slab_starts)).bit_length()  # the bisect
+        if slab < 0:
+            return None
+        version = self._versions[slab]
+
+        def goes_right(segment: PLSegment) -> bool:
+            self.ops.scanned += 1  # one tree comparison
+            return segment.y_at(x) < y
+
+        return version.first_satisfying(goes_right)
+
+    def shoot_up_candidates(self, x: float, y: float) -> List[PLSegment]:
+        """All segments achieving the *minimal* height ``>= y`` at ``x``.
+
+        Handles the degenerate cases exactly:
+
+        * ``x`` on a slab boundary — segments ending there live in the
+          previous version, segments starting there in the current one;
+          both still contain ``x`` (segments are closed), so both
+          versions are consulted;
+        * several segments through one subdivision vertex — all
+          equal-minimal-height segments are returned so the caller can
+          apply its own tie rule (the envelope-onion consumer picks the
+          heaviest, which is the correct region at a vertex).
+        """
+        slab = bisect.bisect_right(self._slab_starts, x) - 1
+        self.ops.node_visits += max(1, len(self._slab_starts)).bit_length()
+        versions: List[PersistentTreap] = []
+        if slab >= 0:
+            versions.append(self._versions[slab])
+        if slab >= 1 and self._slab_starts[slab] == x:
+            versions.append(self._versions[slab - 1])
+        best_height: Optional[float] = None
+        candidates: List[PLSegment] = []
+        seen = set()
+        for version in versions:
+
+            def goes_right(segment: PLSegment) -> bool:
+                self.ops.scanned += 1
+                return segment.y_at(x) < y
+
+            for segment in version.iter_from(goes_right):
+                height = segment.y_at(x)
+                if best_height is not None and height > best_height:
+                    break
+                if best_height is None or height < best_height:
+                    best_height = height
+                    candidates = []
+                    seen = set()
+                key = (segment.x1, segment.y1, segment.x2, segment.y2)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(segment)
+        return candidates
+
+    def segments_crossing(self, x: float) -> List[PLSegment]:
+        """All segments whose slab at ``x`` contains them (diagnostics)."""
+        slab = bisect.bisect_right(self._slab_starts, x) - 1
+        if slab < 0:
+            return []
+        return list(self._versions[slab].items())
+
+    def space_units(self) -> int:
+        """Versions x path-copied nodes: ``O(n log n)`` words."""
+        import math
+
+        return max(1, self._n) * max(1, int(math.log2(max(2, self._n)))) * 2

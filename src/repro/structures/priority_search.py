@@ -1,0 +1,125 @@
+"""A static priority search tree (PST) for 3-sided / 2-sided queries.
+
+McCreight's classic structure: a balanced tree over keys in which every
+node additionally stores the highest-priority element of its key range
+not claimed by an ancestor.  A prefix-priority query
+(``key <= x`` and ``priority >= tau``) reports its ``t`` results in
+``O(log n + t)`` time: the recursion only enters a subtree whose stored
+priority is at least ``tau``, so each visit either reports or lies on
+one of the two boundary paths.
+
+Used as the innermost level of the 3D-dominance prioritized range tree
+(:mod:`repro.structures.dominance`) where the two sides are
+``z <= q_z`` and ``weight >= tau``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.interfaces import OpCounter
+from repro.core.problem import Element
+
+
+class _PSTNode:
+    __slots__ = ("champion", "split", "left", "right")
+
+    def __init__(self) -> None:
+        self.champion: Optional[Element] = None  # heaviest not claimed above
+        self.split: float = 0.0  # keys <= split go left
+        self.left: Optional["_PSTNode"] = None
+        self.right: Optional["_PSTNode"] = None
+
+
+class PrioritySearchTree:
+    """Static PST over elements with a caller-supplied key accessor.
+
+    Priorities are the elements' weights.  ``key_of`` extracts the
+    1D search key (e.g. the z-coordinate for 3D dominance).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        key_of: Callable[[Element], float],
+    ) -> None:
+        self.key_of = key_of
+        self.ops = OpCounter()
+        self._n = len(elements)
+        ordered = sorted(elements, key=key_of)
+        self.root = self._build(ordered)
+
+    def _build(self, ordered: List[Element]) -> Optional[_PSTNode]:
+        if not ordered:
+            return None
+        node = _PSTNode()
+        # Claim the heaviest element for this node...
+        top_index = max(range(len(ordered)), key=lambda i: ordered[i].weight)
+        node.champion = ordered[top_index]
+        rest = ordered[:top_index] + ordered[top_index + 1 :]
+        if rest:
+            mid = (len(rest) - 1) // 2
+            node.split = self.key_of(rest[mid])
+            node.left = self._build(rest[: mid + 1])
+            node.right = self._build(rest[mid + 1 :])
+        return node
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_prefix(self, x: float, tau: float) -> List[Element]:
+        """All elements with ``key <= x`` and ``weight >= tau``.
+
+        ``O(log n + t)``: subtrees are entered only when their champion
+        already met the threshold.
+        """
+        out: List[Element] = []
+        self._collect(self.root, x, tau, out)
+        return out
+
+    def _collect(
+        self, node: Optional[_PSTNode], x: float, tau: float, out: List[Element]
+    ) -> None:
+        if node is None or node.champion is None:
+            return
+        self.ops.node_visits += 1
+        if node.champion.weight < tau:
+            # Heap order: nothing below can reach tau either.
+            return
+        if self.key_of(node.champion) <= x:
+            out.append(node.champion)
+        # Left subtree keys are all <= split; right subtree keys > split.
+        self._collect(node.left, x, tau, out)
+        if node.split <= x:
+            self._collect(node.right, x, tau, out)
+        # When split > x the right subtree holds only keys > x... but the
+        # left recursion above must still run: its keys may or may not
+        # qualify on weight, which the champion check prunes.
+
+    def max_in_prefix(self, x: float) -> Optional[Element]:
+        """The heaviest element with ``key <= x``.
+
+        Branch-and-bound over the heap order: a subtree is skipped as
+        soon as its champion cannot beat the current best, so the visit
+        count is near-logarithmic in practice (the reductions only use
+        this as a ``Q_max`` black box; its measured cost is what the
+        benches report).
+        """
+        best: Optional[Element] = None
+        node = self.root
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current is None or current.champion is None:
+                continue
+            if best is not None and current.champion.weight <= best.weight:
+                continue  # heap order: subtree cannot improve
+            self.ops.node_visits += 1
+            if self.key_of(current.champion) <= x:
+                best = current.champion
+                continue  # champion is subtree max; found it for this branch
+            stack.append(current.left)
+            if current.split <= x:
+                stack.append(current.right)
+        return best

@@ -1,0 +1,203 @@
+"""1D range reporting structures (top-k range reporting's substrate).
+
+Section 2 calls top-k *range* reporting "the most extensively studied
+(and hence, the best understood)" top-k problem [3, 11, 12, 33, 35].
+Here ``D`` is a set of weighted points on the real line and a predicate
+is a closed range ``[lo, hi]``.
+
+Structures:
+
+* :class:`RangeTree1DPrioritized` — a balanced tree over coordinates
+  whose canonical nodes store weight-descending lists:
+  ``O(log n + t)`` prioritized queries.
+* :class:`RangeTree1DMax` — the same skeleton with per-node maxima:
+  ``O(log n)`` max queries.
+* :class:`RangeTree1DCounter` — per-node subtree sizes: exact counting
+  in ``O(log n)`` (the ingredient of the Section 2 counting reduction).
+
+All three share one canonical decomposition: a query range splits into
+``O(log n)`` disjoint subtrees found by walking the two boundary paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import (
+    CountingIndex,
+    MaxIndex,
+    OpCounter,
+    PrioritizedIndex,
+    PrioritizedResult,
+)
+from repro.core.problem import Element, Predicate
+
+
+@dataclass(frozen=True)
+class RangePredicate1D(Predicate):
+    """Matches every point in the closed range ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def matches(self, obj: float) -> bool:
+        return self.lo <= obj <= self.hi
+
+
+class _Canon:
+    """The canonical decomposition shared by the three structures.
+
+    Elements are kept coordinate-sorted in one array; a node is an index
+    range ``[a, b)`` laid out implicitly (midpoint splits), so canonical
+    "subtrees" are just sorted-array slices and the decomposition is a
+    pair of ``bisect`` calls plus the standard two-path walk.
+    """
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.sorted_elements: List[Element] = sorted(elements, key=lambda e: e.obj)
+        self.coords: List[float] = [e.obj for e in self.sorted_elements]
+
+    def slice_of(self, predicate: RangePredicate1D) -> Tuple[int, int]:
+        """The contiguous index range matching ``[lo, hi]``."""
+        a = bisect.bisect_left(self.coords, predicate.lo)
+        b = bisect.bisect_right(self.coords, predicate.hi)
+        return a, b
+
+    def canonical_ranges(self, a: int, b: int) -> List[Tuple[int, int]]:
+        """Decompose ``[a, b)`` into the tree's ``O(log n)`` node ranges."""
+        out: List[Tuple[int, int]] = []
+        self._decompose(0, len(self.coords), a, b, out)
+        return out
+
+    def _decompose(self, lo: int, hi: int, a: int, b: int, out: List[Tuple[int, int]]) -> None:
+        if lo >= hi or b <= lo or hi <= a:
+            return
+        if a <= lo and hi <= b:
+            out.append((lo, hi))
+            return
+        mid = (lo + hi) // 2
+        self._decompose(lo, mid, a, b, out)
+        self._decompose(mid, hi, a, b, out)
+
+
+class RangeTree1DPrioritized(PrioritizedIndex):
+    """Prioritized 1D range reporting: ``O(log n + t)``."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._canon = _Canon(elements)
+        # Weight-descending list per canonical node, built lazily and
+        # memoised: over a query workload only O(n) distinct nodes exist.
+        self._node_lists: dict = {}
+
+    @property
+    def n(self) -> int:
+        return len(self._canon.sorted_elements)
+
+    def query_cost_bound(self) -> float:
+        return max(1.0, math.log2(max(2, self.n)))
+
+    def _list_for(self, node: Tuple[int, int]) -> List[Element]:
+        cached = self._node_lists.get(node)
+        if cached is None:
+            lo, hi = node
+            cached = sorted(
+                self._canon.sorted_elements[lo:hi], key=lambda e: -e.weight
+            )
+            self._node_lists[node] = cached
+        return cached
+
+    def query(
+        self, predicate: RangePredicate1D, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        a, b = self._canon.slice_of(predicate)
+        out: List[Element] = []
+        for node in self._canon.canonical_ranges(a, b):
+            self.ops.node_visits += 1
+            for element in self._list_for(node):
+                if element.weight < tau:
+                    break
+                self.ops.scanned += 1
+                out.append(element)
+                if limit is not None and len(out) > limit:
+                    return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def space_units(self) -> int:
+        """``O(n log n)`` words once all canonical lists materialise."""
+        log_n = max(1, int(math.log2(max(2, self.n))))
+        return self.n * log_n
+
+
+class RangeTree1DMax(MaxIndex):
+    """1D range max: canonical decomposition + per-node maxima."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._canon = _Canon(elements)
+        # Sparse-table-free approach: per canonical node, remember only
+        # the champion (computed lazily, memoised).
+        self._node_max: dict = {}
+
+    @property
+    def n(self) -> int:
+        return len(self._canon.sorted_elements)
+
+    def query_cost_bound(self) -> float:
+        return max(1.0, math.log2(max(2, self.n)))
+
+    def _max_for(self, node: Tuple[int, int]) -> Optional[Element]:
+        cached = self._node_max.get(node, _UNSET)
+        if cached is _UNSET:
+            lo, hi = node
+            slice_ = self._canon.sorted_elements[lo:hi]
+            cached = max(slice_, key=lambda e: e.weight) if slice_ else None
+            self._node_max[node] = cached
+        return cached
+
+    def query(self, predicate: RangePredicate1D) -> Optional[Element]:
+        a, b = self._canon.slice_of(predicate)
+        best: Optional[Element] = None
+        for node in self._canon.canonical_ranges(a, b):
+            self.ops.node_visits += 1
+            candidate = self._max_for(node)
+            if candidate is not None and (best is None or candidate.weight > best.weight):
+                best = candidate
+        return best
+
+    def space_units(self) -> int:
+        return 2 * self.n
+
+
+class RangeTree1DCounter(CountingIndex):
+    """Exact 1D range counting in ``O(log n)`` (one predecessor pair)."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._canon = _Canon(elements)
+
+    @property
+    def n(self) -> int:
+        return len(self._canon.sorted_elements)
+
+    @property
+    def approximation_factor(self) -> float:
+        return 1.0
+
+    def count(self, predicate: RangePredicate1D) -> int:
+        self.ops.node_visits += max(1, int(math.log2(max(2, self.n))))
+        a, b = self._canon.slice_of(predicate)
+        return max(0, b - a)
+
+    def space_units(self) -> int:
+        return self.n
+
+
+class _Unset:
+    pass
+
+
+_UNSET = _Unset()

@@ -1,0 +1,194 @@
+"""The weight-suffix composition pattern of Sections 5.4 and 5.5.
+
+Both of the paper's halfspace prioritized structures share one shape:
+build a tree over the elements' *weights* — binary in RAM (Section
+5.4), a B-tree with fanout ``(n/B)^{eps/2}`` in EM (Section 5.5) — and
+attach to every node an *unweighted reporting* structure over the
+node's elements.  A prioritized query ``(q, tau)`` collects the
+canonical cover of ``{w >= tau}`` (``O(log n)`` nodes binary,
+``O(fanout)`` nodes with ``O(1)`` B-tree levels) and unions one
+reporting query per cover node.
+
+:class:`WeightSuffixPrioritized` implements the pattern generically so
+any reporting black box plugs in; :func:`em_halfspace_prioritized`
+instantiates Section 5.5 exactly — the weight B-tree over a shared
+:class:`~repro.em.model.EMContext` with kd-tree reporting per node
+(substituting for Agarwal et al. [6], see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.interfaces import OpCounter, PrioritizedIndex, PrioritizedResult
+from repro.core.problem import Element, Predicate
+from repro.em.btree import BPlusTree
+from repro.em.model import EMContext
+from repro.structures.kdtree import KDTreeIndex
+
+# A reporting black box: report(predicate, limit) -> (elements, truncated).
+ReportingFactory = Callable[[Sequence[Element]], "SupportsReport"]
+
+
+class SupportsReport:
+    """Protocol for per-node reporting structures (duck-typed)."""
+
+    def report(self, predicate: Predicate, limit: Optional[int] = None):
+        raise NotImplementedError
+
+
+class _PrioritizedAsReporter:
+    """Adapts any PrioritizedIndex into the unweighted reporting role."""
+
+    def __init__(self, inner: PrioritizedIndex) -> None:
+        self.inner = inner
+
+    def report(self, predicate: Predicate, limit: Optional[int] = None):
+        result = self.inner.query(predicate, -math.inf, limit=limit)
+        return result.elements, result.truncated
+
+    def space_units(self) -> int:
+        return self.inner.space_units()
+
+
+class WeightSuffixPrioritized(PrioritizedIndex):
+    """Prioritized reporting from unweighted reporting via a weight tree.
+
+    Parameters
+    ----------
+    elements:
+        The weighted input set.
+    reporting_factory:
+        Builds the per-node unweighted black box; either an object with
+        ``report(predicate, limit) -> (elements, truncated)`` or any
+        :class:`PrioritizedIndex` (adapted automatically).
+    fanout:
+        ``2`` gives Section 5.4's binary tree (``O(log n)`` canonical
+        nodes); larger fanouts give Section 5.5's flat B-tree shape
+        (``O(fanout * height)`` canonical nodes over ``O(1)`` levels
+        when ``fanout = n^Theta(1)``).
+    ctx:
+        Optional EM context: the weight tree is then a real
+        :class:`BPlusTree` whose node visits cost I/Os.
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        reporting_factory,
+        fanout: int = 2,
+        ctx: Optional[EMContext] = None,
+    ) -> None:
+        self.ops = OpCounter()
+        self.ctx = ctx
+        self._n = len(elements)
+        self._fanout = max(2, fanout)
+        ordered = sorted(elements, key=lambda e: e.weight)
+        self._reporters = {}
+        if ctx is not None:
+            self._btree: Optional[BPlusTree] = BPlusTree(
+                ctx,
+                [(e.weight, e) for e in ordered],
+                fanout=self._fanout,
+                presorted=True,
+            )
+            for node in self._btree.iter_nodes():
+                subtree = [e for _, e in self._btree.leaf_items_under(node.node_id)]
+                self._reporters[node.node_id] = self._adapt(reporting_factory(subtree))
+            self._ordered = ordered
+        else:
+            self._btree = None
+            self._ordered = ordered
+            self._build_binary(0, len(ordered), reporting_factory)
+
+    @staticmethod
+    def _adapt(structure):
+        if hasattr(structure, "report"):
+            return structure
+        return _PrioritizedAsReporter(structure)
+
+    def _build_binary(self, a: int, b: int, reporting_factory) -> None:
+        if a >= b:
+            return
+        self._reporters[(a, b)] = self._adapt(reporting_factory(self._ordered[a:b]))
+        if b - a > 1:
+            mid = (a + b) // 2
+            self._build_binary(a, mid, reporting_factory)
+            self._build_binary(mid, b, reporting_factory)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def query_cost_bound(self) -> float:
+        """Canonical-cover size times one reporting search."""
+        if self._n <= 1:
+            return 1.0
+        log_n = math.log2(self._n)
+        if self._btree is not None:
+            levels = max(1, self._btree.height)
+            return self._fanout * levels
+        return log_n
+
+    def query(
+        self, predicate: Predicate, tau: float, limit: Optional[int] = None
+    ) -> PrioritizedResult:
+        out: List[Element] = []
+        for reporter in self._canonical_reporters(tau):
+            self.ops.node_visits += 1
+            remaining = None if limit is None else limit - len(out)
+            elements, truncated = reporter.report(predicate, remaining)
+            out.extend(e for e in elements if e.weight >= tau)
+            if truncated:
+                return PrioritizedResult(out, truncated=True)
+            if limit is not None and len(out) > limit:
+                return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def _canonical_reporters(self, tau: float):
+        if self._btree is not None:
+            for node in self._btree.canonical_cover_geq(tau):
+                yield self._reporters[node.node_id]
+            return
+        # Binary variant: walk the boundary path over the sorted array.
+        weights = [e.weight for e in self._ordered]
+        cut = bisect.bisect_left(weights, tau)
+        yield from self._binary_cover(0, len(self._ordered), cut)
+
+    def _binary_cover(self, a: int, b: int, cut: int):
+        """Canonical nodes covering the rank suffix ``[cut, n)``."""
+        if a >= b or b <= cut:
+            return
+        if cut <= a:
+            yield self._reporters[(a, b)]
+            return
+        mid = (a + b) // 2
+        yield from self._binary_cover(a, mid, cut)
+        yield from self._binary_cover(mid, b, cut)
+
+    def space_units(self) -> int:
+        """Sum over every node's reporting structure."""
+        return sum(r.space_units() for r in self._reporters.values())
+
+
+def em_halfspace_prioritized(
+    elements: Sequence[Element],
+    ctx: EMContext,
+    epsilon: float = 0.5,
+) -> WeightSuffixPrioritized:
+    """Section 5.5's EM prioritized halfspace structure, literally.
+
+    A weight B-tree with fanout ``f = (n/B)^{eps/2}`` (so the tree has
+    ``O(1)`` levels) and a halfspace reporting structure per node —
+    here the kd-tree standing in for Agarwal et al. [6].  A prioritized
+    query collects the ``O(f)`` canonical nodes in ``O(1 + f/B)`` I/Os
+    and runs one halfspace query on each.
+    """
+    n = max(2, len(elements))
+    fanout = max(2, round((n / ctx.B) ** (epsilon / 2.0)))
+    return WeightSuffixPrioritized(
+        elements, KDTreeIndex, fanout=fanout, ctx=ctx
+    )

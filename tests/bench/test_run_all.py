@@ -1,0 +1,23 @@
+"""Tests for the standalone experiment runner."""
+
+from repro.bench.run_all import reduction_comparison, scaling_table
+
+
+class TestReductionComparison:
+    def test_produces_table_with_all_contenders(self):
+        table = reduction_comparison(n=200, ks=[1, 4], query_count=4)
+        assert "Thm1" in table and "Thm2" in table
+        assert "Counting" in table and "Baseline" in table
+        assert table.count("\n") >= 4  # title + header + rule + 2 rows
+
+
+class TestScalingTable:
+    def test_reports_slope(self):
+        table = scaling_table("range1d", sizes=[100, 200], k=5, query_count=4)
+        assert "log-log slope" in table
+        assert "range1d" in table
+
+    def test_works_for_every_registry_problem_smoke(self):
+        # One geometric problem beyond range1d, at tiny sizes.
+        table = scaling_table("interval_stabbing", sizes=[100, 200], k=3, query_count=3)
+        assert "interval_stabbing" in table

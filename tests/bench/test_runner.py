@@ -1,0 +1,90 @@
+"""Tests for the measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.bench.runner import CostSample, fit_loglog_slope, geometric_sizes, measure_queries
+from repro.core.interfaces import OpCounter
+from repro.em.model import EMContext
+
+
+class TestCostSample:
+    def test_per_query_metrics(self):
+        sample = CostSample(label="x", queries=10, wall_seconds=0.01, ios=200, ops=50)
+        assert sample.wall_per_query_us == pytest.approx(1000.0)
+        assert sample.ios_per_query == 20.0
+        assert sample.ops_per_query == 5.0
+
+    def test_missing_sources_are_none(self):
+        sample = CostSample(label="x", queries=5, wall_seconds=0.1)
+        assert sample.ios_per_query is None
+        assert sample.ops_per_query is None
+
+    def test_zero_queries(self):
+        sample = CostSample(label="x", queries=0, wall_seconds=0.0, ios=0)
+        assert sample.wall_per_query_us == 0.0
+        assert sample.ios_per_query is None
+
+
+class TestMeasureQueries:
+    def test_captures_io_and_ops(self):
+        ctx = EMContext(B=4, M=8)
+        ops = OpCounter()
+        block = ctx.allocate_block([1])
+        ctx.flush()
+
+        def run_one(predicate):
+            ops.node_visits += 1
+            ctx.read_block(block)
+            ctx.drop_cache()
+            return [predicate]
+
+        sample = measure_queries("t", run_one, list(range(7)), ctx=ctx, ops=ops)
+        assert sample.queries == 7
+        assert sample.ops == 7
+        assert sample.ios == 7
+        assert sample.reported == 7
+
+    def test_counters_reset_before_measuring(self):
+        ctx = EMContext(B=4, M=8)
+        ctx.stats.reads = 999
+
+        def run_one(predicate):
+            return []
+
+        sample = measure_queries("t", run_one, [1, 2], ctx=ctx)
+        assert sample.ios == 0
+
+
+class TestSlopeFitting:
+    def test_linear_data_slope_one(self):
+        xs = [10, 100, 1000]
+        ys = [5 * x for x in xs]
+        assert fit_loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_quadratic_data_slope_two(self):
+        xs = [10, 100, 1000]
+        ys = [x * x for x in xs]
+        assert fit_loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_logarithmic_data_has_tiny_slope(self):
+        xs = [2**i for i in range(4, 18)]
+        ys = [math.log2(x) for x in xs]
+        assert fit_loglog_slope(xs, ys) < 0.35
+
+    def test_constant_data_slope_zero(self):
+        assert fit_loglog_slope([1, 10, 100], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1])
+
+
+class TestGeometricSizes:
+    def test_doubling(self):
+        assert geometric_sizes(4, 32) == [4, 8, 16, 32]
+
+    def test_custom_ratio(self):
+        sizes = geometric_sizes(10, 1000, ratio=10)
+        assert sizes == [10, 100, 1000]

@@ -1,0 +1,34 @@
+"""Tests for the table renderer."""
+
+from repro.bench.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table("Title", ["a", "bb"], [[1, 2.5], [30, None]])
+        lines = out.splitlines()
+        assert lines[0] == "== Title =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_none_renders_dash(self):
+        out = render_table("t", ["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_formatting(self):
+        out = render_table("t", ["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_float_thousands(self):
+        out = render_table("t", ["x"], [[123456.0]])
+        assert "123,456" in out
+
+    def test_note_appended(self):
+        out = render_table("t", ["x"], [[1]], note="hello")
+        assert out.splitlines()[-1].strip() == "note: hello"
+
+    def test_columns_aligned(self):
+        out = render_table("t", ["col", "другое"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines[3]) == len(lines[4])

@@ -1,0 +1,68 @@
+"""Tests for the workload generators and the problem registry."""
+
+import random
+
+import pytest
+
+from repro.bench.workloads import PROBLEMS, distinct_weights, make_problem
+from repro.core.problem import weights_are_distinct
+
+
+class TestRegistry:
+    def test_all_problems_buildable(self):
+        for name in PROBLEMS:
+            instance = make_problem(name, 40, seed=1)
+            assert len(instance.elements) == 40
+            assert instance.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown problem"):
+            make_problem("nope", 10)
+
+    def test_deterministic_in_seed(self):
+        a = make_problem("interval_stabbing", 50, seed=9)
+        b = make_problem("interval_stabbing", 50, seed=9)
+        assert a.elements == b.elements
+
+    def test_different_seeds_differ(self):
+        a = make_problem("interval_stabbing", 50, seed=1)
+        b = make_problem("interval_stabbing", 50, seed=2)
+        assert a.elements != b.elements
+
+    def test_weights_always_distinct(self):
+        for name in PROBLEMS:
+            instance = make_problem(name, 60, seed=3)
+            assert weights_are_distinct(instance.elements)
+
+    def test_predicates_reproducible(self):
+        instance = make_problem("dominance3d", 30, seed=4)
+        assert instance.predicates(5, seed=1) == instance.predicates(5, seed=1)
+
+    def test_update_support_flags(self):
+        assert make_problem("interval_stabbing", 10).supports_updates
+        assert not make_problem("halfplane2d", 10).supports_updates
+
+    def test_element_gen_produces_matching_type(self):
+        rng = random.Random(5)
+        for name in PROBLEMS:
+            instance = make_problem(name, 10, seed=5)
+            if instance.element_gen is None:
+                continue
+            fresh = instance.element_gen(rng, 12345.5)
+            assert type(fresh.obj) is type(instance.elements[0].obj)
+
+
+class TestDistinctWeights:
+    def test_count_and_uniqueness(self):
+        ws = distinct_weights(100, random.Random(1))
+        assert len(ws) == 100
+        assert len(set(ws)) == 100
+
+    def test_predicates_have_varied_selectivity(self):
+        """Query generators must produce both small and large results."""
+        instance = make_problem("interval_stabbing", 300, seed=6)
+        sizes = []
+        for p in instance.predicates(40, seed=7):
+            sizes.append(sum(1 for e in instance.elements if p.matches(e.obj)))
+        assert min(sizes) < 30
+        assert max(sizes) > 5

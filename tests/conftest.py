@@ -1,0 +1,30 @@
+"""Shared fixtures: deterministic RNGs and mid-sized datasets per problem."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.bench.workloads import PROBLEMS, make_problem  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=sorted(PROBLEMS))
+def problem(request):
+    """Every registered problem at a size that exercises all code paths."""
+    return make_problem(request.param, 180, seed=11)
+
+
+@pytest.fixture
+def interval_problem():
+    return make_problem("interval_stabbing", 260, seed=5)

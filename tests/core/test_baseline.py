@@ -1,0 +1,83 @@
+"""Tests for the binary-search baseline reduction of [28]."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_top_k
+from repro.core.baseline import BinarySearchTopKIndex
+from toy import RangePredicate, ToyPrioritized, make_toy_elements
+
+
+def build(n=400, seed=0):
+    elements = make_toy_elements(n, seed)
+    return elements, BinarySearchTopKIndex(elements, ToyPrioritized)
+
+
+def random_predicate(rng, n):
+    a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+    return RangePredicate(a, b)
+
+
+class TestCorrectness:
+    def test_exact_across_k(self):
+        elements, index = build()
+        rng = random.Random(1)
+        for _ in range(40):
+            p = random_predicate(rng, 400)
+            for k in (1, 2, 10, 77, 399):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_fewer_matches_than_k(self):
+        elements, index = build(n=100)
+        p = RangePredicate(0, 50)  # few positions land here
+        expect = oracle_top_k(elements, p, 1000)
+        assert index.query(p, 1000) == expect
+
+    def test_empty_result(self):
+        elements, index = build(n=100)
+        assert index.query(RangePredicate(-5, -1), 10) == []
+
+    def test_k_zero(self):
+        _, index = build(n=50)
+        assert index.query(RangePredicate(0, 100), 0) == []
+
+    def test_empty_dataset(self):
+        index = BinarySearchTopKIndex([], ToyPrioritized)
+        assert index.query(RangePredicate(0, 1), 5) == []
+
+
+class TestProbeCount:
+    def test_logarithmic_probe_count(self):
+        """The defining property: O(log n) cost-monitored probes/query."""
+        elements, index = build(n=1024)
+        index.stats.reset()
+        index.query(RangePredicate(0, math.inf), 5)
+        assert index.stats.monitored_probes <= math.ceil(math.log2(1024)) + 2
+
+    def test_probe_count_grows_with_n(self):
+        _, small = build(n=64)
+        _, large = build(n=4096)
+        p = RangePredicate(0, math.inf)
+        small.stats.reset()
+        small.query(p, 3)
+        large.stats.reset()
+        large.query(p, 3)
+        assert large.stats.monitored_probes > small.stats.monitored_probes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 1000),
+    k=st.integers(1, 250),
+    qseed=st.integers(0, 1000),
+)
+def test_property_matches_oracle(n, seed, k, qseed):
+    elements = make_toy_elements(n, seed)
+    index = BinarySearchTopKIndex(elements, ToyPrioritized)
+    rng = random.Random(qseed)
+    p = random_predicate(rng, n)
+    assert index.query(p, k) == oracle_top_k(elements, p, k)

@@ -1,0 +1,110 @@
+"""Tests for Lemma-2 core-sets and their nested hierarchies."""
+
+import math
+import random
+
+from repro.core.coreset import (
+    build_coreset,
+    build_hierarchy,
+    doubling_coresets,
+)
+from repro.core.params import TuningParams
+from repro.core.problem import Element
+
+
+def make_elements(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [Element(i, float(weights[i])) for i in range(n)]
+
+
+class TestBuildCoreset:
+    def test_empty_input(self):
+        assert build_coreset([], 10.0, TuningParams(), random.Random(0)) == []
+
+    def test_subset_of_input(self):
+        elements = make_elements(500)
+        core = build_coreset(elements, 20.0, TuningParams(), random.Random(1))
+        assert set(core) <= set(elements)
+
+    def test_expected_size_scales_inversely_with_K(self):
+        elements = make_elements(3000)
+        rng = random.Random(2)
+        params = TuningParams()
+        small_K = sum(len(build_coreset(elements, 10.0, params, rng)) for _ in range(10))
+        large_K = sum(len(build_coreset(elements, 100.0, params, rng)) for _ in range(10))
+        assert small_K > 3 * large_K
+
+    def test_size_tracks_lemma_bound(self):
+        """|R| stays within a constant of c * lam * (n/K) ln n."""
+        n, K = 4000, 50.0
+        params = TuningParams.paper_faithful(lam=2.0)
+        elements = make_elements(n)
+        sizes = [
+            len(build_coreset(elements, K, params, random.Random(s))) for s in range(10)
+        ]
+        bound = 12 * params.lam * (n / K) * math.log(n)  # the lemma's 12*lam*(n/K)*ln n
+        assert sum(sizes) / len(sizes) <= bound
+
+
+class TestHierarchy:
+    def test_levels_shrink(self):
+        elements = make_elements(2000)
+        h = build_hierarchy(elements, 16.0, TuningParams(), random.Random(3))
+        sizes = h.stats.sizes
+        assert sizes[0] == 2000
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_bottom_level_small(self):
+        elements = make_elements(2000)
+        params = TuningParams()
+        h = build_hierarchy(elements, 16.0, params, random.Random(4))
+        # Either it bottomed out below slack*K, or the rate saturated.
+        assert len(h.levels[-1]) <= params.slack * 16 or h.stats.rates[-1] >= 1.0
+
+    def test_level_zero_is_input(self):
+        elements = make_elements(100)
+        h = build_hierarchy(elements, 8.0, TuningParams(), random.Random(5))
+        assert h.levels[0] == elements
+
+    def test_rates_recorded_per_level(self):
+        elements = make_elements(1000)
+        h = build_hierarchy(elements, 16.0, TuningParams(), random.Random(6))
+        assert len(h.stats.rates) == h.depth
+        assert h.stats.rates[0] == 1.0
+
+    def test_custom_stop_size(self):
+        elements = make_elements(1000)
+        h = build_hierarchy(elements, 8.0, TuningParams(), random.Random(7), stop_size=500)
+        assert len(h.levels[-1]) <= 500 or h.stats.rates[-1] >= 1.0
+
+    def test_saturated_rate_terminates(self):
+        """K ~ 1 saturates p at 1; the build must not loop forever."""
+        elements = make_elements(200)
+        params = TuningParams(coreset_rate_c=100.0)
+        h = build_hierarchy(elements, 1.0, params, random.Random(8))
+        assert h.depth >= 1  # completing at all is the assertion
+
+
+class TestDoublingLadder:
+    def test_ladder_levels_cover_n(self):
+        elements = make_elements(1000)
+        ladder = doubling_coresets(elements, 16, TuningParams(), random.Random(9))
+        # h is the largest i with 2^{i-1} f <= n.
+        expected_h = int(math.log2(1000 / 16)) + 1
+        assert abs(len(ladder) - expected_h) <= 1
+
+    def test_ladder_sizes_decrease_geometrically(self):
+        elements = make_elements(4000)
+        ladder = doubling_coresets(elements, 8, TuningParams(), random.Random(10))
+        sizes = [len(level) for level in ladder]
+        assert sizes[0] > sizes[-1]
+
+    def test_f_larger_than_n_gives_empty_ladder(self):
+        elements = make_elements(10)
+        assert doubling_coresets(elements, 100, TuningParams(), random.Random(11)) == []
+
+    def test_each_level_is_subset_of_input(self):
+        elements = make_elements(500)
+        for level in doubling_coresets(elements, 8, TuningParams(), random.Random(12)):
+            assert set(level) <= set(elements)

@@ -1,0 +1,144 @@
+"""Tests for the Section 2 counting-based reduction."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_top_k
+from repro.core.counting import CountingTopKIndex, InflatedCounter
+from repro.core.interfaces import CountingIndex, OpCounter
+from repro.core.problem import Element
+from repro.structures.range1d import (
+    RangePredicate1D,
+    RangeTree1DCounter,
+    RangeTree1DPrioritized,
+)
+from toy import RangePredicate, ToyPrioritized, make_toy_elements
+
+
+class ToyCounter(CountingIndex):
+    """Exact brute-force counter for the toy problem."""
+
+    def __init__(self, elements):
+        self.ops = OpCounter()
+        self._elements = list(elements)
+
+    @property
+    def n(self):
+        return len(self._elements)
+
+    def count(self, predicate):
+        self.ops.scanned += len(self._elements)
+        return sum(1 for e in self._elements if predicate.matches(e.obj))
+
+
+def random_predicate(rng, n):
+    a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+    return RangePredicate(a, b)
+
+
+class TestExactCounting:
+    def test_matches_oracle(self):
+        elements = make_toy_elements(400, 1)
+        index = CountingTopKIndex(elements, ToyPrioritized, ToyCounter)
+        rng = random.Random(2)
+        for _ in range(40):
+            p = random_predicate(rng, 400)
+            for k in (1, 3, 17, 90, 399, 1000):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_k_zero_and_empty(self):
+        elements = make_toy_elements(50, 3)
+        index = CountingTopKIndex(elements, ToyPrioritized, ToyCounter)
+        assert index.query(RangePredicate(0, 10), 0) == []
+        empty = CountingTopKIndex([], ToyPrioritized, ToyCounter)
+        assert empty.query(RangePredicate(0, 10), 5) == []
+
+    def test_counting_probe_count_logarithmic(self):
+        elements = make_toy_elements(1024, 4)
+        index = CountingTopKIndex(elements, ToyPrioritized, ToyCounter)
+        index.stats.reset()
+        index.query(RangePredicate(-1, math.inf), 5)
+        assert index.stats.monitored_probes <= math.ceil(math.log2(1024)) + 2
+
+    def test_space_is_log_factor(self):
+        """S_top = O((S_rep + S_cnt) log n) — the structure's stated cost."""
+        elements = make_toy_elements(512, 5)
+        index = CountingTopKIndex(elements, ToyPrioritized, ToyCounter)
+        per_level = 512 * 2  # reporter + counter are linear each
+        assert index.space_units() <= per_level * (math.log2(512) + 2)
+
+    def test_on_range1d_substrate(self):
+        rng = random.Random(6)
+        coords = rng.sample(range(4000), 300)
+        weights = rng.sample(range(3000), 300)
+        elements = [Element(float(c), float(w)) for c, w in zip(coords, weights)]
+        index = CountingTopKIndex(elements, RangeTree1DPrioritized, RangeTree1DCounter)
+        for _ in range(30):
+            a, b = sorted((rng.uniform(0, 4000), rng.uniform(0, 4000)))
+            p = RangePredicate1D(a, b)
+            for k in (1, 8, 64):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+
+class TestApproximateCounting:
+    @pytest.mark.parametrize("c", [1.5, 2.0, 4.0])
+    def test_exact_answers_despite_approx_counts(self, c):
+        elements = make_toy_elements(300, 7)
+
+        def counting_factory(subset):
+            return InflatedCounter(ToyCounter(subset), c, salt=int(c * 10))
+
+        index = CountingTopKIndex(elements, ToyPrioritized, counting_factory)
+        rng = random.Random(8)
+        for _ in range(30):
+            p = random_predicate(rng, 300)
+            for k in (1, 5, 40, 200):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_inflated_counter_bounds(self):
+        elements = make_toy_elements(200, 9)
+        exact = ToyCounter(elements)
+        inflated = InflatedCounter(ToyCounter(elements), 3.0)
+        rng = random.Random(10)
+        for _ in range(40):
+            p = random_predicate(rng, 200)
+            true = exact.count(p)
+            approx = inflated.count(p)
+            assert true <= approx <= 3 * true
+
+    def test_inflated_counter_validation(self):
+        elements = make_toy_elements(10, 11)
+        with pytest.raises(ValueError, match=">= 1"):
+            InflatedCounter(ToyCounter(elements), 0.5)
+        with pytest.raises(ValueError, match="exact"):
+            InflatedCounter(InflatedCounter(ToyCounter(elements), 2.0), 2.0)
+
+    def test_zero_count_stays_zero(self):
+        elements = make_toy_elements(50, 12)
+        inflated = InflatedCounter(ToyCounter(elements), 2.0)
+        assert inflated.count(RangePredicate(-10, -5)) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 150),
+    seed=st.integers(0, 1000),
+    k=st.integers(1, 200),
+    qseed=st.integers(0, 1000),
+    c=st.sampled_from([1.0, 2.0]),
+)
+def test_property_matches_oracle(n, seed, k, qseed, c):
+    elements = make_toy_elements(n, seed)
+
+    def counting_factory(subset):
+        counter = ToyCounter(subset)
+        return counter if c == 1.0 else InflatedCounter(counter, c, salt=qseed)
+
+    index = CountingTopKIndex(elements, ToyPrioritized, counting_factory)
+    rng = random.Random(qseed)
+    p = random_predicate(rng, n)
+    assert index.query(p, k) == oracle_top_k(elements, p, k)

@@ -1,0 +1,127 @@
+"""Tests for online sorted reporting and colored top-k."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from oracles import oracle_top_k
+from repro.core.extensions import ColoredTopKIndex, iter_top
+from repro.core.theorem2 import ExpectedTopKIndex
+from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
+
+
+def build_index(n=300, seed=0):
+    elements = make_toy_elements(n, seed)
+    return elements, ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, seed=seed)
+
+
+def random_predicate(rng, n):
+    a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+    return RangePredicate(a, b)
+
+
+class TestIterTop:
+    def test_full_stream_in_descending_order(self):
+        elements, index = build_index(200, 1)
+        p = RangePredicate(-1, math.inf)
+        stream = list(iter_top(index, p))
+        assert stream == oracle_top_k(elements, p, len(elements))
+
+    def test_prefix_matches_direct_query(self):
+        elements, index = build_index(250, 2)
+        rng = random.Random(3)
+        for _ in range(15):
+            p = random_predicate(rng, 250)
+            prefix = list(itertools.islice(iter_top(index, p), 7))
+            assert prefix == oracle_top_k(elements, p, 7)
+
+    def test_lazy_consumption_stops_early(self):
+        """Consuming one item must not force large k queries."""
+        elements, index = build_index(400, 4)
+        index.stats.reset()
+        p = RangePredicate(-1, math.inf)
+        first = next(iter_top(index, p))
+        assert first == oracle_top_k(elements, p, 1)[0]
+        assert index.stats.queries <= 2
+
+    def test_empty_match(self):
+        _, index = build_index(50, 5)
+        assert list(iter_top(index, RangePredicate(-10, -5))) == []
+
+    def test_custom_start_k(self):
+        elements, index = build_index(120, 6)
+        p = RangePredicate(-1, math.inf)
+        stream = list(iter_top(index, p, start_k=16))
+        assert stream == oracle_top_k(elements, p, len(elements))
+
+    def test_invalid_start_k(self):
+        _, index = build_index(10, 7)
+        with pytest.raises(ValueError):
+            next(iter_top(index, RangePredicate(0, 1), start_k=0))
+
+
+class TestColoredTopK:
+    def make_colored(self, n, colors, seed):
+        from repro.core.problem import Element
+
+        rng = random.Random(seed)
+        weights = rng.sample(range(10 * n), n)
+        positions = rng.sample(range(10 * n), n)
+        elements = [
+            Element(positions[i], float(weights[i]), payload=f"c{rng.randrange(colors)}")
+            for i in range(n)
+        ]
+        index = ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, seed=seed)
+        return elements, ColoredTopKIndex(index)
+
+    @staticmethod
+    def oracle_colored(elements, predicate, k):
+        matching = sorted(
+            (e for e in elements if predicate.matches(e.obj)),
+            key=lambda e: -e.weight,
+        )
+        seen = {}
+        for element in matching:
+            if element.payload not in seen:
+                seen[element.payload] = element
+                if len(seen) == k:
+                    break
+        return list(seen.values())
+
+    def test_matches_colored_oracle(self):
+        elements, colored = self.make_colored(300, colors=12, seed=8)
+        rng = random.Random(9)
+        for _ in range(25):
+            p = random_predicate(rng, 300)
+            for k in (1, 3, 8, 20):
+                assert colored.query(p, k) == self.oracle_colored(elements, p, k)
+
+    def test_fewer_colors_than_k(self):
+        elements, colored = self.make_colored(100, colors=4, seed=10)
+        p = RangePredicate(-1, math.inf)
+        result = colored.query(p, 50)
+        assert len(result) == len({e.payload for e in elements})
+
+    def test_one_element_per_color(self):
+        elements, colored = self.make_colored(200, colors=30, seed=11)
+        p = RangePredicate(-1, math.inf)
+        result = colored.query(p, 10)
+        assert len({e.payload for e in result}) == len(result) == 10
+
+    def test_k_zero(self):
+        _, colored = self.make_colored(40, colors=5, seed=12)
+        assert colored.query(RangePredicate(0, 100), 0) == []
+
+    def test_custom_color_function(self):
+        elements, index = build_index(150, 13)
+        colored = ColoredTopKIndex(index, color_of=lambda e: int(e.weight) % 7)
+        p = RangePredicate(-1, math.inf)
+        result = colored.query(p, 7)
+        assert len({int(e.weight) % 7 for e in result}) == len(result)
+
+    def test_colors_matching_count(self):
+        elements, colored = self.make_colored(120, colors=9, seed=14)
+        p = RangePredicate(-1, math.inf)
+        assert colored.colors_matching(p) == len({e.payload for e in elements})

@@ -1,0 +1,74 @@
+"""Tests for the structure contracts and their defaults."""
+
+import math
+
+import pytest
+
+from repro.core.interfaces import (
+    CountingIndex,
+    MaxIndex,
+    OpCounter,
+    PrioritizedIndex,
+    PrioritizedResult,
+)
+from repro.core.problem import Element
+from toy import ToyMax, ToyPrioritized, make_toy_elements
+
+
+class TestPrioritizedResult:
+    def test_len(self):
+        r = PrioritizedResult([Element(1, 1.0), Element(2, 2.0)])
+        assert len(r) == 2
+
+    def test_default_not_truncated(self):
+        assert not PrioritizedResult([]).truncated
+
+
+class TestOpCounter:
+    def test_total(self):
+        ops = OpCounter(node_visits=3, scanned=4)
+        assert ops.total == 7
+
+    def test_reset(self):
+        ops = OpCounter(node_visits=3, scanned=4)
+        ops.reset()
+        assert ops.total == 0
+
+
+class TestDefaults:
+    def test_prioritized_cost_bound_default_is_log(self):
+        index = ToyPrioritized(make_toy_elements(1024, 0))
+        assert index.query_cost_bound() == pytest.approx(10.0)
+
+    def test_cost_bound_floor_at_one(self):
+        index = ToyPrioritized(make_toy_elements(1, 0))
+        assert index.query_cost_bound() >= 1.0
+
+    def test_space_units_default_is_n(self):
+        index = ToyMax(make_toy_elements(77, 0))
+        assert index.space_units() == 77
+
+    def test_counting_default_factor_is_exact(self):
+        class MinimalCounter(CountingIndex):
+            def __init__(self):
+                self.ops = OpCounter()
+
+            @property
+            def n(self):
+                return 4
+
+            def count(self, predicate):
+                return 0
+
+        counter = MinimalCounter()
+        assert counter.approximation_factor == 1.0
+        assert counter.query_cost_bound() == pytest.approx(2.0)
+        assert counter.space_units() == 4
+
+    def test_abstract_instantiation_rejected(self):
+        with pytest.raises(TypeError):
+            PrioritizedIndex()
+        with pytest.raises(TypeError):
+            MaxIndex()
+        with pytest.raises(TypeError):
+            CountingIndex()

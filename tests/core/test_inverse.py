@@ -1,0 +1,90 @@
+"""Tests for the inverse reduction (prioritized from top-k)."""
+
+import math
+import random
+
+from oracles import oracle_prioritized, sorted_desc
+from repro.core.inverse import PrioritizedFromTopK
+from repro.core.theorem2 import ExpectedTopKIndex
+from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
+
+
+class ListTopK:
+    """A minimal exact top-k index for driving the inverse reduction."""
+
+    def __init__(self, elements):
+        self._sorted = sorted(elements, key=lambda e: -e.weight)
+        self.calls = 0
+
+    @property
+    def n(self):
+        return len(self._sorted)
+
+    def query(self, predicate, k):
+        self.calls += 1
+        out = []
+        for element in self._sorted:
+            if predicate.matches(element.obj):
+                out.append(element)
+                if len(out) == k:
+                    break
+        return out
+
+
+def random_predicate(rng, n):
+    a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+    return RangePredicate(a, b)
+
+
+class TestCorrectness:
+    def test_matches_oracle(self):
+        elements = make_toy_elements(300, 1)
+        inv = PrioritizedFromTopK(ListTopK(elements))
+        rng = random.Random(2)
+        for _ in range(40):
+            p = random_predicate(rng, 300)
+            tau = rng.uniform(0, 3000)
+            got = sorted_desc(inv.query(p, tau).elements)
+            assert got == oracle_prioritized(elements, p, tau)
+
+    def test_tau_minus_infinity_reports_all(self):
+        elements = make_toy_elements(120, 3)
+        inv = PrioritizedFromTopK(ListTopK(elements))
+        p = RangePredicate(-1, math.inf)
+        result = inv.query(p, -math.inf)
+        assert len(result.elements) == 120
+
+    def test_empty_match(self):
+        elements = make_toy_elements(50, 4)
+        inv = PrioritizedFromTopK(ListTopK(elements))
+        result = inv.query(RangePredicate(-10, -5), 0.0)
+        assert result.elements == [] and not result.truncated
+
+    def test_limit_truncation(self):
+        elements = make_toy_elements(200, 5)
+        inv = PrioritizedFromTopK(ListTopK(elements))
+        p = RangePredicate(-1, math.inf)
+        result = inv.query(p, -math.inf, limit=7)
+        assert result.truncated
+        assert len(result.elements) == 8
+
+    def test_doubling_call_count_is_logarithmic(self):
+        elements = make_toy_elements(1000, 6)
+        topk = ListTopK(elements)
+        inv = PrioritizedFromTopK(topk, B=2)
+        inv.query(RangePredicate(-1, math.inf), -math.inf)
+        assert topk.calls <= math.ceil(math.log2(1000)) + 2
+
+
+class TestRoundTrip:
+    def test_topk_to_prioritized_to_equivalence(self):
+        """Theorem 2 index -> inverse reduction == direct prioritized."""
+        elements = make_toy_elements(250, 7)
+        topk = ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, seed=1)
+        inv = PrioritizedFromTopK(topk)
+        rng = random.Random(8)
+        for _ in range(15):
+            p = random_predicate(rng, 250)
+            tau = rng.uniform(0, 2500)
+            got = sorted_desc(inv.query(p, tau).elements)
+            assert got == oracle_prioritized(elements, p, tau)

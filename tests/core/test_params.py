@@ -1,0 +1,69 @@
+"""Tests for the tuning-parameter formulas."""
+
+import math
+
+import pytest
+
+from repro.core.params import TuningParams
+
+
+class TestPresets:
+    def test_paper_faithful_constants(self):
+        p = TuningParams.paper_faithful()
+        assert p.coreset_rate_c == 4.0
+        assert p.rank_threshold_c == 8.0
+        assert p.small_k_factor == 12.0
+        assert p.sigma == pytest.approx(1 / 20)
+        assert p.slack == 4.0
+
+    def test_with_overrides(self):
+        p = TuningParams().with_(lam=3.0)
+        assert p.lam == 3.0
+        assert p.sigma == TuningParams().sigma
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TuningParams().lam = 2
+
+
+class TestCoresetRate:
+    def test_formula(self):
+        p = TuningParams(lam=2.0, coreset_rate_c=4.0)
+        n, K = 1000, 500.0
+        assert p.coreset_rate(n, K) == pytest.approx(4.0 * (2.0 / 500.0) * math.log(1000))
+
+    def test_clamped_from_above_at_one(self):
+        p = TuningParams(lam=2.0, coreset_rate_c=4.0)
+        assert p.coreset_rate(1000, 50.0) == 1.0  # raw value 1.105
+
+    def test_clamped_to_one(self):
+        p = TuningParams(coreset_rate_c=100.0)
+        assert p.coreset_rate(1000, 1.0) == 1.0
+
+    def test_tiny_n(self):
+        assert TuningParams().coreset_rate(1, 5.0) == 1.0
+
+    def test_rate_decreases_with_K(self):
+        p = TuningParams()
+        assert p.coreset_rate(10**5, 10.0) > p.coreset_rate(10**5, 1000.0)
+
+
+class TestProbeRank:
+    def test_formula(self):
+        p = TuningParams(lam=2.0, rank_threshold_c=8.0)
+        assert p.probe_rank(1000) == math.ceil(16.0 * math.log(1000))
+
+    def test_at_least_one(self):
+        assert TuningParams().probe_rank(1) == 1
+        assert TuningParams(rank_threshold_c=1e-9).probe_rank(100) == 1
+
+
+class TestSmallKCutoff:
+    def test_paper_formula(self):
+        p = TuningParams.paper_faithful(lam=2.0)
+        # f = 12 * lambda * B * Q_pri
+        assert p.small_k_cutoff(64, 10.0) == math.ceil(12 * 2 * 64 * 10.0)
+
+    def test_grows_with_B(self):
+        p = TuningParams()
+        assert p.small_k_cutoff(64, 10.0) > p.small_k_cutoff(2, 10.0)

@@ -1,0 +1,105 @@
+"""Tests for elements, predicates and the distinct-weights convention."""
+
+import math
+
+import pytest
+
+from repro.core.problem import (
+    Element,
+    Predicate,
+    ensure_distinct_weights,
+    max_of,
+    top_k_of,
+    weights_are_distinct,
+)
+
+
+class GreaterThan(Predicate):
+    """Toy predicate over integer objects."""
+
+    def __init__(self, bound: int) -> None:
+        self.bound = bound
+
+    def matches(self, obj) -> bool:
+        return obj > self.bound
+
+
+def make(values_weights):
+    return [Element(v, float(w)) for v, w in values_weights]
+
+
+class TestElement:
+    def test_frozen(self):
+        e = Element(1, 2.0)
+        with pytest.raises(AttributeError):
+            e.weight = 5.0
+
+    def test_ordering_by_weight(self):
+        a, b = Element(1, 2.0), Element(2, 3.0)
+        assert a < b
+
+    def test_ordering_tie_broken_by_object(self):
+        a, b = Element(1, 2.0), Element(2, 2.0)
+        assert (a < b) != (b < a)
+
+    def test_hashable(self):
+        assert len({Element(1, 2.0), Element(1, 2.0)}) == 1
+
+
+class TestPredicateFilter:
+    def test_filter(self):
+        elements = make([(1, 10), (5, 20), (9, 30)])
+        assert GreaterThan(4).filter(elements) == elements[1:]
+
+
+class TestEnsureDistinctWeights:
+    def test_already_distinct_unchanged(self):
+        elements = make([(1, 1), (2, 2), (3, 3)])
+        assert ensure_distinct_weights(elements) == elements
+
+    def test_ties_become_distinct(self):
+        elements = make([(1, 5), (2, 5), (3, 5)])
+        fixed = ensure_distinct_weights(elements)
+        assert weights_are_distinct(fixed)
+
+    def test_order_among_ties_preserved(self):
+        elements = make([("a", 5), ("b", 5)])
+        fixed = ensure_distinct_weights(elements)
+        assert fixed[0].weight < fixed[1].weight  # earlier stays smaller
+
+    def test_relative_order_of_distinct_weights_preserved(self):
+        elements = make([(1, 1), (2, 5), (3, 5), (4, 9)])
+        fixed = ensure_distinct_weights(elements)
+        assert fixed[0].weight < fixed[1].weight < fixed[2].weight < fixed[3].weight
+
+    def test_perturbation_is_minimal(self):
+        elements = make([(1, 5), (2, 5)])
+        fixed = ensure_distinct_weights(elements)
+        assert fixed[1].weight == math.nextafter(5.0, math.inf)
+
+    def test_payloads_preserved(self):
+        elements = [Element(1, 5.0, payload="x"), Element(2, 5.0, payload="y")]
+        fixed = ensure_distinct_weights(elements)
+        assert [e.payload for e in fixed] == ["x", "y"]
+
+
+class TestOracleHelpers:
+    def test_top_k_of_sorted_descending(self):
+        elements = make([(5, 1), (6, 2), (7, 3)])
+        top = top_k_of(elements, GreaterThan(4), 2)
+        assert [e.weight for e in top] == [3.0, 2.0]
+
+    def test_top_k_of_returns_all_when_k_large(self):
+        elements = make([(5, 1), (6, 2)])
+        assert len(top_k_of(elements, GreaterThan(0), 99)) == 2
+
+    def test_max_of_none_when_empty(self):
+        assert max_of(make([(1, 5)]), GreaterThan(10)) is None
+
+    def test_max_of_picks_heaviest(self):
+        elements = make([(5, 1), (6, 9), (7, 3)])
+        assert max_of(elements, GreaterThan(4)).weight == 9.0
+
+    def test_weights_are_distinct(self):
+        assert weights_are_distinct(make([(1, 1), (2, 2)]))
+        assert not weights_are_distinct(make([(1, 1), (2, 1)]))

@@ -1,0 +1,135 @@
+"""Tests for rank sampling: Lemmas 1 and 3, empirically and structurally."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    bernoulli_sample,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    empirical_rank_window,
+    lemma1_conditions_hold,
+    lemma1_sample_rank,
+    lemma3_success_probability,
+    rank_of_max_in_sample,
+)
+
+
+class TestBernoulliSample:
+    def test_p_one_keeps_everything(self):
+        items = list(range(50))
+        assert bernoulli_sample(items, 1.0, random.Random(0)) == items
+
+    def test_p_zero_keeps_nothing(self):
+        assert bernoulli_sample(list(range(50)), 0.0, random.Random(0)) == []
+
+    def test_preserves_order(self):
+        sample = bernoulli_sample(list(range(1000)), 0.3, random.Random(1))
+        assert sample == sorted(sample)
+
+    def test_skip_ahead_path_preserves_order_and_subset(self):
+        items = list(range(5000))
+        sample = bernoulli_sample(items, 0.01, random.Random(2))  # skip-ahead branch
+        assert sample == sorted(sample)
+        assert set(sample) <= set(items)
+
+    def test_sample_size_concentrates(self):
+        rng = random.Random(3)
+        sizes = [len(bernoulli_sample(list(range(2000)), 0.1, rng)) for _ in range(30)]
+        mean = sum(sizes) / len(sizes)
+        assert 150 <= mean <= 250  # E = 200
+
+    def test_small_p_mean_matches(self):
+        rng = random.Random(4)
+        sizes = [len(bernoulli_sample(list(range(10000)), 0.005, rng)) for _ in range(40)]
+        mean = sum(sizes) / len(sizes)
+        assert 30 <= mean <= 70  # E = 50
+
+
+class TestChernoff:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(30.0, 0.5) == pytest.approx(math.exp(-0.25 * 30 / 3))
+
+    def test_lower_tail_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10.0, 1.5)
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(10.0, 2.0) == pytest.approx(math.exp(-2 * 10 / 6))
+
+    def test_upper_tail_rejects_small_alpha(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10.0, 1.0)
+
+
+class TestLemma1:
+    def test_conditions(self):
+        # kp >= 3 ln(3/delta) and n >= 4k
+        assert lemma1_conditions_hold(n=1000, k=100, p=0.5, delta=0.5)
+        assert not lemma1_conditions_hold(n=300, k=100, p=0.5, delta=0.5)
+        assert not lemma1_conditions_hold(n=1000, k=2, p=0.01, delta=0.5)
+
+    def test_sample_rank(self):
+        assert lemma1_sample_rank(k=100, p=0.1) == 20
+        assert lemma1_sample_rank(k=1, p=0.001) == 1
+
+    def test_empirical_success_rate_beats_bound(self):
+        """Monte-Carlo: observed failure rate must respect 1 - delta."""
+        n, k = 4000, 200
+        delta = 0.2
+        p = 3.0 * math.log(3.0 / delta) / k  # tight working point
+        assert lemma1_conditions_hold(n, k, p, delta)
+        success, _ = empirical_rank_window(n, k, p, trials=150, rng=random.Random(7))
+        assert success >= 1.0 - delta - 0.1  # slack for MC noise
+
+    def test_empirical_sample_size_near_np(self):
+        n, k, p = 2000, 100, 0.2
+        _, avg_size = empirical_rank_window(n, k, p, trials=60, rng=random.Random(8))
+        assert abs(avg_size - n * p) < 0.15 * n * p
+
+
+class TestLemma3:
+    def test_guaranteed_probability(self):
+        assert lemma3_success_probability() == pytest.approx(
+            1.0 - (2.0 / math.e**4 + (1.0 - 1.0 / math.e**2))
+        )
+        assert lemma3_success_probability() > 0.09
+
+    def test_rank_of_max_empty_sample(self):
+        assert rank_of_max_in_sample([3.0, 2.0, 1.0], []) is None
+
+    def test_rank_of_max_basic(self):
+        full = [9.0, 8.0, 7.0, 6.0]
+        assert rank_of_max_in_sample(full, [7.0, 6.0]) == 3
+        assert rank_of_max_in_sample(full, [9.0]) == 1
+
+    def test_empirical_window(self):
+        """Largest sample lands in (K, 4K] at least ~9% of the time."""
+        rng = random.Random(11)
+        n, K = 4000, 100.0
+        weights_desc = [float(n - i) for i in range(n)]
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = [w for w in weights_desc if rng.random() < 1.0 / K]
+            rank = rank_of_max_in_sample(weights_desc, sample)
+            if rank is not None and K < rank <= 4 * K:
+                hits += 1
+        assert hits / trials >= 0.09
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 500),
+    p=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 10**6),
+)
+def test_bernoulli_sample_is_ordered_subset(n, p, seed):
+    items = list(range(n))
+    sample = bernoulli_sample(items, p, random.Random(seed))
+    assert sample == sorted(set(sample))
+    assert set(sample) <= set(items)

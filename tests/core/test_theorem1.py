@@ -1,0 +1,161 @@
+"""Tests for the Theorem 1 (worst-case) reduction."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_top_k
+from repro.core.params import TuningParams
+from repro.core.theorem1 import WorstCaseTopKIndex
+from toy import RangePredicate, ToyPrioritized, make_toy_elements
+
+
+def build(n=600, seed=0, **kwargs):
+    elements = make_toy_elements(n, seed)
+    index = WorstCaseTopKIndex(elements, ToyPrioritized, seed=seed, **kwargs)
+    return elements, index
+
+
+def random_predicate(rng, n):
+    a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+    return RangePredicate(a, b)
+
+
+class TestCorrectness:
+    def test_small_k_exact(self):
+        elements, index = build()
+        rng = random.Random(1)
+        for _ in range(40):
+            p = random_predicate(rng, 600)
+            for k in (1, 2, index.f):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_large_k_exact(self):
+        elements, index = build()
+        rng = random.Random(2)
+        for _ in range(40):
+            p = random_predicate(rng, 600)
+            for k in (index.f + 1, 3 * index.f, 250):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_k_near_n_uses_scan(self):
+        elements, index = build()
+        p = RangePredicate(-1, math.inf)
+        before = index.stats.full_scans
+        result = index.query(p, len(elements) - 1)
+        assert index.stats.full_scans == before + 1
+        assert result == oracle_top_k(elements, p, len(elements) - 1)
+
+    def test_k_exceeds_n(self):
+        elements, index = build(n=100)
+        p = RangePredicate(-1, math.inf)
+        assert index.query(p, 10**6) == oracle_top_k(elements, p, 10**6)
+
+    def test_k_zero_and_negative(self):
+        _, index = build(n=50)
+        p = RangePredicate(0, 100)
+        assert index.query(p, 0) == []
+        assert index.query(p, -3) == []
+
+    def test_empty_dataset(self):
+        index = WorstCaseTopKIndex([], ToyPrioritized)
+        assert index.query(RangePredicate(0, 1), 5) == []
+
+    def test_empty_result_predicate(self):
+        elements, index = build(n=200)
+        p = RangePredicate(-100, -50)
+        assert index.query(p, 10) == []
+
+    def test_results_sorted_descending(self):
+        elements, index = build(n=300)
+        result = index.query(RangePredicate(0, math.inf), 50)
+        weights = [e.weight for e in result]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestStructure:
+    def test_f_respects_formula(self):
+        elements = make_toy_elements(500, 1)
+        params = TuningParams(small_k_factor=2.0, lam=1.0)
+        index = WorstCaseTopKIndex(elements, ToyPrioritized, params=params, B=4)
+        q_pri = math.log2(500)
+        assert index.f == min(500, math.ceil(2.0 * 1.0 * 4 * q_pri))
+
+    def test_space_within_constant_of_ground(self):
+        """S_top = O(S_pri): the reduction's total space stays bounded."""
+        elements, index = build(n=2000)
+        assert index.space_units() <= 10 * index.ground_space_units()
+
+    def test_ladder_depth_logarithmic(self):
+        elements, index = build(n=2000)
+        assert len(index._ladder) <= math.log2(2000) + 1
+
+    def test_paper_faithful_constants_trivialise_small_n(self):
+        """With the proof's constants, f exceeds n at bench scale, so
+        every query runs through the (always correct) small-k path."""
+        elements = make_toy_elements(300, 5)
+        index = WorstCaseTopKIndex(
+            elements, ToyPrioritized, params=TuningParams.paper_faithful(), B=64
+        )
+        assert index.f == 300
+        rng = random.Random(6)
+        for _ in range(15):
+            p = random_predicate(rng, 300)
+            assert index.query(p, 7) == oracle_top_k(elements, p, 7)
+
+
+class TestFailureInjection:
+    def test_starved_coresets_fall_back_correctly(self):
+        """A near-zero sampling rate produces useless core-sets; every
+        answer must still be exact via the detected-fallback path."""
+        elements = make_toy_elements(500, 7)
+        params = TuningParams(coreset_rate_c=1e-6, rank_threshold_c=1e-6)
+        index = WorstCaseTopKIndex(elements, ToyPrioritized, params=params, seed=7)
+        rng = random.Random(8)
+        for _ in range(30):
+            p = random_predicate(rng, 500)
+            k = rng.choice([1, 5, index.f, index.f + 3, 200])
+            assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_oversampled_coresets_still_correct(self):
+        """Saturated rates (p = 1) collapse the hierarchy to one level."""
+        elements = make_toy_elements(300, 9)
+        params = TuningParams(coreset_rate_c=1e9)
+        index = WorstCaseTopKIndex(elements, ToyPrioritized, params=params, seed=9)
+        rng = random.Random(10)
+        for _ in range(20):
+            p = random_predicate(rng, 300)
+            assert index.query(p, 4) == oracle_top_k(elements, p, 4)
+
+
+class TestStatsAccounting:
+    def test_queries_counted(self):
+        elements, index = build(n=200)
+        index.stats.reset()
+        for _ in range(7):
+            index.query(RangePredicate(0, 1000), 3)
+        assert index.stats.queries == 7
+
+    def test_monitored_probes_happen(self):
+        elements, index = build(n=600)
+        index.stats.reset()
+        index.query(RangePredicate(0, math.inf), 2)
+        assert index.stats.monitored_probes >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(5, 250),
+    seed=st.integers(0, 1000),
+    k=st.integers(1, 300),
+    qseed=st.integers(0, 1000),
+)
+def test_property_matches_oracle(n, seed, k, qseed):
+    elements = make_toy_elements(n, seed)
+    index = WorstCaseTopKIndex(elements, ToyPrioritized, seed=seed)
+    rng = random.Random(qseed)
+    p = random_predicate(rng, n)
+    assert index.query(p, k) == oracle_top_k(elements, p, k)

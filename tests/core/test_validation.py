@@ -1,0 +1,122 @@
+"""Tests for the contract-validation harness (and with it, the contracts)."""
+
+import random
+
+import pytest
+
+from repro.core.interfaces import OpCounter, PrioritizedResult
+from repro.core.validation import (
+    ValidationReport,
+    validate_counting,
+    validate_max,
+    validate_prioritized,
+    validate_problem_factories,
+)
+from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
+from test_counting import ToyCounter  # reuse the exact toy counter
+
+
+def predicates(n, count, seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        a, b = sorted((rng.uniform(0, 10 * n), rng.uniform(0, 10 * n)))
+        out.append(RangePredicate(a, b))
+    return out
+
+
+class TestReport:
+    def test_ok_when_no_failures(self):
+        report = ValidationReport("x")
+        report.record(True, "fine")
+        assert report.ok and report.checks == 1
+        report.raise_if_failed()  # no-op
+
+    def test_raise_lists_failures(self):
+        report = ValidationReport("x")
+        report.record(False, "broken thing")
+        with pytest.raises(AssertionError, match="broken thing"):
+            report.raise_if_failed()
+
+
+class TestHonestStructuresPass:
+    def test_toy_prioritized(self):
+        elements = make_toy_elements(150, 1)
+        report = validate_prioritized(
+            ToyPrioritized(elements), elements, predicates(150, 12, 2)
+        )
+        assert report.ok, report.failures
+
+    def test_toy_max(self):
+        elements = make_toy_elements(150, 3)
+        report = validate_max(ToyMax(elements), elements, predicates(150, 20, 4))
+        assert report.ok
+
+    def test_toy_counter(self):
+        elements = make_toy_elements(150, 5)
+        report = validate_counting(ToyCounter(elements), elements, predicates(150, 20, 6))
+        assert report.ok
+
+    def test_every_registered_problem_passes(self, problem):
+        reports = validate_problem_factories(
+            problem.elements,
+            problem.predicates(5, seed=7),
+            prioritized_factory=problem.prioritized_factory,
+            max_factory=problem.max_factory,
+        )
+        assert all(report.ok for report in reports)
+
+
+class TestBrokenStructuresCaught:
+    def test_missing_elements_detected(self):
+        class Lossy(ToyPrioritized):
+            def query(self, predicate, tau, limit=None):
+                result = super().query(predicate, tau, limit)
+                return PrioritizedResult(result.elements[:-1], result.truncated)
+
+        elements = make_toy_elements(100, 8)
+        report = validate_prioritized(Lossy(elements), elements, predicates(100, 8, 9))
+        assert not report.ok
+
+    def test_missing_truncation_flag_detected(self):
+        class NeverTruncates(ToyPrioritized):
+            def query(self, predicate, tau, limit=None):
+                return super().query(predicate, tau, limit=None)
+
+        elements = make_toy_elements(100, 10)
+        report = validate_prioritized(
+            NeverTruncates(elements), elements, predicates(100, 8, 11)
+        )
+        assert any("truncated flag not set" in f for f in report.failures)
+
+    def test_wrong_max_detected(self):
+        class MinInstead(ToyMax):
+            def query(self, predicate):
+                matching = [e for e in self._elements if predicate.matches(e.obj)]
+                return min(matching, key=lambda e: e.weight, default=None)
+
+        elements = make_toy_elements(100, 12)
+        report = validate_max(MinInstead(elements), elements, predicates(100, 10, 13))
+        assert not report.ok
+
+    def test_undercounting_detected(self):
+        class UnderCounter(ToyCounter):
+            def count(self, predicate):
+                return max(0, super().count(predicate) - 1)
+
+        elements = make_toy_elements(100, 14)
+        report = validate_counting(
+            UnderCounter(elements), elements, predicates(100, 10, 15)
+        )
+        assert not report.ok
+
+    def test_factory_helper_raises(self):
+        class Broken(ToyMax):
+            def query(self, predicate):
+                return None
+
+        elements = make_toy_elements(80, 16)
+        with pytest.raises(AssertionError, match="violated its contract"):
+            validate_problem_factories(
+                elements, predicates(80, 6, 17), max_factory=Broken
+            )

@@ -1,0 +1,136 @@
+"""Unit + property tests for BlockArray."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.blockarray import BlockArray
+from repro.em.model import EMContext
+
+
+def ctx(B=4, M=8) -> EMContext:
+    return EMContext(B=B, M=M)
+
+
+class TestConstruction:
+    def test_empty(self):
+        arr = BlockArray(ctx())
+        assert len(arr) == 0
+        assert arr.num_blocks == 0
+        assert list(arr.scan()) == []
+
+    def test_partial_tail_block(self):
+        arr = BlockArray(ctx(), range(6))
+        assert len(arr) == 6
+        assert arr.num_blocks == 2
+
+    def test_extend_fills_tail_before_allocating(self):
+        arr = BlockArray(ctx(), range(3))
+        arr.extend(range(3, 6))
+        assert len(arr) == 6
+        assert arr.num_blocks == 2
+        assert arr.to_list() == list(range(6))
+
+    def test_extend_exact_block_boundary(self):
+        arr = BlockArray(ctx(), range(4))
+        arr.extend(range(4, 8))
+        assert arr.num_blocks == 2
+        assert arr.to_list() == list(range(8))
+
+
+class TestAccess:
+    def test_random_access(self):
+        arr = BlockArray(ctx(), range(25))
+        for i in (0, 3, 4, 12, 24):
+            assert arr.get(i) == i
+            assert arr[i] == i
+
+    def test_out_of_range_raises(self):
+        arr = BlockArray(ctx(), range(5))
+        with pytest.raises(IndexError):
+            arr.get(5)
+        with pytest.raises(IndexError):
+            arr.get(-1)
+
+    def test_scan_range(self):
+        arr = BlockArray(ctx(), range(20))
+        assert list(arr.scan(5, 13)) == list(range(5, 13))
+
+    def test_scan_clamps_stop(self):
+        arr = BlockArray(ctx(), range(5))
+        assert list(arr.scan(2, 100)) == [2, 3, 4]
+
+    def test_scan_invalid_range_raises(self):
+        arr = BlockArray(ctx(), range(5))
+        with pytest.raises(IndexError):
+            list(arr.scan(4, 2))
+
+    def test_scan_until_stops_at_first_failure(self):
+        arr = BlockArray(ctx(), [5, 4, 3, 2, 1])
+        assert list(arr.scan_until(lambda v: v >= 3)) == [5, 4, 3]
+
+    def test_scan_until_empty_prefix(self):
+        arr = BlockArray(ctx(), [1, 2, 3])
+        assert list(arr.scan_until(lambda v: v > 10)) == []
+
+
+class TestIOCost:
+    def test_full_scan_costs_ceil_n_over_b(self):
+        context = ctx(B=4, M=8)
+        arr = BlockArray(context, range(10))  # 3 blocks
+        context.drop_cache()
+        context.stats.reset()
+        list(arr.scan())
+        assert context.stats.reads == 3
+
+    def test_prefix_scan_reads_only_covering_blocks(self):
+        context = ctx(B=4, M=8)
+        arr = BlockArray(context, range(40))
+        context.drop_cache()
+        context.stats.reset()
+        list(arr.scan(0, 4))
+        assert context.stats.reads == 1
+
+    def test_random_access_is_one_block(self):
+        context = ctx(B=4, M=8)
+        arr = BlockArray(context, range(40))
+        context.drop_cache()
+        context.stats.reset()
+        arr.get(17)
+        assert context.stats.reads == 1
+
+
+class TestBisect:
+    def test_bisect_left_on_sorted(self):
+        arr = BlockArray(ctx(), [1, 3, 3, 5, 9])
+        assert arr.bisect_left(0) == 0
+        assert arr.bisect_left(3) == 1
+        assert arr.bisect_left(4) == 3
+        assert arr.bisect_left(10) == 5
+
+    def test_bisect_with_key(self):
+        arr = BlockArray(ctx(), [(1, "a"), (5, "b"), (9, "c")])
+        assert arr.bisect_left(5, key=lambda r: r[0]) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.lists(st.integers(), max_size=120), B=st.integers(2, 9))
+def test_roundtrip_matches_list(data, B):
+    arr = BlockArray(EMContext(B=B, M=4 * B), data)
+    assert arr.to_list() == data
+    assert len(arr) == len(data)
+    expected_blocks = (len(data) + B - 1) // B
+    assert arr.num_blocks == expected_blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.integers(), min_size=1, max_size=80),
+    B=st.integers(2, 7),
+    st_data=st.data(),
+)
+def test_scan_slice_matches_list_slice(data, B, st_data):
+    arr = BlockArray(EMContext(B=B, M=4 * B), data)
+    start = st_data.draw(st.integers(0, len(data)))
+    stop = st_data.draw(st.integers(start, len(data)))
+    assert list(arr.scan(start, stop)) == data[start:stop]

@@ -1,0 +1,143 @@
+"""Tests for the B+-tree: predecessor search and canonical covers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.btree import BPlusTree
+from repro.em.model import EMContext
+
+
+def build(keys, B=8, fanout=None):
+    ctx = EMContext(B=B, M=4 * B)
+    tree = BPlusTree(ctx, [(float(k), f"v{k}") for k in keys], fanout=fanout)
+    return ctx, tree
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        ctx, tree = build([])
+        assert tree.root is None
+        assert tree.predecessor(5.0) is None
+        assert tree.canonical_cover_geq(0.0) == []
+
+    def test_single_item(self):
+        _, tree = build([7])
+        assert tree.predecessor(7.0) == (7.0, "v7")
+        assert tree.predecessor(6.9) is None
+
+    def test_height_grows_logarithmically(self):
+        _, small = build(range(8), B=4)
+        _, large = build(range(512), B=4)
+        assert small.height < large.height
+        assert large.height <= math.ceil(math.log(512, 4)) + 1
+
+    def test_unsorted_input_is_sorted(self):
+        _, tree = build([5, 1, 9, 3])
+        assert tree.predecessor(4.0) == (3.0, "v3")
+
+    def test_custom_fanout(self):
+        _, tree = build(range(100), fanout=3)
+        assert tree.fanout == 3
+        assert tree.height >= 4
+
+
+class TestPredecessor:
+    def test_exact_hits_and_gaps(self):
+        _, tree = build([10, 20, 30, 40])
+        assert tree.predecessor(10.0) == (10.0, "v10")
+        assert tree.predecessor(25.0) == (20.0, "v20")
+        assert tree.predecessor(45.0) == (40.0, "v40")
+        assert tree.predecessor(9.0) is None
+
+    def test_predecessor_cost_is_logarithmic(self):
+        ctx, tree = build(range(4096), B=16)
+        ctx.drop_cache()
+        ctx.stats.reset()
+        tree.predecessor(2048.5)
+        # One I/O per level, cold cache.
+        assert ctx.stats.reads <= tree.height + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 10**6), min_size=1, max_size=200, unique=True),
+        probe=st.integers(-10, 10**6 + 10),
+    )
+    def test_matches_linear_scan(self, keys, probe):
+        _, tree = build(keys, B=4)
+        expected = max((k for k in keys if k <= probe), default=None)
+        got = tree.predecessor(float(probe))
+        if expected is None:
+            assert got is None
+        else:
+            assert got == (float(expected), f"v{expected}")
+
+
+class TestCanonicalCover:
+    def test_cover_contains_exactly_the_suffix(self):
+        _, tree = build(range(100), B=4)
+        cover = tree.canonical_cover_geq(63.0)
+        keys = []
+        for node in cover:
+            keys.extend(k for k, _ in tree.leaf_items_under(node.node_id))
+        suffix = sorted(k for k in keys if k >= 63.0)
+        assert suffix == [float(v) for v in range(63, 100)]
+        # Keys below the threshold only come from the single path leaf.
+        below = [k for k in keys if k < 63.0]
+        path_leaf = cover[-1]
+        assert all(k in path_leaf.keys for k in below)
+
+    def test_cover_subtrees_are_disjoint(self):
+        _, tree = build(range(64), B=4)
+        cover = tree.canonical_cover_geq(20.0)
+        seen = []
+        for node in cover:
+            seen.extend(k for k, _ in tree.leaf_items_under(node.node_id))
+        assert len(seen) == len(set(seen))
+
+    def test_cover_size_is_fanout_times_height(self):
+        _, tree = build(range(1000), B=8)
+        cover = tree.canonical_cover_geq(500.0)
+        assert len(cover) <= tree.fanout * tree.height + 1
+
+    def test_threshold_below_everything_covers_all(self):
+        _, tree = build(range(50), B=4)
+        cover = tree.canonical_cover_geq(-1.0)
+        total = sum(len(tree.leaf_items_under(n.node_id)) for n in cover)
+        assert total == 50
+
+    def test_threshold_above_everything(self):
+        _, tree = build(range(50), B=4)
+        cover = tree.canonical_cover_geq(1000.0)
+        keys = [k for n in cover for k, _ in tree.leaf_items_under(n.node_id)]
+        assert all(k < 1000.0 for k in keys)  # only the path leaf remains
+
+
+class TestNodeInvariants:
+    def test_subtree_sizes_sum_to_n(self):
+        _, tree = build(range(321), B=4)
+        root = tree.root
+        assert root.subtree_size == 321
+
+    def test_leaf_fanout_bounded(self):
+        _, tree = build(range(200), B=8)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert 1 <= len(node.keys) <= tree.fanout
+            else:
+                assert 1 <= len(node.children) <= tree.fanout
+
+    def test_min_max_keys_consistent(self):
+        _, tree = build(random.Random(1).sample(range(10**6), 300), B=8)
+        for node in tree.iter_nodes():
+            items = tree.leaf_items_under(node.node_id)
+            keys = [k for k, _ in items]
+            assert node.min_key == min(keys)
+            assert node.max_key == max(keys)
+
+    def test_num_blocks_counts_nodes(self):
+        _, tree = build(range(100), B=4)
+        assert tree.num_blocks == sum(1 for _ in tree.iter_nodes())

@@ -1,0 +1,92 @@
+"""Tests for k-selection (the finishing step of every top-k query)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Element
+from repro.em.blockarray import BlockArray
+from repro.em.model import EMContext
+from repro.em.selection import select_top_k, select_top_k_blocked
+
+
+class TestInMemory:
+    def test_k_zero_or_negative(self):
+        assert select_top_k([3, 1, 2], 0) == []
+        assert select_top_k([3, 1, 2], -5) == []
+
+    def test_basic_descending(self):
+        assert select_top_k([3, 1, 4, 1, 5], 3) == [5, 4, 3]
+
+    def test_k_exceeds_n_returns_all_sorted(self):
+        assert select_top_k([2, 9, 4], 10) == [9, 4, 2]
+
+    def test_weight_accessor_on_elements(self):
+        elements = [Element(i, float(w)) for i, w in enumerate([5, 2, 8])]
+        top = select_top_k(elements, 2)
+        assert [e.weight for e in top] == [8.0, 5.0]
+
+    def test_custom_weight_function(self):
+        out = select_top_k([(1, 5), (2, 3), (3, 9)], 2, weight=lambda r: r[1])
+        assert out == [(3, 9), (1, 5)]
+
+
+class TestBlocked:
+    def test_small_k_single_scan(self):
+        ctx = EMContext(B=4, M=16)
+        arr = BlockArray(ctx, [float(v) for v in range(50)])
+        top = select_top_k_blocked(ctx, arr, 5, weight=lambda v: v)
+        assert top == [49.0, 48.0, 47.0, 46.0, 45.0]
+
+    def test_small_k_costs_one_scan(self):
+        ctx = EMContext(B=4, M=16)
+        arr = BlockArray(ctx, [float(v) for v in range(48)])
+        ctx.drop_cache()
+        ctx.stats.reset()
+        select_top_k_blocked(ctx, arr, 3, weight=lambda v: v)
+        assert ctx.stats.reads == 12  # exactly n/B
+
+    def test_k_larger_than_memory_multi_pass(self):
+        ctx = EMContext(B=4, M=8)  # memory of 8 records, k = 40 > M
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(200)]
+        arr = BlockArray(ctx, data)
+        top = select_top_k_blocked(ctx, arr, 40, weight=lambda v: v)
+        assert top == sorted(data, reverse=True)[:40]
+
+    def test_k_equals_n(self):
+        ctx = EMContext(B=4, M=8)
+        data = [3.0, 1.0, 2.0, 9.0, 9.5, 0.5, 4.0, 8.0, 7.0]
+        arr = BlockArray(ctx, data)
+        top = select_top_k_blocked(ctx, arr, len(data), weight=lambda v: v)
+        assert top == sorted(data, reverse=True)
+
+    def test_k_zero(self):
+        ctx = EMContext(B=4, M=8)
+        arr = BlockArray(ctx, [1.0, 2.0])
+        assert select_top_k_blocked(ctx, arr, 0, weight=lambda v: v) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 10**6), max_size=150, unique=True),
+    k=st.integers(0, 160),
+)
+def test_matches_sorted_prefix(data, k):
+    floats = [float(v) for v in data]
+    assert select_top_k(floats, k, weight=lambda v: v) == sorted(floats, reverse=True)[:k]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 10**6), min_size=1, max_size=120, unique=True),
+    k=st.integers(1, 130),
+    B=st.integers(2, 6),
+)
+def test_blocked_matches_sorted_prefix(data, k, B):
+    ctx = EMContext(B=B, M=2 * B)  # tiny memory to force the pivot path
+    floats = [float(v) for v in data]
+    arr = BlockArray(ctx, floats)
+    got = select_top_k_blocked(ctx, arr, k, weight=lambda v: v)
+    assert got == sorted(floats, reverse=True)[:k]

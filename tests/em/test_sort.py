@@ -1,0 +1,71 @@
+"""Tests for external merge sort, including I/O growth shape."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.model import EMContext
+from repro.em.sort import external_merge_sort
+
+
+def test_empty_input():
+    ctx = EMContext(B=4, M=8)
+    assert external_merge_sort(ctx, []).to_list() == []
+
+
+def test_single_run_fits_in_memory():
+    ctx = EMContext(B=4, M=16)
+    data = [5, 1, 4, 2, 3]
+    assert external_merge_sort(ctx, data).to_list() == [1, 2, 3, 4, 5]
+
+
+def test_multiway_merge_many_runs():
+    ctx = EMContext(B=4, M=8)  # 2 frames -> fan-in 2, forces merge passes
+    rng = random.Random(3)
+    data = [rng.random() for _ in range(300)]
+    assert external_merge_sort(ctx, data).to_list() == sorted(data)
+
+
+def test_reverse_order():
+    ctx = EMContext(B=4, M=8)
+    data = [3, 1, 2, 5, 4]
+    assert external_merge_sort(ctx, data, reverse=True).to_list() == [5, 4, 3, 2, 1]
+
+
+def test_key_function():
+    ctx = EMContext(B=4, M=8)
+    data = [(1, "b"), (2, "a"), (3, "c")]
+    out = external_merge_sort(ctx, data, key=lambda r: r[1]).to_list()
+    assert out == [(2, "a"), (1, "b"), (3, "c")]
+
+
+def test_duplicates_preserved():
+    ctx = EMContext(B=4, M=8)
+    data = [2, 1, 2, 1, 2]
+    assert external_merge_sort(ctx, data).to_list() == [1, 1, 2, 2, 2]
+
+
+def test_io_cost_is_near_linear_in_blocks():
+    """Sorting 4x the data should cost roughly 4x (x log factor) I/Os."""
+    costs = {}
+    for n in (256, 1024):
+        ctx = EMContext(B=8, M=32)
+        rng = random.Random(1)
+        ctx.stats.reset()
+        external_merge_sort(ctx, [rng.random() for _ in range(n)])
+        costs[n] = ctx.stats.total
+    ratio = costs[1024] / costs[256]
+    assert 3.0 <= ratio <= 8.0, costs
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=200),
+    B=st.integers(2, 8),
+    reverse=st.booleans(),
+)
+def test_matches_builtin_sorted(data, B, reverse):
+    ctx = EMContext(B=B, M=4 * B)
+    out = external_merge_sort(ctx, data, reverse=reverse).to_list()
+    assert out == sorted(data, reverse=reverse)

@@ -1,0 +1,110 @@
+"""Tests for fractional cascading: cascaded predecessors must equal bisect."""
+
+import bisect
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.cascading import CascadeNode, FractionalCascading
+
+
+def build_tree(rng: random.Random, depth: int, keys_per_node: int) -> CascadeNode:
+    keys = sorted(rng.uniform(0, 100) for _ in range(keys_per_node))
+    node = CascadeNode(keys=keys, payloads=list(range(len(keys))))
+    if depth > 0:
+        node.left = build_tree(rng, depth - 1, keys_per_node)
+        node.right = build_tree(rng, depth - 1, keys_per_node)
+    return node
+
+
+def follow(fc: FractionalCascading, x: float, directions):
+    iterator = iter(directions)
+
+    def chooser(node):
+        return next(iterator, None)
+
+    return fc.path_predecessors(x, chooser)
+
+
+class TestSmallTrees:
+    def test_single_node(self):
+        root = CascadeNode(keys=[1.0, 3.0, 5.0], payloads=["a", "b", "c"])
+        fc = FractionalCascading(root)
+        [(node, pred)] = follow(fc, 4.0, [])
+        assert pred == 1  # predecessor of 4 is 3.0 at index 1
+
+    def test_query_below_all_keys(self):
+        root = CascadeNode(keys=[10.0], payloads=[0])
+        root.left = CascadeNode(keys=[20.0], payloads=[0])
+        fc = FractionalCascading(root)
+        results = follow(fc, 5.0, ["left"])
+        assert [pred for _, pred in results] == [-1, -1]
+
+    def test_query_above_all_keys(self):
+        root = CascadeNode(keys=[1.0, 2.0], payloads=[0, 1])
+        root.right = CascadeNode(keys=[0.5, 1.5, 2.5], payloads=[0, 1, 2])
+        fc = FractionalCascading(root)
+        results = follow(fc, 100.0, ["right"])
+        assert [pred for _, pred in results] == [1, 2]
+
+    def test_empty_node_lists(self):
+        root = CascadeNode(keys=[], payloads=[])
+        root.left = CascadeNode(keys=[7.0], payloads=[0])
+        fc = FractionalCascading(root)
+        results = follow(fc, 8.0, ["left"])
+        assert [pred for _, pred in results] == [-1, 0]
+
+    def test_stop_at_missing_child(self):
+        root = CascadeNode(keys=[1.0], payloads=[0])
+        fc = FractionalCascading(root)
+        results = follow(fc, 1.0, ["left"])  # no left child exists
+        assert len(results) == 1
+
+
+class TestAgainstBisect:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        depth=st.integers(1, 6),
+        keys_per_node=st.integers(0, 8),
+        x=st.floats(-10, 110, allow_nan=False),
+        dir_seed=st.integers(0, 10**6),
+    )
+    def test_cascaded_predecessor_equals_bisect(self, seed, depth, keys_per_node, x, dir_seed):
+        rng = random.Random(seed)
+        root = build_tree(rng, depth, keys_per_node)
+        fc = FractionalCascading(root)
+        dir_rng = random.Random(dir_seed)
+        directions = [dir_rng.choice(["left", "right"]) for _ in range(depth)]
+        for node, pred in follow(fc, x, directions):
+            expected = bisect.bisect_right(node.keys, x) - 1
+            assert pred == expected
+
+    def test_duplicate_keys_across_levels(self):
+        root = CascadeNode(keys=[5.0, 5.0], payloads=[0, 1])
+        root.left = CascadeNode(keys=[5.0], payloads=[0])
+        fc = FractionalCascading(root)
+        results = follow(fc, 5.0, ["left"])
+        assert [pred for _, pred in results] == [1, 0]
+
+
+class TestAugmentedSizes:
+    def test_augmented_list_size_bound(self):
+        """|A_v| <= |L_v| + (|A_left| + |A_right|) / 2 + 1."""
+        rng = random.Random(9)
+        root = build_tree(rng, 6, 6)
+        FractionalCascading(root)
+
+        def check(node):
+            if node is None:
+                return
+            child_total = 0
+            for child in (node.left, node.right):
+                if child is not None:
+                    child_total += len(child.aug_keys)
+            assert len(node.aug_keys) <= len(node.keys) + child_total // 2 + 1
+            check(node.left)
+            check(node.right)
+
+        check(root)

@@ -1,0 +1,97 @@
+"""Tests for convex hulls, layers, and prepared extreme-vertex search."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convexhull import PreparedHull, convex_hull, convex_layers
+from repro.geometry.primitives import cross
+
+coord = st.integers(-50, 50)
+point = st.tuples(coord, coord)
+
+
+class TestConvexHull:
+    def test_empty_and_tiny(self):
+        assert convex_hull([]) == []
+        assert convex_hull([(1, 2)]) == [(1, 2)]
+        assert convex_hull([(1, 2), (3, 4)]) == [(1, 2), (3, 4)]
+
+    def test_duplicates_collapse(self):
+        assert convex_hull([(0, 0), (0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+
+    def test_square(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_collinear_interior_dropped(self):
+        hull = convex_hull([(0, 0), (1, 0), (2, 0), (1, 1)])
+        assert (1, 0) not in hull
+
+    def test_ccw_orientation(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        area2 = sum(cross((0, 0), hull[i], hull[(i + 1) % len(hull)]) for i in range(len(hull)))
+        assert area2 > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=st.lists(point, min_size=3, max_size=60))
+    def test_all_points_inside_hull(self, points):
+        hull = convex_hull(points)
+        if len(hull) < 3:
+            return
+        for p in points:
+            for i in range(len(hull)):
+                a, b = hull[i], hull[(i + 1) % len(hull)]
+                assert cross(a, b, p) >= 0  # on or left of every CCW edge
+
+
+class TestConvexLayers:
+    def test_partition_property(self):
+        rng = random.Random(2)
+        points = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(100)]
+        layers = convex_layers(points)
+        flat = [p for layer in layers for p in layer]
+        assert sorted(flat) == sorted(set(points))
+
+    def test_layers_are_nested(self):
+        rng = random.Random(3)
+        points = [(rng.gauss(0, 1), rng.gauss(0, 1)) for _ in range(80)]
+        layers = convex_layers(points)
+        for outer, inner in zip(layers, layers[1:]):
+            hull = outer
+            for p in inner:
+                for i in range(len(hull)):
+                    a, b = hull[i], hull[(i + 1) % len(hull)]
+                    if len(hull) >= 3:
+                        assert cross(a, b, p) >= 0
+
+    def test_empty(self):
+        assert convex_layers([]) == []
+
+
+class TestPreparedHull:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=st.lists(point, min_size=1, max_size=80),
+        angle=st.floats(0, 2 * math.pi, allow_nan=False),
+    )
+    def test_extreme_matches_linear_scan(self, points, angle):
+        hull = PreparedHull(convex_hull(points))
+        d = (math.cos(angle), math.sin(angle))
+        index = hull.extreme_index(d)
+        got = hull.hull[index][0] * d[0] + hull.hull[index][1] * d[1]
+        best = max(p[0] * d[0] + p[1] * d[1] for p in points)
+        assert got >= best - 1e-9
+
+    def test_axis_directions_on_square(self):
+        hull = PreparedHull(convex_hull([(0, 0), (2, 0), (2, 2), (0, 2)]))
+        assert hull.hull[hull.extreme_index((1, 0))][0] == 2
+        assert hull.hull[hull.extreme_index((-1, 0))][0] == 0
+        assert hull.hull[hull.extreme_index((0, 1))][1] == 2
+        assert hull.hull[hull.extreme_index((0, -1))][1] == 0
+
+    def test_len(self):
+        assert len(PreparedHull([(0, 0), (1, 0), (0, 1)])) == 3

@@ -1,0 +1,86 @@
+"""Degenerate-configuration tests for hulls, layers and prepared hulls."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.convexhull import PreparedHull, convex_hull, convex_layers
+
+
+class TestDegenerateHulls:
+    def test_all_points_identical(self):
+        assert convex_hull([(1, 1)] * 10) == [(1, 1)]
+
+    def test_all_points_collinear_horizontal(self):
+        pts = [(float(i), 2.0) for i in range(10)]
+        hull = convex_hull(pts)
+        assert hull == [(0.0, 2.0), (9.0, 2.0)]
+
+    def test_all_points_collinear_diagonal(self):
+        pts = [(float(i), float(i)) for i in range(8)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0.0, 0.0), (7.0, 7.0)}
+
+    def test_three_points_triangle(self):
+        hull = convex_hull([(0, 0), (4, 0), (2, 3)])
+        assert set(hull) == {(0, 0), (4, 0), (2, 3)}
+
+    def test_duplicated_hull_vertices(self):
+        pts = [(0, 0), (4, 0), (2, 3)] * 5
+        assert len(convex_hull(pts)) == 3
+
+
+class TestDegenerateLayers:
+    def test_collinear_points_peel_to_pairs(self):
+        pts = [(float(i), 0.0) for i in range(6)]
+        layers = convex_layers(pts)
+        assert sum(len(layer) for layer in layers) == 6
+        assert len(layers[0]) == 2  # the two extremes
+
+    def test_single_point(self):
+        assert convex_layers([(5, 5)]) == [[(5, 5)]]
+
+    def test_concentric_squares(self):
+        outer = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        inner = [(3, 3), (7, 3), (7, 7), (3, 7)]
+        layers = convex_layers(outer + inner)
+        assert len(layers) == 2
+        assert set(layers[0]) == set(outer)
+        assert set(layers[1]) == set(inner)
+
+
+class TestPreparedHullDegenerate:
+    def test_two_point_hull(self):
+        hull = PreparedHull([(0.0, 0.0), (4.0, 0.0)])
+        assert hull.hull[hull.extreme_index((1.0, 0.0))] == (4.0, 0.0)
+        assert hull.hull[hull.extreme_index((-1.0, 0.0))] == (0.0, 0.0)
+
+    def test_single_point_hull(self):
+        hull = PreparedHull([(2.0, 3.0)])
+        assert hull.extreme_index((0.7, -0.7)) == 0
+
+    def test_empty_hull_raises(self):
+        with pytest.raises(ValueError):
+            PreparedHull([]).extreme_index((1.0, 0.0))
+
+    def test_direction_perpendicular_to_edge(self):
+        """Both endpoints of an edge are extreme; either index is valid."""
+        hull = PreparedHull(convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)]))
+        index = hull.extreme_index((0.0, 1.0))
+        assert hull.hull[index][1] == 4
+
+    def test_many_directions_on_regular_polygon(self):
+        vertices = [
+            (math.cos(2 * math.pi * i / 12), math.sin(2 * math.pi * i / 12))
+            for i in range(12)
+        ]
+        hull = PreparedHull(convex_hull(vertices))
+        rng = random.Random(5)
+        for _ in range(300):
+            theta = rng.uniform(0, 2 * math.pi)
+            d = (math.cos(theta), math.sin(theta))
+            index = hull.extreme_index(d)
+            got = hull.hull[index][0] * d[0] + hull.hull[index][1] * d[1]
+            best = max(p[0] * d[0] + p[1] * d[1] for p in vertices)
+            assert got >= best - 1e-9

@@ -1,0 +1,65 @@
+"""Tests for point/line duality and the lifting map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.duality import (
+    dual_line_of_point,
+    dual_point_of_line,
+    lift_ball_to_halfspace,
+    lift_point,
+)
+from repro.geometry.primitives import Ball, Line2D
+
+finite = st.floats(allow_nan=False, allow_infinity=False, min_value=-100, max_value=100)
+
+
+class TestDuality:
+    def test_roundtrip(self):
+        p = (3.0, -2.0)
+        assert dual_point_of_line(dual_line_of_point(p)) == p
+
+    @settings(max_examples=50, deadline=None)
+    @given(px=finite, py=finite, a=finite, b=finite)
+    def test_incidence_preserved(self, px, py, a, b):
+        """p above line l  <=>  dual(l) above dual(p)."""
+        line = Line2D(a, b)
+        point_above_line = py - line.at(px)
+        dual_p = dual_line_of_point((px, py))
+        dual_l = dual_point_of_line(line)
+        dual_above = dual_l[1] - dual_p.at(dual_l[0])
+        # The standard duality flips the sign of above-ness consistently:
+        # both differences are py - (a*px + b) up to sign.
+        assert abs(abs(point_above_line) - abs(dual_above)) < 1e-6
+
+
+class TestLifting:
+    def test_lift_point_appends_squared_norm(self):
+        assert lift_point((3.0, 4.0)) == (3.0, 4.0, 25.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cx=finite,
+        cy=finite,
+        r=st.floats(0.01, 50, allow_nan=False),
+        px=finite,
+        py=finite,
+    )
+    def test_ball_membership_equals_lifted_halfspace_membership(self, cx, cy, r, px, py):
+        ball = Ball((cx, cy), r)
+        halfspace = lift_ball_to_halfspace(ball)
+        lifted = lift_point((px, py))
+        inside_ball = ball.contains((px, py))
+        inside_halfspace = halfspace.contains(lifted)
+        # Allow a whisker of float slack exactly on the sphere.
+        if abs((px - cx) ** 2 + (py - cy) ** 2 - r**2) > 1e-6:
+            assert inside_ball == inside_halfspace
+
+    def test_three_dimensional_lift(self):
+        ball = Ball((1.0, 2.0, 3.0), 2.0)
+        halfspace = lift_ball_to_halfspace(ball)
+        assert halfspace.dim == 4
+        inside = (1.0, 2.0, 1.5)
+        outside = (4.0, 2.0, 3.0)
+        assert halfspace.contains(lift_point(inside))
+        assert not halfspace.contains(lift_point(outside))

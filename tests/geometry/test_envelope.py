@@ -1,0 +1,77 @@
+"""Tests for line envelopes against pointwise min/max scans."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.envelope import LowerEnvelope, UpperEnvelope
+from repro.geometry.primitives import Line2D
+
+slope = st.floats(-20, 20, allow_nan=False)
+intercept = st.floats(-100, 100, allow_nan=False)
+lines_strategy = st.lists(
+    st.builds(Line2D, slope, intercept), min_size=0, max_size=40
+)
+
+
+class TestEmptyAndSingle:
+    def test_empty(self):
+        assert LowerEnvelope([]).value_at(0) is None
+        assert UpperEnvelope([]).line_at(0) is None
+        assert len(LowerEnvelope([])) == 0
+
+    def test_single_line(self):
+        env = LowerEnvelope([Line2D(2, 1)])
+        assert env.value_at(3) == 7
+        assert env.line_at(3) == Line2D(2, 1)
+
+
+class TestParallelDedup:
+    def test_lower_keeps_lowest_parallel(self):
+        env = LowerEnvelope([Line2D(1, 5), Line2D(1, 2), Line2D(1, 9)])
+        assert len(env) == 1
+        assert env.value_at(0) == 2
+
+    def test_upper_keeps_highest_parallel(self):
+        env = UpperEnvelope([Line2D(1, 5), Line2D(1, 2), Line2D(1, 9)])
+        assert env.value_at(0) == 9
+
+
+class TestKnownShapes:
+    def test_v_shape_lower(self):
+        env = LowerEnvelope([Line2D(1, 0), Line2D(-1, 0)])
+        assert env.value_at(-2) == -2  # slope 1 wins left
+        assert env.value_at(2) == -2  # slope -1 wins right
+        assert env.value_at(0) == 0
+
+    def test_middle_line_hidden(self):
+        # y = 0x + 10 never attains the minimum of the other two.
+        env = LowerEnvelope([Line2D(1, 0), Line2D(-1, 0), Line2D(0, 10)])
+        assert len(env) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(lines=lines_strategy, xs=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=10))
+def test_lower_matches_pointwise_min(lines, xs):
+    env = LowerEnvelope(lines)
+    for x in xs:
+        expected = min((l.at(x) for l in lines), default=None)
+        got = env.value_at(x)
+        if expected is None:
+            assert got is None
+        else:
+            assert abs(got - expected) < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(lines=lines_strategy, xs=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=10))
+def test_upper_matches_pointwise_max(lines, xs):
+    env = UpperEnvelope(lines)
+    for x in xs:
+        expected = max((l.at(x) for l in lines), default=None)
+        got = env.value_at(x)
+        if expected is None:
+            assert got is None
+        else:
+            assert abs(got - expected) < 1e-6

@@ -1,0 +1,142 @@
+"""Unit tests for geometric primitives and exact predicates."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import (
+    Ball,
+    Halfplane,
+    Interval,
+    Line2D,
+    Rect,
+    cross,
+    dot,
+    squared_distance,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6)
+
+
+class TestVectorOps:
+    def test_dot_basic(self):
+        assert dot((1, 2, 3), (4, 5, 6)) == 32
+
+    def test_dot_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            dot((1, 2), (1, 2, 3))
+
+    def test_cross_ccw_positive(self):
+        assert cross((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_cross_cw_negative(self):
+        assert cross((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_cross_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_squared_distance(self):
+        assert squared_distance((0, 0), (3, 4)) == 25
+
+    def test_squared_distance_mismatch(self):
+        with pytest.raises(ValueError):
+            squared_distance((0,), (1, 2))
+
+
+class TestInterval:
+    def test_contains_interior_and_endpoints(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2) and iv.contains(5) and iv.contains(3.5)
+        assert not iv.contains(1.999) and not iv.contains(5.001)
+
+    def test_degenerate_point_interval(self):
+        iv = Interval(3, 3)
+        assert iv.contains(3)
+        assert iv.length == 0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))  # touching counts
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_hashable_and_frozen(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(0, 2)}) == 2
+        with pytest.raises(AttributeError):
+            Interval(0, 1).lo = 5
+
+
+class TestRect:
+    def test_contains_boundary(self):
+        r = Rect(0, 10, 0, 5)
+        assert r.contains((0, 0)) and r.contains((10, 5)) and r.contains((5, 2))
+        assert not r.contains((10.1, 2)) and not r.contains((5, -0.1))
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 2, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 5, 2)
+
+    def test_projections(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x_interval == Interval(1, 2)
+        assert r.y_interval == Interval(3, 4)
+
+
+class TestHalfplane:
+    def test_contains_matches_inequality(self):
+        hp = Halfplane((1.0, 0.0), 5.0)  # x >= 5
+        assert hp.contains((5, 0)) and hp.contains((6, -3))
+        assert not hp.contains((4.9, 100))
+
+    def test_dim(self):
+        assert Halfplane((1, 2, 3, 4), 0).dim == 4
+
+    def test_below_line_constructor(self):
+        hp = Halfplane.below_line(2.0, 1.0)  # y <= 2x + 1
+        assert hp.contains((0, 1)) and hp.contains((0, 0))
+        assert not hp.contains((0, 1.01))
+
+    def test_above_line_constructor(self):
+        hp = Halfplane.above_line(2.0, 1.0)  # y >= 2x + 1
+        assert hp.contains((0, 1)) and hp.contains((0, 2))
+        assert not hp.contains((0, 0.99))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=finite, b=finite, x=finite, y=finite)
+    def test_above_below_partition_the_plane(self, a, b, x, y):
+        below = Halfplane.below_line(a, b)
+        above = Halfplane.above_line(a, b)
+        assert below.contains((x, y)) or above.contains((x, y))
+
+
+class TestBall:
+    def test_contains_boundary(self):
+        ball = Ball((0.0, 0.0), 5.0)
+        assert ball.contains((3, 4))  # on boundary
+        assert ball.contains((0, 0))
+        assert not ball.contains((3.01, 4))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Ball((0.0,), -1.0)
+
+    def test_dim(self):
+        assert Ball((0.0, 0.0, 0.0), 1.0).dim == 3
+
+
+class TestLine2D:
+    def test_at(self):
+        assert Line2D(2, 1).at(3) == 7
+
+    def test_intersect_x(self):
+        assert Line2D(1, 0).intersect_x(Line2D(-1, 4)) == 2
+
+    def test_parallel_raises(self):
+        with pytest.raises(ValueError):
+            Line2D(1, 0).intersect_x(Line2D(1, 5))

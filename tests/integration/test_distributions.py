@@ -1,0 +1,83 @@
+"""Adversarial data shapes: the reductions must stay exact off-uniform.
+
+``clustered`` piles elements into three hot spots (stressing canonical
+decompositions); ``correlated`` puts all the heavy weights in one
+spatial neighbourhood (stressing the rank-sampling machinery — every
+core-set and every ladder sample concentrates there).
+"""
+
+import pytest
+
+from oracles import oracle_top_k
+from repro.bench.workloads import DISTRIBUTIONS, make_problem
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+STRESS_PROBLEMS = ("range1d", "interval_stabbing")
+
+
+@pytest.mark.parametrize("distribution", ["clustered", "correlated"])
+@pytest.mark.parametrize("name", STRESS_PROBLEMS)
+class TestAdversarialDistributions:
+    def test_theorem1_exact(self, name, distribution):
+        problem = make_problem(name, 200, seed=21, distribution=distribution)
+        index = WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=1)
+        for p in problem.predicates(8, seed=1):
+            for k in (1, 5, 40, 500):
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+    def test_theorem2_exact(self, name, distribution):
+        problem = make_problem(name, 200, seed=22, distribution=distribution)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=2
+        )
+        for p in problem.predicates(8, seed=2):
+            for k in (1, 5, 40, 500):
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+    def test_baseline_exact(self, name, distribution):
+        problem = make_problem(name, 150, seed=23, distribution=distribution)
+        index = BinarySearchTopKIndex(problem.elements, problem.prioritized_factory)
+        for p in problem.predicates(6, seed=3):
+            for k in (1, 9, 80):
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+
+class TestDistributionShapes:
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(KeyError, match="unknown distribution"):
+            make_problem("range1d", 10, distribution="exotic")
+
+    def test_clustered_really_clusters(self):
+        problem = make_problem("range1d", 400, seed=24, distribution="clustered")
+        coords = sorted(e.obj for e in problem.elements)
+        # Three tight clusters: the middle 90% of each cluster spans far
+        # less than a uniform spread would.
+        from repro.bench.workloads import UNIVERSE
+
+        in_clusters = sum(
+            1
+            for c in coords
+            if any(abs(c - f * UNIVERSE) < 0.12 * UNIVERSE for f in (0.15, 0.5, 0.85))
+        )
+        assert in_clusters > 0.95 * len(coords)
+
+    def test_correlated_puts_heavy_near_anchor(self):
+        problem = make_problem("range1d", 400, seed=25, distribution="correlated")
+        from repro.bench.workloads import UNIVERSE
+
+        by_weight = sorted(problem.elements, key=lambda e: -e.weight)
+        top_decile = by_weight[:40]
+        bottom_decile = by_weight[-40:]
+        top_spread = sum(abs(e.obj - UNIVERSE / 2) for e in top_decile) / 40
+        bottom_spread = sum(abs(e.obj - UNIVERSE / 2) for e in bottom_decile) / 40
+        assert top_spread < bottom_spread / 3
+
+    def test_all_distributions_listed(self):
+        assert set(DISTRIBUTIONS) == {"uniform", "clustered", "correlated"}
+
+    def test_uniform_unchanged_for_geometric_problems(self):
+        a = make_problem("dominance3d", 50, seed=26)
+        b = make_problem("dominance3d", 50, seed=26, distribution="clustered")
+        assert a.elements == b.elements  # fallback documented in make_problem

@@ -1,0 +1,117 @@
+"""Integration: the EM flagship pipeline (Theorem 4's setting).
+
+Builds EM-mode interval structures on a shared context, runs both
+reductions over them, and asserts the I/O-count *shapes* the paper
+claims: a logarithmic search term and a ``k/B`` output term without the
+baseline's multiplicative log.
+"""
+
+import math
+import random
+
+from oracles import oracle_top_k
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.em.model import EMContext
+from repro.core.problem import Element
+from repro.geometry.primitives import Interval
+from repro.structures.interval_stabbing import (
+    SegmentTreeIntervalPrioritized,
+    StabbingPredicate,
+    StaticIntervalStabbingMax,
+)
+
+
+def make_intervals(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    out = []
+    for i in range(n):
+        center = rng.uniform(0, 1000)
+        length = math.exp(rng.uniform(math.log(0.5), math.log(300)))
+        out.append(
+            Element(Interval(center - length / 2, center + length / 2), float(weights[i]))
+        )
+    return out
+
+
+class TestEMReductions:
+    def test_theorem1_exact_in_em_mode(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_intervals(600, 1)
+
+        def factory(subset):
+            return SegmentTreeIntervalPrioritized(subset, ctx=ctx)
+
+        index = WorstCaseTopKIndex(elements, factory, B=ctx.B, seed=2)
+        rng = random.Random(3)
+        for _ in range(15):
+            p = StabbingPredicate(rng.uniform(0, 1000))
+            for k in (1, 8, 64, 300):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_theorem2_exact_in_em_mode(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_intervals(600, 4)
+
+        def pri_factory(subset):
+            return SegmentTreeIntervalPrioritized(subset, ctx=ctx)
+
+        def max_factory(subset):
+            return StaticIntervalStabbingMax(subset, ctx=ctx)
+
+        index = ExpectedTopKIndex(elements, pri_factory, max_factory, B=ctx.B, seed=5)
+        rng = random.Random(6)
+        for _ in range(15):
+            p = StabbingPredicate(rng.uniform(0, 1000))
+            for k in (1, 8, 64, 300):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_output_term_beats_baseline_for_large_k(self):
+        """Theorem 2's O(k/B) output term vs the baseline's O((k/B) log n).
+
+        For large k the baseline's repeated cost-monitored probes re-read
+        Theta(k/B) blocks O(log n) times; Theorem 2 reads them O(1)
+        times.  The measured I/O ratio must clearly exceed 1.
+        """
+        n, k = 2000, 256
+        elements = make_intervals(n, 7)
+
+        ctx2 = EMContext(B=16, M=128)
+        t2 = ExpectedTopKIndex(
+            elements,
+            lambda subset: SegmentTreeIntervalPrioritized(subset, ctx=ctx2),
+            lambda subset: StaticIntervalStabbingMax(subset, ctx=ctx2),
+            B=16,
+            seed=8,
+        )
+        ctxb = EMContext(B=16, M=128)
+        bl = BinarySearchTopKIndex(
+            elements, lambda subset: SegmentTreeIntervalPrioritized(subset, ctx=ctxb)
+        )
+        rng = random.Random(9)
+        predicates = [StabbingPredicate(rng.uniform(200, 800)) for _ in range(12)]
+
+        ctx2.drop_cache()
+        ctx2.stats.reset()
+        for p in predicates:
+            t2.query(p, k)
+        theorem2_ios = ctx2.stats.total
+
+        ctxb.drop_cache()
+        ctxb.stats.reset()
+        for p in predicates:
+            bl.query(p, k)
+        baseline_ios = ctxb.stats.total
+
+        assert baseline_ios > 1.5 * theorem2_ios, (baseline_ios, theorem2_ios)
+
+    def test_em_space_accounting(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_intervals(800, 10)
+        SegmentTreeIntervalPrioritized(elements, ctx=ctx)
+        # O((n/B) log n) blocks: generous envelope, but far below n blocks.
+        blocks = ctx.disk.num_blocks
+        assert blocks <= (800 / 16) * math.log2(800) * 4
+        assert blocks >= 800 / 16

@@ -1,0 +1,76 @@
+"""EM-mode point enclosure: a second I/O-counted problem end to end."""
+
+import math
+import random
+
+from oracles import oracle_prioritized, oracle_top_k, sorted_desc
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.core.problem import Element
+from repro.em.model import EMContext
+from repro.geometry.primitives import Rect
+from repro.structures.point_enclosure import (
+    CascadedRectangleStabbingMax,
+    EnclosurePredicate,
+    RectanglePrioritized,
+)
+
+
+def make_rects(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    out = []
+    for i in range(n):
+        x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        out.append(Element(Rect(x1, x2, y1, y2), float(weights[i])))
+    return out
+
+
+class TestEMPointEnclosure:
+    def test_prioritized_exact_with_io_counting(self):
+        ctx = EMContext(B=16, M=256)
+        elements = make_rects(300, 1)
+        index = RectanglePrioritized(elements, ctx=ctx)
+        rng = random.Random(2)
+        ctx.drop_cache()
+        ctx.stats.reset()
+        for _ in range(25):
+            q = (rng.uniform(-5, 105), rng.uniform(-5, 105))
+            p = EnclosurePredicate(q)
+            tau = rng.uniform(0, 3000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+        assert ctx.stats.total > 0  # the queries really hit the disk
+
+    def test_theorem2_on_em_substrate(self):
+        ctx = EMContext(B=16, M=256)
+        elements = make_rects(300, 3)
+        index = ExpectedTopKIndex(
+            elements,
+            lambda subset: RectanglePrioritized(subset, ctx=ctx),
+            CascadedRectangleStabbingMax,  # RAM max; mixed modes are fine
+            B=ctx.B,
+            seed=4,
+        )
+        rng = random.Random(5)
+        for _ in range(15):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            p = EnclosurePredicate(q)
+            for k in (1, 5, 25):
+                assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    def test_em_output_term_blocked(self):
+        """t reported rectangles cost ~t/B I/Os beyond the search term."""
+        B = 16
+        ctx = EMContext(B=B, M=8 * B)
+        # All rectangles contain the query point.
+        elements = [
+            Element(Rect(0, 100 + i * 1e-9, 0, 100), float(i)) for i in range(512)
+        ]
+        index = RectanglePrioritized(elements, ctx=ctx)
+        ctx.drop_cache()
+        ctx.stats.reset()
+        result = index.query(EnclosurePredicate((50.0, 50.0)), -math.inf)
+        assert len(result.elements) == 512
+        assert ctx.stats.total <= 8 * (512 / B) + 128

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run and self-verify.
+
+Each example asserts its own correctness internally (comparisons with
+brute force); running ``main()`` in-process is the test.  Only the
+fast examples run here — the EM accounting example sweeps five block
+sizes and belongs to manual runs.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+sys.path.insert(0, str(EXAMPLES_DIR))
+
+
+def test_quickstart_runs(capsys):
+    import quickstart
+
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "Top-10 offers" in out
+    assert "agrees" in out
+
+
+def test_spatial_similarity_runs(capsys):
+    import spatial_similarity
+
+    spatial_similarity.main()
+    out = capsys.readouterr().out
+    assert "Matches brute force" in out
+    assert "Theorem 1 instantiation agrees" in out
+
+
+@pytest.mark.slow
+def test_hotel_search_runs(capsys):
+    import hotel_search
+
+    hotel_search.main()
+    out = capsys.readouterr().out
+    assert "Top-10 hotels" in out
+
+
+@pytest.mark.slow
+def test_dating_site_runs(capsys):
+    import dating_site
+
+    dating_site.main()
+    out = capsys.readouterr().out
+    assert "Top-10 salaries" in out

@@ -1,0 +1,110 @@
+"""Metamorphic consistency: the query flavours must agree with each other.
+
+Beyond per-structure oracle checks, the three query types are tied by
+identities the paper's framework relies on.  For every registered
+problem:
+
+* max reporting == top-1 reporting == head of the sorted stream;
+* prioritized(q, tau) == the sorted stream cut at tau;
+* top-k == the first k of the sorted stream;
+* counting (where available) == |prioritized(q, -inf)|;
+* the inverse reduction applied to a forward reduction recovers the
+  original prioritized answers.
+"""
+
+import math
+import itertools
+import random
+
+import pytest
+
+from repro.core.extensions import iter_top
+from repro.core.inverse import PrioritizedFromTopK
+from repro.core.theorem2 import ExpectedTopKIndex
+
+
+def build(problem, seed=0):
+    return ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory, problem.max_factory, seed=seed
+    )
+
+
+class TestQueryFlavourIdentities:
+    def test_max_equals_top1_equals_stream_head(self, problem):
+        index = build(problem, seed=1)
+        max_index = problem.max_factory(problem.elements)
+        for p in problem.predicates(8, seed=1):
+            top1 = index.query(p, 1)
+            stream_head = list(itertools.islice(iter_top(index, p), 1))
+            max_answer = max_index.query(p)
+            assert top1 == stream_head
+            if top1:
+                assert max_answer == top1[0]
+            else:
+                assert max_answer is None
+
+    def test_prioritized_equals_stream_cut_at_tau(self, problem):
+        prioritized = problem.prioritized_factory(problem.elements)
+        index = build(problem, seed=2)
+        rng = random.Random(3)
+        for p in problem.predicates(6, seed=2):
+            tau = rng.uniform(0, 10 * len(problem.elements))
+            via_stream = list(
+                itertools.takewhile(lambda e: e.weight >= tau, iter_top(index, p))
+            )
+            direct = sorted(prioritized.query(p, tau).elements, key=lambda e: -e.weight)
+            assert direct == via_stream
+
+    def test_topk_is_stream_prefix(self, problem):
+        index = build(problem, seed=4)
+        for p in problem.predicates(5, seed=4):
+            stream = list(itertools.islice(iter_top(index, p), 12))
+            assert index.query(p, 12) == stream
+
+    def test_inverse_of_forward_is_identity(self, problem):
+        prioritized = problem.prioritized_factory(problem.elements)
+        forward = build(problem, seed=5)
+        inverse = PrioritizedFromTopK(forward)
+        rng = random.Random(6)
+        for p in problem.predicates(5, seed=5):
+            tau = rng.uniform(0, 10 * len(problem.elements))
+            direct = sorted(prioritized.query(p, tau).elements, key=lambda e: -e.weight)
+            recovered = sorted(inverse.query(p, tau).elements, key=lambda e: -e.weight)
+            assert direct == recovered
+
+    def test_monotone_in_k(self, problem):
+        """query(q, k) is a prefix of query(q, k+1)."""
+        index = build(problem, seed=7)
+        for p in problem.predicates(5, seed=7):
+            previous = []
+            for k in (1, 2, 4, 9, 20):
+                current = index.query(p, k)
+                assert current[: len(previous)] == previous
+                previous = current
+
+    def test_monotone_in_tau(self, problem):
+        """Raising tau can only shrink the prioritized answer set."""
+        prioritized = problem.prioritized_factory(problem.elements)
+        weights = sorted(e.weight for e in problem.elements)
+        taus = [-math.inf, weights[len(weights) // 4], weights[-len(weights) // 4], math.inf]
+        for p in problem.predicates(4, seed=8):
+            sizes = [len(prioritized.query(p, tau).elements) for tau in taus]
+            assert sizes == sorted(sizes, reverse=True)
+
+
+class TestCountingConsistency:
+    def test_counting_equals_reporting_cardinality(self):
+        from repro.bench.workloads import make_problem
+        from repro.structures.range1d import RangeTree1DCounter
+        from repro.structures.interval_stabbing import IntervalStabbingCounter
+
+        for name, counter_cls in (
+            ("range1d", RangeTree1DCounter),
+            ("interval_stabbing", IntervalStabbingCounter),
+        ):
+            problem = make_problem(name, 150, seed=9)
+            counter = counter_cls(problem.elements)
+            prioritized = problem.prioritized_factory(problem.elements)
+            for p in problem.predicates(10, seed=9):
+                reported = len(prioritized.query(p, -math.inf).elements)
+                assert counter.count(p) == reported

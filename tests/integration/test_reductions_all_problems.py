@@ -1,0 +1,124 @@
+"""Integration: every reduction must be exact on every registered problem.
+
+This is the repository's strongest correctness statement: the reductions
+are genuinely black-box — the same code paths produce exact top-k
+answers over five different geometric problems (eight instantiations),
+matched against brute force with distinct weights (unique answers).
+"""
+
+import random
+
+import pytest
+
+from oracles import oracle_max, oracle_prioritized, oracle_top_k, sorted_desc
+from repro.core.baseline import BinarySearchTopKIndex
+from repro.core.inverse import PrioritizedFromTopK
+from repro.core.params import TuningParams
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+K_VALUES = (1, 2, 7, 25, 90, 10_000)
+
+
+class TestBlackBoxContracts:
+    """The factories themselves must honour the structure contracts."""
+
+    def test_prioritized_factory_contract(self, problem):
+        index = problem.prioritized_factory(problem.elements)
+        rng = random.Random(1)
+        for p in problem.predicates(10, seed=1):
+            tau = rng.uniform(0, 10 * len(problem.elements))
+            got = sorted_desc(index.query(p, tau).elements)
+            assert got == oracle_prioritized(problem.elements, p, tau)
+
+    def test_prioritized_cost_monitoring_contract(self, problem):
+        index = problem.prioritized_factory(problem.elements)
+        for p in problem.predicates(10, seed=2):
+            full = index.query(p, -float("inf"))
+            assert not full.truncated
+            if len(full.elements) >= 5:
+                monitored = index.query(p, -float("inf"), limit=3)
+                assert monitored.truncated
+                assert len(monitored.elements) >= 4
+
+    def test_max_factory_contract(self, problem):
+        index = problem.max_factory(problem.elements)
+        for p in problem.predicates(15, seed=3):
+            assert index.query(p) == oracle_max(problem.elements, p)
+
+
+class TestTheorem1:
+    def test_exact_on_all_problems(self, problem):
+        index = WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=4)
+        for p in problem.predicates(8, seed=4):
+            for k in K_VALUES:
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+    def test_space_bounded_by_ground(self, problem):
+        index = WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=5)
+        assert index.space_units() <= 12 * index.ground_space_units()
+
+
+class TestTheorem2:
+    def test_exact_on_all_problems(self, problem):
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=6
+        )
+        for p in problem.predicates(8, seed=6):
+            for k in K_VALUES:
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+    def test_paper_faithful_params(self, problem):
+        index = ExpectedTopKIndex(
+            problem.elements,
+            problem.prioritized_factory,
+            problem.max_factory,
+            params=TuningParams.paper_faithful(),
+            seed=7,
+        )
+        for p in problem.predicates(4, seed=7):
+            for k in (1, 10):
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+
+class TestBaseline:
+    def test_exact_on_all_problems(self, problem):
+        index = BinarySearchTopKIndex(problem.elements, problem.prioritized_factory)
+        for p in problem.predicates(6, seed=8):
+            for k in (1, 7, 60):
+                assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+
+class TestInverse:
+    def test_prioritized_recovered_from_topk(self, problem):
+        topk = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=9
+        )
+        inverse = PrioritizedFromTopK(topk)
+        rng = random.Random(10)
+        for p in problem.predicates(5, seed=10):
+            tau = rng.uniform(0, 10 * len(problem.elements))
+            got = sorted_desc(inverse.query(p, tau).elements)
+            assert got == oracle_prioritized(problem.elements, p, tau)
+
+
+class TestUpdatesWhereSupported:
+    def test_dynamic_problem_updates(self, problem):
+        if not problem.supports_updates:
+            pytest.skip("problem registered as static")
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=11
+        )
+        rng = random.Random(12)
+        current = list(problem.elements)
+        top_weight = max(e.weight for e in current)
+        for step in range(60):
+            new = problem.element_gen(rng, top_weight + 1.0 + step)
+            index.insert(new)
+            current.append(new)
+            if step % 2 == 0:
+                victim = current.pop(rng.randrange(len(current)))
+                index.delete(victim)
+        for p in problem.predicates(6, seed=13):
+            for k in (1, 5, 40):
+                assert index.query(p, k) == oracle_top_k(current, p, k)

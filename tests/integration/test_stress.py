@@ -1,0 +1,121 @@
+"""Stress campaigns: larger instances, long mixed workloads, many seeds.
+
+Each test is bounded to a few seconds but covers far more ground than
+the unit tests: thousands of queries, long update traces, and seed
+sweeps over the probabilistic machinery.
+"""
+
+import math
+import random
+
+import pytest
+
+from oracles import oracle_top_k
+from repro.bench.workloads import make_problem
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
+
+
+class TestSeedSweeps:
+    """The randomized reductions must be exact for *every* seed."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem1_many_seeds(self, seed):
+        elements = make_toy_elements(300, seed)
+        index = WorstCaseTopKIndex(elements, ToyPrioritized, seed=seed)
+        rng = random.Random(seed + 1000)
+        for _ in range(10):
+            a, b = sorted((rng.uniform(0, 3000), rng.uniform(0, 3000)))
+            p = RangePredicate(a, b)
+            k = rng.choice([1, 7, 50, 299])
+            assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem2_many_seeds(self, seed):
+        elements = make_toy_elements(300, seed)
+        index = ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, seed=seed)
+        rng = random.Random(seed + 2000)
+        for _ in range(10):
+            a, b = sorted((rng.uniform(0, 3000), rng.uniform(0, 3000)))
+            p = RangePredicate(a, b)
+            k = rng.choice([1, 7, 50, 299])
+            assert index.query(p, k) == oracle_top_k(elements, p, k)
+
+
+class TestLargeInstances:
+    def test_big_interval_stabbing_campaign(self):
+        problem = make_problem("interval_stabbing", 3_000, seed=31)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=1
+        )
+        rng = random.Random(32)
+        for p in problem.predicates(40, seed=32):
+            k = rng.choice([1, 10, 100, 1500])
+            assert index.query(p, k) == oracle_top_k(problem.elements, p, k)
+
+    def test_big_range1d_all_reductions_agree(self):
+        problem = make_problem("range1d", 5_000, seed=33)
+        t1 = WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=2)
+        t2 = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=3
+        )
+        for p in problem.predicates(25, seed=34):
+            for k in (1, 20, 400):
+                assert t1.query(p, k) == t2.query(p, k)
+
+
+class TestLongUpdateTrace:
+    def test_thousand_update_trace_stays_exact(self):
+        problem = make_problem("range1d_dynamic", 500, seed=35)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=4
+        )
+        rng = random.Random(36)
+        current = list(problem.elements)
+        top_weight = max(e.weight for e in current)
+        for step in range(1000):
+            if rng.random() < 0.55 or len(current) < 50:
+                fresh = problem.element_gen(rng, top_weight + 1.0 + step)
+                index.insert(fresh)
+                current.append(fresh)
+            else:
+                victim = current.pop(rng.randrange(len(current)))
+                index.delete(victim)
+            if step % 100 == 99:
+                for p in problem.predicates(3, seed=step):
+                    assert index.query(p, 12) == oracle_top_k(current, p, 12)
+        assert index.n == len(current)
+
+
+class TestExtremeParameters:
+    def test_k_equals_one_everywhere(self):
+        """k=1 (max reporting) across a broad predicate sweep."""
+        problem = make_problem("dominance3d", 400, seed=37)
+        index = ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory, problem.max_factory, seed=5
+        )
+        for p in problem.predicates(60, seed=38):
+            assert index.query(p, 1) == oracle_top_k(problem.elements, p, 1)
+
+    def test_k_equals_n_everywhere(self):
+        problem = make_problem("halfplane2d", 300, seed=39)
+        index = WorstCaseTopKIndex(problem.elements, problem.prioritized_factory, seed=6)
+        for p in problem.predicates(20, seed=40):
+            assert index.query(p, 300) == oracle_top_k(problem.elements, p, 300)
+
+    def test_tiny_inputs_all_problems(self):
+        from repro.bench.workloads import PROBLEMS
+
+        for name in PROBLEMS:
+            for n in (1, 2, 3, 5):
+                problem = make_problem(name, n, seed=41)
+                index = ExpectedTopKIndex(
+                    problem.elements,
+                    problem.prioritized_factory,
+                    problem.max_factory,
+                    seed=7,
+                )
+                for p in problem.predicates(4, seed=42):
+                    for k in (1, 2, 10):
+                        assert index.query(p, k) == oracle_top_k(problem.elements, p, k)

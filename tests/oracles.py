@@ -1,0 +1,38 @@
+"""Brute-force reference oracles every structure test compares against."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.problem import Element, Predicate
+
+
+def oracle_prioritized(
+    elements: Iterable[Element], predicate: Predicate, tau: float
+) -> List[Element]:
+    """Matches with weight >= tau, heaviest first."""
+    out = [e for e in elements if e.weight >= tau and predicate.matches(e.obj)]
+    out.sort(key=lambda e: e.weight, reverse=True)
+    return out
+
+
+def oracle_top_k(elements: Iterable[Element], predicate: Predicate, k: int) -> List[Element]:
+    """The k heaviest matches, heaviest first (all matches if fewer)."""
+    out = [e for e in elements if predicate.matches(e.obj)]
+    out.sort(key=lambda e: e.weight, reverse=True)
+    return out[:k] if 0 <= k < len(out) else out
+
+
+def oracle_max(elements: Iterable[Element], predicate: Predicate) -> Optional[Element]:
+    """The heaviest match, or None."""
+    best: Optional[Element] = None
+    for element in elements:
+        if predicate.matches(element.obj):
+            if best is None or element.weight > best.weight:
+                best = element
+    return best
+
+
+def sorted_desc(elements: Iterable[Element]) -> List[Element]:
+    """Canonical descending-weight order for set comparisons."""
+    return sorted(elements, key=lambda e: e.weight, reverse=True)

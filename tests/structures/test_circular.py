@@ -1,0 +1,118 @@
+"""Tests for circular range structures built via the lifting map."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.geometry.primitives import Ball
+from repro.structures.circular import (
+    CircularPredicate,
+    LiftedCircularMax,
+    LiftedCircularPrioritized,
+)
+
+
+def make_points(n, d, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(tuple(rng.uniform(-10, 10) for _ in range(d)), float(weights[i]), payload=i)
+        for i in range(n)
+    ]
+
+
+def random_ball(rng, d):
+    return Ball(tuple(rng.uniform(-10, 10) for _ in range(d)), rng.uniform(0.5, 12))
+
+
+class TestPredicate:
+    def test_closed_boundary(self):
+        p = CircularPredicate(Ball((0.0, 0.0), 5.0))
+        assert p.matches((3.0, 4.0))
+        assert not p.matches((3.1, 4.0))
+
+
+class TestPrioritized:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_oracle(self, d):
+        elements = make_points(200, d, seed=d)
+        index = LiftedCircularPrioritized(elements)
+        rng = random.Random(d + 20)
+        for _ in range(40):
+            p = CircularPredicate(random_ball(rng, d))
+            tau = rng.uniform(0, 2000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_elements_keep_original_objects(self):
+        elements = make_points(60, 2, seed=1)
+        index = LiftedCircularPrioritized(elements)
+        p = CircularPredicate(Ball((0.0, 0.0), 20.0))
+        reported = index.query(p, -math.inf).elements
+        assert set(reported) == set(elements)  # same objects, not lifted copies
+
+    def test_limit_truncation(self):
+        elements = make_points(100, 2, seed=2)
+        index = LiftedCircularPrioritized(elements)
+        p = CircularPredicate(Ball((0.0, 0.0), 100.0))
+        r = index.query(p, -math.inf, limit=5)
+        assert r.truncated and len(r.elements) == 6
+
+    def test_empty_ball(self):
+        elements = make_points(80, 2, seed=3)
+        index = LiftedCircularPrioritized(elements)
+        p = CircularPredicate(Ball((500.0, 500.0), 1.0))
+        assert index.query(p, -math.inf).elements == []
+
+
+class TestMax:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_oracle(self, d):
+        elements = make_points(200, d, seed=d + 5)
+        index = LiftedCircularMax(elements)
+        rng = random.Random(d + 30)
+        for _ in range(60):
+            p = CircularPredicate(random_ball(rng, d))
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_returns_original_element(self):
+        elements = make_points(50, 2, seed=6)
+        index = LiftedCircularMax(elements)
+        hit = index.query(CircularPredicate(Ball((0.0, 0.0), 50.0)))
+        assert hit in elements
+
+    def test_none_when_empty(self):
+        elements = make_points(50, 2, seed=7)
+        index = LiftedCircularMax(elements)
+        assert index.query(CircularPredicate(Ball((99.0, 99.0), 0.5))) is None
+
+
+coordinate = st.integers(-10, 10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40),
+    cx=st.integers(-12, 12),
+    cy=st.integers(-12, 12),
+    r=st.floats(0.1, 20, allow_nan=False),
+    seed=st.integers(0, 100),
+)
+def test_property_matches_oracle(pts, cx, cy, r, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(pts)), len(pts))
+    elements = [
+        Element((float(p[0]), float(p[1])), float(w)) for p, w in zip(pts, weights)
+    ]
+    p = CircularPredicate(Ball((float(cx), float(cy)), r))
+    index = LiftedCircularPrioritized(elements, leaf_size=2)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert LiftedCircularMax(elements).query(p) == oracle_max(elements, p)

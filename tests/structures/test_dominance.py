@@ -1,0 +1,133 @@
+"""Tests for 3D dominance structures."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.structures.dominance import DominanceMax, DominancePredicate, DominancePrioritized
+
+
+def make_points(n, seed=0, universe=100.0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(
+            (rng.uniform(0, universe), rng.uniform(0, universe), rng.uniform(0, universe)),
+            float(weights[i]),
+            payload=i,
+        )
+        for i in range(n)
+    ]
+
+
+def corners(elements, rng, count):
+    out = []
+    for _ in range(count):
+        if rng.random() < 0.3 and elements:
+            e = rng.choice(elements)
+            out.append(e.obj)  # exactly on a point: closed comparisons
+        else:
+            out.append(tuple(rng.uniform(-5, 110) for _ in range(3)))
+    return out
+
+
+class TestPredicate:
+    def test_closed_dominance(self):
+        p = DominancePredicate((5.0, 5.0, 5.0))
+        assert p.matches((5.0, 5.0, 5.0))
+        assert p.matches((1.0, 2.0, 3.0))
+        assert not p.matches((5.0, 5.0, 5.0001))
+
+
+class TestPrioritized:
+    def test_matches_oracle(self):
+        elements = make_points(250, 1)
+        index = DominancePrioritized(elements)
+        rng = random.Random(2)
+        for q in corners(elements, rng, 60):
+            tau = rng.uniform(0, 2500)
+            p = DominancePredicate(q)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_limit_truncation(self):
+        elements = make_points(300, 3)
+        index = DominancePrioritized(elements)
+        p = DominancePredicate((200.0, 200.0, 200.0))
+        r = index.query(p, -math.inf, limit=5)
+        assert r.truncated and len(r.elements) == 6
+
+    def test_empty_structure(self):
+        index = DominancePrioritized([])
+        assert index.query(DominancePredicate((1, 1, 1)), 0.0).elements == []
+
+    def test_corner_below_everything(self):
+        elements = make_points(100, 4)
+        index = DominancePrioritized(elements)
+        p = DominancePredicate((-1.0, -1.0, -1.0))
+        assert index.query(p, -math.inf).elements == []
+
+    def test_duplicate_coordinates(self):
+        elements = [
+            Element((5.0, 5.0, 5.0), 1.0),
+            Element((5.0, 5.0, 5.0), 2.0),
+            Element((5.0, 1.0, 5.0), 3.0),
+        ]
+        index = DominancePrioritized(elements)
+        got = index.query(DominancePredicate((5.0, 5.0, 5.0)), -math.inf)
+        assert len(got.elements) == 3
+
+
+class TestMax:
+    def test_matches_oracle(self):
+        elements = make_points(250, 5)
+        index = DominanceMax(elements)
+        rng = random.Random(6)
+        for q in corners(elements, rng, 80):
+            p = DominancePredicate(q)
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_empty(self):
+        assert DominanceMax([]).query(DominancePredicate((1, 1, 1))) is None
+
+    def test_hotel_semantics(self):
+        """The paper's example: best-rated hotel under price/distance caps."""
+        hotels = [
+            Element((120.0, 2.0, -3.0), 4.1, payload="inn"),  # (price, km, -rating_req)
+            Element((300.0, 0.5, -5.0), 4.9, payload="plaza"),
+            Element((80.0, 5.0, -2.0), 3.7, payload="hostel"),
+        ]
+        index = DominanceMax(hotels)
+        # Price <= 150, distance <= 3km, security rating >= 2 (z <= -2).
+        hit = index.query(DominancePredicate((150.0, 3.0, -2.0)))
+        assert hit.payload == "inn"
+
+
+coordinate = st.integers(0, 20)
+point3 = st.tuples(coordinate, coordinate, coordinate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    objs=st.lists(point3, min_size=1, max_size=50),
+    q=st.tuples(st.integers(-2, 22), st.integers(-2, 22), st.integers(-2, 22)),
+    seed=st.integers(0, 100),
+)
+def test_property_prioritized_and_max(objs, q, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(objs)), len(objs))
+    elements = [
+        Element(tuple(float(c) for c in o), float(w)) for o, w in zip(objs, weights)
+    ]
+    p = DominancePredicate(tuple(float(c) for c in q))
+    index = DominancePrioritized(elements)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert DominanceMax(elements).query(p) == oracle_max(elements, p)

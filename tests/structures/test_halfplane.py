@@ -1,0 +1,157 @@
+"""Tests for 2D halfplane structures."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.geometry.primitives import Halfplane
+from repro.structures.halfplane import (
+    ConvexLayerReporting,
+    HalfplaneMax,
+    HalfplanePredicate,
+    HalfplanePrioritized,
+)
+
+
+def make_points(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element((rng.uniform(-10, 10), rng.uniform(-10, 10)), float(weights[i]), payload=i)
+        for i in range(n)
+    ]
+
+
+def random_halfplane(rng):
+    theta = rng.uniform(0, 2 * math.pi)
+    normal = (math.cos(theta), math.sin(theta))
+    c = rng.uniform(-12, 12)
+    return Halfplane(normal, c)
+
+
+class TestConvexLayerReporting:
+    def test_reports_exactly_the_members(self):
+        elements = make_points(200, 1)
+        reporter = ConvexLayerReporting(elements)
+        rng = random.Random(2)
+        for _ in range(60):
+            hp = random_halfplane(rng)
+            got, truncated = reporter.report(hp)
+            assert not truncated
+            expect = [e for e in elements if hp.contains(e.obj)]
+            assert sorted_desc(got) == sorted_desc(expect)
+
+    def test_limit_truncates(self):
+        elements = make_points(100, 3)
+        reporter = ConvexLayerReporting(elements)
+        hp = Halfplane((1.0, 0.0), -100.0)  # contains everything
+        got, truncated = reporter.report(hp, limit=5)
+        assert truncated and len(got) == 6
+
+    def test_empty_halfplane(self):
+        elements = make_points(50, 4)
+        reporter = ConvexLayerReporting(elements)
+        hp = Halfplane((1.0, 0.0), 100.0)  # contains nothing
+        got, truncated = reporter.report(hp)
+        assert got == [] and not truncated
+
+    def test_duplicate_points_all_reported(self):
+        elements = [Element((1.0, 1.0), 1.0), Element((1.0, 1.0), 2.0)]
+        reporter = ConvexLayerReporting(elements)
+        got, _ = reporter.report(Halfplane((1.0, 0.0), 0.0))
+        assert len(got) == 2
+
+    def test_single_point(self):
+        reporter = ConvexLayerReporting([Element((0.0, 0.0), 1.0)])
+        got, _ = reporter.report(Halfplane((1.0, 0.0), -1.0))
+        assert len(got) == 1
+
+
+class TestPrioritized:
+    def test_matches_oracle(self):
+        elements = make_points(200, 5)
+        index = HalfplanePrioritized(elements)
+        rng = random.Random(6)
+        for _ in range(60):
+            p = HalfplanePredicate(random_halfplane(rng))
+            tau = rng.uniform(0, 2000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_tau_above_everything(self):
+        elements = make_points(80, 7)
+        index = HalfplanePrioritized(elements)
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), -100.0))
+        assert index.query(p, 1e9).elements == []
+
+    def test_limit_truncation(self):
+        elements = make_points(150, 8)
+        index = HalfplanePrioritized(elements)
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), -100.0))
+        r = index.query(p, -math.inf, limit=6)
+        assert r.truncated and len(r.elements) == 7
+
+    def test_empty(self):
+        index = HalfplanePrioritized([])
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), 0.0))
+        assert index.query(p, 0.0).elements == []
+
+
+class TestMax:
+    def test_matches_oracle(self):
+        elements = make_points(200, 9)
+        index = HalfplaneMax(elements)
+        rng = random.Random(10)
+        for _ in range(80):
+            p = HalfplanePredicate(random_halfplane(rng))
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_empty_answer(self):
+        elements = make_points(50, 11)
+        index = HalfplaneMax(elements)
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), 1000.0))
+        assert index.query(p) is None
+
+    def test_single_element(self):
+        index = HalfplaneMax([Element((1.0, 1.0), 5.0)])
+        assert index.query(HalfplanePredicate(Halfplane((1.0, 0.0), 0.0))).weight == 5.0
+
+    def test_heaviest_preferred_over_closer(self):
+        elements = [
+            Element((10.0, 0.0), 1.0),  # deep inside
+            Element((0.5, 0.0), 2.0),  # barely inside, heavier
+        ]
+        index = HalfplaneMax(elements)
+        hit = index.query(HalfplanePredicate(Halfplane((1.0, 0.0), 0.0)))
+        assert hit.weight == 2.0
+
+
+coordinate = st.integers(-15, 15)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40),
+    theta=st.floats(0, 2 * math.pi, allow_nan=False),
+    c=st.integers(-20, 20),
+    seed=st.integers(0, 100),
+)
+def test_property_prioritized_and_max(pts, theta, c, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(pts)), len(pts))
+    elements = [
+        Element((float(p[0]), float(p[1])), float(w)) for p, w in zip(pts, weights)
+    ]
+    hp = Halfplane((math.cos(theta), math.sin(theta)), float(c))
+    p = HalfplanePredicate(hp)
+    index = HalfplanePrioritized(elements)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert HalfplaneMax(elements).query(p) == oracle_max(elements, p)

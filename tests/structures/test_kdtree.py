@@ -1,0 +1,172 @@
+"""Tests for the weight-augmented kd-tree (halfspace/ball, d >= 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, oracle_top_k, sorted_desc
+from repro.core.problem import Element
+from repro.geometry.primitives import Ball, Halfplane
+from repro.structures.kdtree import (
+    CONTAINED,
+    DISJOINT,
+    PARTIAL,
+    HalfspacePredicate,
+    KDTreeIndex,
+    KDTreeMax,
+    classify,
+    classify_ball,
+    classify_halfspace,
+)
+
+
+def make_points(n, d, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(tuple(rng.uniform(-10, 10) for _ in range(d)), float(weights[i]), payload=i)
+        for i in range(n)
+    ]
+
+
+def random_halfspace(rng, d):
+    normal = tuple(rng.gauss(0, 1) for _ in range(d))
+    c = rng.uniform(-8, 8)
+    return Halfplane(normal, c)
+
+
+class TestClassification:
+    def test_halfspace_contained(self):
+        hs = Halfplane((1.0, 0.0), -100.0)
+        assert classify_halfspace(hs, (0, 0), (1, 1)) == CONTAINED
+
+    def test_halfspace_disjoint(self):
+        hs = Halfplane((1.0, 0.0), 100.0)
+        assert classify_halfspace(hs, (0, 0), (1, 1)) == DISJOINT
+
+    def test_halfspace_partial(self):
+        hs = Halfplane((1.0, 0.0), 0.5)
+        assert classify_halfspace(hs, (0, 0), (1, 1)) == PARTIAL
+
+    def test_halfspace_negative_normal(self):
+        hs = Halfplane((-1.0, 0.0), -0.5)  # x <= 0.5
+        assert classify_halfspace(hs, (0, 0), (0.4, 1)) == CONTAINED
+        assert classify_halfspace(hs, (0.6, 0), (1, 1)) == DISJOINT
+
+    def test_ball_contained(self):
+        assert classify_ball(Ball((0.0, 0.0), 10.0), (-1, -1), (1, 1)) == CONTAINED
+
+    def test_ball_disjoint(self):
+        assert classify_ball(Ball((100.0, 0.0), 1.0), (-1, -1), (1, 1)) == DISJOINT
+
+    def test_ball_partial(self):
+        assert classify_ball(Ball((0.0, 0.0), 1.0), (-1, -1), (1, 1)) == PARTIAL
+
+    def test_classify_dispatch(self):
+        assert classify(Halfplane((1.0,), 0.0), (1,), (2,)) == CONTAINED
+        assert classify(Ball((0.0,), 5.0), (1,), (2,)) == CONTAINED
+
+    def test_classify_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            classify("not a region", (0,), (1,))
+
+
+class TestPrioritized:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_matches_oracle(self, d):
+        elements = make_points(200, d, seed=d)
+        index = KDTreeIndex(elements)
+        rng = random.Random(d + 10)
+        for _ in range(40):
+            p = HalfspacePredicate(random_halfspace(rng, d))
+            tau = rng.uniform(0, 2000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_limit_truncation(self):
+        elements = make_points(150, 2, seed=1)
+        index = KDTreeIndex(elements)
+        p = HalfspacePredicate(Halfplane((1.0, 0.0), -100.0))
+        r = index.query(p, -math.inf, limit=4)
+        assert r.truncated and len(r.elements) == 5
+
+    def test_leaf_size_one(self):
+        elements = make_points(60, 2, seed=2)
+        index = KDTreeIndex(elements, leaf_size=1)
+        p = HalfspacePredicate(Halfplane((0.0, 1.0), 0.0))
+        assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+            elements, p, -math.inf
+        )
+
+    def test_predicate_without_region_rejected(self):
+        from repro.structures.dominance import DominancePredicate
+
+        index = KDTreeIndex(make_points(10, 3, seed=3))
+        with pytest.raises(TypeError, match="region"):
+            index.query(DominancePredicate((0.0, 0.0, 0.0)), 0.0)
+
+    def test_query_cost_bound_polynomial(self):
+        index = KDTreeIndex(make_points(256, 2, seed=4))
+        assert index.query_cost_bound() == pytest.approx(256**0.5)
+
+
+class TestMaxAndTopK:
+    def test_max_matches_oracle(self):
+        elements = make_points(200, 3, seed=5)
+        index = KDTreeMax(elements)
+        rng = random.Random(6)
+        for _ in range(60):
+            p = HalfspacePredicate(random_halfspace(rng, 3))
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_native_top_k_matches_oracle(self):
+        elements = make_points(200, 2, seed=7)
+        index = KDTreeIndex(elements)
+        rng = random.Random(8)
+        for _ in range(30):
+            p = HalfspacePredicate(random_halfspace(rng, 2))
+            for k in (1, 5, 50):
+                assert index.top_k(p, k) == oracle_top_k(elements, p, k)
+
+    def test_top_k_k_zero(self):
+        index = KDTreeIndex(make_points(20, 2, seed=9))
+        assert index.top_k(HalfspacePredicate(Halfplane((1.0, 0.0), 0.0)), 0) == []
+
+    def test_pruning_visits_few_nodes_for_max(self):
+        elements = make_points(2000, 2, seed=10)
+        index = KDTreeMax(elements)
+        index.ops.reset()
+        index.query(HalfspacePredicate(Halfplane((1.0, 0.0), -100.0)))  # everything
+        assert index.ops.node_visits <= 30  # heaviest found near the root
+
+
+coordinate = st.integers(-12, 12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coordinate, coordinate, coordinate), min_size=1, max_size=40),
+    nx=st.floats(-1, 1, allow_nan=False),
+    ny=st.floats(-1, 1, allow_nan=False),
+    nz=st.floats(-1, 1, allow_nan=False),
+    c=st.integers(-15, 15),
+    seed=st.integers(0, 100),
+)
+def test_property_matches_oracle_3d(pts, nx, ny, nz, c, seed):
+    if abs(nx) + abs(ny) + abs(nz) < 1e-9:
+        return
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(pts)), len(pts))
+    elements = [
+        Element(tuple(float(v) for v in p), float(w)) for p, w in zip(pts, weights)
+    ]
+    p = HalfspacePredicate(Halfplane((nx, ny, nz), float(c)))
+    index = KDTreeIndex(elements, leaf_size=2)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert index.max_query(p) == oracle_max(elements, p)

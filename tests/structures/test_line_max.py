@@ -1,0 +1,157 @@
+"""Tests for the Section 5.4 max structure (envelope onion + ray shooting)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max
+from repro.core.problem import Element
+from repro.geometry.primitives import Halfplane, Line2D
+from repro.structures.halfplane import HalfplaneMax, HalfplanePredicate
+from repro.structures.line_max import (
+    LineAbovePointMax,
+    LineAboveQuery,
+    UpperHalfplanePointMax,
+)
+
+
+def make_lines(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(Line2D(rng.uniform(-5, 5), rng.uniform(-50, 50)), float(weights[i]))
+        for i in range(n)
+    ]
+
+
+def make_points(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element((rng.uniform(-10, 10), rng.uniform(-10, 10)), float(weights[i]))
+        for i in range(n)
+    ]
+
+
+class TestLineAbovePointMax:
+    def test_matches_oracle(self):
+        elements = make_lines(300, 1)
+        index = LineAbovePointMax(elements)
+        rng = random.Random(2)
+        for _ in range(300):
+            q = (rng.uniform(-20, 20), rng.uniform(-150, 150))
+            p = LineAboveQuery(q)
+            assert index.query(p) == oracle_max(elements, p), q
+
+    def test_point_above_everything(self):
+        elements = make_lines(50, 3)
+        index = LineAbovePointMax(elements)
+        assert index.query(LineAboveQuery((0.0, 1e6))) is None
+
+    def test_point_below_everything_gets_heaviest(self):
+        elements = make_lines(50, 4)
+        index = LineAbovePointMax(elements)
+        heaviest = max(elements, key=lambda e: e.weight)
+        assert index.query(LineAboveQuery((0.0, -1e6))) == heaviest
+
+    def test_single_line(self):
+        element = Element(Line2D(1.0, 0.0), 5.0)
+        index = LineAbovePointMax([element])
+        assert index.query(LineAboveQuery((2.0, 1.5))) == element
+        assert index.query(LineAboveQuery((2.0, 2.5))) is None
+
+    def test_parallel_lines(self):
+        elements = [
+            Element(Line2D(1.0, 0.0), 1.0),
+            Element(Line2D(1.0, 5.0), 2.0),
+            Element(Line2D(1.0, 10.0), 3.0),
+        ]
+        index = LineAbovePointMax(elements)
+        # All above: the heaviest (which is also the highest here) wins.
+        assert index.query(LineAboveQuery((0.0, -1.0))).weight == 3.0
+        # Only the highest line is above y=7.
+        assert index.query(LineAboveQuery((0.0, 7.0))).weight == 3.0
+        assert index.query(LineAboveQuery((0.0, 11.0))) is None
+
+    def test_hidden_light_line_never_answers(self):
+        """A light line below a heavy one is never the answer."""
+        heavy = Element(Line2D(0.0, 10.0), 9.0)
+        light = Element(Line2D(0.0, 5.0), 1.0)
+        index = LineAbovePointMax([heavy, light])
+        # Point between them: only the light line is above... no — the
+        # light line is at y=5, the point y=7 is above it; the heavy
+        # line (y=10) is above the point, so heavy answers.
+        assert index.query(LineAboveQuery((0.0, 7.0))) == heavy
+        # Point below both: heavy still answers (max weight).
+        assert index.query(LineAboveQuery((0.0, 0.0))) == heavy
+        # Point above heavy: nothing.
+        assert index.query(LineAboveQuery((0.0, 11.0))) is None
+
+    def test_exposed_segments_at_most_n(self):
+        elements = make_lines(200, 5)
+        index = LineAbovePointMax(elements)
+        assert index._locator.n <= 200
+
+    def test_query_cost_bound(self):
+        index = LineAbovePointMax(make_lines(1024, 6))
+        assert index.query_cost_bound() == pytest.approx(10.0)
+
+
+class TestUpperHalfplanePointMax:
+    def test_matches_oracle(self):
+        elements = make_points(250, 7)
+        index = UpperHalfplanePointMax(elements)
+        rng = random.Random(8)
+        for _ in range(200):
+            theta = rng.uniform(0.05, math.pi - 0.05)  # normal_y > 0
+            hp = Halfplane((math.cos(theta), math.sin(theta)), rng.uniform(-12, 12))
+            p = HalfplanePredicate(hp)
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_agrees_with_hull_partition_structure(self):
+        """The O(log n) persistent structure vs the O(log^2 n) hull tree."""
+        elements = make_points(300, 9)
+        fast = UpperHalfplanePointMax(elements)
+        general = HalfplaneMax(elements)
+        rng = random.Random(10)
+        for _ in range(150):
+            theta = rng.uniform(0.05, math.pi - 0.05)
+            hp = Halfplane((math.cos(theta), math.sin(theta)), rng.uniform(-12, 12))
+            p = HalfplanePredicate(hp)
+            assert fast.query(p) == general.query(p)
+
+    def test_rejects_lower_halfplanes(self):
+        index = UpperHalfplanePointMax(make_points(20, 11))
+        with pytest.raises(ValueError, match="upper halfplanes"):
+            index.query(HalfplanePredicate(Halfplane((0.0, -1.0), 0.0)))
+
+    def test_empty_halfplane(self):
+        elements = make_points(60, 12)
+        index = UpperHalfplanePointMax(elements)
+        assert index.query(HalfplanePredicate(Halfplane((0.0, 1.0), 1e9))) is None
+
+
+slope = st.integers(-8, 8)
+intercept = st.integers(-40, 40)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    params=st.lists(st.tuples(slope, intercept), min_size=1, max_size=50, unique=True),
+    qx=st.integers(-15, 15),
+    qy=st.integers(-200, 200),
+    seed=st.integers(0, 100),
+)
+def test_property_matches_oracle(params, qx, qy, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(params)), len(params))
+    elements = [
+        Element(Line2D(float(a), float(b)), float(w))
+        for (a, b), w in zip(params, weights)
+    ]
+    index = LineAbovePointMax(elements)
+    p = LineAboveQuery((float(qx), float(qy)))
+    assert index.query(p) == oracle_max(elements, p)

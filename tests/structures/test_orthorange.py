@@ -1,0 +1,137 @@
+"""Tests for orthogonal (box) range reporting on the kd-tree."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, oracle_top_k, sorted_desc
+from repro.core.problem import Element
+from repro.structures.kdtree import (
+    CONTAINED,
+    DISJOINT,
+    PARTIAL,
+    Box,
+    KDTreeIndex,
+    KDTreeMax,
+    OrthogonalRangePredicate,
+    classify_box,
+)
+
+
+def make_points(n, d, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(tuple(rng.uniform(0, 100) for _ in range(d)), float(weights[i]))
+        for i in range(n)
+    ]
+
+
+def random_box(rng, d):
+    lo, hi = [], []
+    for _ in range(d):
+        a, b = sorted((rng.uniform(-5, 105), rng.uniform(-5, 105)))
+        lo.append(a)
+        hi.append(b)
+    return Box(tuple(lo), tuple(hi))
+
+
+class TestBox:
+    def test_contains_closed_boundary(self):
+        box = Box((0.0, 0.0), (10.0, 5.0))
+        assert box.contains((0.0, 0.0)) and box.contains((10.0, 5.0))
+        assert not box.contains((10.1, 2.0))
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box((5.0,), (2.0,))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0.0, 0.0), (1.0,))
+
+    def test_dim(self):
+        assert Box((0.0,) * 3, (1.0,) * 3).dim == 3
+
+
+class TestClassifyBox:
+    def test_contained(self):
+        query = Box((0.0, 0.0), (10.0, 10.0))
+        assert classify_box(query, (2, 2), (8, 8)) == CONTAINED
+
+    def test_disjoint(self):
+        query = Box((0.0, 0.0), (1.0, 1.0))
+        assert classify_box(query, (5, 5), (8, 8)) == DISJOINT
+
+    def test_partial(self):
+        query = Box((0.0, 0.0), (5.0, 5.0))
+        assert classify_box(query, (2, 2), (8, 8)) == PARTIAL
+
+    def test_touching_edges_count_as_overlap(self):
+        query = Box((0.0, 0.0), (5.0, 5.0))
+        assert classify_box(query, (5, 0), (8, 5)) == PARTIAL
+
+
+class TestQueries:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_prioritized_matches_oracle(self, d):
+        elements = make_points(200, d, seed=d)
+        index = KDTreeIndex(elements)
+        rng = random.Random(d + 40)
+        for _ in range(40):
+            p = OrthogonalRangePredicate(random_box(rng, d))
+            tau = rng.uniform(0, 2000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_max_matches_oracle(self, d):
+        elements = make_points(200, d, seed=d + 5)
+        index = KDTreeMax(elements)
+        rng = random.Random(d + 50)
+        for _ in range(50):
+            p = OrthogonalRangePredicate(random_box(rng, d))
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_native_topk_matches_oracle(self):
+        elements = make_points(150, 2, seed=9)
+        index = KDTreeIndex(elements)
+        rng = random.Random(60)
+        for _ in range(20):
+            p = OrthogonalRangePredicate(random_box(rng, 2))
+            for k in (1, 5, 40):
+                assert index.top_k(p, k) == oracle_top_k(elements, p, k)
+
+
+coordinate = st.integers(0, 30)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coordinate, coordinate), min_size=1, max_size=40),
+    ax=st.integers(-2, 32),
+    bx=st.integers(-2, 32),
+    ay=st.integers(-2, 32),
+    by=st.integers(-2, 32),
+    seed=st.integers(0, 100),
+)
+def test_property_matches_oracle(pts, ax, bx, ay, by, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(pts)), len(pts))
+    elements = [
+        Element((float(p[0]), float(p[1])), float(w)) for p, w in zip(pts, weights)
+    ]
+    box = Box(
+        (float(min(ax, bx)), float(min(ay, by))),
+        (float(max(ax, bx)), float(max(ay, by))),
+    )
+    p = OrthogonalRangePredicate(box)
+    index = KDTreeIndex(elements, leaf_size=2)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert index.max_query(p) == oracle_max(elements, p)

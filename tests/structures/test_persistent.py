@@ -1,0 +1,136 @@
+"""Tests for the persistent treap."""
+
+import bisect
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.persistent import PersistentTreap
+
+
+def int_cmp(a, b):
+    return (a > b) - (a < b)
+
+
+class TestBasics:
+    def test_empty(self):
+        t = PersistentTreap(int_cmp)
+        assert len(t) == 0
+        assert list(t.items()) == []
+        assert t.first_satisfying(lambda v: True) is None
+
+    def test_insert_returns_new_version(self):
+        t0 = PersistentTreap(int_cmp)
+        t1 = t0.insert(5)
+        assert len(t0) == 0
+        assert len(t1) == 1
+
+    def test_items_sorted(self):
+        t = PersistentTreap(int_cmp)
+        for v in [5, 1, 9, 3, 7]:
+            t = t.insert(v)
+        assert list(t.items()) == [1, 3, 5, 7, 9]
+
+    def test_duplicate_insert_rejected(self):
+        t = PersistentTreap(int_cmp).insert(5)
+        with pytest.raises(KeyError):
+            t.insert(5)
+
+    def test_delete(self):
+        t = PersistentTreap(int_cmp)
+        for v in [1, 2, 3]:
+            t = t.insert(v)
+        t2 = t.delete(2)
+        assert list(t2.items()) == [1, 3]
+        assert list(t.items()) == [1, 2, 3]  # old version untouched
+
+    def test_delete_missing_raises(self):
+        t = PersistentTreap(int_cmp).insert(1)
+        with pytest.raises(KeyError):
+            t.delete(99)
+
+
+class TestPersistence:
+    def test_all_versions_remain_valid(self):
+        versions = [PersistentTreap(int_cmp)]
+        reference = [[]]
+        rng = random.Random(1)
+        current = versions[0]
+        items = rng.sample(range(10**6), 200)
+        for v in items:
+            current = current.insert(v)
+            versions.append(current)
+            reference.append(sorted(reference[-1] + [v]))
+        for version, expected in zip(versions, reference):
+            assert list(version.items()) == expected
+
+    def test_deletions_preserve_old_versions(self):
+        t = PersistentTreap(int_cmp)
+        for v in range(50):
+            t = t.insert(v)
+        full = t
+        for v in range(0, 50, 2):
+            t = t.delete(v)
+        assert list(full.items()) == list(range(50))
+        assert list(t.items()) == list(range(1, 50, 2))
+
+
+class TestFirstSatisfying:
+    def test_successor_search(self):
+        t = PersistentTreap(int_cmp)
+        for v in [10, 20, 30, 40]:
+            t = t.insert(v)
+        # Smallest item >= q: goes_right(item) == item < q.
+        assert t.first_satisfying(lambda item: item < 25) == 30
+        assert t.first_satisfying(lambda item: item < 10) == 10
+        assert t.first_satisfying(lambda item: item < 41) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 1000), unique=True, max_size=80),
+        q=st.integers(-5, 1005),
+    )
+    def test_matches_bisect(self, items, q):
+        t = PersistentTreap(int_cmp)
+        for v in items:
+            t = t.insert(v)
+        ordered = sorted(items)
+        index = bisect.bisect_left(ordered, q)
+        expected = ordered[index] if index < len(ordered) else None
+        assert t.first_satisfying(lambda item: item < q) == expected
+
+
+class TestBalance:
+    def test_depth_stays_logarithmic(self):
+        """Treap priorities keep the expected depth O(log n)."""
+        t = PersistentTreap(int_cmp)
+        for v in range(2000):  # adversarial (sorted) insertion order
+            t = t.insert(v)
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        import math
+        import sys
+
+        sys.setrecursionlimit(10_000)
+        assert depth(t._root) <= 6 * math.log2(2000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 60)), max_size=120))
+def test_property_mixed_ops_match_sorted_list(ops):
+    t = PersistentTreap(int_cmp)
+    reference = []
+    for is_insert, value in ops:
+        if is_insert and value not in reference:
+            t = t.insert(value)
+            bisect.insort(reference, value)
+        elif not is_insert and value in reference:
+            t = t.delete(value)
+            reference.remove(value)
+    assert list(t.items()) == reference

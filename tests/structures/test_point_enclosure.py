@@ -1,0 +1,163 @@
+"""Tests for 2D point enclosure structures."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.geometry.primitives import Rect
+from repro.structures.point_enclosure import (
+    CascadedRectangleStabbingMax,
+    EnclosurePredicate,
+    RectanglePrioritized,
+    RectangleStabbingMax,
+)
+
+
+def make_rects(n, seed=0, universe=100.0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    out = []
+    for i in range(n):
+        x1, x2 = sorted((rng.uniform(0, universe), rng.uniform(0, universe)))
+        y1, y2 = sorted((rng.uniform(0, universe), rng.uniform(0, universe)))
+        out.append(Element(Rect(x1, x2, y1, y2), float(weights[i]), payload=i))
+    return out
+
+
+def query_points(elements, rng, count):
+    """Query points biased onto rectangle corners/edges."""
+    points = []
+    for _ in range(count):
+        if rng.random() < 0.4 and elements:
+            e = rng.choice(elements)
+            points.append(
+                (rng.choice([e.obj.x1, e.obj.x2]), rng.choice([e.obj.y1, e.obj.y2]))
+            )
+        else:
+            points.append((rng.uniform(-10, 110), rng.uniform(-10, 110)))
+    return points
+
+
+class TestPredicate:
+    def test_closed_boundary(self):
+        p = EnclosurePredicate((5.0, 5.0))
+        assert p.matches(Rect(5, 9, 0, 5))
+        assert not p.matches(Rect(5.01, 9, 0, 5))
+
+
+class TestPrioritized:
+    def test_matches_oracle(self):
+        elements = make_rects(200, 1)
+        index = RectanglePrioritized(elements)
+        rng = random.Random(2)
+        for q in query_points(elements, rng, 60):
+            tau = rng.uniform(0, 2000)
+            p = EnclosurePredicate(q)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_limit_truncation(self):
+        elements = make_rects(300, 3)
+        index = RectanglePrioritized(elements)
+        p = EnclosurePredicate((50.0, 50.0))
+        full = index.query(p, -math.inf)
+        if len(full.elements) > 4:
+            r = index.query(p, -math.inf, limit=4)
+            assert r.truncated and len(r.elements) == 5
+
+    def test_empty(self):
+        index = RectanglePrioritized([])
+        assert index.query(EnclosurePredicate((0.0, 0.0)), 0.0).elements == []
+
+    def test_degenerate_rectangles(self):
+        elements = [
+            Element(Rect(5, 5, 5, 5), 1.0),  # a point
+            Element(Rect(0, 10, 5, 5), 2.0),  # a horizontal segment
+            Element(Rect(5, 5, 0, 10), 3.0),  # a vertical segment
+        ]
+        index = RectanglePrioritized(elements)
+        got = index.query(EnclosurePredicate((5.0, 5.0)), -math.inf)
+        assert len(got.elements) == 3
+
+    def test_query_cost_bound(self):
+        elements = make_rects(256, 4)
+        index = RectanglePrioritized(elements)
+        assert index.query_cost_bound() == pytest.approx(64.0)  # log^2
+
+
+class TestMaxStructures:
+    @pytest.mark.parametrize("cls", [RectangleStabbingMax, CascadedRectangleStabbingMax])
+    def test_matches_oracle(self, cls):
+        elements = make_rects(200, 5)
+        index = cls(elements)
+        rng = random.Random(6)
+        for q in query_points(elements, rng, 80):
+            p = EnclosurePredicate(q)
+            assert index.query(p) == oracle_max(elements, p)
+
+    @pytest.mark.parametrize("cls", [RectangleStabbingMax, CascadedRectangleStabbingMax])
+    def test_empty(self, cls):
+        assert cls([]).query(EnclosurePredicate((0.0, 0.0))) is None
+
+    def test_cascaded_agrees_with_plain(self):
+        elements = make_rects(300, 7)
+        plain = RectangleStabbingMax(elements)
+        cascaded = CascadedRectangleStabbingMax(elements)
+        rng = random.Random(8)
+        for q in query_points(elements, rng, 80):
+            p = EnclosurePredicate(q)
+            assert plain.query(p) == cascaded.query(p)
+
+    def test_cascaded_cost_bound_is_single_log(self):
+        elements = make_rects(256, 9)
+        assert CascadedRectangleStabbingMax(elements).query_cost_bound() == pytest.approx(8.0)
+        assert RectangleStabbingMax(elements).query_cost_bound() == pytest.approx(64.0)
+
+    def test_dating_site_semantics(self):
+        """The paper's example: heaviest (salary) box containing (age, height)."""
+        gentlemen = [
+            Element(Rect(25, 35, 160, 175), 90_000.0, payload="alex"),
+            Element(Rect(20, 30, 150, 170), 120_000.0, payload="blake"),
+            Element(Rect(30, 40, 165, 180), 150_000.0, payload="casey"),
+        ]
+        index = CascadedRectangleStabbingMax(gentlemen)
+        hit = index.query(EnclosurePredicate((28.0, 168.0)))
+        assert hit.payload == "blake"  # casey's age range starts at 30
+        hit = index.query(EnclosurePredicate((32.0, 170.0)))
+        assert hit.payload == "casey"
+
+
+rect_strategy = st.builds(
+    lambda x1, x2, y1, y2: Rect(min(x1, x2), max(x1, x2), min(y1, y2), max(y1, y2)),
+    st.integers(0, 30),
+    st.integers(0, 30),
+    st.integers(0, 30),
+    st.integers(0, 30),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    objs=st.lists(rect_strategy, min_size=1, max_size=40),
+    qx=st.integers(-2, 32),
+    qy=st.integers(-2, 32),
+    seed=st.integers(0, 100),
+)
+def test_property_all_three_structures(objs, qx, qy, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(objs)), len(objs))
+    elements = [Element(o, float(w)) for o, w in zip(objs, weights)]
+    p = EnclosurePredicate((float(qx), float(qy)))
+    index = RectanglePrioritized(elements)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    expected_max = oracle_max(elements, p)
+    assert RectangleStabbingMax(elements).query(p) == expected_max
+    assert CascadedRectangleStabbingMax(elements).query(p) == expected_max

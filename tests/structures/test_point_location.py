@@ -1,0 +1,187 @@
+"""Tests for persistent-tree vertical ray shooting (Sarnak–Tarjan [31])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.point_location import PLSegment, SlabPointLocation
+
+
+def brute_shoot_up(segments, x, y):
+    """Reference: lowest segment at abscissa x with height >= y."""
+    best = None
+    best_y = None
+    for segment in segments:
+        if segment.x1 <= x <= segment.x2:
+            height = segment.y_at(x)
+            if height >= y and (best_y is None or height < best_y):
+                best, best_y = segment, height
+    return best
+
+
+class TestPLSegment:
+    def test_y_at_interpolates(self):
+        segment = PLSegment(0, 0, 10, 20)
+        assert segment.y_at(5) == 10
+        assert segment.y_at(0) == 0
+        assert segment.y_at(10) == 20
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            PLSegment(5, 0, 5, 1)
+        with pytest.raises(ValueError):
+            PLSegment(6, 0, 5, 1)
+
+    def test_slope(self):
+        assert PLSegment(0, 0, 2, 4).slope == 2.0
+
+
+class TestKnownConfigurations:
+    def test_stacked_horizontals(self):
+        segments = [
+            PLSegment(0, 1, 10, 1, "low"),
+            PLSegment(0, 2, 10, 2, "mid"),
+            PLSegment(0, 3, 10, 3, "high"),
+        ]
+        locator = SlabPointLocation(segments)
+        assert locator.shoot_up(5, 0).payload == "low"
+        assert locator.shoot_up(5, 1.5).payload == "mid"
+        assert locator.shoot_up(5, 2.5).payload == "high"
+        assert locator.shoot_up(5, 3.5) is None
+
+    def test_ray_outside_all_slabs(self):
+        locator = SlabPointLocation([PLSegment(0, 0, 1, 0)])
+        assert locator.shoot_up(-5, 0) is None
+        assert locator.shoot_up(5, 0) is None
+
+    def test_staircase(self):
+        segments = [
+            PLSegment(0, 0, 4, 0, "a"),
+            PLSegment(2, 1, 6, 1, "b"),
+            PLSegment(4, 2, 8, 2, "c"),
+        ]
+        locator = SlabPointLocation(segments)
+        assert locator.shoot_up(1, -1).payload == "a"
+        assert locator.shoot_up(3, 0.5).payload == "b"
+        assert locator.shoot_up(5, 1.5).payload == "c"
+        assert locator.shoot_up(7, 1.5).payload == "c"
+        assert locator.shoot_up(7, 2.5) is None
+
+    def test_touching_endpoints(self):
+        """Segments sharing an endpoint (the envelope-onion pattern)."""
+        segments = [
+            PLSegment(0, 0, 5, 5, "up"),
+            PLSegment(5, 5, 10, 0, "down"),
+        ]
+        locator = SlabPointLocation(segments)
+        assert locator.shoot_up(2, 0).payload == "up"
+        assert locator.shoot_up(8, 0).payload == "down"
+
+    def test_empty(self):
+        locator = SlabPointLocation([])
+        assert locator.shoot_up(0, 0) is None
+
+    def test_segments_crossing_diagnostic(self):
+        segments = [PLSegment(0, 0, 10, 0, "a"), PLSegment(3, 1, 6, 1, "b")]
+        locator = SlabPointLocation(segments)
+        assert len(locator.segments_crossing(4)) == 2
+        assert len(locator.segments_crossing(8)) == 1
+        assert locator.segments_crossing(-1) == []
+
+
+class TestShootUpCandidates:
+    def test_single_candidate_in_generic_position(self):
+        segments = [PLSegment(0, 1, 10, 1, "a"), PLSegment(0, 2, 10, 2, "b")]
+        locator = SlabPointLocation(segments)
+        candidates = locator.shoot_up_candidates(5.0, 0.5)
+        assert [s.payload for s in candidates] == ["a"]
+
+    def test_tie_at_shared_vertex_returns_both(self):
+        """Two segments meeting at a vertex; query exactly at it."""
+        segments = [
+            PLSegment(0, 0, 5, 5, "rising"),
+            PLSegment(5, 5, 10, 5, "flat"),
+        ]
+        locator = SlabPointLocation(segments)
+        candidates = locator.shoot_up_candidates(5.0, 5.0)
+        assert {s.payload for s in candidates} == {"rising", "flat"}
+
+    def test_boundary_x_sees_closing_segment(self):
+        """A segment ending exactly at the query x still contains it."""
+        segments = [PLSegment(0, 3, 5, 3, "ends-here")]
+        locator = SlabPointLocation(segments)
+        candidates = locator.shoot_up_candidates(5.0, 1.0)
+        assert [s.payload for s in candidates] == ["ends-here"]
+        # Plain shoot_up misses it (documented boundary semantics).
+        assert locator.shoot_up(5.0, 1.0) is None
+
+    def test_no_candidates_above(self):
+        locator = SlabPointLocation([PLSegment(0, 1, 10, 1)])
+        assert locator.shoot_up_candidates(5.0, 2.0) == []
+
+    def test_support_evaluator_exactness(self):
+        """Clipped segments evaluate via their support, not interpolation."""
+        from repro.geometry.primitives import Line2D
+
+        line = Line2D(-3.0, 1.0)
+        clipped = PLSegment(-1e7, line.at(-1e7), 10.0, line.at(10.0), support=line)
+        assert clipped.y_at(0.0) == 1.0  # exact despite the huge endpoint
+
+
+def _random_disjoint_segments(rng, count):
+    """Non-crossing segments: horizontal strips at distinct heights."""
+    segments = []
+    heights = rng.sample(range(1000), count)
+    for i in range(count):
+        x1 = rng.uniform(0, 90)
+        x2 = x1 + rng.uniform(1, 30)
+        y = float(heights[i])
+        segments.append(PLSegment(x1, y, x2, y, payload=i))
+    return segments
+
+
+class TestRandomised:
+    def test_matches_brute_force_horizontals(self):
+        rng = random.Random(7)
+        segments = _random_disjoint_segments(rng, 120)
+        locator = SlabPointLocation(segments)
+        for _ in range(400):
+            x = rng.uniform(-5, 130)
+            y = rng.uniform(-10, 1010)
+            got = locator.shoot_up(x, y)
+            expect = brute_shoot_up(segments, x, y)
+            assert got == expect, (x, y)
+
+    def test_matches_brute_force_slanted(self):
+        """Non-crossing slanted segments from a shifted family."""
+        rng = random.Random(8)
+        segments = []
+        for i in range(80):
+            x1 = rng.uniform(0, 50)
+            x2 = x1 + rng.uniform(2, 20)
+            base = 20.0 * i  # vertical separation exceeds max slope * span
+            slope = rng.uniform(-0.5, 0.5)
+            segments.append(
+                PLSegment(x1, base + slope * 0, x2, base + slope * (x2 - x1), payload=i)
+            )
+        locator = SlabPointLocation(segments)
+        for _ in range(300):
+            x = rng.uniform(-5, 80)
+            y = rng.uniform(-10, 20.0 * 82)
+            assert locator.shoot_up(x, y) == brute_shoot_up(segments, x, y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    count=st.integers(1, 60),
+    qx=st.floats(-5, 130, allow_nan=False),
+    qy=st.floats(-10, 1010, allow_nan=False),
+)
+def test_property_matches_brute_force(seed, count, qx, qy):
+    rng = random.Random(seed)
+    segments = _random_disjoint_segments(rng, count)
+    locator = SlabPointLocation(segments)
+    assert locator.shoot_up(qx, qy) == brute_shoot_up(segments, qx, qy)

@@ -1,0 +1,101 @@
+"""Tests for the static priority search tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Element
+from repro.structures.priority_search import PrioritySearchTree
+
+
+def key_of(element):
+    return element.obj
+
+
+def make_elements(n, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    keys = rng.sample(range(10 * n), n)
+    return [Element(float(keys[i]), float(weights[i])) for i in range(n)]
+
+
+def oracle_prefix(elements, x, tau):
+    out = [e for e in elements if e.obj <= x and e.weight >= tau]
+    return sorted(out, key=lambda e: -e.weight)
+
+
+class TestQueryPrefix:
+    def test_matches_oracle(self):
+        elements = make_elements(300, 1)
+        pst = PrioritySearchTree(elements, key_of)
+        rng = random.Random(2)
+        for _ in range(80):
+            x = rng.uniform(-10, 3100)
+            tau = rng.uniform(0, 3100)
+            got = sorted(pst.query_prefix(x, tau), key=lambda e: -e.weight)
+            assert got == oracle_prefix(elements, x, tau)
+
+    def test_empty_tree(self):
+        pst = PrioritySearchTree([], key_of)
+        assert pst.query_prefix(10.0, 0.0) == []
+        assert pst.max_in_prefix(10.0) is None
+
+    def test_tau_above_all_prunes_at_root(self):
+        elements = make_elements(100, 3)
+        pst = PrioritySearchTree(elements, key_of)
+        pst.ops.reset()
+        assert pst.query_prefix(1e9, 1e9) == []
+        assert pst.ops.node_visits == 1  # the root champion already fails
+
+    def test_prefix_below_all_keys(self):
+        elements = make_elements(50, 4)
+        pst = PrioritySearchTree(elements, key_of)
+        assert pst.query_prefix(-1.0, 0.0) == []
+
+    def test_visit_count_output_sensitive(self):
+        """Visits = O(log n + t), far below n for a tiny threshold window."""
+        elements = make_elements(2000, 5)
+        pst = PrioritySearchTree(elements, key_of)
+        pst.ops.reset()
+        top = max(e.weight for e in elements)
+        result = pst.query_prefix(1e9, top - 0.5)  # only the heaviest
+        assert len(result) == 1
+        assert pst.ops.node_visits <= 40
+
+
+class TestMaxInPrefix:
+    def test_matches_oracle(self):
+        elements = make_elements(300, 6)
+        pst = PrioritySearchTree(elements, key_of)
+        rng = random.Random(7)
+        for _ in range(80):
+            x = rng.uniform(-10, 3100)
+            expect = max(
+                (e for e in elements if e.obj <= x), key=lambda e: e.weight, default=None
+            )
+            assert pst.max_in_prefix(x) == expect
+
+    def test_single_element(self):
+        pst = PrioritySearchTree([Element(5.0, 1.0)], key_of)
+        assert pst.max_in_prefix(5.0).weight == 1.0
+        assert pst.max_in_prefix(4.9) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 120),
+    seed=st.integers(0, 1000),
+    x=st.integers(-10, 1300),
+    tau=st.integers(0, 1300),
+)
+def test_property_matches_oracle(n, seed, x, tau):
+    elements = make_elements(n, seed)
+    pst = PrioritySearchTree(elements, key_of)
+    got = sorted(pst.query_prefix(float(x), float(tau)), key=lambda e: -e.weight)
+    assert got == oracle_prefix(elements, float(x), float(tau))
+    expect_max = max(
+        (e for e in elements if e.obj <= x), key=lambda e: e.weight, default=None
+    )
+    assert pst.max_in_prefix(float(x)) == expect_max

@@ -1,0 +1,142 @@
+"""Tests for 1D range reporting structures."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.structures.range1d import (
+    RangePredicate1D,
+    RangeTree1DCounter,
+    RangeTree1DMax,
+    RangeTree1DPrioritized,
+)
+
+
+def make_points(n, seed=0, universe=1000):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    coords = rng.sample(range(universe * 4), n)
+    return [Element(float(coords[i]), float(weights[i]), payload=i) for i in range(n)]
+
+
+def random_ranges(elements, rng, count):
+    """Ranges biased onto exact coordinates (closed-boundary cases)."""
+    out = []
+    coords = [e.obj for e in elements]
+    for _ in range(count):
+        if rng.random() < 0.4 and coords:
+            a = rng.choice(coords)
+            b = rng.choice(coords)
+        else:
+            a, b = rng.uniform(-10, 4010), rng.uniform(-10, 4010)
+        lo, hi = min(a, b), max(a, b)
+        out.append(RangePredicate1D(lo, hi))
+    return out
+
+
+class TestPredicate:
+    def test_closed_range(self):
+        p = RangePredicate1D(2.0, 5.0)
+        assert p.matches(2.0) and p.matches(5.0) and p.matches(3.3)
+        assert not p.matches(1.999) and not p.matches(5.001)
+
+
+class TestPrioritized:
+    def test_matches_oracle(self):
+        elements = make_points(300, 1)
+        index = RangeTree1DPrioritized(elements)
+        rng = random.Random(2)
+        for p in random_ranges(elements, rng, 80):
+            tau = rng.uniform(0, 3000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_limit_truncation(self):
+        elements = make_points(200, 3)
+        index = RangeTree1DPrioritized(elements)
+        p = RangePredicate1D(-math.inf, math.inf)
+        r = index.query(p, -math.inf, limit=5)
+        assert r.truncated and len(r.elements) == 6
+
+    def test_empty(self):
+        index = RangeTree1DPrioritized([])
+        assert index.query(RangePredicate1D(0, 1), 0.0).elements == []
+
+    def test_empty_range(self):
+        elements = make_points(50, 4)
+        index = RangeTree1DPrioritized(elements)
+        assert index.query(RangePredicate1D(-100, -50), -math.inf).elements == []
+
+    def test_canonical_node_count_logarithmic(self):
+        elements = make_points(1024, 5)
+        index = RangeTree1DPrioritized(elements)
+        index.ops.reset()
+        index.query(RangePredicate1D(100.0, 3900.0), math.inf)
+        # O(log n) canonical nodes touched even for a huge range.
+        assert index.ops.node_visits <= 2 * math.log2(1024) + 2
+
+
+class TestMax:
+    def test_matches_oracle(self):
+        elements = make_points(300, 6)
+        index = RangeTree1DMax(elements)
+        rng = random.Random(7)
+        for p in random_ranges(elements, rng, 100):
+            assert index.query(p) == oracle_max(elements, p)
+
+    def test_single_point_range(self):
+        elements = make_points(100, 8)
+        index = RangeTree1DMax(elements)
+        e = elements[0]
+        assert index.query(RangePredicate1D(e.obj, e.obj)) is not None
+
+    def test_empty_answer(self):
+        elements = make_points(50, 9)
+        index = RangeTree1DMax(elements)
+        assert index.query(RangePredicate1D(-5, -1)) is None
+
+
+class TestCounter:
+    def test_exact_counts(self):
+        elements = make_points(300, 10)
+        counter = RangeTree1DCounter(elements)
+        rng = random.Random(11)
+        for p in random_ranges(elements, rng, 100):
+            assert counter.count(p) == sum(1 for e in elements if p.matches(e.obj))
+
+    def test_approximation_factor_is_one(self):
+        assert RangeTree1DCounter(make_points(10, 12)).approximation_factor == 1.0
+
+    def test_empty(self):
+        assert RangeTree1DCounter([]).count(RangePredicate1D(0, 1)) == 0
+
+
+coordinate = st.integers(0, 100)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    coords=st.lists(coordinate, min_size=1, max_size=60, unique=True),
+    a=st.integers(-5, 105),
+    b=st.integers(-5, 105),
+    seed=st.integers(0, 100),
+)
+def test_property_all_three(coords, a, b, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(coords)), len(coords))
+    elements = [Element(float(c), float(w)) for c, w in zip(coords, weights)]
+    p = RangePredicate1D(float(min(a, b)), float(max(a, b)))
+    index = RangeTree1DPrioritized(elements)
+    assert sorted_desc(index.query(p, -math.inf).elements) == oracle_prioritized(
+        elements, p, -math.inf
+    )
+    assert RangeTree1DMax(elements).query(p) == oracle_max(elements, p)
+    assert RangeTree1DCounter(elements).count(p) == sum(
+        1 for e in elements if p.matches(e.obj)
+    )

@@ -1,0 +1,145 @@
+"""Tests for the dynamic weight-augmented range treap."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from oracles import oracle_max, oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.structures.range1d import RangePredicate1D
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+
+
+def make_points(n, seed=0, universe=4000):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    coords = rng.sample(range(universe), n)
+    return [Element(float(coords[i]), float(weights[i])) for i in range(n)]
+
+
+def random_range(rng, universe=4000):
+    a, b = sorted((rng.uniform(-10, universe + 10), rng.uniform(-10, universe + 10)))
+    return RangePredicate1D(a, b)
+
+
+class TestStaticQueries:
+    def test_prioritized_matches_oracle(self):
+        elements = make_points(300, 1)
+        treap = DynamicRangeTreap(elements)
+        rng = random.Random(2)
+        for _ in range(80):
+            p = random_range(rng)
+            tau = rng.uniform(0, 3000)
+            assert sorted_desc(treap.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_max_matches_oracle(self):
+        elements = make_points(300, 3)
+        treap = DynamicRangeTreap(elements)
+        rng = random.Random(4)
+        for _ in range(100):
+            p = random_range(rng)
+            assert treap.query(p) == oracle_max(elements, p)
+
+    def test_limit_truncation(self):
+        elements = make_points(200, 5)
+        treap = DynamicRangeTreap(elements)
+        p = RangePredicate1D(-math.inf, math.inf)
+        r = treap.query(p, -math.inf, limit=6)
+        assert r.truncated and len(r.elements) == 7
+
+    def test_empty(self):
+        treap = DynamicRangeTreap()
+        assert treap.n == 0
+        assert treap.query(RangePredicate1D(0, 1), 0.0).elements == []
+        assert treap.query(RangePredicate1D(0, 1)) is None
+
+    def test_pruning_by_max_weight(self):
+        """Subtrees below tau are never visited."""
+        elements = make_points(2000, 6)
+        treap = DynamicRangeTreap(elements)
+        treap.ops.reset()
+        top = max(e.weight for e in elements)
+        result = treap.query(RangePredicate1D(-math.inf, math.inf), top - 0.5)
+        assert len(result.elements) == 1
+        assert treap.ops.node_visits <= 80  # << n
+
+
+class TestUpdates:
+    def test_insert_then_query(self):
+        elements = make_points(200, 7)
+        treap = DynamicRangeTreap(elements[:120], seed=1)
+        current = elements[:120]
+        for e in elements[120:]:
+            treap.insert(e)
+            current.append(e)
+        rng = random.Random(8)
+        for _ in range(40):
+            p = random_range(rng)
+            assert sorted_desc(treap.query(p, 0.0).elements) == oracle_prioritized(
+                current, p, 0.0
+            )
+            assert treap.query(p) == oracle_max(current, p)
+
+    def test_delete_then_query(self):
+        elements = make_points(250, 9)
+        treap = DynamicRangeTreap(elements, seed=2)
+        current = list(elements)
+        rng = random.Random(10)
+        for _ in range(120):
+            victim = current.pop(rng.randrange(len(current)))
+            treap.delete(victim)
+        assert treap.n == len(current)
+        for _ in range(40):
+            p = random_range(rng)
+            assert treap.query(p) == oracle_max(current, p)
+
+    def test_delete_missing_raises(self):
+        treap = DynamicRangeTreap(make_points(20, 11))
+        with pytest.raises(KeyError):
+            treap.delete(Element(-123.0, 0.5))
+
+    def test_size_tracks_updates(self):
+        treap = DynamicRangeTreap()
+        elements = make_points(60, 12)
+        for i, e in enumerate(elements, 1):
+            treap.insert(e)
+            assert treap.n == i
+        for i, e in enumerate(elements, 1):
+            treap.delete(e)
+            assert treap.n == 60 - i
+
+
+class TestBalance:
+    def test_expected_logarithmic_visits(self):
+        elements = make_points(4000, 13)
+        treap = DynamicRangeTreap(elements, seed=3)
+        treap.ops.reset()
+        treap.query(RangePredicate1D(1000.0, 1001.0), -math.inf)
+        # A near-empty range costs two boundary paths.
+        assert treap.ops.node_visits <= 8 * math.log2(4000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    coords=st.lists(st.integers(0, 200), unique=True, min_size=1, max_size=60),
+    a=st.integers(-5, 205),
+    b=st.integers(-5, 205),
+    tau_rank=st.floats(0, 1),
+    seed=st.integers(0, 100),
+)
+def test_property_matches_oracles(coords, a, b, tau_rank, seed):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * len(coords)), len(coords))
+    elements = [Element(float(c), float(w)) for c, w in zip(coords, weights)]
+    treap = DynamicRangeTreap(elements, seed=seed)
+    p = RangePredicate1D(float(min(a, b)), float(max(a, b)))
+    tau = tau_rank * 10 * len(coords)
+    assert sorted_desc(treap.query(p, tau).elements) == oracle_prioritized(
+        elements, p, tau
+    )
+    assert treap.query(p) == oracle_max(elements, p)

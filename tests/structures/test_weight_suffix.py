@@ -1,0 +1,123 @@
+"""Tests for the generic weight-suffix composition (Sections 5.4 / 5.5)."""
+
+import math
+import random
+
+import pytest
+
+from oracles import oracle_prioritized, sorted_desc
+from repro.core.problem import Element
+from repro.em.model import EMContext
+from repro.geometry.primitives import Halfplane
+from repro.structures.halfplane import ConvexLayerReporting, HalfplanePredicate
+from repro.structures.kdtree import HalfspacePredicate, KDTreeIndex
+from repro.structures.weight_suffix import (
+    WeightSuffixPrioritized,
+    em_halfspace_prioritized,
+)
+
+
+def make_points(n, d=2, seed=0):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    return [
+        Element(tuple(rng.uniform(-10, 10) for _ in range(d)), float(weights[i]))
+        for i in range(n)
+    ]
+
+
+def random_halfplane(rng, d=2):
+    if d == 2:
+        theta = rng.uniform(0, 2 * math.pi)
+        normal = (math.cos(theta), math.sin(theta))
+    else:
+        normal = tuple(rng.gauss(0, 1) for _ in range(d))
+    return Halfplane(normal, rng.uniform(-10, 10))
+
+
+class TestBinaryVariant:
+    def test_matches_oracle_with_convex_layers(self):
+        elements = make_points(250, seed=1)
+        index = WeightSuffixPrioritized(elements, ConvexLayerReporting, fanout=2)
+        rng = random.Random(2)
+        for _ in range(50):
+            p = HalfplanePredicate(random_halfplane(rng))
+            tau = rng.uniform(0, 2500)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_matches_oracle_with_kdtree_reporting(self):
+        elements = make_points(200, d=3, seed=3)
+        index = WeightSuffixPrioritized(elements, KDTreeIndex, fanout=2)
+        rng = random.Random(4)
+        for _ in range(40):
+            p = HalfspacePredicate(random_halfplane(rng, d=3))
+            tau = rng.uniform(0, 2000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_limit_truncation(self):
+        elements = make_points(150, seed=5)
+        index = WeightSuffixPrioritized(elements, ConvexLayerReporting)
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), -100.0))
+        r = index.query(p, -math.inf, limit=6)
+        assert r.truncated and len(r.elements) >= 7
+
+    def test_tau_above_everything(self):
+        elements = make_points(80, seed=6)
+        index = WeightSuffixPrioritized(elements, ConvexLayerReporting)
+        p = HalfplanePredicate(Halfplane((1.0, 0.0), -100.0))
+        assert index.query(p, 1e9).elements == []
+
+    def test_canonical_cover_is_logarithmic(self):
+        elements = make_points(512, seed=7)
+        index = WeightSuffixPrioritized(elements, ConvexLayerReporting)
+        index.ops.reset()
+        median = sorted(e.weight for e in elements)[256]
+        index.query(HalfplanePredicate(Halfplane((1.0, 0.0), -100.0)), median)
+        assert index.ops.node_visits <= 2 * math.log2(512) + 2
+
+
+class TestEMVariant:
+    def test_section_5_5_structure_exact(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_points(400, d=4, seed=8)
+        index = em_halfspace_prioritized(elements, ctx)
+        rng = random.Random(9)
+        for _ in range(30):
+            p = HalfspacePredicate(random_halfplane(rng, d=4))
+            tau = rng.uniform(0, 4000)
+            assert sorted_desc(index.query(p, tau).elements) == oracle_prioritized(
+                elements, p, tau
+            )
+
+    def test_fanout_formula(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_points(4096, d=2, seed=10)
+        index = em_halfspace_prioritized(elements, ctx, epsilon=0.5)
+        assert index._fanout == max(2, round((4096 / 16) ** 0.25))
+
+    def test_btree_has_few_levels(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_points(2000, d=2, seed=11)
+        index = em_halfspace_prioritized(elements, ctx, epsilon=1.0)
+        assert index._btree is not None
+        assert index._btree.height <= 5
+
+    def test_io_counted(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_points(300, d=2, seed=12)
+        index = em_halfspace_prioritized(elements, ctx)
+        ctx.drop_cache()
+        ctx.stats.reset()
+        index.query(HalfspacePredicate(Halfplane((1.0, 0.0), 0.0)), 0.0)
+        assert ctx.stats.total > 0
+
+    def test_space_accounting(self):
+        ctx = EMContext(B=16, M=128)
+        elements = make_points(500, d=2, seed=13)
+        index = em_halfspace_prioritized(elements, ctx)
+        # Each element appears on every B-tree level: O(n * height) words.
+        assert index.space_units() <= 500 * (index._btree.height + 1) * 4

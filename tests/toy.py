@@ -1,0 +1,129 @@
+"""A fully controlled toy problem for exercising the reductions.
+
+Elements are integers on a line; a predicate is a closed range.  The
+indexes are deliberately simple (sorted scans) so reduction tests can
+reason exactly about behaviour, and instrumented variants inject
+failures into the reductions' probabilistic machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.interfaces import (
+    DynamicMaxIndex,
+    DynamicPrioritizedIndex,
+    OpCounter,
+    PrioritizedResult,
+)
+from repro.core.problem import Element, Predicate
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """Matches integers in ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def matches(self, obj) -> bool:
+        return self.lo <= obj <= self.hi
+
+
+class ToyPrioritized(DynamicPrioritizedIndex):
+    """Contract-faithful prioritized index backed by a weight-sorted list."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._elements: List[Element] = sorted(elements, key=lambda e: -e.weight)
+        self.query_count = 0
+
+    @property
+    def n(self) -> int:
+        return len(self._elements)
+
+    def query(self, predicate, tau, limit=None) -> PrioritizedResult:
+        self.query_count += 1
+        out: List[Element] = []
+        for element in self._elements:
+            if element.weight < tau:
+                break
+            self.ops.scanned += 1
+            if predicate.matches(element.obj):
+                out.append(element)
+                if limit is not None and len(out) > limit:
+                    return PrioritizedResult(out, truncated=True)
+        return PrioritizedResult(out, truncated=False)
+
+    def insert(self, element: Element) -> None:
+        self._elements.append(element)
+        self._elements.sort(key=lambda e: -e.weight)
+
+    def delete(self, element: Element) -> None:
+        self._elements.remove(element)
+
+
+class ToyMax(DynamicMaxIndex):
+    """Contract-faithful max index (linear scan)."""
+
+    def __init__(self, elements: Sequence[Element]) -> None:
+        self.ops = OpCounter()
+        self._elements: List[Element] = list(elements)
+        self.query_count = 0
+
+    @property
+    def n(self) -> int:
+        return len(self._elements)
+
+    def query(self, predicate) -> Optional[Element]:
+        self.query_count += 1
+        best: Optional[Element] = None
+        for element in self._elements:
+            if predicate.matches(element.obj):
+                if best is None or element.weight > best.weight:
+                    best = element
+        return best
+
+    def insert(self, element: Element) -> None:
+        self._elements.append(element)
+
+    def delete(self, element: Element) -> None:
+        self._elements.remove(element)
+
+
+class BrokenMax(ToyMax):
+    """A max structure that never finds anything — failure injection.
+
+    Theorem 2's rounds must all fail their rank windows and escalate to
+    the terminal full scan while still returning exact answers.
+    """
+
+    def query(self, predicate) -> Optional[Element]:
+        self.query_count += 1
+        return None
+
+
+class LyingMax(ToyMax):
+    """A max structure returning an arbitrary (wrong-rank) element.
+
+    Simulates a sample whose maximum sits far outside the ``(K, 4K]``
+    window; the reduction must detect the bad fetch and keep escalating.
+    """
+
+    def query(self, predicate) -> Optional[Element]:
+        self.query_count += 1
+        matching = [e for e in self._elements if predicate.matches(e.obj)]
+        if not matching:
+            return None
+        return min(matching, key=lambda e: e.weight)  # worst possible probe
+
+
+def make_toy_elements(n: int, seed: int = 0) -> List[Element]:
+    import random
+
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    positions = rng.sample(range(10 * n), n)
+    return [Element(positions[i], float(weights[i])) for i in range(n)]
