@@ -13,6 +13,9 @@ Rahul & Tao, PODS 2016.  The package provides:
   circular range reporting) in :mod:`repro.structures`;
 * an external-memory model simulator with exact I/O counting in
   :mod:`repro.em`;
+* fault injection, a structured error taxonomy, and the
+  :class:`~repro.resilience.guard.ResilientTopKIndex` degradation
+  ladder in :mod:`repro.resilience`;
 * workload generators and the experiment harness in :mod:`repro.bench`.
 
 Quickstart::
@@ -47,8 +50,21 @@ from repro.core import (
     WorstCaseTopKIndex,
     ensure_distinct_weights,
 )
+from repro.resilience import (
+    ContractViolation,
+    DegradedAnswer,
+    FaultPlan,
+    FaultStats,
+    GuardPolicy,
+    HealthReport,
+    ReproError,
+    ResilientTopKIndex,
+    RetryBudgetExhausted,
+    TransientIOError,
+    resilient_index,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Element",
@@ -67,5 +83,16 @@ __all__ = [
     "CountingTopKIndex",
     "CountingIndex",
     "PrioritizedFromTopK",
+    "ReproError",
+    "TransientIOError",
+    "ContractViolation",
+    "RetryBudgetExhausted",
+    "DegradedAnswer",
+    "FaultPlan",
+    "FaultStats",
+    "GuardPolicy",
+    "HealthReport",
+    "ResilientTopKIndex",
+    "resilient_index",
     "__version__",
 ]

@@ -127,3 +127,25 @@ def weights_are_distinct(elements: Sequence[Element]) -> bool:
             return False
         seen.add(element.weight)
     return True
+
+
+def require_distinct_weights(elements: Sequence[Element], context: str) -> None:
+    """Enforce the distinct-weights precondition, or raise loudly.
+
+    The reductions' rank arguments (Lemmas 1-3) assume a total weight
+    order; duplicated weights make answers rank-ambiguous *silently*.
+    Raises :class:`~repro.resilience.errors.ContractViolation` naming
+    the first duplicate; callers with tied raw data should pre-process
+    with :func:`ensure_distinct_weights`.
+    """
+    from repro.resilience.errors import ContractViolation
+
+    seen = set()
+    for element in elements:
+        if element.weight in seen:
+            raise ContractViolation(
+                f"{context}: duplicate weight {element.weight!r} violates the "
+                "distinct-weights precondition; pre-process the input with "
+                "ensure_distinct_weights()"
+            )
+        seen.add(element.weight)

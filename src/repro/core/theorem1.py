@@ -39,7 +39,7 @@ from typing import List, Optional, Sequence
 from repro.core.coreset import CoresetHierarchy, build_hierarchy, doubling_coresets
 from repro.core.interfaces import PrioritizedFactory, PrioritizedIndex, TopKIndex
 from repro.core.params import TuningParams
-from repro.core.problem import Element, Predicate
+from repro.core.problem import Element, Predicate, require_distinct_weights
 from repro.em.selection import select_top_k
 
 
@@ -182,6 +182,7 @@ class WorstCaseTopKIndex(TopKIndex):
     ) -> None:
         self.params = params if params is not None else TuningParams()
         self._elements = list(elements)
+        require_distinct_weights(self._elements, "WorstCaseTopKIndex")
         self._factory = factory
         self.B = B
         self.stats = ReductionStats()

@@ -40,9 +40,15 @@ from repro.core.interfaces import (
     TopKIndex,
 )
 from repro.core.params import TuningParams
-from repro.core.problem import Element, Predicate
+from repro.core.problem import Element, Predicate, require_distinct_weights
 from repro.core.theorem1 import ReductionStats
 from repro.em.selection import select_top_k
+from repro.resilience.errors import (
+    ContractViolation,
+    ElementMembershipError,
+    RetryBudgetExhausted,
+    StaticStructureError,
+)
 
 
 class ExpectedTopKIndex(TopKIndex):
@@ -91,7 +97,9 @@ class ExpectedTopKIndex(TopKIndex):
     # Construction (also used by amortized rebuilds)
     # ------------------------------------------------------------------
     def _build(self, elements: List[Element]) -> None:
+        require_distinct_weights(elements, "ExpectedTopKIndex")
         self._elements: Dict[Element, None] = dict.fromkeys(elements)
+        self._weights = {element.weight for element in elements}
         n = len(elements)
         self._built_n = max(1, n)
         self._ground = self._prioritized_factory(elements)
@@ -105,17 +113,19 @@ class ExpectedTopKIndex(TopKIndex):
         while K <= n / 4:
             self._K.append(K)
             K *= 1.0 + self.params.sigma
-        self._samples: List[List[Element]] = []
+        # Samples are ordered dict-sets so membership updates are O(1)
+        # expected — a plain list would make delete() scan |R_i|.
+        self._samples: List[Dict[Element, None]] = []
         self._max_indexes: List[object] = []
         self._membership: Dict[Element, List[int]] = {}
         for i, K_i in enumerate(self._K):
-            sample: List[Element] = []
+            sample: Dict[Element, None] = {}
             for element in elements:
                 if self._rng.random() < 1.0 / K_i:
-                    sample.append(element)
+                    sample[element] = None
                     self._membership.setdefault(element, []).append(i)
             self._samples.append(sample)
-            self._max_indexes.append(self._max_factory(sample))
+            self._max_indexes.append(self._max_factory(list(sample)))
 
     # ------------------------------------------------------------------
     @property
@@ -127,8 +137,21 @@ class ExpectedTopKIndex(TopKIndex):
         """Height ``h`` of the sample ladder."""
         return len(self._K)
 
-    def query(self, predicate: Predicate, k: int) -> List[Element]:
-        """Exact top-k answer, heaviest first (expected cost per Theorem 2)."""
+    def query(
+        self, predicate: Predicate, k: int, round_budget: Optional[int] = None
+    ) -> List[Element]:
+        """Exact top-k answer, heaviest first (expected cost per Theorem 2).
+
+        ``round_budget`` optionally caps the number of escalation-ladder
+        rounds this query may run.  When the cap is hit before a round
+        succeeds, the query raises
+        :class:`~repro.resilience.errors.RetryBudgetExhausted` instead
+        of escalating further — the hook
+        :class:`~repro.resilience.guard.ResilientTopKIndex` uses to
+        bound per-query cost and take over with its degradation ladder.
+        With the default ``None`` the ladder runs to its end and
+        finishes with the step-6(b) full scan, exactly as before.
+        """
         self.stats.queries += 1
         if k <= 0 or self.n == 0:
             return []
@@ -141,8 +164,16 @@ class ExpectedTopKIndex(TopKIndex):
         if k_eff > self._K[-1]:
             return self._scan_answer(predicate, k)
         j = self._first_level_at_least(k_eff)
+        rounds_used = 0
         while j < len(self._K):
+            if round_budget is not None and rounds_used >= round_budget:
+                raise RetryBudgetExhausted(
+                    f"round budget {round_budget} exhausted at ladder level {j} "
+                    f"of {len(self._K)}",
+                    attempts=rounds_used,
+                )
             answer = self._round(predicate, k, j)
+            rounds_used += 1
             if answer is not None:
                 return answer
             j += 1
@@ -206,32 +237,40 @@ class ExpectedTopKIndex(TopKIndex):
         rates decrease geometrically.
         """
         if element in self._elements:
-            raise KeyError(f"element already present: {element!r}")
+            raise ElementMembershipError(f"element already present: {element!r}")
+        if element.weight in self._weights:
+            raise ContractViolation(
+                f"insert of weight {element.weight!r} duplicates an indexed "
+                "weight, violating the distinct-weights precondition; "
+                "pre-process inserts with ensure_distinct_weights()"
+            )
         ground = self._require_dynamic_ground()
         self._elements[element] = None
+        self._weights.add(element.weight)
         ground.insert(element)
         for i, K_i in enumerate(self._K):
             if self._rng.random() < 1.0 / K_i:
                 self._membership.setdefault(element, []).append(i)
-                self._samples[i].append(element)
+                self._samples[i][element] = None
                 self._dynamic_max(i).insert(element)
         self._maybe_rebuild()
 
     def delete(self, element: Element) -> None:
         """Delete in ``O(U_pri + U_max)`` expected (amortized over rebuilds)."""
         if element not in self._elements:
-            raise KeyError(f"element not present: {element!r}")
+            raise ElementMembershipError(f"element not present: {element!r}")
         ground = self._require_dynamic_ground()
         del self._elements[element]
+        self._weights.discard(element.weight)
         ground.delete(element)
         for i in self._membership.pop(element, []):
-            self._samples[i].remove(element)
+            del self._samples[i][element]
             self._dynamic_max(i).delete(element)
         self._maybe_rebuild()
 
     def _require_dynamic_ground(self) -> DynamicPrioritizedIndex:
         if not isinstance(self._ground, DynamicPrioritizedIndex):
-            raise TypeError(
+            raise StaticStructureError(
                 "updates require a DynamicPrioritizedIndex; the prioritized "
                 f"factory produced {type(self._ground).__name__}"
             )
@@ -240,7 +279,7 @@ class ExpectedTopKIndex(TopKIndex):
     def _dynamic_max(self, i: int) -> DynamicMaxIndex:
         index = self._max_indexes[i]
         if not isinstance(index, DynamicMaxIndex):
-            raise TypeError(
+            raise StaticStructureError(
                 "updates require DynamicMaxIndex instances; the max factory "
                 f"produced {type(index).__name__}"
             )

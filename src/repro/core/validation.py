@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.core.interfaces import CountingIndex, MaxIndex, PrioritizedIndex
 from repro.core.problem import Element, Predicate
+from repro.resilience.errors import ValidationFailure
 
 
 @dataclass
@@ -48,10 +49,14 @@ class ValidationReport:
             self.failures.append(message)
 
     def raise_if_failed(self) -> None:
-        """Raise ``AssertionError`` summarising any violations."""
+        """Raise :class:`ValidationFailure` summarising any violations.
+
+        (``ValidationFailure`` subclasses ``AssertionError``, matching
+        this method's pre-taxonomy behaviour.)
+        """
         if self.failures:
             summary = "; ".join(self.failures[:5])
-            raise AssertionError(
+            raise ValidationFailure(
                 f"{self.structure} violated its contract "
                 f"({len(self.failures)}/{self.checks} checks failed): {summary}"
             )
@@ -152,6 +157,35 @@ def validate_counting(
             true <= got <= c * true or (true == 0 and got == 0),
             f"predicate #{i}: count {got} outside [{true}, {c * true}]",
         )
+    return report
+
+
+def spot_check_topk(
+    answer: Sequence[Element], predicate: Predicate, k: int
+) -> ValidationReport:
+    """Cheap runtime checks of one top-k answer (no brute-force rescan).
+
+    Verifies only properties decidable from the answer itself in
+    ``O(k)``: every reported element matches the predicate, weights are
+    strictly descending (distinct), and at most ``k`` elements were
+    reported.  :class:`~repro.resilience.guard.ResilientTopKIndex` runs
+    this on a sample of queries to catch corrupted or contract-breaking
+    backends without paying for full validation.
+    """
+    report = ValidationReport(structure="top-k answer")
+    report.record(len(answer) <= max(0, k), f"{len(answer)} elements for k={k}")
+    previous = math.inf
+    for i, element in enumerate(answer):
+        report.record(
+            predicate.matches(element.obj),
+            f"element #{i} (weight {element.weight}) does not match the predicate",
+        )
+        report.record(
+            element.weight < previous,
+            f"element #{i} breaks strict descending weight order "
+            f"({element.weight} after {previous})",
+        )
+        previous = element.weight
     return report
 
 

@@ -15,9 +15,27 @@ O(1) words" convention.
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.resilience.errors import (
+    BlockOverflowError,
+    CorruptBlockError,
+    InvalidConfiguration,
+)
+from repro.resilience.faults import FaultPlan
+
+
+def block_checksum(records: List[object]) -> int:
+    """A cheap deterministic checksum of one block's records.
+
+    CRC32 over the records' reprs — strong enough to catch the record
+    drops/overwrites a :class:`~repro.resilience.faults.FaultPlan`
+    injects, cheap enough to verify on every (uncached) read.
+    """
+    return zlib.crc32(repr(records).encode("utf-8", "backslashreplace"))
 
 
 @dataclass
@@ -65,12 +83,16 @@ class Disk:
     dense integer ids.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, checksums: bool = False) -> None:
         self._blocks: List[List[object]] = []
+        self._checksums: List[int] = []
+        self._checksums_enabled = bool(checksums)
 
     def allocate(self) -> int:
         """Reserve a fresh empty block and return its id."""
         self._blocks.append([])
+        if self._checksums_enabled:
+            self._checksums.append(block_checksum([]))
         return len(self._blocks) - 1
 
     def raw_read(self, block_id: int) -> List[object]:
@@ -80,11 +102,34 @@ class Disk:
     def raw_write(self, block_id: int, records: List[object]) -> None:
         """Store block contents without charging an I/O (internal use)."""
         self._blocks[block_id] = records
+        if self._checksums_enabled:
+            self._checksums[block_id] = block_checksum(records)
 
     @property
     def num_blocks(self) -> int:
         """Number of blocks ever allocated — the space measure."""
         return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Integrity (per-block checksums)
+    # ------------------------------------------------------------------
+    @property
+    def checksums_enabled(self) -> bool:
+        """Whether per-block checksums are maintained and verifiable."""
+        return self._checksums_enabled
+
+    def enable_checksums(self) -> None:
+        """Start maintaining checksums (existing blocks are summed now)."""
+        if self._checksums_enabled:
+            return
+        self._checksums = [block_checksum(records) for records in self._blocks]
+        self._checksums_enabled = True
+
+    def verify(self, block_id: int, records: List[object]) -> bool:
+        """Whether ``records`` match the checksum stored for ``block_id``."""
+        if not self._checksums_enabled:
+            return True
+        return block_checksum(records) == self._checksums[block_id]
 
 
 class EMContext:
@@ -101,6 +146,13 @@ class EMContext:
     disk:
         Optional shared :class:`Disk`; a private one is created when
         omitted.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` that
+        intercepts every block transfer (chaos testing).  Attaching a
+        plan that injects corruption enables per-block checksums on the
+        disk so corrupted reads are *detected* and raised as
+        :class:`~repro.resilience.errors.CorruptBlockError` rather than
+        silently served.
 
     The context offers both a *cached* interface (:meth:`read_block` /
     :meth:`write_block`) used by the data structures, and explicit
@@ -108,19 +160,45 @@ class EMContext:
     a scan analytically.
     """
 
-    def __init__(self, B: int = 64, M: Optional[int] = None, disk: Optional[Disk] = None) -> None:
+    def __init__(
+        self,
+        B: int = 64,
+        M: Optional[int] = None,
+        disk: Optional[Disk] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if B < 2:
-            raise ValueError(f"block size B must be >= 2, got {B}")
+            raise InvalidConfiguration(f"block size B must be >= 2, got {B}")
         if M is None:
             M = 4 * B
         if M < 2 * B:
-            raise ValueError(f"memory M must be >= 2B = {2 * B}, got {M}")
+            raise InvalidConfiguration(f"memory M must be >= 2B = {2 * B}, got {M}")
         self.B = B
         self.M = M
         self.disk = disk if disk is not None else Disk()
         self.stats = IOStats()
+        self.fault_plan: Optional[FaultPlan] = None
         self._frames: "OrderedDict[int, List[object]]" = OrderedDict()
         self._dirty: Dict[int, bool] = {}
+        if fault_plan is not None:
+            self.attach_fault_plan(fault_plan)
+
+    def attach_fault_plan(
+        self, plan: Optional[FaultPlan], enable_checksums: Optional[bool] = None
+    ) -> None:
+        """Install (or remove, with ``None``) a fault plan.
+
+        ``enable_checksums`` defaults to enabling per-block checksums
+        whenever the plan can corrupt reads; pass ``False`` explicitly
+        to study *undetected* corruption.
+        """
+        self.fault_plan = plan
+        if plan is None:
+            return
+        if enable_checksums is None:
+            enable_checksums = plan.injects_corruption
+        if enable_checksums:
+            self.disk.enable_checksums()
 
     # ------------------------------------------------------------------
     # Cached block interface
@@ -140,8 +218,16 @@ class EMContext:
             self._frames.move_to_end(block_id)
             self.stats.cache_hits += 1
             return self._frames[block_id]
+        # A failed or corrupted transfer still costs the I/O it attempted,
+        # so retries are visible in the counters.
         self.stats.reads += 1
         records = self.disk.raw_read(block_id)
+        if self.fault_plan is not None:
+            records = self.fault_plan.on_read(block_id, records)
+        if not self.disk.verify(block_id, records):
+            raise CorruptBlockError(
+                f"checksum mismatch reading block {block_id}", block_id=block_id
+            )
         self._install_frame(block_id, records, dirty=False)
         return records
 
@@ -152,7 +238,9 @@ class EMContext:
         evicted or flushed, matching write-back semantics.
         """
         if len(records) > self.B:
-            raise ValueError(f"block overflow: {len(records)} records > B={self.B}")
+            raise BlockOverflowError(
+                f"block overflow: {len(records)} records > B={self.B}"
+            )
         if block_id in self._frames:
             self._frames[block_id] = records
             self._frames.move_to_end(block_id)
@@ -211,9 +299,14 @@ class EMContext:
         self._dirty[block_id] = dirty
 
     def _evict(self, block_id: int) -> None:
+        if self._dirty.get(block_id, False):
+            self.stats.writes += 1
+            if self.fault_plan is not None:
+                # Raises *before* the frame is dropped, so a failed
+                # write-back loses nothing and a retry re-attempts it.
+                self.fault_plan.on_write(block_id, self._frames[block_id])
         records = self._frames.pop(block_id)
         if self._dirty.pop(block_id, False):
-            self.stats.writes += 1
             self.disk.raw_write(block_id, records)
         # Clean frames were never modified; the disk copy is current.
 

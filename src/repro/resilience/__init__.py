@@ -1,0 +1,71 @@
+"""Fault injection, structured errors, and graceful degradation.
+
+Three layers (see DESIGN.md / docs/API.md "Failure model"):
+
+* :mod:`repro.resilience.errors` — the structured exception taxonomy
+  every ``repro`` component raises (transient vs contract vs budget).
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`, the seeded
+  chaos schedule the EM machine consults on every block transfer.
+* :mod:`repro.resilience.guard` — :class:`ResilientTopKIndex`, the
+  retry / spot-check / degradation-ladder wrapper that turns any
+  top-k index into one that always answers correctly and reports its
+  own health.
+
+``errors`` and ``faults`` are dependency-free and imported eagerly;
+``guard`` (which depends on :mod:`repro.core`) is exposed lazily so
+core modules can import the taxonomy without a cycle.
+"""
+
+from repro.resilience.errors import (
+    BlockOverflowError,
+    ContractViolation,
+    CorruptBlockError,
+    DegradedAnswer,
+    ElementMembershipError,
+    InvalidConfiguration,
+    ReproError,
+    RetryBudgetExhausted,
+    StaticStructureError,
+    TransientIOError,
+    ValidationFailure,
+)
+from repro.resilience.faults import FaultPlan, FaultStats
+
+_GUARD_EXPORTS = (
+    "GuardPolicy",
+    "HealthReport",
+    "HealthSummary",
+    "ResilientTopKIndex",
+    "resilient_index",
+)
+
+__all__ = [
+    "ReproError",
+    "TransientIOError",
+    "CorruptBlockError",
+    "ContractViolation",
+    "ValidationFailure",
+    "ElementMembershipError",
+    "StaticStructureError",
+    "BlockOverflowError",
+    "InvalidConfiguration",
+    "RetryBudgetExhausted",
+    "DegradedAnswer",
+    "FaultPlan",
+    "FaultStats",
+    *_GUARD_EXPORTS,
+]
+
+
+def __getattr__(name):
+    # PEP 562 lazy loading: guard pulls in repro.core, which itself
+    # imports this package's errors — eager import here would cycle.
+    if name in _GUARD_EXPORTS:
+        from repro.resilience import guard
+
+        return getattr(guard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,141 @@
+"""Structured error taxonomy for the resilience subsystem.
+
+The reductions treat prioritized/max structures as black boxes, so the
+failures a production deployment must survive come in three flavours:
+
+* **transient environment faults** — a flaky simulated disk read or
+  write (:class:`TransientIOError`), or a block whose checksum no
+  longer matches (:class:`CorruptBlockError`).  Retrying is both safe
+  and likely to succeed.
+* **contract violations** — a user-supplied structure (or the caller)
+  broke a precondition: duplicate weights, updates against a static
+  structure, an answer that fails a runtime spot-check
+  (:class:`ContractViolation` and friends).  Retrying is pointless;
+  the query must be answered by a different rung of the degradation
+  ladder.
+* **budget exhaustion** — Theorem 2's round ladder or the guard's
+  retry loop ran out of its per-query budget
+  (:class:`RetryBudgetExhausted`).
+
+Several classes multiply inherit from the builtin exception previously
+raised at the same site (``KeyError``, ``TypeError``, ``ValueError``,
+``AssertionError``) so pre-taxonomy callers and tests keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class TransientIOError(ReproError):
+    """A retryable I/O fault (injected or environmental).
+
+    Carries the block id when known; the guard's retry loop treats any
+    ``TransientIOError`` as safe to retry with backoff.
+    """
+
+    def __init__(self, message: str, block_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+
+
+class CorruptBlockError(TransientIOError):
+    """A block transfer whose contents fail checksum verification.
+
+    Raised by :meth:`repro.em.model.EMContext.read_block` when per-block
+    checksums are enabled.  The disk copy itself is intact (corruption
+    is modelled in-flight), so a re-read is expected to succeed — hence
+    the :class:`TransientIOError` parentage.
+    """
+
+
+class ContractViolation(ReproError):
+    """A black-box contract or API precondition was broken.
+
+    Not retryable: the same call would fail the same way.  The guard
+    responds by degrading to the next rung of its ladder.
+    """
+
+
+class ValidationFailure(ContractViolation, AssertionError):
+    """A :class:`~repro.core.validation.ValidationReport` with failures.
+
+    Subclasses ``AssertionError`` for backwards compatibility with
+    pre-taxonomy callers of ``raise_if_failed``.
+    """
+
+
+class ElementMembershipError(ContractViolation, KeyError):
+    """Insert of a present element, or delete of an absent one.
+
+    Subclasses ``KeyError`` for backwards compatibility.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its argument
+        return self.args[0] if self.args else ""
+
+
+class StaticStructureError(ContractViolation, TypeError):
+    """An update was attempted against a static (non-dynamic) structure.
+
+    Subclasses ``TypeError`` for backwards compatibility.
+    """
+
+
+class BlockOverflowError(ContractViolation, ValueError):
+    """More than ``B`` records were written to one block.
+
+    Subclasses ``ValueError`` for backwards compatibility.
+    """
+
+
+class InvalidConfiguration(ReproError, ValueError):
+    """Nonsensical machine or policy parameters (``B < 2``, ``M < 2B``...).
+
+    Subclasses ``ValueError`` for backwards compatibility.
+    """
+
+
+class RetryBudgetExhausted(ReproError):
+    """A per-query retry/round budget ran out before an answer was found.
+
+    ``attempts`` records how many rounds or attempts were consumed.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class DegradedAnswer(ReproError):
+    """A correct answer was produced, but not by the primary index.
+
+    Only raised when :class:`~repro.resilience.guard.GuardPolicy` sets
+    ``raise_on_degraded``; by default degradation is merely recorded in
+    the query's :class:`~repro.resilience.guard.HealthReport`.  The
+    exception carries both the (exact) answer and the report.
+    """
+
+    def __init__(self, message: str, answer: Any = None, report: Any = None) -> None:
+        super().__init__(message)
+        self.answer = answer
+        self.report = report
+
+
+__all__ = [
+    "ReproError",
+    "TransientIOError",
+    "CorruptBlockError",
+    "ContractViolation",
+    "ValidationFailure",
+    "ElementMembershipError",
+    "StaticStructureError",
+    "BlockOverflowError",
+    "InvalidConfiguration",
+    "RetryBudgetExhausted",
+    "DegradedAnswer",
+]

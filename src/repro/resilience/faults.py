@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the external-memory machine.
+
+A :class:`FaultPlan` plugs into an :class:`~repro.em.model.EMContext`
+(via ``EMContext(fault_plan=...)`` or ``ctx.attach_fault_plan``) and
+intercepts every block transfer between disk and memory:
+
+* **read faults** — with probability ``read_fail_rate`` a miss raises
+  :class:`~repro.resilience.errors.TransientIOError` (the I/O is still
+  charged, so retries show up in the counters);
+* **write faults** — with probability ``write_fail_rate`` a dirty-frame
+  write-back raises; the frame is *not* lost, so a retry re-attempts
+  the same eviction;
+* **corruption** — with probability ``corrupt_rate`` the records
+  returned by a read are a corrupted copy (a record dropped or
+  duplicated); the disk copy stays intact, modelling in-flight bit
+  rot.  With per-block checksums enabled the context detects this and
+  raises :class:`~repro.resilience.errors.CorruptBlockError`; with
+  checksums disabled the corruption propagates silently — exactly the
+  failure mode the checksums exist to close;
+* **latency** — every intercepted transfer charges ``read_latency`` /
+  ``write_latency`` *units* to :attr:`FaultStats.latency_units`.  Like
+  the EM model itself, latency is counted, never slept.
+
+The plan is seeded and draws from its own :class:`random.Random`, so a
+fixed seed plus a fixed operation sequence yields an identical fault
+sequence — chaos tests are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.resilience.errors import InvalidConfiguration, TransientIOError
+
+
+@dataclass
+class FaultStats:
+    """Counters of everything a :class:`FaultPlan` injected."""
+
+    reads_seen: int = 0
+    writes_seen: int = 0
+    read_faults: int = 0
+    write_faults: int = 0
+    corruptions: int = 0
+    latency_units: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.read_faults + self.write_faults + self.corruptions
+
+    def reset(self) -> None:
+        self.reads_seen = 0
+        self.writes_seen = 0
+        self.read_faults = 0
+        self.write_faults = 0
+        self.corruptions = 0
+        self.latency_units = 0
+
+
+class FaultPlan:
+    """A seeded, deterministic chaos schedule for block I/O.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the plan's private RNG; fixes the fault sequence.
+    read_fail_rate / write_fail_rate:
+        Per-transfer probability of raising a
+        :class:`TransientIOError`.
+    corrupt_rate:
+        Per-read probability of returning a corrupted copy of the
+        block (never both a fault and a corruption on one read).
+    read_latency / write_latency:
+        Latency units charged per intercepted transfer.
+    armed:
+        Whether the plan is active.  Build structures with the plan
+        disarmed (or attach it after construction) and :meth:`arm` it
+        for the query phase, so chaos targets steady-state operation.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        read_fail_rate: float = 0.0,
+        write_fail_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        read_latency: int = 0,
+        write_latency: int = 0,
+        armed: bool = True,
+    ) -> None:
+        for name, rate in (
+            ("read_fail_rate", read_fail_rate),
+            ("write_fail_rate", write_fail_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidConfiguration(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.read_fail_rate = read_fail_rate
+        self.write_fail_rate = write_fail_rate
+        self.corrupt_rate = corrupt_rate
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.armed = armed
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Activate fault injection."""
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Suspend fault injection (counters are kept)."""
+        self.armed = False
+
+    @property
+    def injects_corruption(self) -> bool:
+        return self.corrupt_rate > 0.0
+
+    # ------------------------------------------------------------------
+    # Hooks called by EMContext
+    # ------------------------------------------------------------------
+    def on_read(self, block_id: int, records: List[object]) -> List[object]:
+        """Intercept one disk->memory transfer; returns the records seen.
+
+        May raise :class:`TransientIOError`; may return a corrupted
+        copy; otherwise passes ``records`` through untouched.
+        """
+        if not self.armed:
+            return records
+        self.stats.reads_seen += 1
+        self.stats.latency_units += self.read_latency
+        if self.read_fail_rate and self._rng.random() < self.read_fail_rate:
+            self.stats.read_faults += 1
+            raise TransientIOError(
+                f"injected read fault on block {block_id}", block_id=block_id
+            )
+        if self.corrupt_rate and records and self._rng.random() < self.corrupt_rate:
+            self.stats.corruptions += 1
+            return self._corrupt(records)
+        return records
+
+    def on_write(self, block_id: int, records: List[object]) -> None:
+        """Intercept one memory->disk transfer (may raise)."""
+        if not self.armed:
+            return
+        self.stats.writes_seen += 1
+        self.stats.latency_units += self.write_latency
+        if self.write_fail_rate and self._rng.random() < self.write_fail_rate:
+            self.stats.write_faults += 1
+            raise TransientIOError(
+                f"injected write fault on block {block_id}", block_id=block_id
+            )
+
+    # ------------------------------------------------------------------
+    def _corrupt(self, records: List[object]) -> List[object]:
+        """A corrupted copy: one record dropped or overwritten in place.
+
+        The result stays a well-typed record list, so *undetected*
+        corruption produces silently wrong answers rather than crashes
+        — the failure mode checksums are there to catch.
+        """
+        out = list(records)
+        i = self._rng.randrange(len(out))
+        if len(out) >= 2:
+            out[i] = out[(i + 1) % len(out)]
+        else:
+            out.pop(i)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, read_fail={self.read_fail_rate}, "
+            f"write_fail={self.write_fail_rate}, corrupt={self.corrupt_rate}, "
+            f"armed={self.armed}, faults={self.stats.total_faults})"
+        )
+
+
+__all__ = ["FaultPlan", "FaultStats"]

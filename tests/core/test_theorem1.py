@@ -131,6 +131,23 @@ class TestFailureInjection:
             assert index.query(p, 4) == oracle_top_k(elements, p, 4)
 
 
+class TestPreconditions:
+    def test_duplicate_weights_rejected_at_construction(self):
+        from repro.core.problem import Element
+        from repro.resilience.errors import ContractViolation
+
+        tied = [Element(0, 1.0), Element(1, 2.0), Element(2, 1.0)]
+        with pytest.raises(ContractViolation, match="distinct-weights"):
+            WorstCaseTopKIndex(tied, ToyPrioritized)
+
+    def test_preprocessed_ties_are_accepted(self):
+        from repro.core.problem import Element, ensure_distinct_weights
+
+        tied = [Element(i, float(i % 3)) for i in range(9)]
+        index = WorstCaseTopKIndex(ensure_distinct_weights(tied), ToyPrioritized)
+        assert index.query(RangePredicate(0, 10), 2)
+
+
 class TestStatsAccounting:
     def test_queries_counted(self):
         elements, index = build(n=200)

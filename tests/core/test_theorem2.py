@@ -118,7 +118,7 @@ class TestFailureInjection:
 class TestUpdates:
     def test_insert_then_query(self):
         elements, index = build(n=200, seed=5)
-        extra = make_toy_elements(80, seed=99)
+        extra = make_toy_elements(80, seed=99, weight_offset=2000.0)
         current = list(elements)
         for e in extra:
             index.insert(e)
@@ -153,7 +153,7 @@ class TestUpdates:
 
     def test_mixed_workload(self):
         elements, index = build(n=250, seed=9)
-        pool = make_toy_elements(400, seed=123)[250:]
+        pool = make_toy_elements(400, seed=123, weight_offset=2500.0)[250:]
         current = list(elements)
         rng = random.Random(10)
         for step, e in enumerate(pool):
@@ -169,7 +169,7 @@ class TestUpdates:
     def test_rebuild_triggers_on_growth(self):
         elements, index = build(n=64, seed=11)
         built = index._built_n
-        for e in make_toy_elements(200, seed=321)[64:]:
+        for e in make_toy_elements(200, seed=321, weight_offset=640.0)[64:]:
             index.insert(e)
         assert index._built_n > built  # at least one rebuild happened
 
@@ -198,6 +198,27 @@ class TestUpdates:
         index = ExpectedTopKIndex(elements, StaticPrioritized, ToyMax)
         with pytest.raises(TypeError, match="Dynamic"):
             index.insert(Element(-1, 0.25))
+
+
+class TestPreconditions:
+    def test_duplicate_weights_rejected_at_construction(self):
+        from repro.core.problem import Element
+        from repro.resilience.errors import ContractViolation
+
+        tied = [Element(0, 5.0), Element(1, 5.0)]
+        with pytest.raises(ContractViolation, match="distinct-weights"):
+            ExpectedTopKIndex(tied, ToyPrioritized, ToyMax)
+
+    def test_insert_colliding_weight_rejected(self):
+        from repro.core.problem import Element
+        from repro.resilience.errors import ContractViolation
+
+        elements, index = build(n=60, seed=20)
+        clash = Element(-99, elements[0].weight)  # new element, old weight
+        with pytest.raises(ContractViolation, match="duplicates an indexed weight"):
+            index.insert(clash)
+        # The failed insert left no trace: a fresh weight still works.
+        index.insert(Element(-99, elements[0].weight + 0.5))
 
 
 @settings(max_examples=25, deadline=None)

@@ -48,6 +48,17 @@ class TestLadderConstruction:
             for level in levels:
                 assert element in index._samples[level]
 
+    def test_samples_support_constant_time_membership_updates(self):
+        """Level samples are ordered hash sets (dicts), so ``delete``
+        is O(#levels containing the element), not O(|R_i|) list scans."""
+        elements, index = build(n=1500)
+        assert all(isinstance(sample, dict) for sample in index._samples)
+        victim = elements[17]
+        index.delete(victim)
+        for sample in index._samples:
+            assert victim not in sample
+        assert victim not in index._membership
+
     def test_expected_membership_is_constant(self):
         """Each element sits in O(1) samples in expectation (update cost)."""
         _, index = build(n=4000)

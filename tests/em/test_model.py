@@ -158,3 +158,34 @@ class TestRamContext:
         ctx = ram_context()
         assert ctx.B == 2
         assert ctx.num_frames > 1000
+
+
+class TestChecksummedOperation:
+    """Checksums must be invisible on a healthy machine."""
+
+    def test_clean_reads_verify(self):
+        disk = Disk(checksums=True)
+        ctx = EMContext(B=4, M=8, disk=disk)
+        bids = [ctx.allocate_block([i, i * 2]) for i in range(5)]
+        ctx.flush()
+        ctx.drop_cache()
+        for i, bid in enumerate(bids):
+            assert list(ctx.read_block(bid)) == [i, i * 2]
+
+    def test_write_back_refreshes_the_checksum(self):
+        disk = Disk(checksums=True)
+        ctx = EMContext(B=4, M=8, disk=disk)
+        bid = ctx.allocate_block([1])
+        ctx.flush()
+        ctx.write_block(bid, [2, 3])
+        ctx.flush()
+        ctx.drop_cache()
+        assert list(ctx.read_block(bid)) == [2, 3]
+        assert disk.verify(bid, [2, 3])
+
+    def test_enable_is_idempotent(self):
+        disk = Disk()
+        disk.allocate()
+        disk.enable_checksums()
+        disk.enable_checksums()
+        assert disk.checksums_enabled

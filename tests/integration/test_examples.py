@@ -33,6 +33,15 @@ def test_spatial_similarity_runs(capsys):
     assert "Theorem 1 instantiation agrees" in out
 
 
+def test_resilient_service_runs(capsys):
+    import resilient_service
+
+    resilient_service.main()
+    out = capsys.readouterr().out
+    assert "Degradation ladder: ExpectedTopKIndex -> WorstCaseTopKIndex -> scan" in out
+    assert "matched the brute-force oracle" in out
+
+
 @pytest.mark.slow
 def test_hotel_search_runs(capsys):
     import hotel_search

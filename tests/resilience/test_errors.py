@@ -1,0 +1,77 @@
+"""The error taxonomy: hierarchy, compat parentage, and payloads."""
+
+import pytest
+
+from repro.resilience.errors import (
+    BlockOverflowError,
+    ContractViolation,
+    CorruptBlockError,
+    DegradedAnswer,
+    ElementMembershipError,
+    InvalidConfiguration,
+    ReproError,
+    RetryBudgetExhausted,
+    StaticStructureError,
+    TransientIOError,
+    ValidationFailure,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            TransientIOError,
+            CorruptBlockError,
+            ContractViolation,
+            ValidationFailure,
+            ElementMembershipError,
+            StaticStructureError,
+            BlockOverflowError,
+            InvalidConfiguration,
+            RetryBudgetExhausted,
+            DegradedAnswer,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_corrupt_block_is_transient(self):
+        """Corruption is in-flight; a re-read succeeds, so it is retryable."""
+        assert issubclass(CorruptBlockError, TransientIOError)
+
+    def test_contract_violations_are_not_transient(self):
+        assert not issubclass(ContractViolation, TransientIOError)
+        assert not issubclass(RetryBudgetExhausted, TransientIOError)
+
+    def test_backwards_compatible_parentage(self):
+        """Pre-taxonomy call sites raised builtins; the new types still match."""
+        assert issubclass(ValidationFailure, AssertionError)
+        assert issubclass(ElementMembershipError, KeyError)
+        assert issubclass(StaticStructureError, TypeError)
+        assert issubclass(BlockOverflowError, ValueError)
+        assert issubclass(InvalidConfiguration, ValueError)
+
+
+class TestPayloads:
+    def test_transient_carries_block_id(self):
+        exc = TransientIOError("boom", block_id=42)
+        assert exc.block_id == 42
+
+    def test_membership_error_message_is_not_repr_quoted(self):
+        # Plain KeyError str()s to the repr of its argument; the
+        # subclass restores a readable message.
+        exc = ElementMembershipError("element not present: X")
+        assert str(exc) == "element not present: X"
+
+    def test_retry_budget_carries_attempts(self):
+        exc = RetryBudgetExhausted("out of rounds", attempts=7)
+        assert exc.attempts == 7
+
+    def test_degraded_answer_carries_answer_and_report(self):
+        exc = DegradedAnswer("fell back", answer=[1, 2], report={"level": 1})
+        assert exc.answer == [1, 2]
+        assert exc.report == {"level": 1}
+
+    def test_catchable_via_pytest_raises_legacy_type(self):
+        with pytest.raises(KeyError):
+            raise ElementMembershipError("gone")
+        with pytest.raises(ValueError):
+            raise InvalidConfiguration("bad B")

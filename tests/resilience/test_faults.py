@@ -1,0 +1,172 @@
+"""Fault injection in the EM machine: determinism, detection, accounting."""
+
+import pytest
+
+from repro.em.model import Disk, EMContext, block_checksum
+from repro.resilience.errors import (
+    CorruptBlockError,
+    InvalidConfiguration,
+    TransientIOError,
+)
+from repro.resilience.faults import FaultPlan
+
+
+def drive(plan, operations=200):
+    """Replay a fixed operation sequence; return the outcome trace."""
+    trace = []
+    for i in range(operations):
+        records = [i, i + 1, i + 2]
+        try:
+            seen = plan.on_read(i, records)
+            trace.append("corrupt" if seen != records else "ok")
+        except TransientIOError:
+            trace.append("fail")
+        try:
+            plan.on_write(i, records)
+            trace.append("w-ok")
+        except TransientIOError:
+            trace.append("w-fail")
+    return trace
+
+
+class TestFaultPlan:
+    def test_same_seed_same_fault_sequence(self):
+        make = lambda: FaultPlan(
+            seed=7, read_fail_rate=0.2, write_fail_rate=0.1, corrupt_rate=0.2
+        )
+        assert drive(make()) == drive(make())
+
+    def test_different_seed_different_sequence(self):
+        a = FaultPlan(seed=1, read_fail_rate=0.3, corrupt_rate=0.3)
+        b = FaultPlan(seed=2, read_fail_rate=0.3, corrupt_rate=0.3)
+        assert drive(a) != drive(b)
+
+    def test_rates_are_validated(self):
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan(read_fail_rate=1.5)
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_disarmed_plan_is_a_no_op(self):
+        plan = FaultPlan(seed=0, read_fail_rate=1.0, armed=False)
+        records = [1, 2]
+        assert plan.on_read(0, records) is records
+        assert plan.stats.reads_seen == 0
+        plan.arm()
+        with pytest.raises(TransientIOError):
+            plan.on_read(0, records)
+
+    def test_corruption_changes_records_but_not_length_semantics(self):
+        plan = FaultPlan(seed=3, corrupt_rate=1.0)
+        out = plan.on_read(5, [10, 20, 30])
+        assert out != [10, 20, 30]
+        assert plan.stats.corruptions == 1
+
+    def test_latency_units_accumulate(self):
+        plan = FaultPlan(seed=0, read_latency=5, write_latency=2)
+        plan.on_read(0, [1])
+        plan.on_write(0, [1])
+        plan.on_read(1, [1])
+        assert plan.stats.latency_units == 12
+
+
+class TestDiskChecksums:
+    def test_enable_checksums_covers_existing_blocks(self):
+        disk = Disk()
+        bid = disk.allocate()
+        disk.raw_write(bid, [1, 2, 3])
+        disk.enable_checksums()
+        assert disk.verify(bid, [1, 2, 3])
+        assert not disk.verify(bid, [1, 2, 4])
+
+    def test_verify_without_checksums_trusts_everything(self):
+        disk = Disk()
+        bid = disk.allocate()
+        assert disk.verify(bid, ["anything"])
+
+    def test_checksum_tracks_rewrites(self):
+        disk = Disk(checksums=True)
+        bid = disk.allocate()
+        disk.raw_write(bid, [1])
+        disk.raw_write(bid, [2])
+        assert disk.verify(bid, [2])
+        assert not disk.verify(bid, [1])
+
+    def test_block_checksum_is_content_sensitive(self):
+        assert block_checksum([1, 2]) != block_checksum([2, 1])
+        assert block_checksum([]) == block_checksum([])
+
+
+class TestEMContextInjection:
+    def _fresh_ctx(self, **plan_kwargs):
+        ctx = EMContext(B=4, M=8)
+        bids = [ctx.allocate_block([i, i + 1]) for i in range(6)]
+        ctx.flush()
+        ctx.attach_fault_plan(FaultPlan(**plan_kwargs))
+        return ctx, bids
+
+    def test_read_fault_raises_and_charges_the_io(self):
+        ctx, bids = self._fresh_ctx(seed=0, read_fail_rate=1.0)
+        ctx.stats.reset()
+        with pytest.raises(TransientIOError):
+            ctx.read_block(bids[0])
+        assert ctx.stats.reads == 1  # the failed attempt still cost an I/O
+        assert ctx.fault_plan.stats.read_faults == 1
+
+    def test_read_retry_succeeds_when_fault_clears(self):
+        ctx, bids = self._fresh_ctx(seed=1, read_fail_rate=0.5)
+        answer = None
+        for _ in range(50):
+            try:
+                answer = list(ctx.read_block(bids[2]))
+                break
+            except TransientIOError:
+                continue
+        assert answer == [2, 3]
+
+    def test_corruption_detected_via_checksums(self):
+        # attach_fault_plan auto-enables checksums for corrupting plans.
+        ctx, bids = self._fresh_ctx(seed=2, corrupt_rate=1.0)
+        assert ctx.disk.checksums_enabled
+        with pytest.raises(CorruptBlockError):
+            ctx.read_block(bids[1])
+        # The disk copy is intact: disarm and re-read the true records.
+        ctx.fault_plan.disarm()
+        assert list(ctx.read_block(bids[1])) == [1, 2]
+
+    def test_undetected_corruption_is_silent(self):
+        """Without checksums the corrupted block is served — the failure
+        mode that motivates the integrity layer."""
+        ctx = EMContext(B=4, M=8)
+        bids = [ctx.allocate_block([i, i + 1]) for i in range(3)]
+        ctx.flush()
+        ctx.attach_fault_plan(
+            FaultPlan(seed=3, corrupt_rate=1.0), enable_checksums=False
+        )
+        seen = list(ctx.read_block(bids[0]))
+        assert seen != [0, 1]  # silently wrong
+        assert ctx.fault_plan.stats.corruptions == 1
+
+    def test_write_fault_raises_without_losing_the_frame(self):
+        ctx = EMContext(B=4, M=8, fault_plan=FaultPlan(seed=4, write_fail_rate=1.0))
+        bid = ctx.allocate_block()
+        ctx.write_block(bid, [7, 8])
+        with pytest.raises(TransientIOError):
+            ctx.flush()
+        # The dirty frame survived the failed write-back; a fault-free
+        # flush persists it.
+        ctx.fault_plan.disarm()
+        ctx.flush()
+        assert ctx.disk.raw_read(bid) == [7, 8]
+
+    def test_cache_hits_never_fault(self):
+        ctx, bids = self._fresh_ctx(seed=5, read_fail_rate=0.0)
+        records = ctx.read_block(bids[0])
+        ctx.fault_plan.read_fail_rate = 1.0
+        # Resident block: free and fault-free regardless of the plan.
+        assert ctx.read_block(bids[0]) is records
+
+    def test_detach_restores_normal_operation(self):
+        ctx, bids = self._fresh_ctx(seed=6, read_fail_rate=1.0)
+        ctx.attach_fault_plan(None)
+        assert list(ctx.read_block(bids[3])) == [3, 4]

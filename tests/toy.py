@@ -120,10 +120,18 @@ class LyingMax(ToyMax):
         return min(matching, key=lambda e: e.weight)  # worst possible probe
 
 
-def make_toy_elements(n: int, seed: int = 0) -> List[Element]:
+def make_toy_elements(n: int, seed: int = 0, weight_offset: float = 0.0) -> List[Element]:
+    """``n`` toy elements with distinct weights in ``[offset, offset+10n)``.
+
+    ``weight_offset`` lets update tests draw a second batch whose
+    weights cannot collide with an existing index's (the reductions
+    enforce the paper's distinct-weights precondition on insert).
+    """
     import random
 
     rng = random.Random(seed)
     weights = rng.sample(range(10 * n), n)
     positions = rng.sample(range(10 * n), n)
-    return [Element(positions[i], float(weights[i])) for i in range(n)]
+    return [
+        Element(positions[i], float(weights[i]) + weight_offset) for i in range(n)
+    ]
