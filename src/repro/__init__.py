@@ -57,14 +57,34 @@ from repro.resilience import (
     FaultStats,
     GuardPolicy,
     HealthReport,
+    RecoveryError,
     ReproError,
     ResilientTopKIndex,
     RetryBudgetExhausted,
+    SimulatedCrash,
+    SnapshotIntegrityError,
     TransientIOError,
     resilient_index,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+_DURABILITY_EXPORTS = (
+    "DurableStore",
+    "DurableTopKIndex",
+    "RecoveryResult",
+    "recover_index",
+)
+
+
+def __getattr__(name):
+    # PEP 562: the durability layer pulls in core + em + resilience, so
+    # it is exposed lazily to keep `import repro` light.
+    if name in _DURABILITY_EXPORTS:
+        from repro import durability
+
+        return getattr(durability, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Element",
@@ -94,5 +114,9 @@ __all__ = [
     "HealthReport",
     "ResilientTopKIndex",
     "resilient_index",
+    "SimulatedCrash",
+    "SnapshotIntegrityError",
+    "RecoveryError",
+    *_DURABILITY_EXPORTS,
     "__version__",
 ]

@@ -33,14 +33,20 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.coreset import CoresetHierarchy, build_hierarchy, doubling_coresets
+from repro.core.coreset import (
+    CoresetHierarchy,
+    CoresetStats,
+    build_hierarchy,
+    doubling_coresets,
+)
 from repro.core.interfaces import PrioritizedFactory, PrioritizedIndex, TopKIndex
 from repro.core.params import TuningParams
 from repro.core.problem import Element, Predicate, require_distinct_weights
 from repro.em.selection import select_top_k
+from repro.resilience.errors import SerializationError
 
 
 @dataclass
@@ -79,11 +85,16 @@ class _TopFStructure:
         rng: random.Random,
         stats: ReductionStats,
         ground_index: Optional[PrioritizedIndex] = None,
+        hierarchy: Optional[CoresetHierarchy] = None,
     ) -> None:
         self.f = f
         self.params = params
         self.stats = stats
-        self.hierarchy: CoresetHierarchy = build_hierarchy(elements, float(f), params, rng)
+        # A prebuilt hierarchy (snapshot restore) skips the sampling —
+        # the recorded levels *are* the coin flips being replayed.
+        if hierarchy is None:
+            hierarchy = build_hierarchy(elements, float(f), params, rng)
+        self.hierarchy: CoresetHierarchy = hierarchy
         self.levels = self.hierarchy.levels
         self.indexes: List[Optional[PrioritizedIndex]] = []
         last = len(self.levels) - 1
@@ -280,3 +291,102 @@ class WorstCaseTopKIndex(TopKIndex):
     def ground_space_units(self) -> int:
         """Footprint of the single prioritized structure on ``D``."""
         return self._ground.space_units()
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore)
+    # ------------------------------------------------------------------
+    SNAPSHOT_FORMAT = "worstcase-topk"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Everything needed to rebuild this index *bit-for-bit*.
+
+        The core-set hierarchies are the structure's only randomness;
+        recording every level's membership (as indices into the element
+        list) and the sampling rates actually used replays those coin
+        flips exactly — restored queries take the same recursion paths,
+        probe the same ranks, and return identical answers.
+        """
+        elements = self._elements
+        index_of = {element: i for i, element in enumerate(elements)}
+
+        def hierarchy_state(hierarchy: CoresetHierarchy) -> dict:
+            return {
+                "levels": [
+                    [index_of[element] for element in level]
+                    for level in hierarchy.levels
+                ],
+                "rates": list(hierarchy.stats.rates),
+                "K": hierarchy.K,
+            }
+
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "elements": list(elements),
+            "B": self.B,
+            "f": self.f,
+            "params": asdict(self.params),
+            "small": hierarchy_state(self._small.hierarchy),
+            "ladder": [hierarchy_state(s.hierarchy) for s in self._ladder],
+            "ladder_rates": list(self._ladder_rates),
+        }
+
+    @classmethod
+    def restore(
+        cls, state: dict, factory: PrioritizedFactory
+    ) -> "WorstCaseTopKIndex":
+        """Rebuild from :meth:`snapshot_state` output.
+
+        Per-level prioritized structures are deterministic functions of
+        their element lists, so rebuilding them through the factory on
+        the recorded levels reproduces the original exactly.
+        """
+        if state.get("format") != cls.SNAPSHOT_FORMAT:
+            raise SerializationError(
+                f"snapshot format {state.get('format')!r} is not "
+                f"{cls.SNAPSHOT_FORMAT!r}"
+            )
+        if state.get("version") != cls.SNAPSHOT_VERSION:
+            raise SerializationError(
+                f"snapshot version {state.get('version')!r} unsupported "
+                f"(this build reads {cls.SNAPSHOT_VERSION})"
+            )
+        self = cls.__new__(cls)
+        self.params = TuningParams(**state["params"])
+        elements: List[Element] = list(state["elements"])
+        require_distinct_weights(elements, "WorstCaseTopKIndex.restore")
+        self._elements = elements
+        self._factory = factory
+        self.B = state["B"]
+        self.stats = ReductionStats()
+        self._ground = factory(elements)
+        self.f = state["f"]
+
+        def hierarchy_from(hstate: dict) -> CoresetHierarchy:
+            levels = [
+                [elements[j] for j in level] for level in hstate["levels"]
+            ]
+            stats = CoresetStats(
+                sizes=[len(level) for level in levels],
+                rates=list(hstate["rates"]),
+            )
+            return CoresetHierarchy(levels=levels, K=hstate["K"], stats=stats)
+
+        rng = random.Random(0)  # never drawn from: hierarchies are prebuilt
+        self._small = _TopFStructure(
+            elements, self.f, factory, self.params, rng, self.stats,
+            ground_index=self._ground,
+            hierarchy=hierarchy_from(state["small"]),
+        )
+        self._ladder = []
+        for hstate in state["ladder"]:
+            hierarchy = hierarchy_from(hstate)
+            self._ladder.append(
+                _TopFStructure(
+                    hierarchy.levels[0], self.f, factory, self.params, rng,
+                    self.stats, hierarchy=hierarchy,
+                )
+            )
+        self._ladder_rates = list(state["ladder_rates"])
+        return self

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.interfaces import (
@@ -47,6 +48,7 @@ from repro.resilience.errors import (
     ContractViolation,
     ElementMembershipError,
     RetryBudgetExhausted,
+    SerializationError,
     StaticStructureError,
 )
 
@@ -132,10 +134,107 @@ class ExpectedTopKIndex(TopKIndex):
     def n(self) -> int:
         return len(self._elements)
 
+    def __contains__(self, element: Element) -> bool:
+        """O(1) membership — the substrate of idempotent WAL replay."""
+        return element in self._elements
+
     @property
     def num_levels(self) -> int:
         """Height ``h`` of the sample ladder."""
         return len(self._K)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore)
+    # ------------------------------------------------------------------
+    SNAPSHOT_FORMAT = "expected-topk"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Everything needed to rebuild this index *bit-for-bit*.
+
+        The randomness is captured as *decisions*, not seeds: the exact
+        membership of every sample ``R_i`` (as indices into the element
+        list) plus the RNG's full state, so the restored index answers
+        every query identically — including the escalation ladder's
+        round outcomes — and future inserts draw the same coin flips
+        the original would have.  Factories and bound callables are
+        code, not state; the restorer supplies them again.
+        """
+        elements = list(self._elements)
+        index_of = {element: i for i, element in enumerate(elements)}
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "elements": elements,
+            "B": self.B,
+            "built_n": self._built_n,
+            "K": list(self._K),
+            "samples": [
+                [index_of[element] for element in sample]
+                for sample in self._samples
+            ],
+            "rng_state": self._rng.getstate(),
+            "params": asdict(self.params),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        prioritized_factory: PrioritizedFactory,
+        max_factory: MaxFactory,
+        q_max_bound: Optional[Callable[[int], float]] = None,
+    ) -> "ExpectedTopKIndex":
+        """Rebuild from :meth:`snapshot_state` output.
+
+        Re-runs the factories on the *recorded* subsets instead of
+        re-sampling, so the ladder is reconstructed exactly; only the
+        sub-structure internals are rebuilt (they are deterministic
+        functions of their element lists).
+        """
+        if state.get("format") != cls.SNAPSHOT_FORMAT:
+            raise SerializationError(
+                f"snapshot format {state.get('format')!r} is not "
+                f"{cls.SNAPSHOT_FORMAT!r}"
+            )
+        if state.get("version") != cls.SNAPSHOT_VERSION:
+            raise SerializationError(
+                f"snapshot version {state.get('version')!r} unsupported "
+                f"(this build reads {cls.SNAPSHOT_VERSION})"
+            )
+        self = cls.__new__(cls)
+        self.params = TuningParams(**state["params"])
+        self.B = state["B"]
+        self._prioritized_factory = prioritized_factory
+        self._max_factory = max_factory
+        self._q_max_bound = q_max_bound
+        self._rng = random.Random()
+        self._rng.setstate(state["rng_state"])
+        self.stats = ReductionStats()
+        elements: List[Element] = list(state["elements"])
+        require_distinct_weights(elements, "ExpectedTopKIndex.restore")
+        self._elements = dict.fromkeys(elements)
+        self._weights = {element.weight for element in elements}
+        self._built_n = state["built_n"]
+        self._ground = prioritized_factory(elements)
+        self._K = list(state["K"])
+        if len(state["samples"]) != len(self._K):
+            raise SerializationError(
+                f"snapshot has {len(state['samples'])} samples for "
+                f"{len(self._K)} ladder levels"
+            )
+        self._samples = []
+        self._max_indexes = []
+        self._membership = {}
+        for i, indices in enumerate(state["samples"]):
+            sample: Dict[Element, None] = dict.fromkeys(
+                elements[j] for j in indices
+            )
+            for element in sample:
+                self._membership.setdefault(element, []).append(i)
+            self._samples.append(sample)
+            self._max_indexes.append(max_factory(list(sample)))
+        return self
 
     def query(
         self, predicate: Predicate, k: int, round_budget: Optional[int] = None

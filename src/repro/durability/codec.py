@@ -1,0 +1,168 @@
+"""Deterministic encoding of index state into plain disk records.
+
+The simulated :class:`~repro.em.model.Disk` stores Python objects, but
+the durability layer never writes *live* structures to it: everything
+is encoded into nested tuples of primitives first.  That discipline is
+what makes the format honest — snapshots are checksummable (``repr`` of
+a primitive tree is stable), versionable, and readable by a process
+that shares no object identity with the writer, exactly like bytes on
+a real disk.
+
+Two layers:
+
+* :func:`encode` / :func:`decode` — one *value* to one tagged primitive
+  tree.  Supported leaves: ``None``, ``bool``, ``int``, ``float``,
+  ``str``; containers: ``tuple``, ``list``, ``dict`` (string keys);
+  domain types: :class:`~repro.core.problem.Element` and the geometry
+  primitives (:class:`Interval`, :class:`Rect`, :class:`Halfplane`,
+  :class:`Ball`, :class:`Line2D`).  Anything else raises
+  :class:`~repro.resilience.errors.SerializationError` — the gate that
+  keeps unserializable payloads out of snapshots at *write* time.
+* :func:`flatten_state` / :func:`unflatten_state` — one state *dict*
+  to a flat stream of O(1)-sized records, so a snapshot occupies
+  ``ceil(len(stream)/B)`` blocks like any other EM data, instead of
+  hiding an arbitrarily large object inside one record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.core.problem import Element
+from repro.geometry.primitives import Ball, Halfplane, Interval, Line2D, Rect
+from repro.resilience.errors import SerializationError
+
+_SCALARS = (bool, int, float, str)
+
+# Geometry dataclasses round-trip through their constructor fields.
+_GEOMETRY = {
+    "Interval": (Interval, ("lo", "hi")),
+    "Rect": (Rect, ("x1", "x2", "y1", "y2")),
+    "Halfplane": (Halfplane, ("normal", "c")),
+    "Ball": (Ball, ("center", "radius")),
+    "Line2D": (Line2D, ("a", "b")),
+}
+_GEOMETRY_BY_TYPE = {cls: (tag, fields) for tag, (cls, fields) in _GEOMETRY.items()}
+
+
+def encode(value: Any) -> Any:
+    """Encode one value into a tagged tree of primitives."""
+    if value is None or type(value) in (bool, int, float, str):
+        return ("raw", value)
+    kind = type(value)
+    if kind is tuple:
+        return ("tuple", tuple(encode(v) for v in value))
+    if kind is list:
+        return ("list", tuple(encode(v) for v in value))
+    if kind is dict:
+        items = []
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be str, got {type(key).__name__}: {key!r}"
+                )
+            items.append((key, encode(val)))
+        return ("dict", tuple(items))
+    if kind is Element:
+        return ("Element", encode(value.obj), value.weight, encode(value.payload))
+    hit = _GEOMETRY_BY_TYPE.get(kind)
+    if hit is not None:
+        tag, fields = hit
+        return (tag, tuple(encode(getattr(value, f)) for f in fields))
+    raise SerializationError(
+        f"cannot serialize {kind.__name__}: {value!r}; register it in "
+        "repro.durability.codec or carry a primitive payload instead"
+    )
+
+
+def decode(encoded: Any) -> Any:
+    """Invert :func:`encode`; raises on unknown tags (format drift)."""
+    if not isinstance(encoded, tuple) or not encoded:
+        raise SerializationError(f"malformed encoded value: {encoded!r}")
+    tag = encoded[0]
+    if tag == "raw":
+        return encoded[1]
+    if tag == "tuple":
+        return tuple(decode(v) for v in encoded[1])
+    if tag == "list":
+        return [decode(v) for v in encoded[1]]
+    if tag == "dict":
+        return {key: decode(val) for key, val in encoded[1]}
+    if tag == "Element":
+        return Element(decode(encoded[1]), encoded[2], decode(encoded[3]))
+    hit = _GEOMETRY.get(tag)
+    if hit is not None:
+        cls, _ = hit
+        return cls(*(decode(v) for v in encoded[1]))
+    raise SerializationError(f"unknown codec tag {tag!r} (format drift?)")
+
+
+# ----------------------------------------------------------------------
+# State streams: one dict -> many O(1) records
+# ----------------------------------------------------------------------
+def flatten_state(state: dict) -> List[Tuple]:
+    """Serialize a state dict into a flat stream of O(1)-sized records.
+
+    Containers emit a header record followed by their members' streams,
+    so a list of ``n`` elements becomes ``n + 1`` records — the EM cost
+    of writing it is ``ceil(n/B)`` I/Os, as the model demands.  Leaves
+    go through :func:`encode` (kept whole: an Element or an RNG state
+    tuple is one record of O(1) machine words).
+    """
+    out: List[Tuple] = []
+    _flatten(state, out)
+    return out
+
+
+def _flatten(value: Any, out: List[Tuple]) -> None:
+    if type(value) is dict:
+        out.append(("D", len(value)))
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"state dict keys must be str, got {type(key).__name__}"
+                )
+            out.append(("K", key))
+            _flatten(val, out)
+    elif type(value) is list:
+        out.append(("L", len(value)))
+        for item in value:
+            _flatten(item, out)
+    else:
+        out.append(("S", encode(value)))
+
+
+def unflatten_state(records: List[Tuple]) -> dict:
+    """Invert :func:`flatten_state` (raises on malformed streams)."""
+    stream = iter(records)
+    value = _unflatten(stream)
+    leftover = next(stream, None)
+    if leftover is not None:
+        raise SerializationError(f"trailing records after state: {leftover!r}")
+    if not isinstance(value, dict):
+        raise SerializationError(f"state stream does not describe a dict: {value!r}")
+    return value
+
+
+def _unflatten(stream: Iterator[Tuple]) -> Any:
+    record = next(stream, None)
+    if record is None or not isinstance(record, tuple) or len(record) != 2:
+        raise SerializationError(f"malformed state record: {record!r}")
+    kind, arg = record
+    if kind == "S":
+        return decode(arg)
+    if kind == "L":
+        return [_unflatten(stream) for _ in range(arg)]
+    if kind == "D":
+        out = {}
+        for _ in range(arg):
+            key_record = next(stream, None)
+            if not (isinstance(key_record, tuple) and len(key_record) == 2
+                    and key_record[0] == "K"):
+                raise SerializationError(f"expected key record, got {key_record!r}")
+            out[key_record[1]] = _unflatten(stream)
+        return out
+    raise SerializationError(f"unknown state record kind {kind!r}")
+
+
+__all__ = ["encode", "decode", "flatten_state", "unflatten_state"]

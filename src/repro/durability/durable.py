@@ -1,0 +1,195 @@
+"""`DurableTopKIndex`: crash-consistent persistence around any index.
+
+The wrapper owns a :class:`~repro.durability.store.DurableStore` (with
+its *own* EM context, so durability I/O is accounted separately from
+the query path — health reports never double-count it) and follows the
+standard protocol:
+
+* **updates** are WAL-first: the op record is appended to the log
+  buffer, then applied in memory; every ``commit_interval`` updates the
+  group is committed (sealed blocks + flush).  A crash loses at most
+  the current uncommitted group — never a committed one;
+* **checkpoints** snapshot the inner index (``snapshot_state()``),
+  flush, then atomically publish snapshot + truncated WAL via a
+  superblock commit.  The two most recent snapshots are retained, so a
+  crash *during* a checkpoint still recovers from the previous one;
+* **recovery** (:meth:`DurableTopKIndex.recover`) mounts the surviving
+  disk with a fresh context, runs the
+  :func:`~repro.durability.recovery.recover_index` sequence, and
+  re-checkpoints the recovered state as the new baseline.
+
+Queries pass straight through (including keyword extras such as
+Theorem 2's ``round_budget``), so the wrapper is drop-in wherever a
+:class:`~repro.core.interfaces.TopKIndex` is expected — in particular
+as a backend of
+:class:`~repro.resilience.guard.ResilientTopKIndex`, which reports the
+wrapper's recovery counters through its health summary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.interfaces import TopKIndex
+from repro.core.problem import Element, Predicate
+from repro.durability.recovery import RecoveryResult, recover_index
+from repro.durability.snapshot import write_snapshot
+from repro.durability.store import DurableStore
+from repro.durability.wal import OP_DELETE, OP_INSERT, WriteAheadLog
+from repro.em.model import Disk, IOStats
+
+STATE_KIND = "durable-topk"
+SNAPSHOTS_RETAINED = 2
+
+
+class DurableTopKIndex(TopKIndex):
+    """Crash-consistent wrapper (see module docstring for the protocol).
+
+    Parameters
+    ----------
+    inner:
+        Any index exposing ``snapshot_state()`` (and ``insert`` /
+        ``delete`` if updates are used).
+    store:
+        The durable store; a private one (private disk) by default.
+    commit_interval:
+        Group-commit size: every this-many updates, the WAL group is
+        made durable.  ``1`` commits each update individually.
+    checkpoint_now:
+        Write the initial snapshot immediately (default) so the index
+        is recoverable from the moment it exists.
+    recovery:
+        Set by :meth:`recover` — the :class:`RecoveryResult` describing
+        how this instance came back.
+    """
+
+    def __init__(
+        self,
+        inner: TopKIndex,
+        store: Optional[DurableStore] = None,
+        commit_interval: int = 1,
+        checkpoint_now: bool = True,
+        recovery: Optional[RecoveryResult] = None,
+    ) -> None:
+        self.inner = inner
+        self.store = store if store is not None else DurableStore()
+        self.commit_interval = max(1, commit_interval)
+        self.wal = WriteAheadLog(self.store)
+        self._since_commit = 0
+        self.recovery = recovery
+        self.checkpoints = 0
+        if checkpoint_now:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    @property
+    def recovered(self) -> bool:
+        """Whether this instance was produced by crash recovery."""
+        return self.recovery is not None
+
+    @property
+    def durability_io(self) -> IOStats:
+        """I/O spent on persistence — separate from the query path."""
+        return self.store.ctx.stats
+
+    def query(self, predicate: Predicate, k: int, **kwargs) -> List[Element]:
+        return self.inner.query(predicate, k, **kwargs)
+
+    def space_units(self) -> int:
+        return self.inner.space_units()
+
+    # ------------------------------------------------------------------
+    # Updates (WAL-first)
+    # ------------------------------------------------------------------
+    def insert(self, element: Element) -> None:
+        self.wal.append(OP_INSERT, element)
+        try:
+            self.inner.insert(element)
+        except Exception:
+            # The in-memory apply failed, so the (uncommitted) record
+            # must not survive to replay against a state it never changed.
+            self.wal.rollback_last()
+            raise
+        self._after_update()
+
+    def delete(self, element: Element) -> None:
+        self.wal.append(OP_DELETE, element)
+        try:
+            self.inner.delete(element)
+        except Exception:
+            self.wal.rollback_last()
+            raise
+        self._after_update()
+
+    def _after_update(self) -> None:
+        self._since_commit += 1
+        if self._since_commit >= self.commit_interval:
+            self.commit()
+
+    def commit(self) -> int:
+        """Force the pending WAL group to disk; returns records committed."""
+        self._since_commit = 0
+        return self.wal.commit()
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Snapshot the index and atomically make it the recovery root.
+
+        Ordering is load-bearing: the snapshot chain is flushed
+        *before* the superblock commit publishes its entry, and the WAL
+        is truncated in the same superblock commit — a crash at any
+        point leaves either the old root (snapshot + old log) or the
+        new root (snapshot + empty log) fully consistent.
+        """
+        self.commit()
+        state = {
+            "kind": STATE_KIND,
+            "last_lsn": self.wal.last_lsn,
+            "index": self.inner.snapshot_state(),
+        }
+        entry = write_snapshot(self.store, state)
+        self.store.flush()  # barrier: data before the pointer to it
+        self.store.snapshots = [entry, *self.store.snapshots][:SNAPSHOTS_RETAINED]
+        self.wal.truncate()
+        self.store.wal_head = self.wal.head
+        self.store.commit_superblock()
+        self.checkpoints += 1
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        disk: Disk,
+        restore_fn: Callable[[dict], TopKIndex],
+        build_fn: Optional[Callable[[List[Element]], TopKIndex]] = None,
+        B: int = 16,
+        M: Optional[int] = None,
+        commit_interval: int = 1,
+    ) -> "DurableTopKIndex":
+        """Reboot from a surviving disk.
+
+        Mounts the disk with a fresh context, runs the recovery
+        sequence, and wraps the recovered index — re-checkpointing it
+        immediately so the pre-crash log is retired and the recovered
+        state becomes the new durable baseline.
+        """
+        store = DurableStore.open(disk, B=B, M=M)
+        result = recover_index(store, restore_fn, build_fn)
+        return cls(
+            result.index,
+            store=store,
+            commit_interval=commit_interval,
+            checkpoint_now=True,
+            recovery=result,
+        )
+
+
+__all__ = ["DurableTopKIndex", "STATE_KIND", "SNAPSHOTS_RETAINED"]

@@ -1,0 +1,341 @@
+"""The durable block store: superblocks, sealed blocks, block chains.
+
+Everything the durability layer persists goes through one
+:class:`DurableStore` — an :class:`~repro.em.model.EMContext` over a
+:class:`~repro.em.model.Disk` plus three format conventions:
+
+* **sealed blocks** — every durable block ends with a ``("SEAL", crc)``
+  record over its payload.  The seal is written last, so a torn write
+  (:meth:`Disk.torn_write` persists only a prefix) is *detectable from
+  the block contents alone*, on any disk, with or without the disk's
+  own checksum array.
+* **dual superblocks** — blocks 0 and 1 hold alternating generations of
+  the store's root record ``("SUPER", version, epoch, snapshots,
+  wal_head)``.  A superblock commit writes the block of the *new*
+  epoch's parity and is therefore atomic: torn, it fails its seal and
+  recovery falls back to the other superblock — the previous consistent
+  generation.  This is the only block ever overwritten in place.
+* **forward-chained extents** — snapshots and the WAL live in chains of
+  sealed blocks ``[(kind, seq, next_id), payload..., (SEAL, crc)]``
+  whose ``next_id`` is *pre-allocated* before the block is written.
+  Sealed chain blocks are never rewritten, so a crash can only damage
+  the newest, still-unsealed tail — earlier extents stay intact.
+
+All transfers are charged to the context's :class:`IOStats` like any
+other EM operation; durability is not free I/O.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.em.model import Disk, EMContext
+from repro.resilience.errors import (
+    CorruptBlockError,
+    InvalidConfiguration,
+    RecoveryError,
+    SnapshotIntegrityError,
+)
+
+FORMAT_VERSION = 1
+_SUPER_BLOCKS = (0, 1)
+
+
+def seal(payload: Sequence[object]) -> List[object]:
+    """Append the integrity seal: payload + ``("SEAL", crc)``."""
+    records = list(payload)
+    records.append(("SEAL", zlib.crc32(repr(records).encode("utf-8", "backslashreplace"))))
+    return records
+
+
+def unseal(records: Sequence[object], block_id: Optional[int] = None) -> List[object]:
+    """Verify and strip a block seal; raises on torn/damaged blocks."""
+    if not records:
+        raise SnapshotIntegrityError(
+            f"block {block_id} is empty (torn before any record landed)",
+            block_id=block_id,
+        )
+    last = records[-1]
+    if not (isinstance(last, tuple) and len(last) == 2 and last[0] == "SEAL"):
+        raise SnapshotIntegrityError(
+            f"block {block_id} has no seal (torn write)", block_id=block_id
+        )
+    payload = list(records[:-1])
+    expect = zlib.crc32(repr(payload).encode("utf-8", "backslashreplace"))
+    if last[1] != expect:
+        raise SnapshotIntegrityError(
+            f"block {block_id} seal mismatch (damaged contents)", block_id=block_id
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """One snapshot as recorded in the superblock manifest."""
+
+    snapshot_id: int
+    head_block: int
+    num_records: int
+    state_crc: int
+
+    def as_record(self) -> Tuple:
+        return (self.snapshot_id, self.head_block, self.num_records, self.state_crc)
+
+    @staticmethod
+    def from_record(record: Tuple) -> "SnapshotEntry":
+        return SnapshotEntry(*record)
+
+
+class DurableStore:
+    """Root of all durable state (see module docstring for the format).
+
+    Parameters
+    ----------
+    ctx:
+        Optional pre-built context.  When omitted, a private context
+        over a private disk is created — the normal deployment, which
+        also guarantees durability I/O never pollutes the query path's
+        counters (no double-counting in health reports).
+    B / M:
+        Machine parameters of the private context.  ``B >= 4`` is
+        required: a chain block must fit header + payload + seal.
+
+    Use :meth:`DurableStore.open` after a (simulated) crash: it builds
+    a *fresh* context over the surviving disk — the crashed context's
+    cache held volatile state that died with the machine and must never
+    be reused.
+    """
+
+    def __init__(
+        self,
+        ctx: Optional[EMContext] = None,
+        B: int = 16,
+        M: Optional[int] = None,
+        _format: bool = True,
+    ) -> None:
+        self.ctx = ctx if ctx is not None else EMContext(B=B, M=M)
+        if self.ctx.B < 4:
+            raise InvalidConfiguration(
+                f"DurableStore needs B >= 4 (header + payload + seal), got {self.ctx.B}"
+            )
+        self.epoch = 0
+        self.snapshots: List[SnapshotEntry] = []
+        self.wal_head: Optional[int] = None
+        self.next_snapshot_id = 1
+        if _format:
+            for _ in _SUPER_BLOCKS:
+                self.ctx.disk.allocate()
+            self._write_superblock(target=_SUPER_BLOCKS[0])
+            self.ctx.flush()
+
+    @classmethod
+    def open(cls, disk: Disk, B: int = 16, M: Optional[int] = None) -> "DurableStore":
+        """Reboot: mount an existing disk and load its latest root.
+
+        Builds a fresh context (the old machine's memory is gone) and
+        reads both superblocks, adopting the highest valid epoch.
+        """
+        ctx = EMContext(B=B, M=M, disk=disk)
+        store = cls(ctx=ctx, _format=False)
+        store._load_superblock()
+        return store
+
+    @property
+    def disk(self) -> Disk:
+        return self.ctx.disk
+
+    # ------------------------------------------------------------------
+    # Sealed single blocks
+    # ------------------------------------------------------------------
+    @property
+    def chain_capacity(self) -> int:
+        """Payload records per chain block (header and seal excluded)."""
+        return self.ctx.B - 2
+
+    def allocate(self) -> int:
+        return self.ctx.disk.allocate()
+
+    def write_sealed(self, block_id: int, payload: Sequence[object]) -> None:
+        self.ctx.write_block(block_id, seal(payload))
+
+    def read_sealed(self, block_id: int) -> List[object]:
+        """Read + verify one durable block.
+
+        A :class:`CorruptBlockError` from the machine's own checksum
+        layer is translated to :class:`SnapshotIntegrityError`: for
+        *durable* data the disk copy is the only copy, so a failed
+        verification means the bytes are gone, not that a retry will
+        help.
+        """
+        if block_id >= self.ctx.disk.num_blocks:
+            raise SnapshotIntegrityError(
+                f"block {block_id} was never allocated (broken chain pointer)",
+                block_id=block_id,
+            )
+        try:
+            records = self.ctx.read_block(block_id)
+        except CorruptBlockError as exc:
+            raise SnapshotIntegrityError(
+                f"durable block {block_id} failed disk checksum", block_id=block_id
+            ) from exc
+        return unseal(records, block_id=block_id)
+
+    def flush(self) -> None:
+        """Write-back barrier: force every buffered write to the disk."""
+        self.ctx.flush()
+
+    # ------------------------------------------------------------------
+    # Superblocks
+    # ------------------------------------------------------------------
+    def commit_superblock(self) -> None:
+        """Atomically publish the current root (epoch, snapshots, WAL).
+
+        Bumps the epoch and writes the superblock of the new epoch's
+        parity, then flushes.  Until this returns, recovery sees the
+        previous generation; a tear during it fails the new seal and
+        recovery *still* sees the previous generation.
+        """
+        self.epoch += 1
+        self._write_superblock(target=_SUPER_BLOCKS[self.epoch % 2])
+        self.ctx.flush()
+
+    def _write_superblock(self, target: int) -> None:
+        record = (
+            "SUPER",
+            FORMAT_VERSION,
+            self.epoch,
+            tuple(entry.as_record() for entry in self.snapshots),
+            self.wal_head,
+            self.next_snapshot_id,
+        )
+        self.write_sealed(target, [record])
+
+    def _load_superblock(self) -> None:
+        best: Optional[Tuple] = None
+        for block_id in _SUPER_BLOCKS:
+            try:
+                payload = self.read_sealed(block_id)
+            except SnapshotIntegrityError:
+                continue
+            if len(payload) != 1:
+                continue
+            record = payload[0]
+            if not (isinstance(record, tuple) and record and record[0] == "SUPER"):
+                continue
+            if record[1] != FORMAT_VERSION:
+                raise SnapshotIntegrityError(
+                    f"superblock {block_id} has format version {record[1]}, "
+                    f"this build reads version {FORMAT_VERSION}"
+                )
+            if best is None or record[2] > best[2]:
+                best = record
+        if best is None:
+            raise RecoveryError(
+                "no valid superblock: both generations are damaged or the "
+                "disk was never formatted by a DurableStore"
+            )
+        _, _, self.epoch, snapshots, self.wal_head, self.next_snapshot_id = best
+        self.snapshots = [SnapshotEntry.from_record(r) for r in snapshots]
+
+    # ------------------------------------------------------------------
+    # Forward-chained extents
+    # ------------------------------------------------------------------
+    def write_chain(
+        self, kind: str, records: Sequence[object], start_seq: int = 0
+    ) -> int:
+        """Write ``records`` into a fresh chain of sealed blocks.
+
+        Returns the head block id.  Every block is newly allocated and
+        written exactly once; ``next_id`` pointers are pre-allocated so
+        sealed blocks are never revisited.
+        """
+        head = self.allocate()
+        current = head
+        seq = start_seq
+        total = len(records)
+        capacity = self.chain_capacity
+        offset = 0
+        while True:
+            chunk = list(records[offset : offset + capacity])
+            offset += len(chunk)
+            next_id = self.allocate() if offset < total else None
+            self.write_sealed(current, [(kind, seq, next_id), *chunk])
+            if next_id is None:
+                return head
+            current = next_id
+            seq += 1
+
+    def read_chain(self, kind: str, head: int) -> Iterator[object]:
+        """Yield payload records of a chain; raises on any damage."""
+        block_id: Optional[int] = head
+        expect_seq: Optional[int] = None
+        while block_id is not None:
+            payload = self.read_sealed(block_id)
+            if not payload:
+                raise SnapshotIntegrityError(
+                    f"chain block {block_id} has no header", block_id=block_id
+                )
+            header = payload[0]
+            if not (
+                isinstance(header, tuple)
+                and len(header) == 3
+                and header[0] == kind
+            ):
+                raise SnapshotIntegrityError(
+                    f"chain block {block_id} has header {header!r}, "
+                    f"expected kind {kind!r}",
+                    block_id=block_id,
+                )
+            _, seq, next_id = header
+            if expect_seq is not None and seq != expect_seq:
+                raise SnapshotIntegrityError(
+                    f"chain block {block_id} has seq {seq}, expected {expect_seq}",
+                    block_id=block_id,
+                )
+            expect_seq = seq + 1
+            for record in payload[1:]:
+                yield record
+            block_id = next_id
+
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> List[int]:
+        """Every block the current root references (audit surface).
+
+        Walks the superblocks, each manifest snapshot's chain, and the
+        WAL chain.  Chain walks stop at the first unreadable block —
+        the same horizon recovery itself sees.
+        """
+        out = list(_SUPER_BLOCKS)
+        for entry in self.snapshots:
+            out.extend(self._chain_blocks(entry.head_block))
+        if self.wal_head is not None:
+            out.extend(self._chain_blocks(self.wal_head))
+        return out
+
+    def _chain_blocks(self, head: int) -> List[int]:
+        out: List[int] = []
+        block_id: Optional[int] = head
+        while block_id is not None and block_id < self.ctx.disk.num_blocks:
+            out.append(block_id)
+            try:
+                payload = self.read_sealed(block_id)
+            except SnapshotIntegrityError:
+                break
+            header = payload[0] if payload else None
+            block_id = (
+                header[2]
+                if isinstance(header, tuple) and len(header) == 3
+                else None
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DurableStore(epoch={self.epoch}, snapshots={len(self.snapshots)}, "
+            f"wal_head={self.wal_head}, blocks={self.ctx.disk.num_blocks})"
+        )
+
+
+__all__ = ["DurableStore", "SnapshotEntry", "seal", "unseal", "FORMAT_VERSION"]

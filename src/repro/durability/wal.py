@@ -1,0 +1,214 @@
+"""The write-ahead log: grouped commits, torn-tail-safe replay.
+
+Update durability follows the classic WAL discipline, adapted to the
+EM simulator's block granularity:
+
+* every ``insert``/``delete`` first *appends* an ``("OP", lsn, op,
+  element)`` record to an in-memory group buffer, then applies to the
+  in-memory index;
+* a **commit** seals the group — op records plus a ``("COMMIT",
+  last_lsn, group_crc)`` marker — into *freshly allocated* chain
+  blocks and flushes.  Blocks already sealed are never rewritten, so a
+  torn write can only damage the group being committed, never one that
+  was previously durable;
+* **replay** walks the chain from the head recorded in the superblock,
+  stops cleanly at the first unreadable block (the pre-allocated open
+  tail on a clean shutdown; the torn block after a crash), and applies
+  only *complete* groups — op records with no following valid COMMIT
+  marker are discarded, exactly as an interrupted transaction should
+  be;
+* **truncation** (at checkpoint) simply starts a new chain; the old
+  one is unreferenced once the superblock commit lands.
+
+LSNs are global and never reused, so replay against a snapshot that
+already contains a prefix of the log (``last_lsn`` in the snapshot
+state) skips the duplicate records — replaying twice is a no-op.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.problem import Element
+from repro.durability.codec import decode, encode
+from repro.durability.store import DurableStore
+from repro.resilience.errors import SnapshotIntegrityError
+
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+_CHAIN_KIND = "WAL"
+
+
+def _group_crc(op_records: List[Tuple]) -> int:
+    return zlib.crc32(repr(op_records).encode("utf-8", "backslashreplace"))
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One decoded, committed log record."""
+
+    lsn: int
+    op: str
+    element: Element
+
+
+class WriteAheadLog:
+    """Appender side of the log (see module docstring for the format)."""
+
+    def __init__(self, store: DurableStore, next_lsn: int = 1) -> None:
+        self.store = store
+        self.head = store.allocate()
+        self._open = self.head
+        self._next_seq = 0
+        self.next_lsn = next_lsn
+        self._pending: List[Tuple] = []
+        self.records_appended = 0
+        self.commits = 0
+        self._chain_dirty = False
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN handed out so far (0 before the first append)."""
+        return self.next_lsn - 1
+
+    @property
+    def pending_records(self) -> int:
+        """Appended-but-uncommitted records (lost if the machine dies)."""
+        return len(self._pending)
+
+    def append(self, op: str, element: Element) -> int:
+        """Buffer one operation record; returns its LSN.
+
+        The record is *not* durable until :meth:`commit` — group commit
+        trades a bounded window of recent updates for one flush per
+        group instead of per update.
+        """
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        self._pending.append(("OP", lsn, op, encode(element)))
+        self.records_appended += 1
+        return lsn
+
+    def rollback_last(self) -> None:
+        """Drop the most recent uncommitted append (failed in-memory apply)."""
+        if self._pending:
+            self._pending.pop()
+            self.next_lsn -= 1
+            self.records_appended -= 1
+
+    def commit(self) -> int:
+        """Seal the pending group to disk; returns records committed.
+
+        Writes the group into fresh chain blocks — the current
+        pre-allocated open block first — each sealed with a header
+        pointing at the *next* pre-allocated block, then flushes.  The
+        final pointer designates the new open block: recovery reads it
+        as unsealed and stops there, which is the normal end of log.
+        """
+        if not self._pending:
+            return 0
+        ops = list(self._pending)
+        self._pending.clear()
+        records = ops + [("COMMIT", ops[-1][1], _group_crc(ops))]
+        capacity = self.store.chain_capacity
+        offset = 0
+        while offset < len(records):
+            chunk = records[offset : offset + capacity]
+            offset += len(chunk)
+            next_id = self.store.allocate()
+            self.store.write_sealed(
+                self._open, [(_CHAIN_KIND, self._next_seq, next_id), *chunk]
+            )
+            self._next_seq += 1
+            self._open = next_id
+        self.store.flush()
+        self.commits += 1
+        self._chain_dirty = True
+        return len(ops)
+
+    def truncate(self) -> None:
+        """Start a new, empty chain (checkpoint step; LSNs keep rising).
+
+        The caller must publish :attr:`head` through a superblock
+        commit; until then recovery still reads the old chain.  A chain
+        nothing was ever committed to is reused as-is.
+        """
+        if not self._chain_dirty:
+            return
+        self.head = self.store.allocate()
+        self._open = self.head
+        self._next_seq = 0
+        self._chain_dirty = False
+
+
+def read_committed(
+    store: DurableStore, head: Optional[int]
+) -> Tuple[List[List[WALRecord]], int]:
+    """All complete committed groups of a chain, plus records discarded.
+
+    Walks sealed blocks from ``head``; the first unreadable block —
+    pre-allocated open tail, torn write, damaged seal, broken header —
+    ends the log.  Trailing op records without a valid COMMIT marker
+    (an interrupted group) are discarded and counted.
+    """
+    if head is None:
+        return [], 0
+    raw: List[Tuple] = []
+    block_id: Optional[int] = head
+    expect_seq = 0
+    while block_id is not None:
+        try:
+            payload = store.read_sealed(block_id)
+        except SnapshotIntegrityError:
+            break  # open tail or torn block: the log ends here
+        if not payload:
+            break
+        header = payload[0]
+        if not (
+            isinstance(header, tuple)
+            and len(header) == 3
+            and header[0] == _CHAIN_KIND
+            and header[1] == expect_seq
+        ):
+            break
+        raw.extend(payload[1:])
+        block_id = header[2]
+        expect_seq += 1
+
+    groups: List[List[WALRecord]] = []
+    pending: List[Tuple] = []
+    for record in raw:
+        if not isinstance(record, tuple) or not record:
+            break
+        if record[0] == "OP" and len(record) == 4:
+            pending.append(record)
+        elif record[0] == "COMMIT" and len(record) == 3:
+            _, marker_lsn, crc = record
+            if (
+                pending
+                and marker_lsn == pending[-1][1]
+                and crc == _group_crc(pending)
+            ):
+                groups.append(
+                    [WALRecord(lsn, op, decode(enc)) for _, lsn, op, enc in pending]
+                )
+                pending = []
+            else:
+                # A commit marker that does not match its group means the
+                # log is damaged beyond this point; stop conservatively.
+                pending = []
+                break
+        else:
+            break
+    return groups, len(pending)
+
+
+__all__ = [
+    "WriteAheadLog",
+    "WALRecord",
+    "read_committed",
+    "OP_INSERT",
+    "OP_DELETE",
+]

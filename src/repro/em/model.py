@@ -24,6 +24,7 @@ from repro.resilience.errors import (
     BlockOverflowError,
     CorruptBlockError,
     InvalidConfiguration,
+    SimulatedCrash,
 )
 from repro.resilience.faults import FaultPlan
 
@@ -104,6 +105,23 @@ class Disk:
         self._blocks[block_id] = records
         if self._checksums_enabled:
             self._checksums[block_id] = block_checksum(records)
+
+    def torn_write(self, block_id: int, records: List[object], keep: int) -> None:
+        """Persist only a *prefix* of an interrupted block write.
+
+        Models the torn write of a crash mid-transfer: the first
+        ``keep`` records reach the platter, the rest never do.  With
+        checksums enabled the stored checksum is that of the *intended*
+        full contents, so the surviving prefix fails verification —
+        exactly how a real sector checksum exposes a torn sector.
+        Callers that keep their own embedded seals (the durability
+        layer) detect the tear even on checksum-free disks, because the
+        seal record is written last and is therefore the first casualty.
+        """
+        keep = max(0, min(keep, len(records)))
+        self._blocks[block_id] = list(records[:keep])
+        if self._checksums_enabled:
+            self._checksums[block_id] = block_checksum(list(records))
 
     @property
     def num_blocks(self) -> int:
@@ -302,9 +320,21 @@ class EMContext:
         if self._dirty.get(block_id, False):
             self.stats.writes += 1
             if self.fault_plan is not None:
-                # Raises *before* the frame is dropped, so a failed
-                # write-back loses nothing and a retry re-attempts it.
-                self.fault_plan.on_write(block_id, self._frames[block_id])
+                try:
+                    # Raises *before* the frame is dropped, so a failed
+                    # write-back loses nothing and a retry re-attempts it.
+                    self.fault_plan.on_write(block_id, self._frames[block_id])
+                except SimulatedCrash as crash:
+                    # The machine dies mid-write: a prefix of the block
+                    # may reach the disk (torn write); the frame — like
+                    # all volatile state — is lost with the machine.
+                    if crash.torn_keep is not None:
+                        self.disk.torn_write(
+                            block_id, self._frames[block_id], crash.torn_keep
+                        )
+                    self._frames.pop(block_id, None)
+                    self._dirty.pop(block_id, None)
+                    raise
         records = self._frames.pop(block_id)
         if self._dirty.pop(block_id, False):
             self.disk.raw_write(block_id, records)

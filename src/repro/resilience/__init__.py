@@ -23,8 +23,12 @@ from repro.resilience.errors import (
     DegradedAnswer,
     ElementMembershipError,
     InvalidConfiguration,
+    RecoveryError,
     ReproError,
     RetryBudgetExhausted,
+    SerializationError,
+    SimulatedCrash,
+    SnapshotIntegrityError,
     StaticStructureError,
     TransientIOError,
     ValidationFailure,
@@ -49,6 +53,10 @@ __all__ = [
     "StaticStructureError",
     "BlockOverflowError",
     "InvalidConfiguration",
+    "SerializationError",
+    "SnapshotIntegrityError",
+    "RecoveryError",
+    "SimulatedCrash",
     "RetryBudgetExhausted",
     "DegradedAnswer",
     "FaultPlan",

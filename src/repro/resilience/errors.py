@@ -100,6 +100,61 @@ class InvalidConfiguration(ReproError, ValueError):
     """
 
 
+class SerializationError(ContractViolation):
+    """A value that the durability codec cannot encode or decode.
+
+    Raised at snapshot time (an element carries an unregistered object
+    type) or at restore time (an unknown tag, a format-version
+    mismatch).  Not retryable: the payload itself is at fault.
+    """
+
+
+class SnapshotIntegrityError(ReproError):
+    """Durable state on disk failed validation during recovery.
+
+    A torn block (embedded seal missing or mismatched), a broken chain
+    pointer, or a whole-snapshot checksum mismatch.  Unlike
+    :class:`CorruptBlockError` this is *not* transient — the bytes on
+    disk are genuinely damaged — so recovery responds by falling back
+    to an older snapshot or a full rebuild, never by retrying.
+    """
+
+    def __init__(self, message: str, block_id: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+
+
+class RecoveryError(ReproError):
+    """Recovery could not produce a usable index.
+
+    No superblock validates, every retained snapshot is damaged, or the
+    restored index failed its audit and no rebuild path was provided.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """The simulated machine was killed at an injected crash point.
+
+    Raised by a :class:`~repro.resilience.faults.FaultPlan` carrying a
+    crash schedule.  Deliberately *not* a :class:`TransientIOError`:
+    retry loops must not survive a machine death — the process is gone,
+    and only a fresh :class:`~repro.em.model.EMContext` over the same
+    :class:`~repro.em.model.Disk` (i.e. a reboot plus recovery) may
+    continue.  When the crash interrupted a block write, ``torn_keep``
+    records how many records of the in-flight block reached the disk.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        block_id: Optional[int] = None,
+        torn_keep: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+        self.torn_keep = torn_keep
+
+
 class RetryBudgetExhausted(ReproError):
     """A per-query retry/round budget ran out before an answer was found.
 
@@ -136,6 +191,10 @@ __all__ = [
     "StaticStructureError",
     "BlockOverflowError",
     "InvalidConfiguration",
+    "SerializationError",
+    "SnapshotIntegrityError",
+    "RecoveryError",
+    "SimulatedCrash",
     "RetryBudgetExhausted",
     "DegradedAnswer",
 ]

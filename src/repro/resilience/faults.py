@@ -30,9 +30,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.resilience.errors import InvalidConfiguration, TransientIOError
+from repro.resilience.errors import (
+    InvalidConfiguration,
+    SimulatedCrash,
+    TransientIOError,
+)
 
 
 @dataclass
@@ -45,6 +49,8 @@ class FaultStats:
     write_faults: int = 0
     corruptions: int = 0
     latency_units: int = 0
+    crashes: int = 0
+    torn_writes: int = 0
 
     @property
     def total_faults(self) -> int:
@@ -57,6 +63,8 @@ class FaultStats:
         self.write_faults = 0
         self.corruptions = 0
         self.latency_units = 0
+        self.crashes = 0
+        self.torn_writes = 0
 
 
 class FaultPlan:
@@ -106,8 +114,50 @@ class FaultPlan:
         self.armed = armed
         self.stats = FaultStats()
         self._rng = random.Random(seed)
+        self._crash_countdown: Optional[int] = None
+        self._crash_torn_fraction: float = 0.5
+        self.crashed = False
 
     # ------------------------------------------------------------------
+    def schedule_crash(self, at_io: int, torn_fraction: float = 0.5) -> None:
+        """Kill the machine at the ``at_io``-th intercepted transfer.
+
+        Counting starts *now* and covers both reads and writes (1-based:
+        ``at_io=1`` crashes the very next transfer).  A crash landing on
+        a write is a *torn* write: ``floor(torn_fraction * len(records))``
+        records reach the disk, the rest — and every dirty frame still
+        in memory — are lost.  A crash on a read persists nothing.
+
+        The schedule is deterministic, so sweeping ``at_io`` over a
+        scripted workload enumerates every possible crash point exactly
+        once — the substrate of the E16 recovery sweep.  After the
+        crash fires, every further transfer raises again
+        (:attr:`crashed` stays set): a dead machine serves no I/O.
+        Only a fresh :class:`~repro.em.model.EMContext` over the same
+        disk (a reboot) may touch the data again.
+        """
+        if at_io < 1:
+            raise InvalidConfiguration(f"at_io must be >= 1, got {at_io}")
+        if not 0.0 <= torn_fraction <= 1.0:
+            raise InvalidConfiguration(
+                f"torn_fraction must be in [0, 1], got {torn_fraction}"
+            )
+        self._crash_countdown = at_io
+        self._crash_torn_fraction = torn_fraction
+        self.crashed = False
+
+    def _crash_due(self) -> bool:
+        """Advance the crash countdown; ``True`` when this transfer dies."""
+        if self.crashed:
+            return True
+        if self._crash_countdown is None:
+            return False
+        self._crash_countdown -= 1
+        if self._crash_countdown > 0:
+            return False
+        self._crash_countdown = None
+        return True
+
     def arm(self) -> None:
         """Activate fault injection."""
         self.armed = True
@@ -129,6 +179,15 @@ class FaultPlan:
         May raise :class:`TransientIOError`; may return a corrupted
         copy; otherwise passes ``records`` through untouched.
         """
+        if self._crash_due():
+            # Crash schedules fire regardless of arm state: scheduling
+            # one is an explicit request, and a dead machine stays dead.
+            if not self.crashed:
+                self.crashed = True
+                self.stats.crashes += 1
+            raise SimulatedCrash(
+                f"machine crashed reading block {block_id}", block_id=block_id
+            )
         if not self.armed:
             return records
         self.stats.reads_seen += 1
@@ -145,6 +204,20 @@ class FaultPlan:
 
     def on_write(self, block_id: int, records: List[object]) -> None:
         """Intercept one memory->disk transfer (may raise)."""
+        if self._crash_due():
+            first = not self.crashed
+            if first:
+                self.crashed = True
+                self.stats.crashes += 1
+                self.stats.torn_writes += 1
+            # torn_keep tells EMContext._evict how much of the block to
+            # persist before the machine goes dark; a machine that is
+            # already dead persists nothing further.
+            raise SimulatedCrash(
+                f"machine crashed writing block {block_id} (torn write)",
+                block_id=block_id,
+                torn_keep=int(self._crash_torn_fraction * len(records)) if first else None,
+            )
         if not self.armed:
             return
         self.stats.writes_seen += 1

@@ -127,7 +127,14 @@ class HealthReport:
 
 @dataclass
 class HealthSummary:
-    """Aggregate health across every query a guard has served."""
+    """Aggregate health across every query a guard has served.
+
+    Besides per-query reports, the summary also aggregates *crash
+    recoveries*: a guard built over recovered
+    :class:`~repro.durability.durable.DurableTopKIndex` backends
+    records how many of them came back from a crash and how many WAL
+    records their recovery replayed.
+    """
 
     queries: int = 0
     degraded_queries: int = 0
@@ -140,6 +147,13 @@ class HealthSummary:
     spot_checks: int = 0
     spot_check_failures: int = 0
     backoff_units: float = 0.0
+    recoveries: int = 0
+    wal_records_replayed: int = 0
+
+    def record_recovery(self, result) -> None:
+        """Fold one :class:`RecoveryResult` into the aggregate."""
+        self.recoveries += 1
+        self.wal_records_replayed += result.wal_records_replayed
 
     def record(self, report: HealthReport) -> None:
         self.queries += 1
@@ -204,12 +218,30 @@ class ResilientTopKIndex(TopKIndex):
         self._rng = random.Random(self.policy.seed)
         self.health = HealthSummary()
         self.last_report: Optional[HealthReport] = None
+        # Backends that came back from a crash surface their recovery in
+        # the aggregate health, so operators see it where they already look.
+        from repro.durability.durable import DurableTopKIndex
+
+        for backend in (primary, *fallbacks):
+            if isinstance(backend, DurableTopKIndex) and backend.recovery is not None:
+                self.health.record_recovery(backend.recovery)
 
     def _backend_fn(
         self, backend: TopKIndex
     ) -> Callable[[Predicate, int], List[Element]]:
+        """Query adapter for one rung.
+
+        A :class:`~repro.durability.durable.DurableTopKIndex` is
+        unwrapped only for *inspection* (does a round budget apply?);
+        queries still go through the wrapper, whose durability I/O
+        lives in its own private context — the guard's ``io_total``
+        accounting never double-counts persistence traffic.
+        """
+        from repro.durability.durable import DurableTopKIndex
+
         budget = self.policy.round_budget
-        if budget is not None and isinstance(backend, ExpectedTopKIndex):
+        target = backend.inner if isinstance(backend, DurableTopKIndex) else backend
+        if budget is not None and isinstance(target, ExpectedTopKIndex):
             return lambda predicate, k: backend.query(predicate, k, round_budget=budget)
         return backend.query
 

@@ -319,6 +319,43 @@ class SegmentTreeIntervalPrioritized(DynamicPrioritizedIndex):
         """Stored list entries (``O(n log n)`` words)."""
         return self._tree.total_stored()
 
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore)
+    # ------------------------------------------------------------------
+    SNAPSHOT_FORMAT = "segtree-interval-prioritized"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """The element list — construction is otherwise deterministic.
+
+        The grid, canonical assignments, and weight-ordered lists are
+        all deterministic functions of the element set, so the restored
+        structure is identical without recording them.  ``interval_of``
+        is code; the restorer supplies it (and a context) again.
+        """
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "elements": list(self._tree.assignments),
+            "built_n": self._built_n,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        ctx: Optional[EMContext] = None,
+        interval_of=None,
+    ) -> "SegmentTreeIntervalPrioritized":
+        if state.get("format") != cls.SNAPSHOT_FORMAT:
+            raise TypeError(
+                f"snapshot format {state.get('format')!r} is not "
+                f"{cls.SNAPSHOT_FORMAT!r}"
+            )
+        self = cls(state["elements"], ctx=ctx, interval_of=interval_of)
+        self._built_n = state["built_n"]
+        return self
+
 
 # ----------------------------------------------------------------------
 # Max reporting
@@ -469,6 +506,34 @@ class StaticIntervalStabbingMax(DynamicMaxIndex):
     def space_units(self) -> int:
         """Subinterval table size (``O(n)`` words)."""
         return 2 * (2 * len(self._coords) + 1)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore)
+    # ------------------------------------------------------------------
+    SNAPSHOT_FORMAT = "static-interval-stabbing-max"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """The element list — the champion sweep is deterministic."""
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "elements": list(self._elements),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        ctx: Optional[EMContext] = None,
+        interval_of=None,
+    ) -> "StaticIntervalStabbingMax":
+        if state.get("format") != cls.SNAPSHOT_FORMAT:
+            raise TypeError(
+                f"snapshot format {state.get('format')!r} is not "
+                f"{cls.SNAPSHOT_FORMAT!r}"
+            )
+        return cls(state["elements"], ctx=ctx, interval_of=interval_of)
 
 
 class DynamicIntervalStabbingMax(DynamicMaxIndex):

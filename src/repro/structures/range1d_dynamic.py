@@ -74,8 +74,74 @@ class DynamicRangeTreap(DynamicPrioritizedIndex, DynamicMaxIndex):
     def n(self) -> int:
         return self._root.size if self._root is not None else 0
 
+    def __contains__(self, element: Element) -> bool:
+        """O(log n) expected membership (for idempotent WAL replay)."""
+        key = (element.obj, element.weight)
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            elif node.element == element:
+                return True
+            else:
+                node = node.right
+        return False
+
     def query_cost_bound(self) -> float:
         return max(1.0, math.log2(max(2, self.n)))
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore)
+    # ------------------------------------------------------------------
+    SNAPSHOT_FORMAT = "range-treap"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Elements with their *assigned* priorities plus the RNG state.
+
+        A treap's shape is a deterministic function of its (key,
+        priority) pairs, so recording the priorities — rather than the
+        seed that produced them — lets restore rebuild the identical
+        tree; the RNG state makes post-restore inserts draw the same
+        priorities the original would have.
+        """
+        elements: List[Element] = []
+        priorities: List[float] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            elements.append(node.element)
+            priorities.append(node.priority)
+            stack.append(node.right)
+            stack.append(node.left)
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "version": self.SNAPSHOT_VERSION,
+            "elements": elements,
+            "priorities": priorities,
+            "rng_state": self._rng.getstate(),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "DynamicRangeTreap":
+        """Rebuild the identical treap from :meth:`snapshot_state`."""
+        if state.get("format") != cls.SNAPSHOT_FORMAT:
+            raise TypeError(
+                f"snapshot format {state.get('format')!r} is not "
+                f"{cls.SNAPSHOT_FORMAT!r}"
+            )
+        self = cls.__new__(cls)
+        self.ops = OpCounter()
+        self._rng = random.Random()
+        self._rng.setstate(state["rng_state"])
+        self._root = None
+        for element, priority in zip(state["elements"], state["priorities"]):
+            self._root = self._insert(self._root, _TreapNode(element, priority))
+        return self
 
     # ------------------------------------------------------------------
     # Updates

@@ -1,0 +1,117 @@
+"""Codec round-trips: every supported value survives encode/decode."""
+
+import pytest
+
+from repro.core.problem import Element
+from repro.durability.codec import decode, encode, flatten_state, unflatten_state
+from repro.geometry.primitives import Ball, Halfplane, Interval, Line2D, Rect
+from repro.resilience.errors import SerializationError
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            float("-inf"),
+            "hello",
+            "",
+            (1, "two", 3.0),
+            [1, [2, [3]]],
+            {"a": 1, "b": [2, 3]},
+            (),
+            [],
+            {},
+        ],
+    )
+    def test_primitives_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_types_are_preserved(self):
+        # tuple vs list and bool vs int must not blur.
+        assert decode(encode((1, 2))) == (1, 2)
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+        assert decode(encode(True)) is True
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            Interval(1.0, 2.0),
+            Rect(0.0, 1.0, 2.0, 3.0),
+            Halfplane((1.0, 0.0), 5.0),
+            Ball((0.5, 0.5), 2.0),
+            Line2D(1.5, -3.0),
+        ],
+    )
+    def test_geometry_round_trips(self, value):
+        assert decode(encode(value)) == value
+
+    def test_elements_round_trip(self):
+        element = Element(Interval(0.0, 10.0), 4.5, payload="doc-17")
+        assert decode(encode(element)) == element
+
+    def test_nested_element_in_containers(self):
+        value = {"batch": [Element(3, 1.0), Element(4, 2.0)]}
+        assert decode(encode(value)) == value
+
+    def test_rng_state_round_trips_exactly(self):
+        import random
+
+        rng = random.Random(42)
+        rng.random()
+        state = rng.getstate()
+        other = random.Random()
+        other.setstate(decode(encode(state)))
+        assert other.random() == rng.random()
+
+    def test_unsupported_type_raises_at_encode(self):
+        with pytest.raises(SerializationError, match="cannot serialize"):
+            encode(object())
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(SerializationError, match="keys must be str"):
+            encode({1: "a"})
+
+    def test_unknown_tag_raises_at_decode(self):
+        with pytest.raises(SerializationError, match="unknown codec tag"):
+            decode(("MysteryType", ()))
+
+    def test_malformed_encoding_raises(self):
+        with pytest.raises(SerializationError):
+            decode("not a tagged tuple")
+
+
+class TestStateStreams:
+    def test_round_trip(self):
+        state = {
+            "elements": [Element(i, float(i)) for i in range(10)],
+            "nested": {"K": [1.0, 2.0], "deep": [[1], [2, 3]]},
+            "scalar": 7,
+        }
+        assert unflatten_state(flatten_state(state)) == state
+
+    def test_lists_flatten_to_linear_records(self):
+        # n elements -> n + 1 records, so EM cost is ceil(n/B), not 1.
+        state = {"xs": list(range(100))}
+        records = flatten_state(state)
+        assert len(records) == 1 + 1 + 1 + 100  # dict hdr, key, list hdr, items
+
+    def test_trailing_records_rejected(self):
+        records = flatten_state({"a": 1})
+        with pytest.raises(SerializationError, match="trailing"):
+            unflatten_state(records + [("S", ("raw", 2))])
+
+    def test_truncated_stream_rejected(self):
+        records = flatten_state({"a": [1, 2, 3]})
+        with pytest.raises(SerializationError):
+            unflatten_state(records[:-1])
+
+    def test_non_dict_stream_rejected(self):
+        with pytest.raises(SerializationError, match="does not describe a dict"):
+            unflatten_state([("S", ("raw", 5))])

@@ -1,0 +1,150 @@
+"""DurableStore: seals, dual superblocks, chains, damage detection."""
+
+import pytest
+
+from repro.durability.store import DurableStore, SnapshotEntry, seal, unseal
+from repro.resilience.errors import (
+    InvalidConfiguration,
+    RecoveryError,
+    SnapshotIntegrityError,
+)
+
+
+class TestSeals:
+    def test_round_trip(self):
+        records = seal([("a", 1), ("b", 2)])
+        assert unseal(records) == [("a", 1), ("b", 2)]
+
+    def test_empty_payload_round_trips(self):
+        assert unseal(seal([])) == []
+
+    def test_torn_prefix_is_detected(self):
+        records = seal([1, 2, 3])
+        with pytest.raises(SnapshotIntegrityError, match="no seal"):
+            unseal(records[:-1])  # the seal is written last, lost first
+
+    def test_damaged_payload_is_detected(self):
+        records = seal([1, 2, 3])
+        records[1] = 99
+        with pytest.raises(SnapshotIntegrityError, match="seal mismatch"):
+            unseal(records)
+
+    def test_empty_block_is_detected(self):
+        with pytest.raises(SnapshotIntegrityError, match="empty"):
+            unseal([], block_id=7)
+
+
+class TestStoreLifecycle:
+    def test_format_and_reopen(self):
+        store = DurableStore(B=8)
+        store.snapshots = [SnapshotEntry(1, 5, 10, 1234)]
+        store.wal_head = 9
+        store.commit_superblock()
+        reopened = DurableStore.open(store.disk, B=8)
+        assert reopened.snapshots == [SnapshotEntry(1, 5, 10, 1234)]
+        assert reopened.wal_head == 9
+        assert reopened.epoch == store.epoch
+
+    def test_requires_b_of_at_least_four(self):
+        with pytest.raises(InvalidConfiguration, match="B >= 4"):
+            DurableStore(B=2)
+
+    def test_unformatted_disk_rejected(self):
+        from repro.em.model import Disk
+
+        with pytest.raises(RecoveryError, match="superblock"):
+            DurableStore.open(Disk(), B=8)
+
+    def test_superblock_commit_alternates_blocks(self):
+        store = DurableStore(B=8)
+        store.commit_superblock()  # epoch 1 -> block 1
+        store.commit_superblock()  # epoch 2 -> block 0
+        epoch_after_two = store.epoch
+        reopened = DurableStore.open(store.disk, B=8)
+        assert reopened.epoch == epoch_after_two
+
+    def test_torn_superblock_falls_back_to_previous(self):
+        store = DurableStore(B=8)
+        store.wal_head = 3
+        store.commit_superblock()  # epoch 1, durable
+        # Tear the next superblock commit after the fact: the highest
+        # epoch is damaged, recovery must adopt epoch 1.
+        store.wal_head = 4
+        store.commit_superblock()  # epoch 2
+        newest = store.epoch % 2
+        records = store.disk.raw_read(newest)
+        store.disk.torn_write(newest, list(records), keep=0)
+        reopened = DurableStore.open(store.disk, B=8)
+        assert reopened.wal_head == 3  # the previous generation
+
+    def test_both_superblocks_damaged_is_fatal(self):
+        store = DurableStore(B=8)
+        store.commit_superblock()
+        for block_id in (0, 1):
+            records = store.disk.raw_read(block_id)
+            if records:
+                store.disk.torn_write(block_id, list(records), keep=0)
+        with pytest.raises(RecoveryError, match="no valid superblock"):
+            DurableStore.open(store.disk, B=8)
+
+
+class TestChains:
+    def test_chain_round_trip(self):
+        store = DurableStore(B=8)
+        records = [("r", i) for i in range(50)]
+        head = store.write_chain("SNAP", records)
+        store.flush()
+        assert list(store.read_chain("SNAP", head)) == records
+
+    def test_empty_chain(self):
+        store = DurableStore(B=8)
+        head = store.write_chain("SNAP", [])
+        store.flush()
+        assert list(store.read_chain("SNAP", head)) == []
+
+    def test_wrong_kind_rejected(self):
+        store = DurableStore(B=8)
+        head = store.write_chain("SNAP", [1, 2, 3])
+        store.flush()
+        with pytest.raises(SnapshotIntegrityError, match="kind"):
+            list(store.read_chain("WAL", head))
+
+    def test_torn_tail_block_detected(self):
+        store = DurableStore(B=8)
+        head = store.write_chain("SNAP", [("r", i) for i in range(20)])
+        store.flush()
+        blocks = store._chain_blocks(head)
+        tail = blocks[-1]
+        store.disk.torn_write(tail, list(store.disk.raw_read(tail)), keep=1)
+        store.ctx.drop_cache()  # the machine that cached the block is gone
+        with pytest.raises(SnapshotIntegrityError):
+            list(store.read_chain("SNAP", head))
+
+    def test_broken_pointer_detected(self):
+        store = DurableStore(B=8)
+        head = store.write_chain("SNAP", [1])
+        store.flush()
+        records = list(store.disk.raw_read(head))
+        kind, seq, _ = records[0]
+        records[0] = (kind, seq, 10_000)  # points past the disk
+        store.disk.raw_write(head, records)
+        with pytest.raises(SnapshotIntegrityError):
+            list(store.read_chain("SNAP", head))
+
+    def test_durability_io_is_charged(self):
+        store = DurableStore(B=8)
+        before = store.ctx.stats.total
+        store.write_chain("SNAP", [("r", i) for i in range(40)])
+        store.flush()
+        assert store.ctx.stats.total > before  # persistence is not free
+
+    def test_reachable_blocks_cover_the_root(self):
+        store = DurableStore(B=8)
+        head = store.write_chain("SNAP", [("r", i) for i in range(20)])
+        store.flush()
+        store.snapshots = [SnapshotEntry(1, head, 20, 0)]
+        store.commit_superblock()
+        reachable = store.reachable_blocks()
+        assert 0 in reachable and 1 in reachable
+        for block_id in store._chain_blocks(head):
+            assert block_id in reachable

@@ -1,0 +1,163 @@
+"""Write-ahead log: group commit, torn tails, idempotent replay."""
+
+import pytest
+
+from repro.core.problem import Element
+from repro.durability.store import DurableStore
+from repro.durability.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WriteAheadLog,
+    read_committed,
+)
+
+
+def elements(n, offset=0):
+    return [Element(i + offset, float(i + offset)) for i in range(n)]
+
+
+def reopened(store):
+    return DurableStore.open(store.disk, B=store.ctx.B)
+
+
+class TestCommit:
+    def test_committed_group_survives_reopen(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for element in elements(5):
+            wal.append(OP_INSERT, element)
+        assert wal.commit() == 5
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, discarded = read_committed(reopened(store), wal.head)
+        assert discarded == 0
+        assert [r.element for r in groups[0]] == elements(5)
+        assert [r.op for r in groups[0]] == [OP_INSERT] * 5
+        assert [r.lsn for r in groups[0]] == [1, 2, 3, 4, 5]
+
+    def test_multiple_groups_in_order(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for batch in range(3):
+            for element in elements(4, offset=10 * batch):
+                wal.append(OP_INSERT, element)
+            wal.commit()
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, _ = read_committed(reopened(store), wal.head)
+        assert len(groups) == 3
+        assert [r.element for r in groups[2]] == elements(4, offset=20)
+
+    def test_group_larger_than_a_block(self):
+        store = DurableStore(B=4)  # 2 payload records per block
+        wal = WriteAheadLog(store)
+        for element in elements(11):
+            wal.append(OP_INSERT, element)
+        wal.commit()
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, discarded = read_committed(reopened(store), wal.head)
+        assert discarded == 0
+        assert [r.element for r in groups[0]] == elements(11)
+
+    def test_empty_commit_is_a_noop(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        blocks_before = store.disk.num_blocks
+        assert wal.commit() == 0
+        assert store.disk.num_blocks == blocks_before
+
+    def test_uncommitted_records_are_not_durable(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for element in elements(3):
+            wal.append(OP_INSERT, element)
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, discarded = read_committed(reopened(store), wal.head)
+        assert groups == [] and discarded == 0
+        assert wal.pending_records == 3
+
+    def test_rollback_last_removes_the_append(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        wal.append(OP_INSERT, Element(1, 1.0))
+        wal.append(OP_DELETE, Element(2, 2.0))
+        wal.rollback_last()
+        wal.commit()
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, _ = read_committed(reopened(store), wal.head)
+        assert len(groups[0]) == 1 and groups[0][0].op == OP_INSERT
+        assert wal.next_lsn == 2  # the rolled-back LSN was reissued
+
+
+class TestTornTails:
+    def test_torn_commit_block_discards_the_group(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for element in elements(4):
+            wal.append(OP_INSERT, element)
+        wal.commit()
+        for element in elements(4, offset=10):
+            wal.append(OP_INSERT, element)
+        wal.commit()
+        store.wal_head = wal.head
+        store.commit_superblock()
+        # Tear the chain block holding the second group (the first commit
+        # filled block 0 of the chain and pre-allocated block 1 for the
+        # next one): only group 1 survives.
+        victim = store._chain_blocks(wal.head)[1]
+        store.disk.torn_write(victim, list(store.disk.raw_read(victim)), keep=1)
+        groups, _ = read_committed(reopened(store), wal.head)
+        assert len(groups) == 1
+        assert [r.element for r in groups[0]] == elements(4)
+
+    def test_open_tail_block_ends_the_log_cleanly(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for element in elements(2):
+            wal.append(OP_INSERT, element)
+        wal.commit()
+        store.wal_head = wal.head
+        store.commit_superblock()
+        # The chain's final pointer designates a pre-allocated, empty
+        # open block; reading must stop there without raising.
+        groups, discarded = read_committed(reopened(store), wal.head)
+        assert len(groups) == 1 and discarded == 0
+
+    def test_missing_head_means_empty_log(self):
+        store = DurableStore(B=8)
+        assert read_committed(store, None) == ([], 0)
+
+
+class TestTruncate:
+    def test_truncate_starts_a_fresh_chain(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        for element in elements(3):
+            wal.append(OP_INSERT, element)
+        wal.commit()
+        old_head = wal.head
+        wal.truncate()
+        assert wal.head != old_head
+        store.wal_head = wal.head
+        store.commit_superblock()
+        groups, _ = read_committed(reopened(store), wal.head)
+        assert groups == []
+
+    def test_lsns_keep_rising_across_truncation(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        wal.append(OP_INSERT, Element(1, 1.0))
+        wal.commit()
+        wal.truncate()
+        lsn = wal.append(OP_INSERT, Element(2, 2.0))
+        assert lsn == 2  # never reused
+
+    def test_clean_chain_is_reused(self):
+        store = DurableStore(B=8)
+        wal = WriteAheadLog(store)
+        head = wal.head
+        wal.truncate()  # nothing ever committed: no new allocation
+        assert wal.head == head

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.em.model import Disk, EMContext, IOStats, ram_context
+from repro.resilience.errors import SimulatedCrash
+from repro.resilience.faults import FaultPlan
 
 
 class TestIOStats:
@@ -189,3 +191,59 @@ class TestChecksummedOperation:
         disk.enable_checksums()
         disk.enable_checksums()
         assert disk.checksums_enabled
+
+
+class TestTornWrites:
+    """Disk.torn_write: a crash mid-transfer persists only a prefix."""
+
+    def test_prefix_is_persisted(self):
+        disk = Disk()
+        bid = disk.allocate()
+        disk.torn_write(bid, [1, 2, 3, 4], keep=2)
+        assert disk.raw_read(bid) == [1, 2]
+
+    def test_keep_is_clamped(self):
+        disk = Disk()
+        bid = disk.allocate()
+        disk.torn_write(bid, [1, 2], keep=99)
+        assert disk.raw_read(bid) == [1, 2]
+        disk.torn_write(bid, [1, 2], keep=-1)
+        assert disk.raw_read(bid) == []
+
+    def test_checksum_is_of_intended_contents(self):
+        # A real sector checksum covers what *should* have been written,
+        # so the surviving prefix fails verification.
+        disk = Disk(checksums=True)
+        bid = disk.allocate()
+        disk.torn_write(bid, [1, 2, 3, 4], keep=2)
+        assert not disk.verify(bid, disk.raw_read(bid))
+        assert disk.verify(bid, [1, 2, 3, 4])
+
+    def test_full_keep_still_verifies(self):
+        disk = Disk(checksums=True)
+        bid = disk.allocate()
+        disk.torn_write(bid, [1, 2], keep=2)
+        assert disk.verify(bid, disk.raw_read(bid))
+
+    def test_crash_on_eviction_tears_the_block(self):
+        plan = FaultPlan(armed=False)
+        ctx = EMContext(B=4, M=8, fault_plan=plan)
+        bid = ctx.allocate_block([1, 2, 3, 4])
+        plan.schedule_crash(at_io=1, torn_fraction=0.5)
+        with pytest.raises(SimulatedCrash):
+            ctx.flush()
+        assert ctx.disk.raw_read(bid) == [1, 2]
+        assert bid not in ctx._frames  # the frame died with the machine
+
+    def test_dead_machine_serves_no_further_io(self):
+        plan = FaultPlan(armed=False)
+        ctx = EMContext(B=4, M=8, fault_plan=plan)
+        a = ctx.allocate_block([1])
+        b = ctx.allocate_block([2])
+        plan.schedule_crash(at_io=1)
+        with pytest.raises(SimulatedCrash):
+            ctx.flush()
+        with pytest.raises(SimulatedCrash):
+            ctx.flush()
+        fresh = EMContext(B=4, M=8, disk=ctx.disk)  # reboot
+        assert fresh.read_block(b) == [] or fresh.read_block(b) == [2]

@@ -40,6 +40,23 @@ def test_resilient_service_runs(capsys):
     out = capsys.readouterr().out
     assert "Degradation ladder: ExpectedTopKIndex -> WorstCaseTopKIndex -> scan" in out
     assert "matched the brute-force oracle" in out
+    # The KeyboardInterrupt path: checkpoint-on-shutdown, then recovery.
+    assert "checkpointed on shutdown" in out
+    assert "health reports 1 recovery" in out
+    assert "The restarted service lost nothing." in out
+
+
+def test_resilient_service_interrupt_mid_group(capsys):
+    """Interrupting inside an uncommitted WAL group must lose nothing:
+    the shutdown checkpoint commits the pending tail first."""
+    import resilient_service
+
+    # 7 ingests with commit_interval=4: three ops sit uncommitted when
+    # the interrupt lands.
+    resilient_service.main(interrupt_after=7)
+    out = capsys.readouterr().out
+    assert "Interrupted after 7 ingests" in out
+    assert "The restarted service lost nothing." in out
 
 
 @pytest.mark.slow

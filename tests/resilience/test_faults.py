@@ -6,6 +6,7 @@ from repro.em.model import Disk, EMContext, block_checksum
 from repro.resilience.errors import (
     CorruptBlockError,
     InvalidConfiguration,
+    SimulatedCrash,
     TransientIOError,
 )
 from repro.resilience.faults import FaultPlan
@@ -170,3 +171,70 @@ class TestEMContextInjection:
         ctx, bids = self._fresh_ctx(seed=6, read_fail_rate=1.0)
         ctx.attach_fault_plan(None)
         assert list(ctx.read_block(bids[3])) == [3, 4]
+
+
+class TestCrashSchedule:
+    """schedule_crash: deterministic machine death, dead stays dead."""
+
+    def test_crash_at_nth_transfer(self):
+        plan = FaultPlan(armed=False)
+        plan.schedule_crash(at_io=3)
+        plan.on_read(0, [1])
+        plan.on_write(1, [2])
+        with pytest.raises(SimulatedCrash):
+            plan.on_read(2, [3])
+        assert plan.crashed
+        assert plan.stats.crashes == 1
+
+    def test_crash_fires_even_when_disarmed(self):
+        plan = FaultPlan(armed=False)
+        plan.schedule_crash(at_io=1)
+        with pytest.raises(SimulatedCrash):
+            plan.on_read(0, [1])
+
+    def test_crash_on_write_carries_torn_keep(self):
+        plan = FaultPlan(armed=False)
+        plan.schedule_crash(at_io=1, torn_fraction=0.5)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            plan.on_write(9, [1, 2, 3, 4])
+        assert excinfo.value.torn_keep == 2
+        assert excinfo.value.block_id == 9
+        assert plan.stats.torn_writes == 1
+
+    def test_dead_machine_persists_nothing_further(self):
+        plan = FaultPlan(armed=False)
+        plan.schedule_crash(at_io=1)
+        with pytest.raises(SimulatedCrash):
+            plan.on_write(0, [1, 2])
+        with pytest.raises(SimulatedCrash) as excinfo:
+            plan.on_write(1, [3, 4])
+        assert excinfo.value.torn_keep is None
+        assert plan.stats.crashes == 1  # one machine, one death
+
+    def test_crash_is_not_transient(self):
+        # Retry ladders must not swallow a machine death.
+        assert not issubclass(SimulatedCrash, TransientIOError)
+
+    def test_schedule_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_crash(at_io=0)
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_crash(at_io=1, torn_fraction=1.5)
+
+    def test_sweeping_crash_points_is_exhaustive(self):
+        # The same workload crashes at every distinct transfer exactly once.
+        for at_io in range(1, 11):
+            plan = FaultPlan(armed=False)
+            plan.schedule_crash(at_io=at_io)
+            died_at = None
+            for i in range(10):
+                try:
+                    if i % 2 == 0:
+                        plan.on_read(i, [i])
+                    else:
+                        plan.on_write(i, [i])
+                except SimulatedCrash:
+                    died_at = i + 1
+                    break
+            assert died_at == at_io
