@@ -197,6 +197,7 @@ class WorstCaseTopKIndex(TopKIndex):
         self._factory = factory
         self.B = B
         self.stats = ReductionStats()
+        self.applied_lsn = 0
         rng = rng if rng is not None else random.Random(seed)
 
         self._ground = factory(self._elements)
@@ -227,6 +228,16 @@ class WorstCaseTopKIndex(TopKIndex):
     @property
     def n(self) -> int:
         return len(self._elements)
+
+    def note_applied(self, lsn: int) -> None:
+        """Record the highest WAL LSN folded into this in-memory state.
+
+        Maintained by the durability/replication layers; the structure
+        itself never assigns LSNs.  Lets replica schedulers compare
+        index freshness without reaching into the WAL.
+        """
+        if lsn > self.applied_lsn:
+            self.applied_lsn = lsn
 
     def query(self, predicate: Predicate, k: int) -> List[Element]:
         """Exact top-k answer, heaviest first."""
@@ -360,6 +371,7 @@ class WorstCaseTopKIndex(TopKIndex):
         self._factory = factory
         self.B = state["B"]
         self.stats = ReductionStats()
+        self.applied_lsn = 0
         self._ground = factory(elements)
         self.f = state["f"]
 

@@ -93,6 +93,7 @@ class ExpectedTopKIndex(TopKIndex):
         self._q_max_bound = q_max_bound
         self._rng = rng if rng is not None else random.Random(seed)
         self.stats = ReductionStats()
+        self.applied_lsn = 0
         self._build(list(elements))
 
     # ------------------------------------------------------------------
@@ -137,6 +138,16 @@ class ExpectedTopKIndex(TopKIndex):
     def __contains__(self, element: Element) -> bool:
         """O(1) membership — the substrate of idempotent WAL replay."""
         return element in self._elements
+
+    def note_applied(self, lsn: int) -> None:
+        """Record the highest WAL LSN folded into this in-memory state.
+
+        Maintained by the durability/replication layers; the structure
+        itself never assigns LSNs.  Lets replica schedulers compare
+        index freshness without reaching into the WAL.
+        """
+        if lsn > self.applied_lsn:
+            self.applied_lsn = lsn
 
     @property
     def num_levels(self) -> int:
@@ -211,6 +222,7 @@ class ExpectedTopKIndex(TopKIndex):
         self._rng = random.Random()
         self._rng.setstate(state["rng_state"])
         self.stats = ReductionStats()
+        self.applied_lsn = 0
         elements: List[Element] = list(state["elements"])
         require_distinct_weights(elements, "ExpectedTopKIndex.restore")
         self._elements = dict.fromkeys(elements)

@@ -32,11 +32,18 @@ from typing import Callable, List, Optional
 
 from repro.core.interfaces import TopKIndex
 from repro.core.problem import Element, Predicate
-from repro.durability.recovery import RecoveryResult, recover_index
+from repro.durability.recovery import RecoveryResult, apply_record, recover_index
 from repro.durability.snapshot import write_snapshot
 from repro.durability.store import DurableStore
-from repro.durability.wal import OP_DELETE, OP_INSERT, WriteAheadLog
+from repro.durability.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WALRecord,
+    WriteAheadLog,
+    read_committed,
+)
 from repro.em.model import Disk, IOStats
+from repro.resilience.errors import WALShippingGap
 
 STATE_KIND = "durable-topk"
 SNAPSHOTS_RETAINED = 2
@@ -70,11 +77,15 @@ class DurableTopKIndex(TopKIndex):
         commit_interval: int = 1,
         checkpoint_now: bool = True,
         recovery: Optional[RecoveryResult] = None,
+        next_lsn: int = 1,
     ) -> None:
         self.inner = inner
         self.store = store if store is not None else DurableStore()
         self.commit_interval = max(1, commit_interval)
-        self.wal = WriteAheadLog(self.store)
+        # next_lsn > 1 resumes a cluster-wide LSN sequence: a replica
+        # (re)built from a peer's snapshot starts its log where the
+        # peer's committed history ends, keeping LSNs globally monotone.
+        self.wal = WriteAheadLog(self.store, next_lsn=next_lsn)
         self._since_commit = 0
         self.recovery = recovery
         self.checkpoints = 0
@@ -96,6 +107,16 @@ class DurableTopKIndex(TopKIndex):
         """I/O spent on persistence — separate from the query path."""
         return self.store.ctx.stats
 
+    @property
+    def committed_lsn(self) -> int:
+        """Highest LSN durable in the WAL (survives a crash)."""
+        return self.wal.committed_lsn
+
+    @property
+    def applied_lsn(self) -> int:
+        """Highest LSN the in-memory index has absorbed."""
+        return self.wal.applied_lsn
+
     def query(self, predicate: Predicate, k: int, **kwargs) -> List[Element]:
         return self.inner.query(predicate, k, **kwargs)
 
@@ -106,7 +127,7 @@ class DurableTopKIndex(TopKIndex):
     # Updates (WAL-first)
     # ------------------------------------------------------------------
     def insert(self, element: Element) -> None:
-        self.wal.append(OP_INSERT, element)
+        lsn = self.wal.append(OP_INSERT, element)
         try:
             self.inner.insert(element)
         except Exception:
@@ -114,16 +135,24 @@ class DurableTopKIndex(TopKIndex):
             # must not survive to replay against a state it never changed.
             self.wal.rollback_last()
             raise
+        self._note_applied(lsn)
         self._after_update()
 
     def delete(self, element: Element) -> None:
-        self.wal.append(OP_DELETE, element)
+        lsn = self.wal.append(OP_DELETE, element)
         try:
             self.inner.delete(element)
         except Exception:
             self.wal.rollback_last()
             raise
+        self._note_applied(lsn)
         self._after_update()
+
+    def _note_applied(self, lsn: int) -> None:
+        self.wal.note_applied(lsn)
+        note = getattr(self.inner, "note_applied", None)
+        if note is not None:
+            note(lsn)
 
     def _after_update(self) -> None:
         self._since_commit += 1
@@ -134,6 +163,80 @@ class DurableTopKIndex(TopKIndex):
         """Force the pending WAL group to disk; returns records committed."""
         self._since_commit = 0
         return self.wal.commit()
+
+    # ------------------------------------------------------------------
+    # Replication hooks (shipped tails, deferred apply)
+    # ------------------------------------------------------------------
+    def apply_shipped(
+        self, groups: List[List[WALRecord]], apply_now: bool = True
+    ) -> int:
+        """Splice shipped committed groups onto this replica's own log.
+
+        Each group is appended to the local WAL *with the shipped LSNs*
+        (records at or below ``last_lsn`` are skipped, so re-shipping is
+        idempotent) and committed — the follower's acknowledgement is
+        its own durable commit.  With ``apply_now`` the records are also
+        applied to the in-memory index immediately; otherwise apply is
+        deferred and :meth:`replay_unapplied` (run at promotion, on a
+        freshness-bounded read, or before a checkpoint) catches up from
+        the durable log.
+
+        Raises :class:`~repro.resilience.errors.WALShippingGap` when the
+        tail does not splice onto the local log (records in between were
+        checkpoint-truncated on the source while this replica was away)
+        — the caller must fall back to a full snapshot resync.
+
+        Returns the number of records made durable locally.
+        """
+        # Records appended by a previous ship whose commit faulted are
+        # already in the local log (and filtered below as duplicates);
+        # committing first completes that interrupted group so the ack
+        # watermark can advance even when nothing new arrives.
+        self.commit()
+        appended = 0
+        for group in groups:
+            new_records = [r for r in group if r.lsn > self.wal.last_lsn]
+            if not new_records:
+                continue
+            if new_records[0].lsn != self.wal.next_lsn:
+                raise WALShippingGap(
+                    f"shipped tail starts at lsn {new_records[0].lsn}, local "
+                    f"log expects {self.wal.next_lsn}; full resync required",
+                    expected_lsn=self.wal.next_lsn,
+                    got_lsn=new_records[0].lsn,
+                )
+            for record in new_records:
+                self.wal.append(record.op, record.element)
+            self.commit()
+            appended += len(new_records)
+            if apply_now:
+                for record in new_records:
+                    apply_record(self.inner, record)
+                    self._note_applied(record.lsn)
+        return appended
+
+    def replay_unapplied(self) -> int:
+        """Apply committed-but-unapplied records from this replica's WAL.
+
+        Reads the ``(applied_lsn, committed_lsn]`` tail back from the
+        *durable* log (charging durability I/O — the deferred apply path
+        really does re-read its own disk) and applies it idempotently.
+        A promoted follower runs this before admitting writes; reads
+        with freshness bounds run it to catch a lagging replica up.
+        Returns the number of records applied.
+        """
+        if self.wal.applied_lsn >= self.wal.committed_lsn:
+            return 0
+        groups, _ = read_committed(
+            self.store, self.wal.head, after_lsn=self.wal.applied_lsn
+        )
+        applied = 0
+        for group in groups:
+            for record in group:
+                apply_record(self.inner, record)
+                self._note_applied(record.lsn)
+                applied += 1
+        return applied
 
     # ------------------------------------------------------------------
     # Checkpoint
@@ -148,6 +251,10 @@ class DurableTopKIndex(TopKIndex):
         new root (snapshot + empty log) fully consistent.
         """
         self.commit()
+        # A lazily-applying follower must fold every durable record into
+        # the index before snapshotting it: the snapshot claims to cover
+        # last_lsn, and truncation retires the records it claims.
+        self.replay_unapplied()
         state = {
             "kind": STATE_KIND,
             "last_lsn": self.wal.last_lsn,
@@ -189,6 +296,10 @@ class DurableTopKIndex(TopKIndex):
             commit_interval=commit_interval,
             checkpoint_now=True,
             recovery=result,
+            # Resume the LSN sequence past everything the disk had
+            # committed, so a replica rebooted from its durable record
+            # keeps the cluster's LSNs globally monotone.
+            next_lsn=result.highest_lsn + 1,
         )
 
 

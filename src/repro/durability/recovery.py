@@ -86,6 +86,9 @@ class RecoveryResult:
     wal_groups_discarded: int
     rebuilt: bool
     audit: AuditReport
+    # Highest committed LSN observed anywhere (snapshot or log) — a
+    # rebooted replica resumes the cluster's LSN sequence from here.
+    highest_lsn: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -291,8 +294,10 @@ def recover_index(
     elements: List[Element] = list(index_state["elements"])
     element_set = set(elements)
     replayed = 0
+    highest_lsn = last_lsn
     for group in groups:
         for record in group:
+            highest_lsn = max(highest_lsn, record.lsn)
             if record.lsn <= last_lsn:
                 continue  # already folded into the snapshot
             apply_record(index, record)
@@ -331,6 +336,7 @@ def recover_index(
         wal_groups_discarded=discarded,
         rebuilt=rebuilt,
         audit=audit,
+        highest_lsn=highest_lsn,
     )
 
 

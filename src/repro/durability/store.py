@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.em.model import Disk, EMContext
 from repro.resilience.errors import (
@@ -298,6 +298,50 @@ class DurableStore:
             for record in payload[1:]:
                 yield record
             block_id = next_id
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> Dict[int, Tuple[int, bool]]:
+        """Per-block ``(crc, seal_ok)`` over the current durable root set.
+
+        The anti-entropy scrubber's substrate: every block the root
+        references is read raw (one charged I/O each, bypassing the
+        cache so a stale frame cannot mask on-disk damage), summed, and
+        seal-verified.  ``seal_ok=False`` flags a block whose embedded
+        seal is missing or mismatched — bit rot or a torn write that
+        the superblock still points at.  CRCs let two replicas compare
+        durable content block-for-block without shipping the payloads.
+
+        The WAL chain's *terminal* unreadable block is excluded: that is
+        the pre-allocated open tail (or a torn, never-committed group) —
+        recovery discards it by design, so it carries no durable state
+        and flagging it would make every healthy replica look damaged.
+        """
+        from repro.em.model import block_checksum
+
+        out: Dict[int, Tuple[int, bool]] = {}
+
+        def fingerprint(block_id: int) -> bool:
+            records = list(self.ctx.disk.raw_read(block_id))
+            self.ctx.stats.reads += 1
+            try:
+                unseal(records, block_id=block_id)
+                seal_ok = True
+            except SnapshotIntegrityError:
+                seal_ok = False
+            out[block_id] = (block_checksum(records), seal_ok)
+            return seal_ok
+
+        for block_id in _SUPER_BLOCKS:
+            fingerprint(block_id)
+        for entry in self.snapshots:
+            for block_id in self._chain_blocks(entry.head_block):
+                fingerprint(block_id)
+        if self.wal_head is not None:
+            chain = self._chain_blocks(self.wal_head)
+            for position, block_id in enumerate(chain):
+                if not fingerprint(block_id) and position == len(chain) - 1:
+                    del out[block_id]
+        return out
 
     # ------------------------------------------------------------------
     def reachable_blocks(self) -> List[int]:

@@ -67,11 +67,32 @@ class WriteAheadLog:
         self.records_appended = 0
         self.commits = 0
         self._chain_dirty = False
+        # A group whose commit was interrupted by a *transient* write
+        # fault: (records, resume offset).  The next commit() finishes
+        # writing it before anything new — without this, the group
+        # would be silently lost (its pending buffer is consumed the
+        # moment commit() starts).
+        self._inflight: Optional[Tuple[List[Tuple], int]] = None
+        # Everything before this log's birth is, by definition, already
+        # durable and applied (it lives in the snapshot the log extends).
+        self.committed_lsn = next_lsn - 1
+        self.applied_lsn = next_lsn - 1
 
     @property
     def last_lsn(self) -> int:
         """Highest LSN handed out so far (0 before the first append)."""
         return self.next_lsn - 1
+
+    def note_applied(self, lsn: int) -> None:
+        """Record that the in-memory index has absorbed ``lsn``.
+
+        ``applied_lsn`` can trail ``committed_lsn`` on a replication
+        follower (records shipped and durable, apply deferred); failover
+        promotion replays exactly the ``(applied_lsn, committed_lsn]``
+        tail before admitting writes.
+        """
+        if lsn > self.applied_lsn:
+            self.applied_lsn = lsn
 
     @property
     def pending_records(self) -> int:
@@ -107,26 +128,48 @@ class WriteAheadLog:
         final pointer designates the new open block: recovery reads it
         as unsealed and stops there, which is the normal end of log.
         """
+        if self._inflight is not None:
+            # Finish the group whose write-back faulted before anything
+            # new: faulted frames are never dropped, so resuming at the
+            # saved chunk re-attempts exactly the interrupted transfers.
+            records, offset = self._inflight
+            self._write_group(records, offset)
+            self.committed_lsn = max(self.committed_lsn, records[-1][1])
+            self._inflight = None
         if not self._pending:
             return 0
         ops = list(self._pending)
         self._pending.clear()
         records = ops + [("COMMIT", ops[-1][1], _group_crc(ops))]
+        self._write_group(records, 0)
+        self._inflight = None
+        self.committed_lsn = ops[-1][1]
+        return len(ops)
+
+    def _write_group(self, records: List[Tuple], offset: int) -> None:
+        """Write (or resume writing) one commit group into the chain.
+
+        On a fault, the resume point is saved so a later :meth:`commit`
+        can complete the group — chunks already sealed are never
+        rewritten, keeping the chain replayable.
+        """
         capacity = self.store.chain_capacity
-        offset = 0
-        while offset < len(records):
-            chunk = records[offset : offset + capacity]
-            offset += len(chunk)
-            next_id = self.store.allocate()
-            self.store.write_sealed(
-                self._open, [(_CHAIN_KIND, self._next_seq, next_id), *chunk]
-            )
-            self._next_seq += 1
-            self._open = next_id
-        self.store.flush()
+        try:
+            while offset < len(records):
+                chunk = records[offset : offset + capacity]
+                next_id = self.store.allocate()
+                self.store.write_sealed(
+                    self._open, [(_CHAIN_KIND, self._next_seq, next_id), *chunk]
+                )
+                offset += len(chunk)
+                self._next_seq += 1
+                self._open = next_id
+            self.store.flush()
+        except Exception:
+            self._inflight = (records, offset)
+            raise
         self.commits += 1
         self._chain_dirty = True
-        return len(ops)
 
     def truncate(self) -> None:
         """Start a new, empty chain (checkpoint step; LSNs keep rising).
@@ -144,7 +187,7 @@ class WriteAheadLog:
 
 
 def read_committed(
-    store: DurableStore, head: Optional[int]
+    store: DurableStore, head: Optional[int], after_lsn: int = 0
 ) -> Tuple[List[List[WALRecord]], int]:
     """All complete committed groups of a chain, plus records discarded.
 
@@ -152,6 +195,16 @@ def read_committed(
     pre-allocated open tail, torn write, damaged seal, broken header —
     ends the log.  Trailing op records without a valid COMMIT marker
     (an interrupted group) are discarded and counted.
+
+    ``after_lsn`` makes the read *incremental*: records with LSN
+    ``<= after_lsn`` are filtered out without being decoded, and groups
+    that fall entirely at or below the watermark are skipped.  This is
+    the tail a replication follower fetches on every ship — calling
+    again with the last LSN it acknowledged resumes exactly where the
+    previous ship stopped, including across a torn tail (the torn group
+    was never committed, so it is never shipped, and re-appears in a
+    later read once its re-commit lands).  Group CRCs are verified over
+    the *full* group regardless of the watermark.
     """
     if head is None:
         return [], 0
@@ -191,9 +244,14 @@ def read_committed(
                 and marker_lsn == pending[-1][1]
                 and crc == _group_crc(pending)
             ):
-                groups.append(
-                    [WALRecord(lsn, op, decode(enc)) for _, lsn, op, enc in pending]
-                )
+                if marker_lsn > after_lsn:
+                    groups.append(
+                        [
+                            WALRecord(lsn, op, decode(enc))
+                            for _, lsn, op, enc in pending
+                            if lsn > after_lsn
+                        ]
+                    )
                 pending = []
             else:
                 # A commit marker that does not match its group means the

@@ -81,13 +81,16 @@ class Disk:
 
     The disk itself never counts I/Os — transfers are charged by the
     :class:`EMContext` that mediates access.  Blocks are identified by
-    dense integer ids.
+    dense integer ids.  ``label`` names the simulated machine the disk
+    belongs to — multi-replica deployments use it to scope fault plans
+    and attribute chaos counters to the right machine.
     """
 
-    def __init__(self, checksums: bool = False) -> None:
+    def __init__(self, checksums: bool = False, label: str = "") -> None:
         self._blocks: List[List[object]] = []
         self._checksums: List[int] = []
         self._checksums_enabled = bool(checksums)
+        self.label = label
 
     def allocate(self) -> int:
         """Reserve a fresh empty block and return its id."""
@@ -209,10 +212,16 @@ class EMContext:
         ``enable_checksums`` defaults to enabling per-block checksums
         whenever the plan can corrupt reads; pass ``False`` explicitly
         to study *undetected* corruption.
+
+        The plan is bound to this context's disk on attach: re-attaching
+        after a reboot (fresh context, same disk) is fine, but attaching
+        it to a *different* machine's disk raises — per-machine fault
+        scoping for replicated deployments.
         """
         self.fault_plan = plan
         if plan is None:
             return
+        plan.bind(self.disk)
         if enable_checksums is None:
             enable_checksums = plan.injects_corruption
         if enable_checksums:
@@ -225,6 +234,11 @@ class EMContext:
     def num_frames(self) -> int:
         """Number of memory frames available (``M // B``)."""
         return self.M // self.B
+
+    @property
+    def machine(self) -> str:
+        """Label of the simulated machine (the disk's label)."""
+        return self.disk.label
 
     def read_block(self, block_id: int) -> List[object]:
         """Return the contents of ``block_id``, charging an I/O on a miss.

@@ -1,0 +1,693 @@
+"""`ReplicaSet`: a replicated top-k service over N simulated machines.
+
+The set is N independent :class:`~repro.replication.replica.Replica`
+machines — each with its own disk, fault plan, durable store, and
+index — coordinated by three mechanisms:
+
+* **synchronous WAL shipping** — every update goes to the primary's
+  durable log first; the committed tail is then shipped to each live
+  follower via the incremental
+  :func:`~repro.durability.wal.read_committed` (``after_lsn`` = the
+  follower's own durable LSN) and spliced onto the follower's log with
+  :meth:`DurableTopKIndex.apply_shipped`.  A follower's acknowledgement
+  is its *own durable commit*, so any record the set ever acknowledged
+  is durable on every follower that acked it — promotion by highest
+  durable LSN therefore never loses an acknowledged write.  Followers
+  apply **lazily** by default: records are durable immediately but
+  folded into the in-memory index only when a freshness-bounded read,
+  a checkpoint, or a promotion demands it;
+* **deterministic failover** — a :class:`SimulatedCrash` on the
+  primary (or a condemned fault streak, per
+  :class:`~repro.replication.failover.FailoverPolicy`) triggers
+  promotion of the surviving follower with the highest durable LSN
+  (ties break on name), which replays its committed-but-unapplied tail
+  before admitting operations.  The interrupted update is retried on
+  the new primary idempotently — a membership check detects whether
+  the record made it across before the crash;
+* **anti-entropy** — :meth:`scrub` delegates to the
+  :class:`~repro.replication.antientropy.AntiEntropyScrubber`, walking
+  block seals per replica and state digests across replicas, and
+  resyncing any divergent machine from a clean source.
+
+Reads come in three modes: ``primary`` (authoritative), ``quorum``
+(majority of live replicas must answer within the staleness bound;
+disagreement is counted and left for the scrubber), and ``hedged`` (a
+round-robin follower serves, falling back to the primary when the
+follower is stale or faulty).  A follower whose applied LSN trails the
+bound first catches up from its own durable log; if it is *durably*
+behind (missed ships), the read falls back to the primary.
+
+Degradation ladder: healthy quorum → degraded reads (fewer live
+replicas than a majority — served and counted, never silently) →
+**rebuild from the durable record** (every machine dead: the disk with
+the highest durable LSN is mounted fresh and recovered via
+:func:`~repro.durability.recovery.recover_index`, becoming the new
+primary of a one-machine set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.interfaces import TopKIndex
+from repro.core.problem import Element, Predicate
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.durability.durable import DurableTopKIndex
+from repro.durability.wal import OP_DELETE, OP_INSERT, read_committed
+from repro.replication.antientropy import AntiEntropyScrubber, ScrubReport
+from repro.replication.failover import FailoverController, FailoverPolicy
+from repro.replication.replica import ROLE_FOLLOWER, ROLE_PRIMARY, Replica
+from repro.resilience.errors import (
+    FailoverError,
+    InvalidConfiguration,
+    RecoveryError,
+    ReplicaUnavailable,
+    SimulatedCrash,
+    SnapshotIntegrityError,
+    TransientIOError,
+    WALShippingGap,
+)
+from repro.resilience.faults import FaultPlan
+
+READ_PRIMARY = "primary"
+READ_QUORUM = "quorum"
+READ_HEDGED = "hedged"
+_READ_MODES = (READ_PRIMARY, READ_QUORUM, READ_HEDGED)
+
+APPLY_LAZY = "lazy"
+APPLY_EAGER = "eager"
+
+
+class _StaleRead(ReplicaUnavailable):
+    """Internal: a follower could not reach the freshness bound."""
+
+
+@dataclass
+class ReplicationStats:
+    """Counters of everything the replica set did."""
+
+    inserts: int = 0
+    deletes: int = 0
+    groups_shipped: int = 0
+    records_shipped: int = 0
+    acks: int = 0
+    ship_failures: int = 0
+    primary_crashes: int = 0
+    follower_deaths: int = 0
+    promotions: int = 0
+    failover_records_replayed: int = 0
+    quorum_reads: int = 0
+    quorum_mismatches: int = 0
+    degraded_reads: int = 0
+    hedged_reads: int = 0
+    hedge_wins: int = 0
+    stale_fallbacks: int = 0
+    scrubs: int = 0
+    scrub_repairs: int = 0
+    records_resynced: int = 0
+    resyncs: int = 0
+    rebuilds: int = 0
+
+
+class ReplicaSet(TopKIndex):
+    """A top-k index served by N replicated machines (module docstring).
+
+    Parameters
+    ----------
+    elements:
+        The initial set ``D``.
+    build_fn:
+        ``elements -> TopKIndex``.  **Must be deterministic**: every
+        replica is built by calling it on the same elements, and
+        replication correctness (and anti-entropy's digest comparison)
+        rests on identically-built replicas staying bit-for-bit equal
+        under the same op sequence.
+    restore_fn:
+        ``state dict -> TopKIndex`` — the recovery/resync counterpart.
+    num_replicas / names / fault_plans:
+        Cluster shape; plans default to disarmed per-machine plans.
+    B / M / commit_interval:
+        Per-machine durable store parameters.
+    apply_mode:
+        ``"lazy"`` (default): followers defer the in-memory apply until
+        a read, checkpoint, or promotion needs it — the mode in which
+        failover genuinely replays the committed-but-unapplied tail.
+        ``"eager"``: followers apply at ship time.
+    read_mode / max_staleness:
+        Default read mode and the per-replica staleness bound (in LSNs
+        behind the primary's applied LSN) a serving replica may carry.
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        build_fn: Callable[[List[Element]], TopKIndex],
+        restore_fn: Callable[[dict], TopKIndex],
+        num_replicas: int = 3,
+        B: int = 16,
+        M: Optional[int] = None,
+        commit_interval: int = 1,
+        apply_mode: str = APPLY_LAZY,
+        read_mode: str = READ_QUORUM,
+        max_staleness: int = 0,
+        failover_policy: Optional[FailoverPolicy] = None,
+        fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise InvalidConfiguration(
+                f"num_replicas must be >= 1, got {num_replicas}"
+            )
+        if apply_mode not in (APPLY_LAZY, APPLY_EAGER):
+            raise InvalidConfiguration(f"unknown apply_mode {apply_mode!r}")
+        if read_mode not in _READ_MODES:
+            raise InvalidConfiguration(f"unknown read_mode {read_mode!r}")
+        if max_staleness < 0:
+            raise InvalidConfiguration(
+                f"max_staleness must be >= 0, got {max_staleness}"
+            )
+        names = (
+            list(names)
+            if names is not None
+            else [f"replica-{i}" for i in range(num_replicas)]
+        )
+        plans: List[Optional[FaultPlan]] = (
+            list(fault_plans) if fault_plans is not None else [None] * num_replicas
+        )
+        if len(names) != num_replicas or len(plans) != num_replicas:
+            raise InvalidConfiguration(
+                "names and fault_plans must match num_replicas"
+            )
+        if len(set(names)) != num_replicas:
+            raise InvalidConfiguration("replica names must be distinct")
+        self.build_fn = build_fn
+        self.restore_fn = restore_fn
+        self.B = B
+        self.M = M
+        self.commit_interval = commit_interval
+        self.apply_mode = apply_mode
+        self.read_mode = read_mode
+        self.max_staleness = max_staleness
+        elements = list(elements)
+        self.replicas: List[Replica] = [
+            Replica(
+                names[i],
+                build_fn(list(elements)),
+                B=B,
+                M=M,
+                commit_interval=commit_interval,
+                fault_plan=plans[i],
+            )
+            for i in range(num_replicas)
+        ]
+        self.replicas[0].role = ROLE_PRIMARY
+        self.primary_index = 0
+        self.failover = FailoverController(failover_policy)
+        self.scrubber = AntiEntropyScrubber(restore_fn)
+        self.stats = ReplicationStats()
+        self._hedge_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Membership / health surface
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Replica:
+        return self.replicas[self.primary_index]
+
+    @property
+    def live_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if r.alive]
+
+    def replica_lag(self) -> Dict[str, int]:
+        """Per-replica LSN lag behind the primary's applied state.
+
+        Live replicas report their *applied* lag (what a read would
+        see); dead machines report their *durable* lag (what a rebuild
+        from their disk would lose).
+        """
+        primary = self.primary
+        head = (
+            primary.applied_lsn
+            if primary.alive
+            else max(r.durable_lsn for r in self.replicas)
+        )
+        return {
+            r.name: max(0, head - (r.applied_lsn if r.alive else r.durable_lsn))
+            for r in self.replicas
+        }
+
+    @property
+    def n(self) -> int:
+        return self._require_primary().durable.n
+
+    def space_units(self) -> int:
+        """Total space across live machines — replication is not free."""
+        return sum(r.durable.space_units() for r in self.live_replicas)
+
+    def __contains__(self, element: Element) -> bool:
+        inner = self._require_primary().durable.inner
+        if hasattr(type(inner), "__contains__"):
+            return element in inner
+        raise TypeError(f"{type(inner).__name__} does not support membership")
+
+    # ------------------------------------------------------------------
+    # Primary election / degradation ladder
+    # ------------------------------------------------------------------
+    def _require_primary(self) -> Replica:
+        primary = self.replicas[self.primary_index]
+        if primary.alive and primary.is_primary:
+            return primary
+        return self._elect()
+
+    def _elect(self) -> Replica:
+        """Promote the best surviving follower (or rebuild from disk)."""
+        while True:
+            candidates = [r for r in self.replicas if r.alive and not r.is_primary]
+            try:
+                successor = self.failover.pick_successor(candidates)
+            except FailoverError:
+                return self._rebuild_from_durable()
+            try:
+                replayed = self.failover.promote(successor)
+            except SimulatedCrash:
+                successor.mark_dead()
+                self.stats.follower_deaths += 1
+                continue
+            except TransientIOError as exc:
+                if self.failover.note_fault(successor.name, exc):
+                    successor.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            for replica in self.replicas:
+                if replica is not successor and replica.is_primary:
+                    replica.role = ROLE_FOLLOWER
+            self.primary_index = self.replicas.index(successor)
+            self.stats.promotions += 1
+            self.stats.failover_records_replayed += replayed
+            return successor
+
+    def _on_primary_death(self, primary: Replica) -> Replica:
+        primary.mark_dead()
+        self.stats.primary_crashes += 1
+        return self._elect()
+
+    def _rebuild_from_durable(self) -> Replica:
+        """Last rung: every machine is dead; recover the best disk.
+
+        Disks survive their machines.  The disk with the highest
+        durable LSN is mounted with a fresh context and taken through
+        the full recovery sequence (snapshot → replay → audit →
+        rebuild fallback); the result becomes the primary of what is
+        now a one-machine set, resuming the cluster's LSN sequence.
+        """
+        candidates = sorted(
+            self.replicas, key=lambda r: (-r.durable_lsn, r.name)
+        )
+        last_error: Optional[Exception] = None
+        for casualty in candidates:
+            try:
+                durable = DurableTopKIndex.recover(
+                    casualty.disk,
+                    self.restore_fn,
+                    self.build_fn,
+                    B=self.B,
+                    M=self.M,
+                    commit_interval=self.commit_interval,
+                )
+            except (RecoveryError, SnapshotIntegrityError) as exc:
+                last_error = exc
+                continue
+            reborn = Replica.adopt(casualty.name, durable)
+            reborn.role = ROLE_PRIMARY
+            slot = self.replicas.index(casualty)
+            self.replicas[slot] = reborn
+            self.primary_index = slot
+            self.stats.rebuilds += 1
+            self.failover.note_success(reborn.name)
+            return reborn
+        raise ReplicaUnavailable(
+            "every replica is down and no durable record is recoverable"
+        ) from last_error
+
+    def replace_replica(self, old: Replica, new: Replica) -> None:
+        """Swap a rebuilt machine into ``old``'s slot (same role)."""
+        slot = self.replicas.index(old)
+        new.role = old.role
+        self.replicas[slot] = new
+
+    # ------------------------------------------------------------------
+    # Writes: primary-first, ship-per-commit, idempotent retry
+    # ------------------------------------------------------------------
+    def insert(self, element: Element) -> None:
+        self.stats.inserts += 1
+        self._update(OP_INSERT, element)
+
+    def delete(self, element: Element) -> None:
+        self.stats.deletes += 1
+        self._update(OP_DELETE, element)
+
+    def _update(self, op: str, element: Element) -> None:
+        retrying = False
+        while True:
+            primary = self._require_primary()
+            try:
+                if retrying and self._already_applied(primary, op, element):
+                    # The record crossed before the crash (it is on the
+                    # freshest follower, which is now primary) — the op
+                    # is done; just make sure it propagates.
+                    self._ship(primary)
+                    return
+                if op == OP_INSERT:
+                    primary.durable.insert(element)
+                else:
+                    primary.durable.delete(element)
+                self.failover.note_success(primary.name)
+                self._ship(primary)
+                return
+            except SimulatedCrash:
+                self._on_primary_death(primary)
+                retrying = True
+            except TransientIOError as exc:
+                if self.failover.note_fault(primary.name, exc):
+                    self._on_primary_death(primary)
+                retrying = True
+
+    @staticmethod
+    def _already_applied(replica: Replica, op: str, element: Element) -> bool:
+        inner = replica.durable.inner
+        if not hasattr(type(inner), "__contains__"):
+            return False
+        present = element in inner
+        return present if op == OP_INSERT else not present
+
+    def _ship(self, primary: Replica) -> None:
+        """Ship the primary's committed tail to every live follower.
+
+        A crash while *reading* the primary's log is the primary's
+        death and propagates to the caller; a fault on a *follower*
+        only costs that follower (dead or skipped until the next ship —
+        its durable LSN watermark makes re-shipping resume exactly
+        where it left off).
+        """
+        # Complete any group commit whose flush faulted transiently.
+        primary.durable.commit()
+        committed = primary.durable.committed_lsn
+        for follower in self.replicas:
+            if follower is primary or not follower.alive:
+                continue
+            if follower.durable_lsn >= committed:
+                continue
+            groups, _ = read_committed(
+                primary.store,
+                primary.durable.wal.head,
+                after_lsn=follower.durable_lsn,
+            )
+            try:
+                appended = follower.durable.apply_shipped(
+                    groups, apply_now=self.apply_mode == APPLY_EAGER
+                )
+            except SimulatedCrash:
+                follower.mark_dead()
+                self.stats.follower_deaths += 1
+                continue
+            except TransientIOError as exc:
+                self.stats.ship_failures += 1
+                if self.failover.note_fault(follower.name, exc):
+                    follower.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            except WALShippingGap:
+                # The tail no longer splices (the primary checkpointed
+                # past this follower's watermark): full snapshot resync.
+                self.stats.resyncs += 1
+                self.scrubber.repair(self, follower, primary)
+                continue
+            if appended:
+                self.stats.groups_shipped += len(groups)
+                self.stats.records_shipped += appended
+                self.stats.acks += 1
+                self.failover.note_success(follower.name)
+
+    # ------------------------------------------------------------------
+    # Alignment barrier (scrub / checkpoint substrate)
+    # ------------------------------------------------------------------
+    def align(self) -> None:
+        """Commit + ship + apply everywhere.
+
+        After this, every live replica's applied LSN equals the
+        primary's — honest replication lag is zero, so any remaining
+        state difference is genuine divergence (the scrubber's
+        precondition).
+        """
+        while True:
+            primary = self._require_primary()
+            try:
+                self._ship(primary)
+                break
+            except SimulatedCrash:
+                self._on_primary_death(primary)
+            except TransientIOError as exc:
+                if self.failover.note_fault(primary.name, exc):
+                    self._on_primary_death(primary)
+        for replica in self.live_replicas:
+            try:
+                replica.durable.replay_unapplied()
+            except SimulatedCrash:
+                if replica.is_primary:
+                    self._on_primary_death(replica)
+                else:
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+            except TransientIOError as exc:
+                if self.failover.note_fault(replica.name, exc):
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+
+    def checkpoint(self) -> None:
+        """Checkpoint every live machine (primary first, then followers)."""
+        self.align()
+        for replica in [self.primary] + [
+            r for r in self.live_replicas if not r.is_primary
+        ]:
+            if not replica.alive:
+                continue
+            try:
+                replica.durable.checkpoint()
+            except SimulatedCrash:
+                if replica.is_primary:
+                    self._on_primary_death(replica)
+                else:
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+            except TransientIOError as exc:
+                if self.failover.note_fault(replica.name, exc):
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        predicate: Predicate,
+        k: int,
+        mode: Optional[str] = None,
+        max_staleness: Optional[int] = None,
+        **kwargs,
+    ) -> List[Element]:
+        mode = self.read_mode if mode is None else mode
+        if mode not in _READ_MODES:
+            raise InvalidConfiguration(f"unknown read mode {mode!r}")
+        staleness = (
+            self.max_staleness if max_staleness is None else max_staleness
+        )
+        if mode == READ_PRIMARY:
+            return self._query_primary(predicate, k, kwargs)
+        if mode == READ_HEDGED:
+            return self._query_hedged(predicate, k, staleness, kwargs)
+        return self._query_quorum(predicate, k, staleness, kwargs)
+
+    def _query_primary(self, predicate: Predicate, k: int, kwargs: dict) -> List[Element]:
+        while True:
+            primary = self._require_primary()
+            try:
+                return primary.durable.query(predicate, k, **kwargs)
+            except SimulatedCrash:
+                self._on_primary_death(primary)
+
+    def _serve(
+        self,
+        replica: Replica,
+        required_lsn: int,
+        predicate: Predicate,
+        k: int,
+        kwargs: dict,
+    ) -> List[Element]:
+        """One replica's answer, no staler than ``required_lsn``.
+
+        A lazily-applying replica first catches up from its own durable
+        log; if it is *durably* short of the bound (ships it never
+        acked), it cannot serve and the read falls elsewhere.
+        """
+        replica.require_alive()
+        if replica.applied_lsn < required_lsn:
+            replica.durable.replay_unapplied()
+        if replica.applied_lsn < required_lsn:
+            raise _StaleRead(
+                f"replica {replica.name!r} applied lsn {replica.applied_lsn} "
+                f"< required {required_lsn}",
+                replica=replica.name,
+            )
+        return replica.durable.query(predicate, k, **kwargs)
+
+    def _query_quorum(
+        self, predicate: Predicate, k: int, staleness: int, kwargs: dict
+    ) -> List[Element]:
+        """Majority read: over half the live replicas must agree to serve.
+
+        Answers are collected in deterministic order (primary, then
+        followers by name); the freshest answer wins.  Any disagreement
+        between collected answers is counted for the scrubber.  Fewer
+        live answers than a majority is a *degraded* read — still
+        served (from what survives), never silently.
+        """
+        self.stats.quorum_reads += 1
+        primary = self._require_primary()
+        required = primary.applied_lsn - staleness
+        order = [primary] + sorted(
+            (r for r in self.live_replicas if not r.is_primary),
+            key=lambda r: r.name,
+        )
+        needed = len(self.live_replicas) // 2 + 1
+        answers: List[tuple] = []
+        for replica in order:
+            try:
+                answer = self._serve(replica, required, predicate, k, kwargs)
+            except _StaleRead:
+                self.stats.stale_fallbacks += 1
+                continue
+            except SimulatedCrash:
+                if replica.is_primary:
+                    primary = self._on_primary_death(replica)
+                else:
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            except TransientIOError as exc:
+                if self.failover.note_fault(replica.name, exc):
+                    replica.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            answers.append(
+                (replica.applied_lsn, replica.is_primary, replica.name, answer)
+            )
+            if len(answers) >= needed:
+                break
+        if not answers:
+            self.stats.degraded_reads += 1
+            return self._query_primary(predicate, k, kwargs)
+        if len(answers) < needed:
+            self.stats.degraded_reads += 1
+        # Freshest answer wins; on equal freshness the primary's answer
+        # is authoritative (a divergent follower must not out-vote it).
+        freshest = max(answers, key=lambda entry: (entry[0], entry[1], entry[2]))
+        if any(entry[3] != freshest[3] for entry in answers):
+            self.stats.quorum_mismatches += 1
+        return freshest[3]
+
+    def _query_hedged(
+        self, predicate: Predicate, k: int, staleness: int, kwargs: dict
+    ) -> List[Element]:
+        """Follower-first read with the primary as the hedge.
+
+        Followers take reads round-robin; a follower that is stale,
+        faulty, or dead loses the race and the primary's answer wins
+        (counted as a hedge win).
+        """
+        self.stats.hedged_reads += 1
+        primary = self._require_primary()
+        required = primary.applied_lsn - staleness
+        followers = sorted(
+            (r for r in self.live_replicas if not r.is_primary),
+            key=lambda r: r.name,
+        )
+        if followers:
+            preferred = followers[self._hedge_cursor % len(followers)]
+            self._hedge_cursor += 1
+            try:
+                return self._serve(preferred, required, predicate, k, kwargs)
+            except _StaleRead:
+                self.stats.stale_fallbacks += 1
+            except SimulatedCrash:
+                preferred.mark_dead()
+                self.stats.follower_deaths += 1
+            except TransientIOError as exc:
+                if self.failover.note_fault(preferred.name, exc):
+                    preferred.mark_dead()
+                    self.stats.follower_deaths += 1
+        answer = self._query_primary(predicate, k, kwargs)
+        self.stats.hedge_wins += 1
+        return answer
+
+    # ------------------------------------------------------------------
+    # Anti-entropy
+    # ------------------------------------------------------------------
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """One anti-entropy pass (see :mod:`repro.replication.antientropy`)."""
+        self.stats.scrubs += 1
+        report = self.scrubber.scrub(self, repair=repair)
+        self.stats.scrub_repairs += len(report.repaired)
+        self.stats.records_resynced += report.records_resynced
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        roles = ", ".join(
+            f"{r.name}:{r.role[0]}{'' if r.alive else '(dead)'}"
+            for r in self.replicas
+        )
+        return f"ReplicaSet({roles}, committed={self.primary.durable_lsn})"
+
+
+def replicated_index(
+    elements: Sequence[Element],
+    prioritized_factory,
+    max_factory,
+    num_replicas: int = 3,
+    B: int = 2,
+    store_B: int = 16,
+    seed: int = 0,
+    **cluster_kwargs,
+) -> ReplicaSet:
+    """A :class:`ReplicaSet` over canonical Theorem 2 replicas.
+
+    The build function pins the seed, so every replica constructs an
+    identical index — the determinism replication correctness (and the
+    scrubber's digest comparison) requires.  ``B`` is the Theorem 2
+    block size; ``store_B`` the durable store's.
+    """
+
+    def build_fn(elems: List[Element]) -> ExpectedTopKIndex:
+        return ExpectedTopKIndex(
+            elems, prioritized_factory, max_factory, B=B, seed=seed
+        )
+
+    def restore_fn(state: dict) -> ExpectedTopKIndex:
+        return ExpectedTopKIndex.restore(state, prioritized_factory, max_factory)
+
+    return ReplicaSet(
+        elements, build_fn, restore_fn, num_replicas=num_replicas, B=store_B,
+        **cluster_kwargs,
+    )
+
+
+__all__ = [
+    "ReplicaSet",
+    "ReplicationStats",
+    "replicated_index",
+    "READ_PRIMARY",
+    "READ_QUORUM",
+    "READ_HEDGED",
+    "APPLY_LAZY",
+    "APPLY_EAGER",
+]

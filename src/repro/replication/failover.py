@@ -1,0 +1,123 @@
+"""Deterministic failure detection and primary promotion.
+
+The :class:`FailoverController` decides two things, both
+deterministically so chaos sweeps are exactly reproducible:
+
+* **when a machine is dead** — a :class:`SimulatedCrash` is immediately
+  fatal (the machine's fault plan refuses all further I/O), and
+  ``max_consecutive_faults`` non-crash faults in a row without an
+  intervening success also condemn it (a machine that can no longer
+  complete any I/O is operationally dead even if it never "crashed");
+* **who takes over** — among the surviving followers, the one whose
+  *durable* LSN is highest; ties break on the lexicographically
+  smallest name.  Choosing by durable LSN is what makes synchronous
+  WAL shipping safe: every acknowledged record is durable on the
+  freshest follower, so promoting it loses nothing that was ever
+  acknowledged.
+
+Promotion replays the winner's committed-but-unapplied WAL tail
+(:meth:`DurableTopKIndex.replay_unapplied`) *before* the new primary
+admits any operation — a lazily-applying follower may be arbitrarily
+far behind in memory while fully caught up on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.replication.replica import ROLE_PRIMARY, Replica
+from repro.resilience.errors import (
+    FailoverError,
+    InvalidConfiguration,
+    SimulatedCrash,
+)
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Knobs of the failure detector.
+
+    ``max_consecutive_faults`` is the number of back-to-back non-crash
+    faults (no success in between) after which a machine is declared
+    dead.  Crashes are always immediately fatal.
+    """
+
+    max_consecutive_faults: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_faults < 1:
+            raise InvalidConfiguration(
+                "max_consecutive_faults must be >= 1, got "
+                f"{self.max_consecutive_faults}"
+            )
+
+
+class FailoverController:
+    """Failure detector + deterministic successor election."""
+
+    def __init__(self, policy: Optional[FailoverPolicy] = None) -> None:
+        self.policy = policy if policy is not None else FailoverPolicy()
+        self._consecutive: Dict[str, int] = {}
+        self.promotions = 0
+        self.records_replayed = 0
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def note_success(self, name: str) -> None:
+        """An operation on ``name`` completed; reset its fault streak."""
+        self._consecutive[name] = 0
+
+    def note_fault(self, name: str, error: Exception) -> bool:
+        """Record one fault on ``name``; ``True`` if it is now dead.
+
+        A :class:`SimulatedCrash` condemns the machine outright; any
+        other fault extends the consecutive streak and condemns it once
+        the streak reaches the policy threshold.
+        """
+        if isinstance(error, SimulatedCrash):
+            return True
+        streak = self._consecutive.get(name, 0) + 1
+        self._consecutive[name] = streak
+        return streak >= self.policy.max_consecutive_faults
+
+    def fault_streak(self, name: str) -> int:
+        return self._consecutive.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def pick_successor(self, candidates: List[Replica]) -> Replica:
+        """The surviving replica with the highest durable LSN.
+
+        Deterministic: ties on durable LSN break toward the smallest
+        name, so a sweep that kills the primary at every possible I/O
+        always elects the same successor for the same history.
+        """
+        alive = [r for r in candidates if r.alive]
+        if not alive:
+            raise FailoverError("no surviving replica to promote")
+        best = max(r.durable_lsn for r in alive)
+        return min(
+            (r for r in alive if r.durable_lsn == best), key=lambda r: r.name
+        )
+
+    def promote(self, replica: Replica) -> int:
+        """Make ``replica`` primary; returns WAL records replayed.
+
+        The committed-but-unapplied tail of the winner's own durable
+        log is folded into its in-memory index *before* the role flips
+        — the new primary answers from (and extends) exactly the state
+        every acknowledged record produced.
+        """
+        replica.require_alive()
+        replayed = replica.durable.replay_unapplied()
+        replica.role = ROLE_PRIMARY
+        self.promotions += 1
+        self.records_replayed += replayed
+        self.note_success(replica.name)
+        return replayed
+
+
+__all__ = ["FailoverController", "FailoverPolicy"]

@@ -1,0 +1,165 @@
+"""One simulated machine of a replica set.
+
+A :class:`Replica` owns the full vertical stack of an independent
+machine: a private :class:`~repro.em.model.Disk` (labelled with the
+replica's name), a :class:`~repro.resilience.faults.FaultPlan` scoped
+to that disk, a :class:`~repro.durability.store.DurableStore` over a
+fresh :class:`~repro.em.model.EMContext`, and a
+:class:`~repro.durability.durable.DurableTopKIndex` wrapping the
+in-memory index.  Nothing is shared between replicas — a fault plan
+bound to one machine's disk can never fire on a sibling (the binding
+is enforced by :meth:`FaultPlan.bind`), and each machine's I/O and
+fault counters are attributed separately.
+
+A replica is either the **primary** (accepts writes, ships its WAL) or
+a **follower** (receives shipped groups, acknowledges with its own
+durable commit, may defer the in-memory apply).  ``alive`` tracks
+whether the machine is up; a dead machine's *disk* survives, which is
+what the rebuild-from-durable-record rung and anti-entropy repair read.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.core.interfaces import TopKIndex
+from repro.durability.durable import DurableTopKIndex
+from repro.durability.store import DurableStore
+from repro.em.model import Disk, EMContext
+from repro.resilience.errors import ReplicaUnavailable
+from repro.resilience.faults import FaultPlan
+
+ROLE_PRIMARY = "primary"
+ROLE_FOLLOWER = "follower"
+
+
+class Replica:
+    """One machine: disk + fault plan + durable store + index.
+
+    Parameters
+    ----------
+    name:
+        The machine's label; also stamped on its disk and fault plan.
+    inner:
+        The in-memory index this machine serves.  All replicas of a set
+        must be built *identically* (same elements, same seed) so their
+        states stay bit-for-bit equal under op-lockstep replication.
+    B / M:
+        EM machine parameters of the durable store's context.
+    commit_interval:
+        Group-commit size of the machine's own WAL.
+    fault_plan:
+        The machine's chaos schedule; a disarmed plan labelled with the
+        machine name is created when omitted.
+    next_lsn:
+        First LSN this machine's log will hand out — replicas joining
+        an existing cluster (anti-entropy rebuilds) resume the cluster
+        sequence instead of restarting at 1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inner: TopKIndex,
+        B: int = 16,
+        M: Optional[int] = None,
+        commit_interval: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
+        next_lsn: int = 1,
+    ) -> None:
+        self.name = name
+        self.B = B
+        self.M = M
+        self.commit_interval = commit_interval
+        if fault_plan is None:
+            fault_plan = FaultPlan(armed=False, machine=name)
+        elif not fault_plan.machine:
+            fault_plan.machine = name
+            fault_plan.stats.machine = name
+        self.plan = fault_plan
+        self.disk = Disk(label=name)
+        ctx = EMContext(B=B, M=M, disk=self.disk, fault_plan=self.plan)
+        self.store = DurableStore(ctx=ctx, B=B)
+        self.durable = DurableTopKIndex(
+            inner,
+            store=self.store,
+            commit_interval=commit_interval,
+            next_lsn=next_lsn,
+        )
+        self.role = ROLE_FOLLOWER
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def adopt(
+        cls, name: str, durable: DurableTopKIndex, plan: Optional[FaultPlan] = None
+    ) -> "Replica":
+        """Wrap an already-built durable index (the reboot/recovery path).
+
+        Used by the rebuild-from-durable-record rung: the durable index
+        was produced by :meth:`DurableTopKIndex.recover` over a dead
+        machine's surviving disk, and this constructor puts a fresh
+        machine around it.  The old machine's fault plan died with the
+        machine (a crashed plan refuses all further I/O); the new one is
+        fresh and disarmed unless the caller supplies a schedule.
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self.B = durable.store.ctx.B
+        self.M = durable.store.ctx.M
+        self.commit_interval = durable.commit_interval
+        self.plan = plan if plan is not None else FaultPlan(armed=False, machine=name)
+        self.disk = durable.store.disk
+        self.disk.label = name
+        durable.store.ctx.attach_fault_plan(self.plan)
+        self.store = durable.store
+        self.durable = durable
+        self.role = ROLE_FOLLOWER
+        self.alive = True
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def is_primary(self) -> bool:
+        return self.role == ROLE_PRIMARY
+
+    @property
+    def applied_lsn(self) -> int:
+        """Highest LSN this machine's in-memory index has absorbed."""
+        return self.durable.applied_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN durable on this machine's disk (its WAL ack)."""
+        return self.durable.committed_lsn
+
+    def require_alive(self) -> None:
+        if not self.alive:
+            raise ReplicaUnavailable(
+                f"replica {self.name!r} is down", replica=self.name
+            )
+
+    def mark_dead(self) -> None:
+        """Take the machine down (its disk survives for recovery)."""
+        self.alive = False
+
+    def state_digest(self) -> int:
+        """CRC over the full in-memory state (RNG stream included).
+
+        Replicas applying the same op sequence from the same build are
+        bit-for-bit identical — queries never draw randomness, so the
+        digest is stable across reads and only advances with updates.
+        Anti-entropy compares digests *after* aligning applied LSNs.
+        """
+        state = self.durable.inner.snapshot_state()
+        return zlib.crc32(repr(state).encode("utf-8", "backslashreplace"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Replica({self.name!r}, role={self.role}, alive={self.alive}, "
+            f"applied={self.applied_lsn}, durable={self.durable_lsn})"
+        )
+
+
+__all__ = ["Replica", "ROLE_PRIMARY", "ROLE_FOLLOWER"]

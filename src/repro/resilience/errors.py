@@ -155,6 +155,46 @@ class SimulatedCrash(ReproError):
         self.torn_keep = torn_keep
 
 
+class ReplicaUnavailable(ReproError):
+    """No replica can serve the request right now.
+
+    Raised by :class:`~repro.replication.cluster.ReplicaSet` when every
+    machine is dead (or too stale for the caller's freshness bound) and
+    the rebuild-from-durable-record rung also failed.  The guard treats
+    it like any other rung failure: the next rung of the degradation
+    ladder (ultimately the host-memory scan) takes over.
+    """
+
+    def __init__(self, message: str, replica: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.replica = replica
+
+
+class FailoverError(ReproError):
+    """Primary promotion failed: no live follower is eligible.
+
+    Raised by :class:`~repro.replication.failover.FailoverController`
+    when the primary is dead and no alive follower remains to promote.
+    The cluster then degrades to the rebuild-from-durable-record rung.
+    """
+
+
+class WALShippingGap(ReproError):
+    """A shipped WAL tail does not splice onto the replica's log.
+
+    The first shipped record's LSN is beyond the follower's
+    ``next_lsn`` — records in between were truncated on the source
+    (e.g. the follower slept through a checkpoint).  Incremental
+    shipping cannot proceed; the follower needs a full snapshot +
+    WAL-tail resync (the anti-entropy repair path).
+    """
+
+    def __init__(self, message: str, expected_lsn: int = 0, got_lsn: int = 0) -> None:
+        super().__init__(message)
+        self.expected_lsn = expected_lsn
+        self.got_lsn = got_lsn
+
+
 class RetryBudgetExhausted(ReproError):
     """A per-query retry/round budget ran out before an answer was found.
 
@@ -195,6 +235,9 @@ __all__ = [
     "SnapshotIntegrityError",
     "RecoveryError",
     "SimulatedCrash",
+    "ReplicaUnavailable",
+    "FailoverError",
+    "WALShippingGap",
     "RetryBudgetExhausted",
     "DegradedAnswer",
 ]

@@ -41,8 +41,13 @@ from repro.resilience.errors import (
 
 @dataclass
 class FaultStats:
-    """Counters of everything a :class:`FaultPlan` injected."""
+    """Counters of everything a :class:`FaultPlan` injected.
 
+    ``machine`` labels which simulated machine the counters belong to,
+    so multi-replica chaos tests can assert *which* replica was hit.
+    """
+
+    machine: str = ""
     reads_seen: int = 0
     writes_seen: int = 0
     read_faults: int = 0
@@ -86,6 +91,14 @@ class FaultPlan:
         Whether the plan is active.  Build structures with the plan
         disarmed (or attach it after construction) and :meth:`arm` it
         for the query phase, so chaos targets steady-state operation.
+    machine:
+        Label of the simulated machine this plan belongs to.  A plan is
+        *scoped to one machine's disk*: the first
+        :meth:`~repro.em.model.EMContext.attach_fault_plan` binds it to
+        that context's disk, and attaching it to a context over a
+        different disk raises — a plan aimed at one replica can never
+        fire on a sibling replica's transfers.  Rebooting (a fresh
+        context over the *same* disk) re-binds cleanly.
     """
 
     def __init__(
@@ -97,6 +110,7 @@ class FaultPlan:
         read_latency: int = 0,
         write_latency: int = 0,
         armed: bool = True,
+        machine: str = "",
     ) -> None:
         for name, rate in (
             ("read_fail_rate", read_fail_rate),
@@ -112,11 +126,37 @@ class FaultPlan:
         self.read_latency = read_latency
         self.write_latency = write_latency
         self.armed = armed
-        self.stats = FaultStats()
+        self.machine = machine
+        self.stats = FaultStats(machine=machine)
         self._rng = random.Random(seed)
         self._crash_countdown: Optional[int] = None
         self._crash_torn_fraction: float = 0.5
         self.crashed = False
+        self._bound_disk: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, disk: object) -> None:
+        """Scope this plan to one machine's disk (idempotent per disk).
+
+        Called by :meth:`~repro.em.model.EMContext.attach_fault_plan`.
+        Binding to a second, different disk raises: faults scheduled for
+        one replica must never fire on a sibling replica's transfers.
+        """
+        if self._bound_disk is None:
+            self._bound_disk = disk
+            return
+        if self._bound_disk is not disk:
+            label = getattr(disk, "label", "") or "unlabelled"
+            raise InvalidConfiguration(
+                f"fault plan for machine {self.machine or 'unlabelled'!r} is "
+                f"already bound to its own disk; attaching it to the disk of "
+                f"{label!r} would leak faults across machines"
+            )
+
+    @property
+    def bound_disk(self) -> Optional[object]:
+        """The disk this plan is scoped to (``None`` before first attach)."""
+        return self._bound_disk
 
     # ------------------------------------------------------------------
     def schedule_crash(self, at_io: int, torn_fraction: float = 0.5) -> None:
@@ -186,7 +226,8 @@ class FaultPlan:
                 self.crashed = True
                 self.stats.crashes += 1
             raise SimulatedCrash(
-                f"machine crashed reading block {block_id}", block_id=block_id
+                f"machine {self.machine or '?'} crashed reading block {block_id}",
+                block_id=block_id,
             )
         if not self.armed:
             return records
@@ -214,7 +255,8 @@ class FaultPlan:
             # persist before the machine goes dark; a machine that is
             # already dead persists nothing further.
             raise SimulatedCrash(
-                f"machine crashed writing block {block_id} (torn write)",
+                f"machine {self.machine or '?'} crashed writing block "
+                f"{block_id} (torn write)",
                 block_id=block_id,
                 torn_keep=int(self._crash_torn_fraction * len(records)) if first else None,
             )
@@ -246,7 +288,8 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"FaultPlan(seed={self.seed}, read_fail={self.read_fail_rate}, "
+            f"FaultPlan(machine={self.machine!r}, seed={self.seed}, "
+            f"read_fail={self.read_fail_rate}, "
             f"write_fail={self.write_fail_rate}, corrupt={self.corrupt_rate}, "
             f"armed={self.armed}, faults={self.stats.total_faults})"
         )

@@ -9,8 +9,9 @@ guarantees that every query returns a *correct* answer together with a
   :class:`~repro.resilience.errors.TransientIOError` (injected read /
   write fault, detected block corruption) is retried up to
   ``GuardPolicy.max_attempts`` times per rung; backoff is *counted* in
-  deterministic units (base * factor^attempt), never slept, matching
-  the EM simulator's counted-not-measured philosophy;
+  deterministic units — capped exponential
+  (``min(cap, base * factor^attempt)``) with seeded jitter — never
+  slept, matching the EM simulator's counted-not-measured philosophy;
 * **runtime contract spot-checks** — a seeded sample of answers is
   checked with :func:`repro.core.validation.spot_check_topk` (matches
   the predicate, strictly descending distinct weights, <= k elements);
@@ -35,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import TopKIndex
 from repro.core.problem import Element, Predicate, top_k_of
@@ -60,9 +61,15 @@ class GuardPolicy:
     ----------
     max_attempts:
         Attempts per ladder rung before degrading (>= 1).
-    backoff_base / backoff_factor:
-        Deterministic backoff: attempt ``i`` (0-based) of a rung adds
-        ``backoff_base * backoff_factor**i`` units to the report.
+    backoff_base / backoff_factor / backoff_cap / backoff_jitter:
+        Seeded, capped exponential backoff: attempt ``i`` (0-based) of
+        a rung adds ``min(backoff_cap, backoff_base * backoff_factor**i)``
+        units, scaled by a jitter draw in ``[1 - backoff_jitter, 1]``
+        from a dedicated RNG seeded by ``seed`` — decorrelated across
+        retriers yet exactly reproducible for a fixed seed, so failover
+        and chaos tests replay identical schedules.  ``backoff_jitter=0``
+        disables the jitter; the cap keeps a long outage from producing
+        unbounded waits.
     spot_check_rate:
         Probability that a successful answer is spot-checked (seeded).
         ``1.0`` checks every answer; ``0.0`` disables checking.
@@ -79,6 +86,8 @@ class GuardPolicy:
     max_attempts: int = 3
     backoff_base: float = 1.0
     backoff_factor: float = 2.0
+    backoff_cap: float = 64.0
+    backoff_jitter: float = 0.5
     spot_check_rate: float = 0.05
     round_budget: Optional[int] = None
     raise_on_degraded: bool = False
@@ -92,6 +101,14 @@ class GuardPolicy:
         if not 0.0 <= self.spot_check_rate <= 1.0:
             raise InvalidConfiguration(
                 f"spot_check_rate must be in [0, 1], got {self.spot_check_rate}"
+            )
+        if self.backoff_cap <= 0.0:
+            raise InvalidConfiguration(
+                f"backoff_cap must be > 0, got {self.backoff_cap}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise InvalidConfiguration(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
             )
 
 
@@ -134,6 +151,13 @@ class HealthSummary:
     :class:`~repro.durability.durable.DurableTopKIndex` backends
     records how many of them came back from a crash and how many WAL
     records their recovery replayed.
+
+    A guard whose primary is a
+    :class:`~repro.replication.cluster.ReplicaSet` additionally mirrors
+    the cluster's replication health after every query: primary
+    promotions, hedge wins, anti-entropy scrub repairs, and the current
+    per-replica applied-LSN lag — operators read one summary for the
+    whole ladder, machines included.
     """
 
     queries: int = 0
@@ -149,11 +173,28 @@ class HealthSummary:
     backoff_units: float = 0.0
     recoveries: int = 0
     wal_records_replayed: int = 0
+    promotions: int = 0
+    hedge_wins: int = 0
+    scrub_repairs: int = 0
+    replica_lag: Dict[str, int] = field(default_factory=dict)
 
     def record_recovery(self, result) -> None:
         """Fold one :class:`RecoveryResult` into the aggregate."""
         self.recoveries += 1
         self.wal_records_replayed += result.wal_records_replayed
+
+    def record_replication(self, cluster) -> None:
+        """Mirror a :class:`ReplicaSet`'s live health into the summary.
+
+        The cluster's counters are already cumulative, so this is an
+        overwrite, not an accumulation — call after each query (the
+        guard does) to keep the mirror current.
+        """
+        stats = cluster.stats
+        self.promotions = stats.promotions
+        self.hedge_wins = stats.hedge_wins
+        self.scrub_repairs = stats.scrub_repairs
+        self.replica_lag = cluster.replica_lag()
 
     def record(self, report: HealthReport) -> None:
         self.queries += 1
@@ -216,15 +257,22 @@ class ResilientTopKIndex(TopKIndex):
         if self._elements is not None:
             self._rungs.append((self._SCAN_RUNG, self._scan))
         self._rng = random.Random(self.policy.seed)
+        # A dedicated stream for backoff jitter: spot-check draws and
+        # retry draws never perturb each other's determinism.
+        self._backoff_rng = random.Random(f"guard-backoff-{self.policy.seed}")
         self.health = HealthSummary()
         self.last_report: Optional[HealthReport] = None
         # Backends that came back from a crash surface their recovery in
         # the aggregate health, so operators see it where they already look.
         from repro.durability.durable import DurableTopKIndex
+        from repro.replication.cluster import ReplicaSet
 
         for backend in (primary, *fallbacks):
             if isinstance(backend, DurableTopKIndex) and backend.recovery is not None:
                 self.health.record_recovery(backend.recovery)
+        self._replica_set = primary if isinstance(primary, ReplicaSet) else None
+        if self._replica_set is not None:
+            self.health.record_replication(self._replica_set)
 
     def _backend_fn(
         self, backend: TopKIndex
@@ -291,6 +339,8 @@ class ResilientTopKIndex(TopKIndex):
             if io_before is not None:
                 report.io_total = self.ctx.stats.delta(io_before).total
             self.health.record(report)
+            if self._replica_set is not None:
+                self.health.record_replication(self._replica_set)
             self.last_report = report
             if report.degraded and self.policy.raise_on_degraded:
                 raise DegradedAnswer(
@@ -349,13 +399,22 @@ class ResilientTopKIndex(TopKIndex):
         return None
 
     def _backoff(self, attempt: int, report: HealthReport) -> bool:
-        """Record backoff before a retry; ``False`` when out of attempts."""
+        """Record backoff before a retry; ``False`` when out of attempts.
+
+        Capped exponential with seeded jitter — deterministic for a
+        fixed policy seed, so chaos and failover tests replay the same
+        backoff schedule (units are counted, never slept).
+        """
         if attempt + 1 >= self.policy.max_attempts:
             return False
         report.retries += 1
-        report.backoff_units += (
-            self.policy.backoff_base * self.policy.backoff_factor**attempt
+        units = min(
+            self.policy.backoff_cap,
+            self.policy.backoff_base * self.policy.backoff_factor**attempt,
         )
+        if self.policy.backoff_jitter > 0.0:
+            units *= 1.0 - self.policy.backoff_jitter * self._backoff_rng.random()
+        report.backoff_units += units
         return True
 
     def _should_spot_check(self) -> bool:

@@ -59,6 +59,17 @@ def test_resilient_service_interrupt_mid_group(capsys):
     assert "The restarted service lost nothing." in out
 
 
+def test_replicated_service_runs(capsys):
+    import replicated_service
+
+    replicated_service.main()
+    out = capsys.readouterr().out
+    assert "promoted replica-1 (replayed 40 unapplied records)" in out
+    assert "post-failover top-8 matches the brute-force oracle exactly" in out
+    assert "repaired=['replica-2']" in out
+    assert "promotions=1 scrub_repairs=1" in out
+
+
 @pytest.mark.slow
 def test_hotel_search_runs(capsys):
     import hotel_search

@@ -1,0 +1,39 @@
+"""Shared builders for replication tests: canonical deterministic sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import Element
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.replication import ReplicaSet
+from toy import ToyMax, ToyPrioritized
+
+
+def elem(i: int) -> Element:
+    return Element(i, 1000.0 + i)
+
+
+def build_fn(elements):
+    # The seed is pinned: every replica must build bit-for-bit alike.
+    return ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, B=2, seed=3)
+
+
+def restore_fn(state):
+    return ExpectedTopKIndex.restore(state, ToyPrioritized, ToyMax)
+
+
+def make_cluster(n=40, num_replicas=3, **kwargs) -> ReplicaSet:
+    kwargs.setdefault("B", 8)
+    return ReplicaSet(
+        [elem(i) for i in range(n)],
+        build_fn,
+        restore_fn,
+        num_replicas=num_replicas,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def cluster() -> ReplicaSet:
+    return make_cluster()

@@ -1,0 +1,127 @@
+"""Anti-entropy: seal walks, digest comparison, resync repair."""
+
+import pytest
+
+from conftest import elem, make_cluster
+
+
+def corrupt_snapshot_block(replica):
+    """Rot one sealed block the replica's durable root references."""
+    block_id = replica.store.snapshots[0].head_block
+    replica.store.disk.raw_write(block_id, ["rot"])
+    replica.store.ctx.drop_cache()
+    return block_id
+
+
+def by_name(cluster, name):
+    return next(r for r in cluster.replicas if r.name == name)
+
+
+class TestDetection:
+    def test_healthy_cluster_scrubs_clean(self, cluster):
+        for i in range(40, 50):
+            cluster.insert(elem(i))
+        report = cluster.scrub()
+        assert report.clean
+        assert report.divergent == []
+        assert report.repaired == []
+        assert sorted(report.replicas_checked) == sorted(
+            r.name for r in cluster.replicas
+        )
+        assert set(report.digests.values()) == {report.reference_digest}
+        assert all(not bad for bad in report.bad_blocks.values())
+
+    def test_rotten_seal_is_detected(self, cluster):
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        block_id = corrupt_snapshot_block(victim)
+        report = cluster.scrub(repair=False)
+        assert report.divergent == [victim.name]
+        assert report.bad_blocks[victim.name] == [block_id]
+        assert report.repaired == []  # detection only
+        assert by_name(cluster, victim.name) is victim  # machine untouched
+
+    def test_logical_divergence_is_detected_without_bad_blocks(self, cluster):
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        cluster.align()
+        victim.durable.inner.insert(elem(999))  # rot behind the WAL's back
+        report = cluster.scrub(repair=False)
+        assert report.divergent == [victim.name]
+        assert report.bad_blocks[victim.name] == []  # every seal passes
+        assert report.digests[victim.name] != report.reference_digest
+
+    def test_all_replicas_damaged_means_no_trustworthy_source(self, cluster):
+        for replica in cluster.replicas:
+            corrupt_snapshot_block(replica)
+        report = cluster.scrub()
+        assert sorted(report.divergent) == sorted(
+            r.name for r in cluster.replicas
+        )
+        assert report.repaired == []
+        assert report.reference_digest is None
+
+
+class TestRepair:
+    def test_corrupted_replica_is_resynced_bit_for_bit(self, cluster):
+        for i in range(40, 50):
+            cluster.insert(elem(i))
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        corrupt_snapshot_block(victim)
+        report = cluster.scrub()
+        assert report.divergent == [victim.name]
+        assert report.repaired == [victim.name]
+        # Snapshot taken at build (lsn 0) + the 10-record committed tail.
+        assert report.records_resynced == 10
+        reborn = by_name(cluster, victim.name)
+        assert reborn is not victim  # the damaged machine was retired
+        primary = cluster.primary
+        assert reborn.state_digest() == primary.state_digest()
+        assert (
+            reborn.durable.inner.snapshot_state()
+            == primary.durable.inner.snapshot_state()
+        )
+        assert reborn.durable_lsn == primary.durable_lsn
+        assert cluster.scrub().clean  # convergence is stable
+
+    def test_repaired_replica_keeps_shipping(self, cluster):
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        corrupt_snapshot_block(victim)
+        cluster.scrub()
+        cluster.insert(elem(40))
+        reborn = by_name(cluster, victim.name)
+        assert reborn.durable_lsn == cluster.primary.durable_lsn
+        cluster.align()
+        assert reborn.state_digest() == cluster.primary.state_digest()
+
+    def test_divergent_primary_is_repaired_from_a_follower(self, cluster):
+        for i in range(40, 45):
+            cluster.insert(elem(i))
+        primary = cluster.primary
+        corrupt_snapshot_block(primary)
+        report = cluster.scrub()
+        assert report.divergent == [primary.name]
+        assert report.repaired == [primary.name]
+        reborn = cluster.primary
+        assert reborn is not primary
+        assert reborn.name == primary.name
+        assert reborn.is_primary  # the slot keeps its role
+        follower = [r for r in cluster.replicas if not r.is_primary][0]
+        assert reborn.state_digest() == follower.state_digest()
+
+    def test_logical_rot_is_repaired(self, cluster):
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        cluster.align()
+        victim.durable.inner.insert(elem(999))
+        report = cluster.scrub()
+        assert report.repaired == [victim.name]
+        reborn = by_name(cluster, victim.name)
+        assert elem(999) not in reborn.durable.inner
+        assert reborn.state_digest() == cluster.primary.state_digest()
+
+    def test_cluster_stats_mirror_the_report(self, cluster):
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        corrupt_snapshot_block(victim)
+        report = cluster.scrub()
+        assert cluster.stats.scrubs == 1
+        assert cluster.stats.scrub_repairs == len(report.repaired) == 1
+        assert cluster.stats.records_resynced == report.records_resynced
+        assert cluster.scrubber.repairs == 1

@@ -1,0 +1,91 @@
+"""Per-machine isolation: disks, fault plans, and counter attribution."""
+
+import pytest
+
+from conftest import elem, make_cluster
+from repro.em.model import Disk, EMContext
+from repro.resilience.errors import InvalidConfiguration
+from repro.resilience.faults import FaultPlan
+from toy import RangePredicate
+
+
+class TestFaultScoping:
+    def test_plan_binds_to_first_disk(self):
+        plan = FaultPlan(machine="a")
+        disk = Disk(label="a")
+        EMContext(B=8, disk=disk, fault_plan=plan)
+        assert plan.bound_disk is disk
+
+    def test_rebinding_same_disk_is_a_reboot(self):
+        plan = FaultPlan(machine="a")
+        disk = Disk(label="a")
+        EMContext(B=8, disk=disk, fault_plan=plan)
+        EMContext(B=8, disk=disk, fault_plan=plan)  # fresh machine, same disk
+
+    def test_attaching_to_a_sibling_disk_raises(self):
+        plan = FaultPlan(machine="a")
+        EMContext(B=8, disk=Disk(label="a"), fault_plan=plan)
+        with pytest.raises(InvalidConfiguration, match="leak faults across"):
+            EMContext(B=8, disk=Disk(label="b"), fault_plan=plan)
+
+    def test_stats_carry_the_machine_label(self):
+        plan = FaultPlan(machine="replica-7")
+        assert plan.stats.machine == "replica-7"
+        plan.stats.reset()
+        assert plan.stats.machine == "replica-7"  # reset keeps identity
+
+    def test_replica_labels_its_own_plan(self):
+        cluster = make_cluster(n=10)
+        for replica in cluster.replicas:
+            assert replica.plan.machine == replica.name
+            assert replica.plan.stats.machine == replica.name
+            assert replica.plan.bound_disk is replica.disk
+            assert replica.disk.label == replica.name
+
+
+class TestCrashScoping:
+    def test_follower_crash_never_touches_the_primary(self):
+        cluster = make_cluster(n=20)
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        victim.plan.schedule_crash(at_io=1)
+        for i in range(20, 30):
+            cluster.insert(elem(i))
+        assert cluster.stats.primary_crashes == 0
+        assert cluster.stats.follower_deaths == 1
+        assert not victim.alive
+        assert victim.plan.stats.crashes == 1
+        survivors = [r for r in cluster.replicas if r.alive]
+        assert all(r.plan.stats.crashes == 0 for r in survivors)
+        # The cluster keeps serving exactly.
+        answer = cluster.query(RangePredicate(0, 100), 5)
+        assert [e.obj for e in answer] == [29, 28, 27, 26, 25]
+
+    def test_crash_message_names_the_machine(self):
+        cluster = make_cluster(n=10)
+        victim = [r for r in cluster.replicas if not r.is_primary][0]
+        victim.plan.schedule_crash(at_io=1)
+        cluster.insert(elem(10))
+        # The crash was absorbed by the cluster; the plan recorded it
+        # against the right machine.
+        assert victim.plan.stats.machine == victim.name
+        assert victim.plan.crashed
+
+
+class TestReplicaSurface:
+    def test_lsn_properties_delegate_to_the_wal(self, cluster):
+        primary = cluster.primary
+        cluster.insert(elem(40))
+        assert primary.durable_lsn == 1
+        assert primary.applied_lsn == 1
+        follower = [r for r in cluster.replicas if not r.is_primary][0]
+        assert follower.durable_lsn == 1  # acked durably
+        assert follower.applied_lsn == 0  # lazy apply
+
+    def test_state_digest_is_stable_across_reads(self, cluster):
+        before = cluster.primary.state_digest()
+        cluster.query(RangePredicate(0, 100), 5, mode="primary")
+        assert cluster.primary.state_digest() == before
+
+    def test_identically_built_replicas_share_a_digest(self, cluster):
+        digests = {r.state_digest() for r in cluster.replicas}
+        assert len(digests) == 1

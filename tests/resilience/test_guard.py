@@ -130,13 +130,36 @@ class TestRetry:
             elements=elements,
             policy=GuardPolicy(
                 max_attempts=3, backoff_base=1.0, backoff_factor=2.0,
-                spot_check_rate=0.0,
+                backoff_jitter=0.0, spot_check_rate=0.0,
             ),
         )
         _, report = guard.query_with_report(RangePredicate(0, 100), 3)
         # Two retries on the dead rung: base*2^0 + base*2^1 = 3 units.
         assert report.backoff_units == 3.0
         assert report.transient_faults == 3
+
+    def test_backoff_is_capped_and_jitter_is_seeded(self):
+        elements = make_toy_elements(50, seed=3)
+
+        def dead_guard(seed):
+            return ResilientTopKIndex(
+                DeadIndex(elements),
+                elements=elements,
+                policy=GuardPolicy(
+                    max_attempts=6, backoff_base=1.0, backoff_factor=10.0,
+                    backoff_cap=8.0, backoff_jitter=0.5,
+                    spot_check_rate=0.0, seed=seed,
+                ),
+            )
+
+        _, a = dead_guard(4).query_with_report(RangePredicate(0, 100), 3)
+        _, b = dead_guard(4).query_with_report(RangePredicate(0, 100), 3)
+        _, c = dead_guard(5).query_with_report(RangePredicate(0, 100), 3)
+        # Deterministic for a fixed seed, decorrelated across seeds.
+        assert a.backoff_units == b.backoff_units
+        assert a.backoff_units != c.backoff_units
+        # Five retries, each capped at 8 units before jitter shrinks it.
+        assert 0.0 < a.backoff_units <= 5 * 8.0
 
 
 class TestDegradation:
