@@ -16,6 +16,9 @@ Rahul & Tao, PODS 2016.  The package provides:
 * fault injection, a structured error taxonomy, and the
   :class:`~repro.resilience.guard.ResilientTopKIndex` degradation
   ladder in :mod:`repro.resilience`;
+* the high-throughput serving layer — batched execution, the
+  LSN-versioned result cache, and parallel replica dispatch — in
+  :mod:`repro.serving`;
 * workload generators and the experiment harness in :mod:`repro.bench`.
 
 Quickstart::
@@ -51,6 +54,7 @@ from repro.core import (
     ensure_distinct_weights,
 )
 from repro.resilience import (
+    AdmissionRejected,
     ContractViolation,
     DegradedAnswer,
     FaultPlan,
@@ -67,7 +71,7 @@ from repro.resilience import (
     resilient_index,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 _DURABILITY_EXPORTS = (
     "DurableStore",
@@ -76,14 +80,29 @@ _DURABILITY_EXPORTS = (
     "recover_index",
 )
 
+_SERVING_EXPORTS = (
+    "QueryRequest",
+    "ResultCache",
+    "ServingEngine",
+    "ServingStats",
+    "plan_batch",
+    "execute_batch",
+    "serving_engine",
+)
+
 
 def __getattr__(name):
-    # PEP 562: the durability layer pulls in core + em + resilience, so
-    # it is exposed lazily to keep `import repro` light.
+    # PEP 562: the durability and serving layers pull in core + em +
+    # resilience (+ replication), so they are exposed lazily to keep
+    # `import repro` light.
     if name in _DURABILITY_EXPORTS:
         from repro import durability
 
         return getattr(durability, name)
+    if name in _SERVING_EXPORTS:
+        from repro import serving
+
+        return getattr(serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -106,6 +125,7 @@ __all__ = [
     "ReproError",
     "TransientIOError",
     "ContractViolation",
+    "AdmissionRejected",
     "RetryBudgetExhausted",
     "DegradedAnswer",
     "FaultPlan",
@@ -118,5 +138,6 @@ __all__ = [
     "SnapshotIntegrityError",
     "RecoveryError",
     *_DURABILITY_EXPORTS,
+    *_SERVING_EXPORTS,
     "__version__",
 ]

@@ -1,0 +1,134 @@
+"""``python -m repro.bench.profile`` — cProfile a top-k workload.
+
+Builds a named problem instance (:mod:`repro.bench.workloads`), runs a
+batch of queries through the chosen index — one of the two reductions,
+the binary-search baseline, or the full serving engine — under
+:mod:`cProfile`, and prints the top-N functions by cumulative time.
+This is the first stop when a bench regresses: the hot frames name the
+layer (ladder probe, ground fetch, cache, dispatch) to look at next.
+
+Examples
+--------
+::
+
+    python -m repro.bench.profile
+    python -m repro.bench.profile --index theorem1 --n 5000 --queries 400
+    python -m repro.bench.profile --index serving --sort tottime --top 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import Callable, List
+
+from repro.bench.workloads import PROBLEMS, make_problem
+
+INDEXES = ("theorem1", "theorem2", "baseline", "serving")
+
+
+def _build_runner(args) -> Callable[[], None]:
+    """The profiled body: build the index, answer every query."""
+    problem = make_problem(args.problem, args.n, seed=args.seed)
+    predicates = problem.predicates(args.queries, seed=args.seed + 1)
+
+    if args.index == "theorem1":
+        from repro.core.theorem1 import WorstCaseTopKIndex
+
+        def run() -> None:
+            index = WorstCaseTopKIndex(
+                problem.elements, problem.prioritized_factory, seed=args.seed
+            )
+            for predicate in predicates:
+                index.query(predicate, args.k)
+
+    elif args.index == "theorem2":
+        from repro.core.theorem2 import ExpectedTopKIndex
+
+        def run() -> None:
+            index = ExpectedTopKIndex(
+                problem.elements,
+                problem.prioritized_factory,
+                problem.max_factory,
+                seed=args.seed,
+            )
+            for predicate in predicates:
+                index.query(predicate, args.k)
+
+    elif args.index == "baseline":
+        from repro.core.baseline import BinarySearchTopKIndex
+
+        def run() -> None:
+            index = BinarySearchTopKIndex(
+                problem.elements, problem.prioritized_factory
+            )
+            for predicate in predicates:
+                index.query(predicate, args.k)
+
+    else:  # serving: the full batched/cached/replicated front door
+        from repro.serving.engine import serving_engine
+
+        def run() -> None:
+            engine = serving_engine(
+                problem.elements,
+                problem.prioritized_factory,
+                problem.max_factory,
+                seed=args.seed,
+            )
+            with engine:
+                batch = [(p, args.k) for p in predicates]
+                for _ in range(args.rounds):
+                    engine.serve(batch)
+
+    return run
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.profile", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--problem", default="range1d", choices=sorted(PROBLEMS),
+        help="workload from the problem registry (default: range1d)",
+    )
+    parser.add_argument(
+        "--index", default="theorem2", choices=INDEXES,
+        help="which index answers the queries (default: theorem2)",
+    )
+    parser.add_argument("--n", type=int, default=2000, help="dataset size")
+    parser.add_argument("--queries", type=int, default=200, help="query count")
+    parser.add_argument("--k", type=int, default=10, help="answer size k")
+    parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="serving only: how many times the batch repeats (warm cache)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--top", type=int, default=25, help="functions to print (default: 25)"
+    )
+    parser.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort key (default: cumulative)",
+    )
+    args = parser.parse_args(argv)
+
+    run = _build_runner(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+
+    print(
+        f"# profile: index={args.index} problem={args.problem} "
+        f"n={args.n} queries={args.queries} k={args.k} seed={args.seed}"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

@@ -142,6 +142,22 @@ class TopKIndex(ABC):
     def query(self, predicate: Predicate, k: int) -> List[Element]:
         """The ``k`` heaviest matches, heaviest first (all of them if fewer)."""
 
+    def query_topk_batch(self, requests, **kwargs) -> List[List[Element]]:
+        """Answer a batch of ``(predicate, k)`` requests, in request order.
+
+        The default plan (:func:`repro.serving.batch.execute_batch`)
+        groups requests by predicate shape and pays one traversal per
+        group at the group's largest ``k`` — exact for every member
+        because top-k answers are prefix-closed under the distinct
+        total weight order.  Subclasses override to share more work
+        (the reductions additionally memoize sub-probes for the batch's
+        duration); every override must return exactly what serial
+        :meth:`query` calls would have.
+        """
+        from repro.serving.batch import execute_batch
+
+        return execute_batch(self, requests, **kwargs)
+
 
 class CountingIndex(ABC):
     """A structure answering (approximate) counting queries.

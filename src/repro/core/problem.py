@@ -10,6 +10,7 @@ reductions alike — speaks in terms of :class:`Element` and
 
 from __future__ import annotations
 
+import heapq
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -93,8 +94,14 @@ def top_k_of(elements: Iterable[Element], predicate: Predicate, k: int) -> List[
     ``k`` satisfy the predicate — exactly the paper's query semantics.
     """
     matching = predicate.filter(elements)
+    if k < len(matching):
+        # Partial selection: O(t log k) beats the full O(t log t) sort,
+        # and nlargest is stable, so ties rank as a stable reverse sort
+        # would (weights are distinct under the paper's convention
+        # anyway).  This is the guard's terminal scan rung — hot.
+        return heapq.nlargest(k, matching, key=lambda e: e.weight)
     matching.sort(key=lambda e: e.weight, reverse=True)
-    return matching[:k] if k < len(matching) else matching
+    return matching
 
 
 def prioritized_of(

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence
 
@@ -58,6 +59,8 @@ class ReductionStats:
     threshold_fetches: int = 0
     fallbacks: int = 0
     full_scans: int = 0
+    batch_queries: int = 0
+    memo_hits: int = 0
 
     def reset(self) -> None:
         self.queries = 0
@@ -65,6 +68,8 @@ class ReductionStats:
         self.threshold_fetches = 0
         self.fallbacks = 0
         self.full_scans = 0
+        self.batch_queries = 0
+        self.memo_hits = 0
 
 
 class _TopFStructure:
@@ -108,9 +113,30 @@ class _TopFStructure:
                 self.indexes.append(factory(level))
 
     # ------------------------------------------------------------------
-    def top_f(self, predicate: Predicate) -> List[Element]:
-        """The up-to-``f`` heaviest elements of ``q(levels[0])``, heaviest first."""
-        return self._query_level(0, predicate)
+    def top_f(
+        self, predicate: Predicate, memo: Optional[dict] = None
+    ) -> List[Element]:
+        """The up-to-``f`` heaviest elements of ``q(levels[0])``, heaviest first.
+
+        ``memo`` (a :meth:`WorstCaseTopKIndex.batched` window) caches
+        the whole chain descent per predicate: a second top-f on the
+        same predicate inside the window — different ``k`` values of a
+        batch landing on the same ladder level, or a guard retry after
+        a transient fault — reuses the traversal instead of repeating
+        it.
+        """
+        if memo is None:
+            return self._query_level(0, predicate)
+        from repro.serving.batch import predicate_key
+
+        key = (id(self), predicate_key(predicate))
+        cached = memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        answer = self._query_level(0, predicate)
+        memo[key] = answer
+        return answer
 
     def _query_level(self, j: int, predicate: Predicate) -> List[Element]:
         level = self.levels[j]
@@ -198,6 +224,7 @@ class WorstCaseTopKIndex(TopKIndex):
         self.B = B
         self.stats = ReductionStats()
         self.applied_lsn = 0
+        self._memo: Optional[dict] = None
         rng = rng if rng is not None else random.Random(seed)
 
         self._ground = factory(self._elements)
@@ -239,6 +266,39 @@ class WorstCaseTopKIndex(TopKIndex):
         if lsn > self.applied_lsn:
             self.applied_lsn = lsn
 
+    @contextmanager
+    def batched(self):
+        """A shared-traversal window for a batch of queries.
+
+        Inside the window, repeated core-set descents (``top_f`` per
+        predicate) are memoized, so queries that the batch planner did
+        not merge — same predicate at ``k`` values landing on the same
+        ladder level, or a retry re-running a query after a transient
+        fault — skip work already done.  The memo must not outlive the
+        batch: the structure is static, but the window is the unit at
+        which answers were planned.  Nested windows share the outermost
+        memo.
+        """
+        previous = self._memo
+        self._memo = {} if previous is None else previous
+        try:
+            yield self
+        finally:
+            self._memo = previous
+
+    def query_topk_batch(self, requests, **kwargs) -> List[List[Element]]:
+        """Batched queries: one traversal per predicate group, memo on.
+
+        See :meth:`TopKIndex.query_topk_batch` for the grouping
+        contract; this override additionally opens a :meth:`batched`
+        memo window for the batch's duration.
+        """
+        from repro.serving.batch import execute_batch
+
+        self.stats.batch_queries += len(requests)
+        with self.batched():
+            return execute_batch(self, requests, **kwargs)
+
     def query(self, predicate: Predicate, k: int) -> List[Element]:
         """Exact top-k answer, heaviest first."""
         self.stats.queries += 1
@@ -248,7 +308,7 @@ class WorstCaseTopKIndex(TopKIndex):
         if n == 0:
             return []
         if k <= self.f:
-            top = self._small.top_f(predicate)
+            top = self._small.top_f(predicate, memo=self._memo)
             return top[:k]
         if k >= n / 2:
             # O(n/B) = O(k/B): scan everything — through the ground
@@ -275,7 +335,7 @@ class WorstCaseTopKIndex(TopKIndex):
         if not probe.truncated:
             return select_top_k(probe.elements, k)
         # |q(D)| > 4K: obtain a threshold from the ladder's top-f answer.
-        top_f = self._ladder[i - 1].top_f(predicate)
+        top_f = self._ladder[i - 1].top_f(predicate, memo=self._memo)
         rank = max(1, math.ceil(2.0 * K * self._ladder_rates[i - 1]))
         if rank <= len(top_f):
             threshold = top_f[rank - 1].weight
@@ -372,6 +432,7 @@ class WorstCaseTopKIndex(TopKIndex):
         self.B = state["B"]
         self.stats = ReductionStats()
         self.applied_lsn = 0
+        self._memo = None
         self._ground = factory(elements)
         self.f = state["f"]
 

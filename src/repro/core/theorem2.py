@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import contextmanager
 from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -94,6 +95,7 @@ class ExpectedTopKIndex(TopKIndex):
         self._rng = rng if rng is not None else random.Random(seed)
         self.stats = ReductionStats()
         self.applied_lsn = 0
+        self._memo: Optional[dict] = None
         self._build(list(elements))
 
     # ------------------------------------------------------------------
@@ -223,6 +225,7 @@ class ExpectedTopKIndex(TopKIndex):
         self._rng.setstate(state["rng_state"])
         self.stats = ReductionStats()
         self.applied_lsn = 0
+        self._memo = None
         elements: List[Element] = list(state["elements"])
         require_distinct_weights(elements, "ExpectedTopKIndex.restore")
         self._elements = dict.fromkeys(elements)
@@ -247,6 +250,40 @@ class ExpectedTopKIndex(TopKIndex):
             self._samples.append(sample)
             self._max_indexes.append(max_factory(list(sample)))
         return self
+
+    @contextmanager
+    def batched(self):
+        """A shared-probe window for a batch of queries.
+
+        Inside the window the escalation ladder memoizes its
+        deterministic sub-probes per predicate — the step-1 monitored
+        ground probe, the step-2 max-structure probe, and the step-3
+        thresholded fetch — so queries the batch planner did not merge
+        (or a guard retry re-running a query after a transient fault
+        aborted it mid-ladder) reuse completed rounds instead of
+        repeating them.  Updates inside the window clear the memo: a
+        memoized probe must never survive a state change.  Nested
+        windows share the outermost memo.
+        """
+        previous = self._memo
+        self._memo = {} if previous is None else previous
+        try:
+            yield self
+        finally:
+            self._memo = previous
+
+    def query_topk_batch(self, requests, **kwargs) -> List[List[Element]]:
+        """Batched queries: one traversal per predicate group, memo on.
+
+        See :meth:`TopKIndex.query_topk_batch` for the grouping
+        contract; this override additionally opens a :meth:`batched`
+        probe-memo window for the batch's duration.
+        """
+        from repro.serving.batch import execute_batch
+
+        self.stats.batch_queries += len(requests)
+        with self.batched():
+            return execute_batch(self, requests, **kwargs)
 
     def query(
         self, predicate: Predicate, k: int, round_budget: Optional[int] = None
@@ -302,21 +339,50 @@ class ExpectedTopKIndex(TopKIndex):
                 lo = mid + 1
         return lo
 
+    def _memo_key(self, predicate: Predicate):
+        """The per-predicate memo handle, or ``None`` outside a window."""
+        if self._memo is None:
+            return None
+        from repro.serving.batch import predicate_key
+
+        return predicate_key(predicate)
+
     def _round(self, predicate: Predicate, k: int, j: int) -> Optional[List[Element]]:
         """One round at ladder level ``j``; ``None`` means the round failed."""
         K_j = self._K[j]
         cap = math.ceil(self.params.slack * K_j)
+        memo, pkey = self._memo, self._memo_key(predicate)
         # Step 1: if |q(D)| <= 4K_j the monitored probe fetches everything.
-        self.stats.monitored_probes += 1
-        probe = self._ground.query(predicate, -math.inf, limit=cap)
+        # Deterministic in (predicate, cap), so a batch window reuses it.
+        probe = memo.get(("probe", pkey, cap)) if memo is not None else None
+        if probe is None:
+            self.stats.monitored_probes += 1
+            probe = self._ground.query(predicate, -math.inf, limit=cap)
+            if memo is not None:
+                memo[("probe", pkey, cap)] = probe
+        else:
+            self.stats.memo_hits += 1
         if not probe.truncated:
             return select_top_k(probe.elements, k)
-        # Step 2: max probe on the sample R_j.
-        top_sampled = self._max_indexes[j].query(predicate)
+        # Step 2: max probe on the sample R_j (memo key includes the
+        # level: each R_j is its own structure).
+        if memo is not None and ("max", pkey, j) in memo:
+            self.stats.memo_hits += 1
+            top_sampled = memo[("max", pkey, j)]
+        else:
+            top_sampled = self._max_indexes[j].query(predicate)
+            if memo is not None:
+                memo[("max", pkey, j)] = top_sampled
         tau = top_sampled.weight if top_sampled is not None else -math.inf
         # Step 3: cost-monitored prioritized fetch at threshold tau.
-        self.stats.threshold_fetches += 1
-        fetched = self._ground.query(predicate, tau, limit=cap)
+        fetched = memo.get(("fetch", pkey, tau, cap)) if memo is not None else None
+        if fetched is None:
+            self.stats.threshold_fetches += 1
+            fetched = self._ground.query(predicate, tau, limit=cap)
+            if memo is not None:
+                memo[("fetch", pkey, tau, cap)] = fetched
+        else:
+            self.stats.memo_hits += 1
         # Step 4: the round fails if the fetch truncated (> 4K_j matches
         # above tau) or came back too small (<= K_j, not enough for k).
         if fetched.truncated or len(fetched.elements) <= K_j:
@@ -356,6 +422,8 @@ class ExpectedTopKIndex(TopKIndex):
                 "pre-process inserts with ensure_distinct_weights()"
             )
         ground = self._require_dynamic_ground()
+        if self._memo is not None:
+            self._memo.clear()  # memoized probes must not survive updates
         self._elements[element] = None
         self._weights.add(element.weight)
         ground.insert(element)
@@ -371,6 +439,8 @@ class ExpectedTopKIndex(TopKIndex):
         if element not in self._elements:
             raise ElementMembershipError(f"element not present: {element!r}")
         ground = self._require_dynamic_ground()
+        if self._memo is not None:
+            self._memo.clear()  # memoized probes must not survive updates
         del self._elements[element]
         self._weights.discard(element.weight)
         ground.delete(element)

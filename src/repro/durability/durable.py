@@ -117,6 +117,18 @@ class DurableTopKIndex(TopKIndex):
         """Highest LSN the in-memory index has absorbed."""
         return self.wal.applied_lsn
 
+    def read_stamp(self) -> tuple:
+        """``(epoch, lsn)`` version of the state a read would observe.
+
+        The serving layer stamps cached answers with this pair and
+        re-validates them against the current stamp.  A single durable
+        index never loses applied writes, so its epoch is constant 0;
+        :meth:`~repro.replication.cluster.ReplicaSet.read_stamp` bumps
+        the epoch on promotion/rebuild, where the LSN sequence may step
+        backwards.
+        """
+        return (0, self.applied_lsn)
+
     def query(self, predicate: Predicate, k: int, **kwargs) -> List[Element]:
         return self.inner.query(predicate, k, **kwargs)
 

@@ -91,8 +91,10 @@ def _pivot_select(
         else:
             hi_w = pivot
     candidates = [record for record in array.scan() if lo_w is None or weight(record) >= lo_w]
-    candidates.sort(key=weight, reverse=True)
-    return candidates[:k]
+    # The pivot loop already shrank candidates to O(k) in expectation,
+    # but a bad pivot streak can leave it larger — partial selection
+    # keeps the tail cost at O(|candidates| log k) instead of a full sort.
+    return heapq.nlargest(k, candidates, key=weight)
 
 
 def _sample_pivot(

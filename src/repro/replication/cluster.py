@@ -207,6 +207,11 @@ class ReplicaSet(TopKIndex):
         self.scrubber = AntiEntropyScrubber(restore_fn)
         self.stats = ReplicationStats()
         self._hedge_cursor = 0
+        # Bumped on every promotion/rebuild.  A new primary may hold a
+        # *lower* applied LSN than its predecessor (an uncommitted tail
+        # died with the old machine), so LSN comparison alone cannot
+        # validate cached answers across failovers — the epoch can.
+        self.commit_epoch = 0
 
     # ------------------------------------------------------------------
     # Membership / health surface
@@ -285,6 +290,7 @@ class ReplicaSet(TopKIndex):
             self.primary_index = self.replicas.index(successor)
             self.stats.promotions += 1
             self.stats.failover_records_replayed += replayed
+            self.commit_epoch += 1
             return successor
 
     def _on_primary_death(self, primary: Replica) -> Replica:
@@ -324,6 +330,7 @@ class ReplicaSet(TopKIndex):
             self.replicas[slot] = reborn
             self.primary_index = slot
             self.stats.rebuilds += 1
+            self.commit_epoch += 1
             self.failover.note_success(reborn.name)
             return reborn
         raise ReplicaUnavailable(
@@ -488,6 +495,56 @@ class ReplicaSet(TopKIndex):
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def read_stamp(self) -> tuple:
+        """``(commit_epoch, primary applied LSN)`` — the cache version.
+
+        Cached answers stamped with an older epoch are unconditionally
+        invalid (a failover happened; the LSN sequence may have stepped
+        backwards); within an epoch the LSN distance bounds staleness.
+        """
+        # Electing first matters: a pending promotion bumps the epoch,
+        # and the stamp must carry the post-promotion value.
+        primary = self._require_primary()
+        return (self.commit_epoch, primary.applied_lsn)
+
+    def serving_replicas(self, max_staleness: Optional[int] = None) -> List[Replica]:
+        """The machines eligible to serve reads at the staleness bound.
+
+        The primary plus every live follower whose applied LSN is (or
+        can be brought, via its own durable log) within ``staleness``
+        of the primary's.  Catch-up replay happens *here*, on the
+        coordinator, so the returned replicas can be queried read-only
+        from worker threads without touching shared cluster state.
+        Followers that fault during catch-up are handled with the usual
+        death/streak accounting; durably-short followers are skipped
+        and counted as stale fallbacks.
+        """
+        staleness = self.max_staleness if max_staleness is None else max_staleness
+        primary = self._require_primary()
+        required = primary.applied_lsn - staleness
+        servers = [primary]
+        for follower in sorted(
+            (r for r in self.live_replicas if not r.is_primary),
+            key=lambda r: r.name,
+        ):
+            try:
+                if follower.applied_lsn < required:
+                    follower.durable.replay_unapplied()
+            except SimulatedCrash:
+                follower.mark_dead()
+                self.stats.follower_deaths += 1
+                continue
+            except TransientIOError as exc:
+                if self.failover.note_fault(follower.name, exc):
+                    follower.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            if follower.applied_lsn < required:
+                self.stats.stale_fallbacks += 1
+                continue
+            servers.append(follower)
+        return servers
+
     def query(
         self,
         predicate: Predicate,

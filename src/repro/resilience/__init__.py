@@ -17,6 +17,7 @@ core modules can import the taxonomy without a cycle.
 """
 
 from repro.resilience.errors import (
+    AdmissionRejected,
     BlockOverflowError,
     ContractViolation,
     CorruptBlockError,
@@ -57,6 +58,7 @@ __all__ = [
     "SnapshotIntegrityError",
     "RecoveryError",
     "SimulatedCrash",
+    "AdmissionRejected",
     "RetryBudgetExhausted",
     "DegradedAnswer",
     "FaultPlan",

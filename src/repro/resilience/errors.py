@@ -195,6 +195,21 @@ class WALShippingGap(ReproError):
         self.got_lsn = got_lsn
 
 
+class AdmissionRejected(ReproError):
+    """The serving engine's bounded pending queue is full.
+
+    Backpressure, not failure: the query was *shed* (counted in
+    :class:`~repro.serving.engine.ServingStats.load_sheds`), never
+    queued unboundedly.  Callers retry after a drain or route the
+    overflow to a lower-priority path.  ``pending`` carries the queue
+    depth at rejection time.
+    """
+
+    def __init__(self, message: str, pending: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+
+
 class RetryBudgetExhausted(ReproError):
     """A per-query retry/round budget ran out before an answer was found.
 
@@ -238,6 +253,7 @@ __all__ = [
     "ReplicaUnavailable",
     "FailoverError",
     "WALShippingGap",
+    "AdmissionRejected",
     "RetryBudgetExhausted",
     "DegradedAnswer",
 ]

@@ -177,6 +177,16 @@ class HealthSummary:
     hedge_wins: int = 0
     scrub_repairs: int = 0
     replica_lag: Dict[str, int] = field(default_factory=dict)
+    served_queries: int = 0
+    served_batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    load_sheds: int = 0
+    parallel_batches: int = 0
+    dispatch_failovers: int = 0
+    serving_qps: float = 0.0
+    serving_avg_latency: float = 0.0
 
     def record_recovery(self, result) -> None:
         """Fold one :class:`RecoveryResult` into the aggregate."""
@@ -195,6 +205,26 @@ class HealthSummary:
         self.hedge_wins = stats.hedge_wins
         self.scrub_repairs = stats.scrub_repairs
         self.replica_lag = cluster.replica_lag()
+
+    def record_serving(self, engine) -> None:
+        """Mirror a :class:`~repro.serving.engine.ServingEngine`'s health.
+
+        Same overwrite-not-accumulate contract as
+        :meth:`record_replication`: the engine's counters are
+        cumulative, and the engine calls this after every batch.
+        """
+        stats = engine.stats
+        cache = engine.cache.stats
+        self.served_queries = stats.queries
+        self.served_batches = stats.batches
+        self.cache_hits = cache.hits
+        self.cache_misses = cache.misses
+        self.cache_hit_rate = cache.hit_rate
+        self.load_sheds = stats.load_sheds
+        self.parallel_batches = stats.parallel_batches
+        self.dispatch_failovers = stats.dispatch_failovers
+        self.serving_qps = stats.qps
+        self.serving_avg_latency = stats.avg_latency_seconds
 
     def record(self, report: HealthReport) -> None:
         self.queries += 1

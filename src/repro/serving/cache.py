@@ -1,0 +1,162 @@
+"""LSN-versioned result cache: hot answers become O(1), never stale-unsafe.
+
+Every cached answer is stamped with the **read stamp** current when it
+was computed: ``(commit_epoch, applied LSN)`` of the serving backend
+(see :meth:`repro.durability.durable.DurableTopKIndex.read_stamp` and
+:meth:`repro.replication.cluster.ReplicaSet.read_stamp`).  A lookup
+carries the *current* stamp plus the caller's staleness budget, and an
+entry may serve only when
+
+* its epoch equals the current epoch — a failover promotion or a
+  rebuild-from-durable-record bumps the epoch, because a new primary
+  may never have seen updates the old one had applied (uncommitted
+  tail loss), so pre-promotion answers cannot be trusted at *any* LSN
+  comparison; and
+* ``current_lsn - entry_lsn <= max_staleness`` — the same contract the
+  replication read modes give a lagging follower, now applied to a
+  cached answer.  ``max_staleness=0`` means cached answers are exactly
+  as fresh as the primary's applied state.
+
+Entries are keyed by predicate (via
+:func:`repro.serving.batch.predicate_key`) and store the answer of the
+largest ``k`` served so far.  Because top-k answers are prefix-closed,
+one entry serves every smaller ``k`` by slicing; a request for a larger
+``k`` is a miss unless the entry is *exhausted* (the predicate has
+fewer matches than the entry's ``k``, so the entry already holds the
+complete match list).  Eviction is LRU with a bounded capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from repro.core.problem import Element
+
+
+@dataclass
+class CacheStats:
+    """Counters for hit-rate and invalidation accounting."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stale_misses: int = 0        # right epoch, LSN beyond the staleness bound
+    epoch_invalidations: int = 0  # entry from a pre-promotion epoch
+    short_misses: int = 0        # entry too small for the requested k
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0       # entries dropped by invalidate()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    epoch: int
+    lsn: int
+    k: int                      # the k the answer was computed for
+    answer: List[Element]       # heaviest first; len < k means exhausted
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.answer) < self.k
+
+    def covers(self, k: int) -> bool:
+        return k <= self.k or self.exhausted
+
+
+class ResultCache:
+    """Bounded LRU of LSN-stamped top-k answers (module docstring)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = max(0, capacity)
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        key: Hashable,
+        k: int,
+        epoch: int,
+        current_lsn: int,
+        max_staleness: int = 0,
+    ) -> Optional[List[Element]]:
+        """The cached top-``k`` answer, or ``None`` on any miss.
+
+        A hit is returned as a fresh list (prefix of the stored
+        answer); the stored entry is never aliased to callers.
+        """
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.epoch != epoch:
+            # Pre-promotion answers are unconditionally untrusted.
+            del self._entries[key]
+            self.stats.epoch_invalidations += 1
+            self.stats.misses += 1
+            return None
+        if current_lsn - entry.lsn > max_staleness:
+            del self._entries[key]
+            self.stats.stale_misses += 1
+            self.stats.misses += 1
+            return None
+        if not entry.covers(k):
+            self.stats.short_misses += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.answer[:k]
+
+    def put(
+        self,
+        key: Hashable,
+        k: int,
+        answer: List[Element],
+        epoch: int,
+        lsn: int,
+    ) -> None:
+        """Stamp and store one answer; keeps the most useful entry per key.
+
+        A fresher stamp always replaces an older one.  At an equal
+        stamp the larger-``k`` answer wins (it serves strictly more
+        future requests by prefix).
+        """
+        if not self.enabled or k <= 0:
+            return
+        existing = self._entries.get(key)
+        if existing is not None:
+            same_stamp = (existing.epoch, existing.lsn) == (epoch, lsn)
+            if same_stamp and existing.covers(k):
+                self._entries.move_to_end(key)
+                return
+        self._entries[key] = _Entry(epoch=epoch, lsn=lsn, k=k, answer=list(answer))
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop everything (manual epoch change, schema change...)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+
+__all__ = ["ResultCache", "CacheStats"]

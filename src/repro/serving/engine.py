@@ -1,0 +1,410 @@
+"""`ServingEngine`: the high-throughput front door of a top-k service.
+
+Three amortisation layers stack in front of any backend index
+(canonically a :class:`~repro.replication.cluster.ReplicaSet`; any
+:class:`~repro.core.interfaces.TopKIndex` works):
+
+1. an **LSN-versioned result cache**
+   (:class:`~repro.serving.cache.ResultCache`) — answers are stamped
+   with the backend's ``(commit_epoch, applied LSN)`` read stamp at
+   batch-plan time and served again only within the configured
+   staleness bound (and never across a failover epoch), so repeated
+   hot queries cost one dict probe;
+2. **batched execution** (:mod:`repro.serving.batch`) — cache misses
+   are grouped by predicate and answered with one traversal per group
+   at the group's largest ``k``, smaller members sliced off as
+   prefixes;
+3. **parallel replica dispatch** — when the backend is a replica set,
+   the batch's groups are partitioned round-robin across the replicas
+   currently eligible to serve within the staleness bound (primary
+   plus caught-up followers, per
+   :meth:`~repro.replication.cluster.ReplicaSet.serving_replicas`) and
+   each partition runs on a thread-pool worker.  Workers only *read*
+   their own machine — all cluster bookkeeping (catch-up, failover,
+   death marking) stays on the coordinating thread; a partition that
+   faults mid-flight is re-run through the cluster's own fault-aware
+   ``query`` path, so crashes during dispatch degrade to the ordinary
+   PR-3 failover story instead of racing it.
+
+Admission control is a bounded pending queue: :meth:`submit` beyond
+``max_pending`` raises
+:class:`~repro.resilience.errors.AdmissionRejected` and counts a load
+shed — backpressure is explicit, never an unbounded queue.
+
+Metrics (QPS, per-query latency, hit rate, sheds, parallel batches)
+are kept in :class:`ServingStats` and mirrored into the engine's
+:class:`~repro.resilience.guard.HealthSummary` after every batch, so
+operators read one summary for cache, batching, dispatch, and (when
+the backend is a guarded replica set) replication health alike.
+
+Concurrency contract: the engine itself is *not* thread-safe — one
+coordinator thread submits and drains; only the read-only partition
+work fans out.  Updates go directly to the backend between drains (the
+stamp read at batch start is the serving snapshot; anything committed
+after it is picked up by the next batch's stamp).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import TopKIndex
+from repro.core.problem import Element, Predicate
+from repro.serving.batch import (
+    BatchGroup,
+    QueryRequest,
+    execute_batch,
+    plan_batch,
+    predicate_key,
+)
+from repro.serving.cache import ResultCache
+from repro.resilience.errors import (
+    AdmissionRejected,
+    InvalidConfiguration,
+    ReplicaUnavailable,
+    ReproError,
+    SimulatedCrash,
+    TransientIOError,
+)
+from repro.resilience.guard import HealthSummary
+
+
+@dataclass
+class ServingStats:
+    """Everything the engine did, in counters."""
+
+    queries: int = 0             # requests answered (cache hits included)
+    batches: int = 0
+    traversals: int = 0          # backend queries actually executed
+    shared_answers: int = 0      # requests served by another member's traversal
+    load_sheds: int = 0
+    parallel_batches: int = 0    # batches fanned out across replicas
+    dispatch_failovers: int = 0  # partitions re-run through the cluster path
+    busy_seconds: float = 0.0    # wall time spent inside drain()
+    max_latency_seconds: float = 0.0  # slowest single drain, amortised per query
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    @property
+    def cache_traversals_saved(self) -> int:
+        return self.queries - self.traversals - self.shared_answers
+
+    @property
+    def avg_latency_seconds(self) -> float:
+        """Mean per-query serving time (batch wall time amortised)."""
+        return self.busy_seconds / self.queries if self.queries else 0.0
+
+    @property
+    def qps(self) -> float:
+        """Requests per second of busy serving time."""
+        return self.queries / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+
+class ServingEngine(TopKIndex):
+    """Batching + caching + parallel dispatch over one backend index.
+
+    Parameters
+    ----------
+    backend:
+        The index being served.  A
+        :class:`~repro.replication.cluster.ReplicaSet` unlocks parallel
+        dispatch; a :class:`~repro.durability.durable.DurableTopKIndex`
+        (or anything with a ``read_stamp()`` / ``applied_lsn``) unlocks
+        LSN-stamped caching.  A backend with neither still batches, but
+        the cache stays disabled — without an LSN source a cached
+        answer could never be invalidated by an update.
+    cache_capacity / max_staleness:
+        Result-cache size (0 disables) and the LSN staleness budget a
+        cached answer may carry, mirroring the replication read modes.
+    max_batch:
+        Largest batch :meth:`drain` hands to one execution round.
+    max_pending:
+        Admission bound: :meth:`submit` beyond this sheds.
+    pool_size / parallel_threshold:
+        Dispatch thread pool width (0 disables) and the minimum number
+        of distinct groups before fanning out is worth the overhead.
+    read_kwargs:
+        Extra keyword arguments for every backend query (e.g.
+        ``mode="hedged"`` for a replica-set backend).
+    """
+
+    def __init__(
+        self,
+        backend: TopKIndex,
+        cache_capacity: int = 1024,
+        max_staleness: int = 0,
+        max_batch: int = 64,
+        max_pending: int = 4096,
+        pool_size: int = 4,
+        parallel_threshold: int = 4,
+        read_kwargs: Optional[dict] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise InvalidConfiguration(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise InvalidConfiguration(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_staleness < 0:
+            raise InvalidConfiguration(
+                f"max_staleness must be >= 0, got {max_staleness}"
+            )
+        self.backend = backend
+        self.max_staleness = max_staleness
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.parallel_threshold = max(1, parallel_threshold)
+        self.read_kwargs = dict(read_kwargs) if read_kwargs else {}
+        self.cache = ResultCache(cache_capacity if self._has_stamp() else 0)
+        self.stats = ServingStats()
+        self.health = HealthSummary()
+        self._pending: List[QueryRequest] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = max(0, pool_size)
+        from repro.replication.cluster import ReplicaSet
+
+        self._cluster = backend if isinstance(backend, ReplicaSet) else None
+        if self._cluster is not None and self._pool_size > 0:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_size,
+                thread_name_prefix="repro-serving",
+            )
+
+    # ------------------------------------------------------------------
+    def _has_stamp(self) -> bool:
+        return (
+            hasattr(self.backend, "read_stamp")
+            or hasattr(self.backend, "applied_lsn")
+        )
+
+    def _read_stamp(self) -> Tuple[int, int]:
+        """The backend's current ``(commit_epoch, applied LSN)``."""
+        stamp = getattr(self.backend, "read_stamp", None)
+        if stamp is not None:
+            return stamp()
+        return (0, getattr(self.backend, "applied_lsn", 0))
+
+    def close(self) -> None:
+        """Shut the dispatch pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # TopKIndex surface
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.backend.n
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def query(self, predicate: Predicate, k: int) -> List[Element]:
+        """One request through the full cache + batch path."""
+        return self.serve([QueryRequest(predicate, k)])[0]
+
+    # ------------------------------------------------------------------
+    # Admission / drain
+    # ------------------------------------------------------------------
+    def submit(self, predicate: Predicate, k: int) -> int:
+        """Enqueue one request; returns its position in the next drain.
+
+        Raises :class:`AdmissionRejected` (and counts a shed) when the
+        pending queue is at ``max_pending`` — callers retry later or
+        route the overflow elsewhere; the engine never queues
+        unboundedly.
+        """
+        if len(self._pending) >= self.max_pending:
+            self.stats.load_sheds += 1
+            self._mirror_health()
+            raise AdmissionRejected(
+                f"pending queue full ({self.max_pending}); query shed",
+                pending=len(self._pending),
+            )
+        self._pending.append(QueryRequest(predicate, k))
+        return len(self._pending) - 1
+
+    def drain(self) -> List[List[Element]]:
+        """Answer everything pending, in submission order."""
+        requests, self._pending = self._pending, []
+        answers: List[List[Element]] = []
+        for start in range(0, len(requests), self.max_batch):
+            answers.extend(self._execute(requests[start:start + self.max_batch]))
+        return answers
+
+    def serve(self, requests: Sequence) -> List[List[Element]]:
+        """Submit-and-drain convenience for an already-collected batch.
+
+        Accepts :class:`QueryRequest` objects or ``(predicate, k)``
+        pairs interchangeably.
+        """
+        for request in requests:
+            if isinstance(request, QueryRequest):
+                self.submit(request.predicate, request.k)
+            else:
+                predicate, k = request
+                self.submit(predicate, k)
+        return self.drain()
+
+    # ------------------------------------------------------------------
+    # One batch
+    # ------------------------------------------------------------------
+    def _execute(self, requests: Sequence[QueryRequest]) -> List[List[Element]]:
+        if not requests:
+            return []
+        began = time.perf_counter()
+        self.stats.batches += 1
+        self.stats.queries += len(requests)
+        epoch, lsn = self._read_stamp()
+        answers: List[Optional[List[Element]]] = [None] * len(requests)
+        misses: List[Tuple[int, QueryRequest]] = []
+        for position, request in enumerate(requests):
+            if self.cache.enabled:
+                cached = self.cache.get(
+                    predicate_key(request.predicate), request.k,
+                    epoch, lsn, self.max_staleness,
+                )
+                if cached is not None:
+                    answers[position] = cached
+                    continue
+            misses.append((position, request))
+        if misses:
+            plan = plan_batch([request for _, request in misses])
+            self.stats.traversals += plan.traversals
+            self.stats.shared_answers += plan.shared
+            full_by_group = self._dispatch(plan.groups)
+            for group, full in zip(plan.groups, full_by_group):
+                self.cache.put(group.key, group.max_k, full, epoch, lsn)
+                for member_position, k in group.members:
+                    answers[misses[member_position][0]] = full[:k]
+        elapsed = time.perf_counter() - began
+        self.stats.busy_seconds += elapsed
+        per_query = elapsed / len(requests)
+        if per_query > self.stats.max_latency_seconds:
+            self.stats.max_latency_seconds = per_query
+        self._mirror_health()
+        return answers  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Dispatch: partitioned across replicas, or serial
+    # ------------------------------------------------------------------
+    def _dispatch(self, groups: List[BatchGroup]) -> List[List[Element]]:
+        """One full answer per group, in group order."""
+        if (
+            self._pool is not None
+            and self._cluster is not None
+            and len(groups) >= self.parallel_threshold
+        ):
+            servers = self._cluster.serving_replicas(self.max_staleness)
+            if len(servers) > 1:
+                return self._dispatch_parallel(groups, servers)
+        window = getattr(self.backend, "batched", None)
+        if window is not None:
+            # A raw reduction backend: share its memoized sub-probes
+            # across the whole batch, not just within one group.
+            with window():
+                return [self._query_backend(g.predicate, g.max_k) for g in groups]
+        return [self._query_backend(g.predicate, g.max_k) for g in groups]
+
+    def _query_backend(self, predicate: Predicate, k: int) -> List[Element]:
+        return self.backend.query(predicate, k, **self.read_kwargs)
+
+    def _dispatch_parallel(
+        self, groups: List[BatchGroup], servers: List
+    ) -> List[List[Element]]:
+        """Fan the groups out round-robin over the eligible replicas.
+
+        One pool task per replica runs its whole partition sequentially
+        — a machine is never touched by two threads, and the
+        coordinator touches no replica while workers run.  Workers
+        return faults as data; any group a worker could not answer is
+        re-run through the cluster's own ``query`` (which owns failover
+        and death-marking), so a crash mid-dispatch costs one serial
+        retry, never a raced promotion.
+        """
+        self.stats.parallel_batches += 1
+        partitions: List[List[Tuple[int, BatchGroup]]] = [[] for _ in servers]
+        for index, group in enumerate(groups):
+            partitions[index % len(servers)].append((index, group))
+        assert self._pool is not None
+        futures = [
+            self._pool.submit(self._run_partition, server, partition)
+            for server, partition in zip(servers, partitions)
+            if partition
+        ]
+        answers: List[Optional[List[Element]]] = [None] * len(groups)
+        retry: List[Tuple[int, BatchGroup]] = []
+        for future in futures:
+            for index, group, answer in future.result():
+                if answer is None:
+                    retry.append((index, group))
+                else:
+                    answers[index] = answer
+        for index, group in retry:
+            self.stats.dispatch_failovers += 1
+            answers[index] = self._query_backend(group.predicate, group.max_k)
+        return answers  # type: ignore[return-value]
+
+    @staticmethod
+    def _run_partition(server, partition):
+        """Worker body: read-only queries against one replica.
+
+        Returns ``(group index, group, answer-or-None)`` triples;
+        ``None`` marks a fault (machine crash, transient I/O, replica
+        down) left for the coordinator to handle serially.
+        """
+        out = []
+        dead = False
+        for index, group in partition:
+            if dead:
+                out.append((index, group, None))
+                continue
+            try:
+                answer = server.durable.query(group.predicate, group.max_k)
+            except SimulatedCrash:
+                # The machine died; everything else in this partition
+                # fails over too (a crashed plan serves no further I/O).
+                dead = True
+                out.append((index, group, None))
+            except (TransientIOError, ReplicaUnavailable, ReproError):
+                out.append((index, group, None))
+            else:
+                out.append((index, group, answer))
+        return out
+
+    # ------------------------------------------------------------------
+    def _mirror_health(self) -> None:
+        self.health.record_serving(self)
+        if self._cluster is not None:
+            self.health.record_replication(self._cluster)
+
+
+def serving_engine(
+    elements,
+    prioritized_factory,
+    max_factory,
+    num_replicas: int = 3,
+    seed: int = 0,
+    **engine_kwargs,
+):
+    """A :class:`ServingEngine` over a canonical replicated Theorem 2 set."""
+    from repro.replication.cluster import replicated_index
+
+    cluster = replicated_index(
+        elements, prioritized_factory, max_factory,
+        num_replicas=num_replicas, seed=seed,
+    )
+    return ServingEngine(cluster, **engine_kwargs)
+
+
+__all__ = ["ServingEngine", "ServingStats", "serving_engine"]

@@ -1,0 +1,36 @@
+"""The profiling entry point runs and prints a stats table."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.profile import INDEXES, main
+
+
+@pytest.mark.parametrize("index", INDEXES)
+def test_profile_runs_each_index(index, capsys):
+    assert main([
+        "--index", index, "--n", "120", "--queries", "10",
+        "--k", "4", "--top", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert f"index={index}" in out
+    assert "cumulative" in out  # pstats header made it out
+
+
+def test_profile_rejects_unknown_problem(capsys):
+    with pytest.raises(SystemExit):
+        main(["--problem", "no-such-problem"])
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench.profile",
+         "--n", "100", "--queries", "5", "--top", "3"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Ordered by" in result.stdout

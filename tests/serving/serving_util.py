@@ -1,0 +1,42 @@
+"""Shared builders for serving tests: deterministic toy workloads.
+
+Deliberately *not* a ``conftest.py``: test modules import helpers by
+name, and a second module importable as ``conftest`` would shadow
+``tests/replication/conftest.py`` (both directories are prepended to
+``sys.path`` by pytest's default import mode).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.replication import replicated_index
+from repro.serving import QueryRequest, ServingEngine
+from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
+
+N = 48
+
+
+def make_elements(n=N, seed=7, weight_offset=0.0):
+    return make_toy_elements(n, seed=seed, weight_offset=weight_offset)
+
+
+def make_requests(count, seed=0, max_k=9):
+    """A deterministic request mix with repeated predicates and mixed k."""
+    rng = random.Random(seed)
+    # Positions span [0, 10n); these ranges match substantial subsets.
+    pool = [
+        RangePredicate(float(lo), float(lo + span))
+        for lo, span in [(0, 200), (50, 250), (100, 300), (0, 479), (300, 170)]
+    ]
+    return [
+        QueryRequest(rng.choice(pool), rng.randint(1, max_k))
+        for _ in range(count)
+    ]
+
+
+def make_engine(elements, **kwargs):
+    cluster = replicated_index(
+        elements, ToyPrioritized, ToyMax, num_replicas=3, seed=3
+    )
+    return ServingEngine(cluster, **kwargs)

@@ -1,0 +1,121 @@
+"""LSN/epoch-stamped result cache semantics (repro.serving.cache)."""
+
+from __future__ import annotations
+
+from repro.serving.cache import ResultCache
+
+
+def put(cache, key, k, answer, epoch=0, lsn=0):
+    cache.put(key, k, answer, epoch, lsn)
+
+
+class TestHitAndPrefix:
+    def test_fresh_hit_and_miss(self):
+        cache = ResultCache(8)
+        assert cache.get("p", 3, 0, 0) is None
+        put(cache, "p", 3, ["a", "b", "c"])
+        assert cache.get("p", 3, 0, 0) == ["a", "b", "c"]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_prefix_served_from_larger_k(self):
+        cache = ResultCache(8)
+        put(cache, "p", 5, ["a", "b", "c", "d", "e"])
+        assert cache.get("p", 2, 0, 0) == ["a", "b"]
+
+    def test_smaller_k_entry_cannot_serve_larger_k(self):
+        cache = ResultCache(8)
+        put(cache, "p", 3, ["a", "b", "c"])
+        assert cache.get("p", 5, 0, 0) is None
+        assert cache.stats.short_misses == 1
+
+    def test_exhausted_entry_covers_any_k(self):
+        # Only 2 elements match: a k=5 answer of length 2 is the whole
+        # result set, so it serves k=100 too.
+        cache = ResultCache(8)
+        put(cache, "p", 5, ["a", "b"])
+        assert cache.get("p", 100, 0, 0) == ["a", "b"]
+
+    def test_hit_returns_fresh_list(self):
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"])
+        first = cache.get("p", 2, 0, 0)
+        first.append("junk")
+        assert cache.get("p", 2, 0, 0) == ["a", "b"]
+
+
+class TestStalenessAndEpochs:
+    def test_lsn_advance_within_bound_still_serves(self):
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"], epoch=0, lsn=10)
+        assert cache.get("p", 2, 0, 12, max_staleness=2) == ["a", "b"]
+
+    def test_lsn_advance_beyond_bound_invalidates(self):
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"], epoch=0, lsn=10)
+        assert cache.get("p", 2, 0, 13, max_staleness=2) is None
+        assert cache.stats.stale_misses == 1
+        # The entry was dropped, not just skipped.
+        assert cache.get("p", 2, 0, 10, max_staleness=0) is None
+
+    def test_zero_staleness_requires_exact_lsn(self):
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"], epoch=0, lsn=10)
+        assert cache.get("p", 2, 0, 11, max_staleness=0) is None
+
+    def test_epoch_mismatch_invalidates_even_at_lower_lsn(self):
+        # After a failover the new primary can sit at a LOWER LSN than
+        # the stamp (the old primary's uncommitted tail died with it).
+        # LSN arithmetic alone would call the entry "fresh from the
+        # future"; the epoch catches it.
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"], epoch=0, lsn=10)
+        assert cache.get("p", 2, 1, 7, max_staleness=1000) is None
+        assert cache.stats.epoch_invalidations == 1
+
+    def test_invalidate_clears_everything(self):
+        cache = ResultCache(8)
+        put(cache, "p", 2, ["a", "b"])
+        put(cache, "q", 2, ["c", "d"])
+        assert cache.invalidate() == 2
+        assert cache.stats.invalidations == 2  # counts dropped entries
+        assert cache.get("p", 2, 0, 0) is None
+        assert cache.get("q", 2, 0, 0) is None
+
+
+class TestReplacementPolicy:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        put(cache, "a", 1, ["a"])
+        put(cache, "b", 1, ["b"])
+        assert cache.get("a", 1, 0, 0) == ["a"]  # refresh a
+        put(cache, "c", 1, ["c"])                # evicts b
+        assert cache.stats.evictions == 1
+        assert cache.get("b", 1, 0, 0) is None
+        assert cache.get("a", 1, 0, 0) == ["a"]
+        assert cache.get("c", 1, 0, 0) == ["c"]
+
+    def test_same_stamp_smaller_k_keeps_larger_entry(self):
+        cache = ResultCache(8)
+        put(cache, "p", 5, ["a", "b", "c", "d", "e"], lsn=4)
+        put(cache, "p", 2, ["a", "b"], lsn=4)
+        assert cache.get("p", 5, 0, 4) == ["a", "b", "c", "d", "e"]
+
+    def test_newer_stamp_replaces(self):
+        cache = ResultCache(8)
+        put(cache, "p", 5, ["a", "b", "c", "d", "e"], lsn=4)
+        put(cache, "p", 2, ["x", "y"], lsn=5)
+        assert cache.get("p", 2, 0, 5) == ["x", "y"]
+        assert cache.get("p", 5, 0, 5) is None  # larger answer gone
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        assert not cache.enabled
+        put(cache, "p", 1, ["a"])
+        assert cache.get("p", 1, 0, 0) is None
+
+    def test_hit_rate(self):
+        cache = ResultCache(4)
+        put(cache, "p", 1, ["a"])
+        cache.get("p", 1, 0, 0)
+        cache.get("q", 1, 0, 0)
+        assert cache.stats.hit_rate == 0.5

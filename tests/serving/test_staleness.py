@@ -1,0 +1,103 @@
+"""Crash-sweep oracle: served answers never violate the staleness bound.
+
+The PR-3 crash-sweep pattern applied to the serving layer: a fixed
+mixed workload (inserts interleaved with served batches) runs once with
+no faults to produce the oracle, then once per crash point with the
+primary machine killed at that durability transfer.  With
+``max_staleness=0`` every answer the engine serves — cached, batched,
+or dispatched — must be bit-for-bit what a brute-force scan of the
+*current* element set returns, crashes, promotions, and epoch bumps
+included.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Element, top_k_of
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.replication import ReplicaSet
+from repro.serving import ServingEngine
+from toy import RangePredicate, ToyMax, ToyPrioritized
+
+from serving_util import make_requests
+
+BASE_N = 32
+STEPS = 12
+SWEEP_POINTS = 24
+
+
+def elem(i: int) -> Element:
+    return Element(i * 7 % (BASE_N * 10), 1000.0 + i)
+
+
+def build_fn(elements):
+    return ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, B=2, seed=3)
+
+
+def restore_fn(state):
+    return ExpectedTopKIndex.restore(state, ToyPrioritized, ToyMax)
+
+
+def _run_workload(crash_at=None):
+    """Insert/serve interleaving; returns (answers, engine)."""
+    base = [elem(i) for i in range(BASE_N)]
+    cluster = ReplicaSet(
+        base, build_fn, restore_fn, num_replicas=3, B=8
+    )
+    if crash_at is not None:
+        cluster.primary.plan.schedule_crash(at_io=crash_at)
+    engine = ServingEngine(cluster, max_staleness=0, parallel_threshold=2)
+    live = list(base)
+    requests = make_requests(6, seed=23, max_k=7)
+    answers = []
+    checked = 0
+    with engine:
+        for step in range(STEPS):
+            extra = elem(BASE_N + step)
+            cluster.insert(extra)
+            live.append(extra)
+            batch = requests[step % 3:][:4]
+            served = engine.serve(batch)
+            # The zero-staleness oracle: every served answer matches a
+            # brute-force scan of the elements live right now.
+            for request, answer in zip(batch, served):
+                assert answer == top_k_of(live, request.predicate, request.k)
+                checked += 1
+            answers.extend(served)
+    assert checked > 0
+    return answers, engine
+
+
+def test_serving_crash_sweep_matches_oracle():
+    oracle_answers, _ = _run_workload(None)
+    crashed = 0
+    epoch_invalidated = 0
+    for at_io in range(1, SWEEP_POINTS + 1):
+        answers, engine = _run_workload(at_io)
+        # Same workload, same answers — failover is invisible to clients.
+        assert answers == oracle_answers, (
+            f"crash at transfer {at_io}: served answers diverged"
+        )
+        cluster = engine.backend
+        if cluster.stats.primary_crashes:
+            crashed += 1
+            assert cluster.commit_epoch >= 1
+            epoch_invalidated += engine.cache.stats.epoch_invalidations
+    # The sweep must actually have exercised failovers to mean anything.
+    assert crashed >= SWEEP_POINTS // 3, (
+        f"sweep degenerated: only {crashed}/{SWEEP_POINTS} points crashed"
+    )
+
+
+def test_warm_cache_survives_failover_soundly():
+    """Answers cached pre-promotion are re-computed, not replayed."""
+    base = [elem(i) for i in range(BASE_N)]
+    cluster = ReplicaSet(base, build_fn, restore_fn, num_replicas=3, B=8)
+    predicate = RangePredicate(0.0, float(BASE_N * 10))
+    with ServingEngine(cluster, max_staleness=0) as engine:
+        warm = engine.query(predicate, 5)
+        assert warm == top_k_of(base, predicate, 5)
+        cluster.primary.mark_dead()
+        cluster.stats.primary_crashes += 1
+        after = engine.query(predicate, 5)
+        assert after == top_k_of(base, predicate, 5)
+        assert engine.cache.stats.epoch_invalidations == 1
