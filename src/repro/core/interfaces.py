@@ -158,6 +158,14 @@ class TopKIndex(ABC):
 
         return execute_batch(self, requests, **kwargs)
 
+    def space_units(self) -> int:
+        """Space usage in machine units (defaults to one per element).
+
+        Composite indexes (durable wrappers, replica sets, sharded
+        deployments) override this to sum their parts.
+        """
+        return self.n
+
 
 class CountingIndex(ABC):
     """A structure answering (approximate) counting queries.

@@ -236,6 +236,41 @@ class DegradedAnswer(ReproError):
         self.report = report
 
 
+class ShardUnavailable(ReplicaUnavailable):
+    """A shard of a partitioned index cannot serve and cannot recover.
+
+    Raised by :class:`~repro.sharding.sharded.ShardedTopKIndex` when a
+    shard's machine died, recovery from its surviving disk failed (or
+    its replica set is wholly down), and the query did not opt into a
+    partial answer (``allow_partial``).  Subclasses
+    :class:`ReplicaUnavailable` so existing degradation ladders treat a
+    lost shard like a lost replica set: the next rung takes over.
+    ``shard`` names the machine.
+    """
+
+    def __init__(self, message: str, shard: Optional[str] = None) -> None:
+        super().__init__(message, replica=shard)
+        self.shard = shard
+
+
+class StaleShardMap(ReproError):
+    """A scatter-gather ran against a shard map that changed mid-flight.
+
+    Every scatter-gather pins the router's epoch at planning time and
+    re-checks it after the gather; a split/merge between the two bumps
+    the epoch, so answers computed against the old map are discarded
+    and the query retried against the fresh map — never silently wrong.
+    The exception only escapes when the retry budget is exhausted
+    (a pathological storm of rebalances).  ``epoch`` is the epoch the
+    query planned against; ``current`` the router's epoch at detection.
+    """
+
+    def __init__(self, message: str, epoch: int = 0, current: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.current = current
+
+
 __all__ = [
     "ReproError",
     "TransientIOError",
@@ -251,6 +286,8 @@ __all__ = [
     "RecoveryError",
     "SimulatedCrash",
     "ReplicaUnavailable",
+    "ShardUnavailable",
+    "StaleShardMap",
     "FailoverError",
     "WALShippingGap",
     "AdmissionRejected",

@@ -48,6 +48,7 @@ from repro.resilience.errors import (
     CorruptBlockError,
     DegradedAnswer,
     InvalidConfiguration,
+    ReplicaUnavailable,
     RetryBudgetExhausted,
     TransientIOError,
 )
@@ -123,6 +124,7 @@ class HealthReport:
     corrupt_blocks: int = 0
     contract_violations: int = 0
     budget_exhaustions: int = 0
+    rung_unavailable: int = 0
     spot_checks: int = 0
     spot_check_failures: int = 0
     backoff_units: float = 0.0
@@ -168,6 +170,7 @@ class HealthSummary:
     corrupt_blocks: int = 0
     contract_violations: int = 0
     budget_exhaustions: int = 0
+    rung_unavailable: int = 0
     spot_checks: int = 0
     spot_check_failures: int = 0
     backoff_units: float = 0.0
@@ -187,6 +190,15 @@ class HealthSummary:
     dispatch_failovers: int = 0
     serving_qps: float = 0.0
     serving_avg_latency: float = 0.0
+    shards: int = 0
+    shard_splits: int = 0
+    shard_merges: int = 0
+    shard_losses: int = 0
+    shard_recoveries: int = 0
+    partial_answers: int = 0
+    stale_map_retries: int = 0
+    scatter_contact_ratio: float = 0.0
+    shard_sizes: Dict[str, int] = field(default_factory=dict)
 
     def record_recovery(self, result) -> None:
         """Fold one :class:`RecoveryResult` into the aggregate."""
@@ -226,6 +238,28 @@ class HealthSummary:
         self.serving_qps = stats.qps
         self.serving_avg_latency = stats.avg_latency_seconds
 
+    def record_sharding(self, sharded) -> None:
+        """Mirror a :class:`ShardedTopKIndex`'s live health.
+
+        Same overwrite-not-accumulate contract as
+        :meth:`record_replication`: the sharded index's counters are
+        cumulative, so the latest call reflects the current truth —
+        topology (shard count and per-shard sizes feed rebalancing
+        decisions), churn (splits, merges, losses, recoveries), and the
+        scatter-gather pruning efficiency (mean fraction of mapped
+        shards a query actually contacted).
+        """
+        stats = sharded.stats
+        self.shards = sharded.router.num_shards
+        self.shard_splits = stats.splits
+        self.shard_merges = stats.merges
+        self.shard_losses = stats.shard_losses
+        self.shard_recoveries = stats.shard_recoveries
+        self.partial_answers = stats.partial_answers
+        self.stale_map_retries = stats.stale_map_retries
+        self.scatter_contact_ratio = stats.contact_ratio
+        self.shard_sizes = sharded.router.shard_sizes()
+
     def record(self, report: HealthReport) -> None:
         self.queries += 1
         self.degraded_queries += 1 if report.degraded else 0
@@ -235,6 +269,7 @@ class HealthSummary:
         self.corrupt_blocks += report.corrupt_blocks
         self.contract_violations += report.contract_violations
         self.budget_exhaustions += report.budget_exhaustions
+        self.rung_unavailable += report.rung_unavailable
         self.spot_checks += report.spot_checks
         self.spot_check_failures += report.spot_check_failures
         self.backoff_units += report.backoff_units
@@ -303,6 +338,11 @@ class ResilientTopKIndex(TopKIndex):
         self._replica_set = primary if isinstance(primary, ReplicaSet) else None
         if self._replica_set is not None:
             self.health.record_replication(self._replica_set)
+        from repro.sharding.sharded import ShardedTopKIndex
+
+        self._sharded = primary if isinstance(primary, ShardedTopKIndex) else None
+        if self._sharded is not None:
+            self.health.record_sharding(self._sharded)
 
     def _backend_fn(
         self, backend: TopKIndex
@@ -371,6 +411,8 @@ class ResilientTopKIndex(TopKIndex):
             self.health.record(report)
             if self._replica_set is not None:
                 self.health.record_replication(self._replica_set)
+            if self._sharded is not None:
+                self.health.record_sharding(self._sharded)
             self.last_report = report
             if report.degraded and self.policy.raise_on_degraded:
                 raise DegradedAnswer(
@@ -417,6 +459,14 @@ class ResilientTopKIndex(TopKIndex):
                 return None
             except ContractViolation:
                 report.contract_violations += 1
+                return None
+            except ReplicaUnavailable:
+                # A replica set with no serving machine, or a sharded
+                # index with an unrecoverable shard (ShardUnavailable).
+                # Not retryable from here — the backend already walked
+                # its own failover/recovery ladder; the next rung of
+                # this one takes over.
+                report.rung_unavailable += 1
                 return None
             if name != self._SCAN_RUNG and self._should_spot_check():
                 report.spot_checks += 1

@@ -25,10 +25,16 @@ reductions override that hook only to wrap execution in their
 
 from __future__ import annotations
 
+import dataclasses
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.problem import Element, Predicate
+
+#: ``object.__repr__`` embeds the instance's memory address; masking it
+#: keeps sort keys equal across processes.
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
 
 
 @dataclass(frozen=True)
@@ -55,7 +61,24 @@ def predicate_key(predicate: Predicate) -> Hashable:
 
 
 def _sort_key(predicate: Predicate) -> Tuple[str, str]:
-    return (type(predicate).__qualname__, repr(predicate))
+    """Deterministic cross-run ordering key for a predicate.
+
+    Bare ``repr`` is not enough: a predicate class without its own
+    ``__repr__`` inherits ``object``'s, which embeds the instance's
+    memory address — the same batch would then plan its groups in a
+    different order on every run (and on every process, under hash
+    randomization).  Dataclass predicates (the repo convention) key on
+    their field values; anything else falls back to ``repr`` with
+    memory addresses masked out.
+    """
+    if dataclasses.is_dataclass(predicate):
+        detail = repr(
+            [(f.name, repr(getattr(predicate, f.name)))
+             for f in dataclasses.fields(predicate)]
+        )
+    else:
+        detail = _ADDRESS_RE.sub("0xADDR", repr(predicate))
+    return (type(predicate).__qualname__, detail)
 
 
 @dataclass

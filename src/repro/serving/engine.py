@@ -166,7 +166,12 @@ class ServingEngine(TopKIndex):
         from repro.replication.cluster import ReplicaSet
 
         self._cluster = backend if isinstance(backend, ReplicaSet) else None
-        if self._cluster is not None and self._pool_size > 0:
+        from repro.sharding.sharded import ShardedTopKIndex
+
+        self._sharded = backend if isinstance(backend, ShardedTopKIndex) else None
+        if (
+            self._cluster is not None or self._sharded is not None
+        ) and self._pool_size > 0:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._pool_size,
                 thread_name_prefix="repro-serving",
@@ -300,6 +305,19 @@ class ServingEngine(TopKIndex):
     # ------------------------------------------------------------------
     def _dispatch(self, groups: List[BatchGroup]) -> List[List[Element]]:
         """One full answer per group, in group order."""
+        if self._sharded is not None:
+            # A sharded backend owns its own fan-out: groups are
+            # partitioned across the pool's workers and each worker
+            # runs whole scatter-gathers (per-shard locks serialize
+            # machine access), with every shard's probe-memo window
+            # open for the batch's duration.
+            if self._pool is not None and len(groups) >= self.parallel_threshold:
+                self.stats.parallel_batches += 1
+            return self._sharded.batch_groups(
+                [(g.predicate, g.max_k) for g in groups],
+                pool=self._pool,
+                parallel_threshold=self.parallel_threshold,
+            )
         if (
             self._pool is not None
             and self._cluster is not None
@@ -387,6 +405,8 @@ class ServingEngine(TopKIndex):
         self.health.record_serving(self)
         if self._cluster is not None:
             self.health.record_replication(self._cluster)
+        if self._sharded is not None:
+            self.health.record_sharding(self._sharded)
 
 
 def serving_engine(

@@ -1,0 +1,187 @@
+"""`Partitioner`: deterministic element-to-bucket placement for sharding.
+
+Partitioning is split into two pure functions so shard maps can evolve
+without ever re-hashing the world:
+
+* the **partitioner** maps an element to one of ``num_buckets`` fixed
+  virtual buckets — a function of the element alone, never of the
+  current shard layout;
+* the **shard map** (:class:`~repro.sharding.router.ShardMap`) maps
+  buckets to shard names — the part that changes on a split or merge,
+  one epoch bump at a time.
+
+Moving a shard's load therefore means reassigning *buckets*, and the
+set of elements that moves is exactly the set whose buckets moved —
+recomputable from the partitioner at any time, with no per-element
+routing table to keep durable.
+
+Two strategies:
+
+* ``hash`` — a *seeded* BLAKE2b digest of the element object's repr.
+  Python's builtin ``hash`` is process-salted for strings, so it would
+  make shard placement differ between runs; the keyed digest is stable
+  across processes for a fixed seed, which the determinism story
+  (reproducible chaos tests, bit-for-bit shard rebuilds) requires.
+* ``range`` — weight-aware: bucket boundaries are equal-count weight
+  quantiles of the build-time data, assigned by binary search on the
+  element's weight.  Contiguous bucket ranges then give each shard a
+  contiguous weight band, which concentrates the heavy elements in few
+  shards — exactly the layout under which the scatter-gather
+  executor's max-probe threshold pruning contacts the fewest shards
+  (the top-k of a skewed workload lives almost entirely in the top
+  band).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Optional, Sequence
+
+from repro.core.problem import Element
+from repro.resilience.errors import InvalidConfiguration
+
+STRATEGY_HASH = "hash"
+STRATEGY_RANGE = "range"
+_STRATEGIES = (STRATEGY_HASH, STRATEGY_RANGE)
+
+DEFAULT_BUCKETS = 64
+
+
+class Partitioner:
+    """Element -> bucket placement (see module docstring).
+
+    Parameters
+    ----------
+    strategy:
+        ``"hash"`` (seeded digest of the object) or ``"range"``
+        (weight-quantile bands; requires ``boundaries``).
+    num_buckets:
+        Number of virtual buckets.  Fixed for the partitioner's
+        lifetime — splits move buckets between shards, they never
+        re-bucket elements.
+    seed:
+        Keys the hash digest; two partitioners with different seeds
+        place the same data differently (and two with the same seed
+        identically, across processes).
+    boundaries:
+        For ``range``: ``num_buckets - 1`` non-decreasing weight cut
+        points; bucket ``j`` holds weights in
+        ``(boundaries[j-1], boundaries[j]]``-style bands via
+        ``bisect_right``.  Built from data by :meth:`for_elements`.
+    """
+
+    def __init__(
+        self,
+        strategy: str = STRATEGY_HASH,
+        num_buckets: int = DEFAULT_BUCKETS,
+        seed: int = 0,
+        boundaries: Optional[Sequence[float]] = None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise InvalidConfiguration(f"unknown partition strategy {strategy!r}")
+        if num_buckets < 1:
+            raise InvalidConfiguration(
+                f"num_buckets must be >= 1, got {num_buckets}"
+            )
+        self.strategy = strategy
+        self.num_buckets = num_buckets
+        self.seed = seed
+        self._key = f"repro-shard-{seed}".encode("utf-8")[:64]
+        if strategy == STRATEGY_RANGE:
+            if boundaries is None:
+                raise InvalidConfiguration(
+                    "range partitioning needs boundaries; build with "
+                    "Partitioner.for_elements(...)"
+                )
+            boundaries = list(boundaries)
+            if len(boundaries) != num_buckets - 1:
+                raise InvalidConfiguration(
+                    f"range partitioning over {num_buckets} buckets needs "
+                    f"{num_buckets - 1} boundaries, got {len(boundaries)}"
+                )
+            if any(
+                later < earlier
+                for earlier, later in zip(boundaries, boundaries[1:])
+            ):
+                raise InvalidConfiguration("boundaries must be non-decreasing")
+            self.boundaries: Optional[List[float]] = boundaries
+        else:
+            self.boundaries = None
+
+    @classmethod
+    def for_elements(
+        cls,
+        elements: Sequence[Element],
+        strategy: str = STRATEGY_HASH,
+        num_buckets: int = DEFAULT_BUCKETS,
+        seed: int = 0,
+    ) -> "Partitioner":
+        """Build a partitioner fitted to ``elements``.
+
+        For ``hash`` the data is ignored (placement is content-keyed).
+        For ``range`` the boundaries are equal-count weight quantiles,
+        so the initial buckets carry ~``n / num_buckets`` elements each
+        — balanced by construction even under arbitrarily skewed weight
+        values.  Inserts landing outside the fitted range clamp to the
+        extreme buckets; :meth:`ShardedTopKIndex.rebalance` splits any
+        shard that grows hot.
+        """
+        if strategy != STRATEGY_RANGE:
+            return cls(strategy=strategy, num_buckets=num_buckets, seed=seed)
+        weights = sorted(element.weight for element in elements)
+        n = len(weights)
+        # boundaries[j] is the smallest weight of bucket j+1: bucket_of
+        # uses bisect_right, so bucket j spans [boundaries[j-1], boundaries[j])
+        # and each bucket gets ~n/num_buckets of the fitted weights.
+        boundaries = [
+            weights[min(n - 1, (j + 1) * n // num_buckets)] if n else 0.0
+            for j in range(num_buckets - 1)
+        ]
+        return cls(
+            strategy=strategy,
+            num_buckets=num_buckets,
+            seed=seed,
+            boundaries=boundaries,
+        )
+
+    # ------------------------------------------------------------------
+    def bucket_of(self, element: Element) -> int:
+        """The element's virtual bucket — pure, stable across processes."""
+        if self.strategy == STRATEGY_RANGE:
+            assert self.boundaries is not None
+            return bisect_right(self.boundaries, element.weight)
+        digest = hashlib.blake2b(
+            repr(element.obj).encode("utf-8", "backslashreplace"),
+            digest_size=8,
+            key=self._key,
+        ).digest()
+        return int.from_bytes(digest, "big") % self.num_buckets
+
+    def initial_assignment(self, num_shards: int) -> List[int]:
+        """Bucket -> shard index for a fresh ``num_shards``-way layout.
+
+        Contiguous bucket ranges, as even as possible.  Contiguity is
+        what makes ``range`` partitioning weight-aware at the shard
+        level (each shard owns one weight band); for ``hash`` the
+        bucket order carries no meaning, so contiguity is merely tidy.
+        """
+        if not 1 <= num_shards <= self.num_buckets:
+            raise InvalidConfiguration(
+                f"num_shards must be in [1, {self.num_buckets}], got {num_shards}"
+            )
+        return [b * num_shards // self.num_buckets for b in range(self.num_buckets)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Partitioner({self.strategy!r}, buckets={self.num_buckets}, "
+            f"seed={self.seed})"
+        )
+
+
+__all__ = [
+    "Partitioner",
+    "STRATEGY_HASH",
+    "STRATEGY_RANGE",
+    "DEFAULT_BUCKETS",
+]

@@ -1,0 +1,247 @@
+"""`ShardRouter`: the versioned bucket-to-shard map and its machines.
+
+The router is the sharded index's metadata plane:
+
+* a :class:`ShardMap` — an immutable, **epoch-stamped** assignment of
+  virtual buckets (see :mod:`repro.sharding.partitioner`) to shard
+  names.  Epochs play the same role the result cache's commit epoch
+  plays in serving: any answer computed against epoch ``e`` is invalid
+  the moment the router holds epoch ``e' > e``.  Splits and merges
+  bump the epoch *before* they start touching shard state and install
+  the final map (another bump) when done, so a scatter-gather that
+  overlapped a topology change in any way sees a mismatched epoch at
+  gather time and retries against the fresh map — stale routes are
+  retried, never silently wrong;
+* a registry of :class:`Shard` objects — each one simulated machine
+  (or one :class:`~repro.replication.cluster.ReplicaSet` of machines)
+  holding a horizontal slice of ``D``, plus the coordinator-side
+  routing summary the executor prunes with: a cheap **max structure**
+  over exactly the shard's elements (the paper's Lemma 3 primitive,
+  lifted from sample levels to shards).
+
+The router itself is coordinator-state: it lives in host memory next
+to the result cache and the batch planner, and its mutations (install,
+invalidate) happen only on the coordinating thread.  Worker threads
+touch shards strictly under each shard's own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.interfaces import DynamicMaxIndex, MaxIndex
+from repro.core.problem import Element
+from repro.resilience.errors import InvalidConfiguration
+from repro.sharding.partitioner import Partitioner
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """One immutable epoch of the bucket -> shard assignment."""
+
+    epoch: int
+    bucket_to_shard: Tuple[str, ...]
+
+    @property
+    def shard_names(self) -> Tuple[str, ...]:
+        """Deterministically ordered distinct shard names."""
+        return tuple(sorted(set(self.bucket_to_shard)))
+
+    def buckets_of(self, name: str) -> Tuple[int, ...]:
+        """The buckets currently routed to ``name``."""
+        return tuple(
+            b for b, owner in enumerate(self.bucket_to_shard) if owner == name
+        )
+
+    def moved(self, moving: Sequence[int], target: str) -> "ShardMap":
+        """A new epoch with ``moving`` buckets reassigned to ``target``."""
+        buckets = list(self.bucket_to_shard)
+        for b in moving:
+            buckets[b] = target
+        return ShardMap(epoch=self.epoch + 1, bucket_to_shard=tuple(buckets))
+
+
+class Shard:
+    """One horizontal slice of ``D`` and the machine(s) serving it.
+
+    ``backend`` is either a
+    :class:`~repro.durability.durable.DurableTopKIndex` (one machine,
+    tracked via ``machine`` — a
+    :class:`~repro.replication.replica.Replica` owning the disk that
+    survives a crash) or a whole
+    :class:`~repro.replication.cluster.ReplicaSet` (which owns its own
+    failover story; ``machine`` is ``None``).
+
+    Coordinator-side state kept per shard:
+
+    * ``elements`` — the authoritative membership of the slice,
+      mirrored on every successful update.  It feeds the max structure,
+      decides what moves on a split, and makes post-crash retries
+      idempotent;
+    * ``max_index`` — the pruning summary: a max structure over exactly
+      ``elements``, probed once per query per shard to upper-bound the
+      shard's possible contribution.  It lives in coordinator memory
+      (routing metadata, like the map itself), so bound probes survive
+      the shard machine's death;
+    * ``lock`` — every backend/max probe and every membership mutation
+      happens under it, so parallel batch workers never touch one
+      machine from two threads (the serving engine's standing rule).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        backend,
+        max_index: MaxIndex,
+        elements: Sequence[Element],
+        buckets: Sequence[int],
+        machine=None,
+    ) -> None:
+        self.name = name
+        self.backend = backend
+        self.max_index = max_index
+        self.elements: Dict[Element, None] = dict.fromkeys(elements)
+        self.buckets = set(buckets)
+        self.machine = machine
+        self.lock = threading.RLock()
+
+    @property
+    def n(self) -> int:
+        return len(self.elements)
+
+    @property
+    def replicated(self) -> bool:
+        return self.machine is None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the slice can serve without a recovery first."""
+        if self.machine is not None:
+            return self.machine.alive
+        return True  # a replica set degrades internally, it is never "down" here
+
+    def max_probe(self, predicate) -> Optional[Element]:
+        """Upper bound for the shard: its heaviest matching element."""
+        with self.lock:
+            return self.max_index.query(predicate)
+
+    def add_member(self, element: Element, max_factory=None) -> None:
+        """Mirror a successful insert into the routing summary."""
+        with self.lock:
+            self.elements[element] = None
+            if isinstance(self.max_index, DynamicMaxIndex):
+                self.max_index.insert(element)
+            else:
+                assert max_factory is not None, "static max index needs a factory"
+                self.max_index = max_factory(list(self.elements))
+
+    def drop_member(self, element: Element, max_factory=None) -> None:
+        """Mirror a successful delete into the routing summary."""
+        with self.lock:
+            del self.elements[element]
+            if isinstance(self.max_index, DynamicMaxIndex):
+                self.max_index.delete(element)
+            else:
+                assert max_factory is not None, "static max index needs a factory"
+                self.max_index = max_factory(list(self.elements))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "replicated" if self.replicated else "durable"
+        return f"Shard({self.name!r}, n={self.n}, {kind}, buckets={len(self.buckets)})"
+
+
+@dataclass(frozen=True)
+class MapSnapshot:
+    """What one scatter-gather pins: an epoch plus the shards it names."""
+
+    epoch: int
+    shards: Tuple[Shard, ...]
+
+
+class ShardRouter:
+    """Current shard map + shard registry (see module docstring)."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        shard_map: ShardMap,
+        shards: Dict[str, Shard],
+    ) -> None:
+        missing = set(shard_map.shard_names) - set(shards)
+        if missing:
+            raise InvalidConfiguration(
+                f"shard map names unknown shards: {sorted(missing)}"
+            )
+        self.partitioner = partitioner
+        self.map = shard_map
+        self.shards = shards
+
+    @property
+    def epoch(self) -> int:
+        return self.map.epoch
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.map.shard_names)
+
+    # ------------------------------------------------------------------
+    def shard_for(self, element: Element) -> Shard:
+        """Route an element through bucket -> owner -> shard."""
+        bucket = self.partitioner.bucket_of(element)
+        return self.shards[self.map.bucket_to_shard[bucket]]
+
+    def snapshot(self) -> MapSnapshot:
+        """Pin the current epoch and its shards (deterministic order)."""
+        current = self.map
+        return MapSnapshot(
+            epoch=current.epoch,
+            shards=tuple(self.shards[name] for name in current.shard_names),
+        )
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """Per-shard element counts (rebalancing diagnostics)."""
+        return {name: self.shards[name].n for name in self.map.shard_names}
+
+    # ------------------------------------------------------------------
+    # Topology changes (coordinator thread only)
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Bump the epoch without changing routes.
+
+        Called at the *start* of a split/merge: any scatter-gather in
+        flight (e.g. one that triggered the rebalance from a mid-query
+        hook) planned against the old epoch and must retry, because
+        shard contents are about to move underneath it.
+        """
+        self.map = replace(self.map, epoch=self.map.epoch + 1)
+
+    def install(
+        self,
+        new_map: ShardMap,
+        add: Optional[Shard] = None,
+        retire: Optional[str] = None,
+    ) -> None:
+        """Publish a new topology epoch (and register/retire shards)."""
+        if new_map.epoch <= self.map.epoch:
+            raise InvalidConfiguration(
+                f"new map epoch {new_map.epoch} must exceed current {self.map.epoch}"
+            )
+        if add is not None:
+            self.shards[add.name] = add
+        if retire is not None:
+            del self.shards[retire]
+        missing = set(new_map.shard_names) - set(self.shards)
+        if missing:
+            raise InvalidConfiguration(
+                f"shard map names unknown shards: {sorted(missing)}"
+            )
+        self.map = new_map
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"{k}:{v}" for k, v in self.shard_sizes().items())
+        return f"ShardRouter(epoch={self.epoch}, {sizes})"
+
+
+__all__ = ["ShardMap", "MapSnapshot", "Shard", "ShardRouter"]

@@ -147,3 +147,44 @@ def test_nested_batched_windows_share_one_memo():
             assert index._memo is outer
         assert index._memo is outer
     assert index._memo is None
+
+
+def test_plan_group_order_is_deterministic_for_default_repr_predicates():
+    """Groups must sort identically across runs (satellite bugfix).
+
+    A predicate class without its own ``__repr__`` inherits
+    ``object``'s, which embeds the instance's memory address — sorting
+    groups by bare repr would then order the same batch differently on
+    every run.  ``_sort_key`` masks addresses (and keys dataclasses by
+    field values), so the plan's group order depends only on values.
+    """
+
+    class Anon:
+        def __init__(self, lo, hi):
+            self.lo = lo
+            self.hi = hi
+
+        def matches(self, obj):
+            return self.lo <= obj <= self.hi
+
+    from repro.serving.batch import _sort_key
+
+    a, b = Anon(0, 5), Anon(0, 5)
+    assert repr(a) != repr(b)          # default reprs embed addresses
+    assert _sort_key(a) == _sort_key(b)  # ...but the sort key is stable
+
+    requests = [QueryRequest(b, 2), QueryRequest(a, 3)]
+    plan = plan_batch(requests)
+    assert plan.traversals == 2  # distinct objects stay distinct groups
+    # Tied keys: plan_batch's sort is stable, so first-seen order holds.
+    assert [g.predicate for g in plan.groups] == [b, a]
+
+
+def test_sort_key_uses_dataclass_fields():
+    from repro.serving.batch import _sort_key
+
+    key = _sort_key(RangePredicate(1, 2))
+    assert key[0] == "RangePredicate"
+    assert "'lo'" in key[1] and "'hi'" in key[1]
+    assert key == _sort_key(RangePredicate(1, 2))
+    assert key != _sort_key(RangePredicate(1, 3))

@@ -1,0 +1,57 @@
+"""Shared builders for the sharding test suite.
+
+Named ``*_util`` (not ``conftest``) so pytest never shadows the real
+per-directory conftest machinery; import directly (``tests/`` is on
+``sys.path`` via the top-level conftest).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.problem import Element
+from repro.sharding import ShardedTopKIndex, sharded_index
+from toy import RangePredicate, ToyMax, ToyPrioritized
+
+N_DEFAULT = 96
+
+
+def make_uniform_elements(n: int = N_DEFAULT, seed: int = 0) -> List[Element]:
+    """Distinct integer weights drawn uniformly, random positions."""
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    positions = rng.sample(range(10 * n), n)
+    return [Element(positions[i], float(weights[i])) for i in range(n)]
+
+
+def make_zipf_elements(
+    n: int = N_DEFAULT, seed: int = 0, alpha: float = 1.2
+) -> List[Element]:
+    """Zipf-skewed weights: rank ``r`` carries ``~1/r**alpha`` of the mass.
+
+    Ranks are distinct, so weights are distinct by construction; the
+    *values* are heavily concentrated in the first few ranks — the
+    regime where weight-aware range partitioning concentrates the
+    answer set in few shards.
+    """
+    rng = random.Random(seed)
+    positions = rng.sample(range(10 * n), n)
+    return [
+        Element(positions[r], 1_000_000.0 / (r + 1) ** alpha) for r in range(n)
+    ]
+
+
+def make_sharded(elements, **kwargs) -> ShardedTopKIndex:
+    """A sharded index over the toy structures, small blocks throughout."""
+    kwargs.setdefault("num_shards", 4)
+    kwargs.setdefault("seed", 3)
+    return sharded_index(elements, ToyPrioritized, ToyMax, **kwargs)
+
+
+def random_predicate(rng: random.Random, elements) -> RangePredicate:
+    """A random closed range over the elements' position domain."""
+    span = 10 * len(elements)
+    lo = rng.randrange(-5, span)
+    hi = rng.randrange(lo, span + 5)
+    return RangePredicate(lo, hi)

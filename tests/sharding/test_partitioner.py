@@ -1,0 +1,93 @@
+"""Partitioner: deterministic placement, quantile ranges, assignments."""
+
+import pytest
+
+from repro.core.problem import Element
+from repro.resilience.errors import InvalidConfiguration
+from repro.sharding import DEFAULT_BUCKETS, Partitioner
+
+from sharding_util import make_uniform_elements, make_zipf_elements
+
+
+class TestHashStrategy:
+    def test_buckets_in_range_and_deterministic_across_instances(self):
+        elements = make_uniform_elements(60, seed=1)
+        a = Partitioner(strategy="hash", num_buckets=16, seed=7)
+        b = Partitioner(strategy="hash", num_buckets=16, seed=7)
+        for element in elements:
+            bucket = a.bucket_of(element)
+            assert 0 <= bucket < 16
+            # Seeded BLAKE2b, not the process-salted builtin hash:
+            # placement is a pure function of (seed, element).
+            assert b.bucket_of(element) == bucket
+
+    def test_different_seeds_place_differently(self):
+        elements = make_uniform_elements(60, seed=1)
+        a = Partitioner(strategy="hash", num_buckets=16, seed=0)
+        b = Partitioner(strategy="hash", num_buckets=16, seed=1)
+        assert any(a.bucket_of(e) != b.bucket_of(e) for e in elements)
+
+    def test_spreads_over_many_buckets(self):
+        elements = make_uniform_elements(200, seed=2)
+        p = Partitioner(strategy="hash", num_buckets=16, seed=0)
+        used = {p.bucket_of(e) for e in elements}
+        assert len(used) >= 12  # 200 balls into 16 bins misses few bins
+
+
+class TestRangeStrategy:
+    def test_buckets_ordered_by_weight(self):
+        elements = make_zipf_elements(80, seed=3)
+        p = Partitioner.for_elements(elements, strategy="range", num_buckets=8)
+        ranked = sorted(elements, key=lambda e: e.weight)
+        buckets = [p.bucket_of(e) for e in ranked]
+        assert buckets == sorted(buckets)  # heavier never in a lower bucket
+
+    def test_equal_count_quantiles_balance_skewed_values(self):
+        elements = make_zipf_elements(128, seed=4)
+        p = Partitioner.for_elements(elements, strategy="range", num_buckets=8)
+        counts = [0] * 8
+        for e in elements:
+            counts[p.bucket_of(e)] += 1
+        # 128 elements over 8 equal-count bands: every band near 16.
+        assert min(counts) >= 8 and max(counts) <= 32
+
+    def test_boundaries_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            Partitioner(strategy="range", num_buckets=4)  # no boundaries
+        with pytest.raises(InvalidConfiguration):
+            Partitioner(strategy="range", num_buckets=4, boundaries=[1.0])
+        with pytest.raises(InvalidConfiguration):
+            Partitioner(
+                strategy="range", num_buckets=4, boundaries=[3.0, 2.0, 1.0]
+            )
+
+    def test_out_of_range_weights_clamp_to_extreme_buckets(self):
+        elements = make_uniform_elements(40, seed=5)
+        p = Partitioner.for_elements(elements, strategy="range", num_buckets=4)
+        low = Element(1, -1e9)
+        high = Element(2, 1e9)
+        assert p.bucket_of(low) == 0
+        assert p.bucket_of(high) == 3
+
+
+class TestConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            Partitioner(strategy="nope")
+
+    def test_default_bucket_count(self):
+        assert Partitioner().num_buckets == DEFAULT_BUCKETS
+
+    def test_initial_assignment_contiguous_and_complete(self):
+        p = Partitioner(num_buckets=16)
+        assignment = p.initial_assignment(4)
+        assert len(assignment) == 16
+        assert set(assignment) == {0, 1, 2, 3}
+        assert assignment == sorted(assignment)  # contiguous runs
+
+    def test_initial_assignment_bounds(self):
+        p = Partitioner(num_buckets=8)
+        with pytest.raises(InvalidConfiguration):
+            p.initial_assignment(0)
+        with pytest.raises(InvalidConfiguration):
+            p.initial_assignment(9)  # more shards than buckets

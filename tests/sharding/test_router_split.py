@@ -1,0 +1,228 @@
+"""Online splits/merges, epoch safety, and the shard-loss ladder."""
+
+import random
+
+import pytest
+
+from repro.resilience.errors import (
+    InvalidConfiguration,
+    ShardUnavailable,
+    StaleShardMap,
+)
+from repro.sharding import ShardMap
+
+from oracles import oracle_top_k
+from sharding_util import (
+    make_sharded,
+    make_uniform_elements,
+    make_zipf_elements,
+    random_predicate,
+)
+from toy import RangePredicate
+
+EVERYTHING = RangePredicate(-100, 10**9)
+
+
+class TestSplitMerge:
+    def test_split_preserves_exactness_and_bumps_epoch(self):
+        elements = make_uniform_elements(80, seed=21)
+        idx = make_sharded(elements, num_shards=3, seed=21)
+        epoch_before = idx.router.epoch
+        donor, new = idx.split_shard()
+        # invalidate at start + install at end: two bumps minimum.
+        assert idx.router.epoch >= epoch_before + 2
+        assert idx.router.num_shards == 4
+        assert idx.n == len(elements)
+        donor_elems = set(idx.router.shards[donor].elements)
+        new_elems = set(idx.router.shards[new].elements)
+        assert donor_elems and new_elems and not (donor_elems & new_elems)
+        rng = random.Random(21)
+        for _ in range(10):
+            predicate = random_predicate(rng, elements)
+            k = rng.randrange(1, 15)
+            assert idx.query(predicate, k) == oracle_top_k(elements, predicate, k)
+
+    def test_split_routes_updates_to_new_owner(self):
+        elements = make_uniform_elements(60, seed=22)
+        idx = make_sharded(elements, num_shards=2, seed=22)
+        idx.split_shard()
+        fresh = make_uniform_elements(10, seed=99)
+        added = []
+        weights = {e.weight for e in elements}
+        for e in fresh:
+            if e.weight not in weights:
+                idx.insert(e)
+                weights.add(e.weight)
+                added.append(e)
+        combined = elements + added
+        assert idx.query(EVERYTHING, 12) == oracle_top_k(combined, EVERYTHING, 12)
+        for e in added:
+            assert e in idx
+
+    def test_merge_restores_topology_and_exactness(self):
+        elements = make_uniform_elements(80, seed=23)
+        idx = make_sharded(elements, num_shards=3, seed=23)
+        donor, new = idx.split_shard()
+        survivor = idx.merge_shards(donor, new)
+        assert survivor == donor
+        assert new not in idx.router.shards
+        assert idx.router.num_shards == 3
+        assert idx.n == len(elements)
+        rng = random.Random(23)
+        for _ in range(8):
+            predicate = random_predicate(rng, elements)
+            assert idx.query(predicate, 9) == oracle_top_k(elements, predicate, 9)
+        assert idx.stats.splits == 1 and idx.stats.merges == 1
+
+    def test_single_bucket_shard_cannot_split(self):
+        elements = make_uniform_elements(30, seed=24)
+        idx = make_sharded(elements, num_shards=2, num_buckets=2, seed=24)
+        with pytest.raises(InvalidConfiguration):
+            idx.split_shard()
+
+    def test_rebalance_splits_hot_shard(self):
+        # Range partitioning + zipf positions: force imbalance by
+        # merging first, then let rebalance undo it.
+        elements = make_uniform_elements(90, seed=25)
+        idx = make_sharded(elements, num_shards=3, seed=25)
+        a, b = sorted(idx.router.map.shard_names)[:2]
+        idx.merge_shards(a, b)
+        # Two shards left at ~2:1; a 1.2x-mean ceiling flags the big one.
+        actions = idx.rebalance(max_ratio=1.2)
+        assert actions  # the merged double-size shard split back
+        assert idx.stats.rebalances == 1
+        assert idx.query(EVERYTHING, 10) == oracle_top_k(elements, EVERYTHING, 10)
+
+
+class TestEpochSafety:
+    def test_mid_query_split_forces_retry_and_stays_exact(self):
+        elements = make_uniform_elements(80, seed=31)
+        idx = make_sharded(elements, num_shards=3, seed=31)
+        fired = {"done": False}
+        original = idx.executor._probe_fn
+
+        def probe_with_split(shard, predicate, k_prime, trace):
+            if not fired["done"]:
+                fired["done"] = True
+                idx.split_shard()  # topology changes mid-scatter
+            return original(shard, predicate, k_prime, trace)
+
+        idx.executor._probe_fn = probe_with_split
+        answer = idx.query(EVERYTHING, 11)
+        assert answer == oracle_top_k(elements, EVERYTHING, 11)
+        assert fired["done"]
+        assert idx.stats.stale_map_retries >= 1
+
+    def test_map_churn_storm_raises_stale_shard_map(self):
+        elements = make_uniform_elements(40, seed=32)
+        idx = make_sharded(elements, num_shards=2, seed=32)
+        original = idx.executor._probe_fn
+
+        def probe_with_churn(shard, predicate, k_prime, trace):
+            idx.router.invalidate()  # every probe invalidates the map
+            return original(shard, predicate, k_prime, trace)
+
+        idx.executor._probe_fn = probe_with_churn
+        with pytest.raises(StaleShardMap) as excinfo:
+            idx.query(EVERYTHING, 5)
+        assert excinfo.value.current > excinfo.value.epoch
+
+    def test_install_requires_monotone_epoch(self):
+        elements = make_uniform_elements(30, seed=33)
+        idx = make_sharded(elements, num_shards=2, seed=33)
+        stale = ShardMap(
+            epoch=idx.router.epoch,
+            bucket_to_shard=idx.router.map.bucket_to_shard,
+        )
+        with pytest.raises(InvalidConfiguration):
+            idx.router.install(stale)
+
+
+class TestShardLoss:
+    def test_single_shard_crash_sweep_recovers_everywhere(self):
+        elements = make_uniform_elements(72, seed=41)
+        idx = make_sharded(elements, num_shards=4, seed=41)
+        for round_, name in enumerate(sorted(idx.router.shards)):
+            idx.router.shards[name].machine.mark_dead()
+            # k = n cannot prune (the threshold never fills), so the
+            # dead shard is guaranteed to be probed and recovered.
+            k = len(elements)
+            assert idx.query(EVERYTHING, k) == oracle_top_k(
+                elements, EVERYTHING, k
+            )
+            assert idx.router.shards[name].machine.alive
+            assert idx.stats.shard_recoveries == round_ + 1
+        assert idx.stats.shard_losses == 4
+
+    def test_crash_during_split_recovers_and_completes(self):
+        elements = make_uniform_elements(64, seed=42)
+        idx = make_sharded(elements, num_shards=2, seed=42)
+        donor_name = max(
+            sorted(idx.router.shard_sizes()),
+            key=lambda s: idx.router.shard_sizes()[s],
+        )
+        donor = idx.router.shards[donor_name]
+        # Kill the donor machine partway through the handover deletes.
+        donor.machine.plan.schedule_crash(at_io=6)
+        donor.machine.plan.arm()
+        idx.split_shard(donor_name)
+        assert idx.stats.shard_losses >= 1
+        assert idx.stats.shard_recoveries >= 1
+        assert idx.n == len(elements)
+        rng = random.Random(42)
+        for _ in range(8):
+            predicate = random_predicate(rng, elements)
+            assert idx.query(predicate, 7) == oracle_top_k(elements, predicate, 7)
+
+    def test_unrecoverable_shard_raises_without_partial(self):
+        elements = make_uniform_elements(48, seed=43)
+        idx = make_sharded(elements, num_shards=3, seed=43)
+        # The shard holding the global max is always visited first.
+        top = max(elements, key=lambda e: e.weight)
+        victim = idx.router.shard_for(top)
+        victim.machine.mark_dead()
+
+        def refuse(shard, trace=None):
+            raise ShardUnavailable("durable record gone", shard=shard.name)
+
+        idx._recover_shard = refuse
+        with pytest.raises(ShardUnavailable):
+            idx.query(EVERYTHING, 6)
+
+    def test_unrecoverable_shard_serves_partial_with_flag(self):
+        elements = make_zipf_elements(48, seed=44)
+        idx = make_sharded(
+            elements, num_shards=3, seed=44, allow_partial=True
+        )
+        # The shard holding the global max is always visited first.
+        top = max(elements, key=lambda e: e.weight)
+        victim = idx.router.shard_for(top)
+        victim.machine.mark_dead()
+
+        def refuse(shard, trace=None):
+            raise ShardUnavailable("durable record gone", shard=shard.name)
+
+        idx._recover_shard = refuse
+        surviving = [
+            e
+            for name, shard in idx.router.shards.items()
+            if name != victim.name
+            for e in shard.elements
+        ]
+        answer = idx.query(EVERYTHING, 10)
+        assert idx.last_partial
+        assert idx.stats.partial_answers >= 1
+        assert answer == oracle_top_k(surviving, EVERYTHING, 10)
+
+    def test_replicated_shard_fails_over_internally(self):
+        elements = make_uniform_elements(60, seed=45)
+        idx = make_sharded(
+            elements, num_shards=2, seed=45, replicas_per_shard=2
+        )
+        shard = idx.router.shards[sorted(idx.router.shards)[0]]
+        shard.backend.replicas[0].mark_dead()  # primary of the set
+        assert idx.query(EVERYTHING, 9) == oracle_top_k(elements, EVERYTHING, 9)
+        # The set promoted a follower; the shard never counted as lost.
+        assert idx.stats.shard_losses == 0
+        epoch, _ = idx.read_stamp()
+        assert epoch >= 1  # the failover epoch surfaces in the stamp
