@@ -13,10 +13,12 @@ four simulated shard machines by
    and the running k-th weight prunes every shard whose bound cannot
    crack the answer — on skewed weights most shards are never
    contacted;
-3. the hottest shard is **split online**: the map's epoch is bumped
-   first (in-flight queries retry rather than answer stale), the donor
-   is checkpointed, the moving elements are handed over under WAL
-   protection, and the new topology is installed;
+3. the hottest shard is **split online** inside the router's
+   topology-change window: the map's epoch is bumped and latched in
+   flux first (in-flight queries retry, new ones block rather than
+   plan against mid-move contents), the donor is checkpointed, the
+   moving elements are handed over under WAL protection, and the new
+   topology is installed — releasing the latch;
 4. a shard machine is killed mid-workload; the query path recovers it
    from its surviving disk on the spot (snapshot + replayed WAL tail)
    and the answer is still exact;

@@ -68,12 +68,13 @@ def _sort_key(predicate: Predicate) -> Tuple[str, str]:
     memory address — the same batch would then plan its groups in a
     different order on every run (and on every process, under hash
     randomization).  Dataclass predicates (the repo convention) key on
-    their field values; anything else falls back to ``repr`` with
-    memory addresses masked out.
+    their field values; anything else falls back to ``repr``.  Either
+    way, memory addresses are masked out — a dataclass field's *value*
+    may itself be an object without its own ``__repr__``.
     """
     if dataclasses.is_dataclass(predicate):
         detail = repr(
-            [(f.name, repr(getattr(predicate, f.name)))
+            [(f.name, _ADDRESS_RE.sub("0xADDR", repr(getattr(predicate, f.name))))
              for f in dataclasses.fields(predicate)]
         )
     else:

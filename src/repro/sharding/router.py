@@ -21,19 +21,29 @@ The router is the sharded index's metadata plane:
 
 The router itself is coordinator-state: it lives in host memory next
 to the result cache and the batch planner, and its mutations (install,
-invalidate) happen only on the coordinating thread.  Worker threads
-touch shards strictly under each shard's own lock.
+invalidate, topology_change) happen only on the coordinating thread.
+Worker threads touch shards strictly under each shard's own lock.
+
+Epoch bumps alone cannot fence a query that starts *and* finishes
+inside a single split's invalidate -> install window (it would snapshot
+the already-bumped epoch, see half-moved shard contents, and pass the
+gather-time check).  :meth:`ShardRouter.topology_change` therefore
+marks the map **in flux** for the whole window: :meth:`snapshot` and
+:meth:`shard_for` block until the final map is published (or the
+change aborts), so no route is ever planned against a topology whose
+shard contents are mid-move.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.interfaces import DynamicMaxIndex, MaxIndex
 from repro.core.problem import Element
-from repro.resilience.errors import InvalidConfiguration
+from repro.resilience.errors import InvalidConfiguration, StaleShardMap
 from repro.sharding.partitioner import Partitioner
 
 
@@ -168,6 +178,7 @@ class ShardRouter:
         partitioner: Partitioner,
         shard_map: ShardMap,
         shards: Dict[str, Shard],
+        flux_timeout: float = 10.0,
     ) -> None:
         missing = set(shard_map.shard_names) - set(shards)
         if missing:
@@ -177,28 +188,70 @@ class ShardRouter:
         self.partitioner = partitioner
         self.map = shard_map
         self.shards = shards
+        #: Longest a query waits for an in-progress split/merge to
+        #: publish before giving up with :class:`StaleShardMap`.
+        self.flux_timeout = flux_timeout
+        self._flux_cond = threading.Condition()
+        self._in_flux = False
 
     @property
     def epoch(self) -> int:
         return self.map.epoch
 
     @property
+    def in_flux(self) -> bool:
+        """Whether a split/merge is between ``invalidate`` and ``install``."""
+        return self._in_flux
+
+    @property
     def num_shards(self) -> int:
         return len(self.map.shard_names)
 
     # ------------------------------------------------------------------
+    def _await_settled(self) -> None:
+        """Block (bounded) while a topology change is mid-window.
+
+        Must be called with ``_flux_cond`` held.  Raises
+        :class:`StaleShardMap` if the change never settles — a hung
+        split must not wedge every query forever.
+        """
+        if not self._flux_cond.wait_for(
+            lambda: not self._in_flux, timeout=self.flux_timeout
+        ):
+            raise StaleShardMap(
+                f"topology change did not settle within {self.flux_timeout}s",
+                epoch=self.map.epoch,
+                current=self.map.epoch,
+            )
+
     def shard_for(self, element: Element) -> Shard:
-        """Route an element through bucket -> owner -> shard."""
-        bucket = self.partitioner.bucket_of(element)
-        return self.shards[self.map.bucket_to_shard[bucket]]
+        """Route an element through bucket -> owner -> shard.
+
+        Blocks while a split/merge is mid-window: routing against a map
+        whose shard contents are moving could land an update on a donor
+        after its moving set was computed, stranding the element.
+        """
+        with self._flux_cond:
+            self._await_settled()
+            bucket = self.partitioner.bucket_of(element)
+            return self.shards[self.map.bucket_to_shard[bucket]]
 
     def snapshot(self) -> MapSnapshot:
-        """Pin the current epoch and its shards (deterministic order)."""
-        current = self.map
-        return MapSnapshot(
-            epoch=current.epoch,
-            shards=tuple(self.shards[name] for name in current.shard_names),
-        )
+        """Pin the current epoch and its shards (deterministic order).
+
+        Blocks while a split/merge is mid-window.  Epoch validation
+        alone cannot catch a query that starts *and* finishes inside
+        the window (it would pin the already-bumped epoch over
+        half-moved shard contents), so snapshots are simply not handed
+        out until the final map is published.
+        """
+        with self._flux_cond:
+            self._await_settled()
+            current = self.map
+            return MapSnapshot(
+                epoch=current.epoch,
+                shards=tuple(self.shards[name] for name in current.shard_names),
+            )
 
     def shard_sizes(self) -> Dict[str, int]:
         """Per-shard element counts (rebalancing diagnostics)."""
@@ -210,12 +263,41 @@ class ShardRouter:
     def invalidate(self) -> None:
         """Bump the epoch without changing routes.
 
-        Called at the *start* of a split/merge: any scatter-gather in
-        flight (e.g. one that triggered the rebalance from a mid-query
-        hook) planned against the old epoch and must retry, because
-        shard contents are about to move underneath it.
+        A bare fence: any scatter-gather in flight planned against the
+        old epoch and must retry.  Splits/merges do NOT call this
+        directly — they run inside :meth:`topology_change`, which also
+        latches the in-flux flag for the whole window.
         """
-        self.map = replace(self.map, epoch=self.map.epoch + 1)
+        with self._flux_cond:
+            self.map = replace(self.map, epoch=self.map.epoch + 1)
+
+    @contextmanager
+    def topology_change(self):
+        """The split/merge window: epoch bump + in-flux latch.
+
+        On entry the epoch is bumped (in-flight queries planned against
+        the old epoch will discard and retry) and the map is marked in
+        flux (new snapshots/routes block — a query must never plan
+        against shard contents that are mid-move).  :meth:`install`
+        publishes the final map and releases the latch; if the body
+        exits without installing (an aborted change), the latch is
+        released on exit and the map keeps its old routes at the bumped
+        epoch — a clean rollback.
+        """
+        with self._flux_cond:
+            if self._in_flux:
+                raise InvalidConfiguration(
+                    "nested topology changes are not supported"
+                )
+            self._in_flux = True
+            self.map = replace(self.map, epoch=self.map.epoch + 1)
+        try:
+            yield self
+        finally:
+            with self._flux_cond:
+                if self._in_flux:  # aborted before install(): roll back
+                    self._in_flux = False
+                    self._flux_cond.notify_all()
 
     def install(
         self,
@@ -223,21 +305,31 @@ class ShardRouter:
         add: Optional[Shard] = None,
         retire: Optional[str] = None,
     ) -> None:
-        """Publish a new topology epoch (and register/retire shards)."""
-        if new_map.epoch <= self.map.epoch:
-            raise InvalidConfiguration(
-                f"new map epoch {new_map.epoch} must exceed current {self.map.epoch}"
-            )
-        if add is not None:
-            self.shards[add.name] = add
-        if retire is not None:
-            del self.shards[retire]
-        missing = set(new_map.shard_names) - set(self.shards)
-        if missing:
-            raise InvalidConfiguration(
-                f"shard map names unknown shards: {sorted(missing)}"
-            )
-        self.map = new_map
+        """Publish a new topology epoch (and register/retire shards).
+
+        Also releases the in-flux latch: installation is the moment the
+        new topology becomes routable, so blocked snapshots wake here
+        and plan against exactly the published map.
+        """
+        with self._flux_cond:
+            if new_map.epoch <= self.map.epoch:
+                raise InvalidConfiguration(
+                    f"new map epoch {new_map.epoch} must exceed current "
+                    f"{self.map.epoch}"
+                )
+            if add is not None:
+                self.shards[add.name] = add
+            if retire is not None:
+                del self.shards[retire]
+            missing = set(new_map.shard_names) - set(self.shards)
+            if missing:
+                raise InvalidConfiguration(
+                    f"shard map names unknown shards: {sorted(missing)}"
+                )
+            self.map = new_map
+            if self._in_flux:
+                self._in_flux = False
+                self._flux_cond.notify_all()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = ", ".join(f"{k}:{v}" for k, v in self.shard_sizes().items())

@@ -36,7 +36,9 @@ final k-th weight — so nothing skippable can belong to the answer
 Every run pins the router's epoch first and re-validates it after the
 gather; a topology change in between (split/merge — the router bumps
 the epoch before touching shard contents) discards the run and retries
-against the fresh map.  Shard machine deaths during a probe go through
+against the fresh map.  Pinning itself blocks while a change is
+mid-window (the router's in-flux latch), so a run can never plan — or
+validate — against a map whose shard contents are half-moved.  Shard machine deaths during a probe go through
 the owner's shard-loss ladder (replica failover / disk recovery /
 partial-with-flag), mirroring the PR-3 story at shard granularity.
 """
@@ -74,8 +76,15 @@ def merge_topk(runs: Sequence[Sequence[Element]], k: int) -> List[Element]:
 
 @dataclass
 class ProbeTrace:
-    """Per-query probe accounting, folded into :class:`ShardingStats`."""
+    """Per-query probe accounting, folded into :class:`ShardingStats`.
 
+    Also carries the query's own ``partial_ok`` decision so the probe
+    callback reads per-call state — never shared index state, which
+    concurrent queries with different ``allow_partial`` choices would
+    race on.
+    """
+
+    partial_ok: bool = False  # this query's allow_partial decision
     shard_slots: int = 0      # shards in the map when the query planned
     max_probes: int = 0       # bound probes (one per mapped shard)
     shard_probes: int = 0     # top-k' traversals actually issued
@@ -159,26 +168,32 @@ class ScatterGatherExecutor:
         self._probe_fn = probe_fn
         self.escalation_factor = max(2, escalation_factor)
         self.max_map_retries = max(1, max_map_retries)
-        self._stats_lock = threading.Lock()
+        #: Serializes every mutation of the shared cumulative stats —
+        #: the owning index increments its own counters under it too.
+        self.stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def scatter_gather(
-        self, predicate: Predicate, k: int, stats=None
+        self, predicate: Predicate, k: int, stats=None, partial_ok: bool = False
     ) -> "GatherResult":
         """One exact top-k answer, retried across topology epochs."""
         last_epoch = -1
         for _ in range(self.max_map_retries):
             snapshot = self.router.snapshot()
             last_epoch = snapshot.epoch
-            trace = ProbeTrace(shard_slots=len(snapshot.shards))
+            trace = ProbeTrace(
+                partial_ok=partial_ok, shard_slots=len(snapshot.shards)
+            )
             answer = self._run(snapshot, predicate, k, trace)
-            if self.router.epoch == snapshot.epoch:
+            # Valid only if the topology neither moved on (epoch) nor
+            # started moving (flux) since the snapshot was pinned.
+            if self.router.epoch == snapshot.epoch and not self.router.in_flux:
                 if stats is not None:
-                    with self._stats_lock:
+                    with self.stats_lock:
                         trace.add_to(stats)
                 return GatherResult(answer=answer, trace=trace)
             if stats is not None:
-                with self._stats_lock:
+                with self.stats_lock:
                     stats.stale_map_retries += 1
                     # Machine deaths are real even in a discarded run.
                     stats.shard_losses += trace.shard_losses

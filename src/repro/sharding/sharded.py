@@ -18,11 +18,14 @@ coordinator mirrors it into the routing summary (membership + max
 structure), and a :class:`SimulatedCrash` mid-update triggers
 recover-from-disk plus an idempotent retry (membership check first).
 
-**Online splits and merges** rebalance a hot topology without a stop:
+**Online splits and merges** rebalance a hot topology without a stop.
+The whole change runs inside the router's ``topology_change`` window:
 
-1. the router's epoch is bumped immediately (in-flight scatter-gathers
-   planned against the old epoch will discard and retry — stale
-   routes are never silently wrong);
+1. on entry the router's epoch is bumped (in-flight scatter-gathers
+   planned against the old epoch will discard and retry) *and* the map
+   is latched **in flux** — new snapshots and routes block until the
+   final map is published, so a query can neither plan nor validate
+   against half-moved shard contents;
 2. the donor is checkpointed (snapshot + WAL truncation — the durable
    baseline a crash rolls back to);
 3. a split builds the recipient machine from the moving bucket's
@@ -32,8 +35,17 @@ recover-from-disk plus an idempotent retry (membership check first).
 4. the moving elements are WAL-deleted from the donor one committed
    record at a time; a crash mid-stream recovers the donor from its
    disk (snapshot + replayed tail) and resumes idempotently;
-5. the new map is installed — one more epoch bump — and only then do
-   queries route to the new topology.
+5. the new map is installed — one more epoch bump, releasing the
+   latch — and only then do queries route to the new topology.
+
+Failure atomicity: the recipient is built (durably) *before* any
+element leaves the donor, so if the donor's disk proves unrecoverable
+mid-handover the new map is installed anyway — every moving element
+stays reachable on the recipient, the dead donor degrades through the
+ordinary shard-loss ladder, and :class:`ShardUnavailable` surfaces to
+the caller.  A change that fails before the recipient exists aborts
+cleanly: the latch is released, routes are unchanged, and the entry
+epoch bump already forced overlapping queries to retry.
 
 **Shard loss ladder** (the degradation story at shard granularity):
 a replicated shard fails over inside its own replica set; a durable
@@ -55,6 +67,7 @@ window (``batched()``) open for the batch's duration.
 
 from __future__ import annotations
 
+import threading
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -192,8 +205,7 @@ class ShardedTopKIndex(TopKIndex):
         self.allow_partial = allow_partial
         self.replica_set_kwargs = dict(replica_set_kwargs or {})
         self.stats = ShardingStats()
-        self.last_partial = False
-        self._partial_ok = allow_partial
+        self._query_local = threading.local()
         self._weights = {element.weight for element in elements}
         self._next_shard_id = num_shards
 
@@ -219,6 +231,10 @@ class ShardedTopKIndex(TopKIndex):
             escalation_factor=escalation_factor,
             max_map_retries=max_map_retries,
         )
+        # One lock for every cumulative-stats mutation: the executor
+        # folds traces under it, and the index's own counters join it so
+        # parallel batch workers never drop increments.
+        self._stats_lock = self.executor.stats_lock
 
     # ------------------------------------------------------------------
     # Shard construction / recovery
@@ -276,7 +292,8 @@ class ShardedTopKIndex(TopKIndex):
         if trace is not None:
             trace.shard_losses += 1
         else:
-            self.stats.shard_losses += 1
+            with self._stats_lock:
+                self.stats.shard_losses += 1
         try:
             durable = DurableTopKIndex.recover(
                 shard.machine.disk,
@@ -297,7 +314,8 @@ class ShardedTopKIndex(TopKIndex):
         if trace is not None:
             trace.shard_recoveries += 1
         else:
-            self.stats.shard_recoveries += 1
+            with self._stats_lock:
+                self.stats.shard_recoveries += 1
 
     # ------------------------------------------------------------------
     # TopKIndex surface
@@ -339,17 +357,34 @@ class ShardedTopKIndex(TopKIndex):
                 lsn += backend.applied_lsn
         return (epoch, lsn)
 
+    @property
+    def last_partial(self) -> bool:
+        """Whether *this thread's* latest query served a partial answer.
+
+        Thread-local on purpose: parallel batch workers run whole
+        queries concurrently, and a shared flag would let one worker's
+        partial answer masquerade as another's.  Cross-thread totals
+        live in :attr:`ShardingStats.partial_answers`.
+        """
+        return getattr(self._query_local, "last_partial", False)
+
+    @last_partial.setter
+    def last_partial(self, value: bool) -> None:
+        self._query_local.last_partial = value
+
     def query(
         self, predicate: Predicate, k: int, allow_partial: Optional[bool] = None
     ) -> List[Element]:
         """Exact top-k via pruned scatter-gather (module docstring)."""
-        self.stats.queries += 1
+        with self._stats_lock:
+            self.stats.queries += 1
         self.last_partial = False
         if k <= 0:
             return []
         partial_ok = self.allow_partial if allow_partial is None else allow_partial
-        self._partial_ok = partial_ok
-        result = self.executor.scatter_gather(predicate, k, stats=self.stats)
+        result = self.executor.scatter_gather(
+            predicate, k, stats=self.stats, partial_ok=partial_ok
+        )
         self.last_partial = result.partial
         return result.answer
 
@@ -361,7 +396,9 @@ class ShardedTopKIndex(TopKIndex):
         The shard-loss ladder lives here: replica-set shards absorb
         crashes internally (their own failover); a durable shard that
         dies is recovered from disk and re-probed once; an
-        unrecoverable shard yields ``None`` (partial) or raises.
+        unrecoverable shard yields ``None`` (partial) or raises.  The
+        partial decision is the *query's own* (``trace.partial_ok``),
+        never shared index state — concurrent queries may differ on it.
         """
         for attempt in range(2):
             try:
@@ -378,13 +415,13 @@ class ShardedTopKIndex(TopKIndex):
                     with shard.lock:
                         self._recover_shard(shard, trace)
                 except ShardUnavailable:
-                    if self._partial_ok:
+                    if trace.partial_ok:
                         return None
                     raise
             except ReplicaUnavailable:
                 # A replica-set shard with every machine gone and no
                 # recoverable disk: same terminal rung as above.
-                if self._partial_ok:
+                if trace.partial_ok:
                     trace.shard_losses += 1
                     return None
                 raise ShardUnavailable(
@@ -440,7 +477,8 @@ class ShardedTopKIndex(TopKIndex):
             ]
             for index, (predicate, k) in enumerate(pairs):
                 partitions[index % len(partitions)].append((index, predicate, k))
-            self.stats.parallel_batches += 1
+            with self._stats_lock:
+                self.stats.parallel_batches += 1
             futures = [
                 pool.submit(self._run_partition, partition)
                 for partition in partitions
@@ -466,7 +504,8 @@ class ShardedTopKIndex(TopKIndex):
             r if isinstance(r, QueryRequest) else QueryRequest(r[0], r[1])
             for r in requests
         ]
-        self.stats.batch_queries += len(normalized)
+        with self._stats_lock:
+            self.stats.batch_queries += len(normalized)
         plan = plan_batch(normalized)
         full_by_group = self.batch_groups(
             [(group.predicate, group.max_k) for group in plan.groups],
@@ -491,14 +530,16 @@ class ShardedTopKIndex(TopKIndex):
             )
         shard = self.router.shard_for(element)
         self._update(shard, "insert", element)
-        self.stats.inserts += 1
+        with self._stats_lock:
+            self.stats.inserts += 1
         self._weights.add(element.weight)
         shard.add_member(element, self.max_factory)
 
     def delete(self, element: Element) -> None:
         shard = self.router.shard_for(element)
         self._update(shard, "delete", element)
-        self.stats.deletes += 1
+        with self._stats_lock:
+            self.stats.deletes += 1
         self._weights.discard(element.weight)
         shard.drop_member(element, self.max_factory)
 
@@ -568,6 +609,16 @@ class ShardedTopKIndex(TopKIndex):
 
         Follows the WAL-protected protocol in the module docstring.
         Returns ``(donor, new_shard)``.
+
+        Failure atomicity: a failure *before* the recipient is built
+        aborts with routes unchanged (the window's entry epoch bump
+        already retries overlapping queries).  Once the recipient
+        exists it durably holds every moving element, so a donor whose
+        disk proves unrecoverable during the handover deletes no longer
+        blocks the split: the new map is installed anyway — moving
+        elements stay reachable on the recipient, the dead donor
+        degrades through the ordinary shard-loss ladder — and the
+        :class:`ShardUnavailable` is re-raised to surface the loss.
         """
         if name is None:
             sizes = self.router.shard_sizes()
@@ -577,33 +628,44 @@ class ShardedTopKIndex(TopKIndex):
             raise InvalidConfiguration(
                 f"shard {name!r} owns a single bucket and cannot split"
             )
-        # 1. In-flight queries must retry: contents are about to move.
-        self.router.invalidate()
-        # 2. Durable baseline of the donor.
-        self._checkpoint_shard(shard)
-        # 3. Choose the moving half: upper buckets by cumulative count
-        #    (keeps ranges contiguous under the weight-aware strategy).
-        moving_buckets = self._moving_half(shard)
-        moving_set = set(moving_buckets)
-        bucket_of = self.router.partitioner.bucket_of
-        moving = [e for e in shard.elements if bucket_of(e) in moving_set]
-        # 4. Recipient machine, durable from birth.
-        new_name = f"shard-{self._next_shard_id}"
-        self._next_shard_id += 1
-        new_shard = self._make_shard(new_name, moving, moving_buckets)
-        # 5. WAL-deleted handover from the donor (crash => recover+resume).
-        for element in moving:
-            self._update(shard, "delete", element)
-        with shard.lock:
-            for element in moving:
-                del shard.elements[element]
-            shard.buckets -= moving_set
-            shard.max_index = self.max_factory(list(shard.elements))
-        # 6. Publish the new topology.
-        self.router.install(
-            self.router.map.moved(moving_buckets, new_name), add=new_shard
-        )
-        self.stats.splits += 1
+        donor_lost: Optional[ShardUnavailable] = None
+        # 1. Epoch bump + in-flux latch: overlapping queries retry, new
+        #    ones block until the final map is published (or we abort).
+        with self.router.topology_change():
+            # 2. Durable baseline of the donor.
+            self._checkpoint_shard(shard)
+            # 3. Choose the moving half: upper buckets by cumulative
+            #    count (keeps ranges contiguous under the weight-aware
+            #    strategy).
+            moving_buckets = self._moving_half(shard)
+            moving_set = set(moving_buckets)
+            bucket_of = self.router.partitioner.bucket_of
+            moving = [e for e in shard.elements if bucket_of(e) in moving_set]
+            # 4. Recipient machine, durable from birth — built before
+            #    anything leaves the donor (the atomicity pivot).
+            new_name = f"shard-{self._next_shard_id}"
+            self._next_shard_id += 1
+            new_shard = self._make_shard(new_name, moving, moving_buckets)
+            # 5. WAL-deleted handover from the donor (crash =>
+            #    recover+resume; unrecoverable => publish anyway).
+            try:
+                for element in moving:
+                    self._update(shard, "delete", element)
+            except ShardUnavailable as exc:
+                donor_lost = exc
+            with shard.lock:
+                for element in moving:
+                    shard.elements.pop(element, None)
+                shard.buckets -= moving_set
+                shard.max_index = self.max_factory(list(shard.elements))
+            # 6. Publish the new topology (releases the latch).
+            self.router.install(
+                self.router.map.moved(moving_buckets, new_name), add=new_shard
+            )
+        with self._stats_lock:
+            self.stats.splits += 1
+        if donor_lost is not None:
+            raise donor_lost
         return (name, new_name)
 
     def _moving_half(self, shard: Shard) -> List[int]:
@@ -626,27 +688,38 @@ class ShardedTopKIndex(TopKIndex):
         return sorted(moving)
 
     def merge_shards(self, survivor_name: str, donor_name: str) -> str:
-        """Fold ``donor`` into ``survivor`` and retire its machine."""
+        """Fold ``donor`` into ``survivor`` and retire its machine.
+
+        Runs inside the same in-flux window as a split, so no query
+        ever sees an element on both machines: the duplicate interval
+        (inserted into the survivor, not yet dropped from the map's
+        donor routes) is invisible — snapshots block until the final
+        map, which retires the donor, is installed.  A survivor that
+        proves unrecoverable mid-insert aborts the merge wholesale:
+        routes are unchanged, the donor still serves its slice, and the
+        dead survivor degrades through the shard-loss ladder.
+        """
         if survivor_name == donor_name:
             raise InvalidConfiguration("cannot merge a shard into itself")
         survivor = self.router.shards[survivor_name]
         donor = self.router.shards[donor_name]
-        self.router.invalidate()
-        self._checkpoint_shard(survivor)
-        self._checkpoint_shard(donor)
-        incoming = list(donor.elements)
-        for element in incoming:
-            self._update(survivor, "insert", element)
-        with survivor.lock:
+        with self.router.topology_change():
+            self._checkpoint_shard(survivor)
+            self._checkpoint_shard(donor)
+            incoming = list(donor.elements)
             for element in incoming:
-                survivor.elements[element] = None
-            survivor.buckets |= donor.buckets
-            survivor.max_index = self.max_factory(list(survivor.elements))
-        self.router.install(
-            self.router.map.moved(sorted(donor.buckets), survivor_name),
-            retire=donor_name,
-        )
-        self.stats.merges += 1
+                self._update(survivor, "insert", element)
+            with survivor.lock:
+                for element in incoming:
+                    survivor.elements[element] = None
+                survivor.buckets |= donor.buckets
+                survivor.max_index = self.max_factory(list(survivor.elements))
+            self.router.install(
+                self.router.map.moved(sorted(donor.buckets), survivor_name),
+                retire=donor_name,
+            )
+        with self._stats_lock:
+            self.stats.merges += 1
         return survivor_name
 
     def rebalance(self, max_ratio: float = 2.0, max_actions: int = 4) -> List[Tuple[str, str]]:
@@ -670,7 +743,8 @@ class ShardedTopKIndex(TopKIndex):
                 break
             actions.append(self.split_shard(hot))
         if actions:
-            self.stats.rebalances += 1
+            with self._stats_lock:
+                self.stats.rebalances += 1
         return actions
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -188,3 +188,29 @@ def test_sort_key_uses_dataclass_fields():
     assert "'lo'" in key[1] and "'hi'" in key[1]
     assert key == _sort_key(RangePredicate(1, 2))
     assert key != _sort_key(RangePredicate(1, 3))
+
+
+def test_sort_key_masks_addresses_inside_dataclass_fields():
+    """A dataclass predicate may hold a field *value* without its own
+    ``__repr__``; the per-field reprs must mask addresses too, or group
+    order is nondeterministic across processes for exactly that case.
+    """
+    import dataclasses
+
+    from repro.serving.batch import _sort_key
+
+    class Anchor:  # default object repr: embeds a memory address
+        def __init__(self, value):
+            self.value = value
+
+    @dataclasses.dataclass(frozen=True, eq=False)
+    class NearAnchor:
+        anchor: Anchor
+
+        def matches(self, obj):
+            return obj == self.anchor.value
+
+    a, b = NearAnchor(Anchor(7)), NearAnchor(Anchor(7))
+    assert repr(a.anchor) != repr(b.anchor)  # addresses really differ
+    assert "0x" not in _sort_key(a)[1].replace("0xADDR", "")
+    assert _sort_key(a) == _sort_key(b)

@@ -1,6 +1,7 @@
 """Online splits/merges, epoch safety, and the shard-loss ladder."""
 
 import random
+import threading
 
 import pytest
 
@@ -137,6 +138,56 @@ class TestEpochSafety:
         with pytest.raises(InvalidConfiguration):
             idx.router.install(stale)
 
+    def test_query_blocks_inside_topology_change_window(self):
+        """A query must not run entirely inside invalidate -> install.
+
+        Epoch validation alone misses it: the query would snapshot the
+        already-bumped epoch over half-moved shard contents and pass
+        the gather-time check.  The in-flux latch makes it block until
+        the change settles (here: aborts) instead.
+        """
+        elements = make_uniform_elements(60, seed=34)
+        idx = make_sharded(elements, num_shards=3, seed=34)
+        window = idx.router.topology_change()
+        window.__enter__()
+        assert idx.router.in_flux
+        result = {}
+        worker = threading.Thread(
+            target=lambda: result.setdefault("answer", idx.query(EVERYTHING, 7))
+        )
+        worker.start()
+        worker.join(timeout=0.3)
+        assert worker.is_alive()  # blocked in snapshot, not answering
+        assert "answer" not in result
+        window.__exit__(None, None, None)  # abort: no install happened
+        worker.join(timeout=5)
+        assert not worker.is_alive()
+        assert not idx.router.in_flux
+        assert result["answer"] == oracle_top_k(elements, EVERYTHING, 7)
+
+    def test_flux_that_never_settles_raises_stale_shard_map(self):
+        elements = make_uniform_elements(30, seed=35)
+        idx = make_sharded(elements, num_shards=2, seed=35)
+        idx.router.flux_timeout = 0.05
+        window = idx.router.topology_change()
+        window.__enter__()
+        try:
+            with pytest.raises(StaleShardMap):
+                idx.query(EVERYTHING, 3)
+        finally:
+            window.__exit__(None, None, None)
+        # The latch released: queries flow again.
+        assert idx.query(EVERYTHING, 3) == oracle_top_k(elements, EVERYTHING, 3)
+
+    def test_nested_topology_changes_are_rejected(self):
+        elements = make_uniform_elements(30, seed=36)
+        idx = make_sharded(elements, num_shards=2, seed=36)
+        with idx.router.topology_change():
+            with pytest.raises(InvalidConfiguration):
+                with idx.router.topology_change():
+                    pass  # pragma: no cover
+        assert not idx.router.in_flux
+
 
 class TestShardLoss:
     def test_single_shard_crash_sweep_recovers_everywhere(self):
@@ -213,6 +264,109 @@ class TestShardLoss:
         assert idx.last_partial
         assert idx.stats.partial_answers >= 1
         assert answer == oracle_top_k(surviving, EVERYTHING, 10)
+
+    def test_unrecoverable_donor_mid_split_keeps_moving_elements_reachable(self):
+        """Split failure atomicity: the recipient is published anyway.
+
+        The recipient durably holds every moving element before the
+        donor deletes begin, so a donor whose disk dies unrecoverably
+        mid-handover must not strand them: the new map is installed,
+        the moving elements serve from the recipient, and the dead
+        donor degrades through the ordinary shard-loss ladder.
+        """
+        elements = make_uniform_elements(64, seed=46)
+        idx = make_sharded(elements, num_shards=2, seed=46)
+        sizes = idx.router.shard_sizes()
+        donor_name = max(sorted(sizes), key=lambda s: sizes[s])
+        donor = idx.router.shards[donor_name]
+        before = set(idx.router.shards)
+
+        original_update = idx._update
+        seen = {"deletes": 0}
+
+        def dying_update(shard, op, element):
+            if op == "delete" and shard.name == donor_name:
+                seen["deletes"] += 1
+                if seen["deletes"] == 3:  # disk dies mid-handover
+                    donor.machine.mark_dead()
+                    raise ShardUnavailable(
+                        "durable record gone", shard=donor_name
+                    )
+            return original_update(shard, op, element)
+
+        idx._update = dying_update
+        with pytest.raises(ShardUnavailable):
+            idx.split_shard(donor_name)
+        assert not idx.router.in_flux
+
+        # The new shard is registered and owns the moving buckets.
+        new_names = set(idx.router.shards) - before
+        assert len(new_names) == 1
+        new_name = new_names.pop()
+        moving = set(idx.router.shards[new_name].elements)
+        assert moving
+        assert moving == {
+            e
+            for e in elements
+            if idx.router.map.bucket_to_shard[
+                idx.router.partitioner.bucket_of(e)
+            ]
+            == new_name
+        }
+
+        # The donor stays down; partial queries still serve everything
+        # that is not stranded on it — all moving elements included.
+        def refuse(shard, trace=None):
+            raise ShardUnavailable("durable record gone", shard=shard.name)
+
+        idx._recover_shard = refuse
+        reachable = [
+            e
+            for name, shard in idx.router.shards.items()
+            if name != donor_name
+            for e in shard.elements
+        ]
+        assert moving <= set(reachable)
+        answer = idx.query(EVERYTHING, len(elements), allow_partial=True)
+        assert answer == oracle_top_k(reachable, EVERYTHING, len(elements))
+
+    def test_partial_flag_is_per_call_under_concurrency(self):
+        """allow_partial must never leak between concurrent queries.
+
+        A strict query racing partial-tolerant ones has to raise — the
+        per-call decision rides on the query's own trace, not shared
+        index state.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        elements = make_uniform_elements(48, seed=47)
+        idx = make_sharded(elements, num_shards=3, seed=47, allow_partial=True)
+        top = max(elements, key=lambda e: e.weight)
+        victim = idx.router.shard_for(top)
+        victim.machine.mark_dead()
+
+        def refuse(shard, trace=None):
+            raise ShardUnavailable("durable record gone", shard=shard.name)
+
+        idx._recover_shard = refuse
+        surviving = [
+            e
+            for name, shard in idx.router.shards.items()
+            if name != victim.name
+            for e in shard.elements
+        ]
+        expected = oracle_top_k(surviving, EVERYTHING, 8)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            loose = [pool.submit(idx.query, EVERYTHING, 8) for _ in range(8)]
+            strict = [
+                pool.submit(idx.query, EVERYTHING, 8, False) for _ in range(8)
+            ]
+            for future in loose:
+                assert future.result() == expected
+            for future in strict:
+                with pytest.raises(ShardUnavailable):
+                    future.result()
+        assert idx.stats.partial_answers >= 8
 
     def test_replicated_shard_fails_over_internally(self):
         elements = make_uniform_elements(60, seed=45)
