@@ -1,0 +1,128 @@
+"""E20 — Self-healing: chaos scenarios graded end to end.
+
+Runs the :mod:`repro.ops` control plane against the scripted chaos
+suite (:data:`~repro.ops.scenarios.DEFAULT_SCENARIOS`) plus a healthy
+soak, and records the grading the subsystem exists to earn:
+
+* **detection latency** — ticks from scripted injection to the first
+  incident (gauge-driven faults detect at 0; telemetry-driven ones a
+  tick or two later);
+* **localization accuracy** — fraction of scenarios whose first
+  incident blamed exactly the machine/shard the script injected into;
+* **time to mitigate** — ticks from detection to verified resolution;
+* **exactness** — every workload answer during the chaos and a full
+  probe sweep after resolution equal the brute-force oracle.
+
+Acceptance (asserted, recorded in the JSON): localization accuracy
+>= 0.9 across >= 4 scenarios, every incident mitigated via existing
+levers with 100% oracle-exact answers, and the healthy soak opens
+**zero** incidents and fires **zero** mitigations.
+
+Results land as JSON in ``benchmarks/results/e20_self_healing.json``
+(the CI ops-chaos job uploads it as an artifact).
+
+Set ``REPRO_BENCH_QUICK=1`` to run a reduced soak (CI smoke mode).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.ops.scenarios import ChaosScenarioRunner, DEFAULT_SCENARIOS, grade_suite
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SOAK_TICKS = 10 if QUICK else 25
+LOCALIZATION_FLOOR = 0.9
+RESULTS_JSON = (
+    Path(__file__).resolve().parent / "results" / "e20_self_healing.json"
+)
+
+
+def bench_e20_self_healing(benchmark, results_sink):
+    runner = ChaosScenarioRunner()
+    results = runner.run_suite()
+    grade = grade_suite(results)
+
+    rows = []
+    per_scenario = []
+    for result in results:
+        rows.append([
+            result.spec.name,
+            result.spec.kind,
+            result.detection_latency,
+            "yes" if result.localization_correct else "NO",
+            "+".join(dict.fromkeys(result.levers)),
+            result.resolved_at - result.detected_at
+            if result.resolved_at is not None
+            else "-",
+            "100%" if result.all_exact else "DIVERGED",
+        ])
+        per_scenario.append({
+            "name": result.spec.name,
+            "kind": result.spec.kind,
+            "target": result.truth,
+            "detection_latency_ticks": result.detection_latency,
+            "localized_to": result.localized_to,
+            "localization_correct": result.localization_correct,
+            "levers": result.levers,
+            "time_to_mitigate_ticks": (
+                result.resolved_at - result.detected_at
+                if result.resolved_at is not None
+                else None
+            ),
+            "answers": result.answers,
+            "answers_exact": result.answers_exact,
+            "post_probes_exact": result.post_probes_exact,
+            "timeline": result.timeline,
+        })
+
+    # Acceptance: the control plane must find, blame, and fix chaos...
+    assert grade["scenarios"] >= 4
+    assert grade["localization_accuracy"] >= LOCALIZATION_FLOOR, grade
+    assert grade["all_mitigated"], [r.timeline for r in results]
+    assert grade["all_answers_exact"], [r.spec.name for r in results]
+
+    # ...while a healthy cluster soak draws no blood at all.
+    soak = runner.run_healthy(ticks=SOAK_TICKS)
+    assert soak.log.incidents == [], soak.log.timeline()
+    assert soak.verifications == 0 and soak.deferrals == 0
+
+    results_sink(
+        render_table(
+            f"E20 Self-healing chaos suite ({grade['scenarios']} scenarios "
+            f"+ {SOAK_TICKS}-tick healthy soak)",
+            ["scenario", "kind", "detect", "blamed", "levers", "fix", "exact"],
+            rows,
+            note=(
+                f"acceptance: localization >= {LOCALIZATION_FLOOR:.0%}, every "
+                "incident mitigated via existing levers, all answers oracle-"
+                "exact, healthy soak opens zero incidents; 'detect' and 'fix' "
+                "are simulated control ticks"
+            ),
+        )
+    )
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "quick": QUICK,
+                "localization_floor": LOCALIZATION_FLOOR,
+                "grade": grade,
+                "scenarios": per_scenario,
+                "healthy_soak": {
+                    "ticks": SOAK_TICKS,
+                    "incidents": len(soak.log.incidents),
+                    "mitigations": soak.verifications,
+                    "deferrals": soak.deferrals,
+                },
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Timing hook: one full storm scenario, build to grade.
+    benchmark(lambda: ChaosScenarioRunner().run(DEFAULT_SCENARIOS[0]))

@@ -1,0 +1,118 @@
+"""A replicated top-k service that heals itself from a flash fault.
+
+A 3-replica cluster serves range top-k queries behind the resilience
+guard while an :class:`~repro.ops.operator.Operator` ticks alongside —
+collecting telemetry, detecting anomalies, localizing blame, and
+pulling existing repair levers with post-mitigation verification.
+
+The script injects a *flash brownout*: mid-workload, the primary's
+disk starts charging heavy latency on every transfer.  No fault is
+ever raised, so the cluster's reactive streak policy never sees it —
+only the control plane can, via counted latency units in telemetry.
+Watch the incident timeline: blame lands on the slow primary, the
+gentle ``force_failover`` lever moves traffic off it, a follow-up
+reboot clears the injected latency, queries stay oracle-exact
+throughout, and the operator closes the incident only after verified
+health plus a quiet period.
+
+Run:  python examples/ops_service.py
+"""
+
+import random
+
+from repro.core.problem import Element, top_k_of
+from repro.ops import Operator
+from repro.replication import replicated_index
+from repro.resilience import FaultPlan
+from repro.resilience.guard import GuardPolicy, ResilientTopKIndex
+from repro.structures.range1d import RangePredicate1D
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # Products with distinct popularity scores, indexed by price.
+    n = 120
+    prices = rng.sample(range(10_000), n + 40)
+    scores = rng.sample(range(100_000), n + 40)
+    catalog = [
+        Element(float(prices[i]), float(scores[i])) for i in range(n)
+    ]
+    restock = [
+        Element(float(prices[i]), float(scores[i])) for i in range(n, n + 40)
+    ]
+
+    # A 3-replica cluster; the primary carries a (disarmed) chaos plan.
+    names = [f"replica-{i}" for i in range(3)]
+    flash = FaultPlan(
+        seed=9, read_latency=4, write_latency=4,
+        armed=False, machine="replica-0",
+    )
+    plans = [flash] + [
+        FaultPlan(seed=9 + i, armed=False, machine=name)
+        for i, name in enumerate(names[1:], start=1)
+    ]
+    cluster = replicated_index(
+        catalog, DynamicRangeTreap, DynamicRangeTreap,
+        num_replicas=3, seed=5, names=names, fault_plans=plans,
+    )
+    guard = ResilientTopKIndex(
+        cluster, elements=catalog, policy=GuardPolicy(seed=5)
+    )
+
+    # Probe workload the operator verifies mitigations against.
+    probes = [
+        (RangePredicate1D(float(lo), float(lo + 4_000)), k)
+        for lo in range(0, 6_001, 1_500)
+        for k in (3, 5)
+    ]
+    operator = Operator(guard=guard, probes=probes, elements=catalog)
+
+    print("tick | event")
+    print("-----+------------------------------------------------------------")
+    for tick in range(1, 19):
+        if tick == 4:
+            flash.arm()
+            print(f"{tick:4d} | !! flash brownout: replica-0 disk slows down")
+
+        report = operator.tick()
+        for incident in report.opened:
+            print(f"{tick:4d} | incident #{incident.id} opened: "
+                  f"{incident.scope[0]}:{incident.scope[1]} [{incident.kind}]")
+        for action in report.actions:
+            verdict = (
+                "" if action.verified is None
+                else " verified" if action.verified else " UNVERIFIED"
+            )
+            print(f"{tick:4d} | lever {action.lever} -> {action.target}: "
+                  f"{action.outcome}{verdict}")
+        for incident in report.resolved:
+            print(f"{tick:4d} | incident #{incident.id} resolved "
+                  f"(time-to-mitigate {incident.time_to_mitigate} ticks)")
+
+        # Steady workload: writes + exact-checked queries.
+        for _ in range(2):
+            if restock:
+                item = restock.pop(0)
+                cluster.insert(item)
+                catalog.append(item)
+        for _ in range(6):
+            predicate, k = probes[rng.randrange(len(probes))]
+            assert guard.query(predicate, k) == top_k_of(catalog, predicate, k)
+
+    print("-----+------------------------------------------------------------")
+    print("incident log:")
+    for line in operator.log.timeline():
+        print(f"  {line}")
+    alive = sum(r.alive for r in cluster.replicas)
+    primary = cluster.replicas[cluster.primary_index].name
+    assert not operator.log.open
+    print(
+        f"final state: {alive}/3 replicas alive, primary={primary}, "
+        f"every answer matched the brute-force oracle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Self-healing operations: detect → localize → mitigate, then grade it.
+
+PRs 1–5 made every failure injectable and every repair mechanical —
+but each lever fired *reactively inside a single query*.  This
+subsystem closes ROADMAP item 5 by watching the telemetry those layers
+already emit and pulling the same levers **proactively**, fleet-wide:
+
+* :mod:`repro.ops.telemetry` — per-tick deltas + gauges over
+  :class:`HealthSummary`, per-machine :class:`FaultStats`, replication,
+  sharding, and serving state;
+* :mod:`repro.ops.detector` — deterministic threshold + EWMA rules
+  over the sample stream (no wall clock: simulated ticks);
+* :mod:`repro.ops.localizer` — anomalies → blamed machine / replica /
+  shard / subsystem scopes;
+* :mod:`repro.ops.mitigation` — the escalation ladder over *existing*
+  levers only (failover, scrub, disk reboot, shard recovery,
+  rebalance, cache flush);
+* :mod:`repro.ops.operator` — the tick loop with cooldowns, the
+  do-no-harm guard, and post-mitigation verification;
+* :mod:`repro.ops.incidents` — detected-at → localized-to → lever →
+  resolved-at timelines;
+* :mod:`repro.ops.scenarios` — scripted chaos with known ground truth,
+  graded on detection latency, localization accuracy, and
+  time-to-mitigate (the E20 benchmark's substrate).
+"""
+
+from repro.ops.detector import (
+    Anomaly,
+    AnomalyDetector,
+    DetectorPolicy,
+    SCOPE_MACHINE,
+    SCOPE_REPLICA,
+    SCOPE_SHARD,
+    SCOPE_SUBSYSTEM,
+)
+from repro.ops.incidents import (
+    Incident,
+    IncidentLog,
+    MitigationRecord,
+    STATUS_EXHAUSTED,
+    STATUS_MITIGATING,
+    STATUS_OPEN,
+    STATUS_RESOLVED,
+)
+from repro.ops.localizer import Blame, FaultLocalizer
+from repro.ops.mitigation import MitigationPlanner, PlannedAction
+from repro.ops.operator import Operator, OperatorPolicy, TickReport
+from repro.ops.scenarios import (
+    ChaosScenarioRunner,
+    DEFAULT_SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    grade_suite,
+)
+from repro.ops.telemetry import MachineDelta, TelemetryCollector, TelemetrySample
+
+__all__ = [
+    "TelemetrySample",
+    "TelemetryCollector",
+    "MachineDelta",
+    "AnomalyDetector",
+    "DetectorPolicy",
+    "Anomaly",
+    "SCOPE_MACHINE",
+    "SCOPE_REPLICA",
+    "SCOPE_SHARD",
+    "SCOPE_SUBSYSTEM",
+    "FaultLocalizer",
+    "Blame",
+    "MitigationPlanner",
+    "PlannedAction",
+    "Operator",
+    "OperatorPolicy",
+    "TickReport",
+    "Incident",
+    "IncidentLog",
+    "MitigationRecord",
+    "STATUS_OPEN",
+    "STATUS_MITIGATING",
+    "STATUS_RESOLVED",
+    "STATUS_EXHAUSTED",
+    "ChaosScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "DEFAULT_SCENARIOS",
+    "grade_suite",
+]

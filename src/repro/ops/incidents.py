@@ -1,0 +1,155 @@
+"""Incident records: the operator's unit of accountability.
+
+An :class:`Incident` tracks one blamed scope from detection to
+resolution: when it was detected, where it was localized, which levers
+fired (and what they reported), and when post-mitigation verification
+plus a quiet period let it close.  The :class:`IncidentLog` is the
+append-only history the chaos grader reads timelines from — detection
+latency, localization accuracy, and time-to-mitigate all come straight
+off these fields.
+
+Lifecycle::
+
+    OPEN ──lever fired──▶ MITIGATING ──verified + quiet──▶ RESOLVED
+      │                        │
+      └──── no lever ────▶ EXHAUSTED (symptoms persist, ladder spent)
+
+A scope that re-offends while its incident is still open folds into
+that incident (anomalies append, the escalation rung climbs); a scope
+that re-offends *after* resolution opens a fresh incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ops.detector import Anomaly, Scope
+
+STATUS_OPEN = "open"
+STATUS_MITIGATING = "mitigating"
+STATUS_RESOLVED = "resolved"
+STATUS_EXHAUSTED = "exhausted"
+
+
+@dataclass
+class MitigationRecord:
+    """One lever pull (or deliberate deferral) inside an incident."""
+
+    tick: int
+    lever: str
+    target: str
+    outcome: str          # "ok: ...", "failed: ...", or "deferred: ..."
+    verified: Optional[bool] = None  # post-mitigation probe verdict
+
+    @property
+    def fired(self) -> bool:
+        return self.outcome.startswith("ok")
+
+
+@dataclass
+class Incident:
+    """One blamed scope's timeline (module docstring)."""
+
+    id: int
+    scope: Scope
+    kind: str
+    opened_at: int                   # tick of detection + localization
+    status: str = STATUS_OPEN
+    anomalies: List[Anomaly] = field(default_factory=list)
+    mitigations: List[MitigationRecord] = field(default_factory=list)
+    resolved_at: Optional[int] = None
+    rung: int = 0                    # escalation-ladder position
+    last_action_tick: Optional[int] = None
+    quiet_ticks: int = 0             # consecutive symptom-free ticks
+
+    @property
+    def open(self) -> bool:
+        return self.status in (STATUS_OPEN, STATUS_MITIGATING)
+
+    @property
+    def levers_fired(self) -> List[str]:
+        return [m.lever for m in self.mitigations if m.fired]
+
+    @property
+    def time_to_mitigate(self) -> Optional[int]:
+        """Ticks from detection to resolution (``None`` while open)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.opened_at
+
+    def describe(self) -> str:
+        levers = "+".join(self.levers_fired) or "none"
+        closed = (
+            f"resolved@{self.resolved_at}"
+            if self.resolved_at is not None
+            else self.status
+        )
+        return (
+            f"#{self.id} {self.scope[0]}:{self.scope[1]} [{self.kind}] "
+            f"opened@{self.opened_at} levers={levers} {closed}"
+        )
+
+
+class IncidentLog:
+    """Append-only incident history with open-incident folding."""
+
+    def __init__(self) -> None:
+        self.incidents: List[Incident] = []
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    @property
+    def open(self) -> List[Incident]:
+        return [incident for incident in self.incidents if incident.open]
+
+    @property
+    def resolved(self) -> List[Incident]:
+        return [
+            incident
+            for incident in self.incidents
+            if incident.status == STATUS_RESOLVED
+        ]
+
+    def find_open(self, scope: Scope) -> Optional[Incident]:
+        for incident in self.incidents:
+            if incident.open and incident.scope == scope:
+                return incident
+        return None
+
+    def fold(
+        self, scope: Scope, kind: str, anomalies: List[Anomaly], tick: int
+    ) -> Tuple[Incident, bool]:
+        """Attach anomalies to the scope's open incident, or open one.
+
+        Returns ``(incident, opened_now)``.
+        """
+        incident = self.find_open(scope)
+        if incident is not None:
+            incident.anomalies.extend(anomalies)
+            incident.quiet_ticks = 0
+            return incident, False
+        incident = Incident(
+            id=len(self.incidents) + 1,
+            scope=scope,
+            kind=kind,
+            opened_at=tick,
+            anomalies=list(anomalies),
+        )
+        self.incidents.append(incident)
+        return incident, True
+
+    def timeline(self) -> List[str]:
+        return [incident.describe() for incident in self.incidents]
+
+
+__all__ = [
+    "Incident",
+    "IncidentLog",
+    "MitigationRecord",
+    "STATUS_OPEN",
+    "STATUS_MITIGATING",
+    "STATUS_RESOLVED",
+    "STATUS_EXHAUSTED",
+]

@@ -1,0 +1,154 @@
+"""Map a tick's anomalies onto blamed scopes.
+
+Detection says *something is wrong*; localization says *where*.  The
+:class:`FaultLocalizer` folds one tick's :class:`Anomaly` list into a
+short list of :class:`Blame` records, one per distinct scope, using the
+labels the telemetry already carries — per-machine
+:attr:`FaultStats.machine`, per-replica aliveness/lag, per-shard
+health:
+
+* anomalies naming the same identifier merge: a dead replica whose
+  fault plan also spiked is **one** blamed machine, not two incidents;
+* machine labels that name a shard (durable shard machines are labelled
+  by their shard) collapse into that shard's scope, so the planner
+  reaches for shard levers, not cluster levers;
+* generic query-path symptoms (``rung_burst``) are absorbed into
+  whatever specific blame co-fired this tick — they corroborate a sick
+  machine or shard rather than opening a vague subsystem incident; only
+  when *nothing* specific fired do they surface as a subsystem blame.
+
+The dominant anomaly kind (ordered by severity below) names the blame;
+confidence grows with the number of corroborating signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ops.detector import (
+    SCOPE_MACHINE,
+    SCOPE_REPLICA,
+    SCOPE_SHARD,
+    SCOPE_SUBSYSTEM,
+    Anomaly,
+    Scope,
+)
+from repro.ops.telemetry import TelemetrySample
+
+# Most-severe first: the dominant kind of a multi-signal blame.
+_SEVERITY = (
+    "machine_crash",
+    "shard_down",
+    "replica_down",
+    "corruption_drip",
+    "fault_spike",
+    "latency_storm",
+    "lag_growth",
+    "staleness_suspect",
+    "hot_shard",
+    "shed_spike",
+    "queue_depth",
+    "latency_regression",
+    "rung_burst",
+)
+_ABSORBED = ("rung_burst",)  # corroborating, never a blame of their own
+
+
+def _rank(kind: str) -> int:
+    try:
+        return _SEVERITY.index(kind)
+    except ValueError:
+        return len(_SEVERITY)
+
+
+@dataclass(frozen=True)
+class Blame:
+    """One localized fault: a scope, its dominant symptom, confidence."""
+
+    scope: Scope
+    kind: str
+    confidence: float
+    anomalies: Tuple[Anomaly, ...] = field(default_factory=tuple)
+
+    @property
+    def scope_type(self) -> str:
+        return self.scope[0]
+
+    @property
+    def scope_id(self) -> str:
+        return self.scope[1]
+
+
+class FaultLocalizer:
+    """Anomalies -> blamed scopes (module docstring).
+
+    ``cluster`` / ``sharded`` sharpen label classification: replica
+    names collapse replica- and machine-scope signals together, shard
+    names reroute machine labels to shard scope.
+    """
+
+    def __init__(self, cluster=None, sharded=None) -> None:
+        self.cluster = cluster
+        self.sharded = sharded
+
+    # ------------------------------------------------------------------
+    def _canonical_scope(self, anomaly: Anomaly) -> Scope:
+        scope_type, scope_id = anomaly.scope
+        if self.sharded is not None and scope_type in (SCOPE_MACHINE, SCOPE_REPLICA):
+            shards = self.sharded.router.shards
+            if scope_id in shards:
+                return (SCOPE_SHARD, scope_id)
+            # Replica-set shard machines are labelled "<shard>/<replica>".
+            if "/" in scope_id and scope_id.split("/", 1)[0] in shards:
+                return (SCOPE_SHARD, scope_id.split("/", 1)[0])
+        if scope_type == SCOPE_REPLICA and self.cluster is not None:
+            # The replica *is* a machine of the cluster: unify its
+            # logical (lag, aliveness) and physical (fault plan) signals.
+            if any(r.name == scope_id for r in self.cluster.replicas):
+                return (SCOPE_MACHINE, scope_id)
+        return (scope_type, scope_id)
+
+    def localize(
+        self, anomalies: List[Anomaly], sample: Optional[TelemetrySample] = None
+    ) -> List[Blame]:
+        """One tick's anomalies -> deduplicated, severity-ordered blames."""
+        grouped: Dict[Scope, List[Anomaly]] = {}
+        absorbed: List[Anomaly] = []
+        for anomaly in anomalies:
+            if anomaly.kind in _ABSORBED:
+                absorbed.append(anomaly)
+                continue
+            grouped.setdefault(self._canonical_scope(anomaly), []).append(anomaly)
+
+        specific = [
+            scope for scope in grouped if scope[0] != SCOPE_SUBSYSTEM
+        ]
+        for anomaly in absorbed:
+            if specific:
+                # Corroborate every specific blame rather than opening a
+                # vague one; deterministic order via sorted scopes.
+                for scope in sorted(specific):
+                    grouped[scope].append(anomaly)
+            else:
+                grouped.setdefault(
+                    self._canonical_scope(anomaly), []
+                ).append(anomaly)
+
+        blames: List[Blame] = []
+        for scope in sorted(grouped):
+            scoped = grouped[scope]
+            dominant = min(scoped, key=lambda a: (_rank(a.kind), a.tick))
+            distinct_kinds = len({a.kind for a in scoped})
+            confidence = min(1.0, 0.5 + 0.25 * (distinct_kinds - 1))
+            blames.append(Blame(
+                scope=scope,
+                kind=dominant.kind,
+                confidence=confidence,
+                anomalies=tuple(scoped),
+            ))
+        blames.sort(key=lambda b: (_rank(b.kind), b.scope))
+        return blames
+
+
+__all__ = ["FaultLocalizer", "Blame"]

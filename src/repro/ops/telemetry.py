@@ -1,0 +1,286 @@
+"""Periodic telemetry: the control plane's view of one simulated tick.
+
+The ops subsystem never inspects live objects mid-decision — it works
+from :class:`TelemetrySample` records, each a frozen snapshot of *one
+tick* of cluster life: query-path counter **deltas** (how many faults,
+retries, degradations happened since the previous sample), per-machine
+:class:`~repro.resilience.faults.FaultStats` deltas keyed by the
+machine labels the fault plans already carry, and point-in-time
+**gauges** (which replicas/shards are alive, per-replica lag, queue
+depth, shard sizes).  Ticks are simulated — a sample is taken whenever
+:meth:`TelemetryCollector.collect` is called, typically once per
+:meth:`~repro.ops.operator.Operator.tick` — so the whole pipeline
+stays deterministic and wall-clock-free, like the EM model it watches.
+
+:class:`TelemetryCollector` adapts whatever subset of the stack exists:
+a :class:`~repro.resilience.guard.ResilientTopKIndex` (query-path
+health via the new :meth:`HealthSummary.delta` hook), a
+:class:`~repro.replication.cluster.ReplicaSet`, a
+:class:`~repro.sharding.sharded.ShardedTopKIndex`, and/or a
+:class:`~repro.serving.engine.ServingEngine`.  Backends reachable from
+the guard or engine are discovered automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _counter_delta(current: float, previous: float) -> float:
+    """Monotone-counter delta, robust to resets (reboots swap stats)."""
+    return current - previous if current >= previous else current
+
+
+@dataclass(frozen=True)
+class MachineDelta:
+    """One machine's fault-plan activity since the previous sample."""
+
+    machine: str
+    alive: bool
+    faults: int = 0        # read + write faults
+    corruptions: int = 0
+    crashes: int = 0
+    reads: int = 0
+    writes: int = 0
+    latency_units: int = 0
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """Everything the detector sees about one tick (module docstring).
+
+    Integer fields named like counters are **deltas** since the
+    previous sample; mappings and floats suffixed ``_gauge``-style
+    (lag, aliveness, sizes, queue depth, latency) are current values.
+    """
+
+    tick: int
+    # --- query path (guard health deltas) ---
+    queries: int = 0
+    degraded_queries: int = 0
+    retries: int = 0
+    transient_faults: int = 0
+    corrupt_blocks: int = 0
+    contract_violations: int = 0
+    budget_exhaustions: int = 0
+    rung_unavailable: int = 0
+    spot_check_failures: int = 0
+    # --- per-machine fault plans ---
+    machines: Dict[str, MachineDelta] = field(default_factory=dict)
+    # --- replication ---
+    primary: str = ""
+    replicas_alive: Dict[str, bool] = field(default_factory=dict)
+    replica_lag: Dict[str, int] = field(default_factory=dict)
+    replica_durable_lag: Dict[str, int] = field(default_factory=dict)
+    promotions: int = 0
+    follower_deaths: int = 0
+    primary_crashes: int = 0
+    ship_failures: int = 0
+    scrub_repairs: int = 0
+    # --- sharding ---
+    shards_alive: Dict[str, bool] = field(default_factory=dict)
+    shard_sizes: Dict[str, int] = field(default_factory=dict)
+    shard_losses: int = 0
+    shard_recoveries: int = 0
+    partial_answers: int = 0
+    stale_map_retries: int = 0
+    topology_in_flux: bool = False
+    # --- serving ---
+    served_queries: int = 0
+    load_sheds: int = 0
+    queue_depth: int = 0
+    serving_avg_latency: float = 0.0
+
+    @property
+    def total_machine_faults(self) -> int:
+        return sum(m.faults for m in self.machines.values())
+
+
+class TelemetryCollector:
+    """Turn live stack objects into a :class:`TelemetrySample` stream.
+
+    Pass whichever of ``guard`` / ``cluster`` / ``sharded`` / ``engine``
+    the deployment has; a cluster or sharded index reachable as the
+    guard's primary (or the engine's backend) is discovered
+    automatically, so ``TelemetryCollector(guard=g)`` usually suffices.
+    """
+
+    def __init__(
+        self,
+        guard=None,
+        cluster=None,
+        sharded=None,
+        engine=None,
+    ) -> None:
+        from repro.replication.cluster import ReplicaSet
+        from repro.sharding.sharded import ShardedTopKIndex
+
+        self.guard = guard
+        self.engine = engine
+        backends = []
+        if guard is not None:
+            backends.append(guard.primary)
+        if engine is not None:
+            backends.append(engine.backend)
+        if cluster is None:
+            cluster = next(
+                (b for b in backends if isinstance(b, ReplicaSet)), None
+            )
+        if sharded is None:
+            sharded = next(
+                (b for b in backends if isinstance(b, ShardedTopKIndex)), None
+            )
+        self.cluster = cluster
+        self.sharded = sharded
+        self._prev_health: Optional[Dict[str, Any]] = None
+        self._prev_machines: Dict[str, Tuple[int, int, int, int, int, int]] = {}
+        self._prev_cluster: Dict[str, int] = {}
+        self._prev_sharding: Dict[str, int] = {}
+        self._prev_serving: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _machine_plans(self) -> List[Tuple[str, bool, object]]:
+        """Every (label, alive, FaultPlan) pair reachable from the stack."""
+        out: List[Tuple[str, bool, object]] = []
+        seen = set()
+
+        def add(label: str, alive: bool, plan) -> None:
+            if plan is None or label in seen:
+                return
+            seen.add(label)
+            out.append((label, alive, plan))
+
+        clusters = [self.cluster] if self.cluster is not None else []
+        if self.sharded is not None:
+            from repro.replication.cluster import ReplicaSet
+
+            for shard in self.sharded.router.shards.values():
+                if shard.machine is not None:
+                    add(shard.name, shard.machine.alive, shard.machine.plan)
+                elif isinstance(shard.backend, ReplicaSet):
+                    clusters.append(shard.backend)
+        for cluster in clusters:
+            for replica in cluster.replicas:
+                add(replica.name, replica.alive, replica.plan)
+        return out
+
+    def _collect_machines(self) -> Dict[str, MachineDelta]:
+        machines: Dict[str, MachineDelta] = {}
+        current_totals: Dict[str, Tuple[int, int, int, int, int, int]] = {}
+        for label, alive, plan in self._machine_plans():
+            stats = plan.stats
+            totals = (
+                stats.read_faults + stats.write_faults,
+                stats.corruptions,
+                stats.crashes,
+                stats.reads_seen,
+                stats.writes_seen,
+                stats.latency_units,
+            )
+            prev = self._prev_machines.get(label, (0, 0, 0, 0, 0, 0))
+            delta = tuple(
+                int(_counter_delta(cur, before))
+                for cur, before in zip(totals, prev)
+            )
+            machines[label] = MachineDelta(
+                machine=label,
+                alive=alive,
+                faults=delta[0],
+                corruptions=delta[1],
+                crashes=delta[2],
+                reads=delta[3],
+                writes=delta[4],
+                latency_units=delta[5],
+            )
+            current_totals[label] = totals
+        self._prev_machines = current_totals
+        return machines
+
+    @staticmethod
+    def _delta_fields(
+        current: Dict[str, int], previous: Dict[str, int]
+    ) -> Dict[str, int]:
+        return {
+            name: int(_counter_delta(value, previous.get(name, 0)))
+            for name, value in current.items()
+        }
+
+    # ------------------------------------------------------------------
+    def collect(self, tick: int) -> TelemetrySample:
+        """One tick's sample; the collector keeps the previous totals."""
+        fields: Dict[str, Any] = {"tick": tick}
+
+        if self.guard is not None:
+            health = self.guard.health.delta(self._prev_health)
+            self._prev_health = self.guard.health.snapshot()
+            for name in (
+                "queries",
+                "degraded_queries",
+                "retries",
+                "transient_faults",
+                "corrupt_blocks",
+                "contract_violations",
+                "budget_exhaustions",
+                "rung_unavailable",
+                "spot_check_failures",
+            ):
+                fields[name] = int(health.get(name, 0))
+
+        fields["machines"] = self._collect_machines()
+
+        if self.cluster is not None:
+            cluster = self.cluster
+            stats = cluster.stats
+            current = {
+                "promotions": stats.promotions,
+                "follower_deaths": stats.follower_deaths,
+                "primary_crashes": stats.primary_crashes,
+                "ship_failures": stats.ship_failures,
+                "scrub_repairs": stats.scrub_repairs,
+            }
+            fields.update(self._delta_fields(current, self._prev_cluster))
+            self._prev_cluster = current
+            fields["primary"] = cluster.replicas[cluster.primary_index].name
+            fields["replicas_alive"] = {
+                r.name: r.alive for r in cluster.replicas
+            }
+            fields["replica_lag"] = cluster.replica_lag()
+            head = max(r.durable_lsn for r in cluster.replicas)
+            fields["replica_durable_lag"] = {
+                r.name: max(0, head - r.durable_lsn) for r in cluster.replicas
+            }
+
+        if self.sharded is not None:
+            sharded = self.sharded
+            stats = sharded.stats
+            current = {
+                "shard_losses": stats.shard_losses,
+                "shard_recoveries": stats.shard_recoveries,
+                "partial_answers": stats.partial_answers,
+                "stale_map_retries": stats.stale_map_retries,
+            }
+            fields.update(self._delta_fields(current, self._prev_sharding))
+            self._prev_sharding = current
+            fields["shards_alive"] = {
+                shard.name: shard.alive
+                for shard in sharded.router.shards.values()
+            }
+            fields["shard_sizes"] = sharded.router.shard_sizes()
+            fields["topology_in_flux"] = sharded.router.in_flux
+
+        if self.engine is not None:
+            engine = self.engine
+            current = {
+                "served_queries": engine.stats.queries,
+                "load_sheds": engine.stats.load_sheds,
+            }
+            fields.update(self._delta_fields(current, self._prev_serving))
+            self._prev_serving = current
+            fields["queue_depth"] = engine.pending
+            fields["serving_avg_latency"] = engine.stats.avg_latency_seconds
+
+        return TelemetrySample(**fields)
+
+
+__all__ = ["TelemetrySample", "TelemetryCollector", "MachineDelta"]

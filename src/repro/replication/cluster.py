@@ -108,6 +108,8 @@ class ReplicationStats:
     records_resynced: int = 0
     resyncs: int = 0
     rebuilds: int = 0
+    forced_failovers: int = 0
+    replica_reboots: int = 0
 
 
 class ReplicaSet(TopKIndex):
@@ -342,6 +344,101 @@ class ReplicaSet(TopKIndex):
         slot = self.replicas.index(old)
         new.role = old.role
         self.replicas[slot] = new
+
+    # ------------------------------------------------------------------
+    # Operator levers (pulled by the repro.ops control plane)
+    # ------------------------------------------------------------------
+    def force_failover(self) -> Replica:
+        """Depose the current primary *without* killing it.
+
+        The same election machinery that runs on a primary crash —
+        highest durable LSN among live followers wins, the successor
+        replays its committed-but-unapplied tail, the commit epoch is
+        bumped — but the old primary survives as a follower and keeps
+        its data.  This is the gentle lever for a degraded-but-alive
+        primary (a fault storm, creeping latency): traffic moves off the
+        sick machine while it stays in rotation for resync or a later
+        reboot.  Raises :class:`FailoverError` when no live follower
+        exists to take over.
+        """
+        old = self.replicas[self.primary_index]
+        while True:
+            candidates = [
+                r for r in self.replicas if r.alive and not r.is_primary
+            ]
+            if not candidates:
+                raise FailoverError(
+                    "force_failover needs a live follower to promote"
+                )
+            successor = self.failover.pick_successor(candidates)
+            try:
+                replayed = self.failover.promote(successor)
+            except SimulatedCrash:
+                successor.mark_dead()
+                self.stats.follower_deaths += 1
+                continue
+            except TransientIOError as exc:
+                if self.failover.note_fault(successor.name, exc):
+                    successor.mark_dead()
+                    self.stats.follower_deaths += 1
+                continue
+            for replica in self.replicas:
+                if replica is not successor and replica.is_primary:
+                    replica.role = ROLE_FOLLOWER
+            self.primary_index = self.replicas.index(successor)
+            self.stats.promotions += 1
+            self.stats.forced_failovers += 1
+            self.stats.failover_records_replayed += replayed
+            self.commit_epoch += 1
+            if old.alive:
+                # The deposed primary's streak starts clean under its
+                # new, lighter follower duty.
+                self.failover.note_success(old.name)
+            return successor
+
+    def recover_replica(self, name: str) -> Replica:
+        """Reboot one machine from its own disk (snapshot + WAL tail).
+
+        A dead machine is simply mounted fresh; a live one is
+        power-cycled first (its primary role, if any, fails over before
+        the reboot).  Adoption attaches a fresh, **disarmed** fault
+        plan — a reboot is how an operator clears a machine whose
+        environment keeps injecting faults, where an anti-entropy
+        repair would inherit the sick machine's plan.  The reborn
+        follower is aligned to the primary before returning, so it
+        rejoins at zero lag.
+        """
+        try:
+            casualty = next(r for r in self.replicas if r.name == name)
+        except StopIteration:
+            raise InvalidConfiguration(f"no replica named {name!r}") from None
+        if casualty.alive:
+            if casualty.is_primary:
+                self._on_primary_death(casualty)
+            else:
+                casualty.mark_dead()
+                self.stats.follower_deaths += 1
+            # A primary death above may already have rebuilt this very
+            # slot (last-disk-standing election); if so, we are done.
+            casualty = next(r for r in self.replicas if r.name == name)
+            if casualty.alive:
+                self.stats.replica_reboots += 1
+                return casualty
+        durable = DurableTopKIndex.recover(
+            casualty.disk,
+            self.restore_fn,
+            self.build_fn,
+            B=self.B,
+            M=self.M,
+            commit_interval=self.commit_interval,
+        )
+        reborn = Replica.adopt(name, durable)
+        reborn.role = ROLE_FOLLOWER
+        self.replicas[self.replicas.index(casualty)] = reborn
+        self.stats.replica_reboots += 1
+        self.failover.note_success(name)
+        self.align()
+        return reborn
 
     # ------------------------------------------------------------------
     # Writes: primary-first, ship-per-commit, idempotent retry

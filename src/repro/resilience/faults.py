@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.resilience.errors import (
     InvalidConfiguration,
@@ -133,6 +133,10 @@ class FaultPlan:
         self._crash_torn_fraction: float = 0.5
         self.crashed = False
         self._bound_disk: Optional[object] = None
+        self._io_seen = 0
+        # (absolute transfer number, attribute updates) — applied just
+        # before that transfer is processed; see schedule_phase().
+        self._phase_events: List[Tuple[int, Dict[str, float]]] = []
 
     # ------------------------------------------------------------------
     def bind(self, disk: object) -> None:
@@ -208,7 +212,191 @@ class FaultPlan:
 
     @property
     def injects_corruption(self) -> bool:
-        return self.corrupt_rate > 0.0
+        """Whether any (current or scheduled) phase can corrupt reads."""
+        if self.corrupt_rate > 0.0:
+            return True
+        return any(
+            updates.get("corrupt_rate", 0.0) > 0.0
+            for _, updates in self._phase_events
+        )
+
+    # ------------------------------------------------------------------
+    # Phase scheduling & composition
+    # ------------------------------------------------------------------
+    _PHASE_FIELDS = (
+        "read_fail_rate",
+        "write_fail_rate",
+        "corrupt_rate",
+        "read_latency",
+        "write_latency",
+    )
+
+    def schedule_phase(self, at_io: int, **updates: float) -> None:
+        """Change rates from the ``at_io``-th intercepted transfer on.
+
+        Counting matches :meth:`schedule_crash`: it starts *now*, covers
+        both reads and writes (armed or not), and is 1-based — with
+        ``at_io=1`` the very next transfer already runs under the new
+        rates.  ``updates`` may set any of ``read_fail_rate``,
+        ``write_fail_rate``, ``corrupt_rate``, ``read_latency``,
+        ``write_latency``; unnamed fields keep their previous value, so
+        successive phases compose into a piecewise-constant schedule.
+        Phases are deterministic — the RNG draw sequence is unaffected
+        by when a phase flips.
+        """
+        if at_io < 1:
+            raise InvalidConfiguration(f"at_io must be >= 1, got {at_io}")
+        if not updates:
+            raise InvalidConfiguration("schedule_phase needs at least one field")
+        for name, value in updates.items():
+            if name not in self._PHASE_FIELDS:
+                raise InvalidConfiguration(f"unknown fault-plan field {name!r}")
+            if name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise InvalidConfiguration(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        self._phase_events.append((self._io_seen + at_io, dict(updates)))
+        self._phase_events.sort(key=lambda event: event[0])
+
+    def _tick_phases(self) -> None:
+        """Count one transfer and apply every phase event now due."""
+        self._io_seen += 1
+        while self._phase_events and self._phase_events[0][0] <= self._io_seen:
+            _, updates = self._phase_events.pop(0)
+            for name, value in updates.items():
+                setattr(self, name, value)
+
+    def _timeline(
+        self, offset: int, duration: Optional[int]
+    ) -> List[Tuple[int, Dict[str, float]]]:
+        """This plan's contribution as ``(from_transfer, rates)`` segments.
+
+        ``from_transfer`` is 1-based in the *merged* plan's counting;
+        the contribution is shifted by ``offset`` transfers and, when
+        ``duration`` is given, drops to all-zero after
+        ``offset + duration`` transfers.
+        """
+        current = {name: getattr(self, name) for name in self._PHASE_FIELDS}
+        segments = [(offset + 1, dict(current))]
+        for position, updates in self._phase_events:
+            relative = position - self._io_seen
+            if relative < 1:  # already applied
+                continue
+            current.update(updates)
+            segments.append((offset + relative, dict(current)))
+        if duration is not None:
+            cutoff = offset + duration + 1
+            segments = [(start, rates) for start, rates in segments if start < cutoff]
+            segments.append((cutoff, {name: 0 for name in self._PHASE_FIELDS}))
+        return segments
+
+    @classmethod
+    def merge(
+        cls,
+        *plans: "FaultPlan",
+        offsets: Optional[Sequence[int]] = None,
+        durations: Optional[Sequence[Optional[int]]] = None,
+        seed: Optional[int] = None,
+        machine: Optional[str] = None,
+        armed: bool = True,
+    ) -> "FaultPlan":
+        """Compose single-fault plans into one multi-phase chaos script.
+
+        Each constituent contributes its rate schedule over the window
+        ``[offsets[i], offsets[i] + durations[i])``, counted in the
+        merged plan's intercepted transfers (``offsets`` default to all
+        zero; a ``None`` duration never expires).  Where windows
+        overlap, fault *probabilities* combine by elementwise **max**
+        (overlapping storms do not double-inject) while *latency* units
+        **add** (stacked slowness is additive).  Pending
+        :meth:`schedule_phase` events shift with their plan's offset,
+        and the earliest pending crash (shifted likewise) carries over
+        with its torn fraction.
+
+        The result is a fresh, unbound plan — the constituents are left
+        untouched, so a library of single-fault plans can be merged into
+        many different scripts.  ``seed`` defaults to a deterministic
+        combination of the constituents' seeds.
+        """
+        if not plans:
+            raise InvalidConfiguration("merge needs at least one plan")
+        offsets = list(offsets) if offsets is not None else [0] * len(plans)
+        durations = list(durations) if durations is not None else [None] * len(plans)
+        if len(offsets) != len(plans) or len(durations) != len(plans):
+            raise InvalidConfiguration(
+                "offsets/durations must match the number of plans"
+            )
+        if any(offset < 0 for offset in offsets):
+            raise InvalidConfiguration("offsets must be >= 0")
+        if any(d is not None and d < 1 for d in durations):
+            raise InvalidConfiguration("durations must be >= 1 (or None)")
+
+        if seed is None:
+            seed = 0
+            for plan in plans:
+                seed = (seed * 1000003 + plan.seed + 1) & 0x7FFFFFFF
+        if machine is None:
+            machine = next((p.machine for p in plans if p.machine), "")
+
+        timelines = [
+            plan._timeline(offset, duration)
+            for plan, offset, duration in zip(plans, offsets, durations)
+        ]
+        boundaries = sorted({start for segments in timelines for start, _ in segments})
+
+        def combined_at(transfer: int) -> Dict[str, float]:
+            rates: Dict[str, float] = {name: 0 for name in cls._PHASE_FIELDS}
+            for segments in timelines:
+                active: Optional[Dict[str, float]] = None
+                for start, segment_rates in segments:
+                    if start <= transfer:
+                        active = segment_rates
+                if active is None:
+                    continue
+                for name in cls._PHASE_FIELDS:
+                    if name.endswith("_rate"):
+                        rates[name] = max(rates[name], active[name])
+                    else:
+                        rates[name] = rates[name] + active[name]
+            return rates
+
+        base = combined_at(1)
+        merged = cls(
+            seed=seed,
+            read_fail_rate=base["read_fail_rate"],
+            write_fail_rate=base["write_fail_rate"],
+            corrupt_rate=base["corrupt_rate"],
+            read_latency=int(base["read_latency"]),
+            write_latency=int(base["write_latency"]),
+            armed=armed,
+            machine=machine,
+        )
+        previous = base
+        for boundary in boundaries:
+            if boundary <= 1:
+                continue
+            rates = combined_at(boundary)
+            updates = {
+                name: value
+                for name, value in rates.items()
+                if value != previous[name]
+            }
+            if updates:
+                merged.schedule_phase(boundary, **updates)
+            previous = rates
+
+        crash_at: Optional[int] = None
+        torn = 0.5
+        for plan, offset in zip(plans, offsets):
+            if plan._crash_countdown is None or plan.crashed:
+                continue
+            due = offset + plan._crash_countdown
+            if crash_at is None or due < crash_at:
+                crash_at = due
+                torn = plan._crash_torn_fraction
+        if crash_at is not None:
+            merged.schedule_crash(crash_at, torn_fraction=torn)
+        return merged
 
     # ------------------------------------------------------------------
     # Hooks called by EMContext
@@ -219,6 +407,7 @@ class FaultPlan:
         May raise :class:`TransientIOError`; may return a corrupted
         copy; otherwise passes ``records`` through untouched.
         """
+        self._tick_phases()
         if self._crash_due():
             # Crash schedules fire regardless of arm state: scheduling
             # one is an explicit request, and a dead machine stays dead.
@@ -245,6 +434,7 @@ class FaultPlan:
 
     def on_write(self, block_id: int, records: List[object]) -> None:
         """Intercept one memory->disk transfer (may raise)."""
+        self._tick_phases()
         if self._crash_due():
             first = not self.crashed
             if first:

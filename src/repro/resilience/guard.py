@@ -35,8 +35,9 @@ the same retries, degradations, and reports exactly.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import TopKIndex
 from repro.core.problem import Element, Predicate, top_k_of
@@ -160,6 +161,14 @@ class HealthSummary:
     promotions, hedge wins, anti-entropy scrub repairs, and the current
     per-replica applied-LSN lag — operators read one summary for the
     whole ladder, machines included.
+
+    All mutators take an internal lock: a summary is shared between the
+    guard's query path and :class:`~repro.serving.engine.ServingEngine`
+    parallel replica dispatch, whose worker threads mirror serving
+    stats concurrently (the same race
+    :class:`~repro.sharding.sharded.ShardingStats` closed with its
+    ``stats_lock``).  :meth:`snapshot` and :meth:`delta` give the ops
+    control plane a consistent periodic time series over the counters.
     """
 
     queries: int = 0
@@ -200,10 +209,17 @@ class HealthSummary:
     scatter_contact_ratio: float = 0.0
     shard_sizes: Dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Deliberately not a dataclass field: asdict()/fields() stay
+        # pickleable and field-only, while every mutator below still
+        # serialises on one per-summary lock.
+        self._lock = threading.Lock()
+
     def record_recovery(self, result) -> None:
         """Fold one :class:`RecoveryResult` into the aggregate."""
-        self.recoveries += 1
-        self.wal_records_replayed += result.wal_records_replayed
+        with self._lock:
+            self.recoveries += 1
+            self.wal_records_replayed += result.wal_records_replayed
 
     def record_replication(self, cluster) -> None:
         """Mirror a :class:`ReplicaSet`'s live health into the summary.
@@ -213,10 +229,11 @@ class HealthSummary:
         guard does) to keep the mirror current.
         """
         stats = cluster.stats
-        self.promotions = stats.promotions
-        self.hedge_wins = stats.hedge_wins
-        self.scrub_repairs = stats.scrub_repairs
-        self.replica_lag = cluster.replica_lag()
+        with self._lock:
+            self.promotions = stats.promotions
+            self.hedge_wins = stats.hedge_wins
+            self.scrub_repairs = stats.scrub_repairs
+            self.replica_lag = cluster.replica_lag()
 
     def record_serving(self, engine) -> None:
         """Mirror a :class:`~repro.serving.engine.ServingEngine`'s health.
@@ -227,16 +244,17 @@ class HealthSummary:
         """
         stats = engine.stats
         cache = engine.cache.stats
-        self.served_queries = stats.queries
-        self.served_batches = stats.batches
-        self.cache_hits = cache.hits
-        self.cache_misses = cache.misses
-        self.cache_hit_rate = cache.hit_rate
-        self.load_sheds = stats.load_sheds
-        self.parallel_batches = stats.parallel_batches
-        self.dispatch_failovers = stats.dispatch_failovers
-        self.serving_qps = stats.qps
-        self.serving_avg_latency = stats.avg_latency_seconds
+        with self._lock:
+            self.served_queries = stats.queries
+            self.served_batches = stats.batches
+            self.cache_hits = cache.hits
+            self.cache_misses = cache.misses
+            self.cache_hit_rate = cache.hit_rate
+            self.load_sheds = stats.load_sheds
+            self.parallel_batches = stats.parallel_batches
+            self.dispatch_failovers = stats.dispatch_failovers
+            self.serving_qps = stats.qps
+            self.serving_avg_latency = stats.avg_latency_seconds
 
     def record_sharding(self, sharded) -> None:
         """Mirror a :class:`ShardedTopKIndex`'s live health.
@@ -250,33 +268,77 @@ class HealthSummary:
         shards a query actually contacted).
         """
         stats = sharded.stats
-        self.shards = sharded.router.num_shards
-        self.shard_splits = stats.splits
-        self.shard_merges = stats.merges
-        self.shard_losses = stats.shard_losses
-        self.shard_recoveries = stats.shard_recoveries
-        self.partial_answers = stats.partial_answers
-        self.stale_map_retries = stats.stale_map_retries
-        self.scatter_contact_ratio = stats.contact_ratio
-        self.shard_sizes = sharded.router.shard_sizes()
+        with self._lock:
+            self.shards = sharded.router.num_shards
+            self.shard_splits = stats.splits
+            self.shard_merges = stats.merges
+            self.shard_losses = stats.shard_losses
+            self.shard_recoveries = stats.shard_recoveries
+            self.partial_answers = stats.partial_answers
+            self.stale_map_retries = stats.stale_map_retries
+            self.scatter_contact_ratio = stats.contact_ratio
+            self.shard_sizes = sharded.router.shard_sizes()
 
     def record(self, report: HealthReport) -> None:
-        self.queries += 1
-        self.degraded_queries += 1 if report.degraded else 0
-        self.attempts += report.attempts
-        self.retries += report.retries
-        self.transient_faults += report.transient_faults
-        self.corrupt_blocks += report.corrupt_blocks
-        self.contract_violations += report.contract_violations
-        self.budget_exhaustions += report.budget_exhaustions
-        self.rung_unavailable += report.rung_unavailable
-        self.spot_checks += report.spot_checks
-        self.spot_check_failures += report.spot_check_failures
-        self.backoff_units += report.backoff_units
+        with self._lock:
+            self.queries += 1
+            self.degraded_queries += 1 if report.degraded else 0
+            self.attempts += report.attempts
+            self.retries += report.retries
+            self.transient_faults += report.transient_faults
+            self.corrupt_blocks += report.corrupt_blocks
+            self.contract_violations += report.contract_violations
+            self.budget_exhaustions += report.budget_exhaustions
+            self.rung_unavailable += report.rung_unavailable
+            self.spot_checks += report.spot_checks
+            self.spot_check_failures += report.spot_check_failures
+            self.backoff_units += report.backoff_units
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, type(getattr(self, name))())
+        with self._lock:
+            for name, value in vars(self).items():
+                if name.startswith("_"):
+                    continue  # the lock itself, and any future internals
+                setattr(self, name, type(value)())
+
+    # ------------------------------------------------------------------
+    # Periodic observation (the ops control plane's tick hooks)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent point-in-time copy of every public field.
+
+        Scalars are copied by value and dict-valued gauges shallow-
+        copied under the lock, so a snapshot taken mid-dispatch never
+        mixes counters from two different instants.
+        """
+        with self._lock:
+            out: Dict[str, Any] = {}
+            for name, value in vars(self).items():
+                if name.startswith("_"):
+                    continue
+                out[name] = dict(value) if isinstance(value, dict) else value
+            return out
+
+    def delta(self, previous: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Snapshot minus ``previous``: one tick of the health time series.
+
+        Numeric fields become differences (a counter that *shrank* —
+        a reset between ticks — contributes its current value, never a
+        negative delta); dict-valued and string gauges pass through as
+        current values.  Returns the current :meth:`snapshot` when
+        ``previous`` is ``None``, so the first tick is usable as-is.
+        """
+        current = self.snapshot()
+        if previous is None:
+            return current
+        out: Dict[str, Any] = {}
+        for name, value in current.items():
+            before = previous.get(name)
+            if isinstance(value, (int, float)) and isinstance(before, (int, float)):
+                out[name] = value - before if value >= before else value
+            else:
+                out[name] = value
+        return out
 
 
 class ResilientTopKIndex(TopKIndex):

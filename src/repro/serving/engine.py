@@ -218,6 +218,21 @@ class ServingEngine(TopKIndex):
         """One request through the full cache + batch path."""
         return self.serve([QueryRequest(predicate, k)])[0]
 
+    def flush_cache(self) -> int:
+        """Drop every cached answer (operator lever for suspected staleness).
+
+        The cache's epoch/LSN stamps already make it stale-*safe*; this
+        lever is for the residual suspicion the stamps cannot see —
+        failed contract spot-checks, a backend whose state digest
+        drifted — where serving only freshly-computed answers is the
+        conservative play.  Returns the number of entries dropped; the
+        mirrored health summary is refreshed so the flush shows up in
+        the next telemetry tick.
+        """
+        dropped = self.cache.invalidate()
+        self._mirror_health()
+        return dropped
+
     # ------------------------------------------------------------------
     # Admission / drain
     # ------------------------------------------------------------------

@@ -317,6 +317,33 @@ class ShardedTopKIndex(TopKIndex):
             with self._stats_lock:
                 self.stats.shard_recoveries += 1
 
+    def recover_shard(self, name: str) -> bool:
+        """Proactively reboot a dead shard (operator lever).
+
+        The query path already recovers a crashed shard *reactively* —
+        but only when a query happens to probe it.  The ops control
+        plane calls this the moment telemetry shows the shard down, so
+        recovery cost is paid off the query path.  Returns ``True`` if
+        a reboot ran, ``False`` if the shard was already healthy.
+        Raises :class:`ShardUnavailable` when the durable record is
+        unrecoverable and :class:`InvalidConfiguration` for unknown
+        names or replica-set shards (those heal through their own
+        cluster machinery).
+        """
+        shard = self.router.shards.get(name)
+        if shard is None:
+            raise InvalidConfiguration(f"no shard named {name!r}")
+        with shard.lock:
+            if shard.machine is None:
+                raise InvalidConfiguration(
+                    f"shard {name!r} is replica-set backed; use the "
+                    "cluster's own failover/reboot levers"
+                )
+            if shard.machine.alive:
+                return False
+            self._recover_shard(shard)
+        return True
+
     # ------------------------------------------------------------------
     # TopKIndex surface
     # ------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""Builders shared by the ops tests: small live stacks, synthetic samples."""
+
+from __future__ import annotations
+
+from repro.ops.scenarios import (
+    ChaosScenarioRunner,
+    KIND_FAULT_STORM,
+    KIND_SHARD_LOSS,
+    ScenarioSpec,
+)
+from repro.ops.telemetry import MachineDelta, TelemetrySample
+
+
+def replicated_stack(**overrides):
+    """A 3-replica cluster behind a guard, chaos plan disarmed.
+
+    Returns ``(elements, pool, cluster, guard, target_plan, probes)``;
+    the spec defaults target the primary with zero rates — override
+    ``read_fail_rate``/``read_latency``/... to script a fault.
+    """
+    kwargs = dict(
+        name="ops-test", kind=KIND_FAULT_STORM, target="replica-0",
+        n_elements=48, seed=9,
+    )
+    kwargs.update(overrides)
+    spec = ScenarioSpec(**kwargs)
+    runner = ChaosScenarioRunner()
+    elements, pool, cluster, guard, plan = runner._build_replicated(spec)
+    probes = runner._probes(elements, spec.seed)
+    return elements, pool, cluster, guard, plan, probes
+
+
+def sharded_stack(**overrides):
+    """A 4-shard range-partitioned index behind a guard."""
+    kwargs = dict(
+        name="ops-test", kind=KIND_SHARD_LOSS, target="shard-1",
+        n_elements=48, seed=9,
+    )
+    kwargs.update(overrides)
+    spec = ScenarioSpec(**kwargs)
+    runner = ChaosScenarioRunner()
+    elements, pool, sharded, guard = runner._build_sharded(spec)
+    probes = runner._probes(elements, spec.seed)
+    return elements, pool, sharded, guard, probes
+
+
+def sample(tick=1, **fields) -> TelemetrySample:
+    return TelemetrySample(tick=tick, **fields)
+
+
+def machine(label, alive=True, **fields) -> MachineDelta:
+    return MachineDelta(machine=label, alive=alive, **fields)

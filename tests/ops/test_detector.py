@@ -1,0 +1,130 @@
+"""AnomalyDetector: every rule, fed synthetic telemetry samples."""
+
+from repro.ops.detector import AnomalyDetector, DetectorPolicy
+
+from ops_util import machine, sample
+
+
+def kinds(anomalies):
+    return [a.kind for a in anomalies]
+
+
+def detector(**overrides):
+    return AnomalyDetector(DetectorPolicy(**overrides))
+
+
+class TestFaultSpike:
+    def test_fires_after_warmup(self):
+        det = detector(warmup_ticks=2, fault_spike_min=3)
+        quiet = {"m": machine("m", faults=0)}
+        storm = {"m": machine("m", faults=9)}
+        assert kinds(det.observe(sample(1, machines=quiet))) == []  # warming
+        assert kinds(det.observe(sample(2, machines=quiet))) == []
+        out = det.observe(sample(3, machines=storm))
+        assert kinds(out) == ["fault_spike"]
+        assert out[0].scope == ("machine", "m")
+
+    def test_baseline_adapts_to_steady_rate(self):
+        # A chronically faulty machine is the baseline, not an anomaly.
+        det = detector(warmup_ticks=2, fault_spike_min=3, fault_spike_factor=4.0)
+        storm = {"m": machine("m", faults=10)}
+        fired = [
+            bool(det.observe(sample(t, machines=storm))) for t in range(1, 9)
+        ]
+        assert not any(fired[4:]), "EWMA baseline should absorb a steady rate"
+
+    def test_below_absolute_floor_never_fires(self):
+        det = detector(warmup_ticks=0, fault_spike_min=3)
+        dribble = {"m": machine("m", faults=2)}
+        for t in range(1, 6):
+            assert det.observe(sample(t, machines=dribble)) == []
+
+
+class TestCorruptionDrip:
+    def test_window_accumulates(self):
+        det = detector(corruption_min=3, corruption_window=10)
+        drip = {"m": machine("m", corruptions=1)}
+        assert kinds(det.observe(sample(1, machines=drip))) == []
+        assert kinds(det.observe(sample(2, machines=drip))) == []
+        assert "corruption_drip" in kinds(det.observe(sample(3, machines=drip)))
+
+    def test_requires_fresh_corruption(self):
+        # Old window contents alone must not re-flag a healed machine.
+        det = detector(corruption_min=3, corruption_window=10)
+        drip = {"m": machine("m", corruptions=3)}
+        clean = {"m": machine("m", corruptions=0)}
+        assert "corruption_drip" in kinds(det.observe(sample(1, machines=drip)))
+        assert kinds(det.observe(sample(2, machines=clean))) == []
+
+
+class TestGauges:
+    def test_machine_crash_and_latency_storm(self):
+        det = detector(latency_units_min=12)
+        hot = {"m": machine("m", crashes=1, latency_units=20)}
+        out = kinds(det.observe(sample(1, machines=hot)))
+        assert "machine_crash" in out and "latency_storm" in out
+
+    def test_replica_and_shard_aliveness(self):
+        det = detector()
+        out = det.observe(sample(
+            1,
+            replicas_alive={"replica-1": False, "replica-0": True},
+            shards_alive={"shard-2": False, "shard-0": True},
+        ))
+        assert sorted(kinds(out)) == ["replica_down", "shard_down"]
+        scopes = {a.kind: a.scope for a in out}
+        assert scopes["replica_down"] == ("replica", "replica-1")
+        assert scopes["shard_down"] == ("shard", "shard-2")
+
+    def test_hot_shard(self):
+        det = detector(imbalance_ratio=4.0)
+        sizes = {"shard-0": 100} | {f"shard-{i}": 1 for i in range(1, 5)}
+        out = det.observe(sample(1, shard_sizes=sizes))
+        assert kinds(out) == ["hot_shard"]
+        assert out[0].scope == ("shard", "shard-0")
+
+
+class TestLagGrowth:
+    def test_flat_high_lag_fires(self):
+        det = detector(lag_bound=5, lag_flat_ticks=2)
+        for t in range(1, 3):
+            assert det.observe(sample(t, replica_durable_lag={"r": 6})) == []
+        out = det.observe(sample(3, replica_durable_lag={"r": 7}))
+        assert kinds(out) == ["lag_growth"]
+
+    def test_shrinking_lag_stays_quiet(self):
+        det = detector(lag_bound=5, lag_flat_ticks=2)
+        for t, lag in enumerate((9, 8, 7, 6), start=1):
+            assert det.observe(sample(t, replica_durable_lag={"r": lag})) == []
+
+
+class TestQueryAndServing:
+    def test_rung_burst_and_staleness(self):
+        det = detector(rung_burst_min=2)
+        out = kinds(det.observe(sample(
+            1, rung_unavailable=1, degraded_queries=1, spot_check_failures=1
+        )))
+        assert "rung_burst" in out and "staleness_suspect" in out
+
+    def test_shed_and_queue_depth(self):
+        det = detector(shed_min=1, queue_depth_max=256)
+        out = kinds(det.observe(sample(1, load_sheds=2, queue_depth=300)))
+        assert "shed_spike" in out and "queue_depth" in out
+
+    def test_latency_regression_needs_absolute_floor(self):
+        # Sub-floor wall-clock jitter must never open an incident.
+        det = detector(warmup_ticks=0, latency_floor=0.05, latency_factor=3.0)
+        assert det.observe(sample(1, serving_avg_latency=0.001)) == []
+        out = det.observe(sample(2, serving_avg_latency=0.2))
+        assert kinds(out) == ["latency_regression"]
+
+
+class TestDeterminism:
+    def test_identical_streams_identical_anomalies(self):
+        stream = [
+            sample(t, machines={"m": machine("m", faults=t % 5)})
+            for t in range(1, 10)
+        ]
+        a = [AnomalyDetector().observe(s) for s in stream]
+        b = [AnomalyDetector().observe(s) for s in stream]
+        assert a == b

@@ -1,0 +1,54 @@
+"""Incident lifecycle bookkeeping: folding, timelines, grading fields."""
+
+from repro.ops.incidents import (
+    Incident,
+    IncidentLog,
+    MitigationRecord,
+    STATUS_RESOLVED,
+)
+
+
+def test_fold_opens_then_attaches():
+    log = IncidentLog()
+    first, opened = log.fold(("machine", "m"), "fault_spike", [], tick=3)
+    assert opened and first.opened_at == 3
+    first.quiet_ticks = 1
+    again, opened = log.fold(("machine", "m"), "fault_spike", [], tick=4)
+    assert not opened and again is first
+    assert first.quiet_ticks == 0  # a re-offence resets the quiet streak
+
+
+def test_resolved_scope_reoffending_opens_fresh_incident():
+    log = IncidentLog()
+    first, _ = log.fold(("machine", "m"), "fault_spike", [], tick=3)
+    first.status = STATUS_RESOLVED
+    first.resolved_at = 5
+    second, opened = log.fold(("machine", "m"), "fault_spike", [], tick=8)
+    assert opened and second is not first
+    assert len(log) == 2
+
+
+def test_levers_fired_excludes_failures_and_deferrals():
+    incident = Incident(id=1, scope=("machine", "m"), kind="k", opened_at=1)
+    incident.mitigations = [
+        MitigationRecord(tick=2, lever="scrub", target="m", outcome="ok: done"),
+        MitigationRecord(tick=3, lever="reboot_replica", target="m",
+                         outcome="failed: busy"),
+        MitigationRecord(tick=4, lever="(deferred)", target="m",
+                         outcome="deferred: flux"),
+    ]
+    assert incident.levers_fired == ["scrub"]
+
+
+def test_time_to_mitigate():
+    incident = Incident(id=1, scope=("machine", "m"), kind="k", opened_at=4)
+    assert incident.time_to_mitigate is None
+    incident.resolved_at = 9
+    assert incident.time_to_mitigate == 5
+
+
+def test_timeline_describes_every_incident():
+    log = IncidentLog()
+    log.fold(("shard", "shard-1"), "shard_down", [], tick=2)
+    (line,) = log.timeline()
+    assert "shard:shard-1" in line and "[shard_down]" in line

@@ -1,0 +1,133 @@
+"""The new operator-facing levers on existing subsystems.
+
+``force_failover`` / ``recover_replica`` (replication),
+``recover_shard`` (sharding), and ``flush_cache`` (serving) are thin
+public entry points over machinery PRs 2–5 already shipped — these
+tests pin their contracts independently of the operator loop.
+"""
+
+import pytest
+
+from repro.core.problem import top_k_of
+from repro.resilience.errors import FailoverError, InvalidConfiguration
+
+from ops_util import replicated_stack, sharded_stack
+
+
+class TestForceFailover:
+    def test_moves_primary_to_live_follower(self):
+        elements, _, cluster, guard, _, probes = replicated_stack()
+        old = cluster.replicas[cluster.primary_index]
+        successor = cluster.force_failover()
+        assert successor is cluster.replicas[cluster.primary_index]
+        assert successor is not old
+        assert successor.is_primary and not old.is_primary
+        assert old.alive  # a *gentle* lever: the old primary survives
+        assert cluster.stats.forced_failovers == 1
+        assert cluster.stats.promotions == 1
+        predicate, k = probes[0]
+        assert guard.query(predicate, k) == top_k_of(elements, predicate, k)
+
+    def test_bumps_commit_epoch(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        before = cluster.commit_epoch
+        cluster.force_failover()
+        assert cluster.commit_epoch == before + 1
+
+    def test_requires_a_live_follower(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        for replica in cluster.replicas:
+            if not replica.is_primary:
+                replica.mark_dead()
+        with pytest.raises(FailoverError):
+            cluster.force_failover()
+
+    def test_writes_continue_after_forced_move(self):
+        elements, pool, cluster, _, _, probes = replicated_stack()
+        cluster.force_failover()
+        element = pool.pop(0)
+        cluster.insert(element)
+        elements.append(element)
+        predicate, k = probes[1]
+        assert cluster.query(predicate, k) == top_k_of(elements, predicate, k)
+
+
+class TestRecoverReplica:
+    def test_reboots_dead_follower_from_disk(self):
+        elements, _, cluster, _, _, probes = replicated_stack()
+        follower = next(r for r in cluster.replicas if not r.is_primary)
+        follower.mark_dead()
+        reborn = cluster.recover_replica(follower.name)
+        assert reborn.name == follower.name
+        assert reborn.alive and not reborn.is_primary
+        assert cluster.stats.replica_reboots == 1
+        assert cluster.replica_lag()[reborn.name] == 0  # aligned on reboot
+        predicate, k = probes[0]
+        assert cluster.query(predicate, k) == top_k_of(elements, predicate, k)
+
+    def test_reboot_clears_an_armed_fault_plan(self):
+        # Adoption attaches a fresh, disarmed plan: the lever that
+        # actually stops an environment stuck injecting faults.
+        _, _, cluster, _, plan, _ = replicated_stack(
+            target="replica-1", read_fail_rate=1.0, write_fail_rate=1.0
+        )
+        plan.arm()
+        reborn = cluster.recover_replica("replica-1")
+        assert reborn.plan is not plan
+        assert not reborn.plan.armed
+
+    def test_power_cycles_a_live_replica(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        follower = next(r for r in cluster.replicas if not r.is_primary)
+        reborn = cluster.recover_replica(follower.name)
+        assert reborn.alive
+        assert cluster.stats.replica_reboots == 1
+
+    def test_recovering_the_primary_eleects_a_successor_first(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        old_primary = cluster.replicas[cluster.primary_index].name
+        reborn = cluster.recover_replica(old_primary)
+        assert reborn.alive
+        assert cluster.replicas[cluster.primary_index].name != old_primary
+
+    def test_unknown_name_rejected(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        with pytest.raises(InvalidConfiguration):
+            cluster.recover_replica("replica-99")
+
+
+class TestRecoverShard:
+    def test_reboots_dead_shard(self):
+        elements, _, sharded, _, probes = sharded_stack()
+        shard = sharded.router.shards["shard-1"]
+        shard.machine.mark_dead()
+        assert sharded.recover_shard("shard-1") is True
+        assert sharded.router.shards["shard-1"].alive
+        predicate, k = probes[0]
+        assert sharded.query(predicate, k) == top_k_of(elements, predicate, k)
+
+    def test_healthy_shard_is_a_noop(self):
+        _, _, sharded, _, _ = sharded_stack()
+        assert sharded.recover_shard("shard-1") is False
+
+    def test_unknown_shard_rejected(self):
+        _, _, sharded, _, _ = sharded_stack()
+        with pytest.raises(InvalidConfiguration):
+            sharded.recover_shard("shard-99")
+
+
+class TestFlushCache:
+    def test_drops_cached_answers_and_recomputes(self):
+        from repro.serving import ServingEngine
+
+        _, _, cluster, _, _, probes = replicated_stack()
+        engine = ServingEngine(cluster)
+        predicate, _ = probes[0]
+        first = engine.query(predicate, 4)
+        engine.query(predicate, 4)  # now a cache hit
+        assert engine.cache.stats.hits >= 1
+        dropped = engine.flush_cache()
+        assert dropped >= 1
+        traversals = engine.stats.traversals
+        assert engine.query(predicate, 4) == first
+        assert engine.stats.traversals == traversals + 1  # recomputed

@@ -1,0 +1,92 @@
+"""FaultLocalizer: scope canonicalization, absorption, severity order."""
+
+from types import SimpleNamespace
+
+from repro.ops.detector import Anomaly
+from repro.ops.localizer import FaultLocalizer
+
+
+def anomaly(kind, scope, tick=1):
+    return Anomaly(
+        tick=tick, kind=kind, scope=scope, metric="m", value=1.0, threshold=1.0
+    )
+
+
+def fake_cluster(*names):
+    return SimpleNamespace(replicas=[SimpleNamespace(name=n) for n in names])
+
+
+def fake_sharded(*names):
+    return SimpleNamespace(
+        router=SimpleNamespace(shards={n: object() for n in names})
+    )
+
+
+class TestCanonicalScope:
+    def test_replica_signals_unify_with_machine_signals(self):
+        localizer = FaultLocalizer(cluster=fake_cluster("replica-0", "replica-1"))
+        blames = localizer.localize([
+            anomaly("fault_spike", ("machine", "replica-1")),
+            anomaly("replica_down", ("replica", "replica-1")),
+        ])
+        assert len(blames) == 1  # one sick machine, not two incidents
+        assert blames[0].scope == ("machine", "replica-1")
+        assert blames[0].kind == "replica_down"  # dominant by severity
+
+    def test_shard_named_machine_collapses_to_shard(self):
+        localizer = FaultLocalizer(sharded=fake_sharded("shard-0", "shard-1"))
+        blames = localizer.localize([
+            anomaly("machine_crash", ("machine", "shard-1")),
+        ])
+        assert blames[0].scope == ("shard", "shard-1")
+
+    def test_replica_set_shard_machine_collapses_to_shard(self):
+        localizer = FaultLocalizer(sharded=fake_sharded("shard-0"))
+        blames = localizer.localize([
+            anomaly("fault_spike", ("machine", "shard-0/r2")),
+        ])
+        assert blames[0].scope == ("shard", "shard-0")
+
+    def test_unknown_labels_pass_through(self):
+        localizer = FaultLocalizer()
+        blames = localizer.localize([
+            anomaly("fault_spike", ("machine", "mystery")),
+        ])
+        assert blames[0].scope == ("machine", "mystery")
+
+
+class TestAbsorption:
+    def test_rung_burst_corroborates_specific_blames(self):
+        localizer = FaultLocalizer()
+        blames = localizer.localize([
+            anomaly("fault_spike", ("machine", "m")),
+            anomaly("rung_burst", ("subsystem", "query")),
+        ])
+        assert len(blames) == 1
+        assert blames[0].scope == ("machine", "m")
+        assert {a.kind for a in blames[0].anomalies} == {
+            "fault_spike", "rung_burst"
+        }
+        # Two corroborating kinds raise confidence above the floor.
+        assert blames[0].confidence > 0.5
+
+    def test_rung_burst_alone_surfaces_as_subsystem(self):
+        localizer = FaultLocalizer()
+        blames = localizer.localize([
+            anomaly("rung_burst", ("subsystem", "query")),
+        ])
+        assert len(blames) == 1
+        assert blames[0].scope == ("subsystem", "query")
+
+
+class TestOrdering:
+    def test_blames_sorted_most_severe_first(self):
+        localizer = FaultLocalizer()
+        blames = localizer.localize([
+            anomaly("hot_shard", ("shard", "shard-3")),
+            anomaly("machine_crash", ("machine", "m")),
+        ])
+        assert [b.kind for b in blames] == ["machine_crash", "hot_shard"]
+
+    def test_empty_input_empty_output(self):
+        assert FaultLocalizer().localize([]) == []

@@ -1,0 +1,114 @@
+"""MitigationPlanner: state-aware ladders over existing levers."""
+
+from repro.ops.detector import Anomaly
+from repro.ops.incidents import Incident, MitigationRecord
+from repro.ops.mitigation import (
+    LEVER_FAILOVER,
+    LEVER_REBALANCE,
+    LEVER_REBOOT,
+    LEVER_RECOVER_SHARD,
+    LEVER_SCRUB,
+    MitigationPlanner,
+)
+
+from ops_util import replicated_stack, sharded_stack
+
+
+def incident(scope, kind="fault_spike", anomalies=()):
+    inc = Incident(id=1, scope=scope, kind=kind, opened_at=1)
+    inc.anomalies = [
+        Anomaly(tick=1, kind=k, scope=scope, metric="m", value=1, threshold=1)
+        for k in (anomalies or (kind,))
+    ]
+    return inc
+
+
+def pulled(inc, *levers):
+    for i, lever in enumerate(levers):
+        inc.mitigations.append(MitigationRecord(
+            tick=i + 2, lever=lever, target=inc.scope[1], outcome="ok: done"
+        ))
+    return inc
+
+
+class TestMachineLadder:
+    def test_alive_primary_gets_gentle_failover_first(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        action = planner.plan(incident(("machine", "replica-0")))
+        assert action.lever == LEVER_FAILOVER
+
+    def test_alive_follower_gets_reboot_first(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        action = planner.plan(incident(("machine", "replica-1")))
+        assert action.lever == LEVER_REBOOT
+
+    def test_corruption_gets_scrub_before_reboot(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        inc = incident(("machine", "replica-1"), kind="corruption_drip")
+        assert planner.plan(inc).lever == LEVER_SCRUB
+        pulled(inc, LEVER_SCRUB)
+        assert planner.plan(inc).lever == LEVER_REBOOT
+
+    def test_dead_machine_gets_reboot(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        cluster.replicas[1].mark_dead()
+        planner = MitigationPlanner(cluster=cluster)
+        action = planner.plan(incident(("machine", "replica-1")))
+        assert action.lever == LEVER_REBOOT
+
+    def test_attempted_levers_are_skipped_across_state_changes(self):
+        # A failover turns the blamed primary into a follower; the next
+        # escalation must not re-index into the new ladder and skip a
+        # rung — it continues with the first lever not yet pulled.
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        inc = incident(("machine", "replica-0"), kind="latency_storm")
+        assert planner.plan(inc).lever == LEVER_FAILOVER
+        cluster.force_failover()
+        pulled(inc, LEVER_FAILOVER)
+        assert planner.plan(inc).lever == LEVER_REBOOT
+
+    def test_spent_ladder_returns_none(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        inc = pulled(incident(("machine", "replica-1")), LEVER_REBOOT, LEVER_SCRUB)
+        assert planner.plan(inc) is None
+
+    def test_deferrals_do_not_consume_rungs(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        inc = incident(("machine", "replica-1"))
+        inc.mitigations.append(MitigationRecord(
+            tick=2, lever="(deferred)", target="replica-1",
+            outcome="deferred: flux",
+        ))
+        assert planner.plan(inc).lever == LEVER_REBOOT
+
+    def test_unknown_machine_has_no_ladder(self):
+        _, _, cluster, _, _, _ = replicated_stack()
+        planner = MitigationPlanner(cluster=cluster)
+        assert planner.plan(incident(("machine", "replica-99"))) is None
+
+
+class TestShardLadder:
+    def test_dead_shard_gets_recover(self):
+        _, _, sharded, _, _ = sharded_stack()
+        sharded.router.shards["shard-1"].machine.mark_dead()
+        planner = MitigationPlanner(sharded=sharded)
+        action = planner.plan(incident(("shard", "shard-1"), kind="shard_down"))
+        assert action.lever == LEVER_RECOVER_SHARD
+
+    def test_hot_shard_gets_rebalance(self):
+        _, _, sharded, _, _ = sharded_stack()
+        planner = MitigationPlanner(sharded=sharded)
+        action = planner.plan(incident(("shard", "shard-1"), kind="hot_shard"))
+        assert action.lever == LEVER_REBALANCE
+
+
+class TestSubsystemLadder:
+    def test_no_engine_means_no_lever(self):
+        planner = MitigationPlanner()
+        assert planner.plan(incident(("subsystem", "serving"))) is None

@@ -1,0 +1,131 @@
+"""Operator loop: detect → localize → mitigate → verify, end to end."""
+
+from dataclasses import replace
+
+from repro.core.problem import Element
+from repro.ops.incidents import STATUS_MITIGATING, STATUS_RESOLVED
+from repro.ops.mitigation import LEVER_FAILOVER, LEVER_RECOVER_SHARD
+from repro.ops.operator import Operator, OperatorPolicy
+
+from ops_util import replicated_stack, sharded_stack
+
+
+def drive(operator, cluster, pool, elements, ticks, writes=2):
+    """Operator ticks interleaved with a small write workload."""
+    for _ in range(ticks):
+        operator.tick()
+        for _ in range(writes):
+            if pool:
+                element = pool.pop(0)
+                cluster.insert(element)
+                elements.append(element)
+
+
+class TestBrownoutLifecycle:
+    def test_slow_primary_is_failed_over_then_resolved(self):
+        elements, pool, cluster, guard, plan, probes = replicated_stack(
+            read_latency=4, write_latency=4, seed=31
+        )
+        operator = Operator(guard=guard, probes=probes, elements=elements)
+        drive(operator, cluster, pool, elements, ticks=2)  # warm baselines
+        assert operator.log.incidents == []
+        plan.arm()
+        drive(operator, cluster, pool, elements, ticks=14)
+
+        assert len(operator.log.incidents) >= 1
+        incident = operator.log.incidents[0]
+        assert incident.scope == ("machine", "replica-0")
+        assert incident.kind == "latency_storm"
+        assert incident.levers_fired[0] == LEVER_FAILOVER
+        assert cluster.replicas[cluster.primary_index].name != "replica-0"
+        assert all(not i.open for i in operator.log.incidents)
+        assert operator.verifications >= 1
+
+
+class TestDoNoHarm:
+    def test_defers_under_topology_flux_then_acts(self):
+        _, _, sharded, guard, probes = sharded_stack()
+        elements = None  # structural verification only
+        operator = Operator(guard=guard, probes=probes, elements=elements)
+        sharded.router.shards["shard-1"].machine.mark_dead()
+
+        collect = operator.collector.collect
+        operator.collector.collect = (
+            lambda tick: replace(collect(tick), topology_in_flux=True)
+        )
+        operator.tick()
+        operator.tick()
+        incident = operator.log.incidents[0]
+        assert incident.status != STATUS_RESOLVED
+        assert operator.deferrals >= 1
+        assert incident.levers_fired == []  # nothing fired under flux
+        assert not sharded.router.shards["shard-1"].alive
+
+        operator.collector.collect = collect  # flux clears
+        for _ in range(4):
+            operator.tick()
+        assert incident.levers_fired == [LEVER_RECOVER_SHARD]
+        assert incident.status == STATUS_RESOLVED
+        assert sharded.router.shards["shard-1"].alive
+
+    def test_deferrals_do_not_exhaust_the_incident(self):
+        _, _, sharded, guard, probes = sharded_stack()
+        operator = Operator(
+            guard=guard, probes=probes,
+            policy=OperatorPolicy(max_rungs=2),
+        )
+        sharded.router.shards["shard-1"].machine.mark_dead()
+        collect = operator.collector.collect
+        operator.collector.collect = (
+            lambda tick: replace(collect(tick), topology_in_flux=True)
+        )
+        for _ in range(6):  # more deferred ticks than max_rungs
+            operator.tick()
+        incident = operator.log.incidents[0]
+        assert incident.open  # still waiting, not exhausted
+
+
+class TestVerification:
+    def test_failed_verification_keeps_incident_open(self):
+        elements, pool, cluster, guard, _, probes = replicated_stack(seed=17)
+        operator = Operator(guard=guard, probes=probes, elements=elements)
+        follower = next(r for r in cluster.replicas if not r.is_primary)
+        follower.mark_dead()
+        # Poison the oracle: phantom heavyweights shadow every element
+        # position, so any non-empty probe disagrees with the index.
+        phantoms = [
+            Element(e.obj + 0.25, 10**9 + i)
+            for i, e in enumerate(list(elements))
+        ]
+        elements.extend(phantoms)
+        drive(operator, cluster, pool, elements, ticks=4, writes=0)
+        incident = operator.log.incidents[0]
+        assert incident.status == STATUS_MITIGATING  # lever fired, not closed
+        assert operator.verification_failures >= 1
+
+        del elements[-len(phantoms):]  # oracle repaired: re-verify closes
+        drive(operator, cluster, pool, elements, ticks=4)
+        assert incident.status == STATUS_RESOLVED
+
+    def test_verification_is_deterministic(self):
+        def run():
+            elements, pool, cluster, guard, plan, probes = replicated_stack(
+                read_latency=4, write_latency=4, seed=31
+            )
+            operator = Operator(guard=guard, probes=probes, elements=elements)
+            drive(operator, cluster, pool, elements, ticks=2)
+            plan.arm()
+            drive(operator, cluster, pool, elements, ticks=14)
+            return operator.log.timeline()
+
+        assert run() == run()
+
+
+class TestExhaustion:
+    def test_unplannable_incident_is_exhausted_not_looped(self):
+        _, _, _, guard, _, probes = replicated_stack()
+        operator = Operator(guard=guard, probes=probes)
+        # A subsystem blame with no serving engine has an empty ladder.
+        operator.log.fold(("subsystem", "serving"), "shed_spike", [], tick=1)
+        operator.tick()
+        assert operator.log.incidents[0].status == "exhausted"

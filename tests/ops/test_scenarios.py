@@ -1,0 +1,86 @@
+"""ChaosScenarioRunner: the graded acceptance suite, run end to end."""
+
+import pytest
+
+from repro.ops.mitigation import (
+    LEVER_FAILOVER,
+    LEVER_REBOOT,
+    LEVER_RECOVER_SHARD,
+    LEVER_SCRUB,
+)
+from repro.ops.scenarios import (
+    ChaosScenarioRunner,
+    DEFAULT_SCENARIOS,
+    grade_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    runner = ChaosScenarioRunner()
+    results = runner.run_suite()
+    return {result.spec.name: result for result in results}
+
+
+class TestAcceptance:
+    def test_localization_accuracy_floor(self, suite):
+        grade = grade_suite(list(suite.values()))
+        assert grade["localization_accuracy"] >= 0.9
+
+    def test_every_incident_mitigated_with_existing_levers(self, suite):
+        known = {LEVER_FAILOVER, LEVER_REBOOT, LEVER_RECOVER_SHARD,
+                 LEVER_SCRUB, "rebalance", "flush_cache"}
+        for result in suite.values():
+            assert result.mitigated, result.timeline
+            assert set(result.levers) <= known
+
+    def test_all_answers_oracle_exact(self, suite):
+        for result in suite.values():
+            assert result.answers > 0
+            assert result.answers_exact == result.answers
+            assert result.post_probes_exact
+
+    def test_detection_is_prompt(self, suite):
+        for result in suite.values():
+            assert result.detection_latency is not None
+            assert result.detection_latency <= 4, result.spec.name
+
+
+class TestScenarioStories:
+    def test_storm_rebuilds_redundancy_after_reactive_condemnation(self, suite):
+        result = suite["storm-on-primary"]
+        assert result.localized_to == "replica-0"
+        assert LEVER_REBOOT in result.levers
+
+    def test_brownout_is_the_forced_failover_path(self, suite):
+        # Latency raises no faults: only the control plane can act, and
+        # its first rung on an alive primary is the gentle failover.
+        result = suite["brownout-on-primary"]
+        assert result.levers[0] == LEVER_FAILOVER
+
+    def test_condemned_follower_is_rebooted(self, suite):
+        result = suite["condemned-follower"]
+        assert result.localized_to == "replica-1"
+        assert LEVER_REBOOT in result.levers
+
+    def test_shard_loss_is_detected_by_gauge(self, suite):
+        result = suite["shard-machine-loss"]
+        assert result.detection_latency == 0  # aliveness gauge, not telemetry lag
+        assert result.levers == [LEVER_RECOVER_SHARD]
+
+    def test_drip_corruption_escalates_scrub_to_reboot(self, suite):
+        result = suite["drip-corruption"]
+        assert result.levers[0] == LEVER_SCRUB
+        assert LEVER_REBOOT in result.levers
+
+    def test_suite_is_deterministic(self):
+        timelines = [
+            [r.timeline for r in ChaosScenarioRunner().run_suite()]
+            for _ in range(2)
+        ]
+        assert timelines[0] == timelines[1]
+
+
+def test_default_scenarios_cover_four_failure_families():
+    assert len(DEFAULT_SCENARIOS) >= 4
+    assert len({spec.kind for spec in DEFAULT_SCENARIOS}) >= 4

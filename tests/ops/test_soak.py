@@ -1,0 +1,24 @@
+"""The do-no-harm baseline: a healthy cluster soak opens nothing.
+
+Satellite requirement: 200 queries against a fault-free replicated
+stack with the operator ticking alongside — zero incidents, zero
+mitigations, zero deferrals, and every answer oracle-exact (asserted
+inside :meth:`ChaosScenarioRunner.run_healthy`).
+"""
+
+from repro.ops.scenarios import ChaosScenarioRunner
+
+
+def test_healthy_soak_opens_zero_incidents():
+    operator = ChaosScenarioRunner().run_healthy(
+        ticks=25, queries_per_tick=8, writes_per_tick=2, seed=0
+    )
+    assert operator.clock >= 25
+    assert operator.log.incidents == []       # no incidents...
+    assert operator.deferrals == 0            # ...no vetoed actions...
+    assert operator.verifications == 0        # ...and no lever ever fired
+
+def test_healthy_soak_is_seed_robust():
+    for seed in (1, 2):
+        operator = ChaosScenarioRunner().run_healthy(ticks=10, seed=seed)
+        assert operator.log.incidents == []

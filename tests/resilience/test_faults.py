@@ -238,3 +238,157 @@ class TestCrashSchedule:
                     died_at = i + 1
                     break
             assert died_at == at_io
+
+
+class TestPhaseSchedule:
+    def test_phase_applies_at_the_scheduled_transfer(self):
+        plan = FaultPlan()
+        plan.schedule_phase(3, read_fail_rate=1.0)
+        plan.on_read(0, [1])          # transfer 1: old rates
+        plan.on_read(1, [1])          # transfer 2: old rates
+        with pytest.raises(TransientIOError):
+            plan.on_read(2, [1])      # transfer 3: new rates
+        assert plan.read_fail_rate == 1.0
+
+    def test_counting_is_relative_to_now(self):
+        plan = FaultPlan()
+        plan.on_write(0, [1])
+        plan.on_write(1, [1])
+        plan.schedule_phase(1, write_fail_rate=1.0)
+        with pytest.raises(TransientIOError):
+            plan.on_write(2, [1])     # the very next transfer
+
+    def test_counts_while_disarmed(self):
+        # Phase countdowns tick on every intercepted transfer, armed or
+        # not — mirroring schedule_crash.
+        plan = FaultPlan(armed=True)
+        plan.disarm()
+        plan.schedule_phase(2, read_fail_rate=1.0)
+        plan.on_read(0, [1])
+        plan.on_read(1, [1])          # phase flips, but plan is disarmed
+        assert plan.read_fail_rate == 1.0
+        plan.arm()
+        with pytest.raises(TransientIOError):
+            plan.on_read(2, [1])
+
+    def test_unnamed_fields_keep_previous_values(self):
+        plan = FaultPlan(armed=False, read_latency=7)
+        plan.schedule_phase(1, read_fail_rate=0.5)
+        plan.on_read(0, [1])
+        assert plan.read_latency == 7
+
+    def test_successive_phases_compose_piecewise(self):
+        plan = FaultPlan(armed=False)
+        plan.schedule_phase(1, read_fail_rate=0.2)
+        plan.schedule_phase(3, read_fail_rate=0.0, corrupt_rate=0.1)
+        plan.on_read(0, [1])
+        assert (plan.read_fail_rate, plan.corrupt_rate) == (0.2, 0.0)
+        plan.on_read(1, [1])
+        plan.on_read(2, [1])
+        assert (plan.read_fail_rate, plan.corrupt_rate) == (0.0, 0.1)
+
+    def test_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_phase(0, read_fail_rate=0.5)
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_phase(1)
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_phase(1, bogus_field=1.0)
+        with pytest.raises(InvalidConfiguration):
+            plan.schedule_phase(1, corrupt_rate=1.5)
+
+    def test_scheduled_corruption_counts_as_injecting(self):
+        # EMContext auto-enables checksums off this property at attach
+        # time; a clean plan whose *later* phase corrupts must count.
+        plan = FaultPlan(armed=False)
+        assert not plan.injects_corruption
+        plan.schedule_phase(5, corrupt_rate=0.1)
+        assert plan.injects_corruption
+
+
+class TestMerge:
+    def test_probabilities_combine_by_max(self):
+        a = FaultPlan(seed=1, read_fail_rate=0.3, write_fail_rate=0.1)
+        b = FaultPlan(seed=2, read_fail_rate=0.2, write_fail_rate=0.4)
+        merged = FaultPlan.merge(a, b)
+        assert merged.read_fail_rate == 0.3
+        assert merged.write_fail_rate == 0.4
+
+    def test_latencies_add(self):
+        a = FaultPlan(seed=1, read_latency=3)
+        b = FaultPlan(seed=2, read_latency=4, write_latency=2)
+        merged = FaultPlan.merge(a, b)
+        assert merged.read_latency == 7
+        assert merged.write_latency == 2
+
+    def test_offsets_delay_a_constituent(self):
+        quiet = FaultPlan(seed=1)
+        storm = FaultPlan(seed=2, read_fail_rate=1.0)
+        merged = FaultPlan.merge(quiet, storm, offsets=[0, 2], armed=True)
+        merged.on_read(0, [1])        # transfer 1: storm not yet active
+        merged.on_read(1, [1])        # transfer 2: still quiet
+        with pytest.raises(TransientIOError):
+            merged.on_read(2, [1])    # transfer 3: storm window opens
+
+    def test_durations_window_a_constituent(self):
+        storm = FaultPlan(seed=2, read_fail_rate=1.0)
+        merged = FaultPlan.merge(storm, durations=[2], armed=True)
+        for i in range(2):
+            with pytest.raises(TransientIOError):
+                merged.on_read(i, [1])
+        merged.on_read(2, [1])        # window expired: back to zero rates
+
+    def test_overlap_keeps_single_injection_semantics(self):
+        # Two total storms overlapping still fail each read exactly once
+        # (max, not sum): the stats count one fault per transfer.
+        a = FaultPlan(seed=1, read_fail_rate=1.0)
+        b = FaultPlan(seed=2, read_fail_rate=1.0)
+        merged = FaultPlan.merge(a, b, armed=True)
+        for i in range(5):
+            with pytest.raises(TransientIOError):
+                merged.on_read(i, [1])
+        assert merged.stats.read_faults == 5
+
+    def test_pending_crash_earliest_wins(self):
+        a = FaultPlan(seed=1)
+        a.schedule_crash(at_io=9)
+        b = FaultPlan(seed=2)
+        b.schedule_crash(at_io=4, torn_fraction=0.0)
+        merged = FaultPlan.merge(a, b, armed=True)
+        for i in range(3):
+            merged.on_write(i, [1])
+        with pytest.raises(SimulatedCrash) as excinfo:
+            merged.on_write(3, [1, 2])
+        assert excinfo.value.torn_keep == 0  # b's torn fraction carried over
+
+    def test_constituents_are_untouched(self):
+        a = FaultPlan(seed=1, read_fail_rate=0.5, machine="m-a")
+        merged = FaultPlan.merge(a, durations=[1])
+        merged.on_read(0, [1])
+        merged.on_read(1, [1])
+        assert a.read_fail_rate == 0.5
+        assert a.stats.reads_seen == 0    # fresh, unbound result
+        assert merged.machine == "m-a"    # first labelled machine wins
+
+    def test_seed_derivation_is_deterministic(self):
+        a, b = FaultPlan(seed=1), FaultPlan(seed=2)
+        assert FaultPlan.merge(a, b).seed == FaultPlan.merge(a, b).seed
+        assert FaultPlan.merge(a, b).seed != FaultPlan.merge(b, a).seed
+
+    def test_merged_corruption_enables_checksums_on_attach(self):
+        clean = FaultPlan(seed=1)
+        dripper = FaultPlan(seed=2, corrupt_rate=0.2)
+        merged = FaultPlan.merge(clean, dripper, offsets=[0, 50])
+        ctx = EMContext(M=64, B=4, fault_plan=merged)
+        assert ctx.disk.checksums_enabled
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan.merge()
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan.merge(FaultPlan(), offsets=[1, 2])
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan.merge(FaultPlan(), offsets=[-1])
+        with pytest.raises(InvalidConfiguration):
+            FaultPlan.merge(FaultPlan(), durations=[0])

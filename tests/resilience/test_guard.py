@@ -366,3 +366,52 @@ class TestChaosWorkload:
             + summary.budget_exhaustions
         )
         assert guard.health.retries <= summary.transient_faults
+
+
+class TestHealthSummaryConcurrency:
+    def test_concurrent_records_lose_no_increments(self):
+        # Regression: pre-lock, racing `+=` read-modify-writes dropped
+        # increments when guards shared a summary across threads.
+        import threading
+        from repro.resilience.guard import HealthReport, HealthSummary
+
+        health = HealthSummary()
+        threads, per_thread = 8, 400
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                health.record(HealthReport(attempts=2, transient_faults=1))
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert health.queries == threads * per_thread
+        assert health.attempts == 2 * threads * per_thread
+        assert health.transient_faults == threads * per_thread
+
+    def test_summary_still_asdict_serializable(self):
+        # The lock is an instance attribute, not a dataclass field —
+        # asdict() (used by the determinism harness) must keep working.
+        import dataclasses
+        from repro.resilience.guard import HealthReport, HealthSummary
+
+        health = HealthSummary()
+        health.record(HealthReport(attempts=1))
+        as_dict = dataclasses.asdict(health)
+        assert as_dict["queries"] == 1
+        assert not any(key.startswith("_") for key in as_dict)
+
+    def test_reset_preserves_the_lock(self):
+        from repro.resilience.guard import HealthReport, HealthSummary
+
+        health = HealthSummary()
+        health.record(HealthReport(attempts=1))
+        health.reset()
+        assert health.queries == 0
+        health.record(HealthReport(attempts=1))  # lock survived the reset
+        assert health.queries == 1
