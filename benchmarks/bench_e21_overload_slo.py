@@ -1,0 +1,188 @@
+"""E21 — Overload & SLO-driven remediation: the flash-crowd grading.
+
+Runs the :mod:`repro.loadgen` open-loop traffic suite against the
+serving stack and records the robustness claims the subsystem exists
+to earn:
+
+* **flash-crowd SLO** — the same seeded 8x crowd hits a static 2-shard
+  topology and an identical stack with the control plane armed (SLO
+  detection -> ``split_shard`` scale-out, plus the engine's brownout
+  ladder).  Acceptance: the static topology's p99 violates the SLO,
+  the autoscaled one's p99 stays inside it, and goodput improves;
+* **retry amplification** — a fault-overlap brownout (armed latency
+  plan) under sustained load, with clients resubmitting shed requests
+  through a :class:`~repro.resilience.guard.RetryBudget`.  Acceptance:
+  offered/fresh amplification < 1.2x while capacity is scarcest;
+* **exactness under pressure** — every scenario spot-checks served
+  answers against the brute-force oracle; answers the engine did not
+  flag as degraded must be exact, always.
+
+Everything is virtual-time and seeded, so CI grades identical runs.
+Results land in ``benchmarks/results/e21_overload_slo.json`` (the CI
+overload-slo job uploads it as an artifact).
+
+Set ``REPRO_BENCH_QUICK=1`` to shorten the diurnal/storm soaks (the
+acceptance pair always runs in full).
+"""
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.loadgen import (
+    DEFAULT_LOAD_SCENARIOS,
+    SHAPE_FLASH_CROWD,
+    LoadScenarioRunner,
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+AMPLIFICATION_CAP = 1.2
+RESULTS_JSON = (
+    Path(__file__).resolve().parent / "results" / "e21_overload_slo.json"
+)
+
+
+def _scenario_payload(result):
+    report = result.report
+    return {
+        "name": report.name,
+        "shape": result.spec.shape,
+        "slo": result.spec.p99_slo,
+        "slo_met": result.slo_met,
+        "fresh_arrivals": report.fresh_arrivals,
+        "served": report.served,
+        "sheds": report.sheds,
+        "queue_sheds": report.queue_sheds,
+        "deadline_sheds": report.deadline_sheds,
+        "retries": report.retries,
+        "retries_denied": report.retries_denied,
+        "amplification": report.amplification,
+        "goodput": report.goodput,
+        "p50": report.latency.p50,
+        "p99": report.latency.p99,
+        "p999": report.latency.p999,
+        "reduced_k_served": report.reduced_k_served,
+        "partial_served": report.partial_served,
+        "exact_checked": report.exact_checked,
+        "exact_ok": report.exact_ok,
+        "brownout_escalations": result.brownout_escalations,
+        "incidents": result.incidents,
+        "levers": result.levers,
+        "final_shards": result.final_shards,
+    }
+
+
+def _row(result):
+    report = result.report
+    return [
+        report.name,
+        report.fresh_arrivals,
+        f"{report.latency.p50:.3f}",
+        f"{report.latency.p99:.3f}",
+        "yes" if result.slo_met else "NO",
+        f"{report.goodput:.1%}",
+        f"{report.amplification:.3f}x",
+        result.final_shards,
+        f"{report.exact_ok}/{report.exact_checked}",
+    ]
+
+
+def bench_e21_overload_slo(benchmark, results_sink):
+    runner = LoadScenarioRunner()
+    flash_spec = next(
+        s for s in DEFAULT_LOAD_SCENARIOS if s.shape == SHAPE_FLASH_CROWD
+    )
+
+    # --- the headline pair: identical crowd, control plane off/on ---
+    static, scaled = runner.flash_crowd_comparison(flash_spec)
+
+    # --- the supporting scenarios (diurnal, storm, fault overlap) ---
+    others = []
+    for spec in DEFAULT_LOAD_SCENARIOS:
+        if spec.shape == SHAPE_FLASH_CROWD:
+            continue
+        if QUICK:
+            spec = replace(spec, duration=min(spec.duration, 24.0))
+        others.append(runner.run(spec))
+
+    results = [static, scaled, *others]
+
+    # Acceptance 1: the SLO separation the control plane is for.
+    assert static.report.latency.p99 > flash_spec.p99_slo, (
+        "static topology must measurably violate the SLO",
+        static.report.latency.p99,
+    )
+    assert scaled.report.latency.p99 <= flash_spec.p99_slo, (
+        "autoscaled+brownout run must meet the SLO",
+        scaled.report.latency.p99,
+    )
+    assert "split_shard" in scaled.levers and scaled.final_shards > (
+        flash_spec.num_shards
+    ), "the win must come from real scale-out"
+    assert scaled.report.goodput > static.report.goodput
+
+    # Acceptance 2: the retry budget bounds amplification everywhere,
+    # including the brownout-under-load scenario.
+    for result in results:
+        assert result.report.amplification < AMPLIFICATION_CAP, (
+            result.report.name,
+            result.report.amplification,
+        )
+
+    # Acceptance 3: no unflagged answer ever diverges from the oracle.
+    for result in results:
+        assert result.report.exact_checked > 0, result.report.name
+        assert result.report.exact_ok == result.report.exact_checked, (
+            result.report.name
+        )
+
+    results_sink(
+        render_table(
+            f"E21 Overload & SLO-driven remediation ({len(results)} runs, "
+            f"SLO p99 <= {flash_spec.p99_slo:.1f}s)",
+            [
+                "scenario", "offered", "p50", "p99", "slo",
+                "goodput", "amplif", "shards", "exact",
+            ],
+            [_row(result) for result in results],
+            note=(
+                "acceptance: static flash crowd violates the p99 SLO, the "
+                "autoscaled+brownout twin meets it via split_shard scale-"
+                f"out, amplification < {AMPLIFICATION_CAP}x under brownout, "
+                "and every non-flagged answer is oracle-exact; latencies "
+                "are virtual seconds (counted, not slept)"
+            ),
+        )
+    )
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "quick": QUICK,
+                "slo_p99": flash_spec.p99_slo,
+                "amplification_cap": AMPLIFICATION_CAP,
+                "flash_crowd": {
+                    "static": _scenario_payload(static),
+                    "autoscaled": _scenario_payload(scaled),
+                    "slo_separation": [
+                        static.report.latency.p99,
+                        scaled.report.latency.p99,
+                    ],
+                },
+                "scenarios": [_scenario_payload(result) for result in results],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Timing hook: one full static flash-crowd run.
+    benchmark(
+        lambda: LoadScenarioRunner().run(
+            replace(flash_spec, name="bench-timing")
+        )
+    )

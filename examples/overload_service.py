@@ -1,0 +1,82 @@
+"""A flash crowd hits a top-k service — twice: static, then autoscaled.
+
+The same seeded open-loop crowd (arrivals keep coming whether or not
+the service keeps up — no coordinated omission) is replayed against
+two identical 2-shard serving stacks:
+
+* **static** — fixed topology.  When the 8x spike lands, the queue
+  grows, deadline admission sheds what cannot finish in time, the
+  retry budget caps how hard clients hammer back, and the p99 blows
+  through the SLO anyway: there is simply not enough capacity;
+* **autoscaled** — the exact same stack plus the control plane.  The
+  anomaly detector's SLO rules (p99 breach, queue growth, shed-rate
+  spike) open an incident, the mitigation planner pulls the
+  ``split_shard`` lever — repeatedly, each pull adding a server — and
+  the brownout ladder keeps answers flowing (reduced-k prefixes,
+  never wrong ones) while capacity catches up.
+
+Everything runs in deterministic virtual time: latencies are counted,
+not slept, so the whole story replays bit-for-bit from its seed.
+
+Run:  python examples/overload_service.py
+"""
+
+from repro.loadgen import DEFAULT_LOAD_SCENARIOS, SHAPE_FLASH_CROWD, LoadScenarioRunner
+
+
+def describe(result) -> None:
+    report = result.report
+    slo = result.spec.p99_slo
+    verdict = "MET" if result.slo_met else "VIOLATED"
+    print(f"  offered     : {report.fresh_arrivals} fresh requests "
+          f"(+{report.retries} budgeted retries, "
+          f"{report.retries_denied} denied)")
+    print(f"  served      : {report.served} "
+          f"({report.reduced_k_served} reduced-k, "
+          f"{report.partial_served} partial)")
+    print(f"  sheds       : {report.sheds} "
+          f"({report.queue_sheds} queue-full, "
+          f"{report.deadline_sheds} past-deadline)")
+    print(f"  latency     : p50={report.latency.p50:.3f}s "
+          f"p99={report.latency.p99:.3f}s p999={report.latency.p999:.3f}s")
+    print(f"  p99 SLO {slo:.1f}s : {verdict}")
+    print(f"  goodput     : {report.goodput:.1%}   "
+          f"amplification: {report.amplification:.3f}x")
+    print(f"  topology    : {result.final_shards} shards at end"
+          + (f"   levers: {', '.join(result.levers)}" if result.levers else ""))
+    print(f"  exactness   : {report.exact_ok}/{report.exact_checked} "
+          f"spot-checks matched the brute-force oracle")
+
+
+def main() -> None:
+    spec = next(
+        s for s in DEFAULT_LOAD_SCENARIOS if s.shape == SHAPE_FLASH_CROWD
+    )
+    runner = LoadScenarioRunner()
+
+    print(f"flash crowd: {spec.base_rate:.0f} req/s baseline, "
+          f"{spec.spike:.0f}x spike for {spec.window_duration:.0f}s, "
+          f"p99 SLO {spec.p99_slo:.1f}s\n")
+
+    static, scaled = runner.flash_crowd_comparison(spec)
+
+    print("[1] static topology — no control plane")
+    describe(static)
+    print()
+    print("[2] autoscaled — SLO detection + split_shard + brownout ladder")
+    describe(scaled)
+    print()
+
+    assert not static.slo_met and scaled.slo_met
+    assert scaled.final_shards > spec.num_shards
+    print(
+        f"same crowd, same seed: scale-out cut p99 from "
+        f"{static.report.latency.p99:.3f}s to "
+        f"{scaled.report.latency.p99:.3f}s and goodput rose from "
+        f"{static.report.goodput:.1%} to {scaled.report.goodput:.1%}, "
+        f"with every non-degraded answer oracle-exact"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""`repro.loadgen`: open-loop traffic against the serving stack.
+
+The robustness harness the serving layer is graded with.  Everything in
+here is deterministic and virtual-time — arrivals come from seeded
+open-loop schedules (independent of completions, so queueing collapse
+is *visible*, not silently absorbed as in closed-loop generators), and
+service time is counted from engine stat deltas rather than slept.
+
+Layers, bottom-up:
+
+* :mod:`~repro.loadgen.histogram` — log-bucketed latency histograms
+  (p50/p99/p999, mergeable, no sampling);
+* :mod:`~repro.loadgen.arrivals` — rate shapes (constant, diurnal,
+  flash crowd) and the :class:`OpenLoopSchedule` that turns them into
+  timestamp streams;
+* :mod:`~repro.loadgen.workload` — query mixes (uniform, Zipf,
+  hot-key storm);
+* :mod:`~repro.loadgen.harness` — :class:`LoadGenerator`, the
+  virtual-time queueing simulation that drives a real
+  :class:`~repro.serving.engine.ServingEngine` (deadline admission,
+  retry budgets, oracle spot-checks) and emits a :class:`LoadReport`;
+* :mod:`~repro.loadgen.scenarios` — scripted end-to-end scenarios
+  (diurnal, flash crowd, hot-key storm, fault overlap) with optional
+  operator autoscaling and engine brownout arms.
+"""
+
+from repro.loadgen.arrivals import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    OpenLoopSchedule,
+)
+from repro.loadgen.harness import LoadGenerator, LoadReport, ServiceModel
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.scenarios import (
+    DEFAULT_LOAD_SCENARIOS,
+    SHAPE_DIURNAL,
+    SHAPE_FAULT_OVERLAP,
+    SHAPE_FLASH_CROWD,
+    SHAPE_HOT_KEY,
+    LoadScenarioResult,
+    LoadScenarioRunner,
+    LoadScenarioSpec,
+)
+from repro.loadgen.workload import HotKeyStorm, UniformMix, ZipfMix
+
+__all__ = [
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "OpenLoopSchedule",
+    "LatencyHistogram",
+    "LoadGenerator",
+    "LoadReport",
+    "ServiceModel",
+    "UniformMix",
+    "ZipfMix",
+    "HotKeyStorm",
+    "LoadScenarioSpec",
+    "LoadScenarioResult",
+    "LoadScenarioRunner",
+    "DEFAULT_LOAD_SCENARIOS",
+    "SHAPE_DIURNAL",
+    "SHAPE_FLASH_CROWD",
+    "SHAPE_HOT_KEY",
+    "SHAPE_FAULT_OVERLAP",
+]

@@ -1,0 +1,200 @@
+"""Open-loop arrival schedules: traffic that does not wait for you.
+
+The defining property of real traffic is that *users do not coordinate
+with the server*: request number ``i+1`` arrives when the rate function
+says it does, whether or not request ``i`` has been answered.  A
+closed-loop generator (issue, wait, issue) silently throttles itself
+exactly when the server slows down — the "coordinated omission" blind
+spot wrk2 was built to fix — and can never produce queueing collapse.
+:class:`OpenLoopSchedule` therefore generates the full arrival
+timestamp sequence **up front from the rate function alone**; the
+harness then replays it against the engine, letting the backlog grow
+wherever capacity falls short.
+
+Rate shapes (`requests per unit time` as a function of time):
+
+* :class:`ConstantRate` — the wrk2 staple;
+* :class:`DiurnalRate` — a sinusoidal day/night cycle around a base;
+* :class:`FlashCrowdRate` — a base rate with a burst window at
+  ``spike`` multiples (linear ramp in, cliff out), the autoscaling
+  acceptance scenario.
+
+All schedules are seeded: optional jitter perturbs inter-arrival gaps
+reproducibly, so two runs of the same (shape, seed) produce identical
+timestamp sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.resilience.errors import InvalidConfiguration
+
+
+@dataclass(frozen=True)
+class ConstantRate:
+    """``rate`` requests per unit time, forever."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise InvalidConfiguration(f"rate must be > 0, got {self.rate}")
+
+    def __call__(self, t: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """A day/night cycle: ``base * (1 + amplitude * sin(2*pi*t/period))``.
+
+    Starts at the base rate, peaks at ``base * (1 + amplitude)`` a
+    quarter-period in, troughs three quarters in.  ``amplitude`` must
+    stay below 1 so the rate never reaches zero.
+    """
+
+    base: float
+    amplitude: float = 0.5
+    period: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0.0:
+            raise InvalidConfiguration(f"base must be > 0, got {self.base}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise InvalidConfiguration(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.period <= 0.0:
+            raise InvalidConfiguration(
+                f"period must be > 0, got {self.period}"
+            )
+
+    def __call__(self, t: float) -> float:
+        import math
+
+        return self.base * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdRate:
+    """Base rate with a flash-crowd window at ``spike`` multiples.
+
+    The crowd arrives fast but not instantaneously: the rate ramps
+    linearly from ``base`` to ``base * spike`` over the first
+    ``ramp`` fraction of the window, holds, then drops back to base at
+    the window's end (crowds leave when the event ends — a cliff).
+    """
+
+    base: float
+    spike: float = 5.0
+    start: float = 20.0
+    duration: float = 30.0
+    ramp: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base <= 0.0:
+            raise InvalidConfiguration(f"base must be > 0, got {self.base}")
+        if self.spike < 1.0:
+            raise InvalidConfiguration(
+                f"spike must be >= 1, got {self.spike}"
+            )
+        if self.duration <= 0.0:
+            raise InvalidConfiguration(
+                f"duration must be > 0, got {self.duration}"
+            )
+        if not 0.0 <= self.ramp <= 1.0:
+            raise InvalidConfiguration(
+                f"ramp must be in [0, 1], got {self.ramp}"
+            )
+
+    def __call__(self, t: float) -> float:
+        if not self.start <= t < self.start + self.duration:
+            return self.base
+        ramp_span = self.ramp * self.duration
+        if ramp_span > 0.0 and t < self.start + ramp_span:
+            fraction = (t - self.start) / ramp_span
+            return self.base * (1.0 + (self.spike - 1.0) * fraction)
+        return self.base * self.spike
+
+
+class OpenLoopSchedule:
+    """Arrival timestamps from a rate function, independent of service.
+
+    ``t_{i+1} = t_i + jitter_draw / rate(t_i)`` — the classic
+    quasi-deterministic pacing: mean inter-arrival gap tracks the rate
+    function, seeded jitter (uniform in ``[1 - jitter, 1 + jitter]``)
+    decorrelates arrivals from tick boundaries without Poisson
+    burstiness obscuring the scripted shape.  ``jitter=0`` is exact
+    constant pacing.
+    """
+
+    def __init__(self, rate_fn, seed: int = 0, jitter: float = 0.1) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise InvalidConfiguration(
+                f"jitter must be in [0, 1), got {jitter}"
+            )
+        self.rate_fn = rate_fn
+        self.seed = seed
+        self.jitter = jitter
+
+    def between(self, start: float, end: float) -> Iterator[float]:
+        """Arrival timestamps in ``[start, end)``, ascending.
+
+        The stream is generated fresh from ``start`` each call; for a
+        windowed replay use one generator and consume it incrementally
+        (see :meth:`windows`).
+        """
+        rng = random.Random(f"arrivals-{self.seed}-{start!r}")
+        t = start
+        while True:
+            rate = self.rate_fn(t)
+            if rate <= 0.0:
+                raise InvalidConfiguration(
+                    f"rate function returned {rate} at t={t}; open-loop "
+                    "schedules need a strictly positive rate"
+                )
+            gap = 1.0 / rate
+            if self.jitter > 0.0:
+                gap *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            t += gap
+            if t >= end:
+                return
+            yield t
+
+    def windows(
+        self, start: float, end: float, tick: float
+    ) -> Iterator[List[float]]:
+        """Arrival timestamps grouped per ``tick``-sized window.
+
+        One contiguous stream (a single RNG), chunked at tick
+        boundaries — the shape the harness's tick loop consumes.
+        """
+        if tick <= 0.0:
+            raise InvalidConfiguration(f"tick must be > 0, got {tick}")
+        stream = self.between(start, end)
+        pending: List[float] = []
+        window_end = start + tick
+        for t in stream:
+            while t >= window_end:
+                yield pending
+                pending = []
+                window_end += tick
+            pending.append(t)
+        # Flush the tail, padding empty windows to cover [start, end).
+        while window_end <= end + 1e-12:
+            yield pending
+            pending = []
+            window_end += tick
+
+
+__all__ = [
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "OpenLoopSchedule",
+]

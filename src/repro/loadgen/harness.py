@@ -1,0 +1,506 @@
+"""The open-loop load harness: real engine, virtual clock.
+
+The harness drives a **real** :class:`~repro.serving.engine.ServingEngine`
+(real cache, real batching, real sharded scatter-gather — answers are
+genuinely computed and oracle-checkable) under a **virtual** clock, in
+the repo's counted-not-slept tradition: service time is derived from
+the work the engine *measurably did* (traversals executed, cache hits
+served, injected fault latency units absorbed) through a
+:class:`ServiceModel`, never from wall time.  That keeps every run —
+queueing collapse included — bit-for-bit reproducible in CI, while the
+queueing dynamics stay honest:
+
+* arrivals come from an :class:`~repro.loadgen.arrivals.OpenLoopSchedule`
+  — they never wait for completions;
+* each tick the server drains only what its modelled capacity affords
+  (``drain(limit=...)`` while the busy pointer is inside the tick);
+  unserved requests stay queued, so backlog, queue-full sheds, and
+  deadline sheds emerge rather than being scripted;
+* capacity scales with the number of live servers (alive shards, or
+  serving replicas), so the operator's ``split_shard`` lever genuinely
+  buys throughput and a ``FaultPlan`` brownout genuinely costs it;
+* clients resubmit shed requests only while the shared
+  :class:`~repro.resilience.guard.RetryBudget` grants it, so retry
+  amplification is measured *and bounded*.
+
+Latency is recorded per request from its **original arrival** to its
+batch's completion — queueing delay included, the part server-side
+means never see — into full :class:`LatencyHistogram` distributions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.problem import top_k_of
+from repro.loadgen.histogram import LatencyHistogram
+from repro.resilience.errors import AdmissionRejected, InvalidConfiguration
+from repro.resilience.guard import RetryBudget
+
+
+class ServiceModel:
+    """Engine work deltas -> virtual service seconds for one batch.
+
+    ``unit_time`` converts abstract service units into the schedule's
+    time units; one backend traversal costs ``traversal_cost`` units, a
+    cache hit ``hit_cost`` (orders cheaper — that is the cache's whole
+    point), and each injected
+    :class:`~repro.resilience.faults.FaultPlan` latency unit
+    ``latency_unit_cost`` (how brownouts slow the service).  A batch
+    additionally pays ``batch_overhead`` once.  The total is divided by
+    the number of live servers: scatter-gather work is spread across
+    shards, so scale-out is faster service, and dead servers are lost
+    capacity.
+    """
+
+    def __init__(
+        self,
+        unit_time: float = 0.01,
+        traversal_cost: float = 1.0,
+        hit_cost: float = 0.02,
+        latency_unit_cost: float = 0.25,
+        batch_overhead: float = 0.5,
+    ) -> None:
+        if unit_time <= 0.0:
+            raise InvalidConfiguration(
+                f"unit_time must be > 0, got {unit_time}"
+            )
+        self.unit_time = unit_time
+        self.traversal_cost = traversal_cost
+        self.hit_cost = hit_cost
+        self.latency_unit_cost = latency_unit_cost
+        self.batch_overhead = batch_overhead
+
+    def batch_time(
+        self,
+        traversals: int,
+        cache_hits: int,
+        latency_units: int,
+        servers: float,
+    ) -> float:
+        units = (
+            self.batch_overhead
+            + self.traversal_cost * traversals
+            + self.hit_cost * cache_hits
+            + self.latency_unit_cost * latency_units
+        )
+        # ``servers`` is effective healthy-server units and may dip
+        # below 1.0 when every machine is degraded; floor it so a fully
+        # browned-out fleet is very slow, not infinitely slow.
+        return units * self.unit_time / max(0.1, servers)
+
+
+@dataclass
+class _InFlight:
+    """One admitted request waiting in the engine's queue."""
+
+    arrival: float           # original arrival (latency measures from here)
+    deadline: Optional[float]
+    predicate: Any
+    k: int
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced, distributions included."""
+
+    name: str = ""
+    duration: float = 0.0
+    ticks: int = 0
+    # --- offered load ---
+    fresh_arrivals: int = 0
+    submits: int = 0            # fresh + retries actually offered
+    retries: int = 0
+    retries_denied: int = 0     # retry budget said no
+    retries_abandoned: int = 0  # scheduled past the run's end
+    # --- outcomes ---
+    served: int = 0
+    queue_sheds: int = 0
+    deadline_sheds: int = 0
+    dropped: int = 0            # shed and not resubmitted
+    deadline_misses: int = 0    # served, but after their deadline
+    backlog: int = 0            # still queued when the run ended
+    # --- answer quality ---
+    reduced_k_served: int = 0
+    partial_served: int = 0
+    exact_checked: int = 0
+    exact_ok: int = 0
+    # --- latency ---
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    # --- per-tick time series (for plots / telemetry assertions) ---
+    series: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def sheds(self) -> int:
+        return self.queue_sheds + self.deadline_sheds
+
+    @property
+    def amplification(self) -> float:
+        """Offered submits per fresh arrival; 1.0 = no retry inflation."""
+        return (
+            self.submits / self.fresh_arrivals if self.fresh_arrivals else 0.0
+        )
+
+    @property
+    def goodput(self) -> float:
+        """Served-on-time fraction of fresh arrivals."""
+        if not self.fresh_arrivals:
+            return 0.0
+        return (self.served - self.deadline_misses) / self.fresh_arrivals
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "fresh": float(self.fresh_arrivals),
+            "served": float(self.served),
+            "sheds": float(self.sheds),
+            "deadline_misses": float(self.deadline_misses),
+            "backlog": float(self.backlog),
+            "amplification": self.amplification,
+            "goodput": self.goodput,
+            "p50": self.latency.p50,
+            "p99": self.latency.p99,
+            "p999": self.latency.p999,
+        }
+
+
+class LoadGenerator:
+    """Replay an open-loop schedule against a serving engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`ServingEngine` under test.  Build it with
+        ``pool_size=0`` for fully deterministic runs (serial dispatch
+        keeps every stats delta thread-order-free).
+    schedule / mix:
+        Arrival timestamps and the requests they carry.
+    model:
+        The :class:`ServiceModel` converting engine work into virtual
+        time.
+    deadline:
+        Per-request deadline budget (arrival + deadline), or ``None``
+        for deadline-free traffic.
+    retry_budget:
+        A shared :class:`RetryBudget`; shed requests are resubmitted
+        (once per shed, at ``retry_after``) only while it grants.
+        ``None`` disables client retries entirely.
+    elements / exact_check_rate:
+        With a live element list, a seeded fraction of non-degraded
+        answers is compared against the :func:`top_k_of` oracle
+        (assumes the element set is static for the run's duration).
+    """
+
+    def __init__(
+        self,
+        engine,
+        schedule,
+        mix,
+        model: Optional[ServiceModel] = None,
+        deadline: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        elements: Optional[List] = None,
+        exact_check_rate: float = 0.05,
+        seed: int = 0,
+        name: str = "load",
+    ) -> None:
+        if deadline is not None and deadline <= 0.0:
+            raise InvalidConfiguration(
+                f"deadline budget must be > 0, got {deadline}"
+            )
+        if not 0.0 <= exact_check_rate <= 1.0:
+            raise InvalidConfiguration(
+                f"exact_check_rate must be in [0, 1], got {exact_check_rate}"
+            )
+        self.engine = engine
+        self.schedule = schedule
+        self.mix = mix
+        self.model = model if model is not None else ServiceModel()
+        self.deadline = deadline
+        self.retry_budget = retry_budget
+        self.elements = elements
+        self.exact_check_rate = exact_check_rate
+        self._rng = random.Random(f"loadgen-{seed}")
+        self.report = LoadReport(name=name)
+        # Virtual time: where the server's busy pointer has reached.
+        self.busy_until = 0.0
+        self._inflight: List[_InFlight] = []
+        self._retry_heap: List[Tuple[float, int, Any, int, float]] = []
+        self._retry_seq = 0
+        self._service_estimate = 0.0
+        self._window = LatencyHistogram()
+        self._last_window_summary: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity inputs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _machine_speed(plan) -> float:
+        """One machine's service speed: 1.0 healthy, less when browned.
+
+        An armed :class:`~repro.resilience.faults.FaultPlan` injecting
+        ``read_latency`` units slows every operation on that machine;
+        in virtual time the machine serves at ``1 / (1 + read_latency)``
+        of healthy speed.  (The query path never touches the EM disk,
+        so the plan's per-transfer charge cannot express this itself.)
+        """
+        if plan is None or not plan.armed:
+            return 1.0
+        return 1.0 / (1.0 + max(0, plan.read_latency))
+
+    def _servers(self) -> float:
+        """Effective parallel service capacity, in healthy-server units.
+
+        Alive machines count at their speed (degraded machines serve,
+        just slower), dead machines not at all — so a ``split_shard``
+        genuinely adds capacity and an armed latency plan genuinely
+        removes it.
+        """
+        sharded = getattr(self.engine, "_sharded", None)
+        if sharded is not None:
+            total = 0.0
+            for shard in sharded.router.shards.values():
+                if not shard.alive:
+                    continue
+                machine = shard.machine
+                plan = machine.plan if machine is not None else None
+                total += self._machine_speed(plan)
+            return max(0.1, total)
+        cluster = getattr(self.engine, "_cluster", None)
+        if cluster is not None:
+            total = sum(
+                self._machine_speed(r.plan)
+                for r in cluster.replicas
+                if r.alive
+            )
+            return max(0.1, total)
+        return 1.0
+
+    def _latency_units(self) -> int:
+        """Total injected latency units across every reachable machine."""
+        total = 0
+        sharded = getattr(self.engine, "_sharded", None)
+        if sharded is not None:
+            for shard in sharded.router.shards.values():
+                machine = shard.machine
+                if machine is not None and machine.plan is not None:
+                    total += machine.plan.stats.latency_units
+        cluster = getattr(self.engine, "_cluster", None)
+        if cluster is not None:
+            for replica in cluster.replicas:
+                if replica.plan is not None:
+                    total += replica.plan.stats.latency_units
+        return total
+
+    # ------------------------------------------------------------------
+    # Telemetry feed
+    # ------------------------------------------------------------------
+    def window_summary(self) -> Dict[str, float]:
+        """Last tick's client-side latency gauges (the SLO feed).
+
+        When a tick completes nothing while requests wait, the oldest
+        waiting request's age is reported as the p99/p999 floor — under
+        full collapse the truthful latency signal is "still rising",
+        not "no data".
+        """
+        return dict(self._last_window_summary)
+
+    def _close_window(self, now: float) -> Dict[str, float]:
+        summary = self._window.summary()
+        if self._inflight:
+            oldest_age = now - self._inflight[0].arrival
+            for key in ("p99", "p999", "max"):
+                summary[key] = max(summary[key], oldest_age)
+            if summary["p50"] == 0.0 and self._window.count == 0:
+                summary["p50"] = oldest_age
+        self._last_window_summary = summary
+        self._window = LatencyHistogram()
+        return summary
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+    def _submit_one(
+        self, at: float, predicate, k: int, arrival: float, is_retry: bool
+    ) -> None:
+        report = self.report
+        report.submits += 1
+        deadline = (
+            arrival + self.deadline if self.deadline is not None else None
+        )
+        try:
+            self.engine.submit(predicate, k, deadline=deadline, now=at)
+        except AdmissionRejected as rejection:
+            if rejection.reason == AdmissionRejected.REASON_DEADLINE:
+                report.deadline_sheds += 1
+            else:
+                report.queue_sheds += 1
+            if not is_retry and self.retry_budget is not None:
+                if self.retry_budget.try_spend():
+                    retry_at = at + max(
+                        rejection.retry_after, self.model.unit_time
+                    )
+                    self._retry_seq += 1
+                    heapq.heappush(
+                        self._retry_heap,
+                        (retry_at, self._retry_seq, predicate, k, arrival),
+                    )
+                    return
+                report.retries_denied += 1
+            report.dropped += 1
+        else:
+            self._inflight.append(
+                _InFlight(
+                    arrival=arrival, deadline=deadline,
+                    predicate=predicate, k=k,
+                )
+            )
+
+    def _check_exact(self, record: _InFlight, answer, meta) -> None:
+        if self.elements is None or self.exact_check_rate <= 0.0:
+            return
+        if meta is not None and meta.degraded:
+            return  # flagged answers are checked by their own rules
+        if (
+            self.exact_check_rate < 1.0
+            and self._rng.random() >= self.exact_check_rate
+        ):
+            return
+        report = self.report
+        report.exact_checked += 1
+        expected = top_k_of(self.elements, record.predicate, record.k)
+        if answer == expected:
+            report.exact_ok += 1
+
+    def run_tick(
+        self, arrivals: List[float], tick_start: float, tick_end: float
+    ) -> Dict[str, float]:
+        """Submit this window's arrivals, then serve within capacity."""
+        report = self.report
+        engine = self.engine
+        # 1. Client side: merge fresh arrivals with due retries, in
+        #    time order (an open-loop client never reorders itself).
+        events: List[Tuple[float, int, Any, int, float, bool]] = []
+        for at in arrivals:
+            predicate, k = self.mix.request(at)
+            report.fresh_arrivals += 1
+            if self.retry_budget is not None:
+                self.retry_budget.deposit()
+            events.append((at, 0, predicate, k, at, False))
+        while self._retry_heap and self._retry_heap[0][0] < tick_end:
+            retry_at, seq, predicate, k, arrival = heapq.heappop(
+                self._retry_heap
+            )
+            report.retries += 1
+            events.append(
+                (max(retry_at, tick_start), 1, predicate, k, arrival, True)
+            )
+        events.sort(key=lambda e: (e[0], e[1]))
+        for at, _, predicate, k, arrival, is_retry in events:
+            self._submit_one(at, predicate, k, arrival, is_retry)
+
+        # 2. Server side: drain batch-by-batch while the busy pointer
+        #    stays inside this tick; leftovers stay queued.
+        served_this_tick = 0
+        cache_stats = engine.cache.stats
+        while engine.pending > 0:
+            start = max(self.busy_until, tick_start)
+            if start >= tick_end:
+                break
+            traversals_before = engine.stats.traversals
+            hits_before = cache_stats.hits
+            latency_before = self._latency_units()
+            answers = engine.drain(limit=engine.max_batch)
+            if not answers:
+                break
+            metas = list(engine.last_drain_meta)
+            batch_time = self.model.batch_time(
+                traversals=engine.stats.traversals - traversals_before,
+                cache_hits=cache_stats.hits - hits_before,
+                latency_units=self._latency_units() - latency_before,
+                servers=self._servers(),
+            )
+            done = start + batch_time
+            self.busy_until = done
+            records = self._inflight[:len(answers)]
+            del self._inflight[:len(answers)]
+            for position, (record, answer) in enumerate(zip(records, answers)):
+                meta = metas[position] if position < len(metas) else None
+                # A request arriving mid-batch (tick granularity) is
+                # effectively served on arrival: clamp at zero.
+                latency = max(0.0, done - record.arrival)
+                report.served += 1
+                served_this_tick += 1
+                report.latency.record(latency)
+                self._window.record(latency)
+                if record.deadline is not None and done > record.deadline:
+                    report.deadline_misses += 1
+                if meta is not None:
+                    if meta.reduced_k:
+                        report.reduced_k_served += 1
+                    if meta.partial_suspect:
+                        report.partial_served += 1
+                self._check_exact(record, answer, meta)
+            # Teach admission the modelled service time (EWMA, same
+            # units as arrivals and deadlines).
+            per_request = batch_time / len(answers)
+            if self._service_estimate > 0.0:
+                self._service_estimate += 0.3 * (
+                    per_request - self._service_estimate
+                )
+            else:
+                self._service_estimate = per_request
+            engine.note_service_time(self._service_estimate)
+
+        report.ticks += 1
+        window = self._close_window(tick_end)
+        point = {
+            "tick": float(report.ticks),
+            "time": tick_end,
+            "arrivals": float(len(arrivals)),
+            "served": float(served_this_tick),
+            "queue_depth": float(engine.pending),
+            "sheds": float(report.sheds),
+            "p99_window": window.get("p99", 0.0),
+            "servers": float(self._servers()),
+            "brownout_level": float(
+                engine.brownout.level if engine.brownout is not None else 0
+            ),
+        }
+        report.series.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        tick: float = 1.0,
+        start: float = 0.0,
+        on_tick=None,
+    ) -> LoadReport:
+        """The whole scenario: every window, in order.
+
+        ``on_tick(point)`` — an optional per-tick hook, called after
+        each window with its series point; scenario runners use it to
+        interleave :meth:`Operator.tick` control intervals with load.
+        """
+        if duration <= 0.0:
+            raise InvalidConfiguration(
+                f"duration must be > 0, got {duration}"
+            )
+        self.busy_until = start
+        tick_start = start
+        for window in self.schedule.windows(start, start + duration, tick):
+            point = self.run_tick(window, tick_start, tick_start + tick)
+            tick_start += tick
+            if on_tick is not None:
+                on_tick(point)
+        self.report.duration = duration
+        self.report.backlog = self.engine.pending
+        self.report.retries_abandoned = len(self._retry_heap)
+        return self.report
+
+
+__all__ = ["LoadGenerator", "LoadReport", "ServiceModel"]

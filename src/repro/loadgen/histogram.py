@@ -1,0 +1,174 @@
+"""Log-bucketed latency histograms: p50/p99/p999, never just means.
+
+Mean latency is the great liar of serving benchmarks: a system can
+halve its mean while its p99 triples, and nobody paging at 3am cares
+about the mean.  :class:`LatencyHistogram` records the *distribution*
+— HdrHistogram-style geometric buckets whose relative error is bounded
+by the growth factor (default 4% per bucket), in O(1) memory per
+decade of dynamic range — and answers arbitrary quantiles.
+
+Deterministic and dependency-free: a dict of bucket counts, no
+sampling, no reservoir randomness.  Histograms :meth:`merge`, so
+per-tick windows roll up into per-scenario totals exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.resilience.errors import InvalidConfiguration
+
+
+class LatencyHistogram:
+    """Geometric-bucket histogram over non-negative values.
+
+    Parameters
+    ----------
+    resolution:
+        Values at or below this land in the first bucket (and zero has
+        a bucket of its own) — the floor below which finer distinction
+        is noise.  Defaults to one microsecond.
+    growth:
+        Bucket upper edges grow by this factor; quantiles are reported
+        as bucket upper edges, so the relative overestimate is at most
+        ``growth - 1``.
+    """
+
+    def __init__(self, resolution: float = 1e-6, growth: float = 1.04) -> None:
+        if resolution <= 0.0:
+            raise InvalidConfiguration(
+                f"resolution must be > 0, got {resolution}"
+            )
+        if growth <= 1.0:
+            raise InvalidConfiguration(f"growth must be > 1, got {growth}")
+        self.resolution = resolution
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self.min_value = math.inf
+
+    # ------------------------------------------------------------------
+    def _bucket(self, value: float) -> int:
+        if value <= 0.0:
+            return -1
+        if value <= self.resolution:
+            return 0
+        # Bucket i (>=1) covers (resolution * growth^(i-1), resolution * growth^i].
+        index = math.ceil(
+            math.log(value / self.resolution) / self._log_growth - 1e-12
+        )
+        return max(1, index)
+
+    def _upper_edge(self, bucket: int) -> float:
+        if bucket <= 0:
+            return 0.0 if bucket < 0 else self.resolution
+        return self.resolution * self.growth**bucket
+
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` observations of ``value`` in."""
+        if count <= 0:
+            return
+        if value < 0.0:
+            raise InvalidConfiguration(f"latency must be >= 0, got {value}")
+        bucket = self._bucket(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self.count += count
+        self.total += value * count
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+    def record_all(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in (bucket-exact for equal configs)."""
+        if (
+            other.resolution != self.resolution
+            or other.growth != self.growth
+        ):
+            raise InvalidConfiguration(
+                "cannot merge histograms with different bucket geometry"
+            )
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        self.max_value = max(self.max_value, other.max_value)
+        self.min_value = min(self.min_value, other.min_value)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at or below which a fraction ``q`` of counts fall.
+
+        Reported as the containing bucket's upper edge (the max of the
+        histogram's actual maximum, for the last bucket) — pessimistic
+        by at most one ``growth`` factor, never optimistic.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidConfiguration(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # ceil(q * count) observations must be covered; q=0 -> min.
+        target = max(1, math.ceil(q * self.count - 1e-9))
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= target:
+                return min(self._upper_edge(bucket), self.max_value)
+        return self.max_value  # pragma: no cover - loop always covers
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
+
+    def summary(self) -> Dict[str, float]:
+        """The gauges a telemetry latency source feeds the detector."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max_value if self.count else 0.0,
+        }
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(upper edge, count) pairs, ascending — for table rendering."""
+        return [
+            (self._upper_edge(bucket), self._counts[bucket])
+            for bucket in sorted(self._counts)
+        ]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram(n={self.count}, p50={self.p50:.4g}, "
+            f"p99={self.p99:.4g}, p999={self.p999:.4g})"
+        )
+
+
+__all__ = ["LatencyHistogram"]

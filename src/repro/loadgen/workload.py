@@ -1,0 +1,140 @@
+"""Query mixes: what the generated traffic actually asks.
+
+A mix turns an arrival timestamp into a ``(predicate, k)`` request,
+deterministically (seeded RNG per mix).  The mixes model the key-
+popularity shapes that stress different serving layers:
+
+* :class:`UniformMix` — every probe equally likely: the cache-hostile
+  baseline (batching and sharding must carry the load);
+* :class:`ZipfMix` — rank-``s`` power-law popularity: the cache-
+  friendly production shape, where a handful of hot predicates
+  dominate;
+* :class:`HotKeyStorm` — a base mix, except that inside a time window
+  a fraction of all traffic collapses onto ONE predicate — the
+  celebrity-news spike that turns a healthy cache into a single-group
+  convoy.
+
+Probes are shared with the serving tests' convention: a pool of
+``(predicate, k)``-compatible predicate objects plus a k range.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.resilience.errors import InvalidConfiguration
+
+Request = Tuple[object, int]  # (predicate, k)
+
+
+class UniformMix:
+    """Uniform draw over the probe pool, uniform k in ``k_range``."""
+
+    def __init__(
+        self,
+        pool: Sequence[object],
+        k_range: Tuple[int, int] = (1, 8),
+        seed: int = 0,
+    ) -> None:
+        if not pool:
+            raise InvalidConfiguration("probe pool must not be empty")
+        lo, hi = k_range
+        if lo < 1 or hi < lo:
+            raise InvalidConfiguration(
+                f"k_range must satisfy 1 <= lo <= hi, got {k_range}"
+            )
+        self.pool = list(pool)
+        self.k_range = (lo, hi)
+        self._rng = random.Random(f"mix-uniform-{seed}")
+
+    def request(self, t: float) -> Request:
+        predicate = self.pool[self._rng.randrange(len(self.pool))]
+        k = self._rng.randint(*self.k_range)
+        return predicate, k
+
+
+class ZipfMix:
+    """Zipf(s) draw over the pool: probability of rank r is ~ 1/r^s."""
+
+    def __init__(
+        self,
+        pool: Sequence[object],
+        s: float = 1.1,
+        k_range: Tuple[int, int] = (1, 8),
+        seed: int = 0,
+    ) -> None:
+        if not pool:
+            raise InvalidConfiguration("probe pool must not be empty")
+        if s <= 0.0:
+            raise InvalidConfiguration(f"s must be > 0, got {s}")
+        lo, hi = k_range
+        if lo < 1 or hi < lo:
+            raise InvalidConfiguration(
+                f"k_range must satisfy 1 <= lo <= hi, got {k_range}"
+            )
+        self.pool = list(pool)
+        self.k_range = (lo, hi)
+        self._rng = random.Random(f"mix-zipf-{seed}")
+        # Cumulative mass over ranks; pool order is popularity order.
+        masses = [1.0 / (rank + 1) ** s for rank in range(len(self.pool))]
+        total = sum(masses)
+        cumulative: List[float] = []
+        acc = 0.0
+        for mass in masses:
+            acc += mass / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def request(self, t: float) -> Request:
+        rank = bisect.bisect_left(self._cumulative, self._rng.random())
+        predicate = self.pool[min(rank, len(self.pool) - 1)]
+        k = self._rng.randint(*self.k_range)
+        return predicate, k
+
+
+class HotKeyStorm:
+    """Wrap a base mix; inside the window, one predicate soaks traffic.
+
+    During ``[start, start + duration)`` each request is, with
+    probability ``hot_fraction``, the single ``hot`` predicate at
+    ``hot_k`` (defaulting to the base mix's largest k) — outside the
+    window the base mix passes through untouched.
+    """
+
+    def __init__(
+        self,
+        base,
+        hot: object,
+        start: float,
+        duration: float,
+        hot_fraction: float = 0.8,
+        hot_k: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < hot_fraction <= 1.0:
+            raise InvalidConfiguration(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        if duration <= 0.0:
+            raise InvalidConfiguration(
+                f"duration must be > 0, got {duration}"
+            )
+        self.base = base
+        self.hot = hot
+        self.start = start
+        self.duration = duration
+        self.hot_fraction = hot_fraction
+        self.hot_k = hot_k if hot_k is not None else base.k_range[1]
+        self._rng = random.Random(f"mix-storm-{seed}")
+
+    def request(self, t: float) -> Request:
+        in_window = self.start <= t < self.start + self.duration
+        if in_window and self._rng.random() < self.hot_fraction:
+            return self.hot, self.hot_k
+        return self.base.request(t)
+
+
+__all__ = ["UniformMix", "ZipfMix", "HotKeyStorm", "Request"]

@@ -43,7 +43,12 @@ from repro.ops.incidents import (
     STATUS_RESOLVED,
 )
 from repro.ops.localizer import Blame, FaultLocalizer
-from repro.ops.mitigation import MitigationPlanner, PlannedAction
+from repro.ops.mitigation import (
+    LEVER_RECOVER_REPLICA,
+    LEVER_SPLIT_SHARD,
+    MitigationPlanner,
+    PlannedAction,
+)
 from repro.ops.operator import Operator, OperatorPolicy, TickReport
 from repro.ops.scenarios import (
     ChaosScenarioRunner,
@@ -69,6 +74,8 @@ __all__ = [
     "Blame",
     "MitigationPlanner",
     "PlannedAction",
+    "LEVER_SPLIT_SHARD",
+    "LEVER_RECOVER_REPLICA",
     "Operator",
     "OperatorPolicy",
     "TickReport",

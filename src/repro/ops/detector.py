@@ -35,6 +35,20 @@ identical anomaly stream.  The rule set mirrors the failure modes PRs
 ``hot_shard``
     One shard holds more than ``imbalance_ratio`` times the mean shard
     size — the rebalance trigger.
+``slo_breach``
+    The client-observed p99 latency gauge (loadgen-fed; includes
+    queueing delay the server-side mean cannot see) exceeds the
+    configured SLO.  Disabled while ``p99_slo`` is 0.
+``queue_growth``
+    The pending-queue gauge has *strictly grown* for
+    ``queue_growth_ticks`` consecutive ticks above a floor — the
+    open-loop signature of offered load exceeding capacity, visible
+    well before ``queue_depth``'s absolute bound trips.
+``shed_rate_spike``
+    Sheds as a fraction of offered work this tick (sheds / (sheds +
+    served)) crossed ``shed_rate_ratio`` with at least
+    ``shed_rate_min_sheds`` absolute sheds — admission control doing
+    so much turning-away that capacity, not noise, is the story.
 """
 
 from __future__ import annotations
@@ -72,6 +86,12 @@ class DetectorPolicy:
     latency_floor: float = 0.05      # seconds; absolute p99-proxy floor
     latency_factor: float = 3.0      # ... and this multiple of baseline
     imbalance_ratio: float = 4.0     # max shard size over mean
+    p99_slo: float = 0.0             # client p99 SLO (same units as the
+                                     # latency source feed); 0 disables
+    queue_growth_ticks: int = 3      # consecutive strictly-growing ticks
+    queue_growth_min: int = 16       # ...once depth is past this floor
+    shed_rate_ratio: float = 0.1     # sheds / (sheds + served) per tick
+    shed_rate_min_sheds: int = 4     # absolute shed floor for the ratio
 
 
 @dataclass(frozen=True)
@@ -112,6 +132,9 @@ class AnomalyDetector:
         self._corruption_window: Dict[str, Deque[int]] = {}
         self._lag_history: Dict[str, Deque[int]] = {}
         self._latency_baseline = _Ewma(self.policy.ewma_alpha)
+        self._queue_history: Deque[int] = deque(
+            maxlen=self.policy.queue_growth_ticks + 1
+        )
 
     # ------------------------------------------------------------------
     def observe(self, sample: TelemetrySample) -> List[Anomaly]:
@@ -241,6 +264,40 @@ class AnomalyDetector:
                 "latency_regression", (SCOPE_SUBSYSTEM, "serving"),
                 "avg_latency", sample.serving_avg_latency, latency_bar,
                 f"ewma baseline {latency_baseline:.4f}s",
+            )
+
+        # --- SLO rules (loadgen-fed overload signatures) ----------------
+        if policy.p99_slo > 0.0 and sample.p99_latency > policy.p99_slo:
+            flag(
+                "slo_breach", (SCOPE_SUBSYSTEM, "serving"), "p99_latency",
+                sample.p99_latency, policy.p99_slo,
+                f"p50 {sample.p50_latency:.4g}, p999 {sample.p999_latency:.4g}",
+            )
+        self._queue_history.append(sample.queue_depth)
+        history = list(self._queue_history)
+        if (
+            len(history) > policy.queue_growth_ticks
+            and sample.queue_depth >= policy.queue_growth_min
+            and all(
+                later > earlier
+                for earlier, later in zip(history, history[1:])
+            )
+        ):
+            flag(
+                "queue_growth", (SCOPE_SUBSYSTEM, "serving"), "queue_depth",
+                sample.queue_depth, history[0],
+                f"strictly growing for {policy.queue_growth_ticks} ticks",
+            )
+        offered = sample.load_sheds + sample.served_queries
+        if (
+            offered > 0
+            and sample.load_sheds >= policy.shed_rate_min_sheds
+            and sample.load_sheds / offered >= policy.shed_rate_ratio
+        ):
+            flag(
+                "shed_rate_spike", (SCOPE_SUBSYSTEM, "serving"), "shed_rate",
+                sample.load_sheds / offered, policy.shed_rate_ratio,
+                f"{sample.load_sheds} sheds / {offered} offered",
             )
 
         return out

@@ -47,6 +47,9 @@ _SEVERITY = (
     "lag_growth",
     "staleness_suspect",
     "hot_shard",
+    "slo_breach",
+    "shed_rate_spike",
+    "queue_growth",
     "shed_spike",
     "queue_depth",
     "latency_regression",

@@ -22,6 +22,12 @@ added around them):
                     off a hot shard.
 ``flush_cache``     :meth:`ServingEngine.flush_cache` — drop cached
                     answers on staleness suspicion.
+``split_shard``     :meth:`ShardedTopKIndex.split_shard` — scale *out*:
+                    one more shard means one more parallel server, the
+                    overload lever (targets the largest still-splittable
+                    shard at fire time).
+``recover_replica`` :meth:`ReplicaSet.recover_replica` on the first
+                    dead replica — restore lost serving fan-out.
 =================  ====================================================
 
 Planning is **state-aware**: the same blamed machine gets
@@ -55,9 +61,21 @@ LEVER_SCRUB = "scrub"
 LEVER_RECOVER_SHARD = "recover_shard"
 LEVER_REBALANCE = "rebalance"
 LEVER_FLUSH_CACHE = "flush_cache"
+LEVER_SPLIT_SHARD = "split_shard"
+LEVER_RECOVER_REPLICA = "recover_replica"
 
 _CORRUPTION_KINDS = ("corruption_drip",)
 _LAG_KINDS = ("lag_growth",)
+# Subsystem symptoms whose root cause is capacity, not state: the
+# remedy is scale-out, and flushing the cache would make them *worse*.
+_OVERLOAD_KINDS = (
+    "slo_breach",
+    "queue_growth",
+    "shed_rate_spike",
+    "shed_spike",
+    "queue_depth",
+    "latency_regression",
+)
 
 
 @dataclass
@@ -109,6 +127,26 @@ class MitigationPlanner:
         return [LEVER_RECOVER_SHARD]
 
     def _subsystem_ladder(self, incident: Incident) -> List[str]:
+        kinds = {a.kind for a in incident.anomalies}
+        if kinds.intersection(_OVERLOAD_KINDS):
+            # Overload is a capacity problem: scale out (each split adds
+            # one parallel server), even the load across what exists,
+            # recover lost fan-out.  The cache lever stays OFF this
+            # ladder — under overload the cache *is* the capacity, and
+            # flushing it turns a brownout into a blackout.
+            ladder: List[str] = []
+            if (
+                self.sharded is not None
+                and self.sharded.splittable_shard() is not None
+            ):
+                ladder.append(LEVER_SPLIT_SHARD)
+            if self.sharded is not None:
+                ladder.append(LEVER_REBALANCE)
+            if self.cluster is not None and any(
+                not r.alive for r in self.cluster.replicas
+            ):
+                ladder.append(LEVER_RECOVER_REPLICA)
+            return ladder
         if self.engine is None:
             return []
         return [LEVER_FLUSH_CACHE]
@@ -139,7 +177,15 @@ class MitigationPlanner:
         attempted = {
             m.lever for m in incident.mitigations if m.lever != "(deferred)"
         }
-        remaining = [lever for lever in ladder if lever not in attempted]
+        # split_shard is the one repeatable rung: every pull targets a
+        # *fresh* donor (the currently-largest splittable shard), so its
+        # mere presence on the live ladder — which already requires a
+        # splittable shard to remain — means another pull adds capacity.
+        remaining = [
+            lever
+            for lever in ladder
+            if lever not in attempted or lever == LEVER_SPLIT_SHARD
+        ]
         if not remaining:
             return None
         return self._bind(remaining[0], scope_id)
@@ -182,6 +228,22 @@ class MitigationPlanner:
             def apply() -> str:
                 dropped = self.engine.flush_cache()
                 return f"{dropped} cached answers dropped"
+        elif lever == LEVER_SPLIT_SHARD:
+            def apply() -> str:
+                name = self.sharded.splittable_shard()
+                if name is None:
+                    return "no splittable shard remains"
+                donor, newborn = self.sharded.split_shard(name)
+                return f"split {donor} -> {newborn} (+1 server)"
+        elif lever == LEVER_RECOVER_REPLICA:
+            def apply() -> str:
+                dead = next(
+                    (r for r in self.cluster.replicas if not r.alive), None
+                )
+                if dead is None:
+                    return "no dead replica to recover"
+                reborn = self.cluster.recover_replica(dead.name)
+                return f"{reborn.name} recovered, fan-out restored"
         else:  # pragma: no cover - planner only emits known levers
             raise ValueError(f"unknown lever {lever!r}")
         return PlannedAction(lever=lever, target=target, apply=apply)
@@ -196,4 +258,6 @@ __all__ = [
     "LEVER_RECOVER_SHARD",
     "LEVER_REBALANCE",
     "LEVER_FLUSH_CACHE",
+    "LEVER_SPLIT_SHARD",
+    "LEVER_RECOVER_REPLICA",
 ]

@@ -105,10 +105,12 @@ class Operator:
         detector_policy: Optional[DetectorPolicy] = None,
         probes: Sequence[Tuple[Any, int]] = (),
         elements: Optional[List] = None,
+        latency_source=None,
     ) -> None:
         self.policy = policy if policy is not None else OperatorPolicy()
         self.collector = TelemetryCollector(
-            guard=guard, cluster=cluster, sharded=sharded, engine=engine
+            guard=guard, cluster=cluster, sharded=sharded, engine=engine,
+            latency_source=latency_source,
         )
         self.guard = guard
         self.engine = engine

@@ -89,8 +89,16 @@ class TelemetrySample:
     # --- serving ---
     served_queries: int = 0
     load_sheds: int = 0
+    queue_sheds: int = 0
+    deadline_sheds: int = 0
     queue_depth: int = 0
+    brownout_level: int = 0
     serving_avg_latency: float = 0.0
+    # --- end-to-end latency distribution (loadgen-fed gauges; 0 when
+    # --- no latency source is wired) ---
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    p999_latency: float = 0.0
 
     @property
     def total_machine_faults(self) -> int:
@@ -112,12 +120,20 @@ class TelemetryCollector:
         cluster=None,
         sharded=None,
         engine=None,
+        latency_source=None,
     ) -> None:
         from repro.replication.cluster import ReplicaSet
         from repro.sharding.sharded import ShardedTopKIndex
 
         self.guard = guard
         self.engine = engine
+        #: Optional zero-arg callable returning a mapping with any of
+        #: ``p50``/``p99``/``p999`` — end-to-end latency quantiles from
+        #: an external observer (canonically the loadgen harness's
+        #: sliding window).  The engine's own ``avg_latency`` measures
+        #: service time only; queueing delay is visible *only* from the
+        #: client side, which is why SLO detection needs this feed.
+        self.latency_source = latency_source
         backends = []
         if guard is not None:
             backends.append(guard.primary)
@@ -274,11 +290,22 @@ class TelemetryCollector:
             current = {
                 "served_queries": engine.stats.queries,
                 "load_sheds": engine.stats.load_sheds,
+                "queue_sheds": engine.stats.queue_sheds,
+                "deadline_sheds": engine.stats.deadline_sheds,
             }
             fields.update(self._delta_fields(current, self._prev_serving))
             self._prev_serving = current
             fields["queue_depth"] = engine.pending
             fields["serving_avg_latency"] = engine.stats.avg_latency_seconds
+            brownout = getattr(engine, "brownout", None)
+            if brownout is not None:
+                fields["brownout_level"] = brownout.level
+
+        if self.latency_source is not None:
+            quantiles = self.latency_source() or {}
+            fields["p50_latency"] = float(quantiles.get("p50", 0.0))
+            fields["p99_latency"] = float(quantiles.get("p99", 0.0))
+            fields["p999_latency"] = float(quantiles.get("p999", 0.0))
 
         return TelemetrySample(**fields)
 

@@ -41,6 +41,7 @@ _GUARD_EXPORTS = (
     "HealthReport",
     "HealthSummary",
     "ResilientTopKIndex",
+    "RetryBudget",
     "resilient_index",
 )
 

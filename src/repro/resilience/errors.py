@@ -196,18 +196,38 @@ class WALShippingGap(ReproError):
 
 
 class AdmissionRejected(ReproError):
-    """The serving engine's bounded pending queue is full.
+    """The serving engine shed this request at admission.
 
     Backpressure, not failure: the query was *shed* (counted in
     :class:`~repro.serving.engine.ServingStats.load_sheds`), never
-    queued unboundedly.  Callers retry after a drain or route the
-    overflow to a lower-priority path.  ``pending`` carries the queue
-    depth at rejection time.
+    queued unboundedly.  Two admission rules shed — a full pending
+    queue (``reason="queue_full"``) and a deadline that the estimated
+    queue wait already makes unmeetable (``reason="deadline"``).
+
+    The exception is machine-readable so clients back off
+    intelligently instead of parsing the message: ``pending`` /
+    ``max_pending`` carry the queue state at rejection time, and
+    ``retry_after`` is the engine's estimate (in the caller's clock
+    units) of how long until a resubmission could be admitted — the
+    hint a retry budget combines with its token bucket.
     """
 
-    def __init__(self, message: str, pending: int = 0) -> None:
+    REASON_QUEUE_FULL = "queue_full"
+    REASON_DEADLINE = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        pending: int = 0,
+        max_pending: int = 0,
+        retry_after: float = 0.0,
+        reason: str = REASON_QUEUE_FULL,
+    ) -> None:
         super().__init__(message)
         self.pending = pending
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+        self.reason = reason
 
 
 class RetryBudgetExhausted(ReproError):

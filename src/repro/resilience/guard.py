@@ -55,6 +55,65 @@ from repro.resilience.errors import (
 )
 
 
+class RetryBudget:
+    """A token bucket capping retries as a fraction of fresh traffic.
+
+    The classic retry-storm failure: a brownout slows the backend,
+    every client retries, and the retries *are* the overload — offered
+    load amplifies precisely when capacity is scarcest.  A retry
+    budget breaks the loop structurally: fresh (first-attempt) work
+    deposits ``ratio`` tokens, every retry must withdraw one, and the
+    bucket is capped at ``burst`` — so over any window, retries can
+    never exceed ``ratio`` × fresh traffic plus the burst allowance,
+    no matter how many callers are failing.
+
+    Shared freely: one budget may serve a guard's backoff loop and a
+    load generator's resubmit-on-shed policy at once (all mutation is
+    under one lock), which is exactly how a service keeps *total*
+    amplification bounded rather than per-client amplification.
+    Deterministic — no clocks, no randomness.
+    """
+
+    def __init__(
+        self,
+        ratio: float = 0.1,
+        burst: float = 8.0,
+        initial: Optional[float] = None,
+    ) -> None:
+        if ratio < 0.0:
+            raise InvalidConfiguration(f"ratio must be >= 0, got {ratio}")
+        if burst < 1.0:
+            raise InvalidConfiguration(f"burst must be >= 1, got {burst}")
+        self.ratio = ratio
+        self.burst = burst
+        self._tokens = burst if initial is None else min(float(initial), burst)
+        self._lock = threading.Lock()
+        self.deposits = 0
+        self.granted = 0
+        self.denied = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self, fresh: int = 1) -> None:
+        """Credit the bucket for ``fresh`` first-attempt requests."""
+        with self._lock:
+            self.deposits += fresh
+            self._tokens = min(self.burst, self._tokens + self.ratio * fresh)
+
+    def try_spend(self, cost: float = 1.0) -> bool:
+        """Withdraw ``cost`` tokens for a retry; ``False`` denies it."""
+        with self._lock:
+            if self._tokens >= cost:
+                self._tokens -= cost
+                self.granted += 1
+                return True
+            self.denied += 1
+            return False
+
+
 @dataclass(frozen=True)
 class GuardPolicy:
     """Tuning knobs of :class:`ResilientTopKIndex`.
@@ -81,6 +140,14 @@ class GuardPolicy:
     raise_on_degraded:
         Raise :class:`DegradedAnswer` (carrying the answer and report)
         whenever a query was not answered by the primary rung.
+    retry_budget_ratio / retry_budget_burst:
+        When ``retry_budget_ratio`` is set, the guard routes every
+        retry through a :class:`RetryBudget` with that deposit ratio
+        and ``retry_budget_burst`` bucket cap; a denied withdrawal
+        skips the remaining attempts of the rung (degrading instead of
+        retrying), so retries can never amplify offered load beyond
+        ``1 + ratio`` in steady state.  ``None`` (default) keeps
+        retries budget-free.
     seed:
         Seed of the guard's private spot-check RNG.
     """
@@ -93,12 +160,23 @@ class GuardPolicy:
     spot_check_rate: float = 0.05
     round_budget: Optional[int] = None
     raise_on_degraded: bool = False
+    retry_budget_ratio: Optional[float] = None
+    retry_budget_burst: float = 8.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise InvalidConfiguration(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.retry_budget_ratio is not None and self.retry_budget_ratio < 0.0:
+            raise InvalidConfiguration(
+                "retry_budget_ratio must be >= 0 or None, got "
+                f"{self.retry_budget_ratio}"
+            )
+        if self.retry_budget_burst < 1.0:
+            raise InvalidConfiguration(
+                f"retry_budget_burst must be >= 1, got {self.retry_budget_burst}"
             )
         if not 0.0 <= self.spot_check_rate <= 1.0:
             raise InvalidConfiguration(
@@ -128,6 +206,7 @@ class HealthReport:
     rung_unavailable: int = 0
     spot_checks: int = 0
     spot_check_failures: int = 0
+    retry_budget_denied: int = 0
     backoff_units: float = 0.0
     degradation_level: int = 0
     answered_by: str = ""
@@ -182,6 +261,7 @@ class HealthSummary:
     rung_unavailable: int = 0
     spot_checks: int = 0
     spot_check_failures: int = 0
+    retry_budget_denied: int = 0
     backoff_units: float = 0.0
     recoveries: int = 0
     wal_records_replayed: int = 0
@@ -195,6 +275,12 @@ class HealthSummary:
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
     load_sheds: int = 0
+    queue_sheds: int = 0
+    deadline_sheds: int = 0
+    brownout_level: int = 0
+    brownout_escalations: int = 0
+    reduced_k_answers: int = 0
+    partial_served: int = 0
     parallel_batches: int = 0
     dispatch_failovers: int = 0
     serving_qps: float = 0.0
@@ -244,6 +330,7 @@ class HealthSummary:
         """
         stats = engine.stats
         cache = engine.cache.stats
+        brownout = getattr(engine, "brownout", None)
         with self._lock:
             self.served_queries = stats.queries
             self.served_batches = stats.batches
@@ -251,6 +338,13 @@ class HealthSummary:
             self.cache_misses = cache.misses
             self.cache_hit_rate = cache.hit_rate
             self.load_sheds = stats.load_sheds
+            self.queue_sheds = stats.queue_sheds
+            self.deadline_sheds = stats.deadline_sheds
+            self.reduced_k_answers = stats.reduced_k_answers
+            self.partial_served = stats.partial_served
+            if brownout is not None:
+                self.brownout_level = brownout.level
+                self.brownout_escalations = brownout.stats.escalations
             self.parallel_batches = stats.parallel_batches
             self.dispatch_failovers = stats.dispatch_failovers
             self.serving_qps = stats.qps
@@ -292,6 +386,7 @@ class HealthSummary:
             self.rung_unavailable += report.rung_unavailable
             self.spot_checks += report.spot_checks
             self.spot_check_failures += report.spot_check_failures
+            self.retry_budget_denied += report.retry_budget_denied
             self.backoff_units += report.backoff_units
 
     def reset(self) -> None:
@@ -387,6 +482,14 @@ class ResilientTopKIndex(TopKIndex):
         # A dedicated stream for backoff jitter: spot-check draws and
         # retry draws never perturb each other's determinism.
         self._backoff_rng = random.Random(f"guard-backoff-{self.policy.seed}")
+        self.retry_budget: Optional[RetryBudget] = (
+            RetryBudget(
+                ratio=self.policy.retry_budget_ratio,
+                burst=self.policy.retry_budget_burst,
+            )
+            if self.policy.retry_budget_ratio is not None
+            else None
+        )
         self.health = HealthSummary()
         self.last_report: Optional[HealthReport] = None
         # Backends that came back from a crash surface their recovery in
@@ -457,6 +560,10 @@ class ResilientTopKIndex(TopKIndex):
         is attached.
         """
         report = HealthReport(k=k)
+        if self.retry_budget is not None:
+            # Fresh traffic funds future retries (one deposit per
+            # query, regardless of how many rungs it ends up trying).
+            self.retry_budget.deposit()
         io_before = (
             self.ctx.stats.snapshot() if _want_io and self.ctx is not None else None
         )
@@ -549,6 +656,11 @@ class ResilientTopKIndex(TopKIndex):
         """
         if attempt + 1 >= self.policy.max_attempts:
             return False
+        if self.retry_budget is not None and not self.retry_budget.try_spend():
+            # Retrying is a privilege fresh traffic pays for; with the
+            # bucket empty the rung degrades instead of storming.
+            report.retry_budget_denied += 1
+            return False
         report.retries += 1
         units = min(
             self.policy.backoff_cap,
@@ -604,5 +716,6 @@ __all__ = [
     "HealthReport",
     "HealthSummary",
     "ResilientTopKIndex",
+    "RetryBudget",
     "resilient_index",
 ]

@@ -30,8 +30,22 @@ from repro.serving.batch import (
     plan_batch,
     predicate_key,
 )
+from repro.serving.brownout import (
+    LEVEL_HEALTHY,
+    LEVEL_PARTIAL,
+    LEVEL_REDUCED_K,
+    LEVEL_STALE,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutStats,
+)
 from repro.serving.cache import CacheStats, ResultCache
-from repro.serving.engine import ServingEngine, ServingStats, serving_engine
+from repro.serving.engine import (
+    ServedMeta,
+    ServingEngine,
+    ServingStats,
+    serving_engine,
+)
 
 __all__ = [
     "QueryRequest",
@@ -42,6 +56,14 @@ __all__ = [
     "predicate_key",
     "ResultCache",
     "CacheStats",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "BrownoutStats",
+    "LEVEL_HEALTHY",
+    "LEVEL_STALE",
+    "LEVEL_REDUCED_K",
+    "LEVEL_PARTIAL",
+    "ServedMeta",
     "ServingEngine",
     "ServingStats",
     "serving_engine",

@@ -26,26 +26,39 @@ Three amortisation layers stack in front of any backend index
    ``query`` path, so crashes during dispatch degrade to the ordinary
    PR-3 failover story instead of racing it.
 
-Admission control is a bounded pending queue: :meth:`submit` beyond
-``max_pending`` raises
-:class:`~repro.resilience.errors.AdmissionRejected` and counts a load
-shed — backpressure is explicit, never an unbounded queue.
+Admission control is **deadline-aware**, not merely bounded:
+:meth:`submit` sheds (raising
+:class:`~repro.resilience.errors.AdmissionRejected`, with queue state
+and a ``retry_after`` hint) both when the pending queue is at
+``max_pending`` and when a caller-supplied deadline can no longer be
+met given the queue's estimated wait — a request doomed to time out is
+turned away *before* it occupies queue capacity and server time.
+Under sustained queue growth a
+:class:`~repro.serving.brownout.BrownoutController` additionally
+climbs the brownout ladder (widened cache staleness → capped ``k`` →
+partial sharded answers), trading flagged answer quality for capacity
+before any shedding is needed; every truncated or potentially-partial
+answer is flagged in :attr:`last_drain_meta`.
 
-Metrics (QPS, per-query latency, hit rate, sheds, parallel batches)
-are kept in :class:`ServingStats` and mirrored into the engine's
-:class:`~repro.resilience.guard.HealthSummary` after every batch, so
-operators read one summary for cache, batching, dispatch, and (when
-the backend is a guarded replica set) replication health alike.
+Metrics (QPS, per-query latency, hit rate, sheds, parallel batches,
+brownout rung) are kept in :class:`ServingStats` and mirrored into the
+engine's :class:`~repro.resilience.guard.HealthSummary` after every
+batch, so operators read one summary for cache, batching, dispatch,
+and (when the backend is a guarded replica set) replication health
+alike.
 
-Concurrency contract: the engine itself is *not* thread-safe — one
-coordinator thread submits and drains; only the read-only partition
-work fans out.  Updates go directly to the backend between drains (the
-stamp read at batch start is the serving snapshot; anything committed
-after it is picked up by the next batch's stamp).
+Concurrency contract: one coordinator thread drains; :meth:`submit`
+may be called from any number of client threads concurrently (the
+admission queue and every :class:`ServingStats` mutation are
+lock-protected), and only the read-only partition work fans out.
+Updates go directly to the backend between drains (the stamp read at
+batch start is the serving snapshot; anything committed after it is
+picked up by the next batch's stamp).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -59,6 +72,12 @@ from repro.serving.batch import (
     execute_batch,
     plan_batch,
     predicate_key,
+)
+from repro.serving.brownout import (
+    LEVEL_PARTIAL,
+    LEVEL_REDUCED_K,
+    BrownoutController,
+    BrownoutPolicy,
 )
 from repro.serving.cache import ResultCache
 from repro.resilience.errors import (
@@ -74,18 +93,40 @@ from repro.resilience.guard import HealthSummary
 
 @dataclass
 class ServingStats:
-    """Everything the engine did, in counters."""
+    """Everything the engine did, in counters.
+
+    All mutations happen under :attr:`lock` (the same pattern as
+    :class:`~repro.resilience.guard.HealthSummary` and
+    :class:`~repro.sharding.sharded.ShardingStats`): :meth:`submit`
+    runs on client threads while :meth:`drain` accounts on the
+    coordinator, and unsynchronized ``+= 1`` increments would drop
+    sheds under concurrent submitters.
+    """
 
     queries: int = 0             # requests answered (cache hits included)
     batches: int = 0
     traversals: int = 0          # backend queries actually executed
     shared_answers: int = 0      # requests served by another member's traversal
-    load_sheds: int = 0
+    load_sheds: int = 0          # total sheds (queue_sheds + deadline_sheds)
+    queue_sheds: int = 0         # shed because the pending queue was full
+    deadline_sheds: int = 0      # shed because the deadline was unmeetable
+    reduced_k_answers: int = 0   # answers truncated by the brownout k cap
+    partial_served: int = 0      # answers flagged partial-suspect (shard loss)
     parallel_batches: int = 0    # batches fanned out across replicas
     dispatch_failovers: int = 0  # partitions re-run through the cluster path
     busy_seconds: float = 0.0    # wall time spent inside drain()
     max_latency_seconds: float = 0.0  # slowest single drain, amortised per query
     _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: asdict()/fields() stay pickleable and
+        # field-only (the HealthSummary convention).
+        self._lock = threading.Lock()
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The mutation lock; every ``stats.x += 1`` site holds it."""
+        return self._lock
 
     @property
     def cache_traversals_saved(self) -> int:
@@ -100,6 +141,29 @@ class ServingStats:
     def qps(self) -> float:
         """Requests per second of busy serving time."""
         return self.queries / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ServedMeta:
+    """Quality flags for one drained answer (request order).
+
+    ``reduced_k`` — the brownout k cap truncated this answer below the
+    requested ``k`` (the prefix served is still exact).
+    ``partial_suspect`` — the answer was computed in a drain batch that
+    served at the partial brownout rung *and* recorded at least one
+    partial scatter-gather; the answer may be missing a lost shard's
+    elements.  Conservative: every cache-missing answer of such a batch
+    is flagged.
+    ``brownout_level`` — the ladder rung the drain served at.
+    """
+
+    reduced_k: bool = False
+    partial_suspect: bool = False
+    brownout_level: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.reduced_k or self.partial_suspect
 
 
 class ServingEngine(TopKIndex):
@@ -128,6 +192,16 @@ class ServingEngine(TopKIndex):
     read_kwargs:
         Extra keyword arguments for every backend query (e.g.
         ``mode="hedged"`` for a replica-set backend).
+    brownout:
+        ``None`` (disabled), a :class:`BrownoutPolicy`, or a
+        pre-built :class:`BrownoutController`.  When set, every
+        :meth:`drain` feeds the pre-drain queue depth to the controller
+        and serves at the resulting rung.
+    service_ewma_alpha:
+        Smoothing factor of the per-request service-time estimate that
+        deadline admission projects queue waits from.  The estimate is
+        learned from measured drain wall time, or pinned explicitly via
+        :meth:`note_service_time` by virtual-time drivers.
     """
 
     def __init__(
@@ -140,6 +214,8 @@ class ServingEngine(TopKIndex):
         pool_size: int = 4,
         parallel_threshold: int = 4,
         read_kwargs: Optional[dict] = None,
+        brownout=None,
+        service_ewma_alpha: float = 0.3,
     ) -> None:
         if max_batch < 1:
             raise InvalidConfiguration(f"max_batch must be >= 1, got {max_batch}")
@@ -151,6 +227,10 @@ class ServingEngine(TopKIndex):
             raise InvalidConfiguration(
                 f"max_staleness must be >= 0, got {max_staleness}"
             )
+        if not 0.0 < service_ewma_alpha <= 1.0:
+            raise InvalidConfiguration(
+                f"service_ewma_alpha must be in (0, 1], got {service_ewma_alpha}"
+            )
         self.backend = backend
         self.max_staleness = max_staleness
         self.max_batch = max_batch
@@ -160,6 +240,26 @@ class ServingEngine(TopKIndex):
         self.cache = ResultCache(cache_capacity if self._has_stamp() else 0)
         self.stats = ServingStats()
         self.health = HealthSummary()
+        if brownout is None:
+            self.brownout: Optional[BrownoutController] = None
+        elif isinstance(brownout, BrownoutController):
+            self.brownout = brownout
+        elif isinstance(brownout, BrownoutPolicy):
+            self.brownout = BrownoutController(brownout)
+        else:
+            raise InvalidConfiguration(
+                "brownout must be None, a BrownoutPolicy, or a "
+                f"BrownoutController, got {type(brownout).__name__}"
+            )
+        #: EWMA estimate of per-request service time, in the caller's
+        #: clock units (seconds when learned from wall time; whatever
+        #: :meth:`note_service_time` was fed otherwise).
+        self.service_estimate = 0.0
+        self.service_ewma_alpha = service_ewma_alpha
+        self._estimate_pinned = False
+        #: :class:`ServedMeta` per answer of the most recent drain.
+        self.last_drain_meta: List[ServedMeta] = []
+        self._admit_lock = threading.Lock()
         self._pending: List[QueryRequest] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = max(0, pool_size)
@@ -236,27 +336,109 @@ class ServingEngine(TopKIndex):
     # ------------------------------------------------------------------
     # Admission / drain
     # ------------------------------------------------------------------
-    def submit(self, predicate: Predicate, k: int) -> int:
+    def submit(
+        self,
+        predicate: Predicate,
+        k: int,
+        deadline: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
         """Enqueue one request; returns its position in the next drain.
 
-        Raises :class:`AdmissionRejected` (and counts a shed) when the
-        pending queue is at ``max_pending`` — callers retry later or
-        route the overflow elsewhere; the engine never queues
-        unboundedly.
-        """
-        if len(self._pending) >= self.max_pending:
-            self.stats.load_sheds += 1
-            self._mirror_health()
-            raise AdmissionRejected(
-                f"pending queue full ({self.max_pending}); query shed",
-                pending=len(self._pending),
-            )
-        self._pending.append(QueryRequest(predicate, k))
-        return len(self._pending) - 1
+        Raises :class:`AdmissionRejected` (and counts a shed) in two
+        cases — the engine never queues unboundedly and never queues a
+        request it already knows it will fail:
 
-    def drain(self) -> List[List[Element]]:
-        """Answer everything pending, in submission order."""
-        requests, self._pending = self._pending, []
+        * the pending queue is at ``max_pending``
+          (``reason="queue_full"``);
+        * ``deadline`` is given and the projected completion time —
+          ``now`` plus the estimated queue wait at the current service
+          estimate — already exceeds it (``reason="deadline"``).
+
+        ``deadline``/``now`` share one clock: wall seconds by default
+        (``now`` falls back to ``time.perf_counter()``), or any virtual
+        clock when the driver also pins the service estimate via
+        :meth:`note_service_time`.  Thread-safe: any number of client
+        threads may submit concurrently with each other and with one
+        draining coordinator.
+        """
+        estimate = self.service_estimate
+        with self._admit_lock:
+            depth = len(self._pending)
+            if depth >= self.max_pending:
+                shed_reason = AdmissionRejected.REASON_QUEUE_FULL
+                retry_after = estimate * depth
+            elif deadline is not None and estimate > 0.0:
+                at = now if now is not None else time.perf_counter()
+                projected = at + (depth + 1) * estimate
+                if projected > deadline:
+                    shed_reason = AdmissionRejected.REASON_DEADLINE
+                    retry_after = projected - deadline
+                else:
+                    self._pending.append(QueryRequest(predicate, k))
+                    return depth
+            else:
+                self._pending.append(QueryRequest(predicate, k))
+                return depth
+        with self.stats.lock:
+            self.stats.load_sheds += 1
+            if shed_reason == AdmissionRejected.REASON_QUEUE_FULL:
+                self.stats.queue_sheds += 1
+            else:
+                self.stats.deadline_sheds += 1
+        self._mirror_health()
+        if shed_reason == AdmissionRejected.REASON_QUEUE_FULL:
+            message = f"pending queue full ({self.max_pending}); query shed"
+        else:
+            message = (
+                f"deadline unmeetable ({depth} queued at ~{estimate:.3g}/req)"
+                "; query shed"
+            )
+        raise AdmissionRejected(
+            message,
+            pending=depth,
+            max_pending=self.max_pending,
+            retry_after=retry_after,
+            reason=shed_reason,
+        )
+
+    def note_service_time(self, per_request: float) -> None:
+        """Pin the per-request service estimate (virtual-time drivers).
+
+        Wall-clock deployments never need this — :meth:`drain` learns
+        the estimate from measured elapsed time.  Drivers that run on a
+        counted clock (the loadgen harness) feed their model's service
+        time here so deadline admission projects in the same units as
+        the deadlines it is shown.
+        """
+        if per_request < 0:
+            raise InvalidConfiguration(
+                f"per_request must be >= 0, got {per_request}"
+            )
+        self.service_estimate = per_request
+        self._estimate_pinned = True
+
+    def drain(self, limit: Optional[int] = None) -> List[List[Element]]:
+        """Answer pending requests, oldest first, in submission order.
+
+        With ``limit`` set, at most that many requests are taken; the
+        rest stay queued (real servers have finite per-tick capacity —
+        this is what lets queues, and therefore queue-depth telemetry
+        and deadline sheds, actually build under open-loop load).
+        The pre-drain queue depth is fed to the brownout controller,
+        and :attr:`last_drain_meta` is rebuilt with one
+        :class:`ServedMeta` per returned answer.
+        """
+        with self._admit_lock:
+            depth = len(self._pending)
+            if limit is None or limit >= depth:
+                requests, self._pending = self._pending, []
+            else:
+                requests = self._pending[:limit]
+                self._pending = self._pending[limit:]
+        if self.brownout is not None:
+            self.brownout.observe(depth)
+        self.last_drain_meta = []
         answers: List[List[Element]] = []
         for start in range(0, len(requests), self.max_batch):
             answers.extend(self._execute(requests[start:start + self.max_batch]))
@@ -283,35 +465,99 @@ class ServingEngine(TopKIndex):
         if not requests:
             return []
         began = time.perf_counter()
-        self.stats.batches += 1
-        self.stats.queries += len(requests)
+        brownout = self.brownout
+        level = brownout.level if brownout is not None else 0
+        staleness = (
+            brownout.effective_staleness(self.max_staleness)
+            if brownout is not None
+            else self.max_staleness
+        )
         epoch, lsn = self._read_stamp()
         answers: List[Optional[List[Element]]] = [None] * len(requests)
+        # Effective (possibly brownout-capped) k per request, in order.
+        capped: List[int] = [
+            brownout.effective_k(request.k) if brownout is not None else request.k
+            for request in requests
+        ]
         misses: List[Tuple[int, QueryRequest]] = []
         for position, request in enumerate(requests):
             if self.cache.enabled:
                 cached = self.cache.get(
-                    predicate_key(request.predicate), request.k,
-                    epoch, lsn, self.max_staleness,
+                    predicate_key(request.predicate), capped[position],
+                    epoch, lsn, staleness,
                 )
                 if cached is not None:
                     answers[position] = cached
                     continue
             misses.append((position, request))
+        partial_before = (
+            self._sharded.stats.partial_answers
+            if self._sharded is not None
+            else 0
+        )
+        plan = None
         if misses:
-            plan = plan_batch([request for _, request in misses])
-            self.stats.traversals += plan.traversals
-            self.stats.shared_answers += plan.shared
+            plan = plan_batch([
+                QueryRequest(request.predicate, capped[position])
+                for position, request in misses
+            ])
             full_by_group = self._dispatch(plan.groups)
+            batch_partial = (
+                self._sharded is not None
+                and self._sharded.stats.partial_answers > partial_before
+            )
             for group, full in zip(plan.groups, full_by_group):
-                self.cache.put(group.key, group.max_k, full, epoch, lsn)
+                if not batch_partial:
+                    # Never cache an answer that may be missing a lost
+                    # shard's elements: partial-suspect batches serve
+                    # but do not populate.
+                    self.cache.put(group.key, group.max_k, full, epoch, lsn)
                 for member_position, k in group.members:
                     answers[misses[member_position][0]] = full[:k]
+        else:
+            batch_partial = False
+        partial_positions = (
+            {position for position, _ in misses} if batch_partial else set()
+        )
+        metas: List[ServedMeta] = []
+        reduced = 0
+        for position, request in enumerate(requests):
+            answer = answers[position]
+            reduced_k = (
+                request.k > capped[position]
+                and answer is not None
+                and len(answer) == capped[position]
+            )
+            if reduced_k:
+                reduced += 1
+            metas.append(ServedMeta(
+                reduced_k=reduced_k,
+                partial_suspect=position in partial_positions,
+                brownout_level=level,
+            ))
+        self.last_drain_meta.extend(metas)
         elapsed = time.perf_counter() - began
-        self.stats.busy_seconds += elapsed
         per_query = elapsed / len(requests)
-        if per_query > self.stats.max_latency_seconds:
-            self.stats.max_latency_seconds = per_query
+        with self.stats.lock:
+            self.stats.batches += 1
+            self.stats.queries += len(requests)
+            if plan is not None:
+                self.stats.traversals += plan.traversals
+                self.stats.shared_answers += plan.shared
+            self.stats.reduced_k_answers += reduced
+            self.stats.partial_served += len(partial_positions)
+            self.stats.busy_seconds += elapsed
+            if per_query > self.stats.max_latency_seconds:
+                self.stats.max_latency_seconds = per_query
+        if brownout is not None:
+            brownout.stats.reduced_k_answers += reduced
+            brownout.stats.partial_answers += len(partial_positions)
+        if elapsed > 0 and not self._estimate_pinned:
+            alpha = self.service_ewma_alpha
+            if self.service_estimate > 0:
+                self.service_estimate += alpha * (per_query - self.service_estimate)
+            else:
+                self.service_estimate = per_query
         self._mirror_health()
         return answers  # type: ignore[return-value]
 
@@ -327,11 +573,15 @@ class ServingEngine(TopKIndex):
             # machine access), with every shard's probe-memo window
             # open for the batch's duration.
             if self._pool is not None and len(groups) >= self.parallel_threshold:
-                self.stats.parallel_batches += 1
+                with self.stats.lock:
+                    self.stats.parallel_batches += 1
             return self._sharded.batch_groups(
                 [(g.predicate, g.max_k) for g in groups],
                 pool=self._pool,
                 parallel_threshold=self.parallel_threshold,
+                allow_partial=(
+                    self.brownout is not None and self.brownout.partial_ok
+                ),
             )
         if (
             self._pool is not None
@@ -365,7 +615,8 @@ class ServingEngine(TopKIndex):
         and death-marking), so a crash mid-dispatch costs one serial
         retry, never a raced promotion.
         """
-        self.stats.parallel_batches += 1
+        with self.stats.lock:
+            self.stats.parallel_batches += 1
         partitions: List[List[Tuple[int, BatchGroup]]] = [[] for _ in servers]
         for index, group in enumerate(groups):
             partitions[index % len(servers)].append((index, group))
@@ -384,7 +635,8 @@ class ServingEngine(TopKIndex):
                 else:
                     answers[index] = answer
         for index, group in retry:
-            self.stats.dispatch_failovers += 1
+            with self.stats.lock:
+                self.stats.dispatch_failovers += 1
             answers[index] = self._query_backend(group.predicate, group.max_k)
         return answers  # type: ignore[return-value]
 
@@ -442,4 +694,4 @@ def serving_engine(
     return ServingEngine(cluster, **engine_kwargs)
 
 
-__all__ = ["ServingEngine", "ServingStats", "serving_engine"]
+__all__ = ["ServedMeta", "ServingEngine", "ServingStats", "serving_engine"]

@@ -484,6 +484,7 @@ class ShardedTopKIndex(TopKIndex):
         groups: Sequence[Tuple[Predicate, int]],
         pool=None,
         parallel_threshold: int = 4,
+        allow_partial: Optional[bool] = None,
     ) -> List[List[Element]]:
         """One full answer per ``(predicate, max_k)`` group, in order.
 
@@ -492,12 +493,15 @@ class ShardedTopKIndex(TopKIndex):
         whole scatter-gathers — per-shard locks keep every machine
         single-threaded, and the per-shard memo windows stay open for
         the whole batch so repeated sub-probes are shared across
-        workers too.
+        workers too.  ``allow_partial`` is the per-call override the
+        brownout ladder's partial rung passes through to every
+        scatter-gather of the batch (``None`` keeps the index default).
         """
         pairs = list(groups)
         with self._batch_windows():
             if pool is None or len(pairs) < max(1, parallel_threshold):
-                return [self.query(p, k) for p, k in pairs]
+                return [self.query(p, k, allow_partial=allow_partial)
+                        for p, k in pairs]
             width = getattr(pool, "_max_workers", 4)
             partitions: List[List[Tuple[int, Predicate, int]]] = [
                 [] for _ in range(max(1, width))
@@ -507,7 +511,7 @@ class ShardedTopKIndex(TopKIndex):
             with self._stats_lock:
                 self.stats.parallel_batches += 1
             futures = [
-                pool.submit(self._run_partition, partition)
+                pool.submit(self._run_partition, partition, allow_partial)
                 for partition in partitions
                 if partition
             ]
@@ -517,12 +521,20 @@ class ShardedTopKIndex(TopKIndex):
                     answers[index] = answer
             return answers  # type: ignore[return-value]
 
-    def _run_partition(self, partition):
+    def _run_partition(self, partition, allow_partial: Optional[bool] = None):
         """Worker body: sequential scatter-gathers over one partition."""
-        return [(index, self.query(p, k)) for index, p, k in partition]
+        return [
+            (index, self.query(p, k, allow_partial=allow_partial))
+            for index, p, k in partition
+        ]
 
     def query_topk_batch(
-        self, requests, pool=None, parallel_threshold: int = 4, **kwargs
+        self,
+        requests,
+        pool=None,
+        parallel_threshold: int = 4,
+        allow_partial: Optional[bool] = None,
+        **kwargs,
     ) -> List[List[Element]]:
         """Batched entry point: plan by predicate, fan out, slice prefixes."""
         from repro.serving.batch import QueryRequest, plan_batch
@@ -538,6 +550,7 @@ class ShardedTopKIndex(TopKIndex):
             [(group.predicate, group.max_k) for group in plan.groups],
             pool=pool,
             parallel_threshold=parallel_threshold,
+            allow_partial=allow_partial,
         )
         answers: List[Optional[List[Element]]] = [None] * len(normalized)
         for group, full in zip(plan.groups, full_by_group):
@@ -630,6 +643,19 @@ class ShardedTopKIndex(TopKIndex):
                     shard.machine.mark_dead()
                 with shard.lock:
                     self._recover_shard(shard)
+
+    def splittable_shard(self) -> Optional[str]:
+        """The largest shard that can still split (>= 2 buckets), or None.
+
+        The scale-out planner asks this before reaching for the
+        ``split_shard`` lever: a topology whose hottest shards are all
+        down to single buckets has exhausted horizontal splits.
+        """
+        sizes = self.router.shard_sizes()
+        for name in sorted(sizes, key=lambda s: (-sizes[s], s)):
+            if len(self.router.shards[name].buckets) >= 2:
+                return name
+        return None
 
     def split_shard(self, name: Optional[str] = None) -> Tuple[str, str]:
         """Split one (default: the largest) shard in two, online.

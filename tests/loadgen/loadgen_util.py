@@ -1,0 +1,70 @@
+"""Shared builders for loadgen tests: tiny deterministic serving stacks.
+
+Same convention as ``tests/serving/serving_util.py`` — a helper module
+imported by name, not a conftest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.problem import Element
+from repro.serving import BrownoutPolicy, ServingEngine
+from repro.sharding import sharded_index
+from repro.structures.range1d import RangePredicate1D
+from repro.structures.range1d_dynamic import DynamicRangeTreap
+
+
+def make_elements(n=48, seed=7):
+    rng = random.Random(seed)
+    weights = rng.sample(range(10 * n), n)
+    positions = rng.sample(range(10 * n), n)
+    return [Element(float(positions[i]), float(weights[i])) for i in range(n)]
+
+
+def make_pool(elements, count=16, seed=7):
+    rng = random.Random(seed + 7)
+    span = int(max(e.obj for e in elements)) + 10
+    pool = []
+    for _ in range(count):
+        lo = rng.randrange(-5, span)
+        hi = rng.randrange(lo, span + 5)
+        pool.append(RangePredicate1D(float(lo), float(hi)))
+    return pool
+
+
+def make_stack(
+    n=48,
+    seed=7,
+    num_shards=2,
+    max_pending=64,
+    max_batch=16,
+    cache_capacity=64,
+    brownout=None,
+):
+    """(elements, sharded, engine) — serial dispatch, deterministic."""
+    elements = make_elements(n, seed)
+    sharded = sharded_index(
+        elements, DynamicRangeTreap, DynamicRangeTreap,
+        num_shards=num_shards, strategy="range", seed=seed,
+    )
+    engine = ServingEngine(
+        sharded,
+        cache_capacity=cache_capacity,
+        max_batch=max_batch,
+        max_pending=max_pending,
+        pool_size=0,
+        brownout=brownout,
+    )
+    return elements, sharded, engine
+
+
+def tight_brownout(queue_high=8, queue_low=1):
+    return BrownoutPolicy(
+        queue_high=queue_high,
+        queue_low=queue_low,
+        sustain_drains=1,
+        recover_drains=1,
+        staleness_budget=32,
+        k_cap=2,
+    )

@@ -1,0 +1,100 @@
+"""Open-loop schedules: determinism, coverage, rate-shape fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowdRate,
+    OpenLoopSchedule,
+)
+from repro.resilience.errors import InvalidConfiguration
+
+
+class TestRateShapes:
+    def test_constant_rate(self):
+        rate = ConstantRate(25.0)
+        assert rate(0.0) == rate(1e6) == 25.0
+
+    def test_diurnal_peaks_and_troughs(self):
+        rate = DiurnalRate(base=100.0, amplitude=0.5, period=40.0)
+        assert rate(0.0) == pytest.approx(100.0)
+        assert rate(10.0) == pytest.approx(150.0)   # quarter period
+        assert rate(30.0) == pytest.approx(50.0)    # three quarters
+        assert min(rate(t / 10) for t in range(400)) > 0.0
+
+    def test_flash_crowd_ramp_hold_cliff(self):
+        rate = FlashCrowdRate(
+            base=10.0, spike=5.0, start=20.0, duration=10.0, ramp=0.2
+        )
+        assert rate(19.9) == 10.0
+        assert 10.0 < rate(21.0) < 50.0     # inside the ramp
+        assert rate(25.0) == 50.0           # holding
+        assert rate(30.0) == 10.0           # cliff back to base
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            ConstantRate(0.0)
+        with pytest.raises(InvalidConfiguration):
+            DiurnalRate(base=10.0, amplitude=1.0)
+        with pytest.raises(InvalidConfiguration):
+            FlashCrowdRate(base=10.0, spike=0.5)
+
+
+class TestOpenLoopSchedule:
+    def test_same_seed_identical_timestamps(self):
+        a = OpenLoopSchedule(ConstantRate(50.0), seed=3)
+        b = OpenLoopSchedule(ConstantRate(50.0), seed=3)
+        assert list(a.between(0.0, 5.0)) == list(b.between(0.0, 5.0))
+
+    def test_different_seeds_differ(self):
+        a = OpenLoopSchedule(ConstantRate(50.0), seed=3)
+        b = OpenLoopSchedule(ConstantRate(50.0), seed=4)
+        assert list(a.between(0.0, 5.0)) != list(b.between(0.0, 5.0))
+
+    def test_mean_rate_tracks_rate_function(self):
+        schedule = OpenLoopSchedule(ConstantRate(100.0), seed=0, jitter=0.1)
+        stamps = list(schedule.between(0.0, 20.0))
+        assert len(stamps) == pytest.approx(2000, rel=0.05)
+
+    def test_zero_jitter_is_exact_pacing(self):
+        schedule = OpenLoopSchedule(ConstantRate(10.0), seed=0, jitter=0.0)
+        stamps = list(schedule.between(0.0, 1.0))
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_timestamps_ascending_and_in_range(self):
+        schedule = OpenLoopSchedule(
+            FlashCrowdRate(base=20.0, spike=8.0, start=2.0, duration=4.0),
+            seed=9,
+        )
+        stamps = list(schedule.between(0.0, 10.0))
+        assert stamps == sorted(stamps)
+        assert all(0.0 <= t < 10.0 for t in stamps)
+
+    def test_windows_partition_the_stream(self):
+        """Chunking at tick boundaries loses and reorders nothing."""
+        schedule = OpenLoopSchedule(
+            DiurnalRate(base=40.0, amplitude=0.5, period=10.0), seed=5
+        )
+        flat = list(schedule.between(0.0, 12.0))
+        windows = list(schedule.windows(0.0, 12.0, tick=1.0))
+        assert [t for w in windows for t in w] == flat
+        assert len(windows) == 12
+        for i, window in enumerate(windows):
+            assert all(i * 1.0 <= t < (i + 1) * 1.0 for t in window)
+
+    def test_windows_pad_empty_tail(self):
+        # A slow rate leaves trailing ticks with no arrivals — they must
+        # still be yielded so the harness's clock advances.
+        schedule = OpenLoopSchedule(ConstantRate(0.5), seed=1)
+        windows = list(schedule.windows(0.0, 8.0, tick=1.0))
+        assert len(windows) == 8
+
+    def test_jitter_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            OpenLoopSchedule(ConstantRate(1.0), jitter=1.0)
+        with pytest.raises(InvalidConfiguration):
+            list(OpenLoopSchedule(ConstantRate(1.0)).windows(0, 1, tick=0.0))

@@ -1,0 +1,208 @@
+"""LoadGenerator: open-loop queueing against a real engine, counted."""
+
+from __future__ import annotations
+
+import pytest
+
+from loadgen_util import make_elements, make_pool, make_stack, tight_brownout
+from repro.core.problem import top_k_of
+from repro.loadgen import (
+    ConstantRate,
+    LoadGenerator,
+    OpenLoopSchedule,
+    ServiceModel,
+    UniformMix,
+)
+from repro.resilience.guard import RetryBudget
+
+# Per-request work is ~1 virtual unit under this mix (high hit rate);
+# FAST serves hundreds per second per server, SLOW a handful.
+FAST = ServiceModel(unit_time=0.001, traversal_cost=1.0, hit_cost=0.1)
+SLOW = ServiceModel(unit_time=0.01, traversal_cost=20.0, hit_cost=4.0)
+
+
+def make_loadgen(engine, elements, rate=50.0, model=FAST, seed=0, **kwargs):
+    pool = make_pool(elements)
+    return LoadGenerator(
+        engine,
+        schedule=OpenLoopSchedule(ConstantRate(rate), seed=seed),
+        mix=UniformMix(pool, k_range=(1, 6), seed=seed),
+        model=model,
+        elements=elements,
+        exact_check_rate=0.25,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestStableRegime:
+    def test_underload_serves_everything_exactly(self):
+        elements, _, engine = make_stack()
+        loadgen = make_loadgen(engine, elements, rate=40.0)
+        report = loadgen.run(duration=5.0, tick=1.0)
+        assert report.fresh_arrivals > 150
+        assert report.served == report.fresh_arrivals
+        assert report.sheds == 0
+        assert report.backlog == 0
+        assert report.goodput == 1.0
+        assert report.exact_checked > 0
+        assert report.exact_ok == report.exact_checked
+
+    def test_run_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            elements, _, engine = make_stack()
+            loadgen = make_loadgen(engine, elements, rate=60.0)
+            results.append(loadgen.run(duration=4.0, tick=0.5).summary())
+        assert results[0] == results[1]
+
+
+class TestOpenLoopProperty:
+    def test_arrivals_independent_of_service_speed(self):
+        """The defining open-loop property: offered load never adapts."""
+        counts = []
+        for model in (FAST, SLOW):
+            elements, _, engine = make_stack(max_pending=10_000)
+            loadgen = make_loadgen(engine, elements, rate=80.0, model=model)
+            counts.append(loadgen.run(duration=4.0, tick=1.0).fresh_arrivals)
+        assert counts[0] == counts[1]
+
+    def test_slow_service_builds_latency_not_fewer_arrivals(self):
+        elements, _, engine = make_stack(max_pending=10_000)
+        fast_gen = make_loadgen(engine, elements, rate=80.0, model=FAST)
+        fast = fast_gen.run(duration=4.0, tick=1.0)
+
+        elements, _, engine = make_stack(max_pending=10_000)
+        slow_gen = make_loadgen(engine, elements, rate=80.0, model=SLOW)
+        slow = slow_gen.run(duration=4.0, tick=1.0)
+
+        assert slow.latency.p99 > fast.latency.p99 * 5
+        assert slow.backlog > 0          # genuine queueing collapse
+
+
+class TestOverload:
+    def test_queue_full_sheds_when_pending_bound_hit(self):
+        elements, _, engine = make_stack(max_pending=16)
+        loadgen = make_loadgen(engine, elements, rate=300.0, model=SLOW)
+        report = loadgen.run(duration=3.0, tick=1.0)
+        assert report.queue_sheds > 0
+        assert report.dropped == report.sheds  # no retry budget: all lost
+        assert report.served + report.backlog + report.dropped == (
+            report.fresh_arrivals
+        )
+
+    def test_deadline_sheds_when_projected_wait_exceeds_budget(self):
+        elements, _, engine = make_stack(max_pending=10_000)
+        loadgen = make_loadgen(
+            engine, elements, rate=300.0, model=SLOW, deadline=0.5
+        )
+        report = loadgen.run(duration=3.0, tick=1.0)
+        assert report.deadline_sheds > 0
+
+    def test_served_answers_stay_oracle_exact_under_overload(self):
+        elements, _, engine = make_stack(max_pending=32)
+        loadgen = make_loadgen(engine, elements, rate=200.0, model=SLOW)
+        report = loadgen.run(duration=3.0, tick=1.0)
+        assert report.sheds > 0
+        assert report.exact_checked > 0
+        assert report.exact_ok == report.exact_checked
+
+
+class TestRetryBudget:
+    def test_retries_resubmit_shed_requests(self):
+        elements, _, engine = make_stack(max_pending=16)
+        budget = RetryBudget(ratio=0.1, burst=8.0)
+        loadgen = make_loadgen(
+            engine, elements, rate=300.0, model=SLOW, retry_budget=budget
+        )
+        report = loadgen.run(duration=3.0, tick=1.0)
+        assert report.retries > 0
+        assert report.submits == report.fresh_arrivals + report.retries
+
+    def test_amplification_stays_bounded(self):
+        """Token bucket: retries <= ratio * fresh + burst, so the
+        amplification cap the ISSUE demands (< 1.2x) holds even when
+        every fresh request is shed."""
+        elements, _, engine = make_stack(max_pending=4)
+        budget = RetryBudget(ratio=0.1, burst=8.0)
+        loadgen = make_loadgen(
+            engine, elements, rate=500.0, model=SLOW, retry_budget=budget
+        )
+        report = loadgen.run(duration=4.0, tick=1.0)
+        assert report.sheds > 500          # drowning
+        assert report.retries <= 0.1 * report.fresh_arrivals + 8.0
+        assert report.amplification < 1.2
+        assert report.retries_denied > 0
+
+
+class TestDegradedServers:
+    def test_armed_latency_plan_removes_capacity(self):
+        healthy_elements, _, healthy_engine = make_stack(max_pending=10_000)
+        healthy_gen = make_loadgen(healthy_engine, healthy_elements, rate=80.0)
+        healthy = healthy_gen.run(duration=4.0, tick=1.0)
+
+        elements, sharded, engine = make_stack(max_pending=10_000)
+        for shard in sharded.router.shards.values():
+            shard.machine.plan.read_latency = 9
+            shard.machine.plan.arm()
+        degraded_gen = make_loadgen(engine, elements, rate=80.0)
+        degraded = degraded_gen.run(duration=4.0, tick=1.0)
+
+        assert degraded.latency.p99 > healthy.latency.p99
+        # 1/(1+9) speed per machine -> ~10x less capacity.
+        assert degraded_gen._servers() == pytest.approx(
+            healthy_gen._servers() / 10.0
+        )
+
+    def test_split_shard_adds_capacity(self):
+        elements, sharded, engine = make_stack(num_shards=2)
+        loadgen = make_loadgen(engine, elements)
+        before = loadgen._servers()
+        donor = sharded.splittable_shard()
+        assert donor is not None
+        sharded.split_shard(donor)
+        assert loadgen._servers() == before + 1
+
+
+class TestBrownoutUnderLoad:
+    def test_brownout_flags_propagate_to_report(self):
+        elements, _, engine = make_stack(
+            max_pending=10_000, brownout=tight_brownout(queue_high=4)
+        )
+        loadgen = make_loadgen(engine, elements, rate=300.0, model=SLOW)
+        report = loadgen.run(duration=3.0, tick=1.0)
+        assert engine.brownout.stats.escalations > 0
+        assert report.reduced_k_served > 0
+        # Degraded answers are never counted against the oracle.
+        assert report.exact_ok == report.exact_checked
+
+    def test_reduced_k_answers_are_exact_prefixes(self):
+        elements, _, engine = make_stack(
+            max_pending=10_000, brownout=tight_brownout(queue_high=2)
+        )
+        pool = make_pool(elements)
+        engine.brownout.observe(10)  # force level 1
+        engine.brownout.observe(10)  # force level 2 (sustain_drains=1)
+        assert engine.brownout.effective_k(6) == 2
+        engine.submit(pool[0], 6)
+        answers = engine.drain()
+        capped = answers[0]
+        assert capped == top_k_of(elements, pool[0], 6)[: len(capped)]
+
+
+class TestTelemetryFeed:
+    def test_window_summary_reports_collapse_as_rising_latency(self):
+        elements, _, engine = make_stack(max_pending=10_000)
+        stall = ServiceModel(unit_time=10.0)  # one batch spans many ticks
+        loadgen = make_loadgen(engine, elements, rate=50.0, model=stall)
+        loadgen.run(duration=3.0, tick=1.0)
+        summary = loadgen.window_summary()
+        # Nothing completed, yet p99 reports the oldest waiter's age.
+        assert summary["p99"] > 1.0
+
+    def test_service_estimate_feeds_engine_admission(self):
+        elements, _, engine = make_stack()
+        loadgen = make_loadgen(engine, elements, rate=50.0)
+        loadgen.run(duration=3.0, tick=1.0)
+        assert engine.service_estimate > 0.0
+        assert engine._estimate_pinned

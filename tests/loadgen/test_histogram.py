@@ -1,0 +1,102 @@
+"""LatencyHistogram: bounded-error quantiles, exact merges."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.loadgen import LatencyHistogram
+from repro.resilience.errors import InvalidConfiguration
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    import math
+
+    target = max(1, math.ceil(q * len(ordered) - 1e-9))
+    return ordered[target - 1]
+
+
+class TestBuckets:
+    def test_empty_histogram_reports_zeros(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert hist.p50 == 0.0
+        assert hist.p99 == 0.0
+        assert hist.mean == 0.0
+        assert hist.summary()["count"] == 0.0
+
+    def test_zero_and_subresolution_values_have_buckets(self):
+        hist = LatencyHistogram(resolution=1e-3)
+        hist.record(0.0)
+        hist.record(1e-6)
+        hist.record(5e-4)
+        assert hist.count == 3
+        assert hist.quantile(0.0) <= 1e-3
+
+    def test_negative_latency_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(InvalidConfiguration):
+            hist.record(-0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            LatencyHistogram(resolution=0.0)
+        with pytest.raises(InvalidConfiguration):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(InvalidConfiguration):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestQuantiles:
+    def test_quantiles_within_growth_bound(self):
+        """Reported quantiles overestimate by at most one growth factor."""
+        rng = random.Random(42)
+        values = [rng.uniform(1e-4, 2.0) for _ in range(5000)]
+        hist = LatencyHistogram(growth=1.04)
+        hist.record_all(values)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = exact_quantile(values, q)
+            reported = hist.quantile(q)
+            assert exact <= reported * 1.0000001
+            assert reported <= exact * 1.04 * 1.0000001
+
+    def test_quantile_never_exceeds_observed_max(self):
+        hist = LatencyHistogram()
+        hist.record_all([0.1, 0.2, 0.9])
+        assert hist.quantile(1.0) == pytest.approx(0.9)
+        assert hist.p999 <= 0.9
+
+    def test_single_value_all_quantiles_agree(self):
+        hist = LatencyHistogram()
+        hist.record(0.25, count=100)
+        assert hist.p50 == hist.p99 == hist.p999
+        assert hist.p50 == pytest.approx(0.25, rel=0.05)
+
+    def test_mean_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record_all([0.1, 0.2, 0.3, 0.4])
+        assert hist.mean == pytest.approx(0.25)
+
+
+class TestMerge:
+    def test_merge_equals_single_histogram(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(10.0) for _ in range(2000)]
+        whole = LatencyHistogram()
+        whole.record_all(values)
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record_all(values[:777])
+        right.record_all(values[777:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        for q in (0.5, 0.99, 0.999):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        a = LatencyHistogram(growth=1.04)
+        b = LatencyHistogram(growth=1.10)
+        with pytest.raises(InvalidConfiguration):
+            a.merge(b)

@@ -1,0 +1,99 @@
+"""Scripted scenarios: every shape runs, the acceptance pair holds."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.loadgen import (
+    DEFAULT_LOAD_SCENARIOS,
+    SHAPE_FAULT_OVERLAP,
+    SHAPE_FLASH_CROWD,
+    LoadScenarioRunner,
+    LoadScenarioSpec,
+)
+from repro.resilience.errors import InvalidConfiguration
+
+
+def find_default(shape):
+    return next(s for s in DEFAULT_LOAD_SCENARIOS if s.shape == shape)
+
+
+class TestSpecValidation:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            LoadScenarioSpec(name="x", shape="tsunami")
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(InvalidConfiguration):
+            LoadScenarioSpec(name="x", duration=0.0)
+
+
+class TestAllShapesRun:
+    @pytest.mark.parametrize(
+        "spec", DEFAULT_LOAD_SCENARIOS, ids=[s.name for s in DEFAULT_LOAD_SCENARIOS]
+    )
+    def test_default_scenario_serves_exactly(self, spec):
+        # Shortened duration: shape coverage, not the full experiment.
+        short = replace(spec, duration=min(spec.duration, 24.0))
+        result = LoadScenarioRunner().run(short)
+        report = result.report
+        assert report.fresh_arrivals > 0
+        assert report.served > 0
+        assert report.exact_checked > 0
+        assert report.exact_ok == report.exact_checked
+        assert report.amplification < 1.2
+
+    def test_runs_are_deterministic(self):
+        spec = replace(find_default(SHAPE_FLASH_CROWD), duration=16.0)
+        a = LoadScenarioRunner().run(spec).summary()
+        b = LoadScenarioRunner().run(spec).summary()
+        assert a == b
+
+
+class TestFaultOverlap:
+    def test_fault_window_arms_and_disarms_the_plan(self):
+        spec = replace(
+            find_default(SHAPE_FAULT_OVERLAP),
+            window_start=4.0, window_duration=8.0, duration=20.0,
+        )
+        runner = LoadScenarioRunner()
+        result = runner.run(spec)
+        # The brownout ladder engaged under the fault, flagged answers
+        # appeared, and the retry budget held amplification.
+        assert result.brownout_escalations > 0
+        assert result.report.reduced_k_served > 0
+        assert result.report.amplification < 1.2
+        assert result.report.exact_ok == result.report.exact_checked
+
+
+class TestFlashCrowdAcceptance:
+    def test_autoscaled_meets_the_slo_static_violates(self):
+        """The E21 headline: same crowd, same seed — the static
+        topology blows through the SLO while the control plane
+        (SLO detection -> split_shard scale-out + brownout) stays
+        inside it."""
+        spec = find_default(SHAPE_FLASH_CROWD)
+        static, scaled = LoadScenarioRunner().flash_crowd_comparison(spec)
+
+        assert static.report.latency.p99 > spec.p99_slo
+        assert scaled.report.latency.p99 <= spec.p99_slo
+        assert not static.slo_met and scaled.slo_met
+
+        # The win came from real scale-out, not luck: splits fired and
+        # the topology grew.
+        assert "split_shard" in scaled.levers
+        assert scaled.final_shards > spec.num_shards
+        assert scaled.incidents > 0
+
+        # Quality guarantees held throughout.
+        assert scaled.report.amplification < 1.2
+        assert static.report.amplification < 1.2
+        for result in (static, scaled):
+            assert result.report.exact_ok == result.report.exact_checked
+
+    def test_autoscaled_goodput_beats_static(self):
+        spec = find_default(SHAPE_FLASH_CROWD)
+        static, scaled = LoadScenarioRunner().flash_crowd_comparison(spec)
+        assert scaled.report.goodput > static.report.goodput

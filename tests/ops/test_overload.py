@@ -1,0 +1,172 @@
+"""SLO rules in the detector, scale-out levers in the planner."""
+
+from __future__ import annotations
+
+from ops_util import sample, sharded_stack
+
+from repro.ops.detector import AnomalyDetector, DetectorPolicy
+from repro.ops.incidents import Incident
+from repro.ops.localizer import FaultLocalizer
+from repro.ops.mitigation import (
+    LEVER_FLUSH_CACHE,
+    LEVER_REBALANCE,
+    LEVER_SPLIT_SHARD,
+    MitigationPlanner,
+)
+
+
+def make_detector(**overrides):
+    defaults = dict(
+        p99_slo=1.0, queue_growth_ticks=3, queue_growth_min=16,
+        shed_rate_ratio=0.1, shed_rate_min_sheds=4,
+    )
+    defaults.update(overrides)
+    return AnomalyDetector(DetectorPolicy(**defaults))
+
+
+def kinds(anomalies):
+    return {a.kind for a in anomalies}
+
+
+class TestSLOBreachRule:
+    def test_p99_over_slo_flags(self):
+        detector = make_detector()
+        found = detector.observe(sample(tick=1, p99_latency=1.5))
+        assert "slo_breach" in kinds(found)
+
+    def test_p99_under_slo_quiet(self):
+        detector = make_detector()
+        assert "slo_breach" not in kinds(
+            detector.observe(sample(tick=1, p99_latency=0.9))
+        )
+
+    def test_zero_slo_disables_the_rule(self):
+        detector = make_detector(p99_slo=0.0)
+        assert "slo_breach" not in kinds(
+            detector.observe(sample(tick=1, p99_latency=99.0))
+        )
+
+
+class TestQueueGrowthRule:
+    def test_strictly_growing_queue_flags(self):
+        detector = make_detector()
+        found = []
+        for tick, depth in enumerate((20, 40, 80, 160), start=1):
+            found = detector.observe(sample(tick=tick, queue_depth=depth))
+        assert "queue_growth" in kinds(found)
+
+    def test_plateau_does_not_flag(self):
+        detector = make_detector()
+        found = []
+        for tick, depth in enumerate((20, 40, 40, 40), start=1):
+            found = detector.observe(sample(tick=tick, queue_depth=depth))
+        assert "queue_growth" not in kinds(found)
+
+    def test_growth_below_floor_ignored(self):
+        # A queue crawling from 1 to 4 is noise, not collapse.
+        detector = make_detector()
+        found = []
+        for tick, depth in enumerate((1, 2, 3, 4), start=1):
+            found = detector.observe(sample(tick=tick, queue_depth=depth))
+        assert "queue_growth" not in kinds(found)
+
+
+class TestShedRateRule:
+    def test_shed_spike_relative_to_offered_flags(self):
+        detector = make_detector()
+        detector.observe(sample(tick=1, load_sheds=0, served_queries=100))
+        found = detector.observe(
+            sample(tick=2, load_sheds=30, served_queries=190)
+        )
+        assert "shed_rate_spike" in kinds(found)
+
+    def test_small_absolute_sheds_ignored(self):
+        detector = make_detector(shed_rate_min_sheds=10)
+        detector.observe(sample(tick=1))
+        found = detector.observe(sample(tick=2, load_sheds=3, served_queries=3))
+        assert "shed_rate_spike" not in kinds(found)
+
+
+class TestOverloadLadder:
+    @staticmethod
+    def overload_incident(kind="slo_breach"):
+        detector = make_detector()
+        anomalies = detector.observe(sample(tick=1, p99_latency=5.0))
+        assert anomalies
+        return Incident(
+            id=1, scope=("subsystem", "serving"), kind=kind,
+            anomalies=[a for a in anomalies], opened_at=1,
+        )
+
+    def test_overload_prefers_split_shard_over_flush(self):
+        _, _, sharded, _, _ = sharded_stack()
+        planner = MitigationPlanner(sharded=sharded, engine=object())
+        action = planner.plan(self.overload_incident())
+        assert action.lever == LEVER_SPLIT_SHARD
+
+    def test_flush_cache_never_on_the_overload_ladder(self):
+        """Walk the whole ladder to exhaustion: flush never appears."""
+        _, _, sharded, _, _ = sharded_stack()
+        planner = MitigationPlanner(sharded=sharded, engine=object())
+        incident = self.overload_incident()
+        seen = []
+        for _ in range(3):
+            action = planner.plan(incident)
+            seen.append(action.lever)
+            incident.mitigations.append(
+                type("R", (), {"lever": action.lever})()
+            )
+        assert seen == [LEVER_SPLIT_SHARD] * 3  # repeatable while splittable
+
+        # Once nothing is splittable, the ladder falls to rebalance —
+        # and then exhausts rather than reaching for the cache.
+        sharded.splittable_shard = lambda: None
+        action = planner.plan(incident)
+        assert action.lever == LEVER_REBALANCE
+        incident.mitigations.append(type("R", (), {"lever": action.lever})())
+        assert planner.plan(incident) is None
+        assert LEVER_FLUSH_CACHE not in seen
+
+    def test_split_shard_is_repeatable_while_splittable(self):
+        _, _, sharded, _, _ = sharded_stack()
+        planner = MitigationPlanner(sharded=sharded)
+        incident = self.overload_incident()
+        first = planner.plan(incident)
+        assert first.lever == LEVER_SPLIT_SHARD
+        first.apply()
+        incident.mitigations.append(type("R", (), {"lever": first.lever})())
+        second = planner.plan(incident)
+        assert second.lever == LEVER_SPLIT_SHARD  # still first choice
+
+    def test_split_lever_actually_grows_topology(self):
+        _, _, sharded, _, _ = sharded_stack()
+        planner = MitigationPlanner(sharded=sharded)
+        before = sharded.router.num_shards
+        action = planner.plan(self.overload_incident())
+        outcome = action.apply()
+        assert sharded.router.num_shards == before + 1
+        assert "+1 server" in outcome
+
+    def test_non_overload_incident_keeps_flush_ladder(self):
+        planner = MitigationPlanner(engine=object())
+        incident = Incident(
+            id=2, scope=("subsystem", "serving"), kind="cache_stale",
+            anomalies=[], opened_at=1,
+        )
+        action = planner.plan(incident)
+        assert action.lever == LEVER_FLUSH_CACHE
+
+
+class TestLocalizerSeverity:
+    def test_slo_breach_outranks_legacy_shed_spike(self):
+        from repro.ops.localizer import _SEVERITY
+
+        assert _SEVERITY.index("slo_breach") < _SEVERITY.index("shed_spike")
+        assert _SEVERITY.index("queue_growth") < _SEVERITY.index("queue_depth")
+
+    def test_blame_lands_on_serving_subsystem(self):
+        detector = make_detector()
+        anomalies = detector.observe(sample(tick=1, p99_latency=3.0))
+        localizer = FaultLocalizer()
+        blames = localizer.localize(anomalies, sample(tick=1))
+        assert any(b.scope == ("subsystem", "serving") for b in blames)

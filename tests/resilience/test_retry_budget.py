@@ -1,0 +1,135 @@
+"""RetryBudget: token-bucket math and guard integration."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience.errors import InvalidConfiguration
+from repro.resilience.guard import GuardPolicy, ResilientTopKIndex, RetryBudget
+
+
+class TestBucketMath:
+    def test_starts_full_at_burst(self):
+        budget = RetryBudget(ratio=0.1, burst=5.0)
+        assert budget.tokens == 5.0
+
+    def test_initial_overrides_start_but_caps_at_burst(self):
+        assert RetryBudget(burst=5.0, initial=2.0).tokens == 2.0
+        assert RetryBudget(burst=5.0, initial=50.0).tokens == 5.0
+
+    def test_deposit_credits_ratio_per_fresh(self):
+        budget = RetryBudget(ratio=0.1, burst=8.0, initial=0.0)
+        budget.deposit(fresh=30)
+        assert budget.tokens == pytest.approx(3.0)
+        assert budget.deposits == 30
+
+    def test_deposit_caps_at_burst(self):
+        budget = RetryBudget(ratio=0.5, burst=4.0, initial=0.0)
+        budget.deposit(fresh=100)
+        assert budget.tokens == 4.0
+
+    def test_spend_until_empty_then_denied(self):
+        budget = RetryBudget(ratio=0.1, burst=3.0)
+        assert [budget.try_spend() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert budget.granted == 3
+        assert budget.denied == 2
+
+    def test_amplification_invariant(self):
+        """Over any horizon: grants <= ratio * fresh + burst."""
+        budget = RetryBudget(ratio=0.1, burst=8.0)
+        granted = 0
+        fresh = 0
+        for round_ in range(200):
+            budget.deposit()
+            fresh += 1
+            # An aggressive client retries every single request.
+            if budget.try_spend():
+                granted += 1
+        assert granted <= 0.1 * fresh + 8.0
+        assert budget.denied == 200 - granted
+
+    def test_thread_safety_conserves_tokens(self):
+        budget = RetryBudget(ratio=0.0, burst=100.0)
+        results = []
+        lock = threading.Lock()
+
+        def spender():
+            mine = sum(1 for _ in range(50) if budget.try_spend())
+            with lock:
+                results.append(mine)
+
+        threads = [threading.Thread(target=spender) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(results) == 100     # never over-granted
+        assert budget.tokens == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(InvalidConfiguration):
+            RetryBudget(burst=0.5)
+
+
+class TestGuardIntegration:
+    @staticmethod
+    def make_guarded(policy, elements=None):
+        from toy import ToyMax, ToyPrioritized, make_toy_elements
+        from repro.replication import replicated_index
+
+        elements = elements or make_toy_elements(32, seed=5)
+        cluster = replicated_index(
+            elements, ToyPrioritized, ToyMax, num_replicas=3, seed=3
+        )
+        return elements, ResilientTopKIndex(cluster, policy=policy)
+
+    def test_no_budget_by_default(self):
+        _, guard = self.make_guarded(GuardPolicy())
+        assert guard.retry_budget is None
+
+    def test_policy_creates_shared_budget(self):
+        _, guard = self.make_guarded(
+            GuardPolicy(retry_budget_ratio=0.2, retry_budget_burst=4.0)
+        )
+        assert isinstance(guard.retry_budget, RetryBudget)
+        assert guard.retry_budget.ratio == 0.2
+        assert guard.retry_budget.burst == 4.0
+
+    def test_queries_deposit_fresh_credit(self):
+        from toy import RangePredicate
+
+        _, guard = self.make_guarded(GuardPolicy(retry_budget_ratio=0.1))
+        before = guard.retry_budget.deposits
+        guard.query(RangePredicate(0.0, 1000.0), 3)
+        assert guard.retry_budget.deposits == before + 1
+
+    def test_exhausted_budget_denies_retries_and_reports(self):
+        from toy import RangePredicate
+
+        _, guard = self.make_guarded(
+            GuardPolicy(retry_budget_ratio=0.0, max_attempts=4)
+        )
+        # Drain the full burst allowance.
+        while guard.retry_budget.try_spend():
+            pass
+        # _backoff must now refuse and count the denial.
+        answer, report = guard.query_with_report(
+            RangePredicate(0.0, 1000.0), 3
+        )
+        assert answer is not None
+        for _ in range(5):
+            assert guard._backoff(0, report) is False
+        assert report.retry_budget_denied == 5
+        assert report.retries == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(InvalidConfiguration):
+            GuardPolicy(retry_budget_ratio=-0.5)
+        with pytest.raises(InvalidConfiguration):
+            GuardPolicy(retry_budget_ratio=0.1, retry_budget_burst=0.0)

@@ -1,0 +1,141 @@
+"""Brownout ladder: hysteresis transitions and per-rung budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.errors import InvalidConfiguration
+from repro.serving import (
+    LEVEL_HEALTHY,
+    LEVEL_PARTIAL,
+    LEVEL_REDUCED_K,
+    LEVEL_STALE,
+    BrownoutController,
+    BrownoutPolicy,
+)
+
+
+def make_controller(**kwargs):
+    defaults = dict(
+        queue_high=10, queue_low=2, sustain_drains=2, recover_drains=3,
+        staleness_budget=50, k_cap=3,
+    )
+    defaults.update(kwargs)
+    return BrownoutController(BrownoutPolicy(**defaults))
+
+
+class TestPolicyValidation:
+    def test_watermarks_must_be_ordered(self):
+        with pytest.raises(InvalidConfiguration):
+            BrownoutPolicy(queue_high=5, queue_low=10)
+
+    def test_streaks_must_be_positive(self):
+        with pytest.raises(InvalidConfiguration):
+            BrownoutPolicy(sustain_drains=0)
+
+    def test_k_cap_must_be_positive(self):
+        with pytest.raises(InvalidConfiguration):
+            BrownoutPolicy(k_cap=0)
+
+    def test_max_level_bounds(self):
+        with pytest.raises(InvalidConfiguration):
+            BrownoutPolicy(max_level=4)
+
+
+class TestEscalation:
+    def test_sustained_pressure_climbs_one_rung(self):
+        ctl = make_controller()
+        assert ctl.observe(20) == LEVEL_HEALTHY   # streak 1 of 2
+        assert ctl.observe(20) == LEVEL_STALE     # streak complete
+        assert ctl.stats.escalations == 1
+
+    def test_single_burst_never_escalates(self):
+        ctl = make_controller()
+        ctl.observe(100)
+        ctl.observe(5)      # between watermarks: streak resets
+        ctl.observe(100)
+        assert ctl.level == LEVEL_HEALTHY
+
+    def test_ladder_climbs_rung_by_rung_to_max(self):
+        ctl = make_controller(sustain_drains=1)
+        levels = [ctl.observe(50) for _ in range(6)]
+        assert levels[:3] == [LEVEL_STALE, LEVEL_REDUCED_K, LEVEL_PARTIAL]
+        assert all(lv == LEVEL_PARTIAL for lv in levels[3:])  # capped
+
+    def test_max_level_caps_the_climb(self):
+        ctl = make_controller(sustain_drains=1, max_level=LEVEL_STALE)
+        for _ in range(5):
+            ctl.observe(50)
+        assert ctl.level == LEVEL_STALE
+
+
+class TestRecovery:
+    def test_sustained_calm_steps_down(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(50)
+        ctl.observe(50)
+        assert ctl.level == LEVEL_REDUCED_K
+        for _ in range(3):
+            ctl.observe(0)
+        assert ctl.level == LEVEL_STALE
+        assert ctl.stats.deescalations == 1
+
+    def test_mid_band_resets_recovery_streak(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(50)
+        ctl.observe(0)
+        ctl.observe(0)
+        ctl.observe(5)      # between watermarks
+        ctl.observe(0)
+        ctl.observe(0)
+        assert ctl.level == LEVEL_STALE  # never saw 3 consecutive calms
+
+    def test_reset_returns_to_healthy_and_records_transition(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(50)
+        ctl.reset()
+        assert ctl.level == LEVEL_HEALTHY
+        assert ctl.transitions[-1] == ("reset", LEVEL_STALE, LEVEL_HEALTHY)
+
+
+class TestEffectiveBudgets:
+    def test_healthy_changes_nothing(self):
+        ctl = make_controller()
+        assert ctl.effective_staleness(4) == 4
+        assert ctl.effective_k(8) == 8
+        assert not ctl.partial_ok
+        assert not ctl.active
+
+    def test_stale_rung_widens_staleness_only(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(50)
+        assert ctl.level == LEVEL_STALE
+        assert ctl.effective_staleness(4) == 50
+        assert ctl.effective_staleness(80) == 80  # never narrows
+        assert ctl.effective_k(8) == 8
+        assert not ctl.partial_ok
+
+    def test_reduced_k_rung_caps_k(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(50)
+        ctl.observe(50)
+        assert ctl.level == LEVEL_REDUCED_K
+        assert ctl.effective_k(8) == 3
+        assert ctl.effective_k(2) == 2    # never raises
+        assert not ctl.partial_ok
+
+    def test_partial_rung_allows_partials(self):
+        ctl = make_controller(sustain_drains=1)
+        for _ in range(3):
+            ctl.observe(50)
+        assert ctl.level == LEVEL_PARTIAL
+        assert ctl.partial_ok
+        assert ctl.level_name == "partial_ok"
+
+    def test_degraded_drain_accounting(self):
+        ctl = make_controller(sustain_drains=1)
+        ctl.observe(0)
+        ctl.observe(50)
+        ctl.observe(50)
+        assert ctl.stats.drains_observed == 3
+        assert ctl.stats.drains_degraded == 2

@@ -1,0 +1,185 @@
+"""Concurrent admission: stats stay exact, no request lost or doubled.
+
+Satellite regressions for the admission path's locking:
+
+* the stats-lock test hammers ``submit`` from 8 threads against a tiny
+  queue and requires shed/served counters to add up exactly — the bug
+  class where unsynchronized ``+= 1`` drops increments;
+* the conservation property test races submitters against drainers and
+  cache flushes and requires every admitted request to be answered
+  exactly once — the bug class where a queue swap loses or duplicates
+  a request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from serving_util import make_elements, make_engine, make_requests
+from repro.resilience.errors import AdmissionRejected
+
+THREADS = 8
+
+
+def run_threads(worker, count=THREADS):
+    barrier = threading.Barrier(count)
+
+    def wrapped(idx):
+        barrier.wait()
+        worker(idx)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestStatsLock:
+    def test_shed_counters_exact_under_8_submitters(self):
+        """offered == admitted + shed, counter-exactly, every run."""
+        engine = make_engine(
+            make_elements(), max_pending=32, pool_size=0
+        )
+        per_thread = 400
+        admitted = [0] * THREADS
+        shed = [0] * THREADS
+        requests = make_requests(per_thread, seed=1)
+
+        def submitter(idx):
+            for request in requests:
+                try:
+                    engine.submit(request.predicate, request.k)
+                except AdmissionRejected:
+                    shed[idx] += 1
+                else:
+                    admitted[idx] += 1
+
+        run_threads(submitter)
+        assert sum(admitted) + sum(shed) == THREADS * per_thread
+        assert engine.stats.load_sheds == sum(shed)
+        assert engine.stats.queue_sheds == sum(shed)
+        assert engine.stats.deadline_sheds == 0
+        assert engine.pending == sum(admitted)
+
+    def test_deadline_sheds_counted_separately(self):
+        engine = make_engine(make_elements(), max_pending=64, pool_size=0)
+        engine.note_service_time(1.0)  # every queued request costs 1s
+        requests = make_requests(50, seed=2)
+        shed = [0] * THREADS
+
+        def submitter(idx):
+            for request in requests:
+                try:
+                    # Deadline 2s but the queue soon projects past it.
+                    engine.submit(
+                        request.predicate, request.k, deadline=2.0, now=0.0
+                    )
+                except AdmissionRejected as rejection:
+                    assert rejection.retry_after is not None
+                    assert rejection.retry_after > 0.0
+                    shed[idx] += 1
+
+        run_threads(submitter)
+        stats = engine.stats
+        assert stats.deadline_sheds + stats.queue_sheds == sum(shed)
+        assert stats.deadline_sheds > 0
+        assert stats.load_sheds == sum(shed)
+
+
+class TestConservationProperty:
+    def test_no_request_lost_or_answered_twice(self):
+        """Racing submits, drains, and cache flushes conserve requests.
+
+        Every admitted request must be answered exactly once:
+        admitted == answered after the final drain, while sheds are
+        accounted and nothing is double-served.
+        """
+        engine = make_engine(
+            make_elements(), max_pending=48, max_batch=8, pool_size=0,
+            cache_capacity=32,
+        )
+        per_thread = 300
+        admitted = [0] * THREADS
+        shed = [0] * THREADS
+        answered = [0] * THREADS
+        stop = threading.Event()
+
+        def submitter(idx):
+            requests = make_requests(per_thread, seed=idx)
+            for request in requests:
+                try:
+                    engine.submit(request.predicate, request.k)
+                except AdmissionRejected:
+                    shed[idx] += 1
+                else:
+                    admitted[idx] += 1
+
+        def drainer(idx):
+            while not stop.is_set():
+                answered[idx] += len(engine.drain(limit=8))
+
+        def flusher(idx):
+            while not stop.is_set():
+                engine.flush_cache()
+
+        submit_threads = [
+            threading.Thread(target=submitter, args=(i,)) for i in range(4)
+        ]
+        drain_threads = [
+            threading.Thread(target=drainer, args=(4 + i,)) for i in range(3)
+        ]
+        flush_thread = threading.Thread(target=flusher, args=(7,))
+        for t in submit_threads + drain_threads + [flush_thread]:
+            t.start()
+        for t in submit_threads:
+            t.join()
+        stop.set()
+        for t in drain_threads + [flush_thread]:
+            t.join()
+
+        # Drain whatever the racing drainers left behind.
+        tail = len(engine.drain())
+        total_admitted = sum(admitted)
+        total_answered = sum(answered) + tail
+
+        assert total_admitted + sum(shed) == 4 * per_thread
+        assert total_answered == total_admitted       # none lost, none doubled
+        assert engine.pending == 0
+        assert engine.stats.queries == total_answered
+        assert engine.stats.load_sheds == sum(shed)
+
+    def test_answers_remain_correct_under_racing_flushes(self):
+        """A flush mid-batch may cost a cache hit, never correctness."""
+        from repro.core.problem import top_k_of
+
+        elements = make_elements()
+        engine = make_engine(
+            elements, max_pending=1024, max_batch=8, pool_size=0,
+            cache_capacity=32,
+        )
+        requests = make_requests(200, seed=9)
+        collected = []
+        stop = threading.Event()
+
+        def flusher():
+            while not stop.is_set():
+                engine.flush_cache()
+
+        flush_thread = threading.Thread(target=flusher)
+        flush_thread.start()
+        try:
+            for request in requests:
+                engine.submit(request.predicate, request.k)
+                if engine.pending >= 8:
+                    collected.extend(engine.drain(limit=8))
+            collected.extend(engine.drain())
+        finally:
+            stop.set()
+            flush_thread.join()
+
+        assert len(collected) == len(requests)
+        for request, answer in zip(requests, collected):
+            assert answer == top_k_of(elements, request.predicate, request.k)
