@@ -1,0 +1,196 @@
+"""E22 — Partition tolerance: the scenario grid under the history checker.
+
+Three claims about ``repro.net`` + the fenced :class:`ReplicaSet`:
+
+1. **Fenced clusters survive the grid.**  Every partition scenario
+   (primary isolated, minority/majority splits, asymmetric link cuts,
+   flapping, lossy links, plus the sharded split-under-partition run)
+   is driven across many seeds.  Every produced history must pass the
+   offline checker — no acknowledged write lost, no unacknowledged
+   write visible without an ``info`` verdict, every read the exact
+   top-k of its legal state — with **zero** stale-epoch applies at the
+   replica layer and 100% oracle-exact post-heal reads.
+2. **The checker is not a rubber stamp.**  The same driver with
+   fencing ablated (no epochs, no leases) and a failover forced in the
+   middle of the partition window must produce histories the checker
+   *rejects*, citing a lost acknowledged write or a phantom.
+3. **Liveness is preserved.**  Across the grid the majority side keeps
+   acknowledging writes — partitions degrade throughput, never
+   correctness.
+
+Results also land as JSON in
+``benchmarks/results/e22_partition_tolerance.json`` (the CI
+partition-chaos job uploads it as an artifact).
+
+Set ``REPRO_BENCH_QUICK=1`` to run a reduced sweep (CI smoke mode).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.net import (
+    SCENARIOS,
+    run_partition_scenario,
+    run_sharded_partition_scenario,
+)
+from repro.net.history import LOST_ACK_WRITE, UNACKED_VISIBLE
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SEEDS = list(range(1, 6)) if QUICK else list(range(1, 26))
+ABLATION_SEEDS = SEEDS[: 5 if QUICK else 15]
+SHARDED_SEEDS = SEEDS[: 5 if QUICK else 12]
+RESULTS_JSON = (
+    Path(__file__).resolve().parent / "results" / "e22_partition_tolerance.json"
+)
+
+
+# ----------------------------------------------------------------------
+# E22a — the fenced scenario grid
+# ----------------------------------------------------------------------
+def _fenced_grid():
+    per_scenario = []
+    for scenario in SCENARIOS:
+        ok_writes = indeterminate = failed = reads = post_heal = 0
+        for seed in SEEDS:
+            run = run_partition_scenario(scenario, seed=seed)
+            assert run.check.ok, (
+                f"{scenario.name} seed {seed}: {run.check.violations[:3]}"
+            )
+            assert run.fabric.stats.stale_epoch_applies == 0, (
+                f"{scenario.name} seed {seed}: a stale-epoch record was "
+                "applied despite fencing"
+            )
+            assert run.check.exact_reads == run.check.reads_checked, (
+                f"{scenario.name} seed {seed}: an acknowledged read was "
+                "not the exact top-k"
+            )
+            assert run.ok_writes > 0, (
+                f"{scenario.name} seed {seed}: the majority side never "
+                "acknowledged a write — liveness lost"
+            )
+            ok_writes += run.ok_writes
+            indeterminate += run.indeterminate_writes
+            failed += run.failed_writes
+            reads += run.check.reads_checked
+            post_heal += run.post_heal_reads
+        per_scenario.append(
+            {
+                "scenario": scenario.name,
+                "seeds": len(SEEDS),
+                "ok_writes": ok_writes,
+                "indeterminate_writes": indeterminate,
+                "failed_writes": failed,
+                "reads_checked": reads,
+                "post_heal_reads": post_heal,
+                "violations": 0,
+                "stale_epoch_applies": 0,
+            }
+        )
+    return per_scenario
+
+
+# ----------------------------------------------------------------------
+# E22b — sharded split under a coordinator partition
+# ----------------------------------------------------------------------
+def _sharded_grid():
+    ok_writes = failed_reads = reads = 0
+    for seed in SHARDED_SEEDS:
+        run = run_sharded_partition_scenario(seed=seed)
+        assert run.check.ok, f"sharded seed {seed}: {run.check.violations[:3]}"
+        assert run.check.exact_reads == run.check.reads_checked
+        ok_writes += run.ok_writes
+        failed_reads += run.failed_reads
+        reads += run.check.reads_checked
+    return {
+        "seeds": len(SHARDED_SEEDS),
+        "ok_writes": ok_writes,
+        "reads_checked": reads,
+        "failed_reads_during_window": failed_reads,
+        "violations": 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# E22c — the unfenced ablation must be CAUGHT
+# ----------------------------------------------------------------------
+def _ablation():
+    caught = 0
+    kinds_seen = set()
+    for seed in ABLATION_SEEDS:
+        run = run_partition_scenario(
+            SCENARIOS[0], seed=seed, fenced=False, force_failover_at=12
+        )
+        if not run.check.ok:
+            caught += 1
+            kinds_seen.update(run.check.kinds())
+    assert caught > 0, (
+        "fencing ablated and a failover forced mid-partition, yet the "
+        "checker signed off every history — the checker is a rubber stamp"
+    )
+    assert kinds_seen & {LOST_ACK_WRITE, UNACKED_VISIBLE}, kinds_seen
+    return {
+        "seeds": len(ABLATION_SEEDS),
+        "histories_rejected": caught,
+        "violation_kinds": sorted(kinds_seen),
+    }
+
+
+def bench_e22_partition_tolerance(benchmark, results_sink):
+    grid = _fenced_grid()
+    results_sink(
+        render_table(
+            f"E22a Fenced scenario grid ({len(SEEDS)} seeds per scenario)",
+            ["scenario", "acked writes", "indeterminate", "reads checked",
+             "post-heal reads", "violations", "stale applies"],
+            [[row["scenario"], row["ok_writes"],
+              row["indeterminate_writes"], row["reads_checked"],
+              row["post_heal_reads"], 0, 0] for row in grid],
+            note="every history passed the offline checker: no acked "
+            "write lost, no phantom, every acknowledged read the exact "
+            "top-k; zero stale-epoch applies at the replica layer",
+        )
+    )
+
+    sharded = _sharded_grid()
+    results_sink(
+        render_table(
+            f"E22b Sharded split under coordinator partition "
+            f"({sharded['seeds']} seeds)",
+            ["acked writes", "reads checked",
+             "loud failures in window", "violations"],
+            [[sharded["ok_writes"], sharded["reads_checked"],
+              sharded["failed_reads_during_window"], 0]],
+            note="an online shard split completes while the coordinator "
+            "cannot reach the donor; unreachable probes fail loudly, "
+            "never return a short answer",
+        )
+    )
+
+    ablation = _ablation()
+    results_sink(
+        render_table(
+            f"E22c Unfenced ablation ({ablation['seeds']} seeds, failover "
+            "forced mid-partition)",
+            ["histories rejected", "violation kinds"],
+            [[f"{ablation['histories_rejected']}/{ablation['seeds']}",
+              ", ".join(ablation["violation_kinds"])]],
+            note="without epochs and leases the forced failover splits "
+            "the brain; the checker must reject those histories",
+        )
+    )
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {"quick": QUICK, "e22a_fenced_grid": grid,
+             "e22b_sharded": sharded, "e22c_ablation": ablation},
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Timing: one full fenced scenario run, checker included.
+    benchmark(lambda: run_partition_scenario(SCENARIOS[0], seed=1))

@@ -1,0 +1,71 @@
+"""Simulated network fabric, fenced leases' transport, history checking.
+
+The last unsimulated failure domain: links.  This package provides
+
+* :mod:`repro.net.fabric` — :class:`NetworkFabric` / :class:`Link` /
+  :class:`LinkPlan`: seeded per-directed-link drop / duplication /
+  reordering / delay / scheduled (asymmetric) partitions, typed
+  :class:`Message` envelopes with idempotency-key dedupe, and the
+  virtual clock lease TTLs count;
+* :mod:`repro.net.history` — the Jepsen-style invoke/ok/fail/info
+  :class:`HistoryRecorder` and the offline :func:`check_history`
+  (no acknowledged write lost, no unacknowledged write visible
+  without an ``info`` verdict, every read a legal top-k);
+* :mod:`repro.net.scenarios` — the partition scenario grid and the
+  shared seeded workload driver used by tests, the E22 benchmark, and
+  ``examples/partitioned_service.py``.
+"""
+
+from repro.net.fabric import (
+    MSG_LEASE_RENEW,
+    MSG_PROBE,
+    MSG_RESYNC,
+    MSG_WAL_SHIP,
+    Link,
+    LinkPlan,
+    Message,
+    NetStats,
+    NetworkFabric,
+)
+from repro.net.history import (
+    CheckResult,
+    HistoryEvent,
+    HistoryRecorder,
+    Violation,
+    check_history,
+)
+from repro.net.scenarios import (
+    LEASE_TTL,
+    SCENARIOS,
+    STEP,
+    PartitionScenario,
+    ScenarioRun,
+    run_partition_scenario,
+    run_sharded_partition_scenario,
+    scenario_elements,
+)
+
+__all__ = [
+    "NetworkFabric",
+    "Link",
+    "LinkPlan",
+    "Message",
+    "NetStats",
+    "MSG_WAL_SHIP",
+    "MSG_LEASE_RENEW",
+    "MSG_RESYNC",
+    "MSG_PROBE",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "Violation",
+    "CheckResult",
+    "check_history",
+    "PartitionScenario",
+    "SCENARIOS",
+    "ScenarioRun",
+    "run_partition_scenario",
+    "run_sharded_partition_scenario",
+    "scenario_elements",
+    "STEP",
+    "LEASE_TTL",
+]

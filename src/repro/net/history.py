@@ -1,0 +1,345 @@
+"""Jepsen-style operation history recording and offline checking.
+
+Every update and query against the cluster is recorded as an
+**invoke** followed by exactly one completion verdict:
+
+* **ok** — the operation was acknowledged (a write reached a quorum; a
+  read returned an answer);
+* **fail** — the operation *definitely* did not happen (the cluster
+  refused it, or rolled it back before acknowledging failure);
+* **info** — indeterminate: the caller saw a failure but the effect
+  may exist (a timeout after the message may have been delivered; a
+  crash mid-rollback).
+
+The offline :func:`check_history` replays the (sequential) history and
+asserts the three properties the tentpole promises:
+
+1. **no acknowledged write is lost** — every ok-insert's element must
+   appear in any later read it qualifies for (weight above the read's
+   cut-off), forever, until an ok-delete removes it;
+2. **no unacknowledged write is visible** — an element whose insert
+   *failed* may never appear in a read; an element whose insert was
+   *indeterminate* may appear or not, but must do so **consistently**:
+   the first read that could have shown it resolves the ambiguity, and
+   later reads must agree;
+3. **every read is a legal top-k** — sorted strictly descending by
+   weight, no duplicates, and exactly the k heaviest matching elements
+   of the resolved state at the read's linearization point.
+
+The checker is deliberately model-free: it needs only the initial
+element set and the recorded events, so the same checker audits the
+replication driver, the sharded driver, and the deliberately-unfenced
+ablation (where it must *catch* the split-brain write loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.problem import Element, Predicate
+
+INVOKE = "invoke"
+OK = "ok"
+FAIL = "fail"
+INFO = "info"
+
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+OP_QUERY = "query"
+
+# Violation kinds.
+LOST_ACK_WRITE = "lost_acknowledged_write"
+UNACKED_VISIBLE = "unacked_write_visible"
+INCONSISTENT_READ = "inconsistent_read"
+MALFORMED_ANSWER = "malformed_answer"
+MALFORMED_HISTORY = "malformed_history"
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One line of the history: an invocation or its completion."""
+
+    op_id: int
+    phase: str            # invoke | ok | fail | info
+    op: str               # insert | delete | query
+    element: Optional[Element] = None
+    predicate: Optional[Predicate] = None
+    k: int = 0
+    answer: Optional[tuple] = None
+
+
+class HistoryRecorder:
+    """Appends invoke/ok/fail/info events for the offline checker."""
+
+    def __init__(self) -> None:
+        self.events: List[HistoryEvent] = []
+        self._next_id = 0
+        self._open: Dict[int, HistoryEvent] = {}
+
+    def _invoke(self, event: HistoryEvent) -> int:
+        self.events.append(event)
+        self._open[event.op_id] = event
+        return event.op_id
+
+    def invoke_insert(self, element: Element) -> int:
+        op_id, self._next_id = self._next_id, self._next_id + 1
+        return self._invoke(
+            HistoryEvent(op_id=op_id, phase=INVOKE, op=OP_INSERT, element=element)
+        )
+
+    def invoke_delete(self, element: Element) -> int:
+        op_id, self._next_id = self._next_id, self._next_id + 1
+        return self._invoke(
+            HistoryEvent(op_id=op_id, phase=INVOKE, op=OP_DELETE, element=element)
+        )
+
+    def invoke_query(self, predicate: Predicate, k: int) -> int:
+        op_id, self._next_id = self._next_id, self._next_id + 1
+        return self._invoke(
+            HistoryEvent(
+                op_id=op_id, phase=INVOKE, op=OP_QUERY, predicate=predicate, k=k
+            )
+        )
+
+    def _complete(self, op_id: int, phase: str, answer: Optional[tuple]) -> None:
+        invoked = self._open.pop(op_id)
+        self.events.append(
+            HistoryEvent(
+                op_id=op_id,
+                phase=phase,
+                op=invoked.op,
+                element=invoked.element,
+                predicate=invoked.predicate,
+                k=invoked.k,
+                answer=answer,
+            )
+        )
+
+    def ok(self, op_id: int, answer: Optional[Sequence[Element]] = None) -> None:
+        self._complete(
+            op_id, OK, tuple(answer) if answer is not None else None
+        )
+
+    def fail(self, op_id: int) -> None:
+        self._complete(op_id, FAIL, None)
+
+    def info(self, op_id: int) -> None:
+        self._complete(op_id, INFO, None)
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    op_id: int
+    detail: str
+
+
+@dataclass
+class CheckResult:
+    """The checker's verdict plus audit counters."""
+
+    ok: bool = True
+    violations: List[Violation] = field(default_factory=list)
+    ops: int = 0
+    reads_checked: int = 0
+    exact_reads: int = 0
+    ok_writes: int = 0
+    failed_writes: int = 0
+    indeterminate_writes: int = 0
+    resolved_applied: int = 0
+    resolved_unapplied: int = 0
+
+    def kinds(self) -> List[str]:
+        return sorted({v.kind for v in self.violations})
+
+
+class _CheckerState:
+    """Resolved world-state as the history replays."""
+
+    def __init__(self, initial: Sequence[Element]) -> None:
+        # weight -> Element.  Weights are globally distinct (the
+        # repo-wide precondition), so they are the identity.
+        self.present: Dict[float, Element] = {e.weight: e for e in initial}
+        self.maybe_in: Dict[float, Element] = {}   # indeterminate inserts
+        self.maybe_out: Dict[float, Element] = {}  # indeterminate deletes
+        self.never: Dict[float, int] = {}  # weight -> op_id proven unapplied
+
+
+def check_history(
+    events: Sequence[HistoryEvent], initial: Sequence[Element]
+) -> CheckResult:
+    """Replay a sequential history; return violations + audit counters."""
+    state = _CheckerState(initial)
+    result = CheckResult()
+    for event in events:
+        if event.phase == INVOKE:
+            result.ops += 1
+            continue
+        if event.op == OP_INSERT:
+            _complete_insert(event, state, result)
+        elif event.op == OP_DELETE:
+            _complete_delete(event, state, result)
+        elif event.op == OP_QUERY:
+            _complete_query(event, state, result)
+        else:
+            _flag(result, MALFORMED_HISTORY, event.op_id, f"unknown op {event.op!r}")
+    result.ok = not result.violations
+    return result
+
+
+def _flag(result: CheckResult, kind: str, op_id: int, detail: str) -> None:
+    result.violations.append(Violation(kind=kind, op_id=op_id, detail=detail))
+
+
+def _complete_insert(
+    event: HistoryEvent, state: _CheckerState, result: CheckResult
+) -> None:
+    weight = event.element.weight
+    if event.phase == OK:
+        result.ok_writes += 1
+        state.present[weight] = event.element
+        state.maybe_in.pop(weight, None)
+        state.never.pop(weight, None)
+    elif event.phase == FAIL:
+        result.failed_writes += 1
+        state.never[weight] = event.op_id
+    else:  # INFO
+        result.indeterminate_writes += 1
+        state.maybe_in[weight] = event.element
+
+
+def _complete_delete(
+    event: HistoryEvent, state: _CheckerState, result: CheckResult
+) -> None:
+    weight = event.element.weight
+    if event.phase == OK:
+        result.ok_writes += 1
+        state.present.pop(weight, None)
+        state.maybe_out.pop(weight, None)
+    elif event.phase == FAIL:
+        result.failed_writes += 1
+        # The delete definitely did not happen; the element stays.
+    else:  # INFO
+        result.indeterminate_writes += 1
+        if weight in state.present:
+            state.maybe_out[weight] = state.present.pop(weight)
+
+
+def _complete_query(
+    event: HistoryEvent, state: _CheckerState, result: CheckResult
+) -> None:
+    if event.phase != OK:
+        return  # a failed/indeterminate read constrains nothing
+    result.reads_checked += 1
+    answer = list(event.answer or ())
+    predicate, k = event.predicate, event.k
+    # -- shape: strictly descending weights, no duplicates, length <= k.
+    weights = [e.weight for e in answer]
+    if len(answer) > k or any(
+        b >= a for a, b in zip(weights, weights[1:])
+    ):
+        _flag(
+            result, MALFORMED_ANSWER, event.op_id,
+            f"answer of size {len(answer)} for k={k} not strictly "
+            f"descending: {weights}",
+        )
+        return
+    answer_weights = set(weights)
+    cutoff = weights[-1] if len(answer) == k else float("-inf")
+    # -- phase 1: every answered element must be explainable.
+    for element in answer:
+        w = element.weight
+        if not predicate.matches(element.obj):
+            _flag(
+                result, MALFORMED_ANSWER, event.op_id,
+                f"element {element} does not match the read's predicate",
+            )
+        elif w in state.present:
+            pass
+        elif w in state.maybe_in:
+            # Ambiguity resolved: the indeterminate insert DID apply.
+            state.present[w] = state.maybe_in.pop(w)
+            result.resolved_applied += 1
+        elif w in state.maybe_out:
+            # The indeterminate delete did NOT apply.
+            state.present[w] = state.maybe_out.pop(w)
+            result.resolved_unapplied += 1
+        elif w in state.never:
+            _flag(
+                result, UNACKED_VISIBLE, event.op_id,
+                f"element {element} from failed/unapplied op "
+                f"{state.never[w]} is visible in a read",
+            )
+        else:
+            _flag(
+                result, UNACKED_VISIBLE, event.op_id,
+                f"element {element} was never written",
+            )
+    # -- phase 2: resolve maybes the answer proves absent.
+    for pool, applied in ((state.maybe_in, False), (state.maybe_out, True)):
+        doomed = [
+            w for w, e in pool.items()
+            if w not in answer_weights
+            and predicate.matches(e.obj)
+            and (w > cutoff)
+        ]
+        for w in doomed:
+            element = pool.pop(w)
+            if applied:
+                # maybe_out element absent above the cut-off: the
+                # indeterminate delete DID apply; it is gone for good.
+                state.never[w] = event.op_id
+                result.resolved_applied += 1
+            else:
+                # maybe_in element absent above the cut-off: the
+                # indeterminate insert never applied.
+                state.never[w] = event.op_id
+                result.resolved_unapplied += 1
+    # -- phase 3: completeness — no acknowledged write may be missing.
+    missing = [
+        e for w, e in state.present.items()
+        if w not in answer_weights
+        and predicate.matches(e.obj)
+        and w > cutoff
+    ]
+    if missing:
+        worst = max(missing, key=lambda e: e.weight)
+        _flag(
+            result, LOST_ACK_WRITE, event.op_id,
+            f"{len(missing)} acknowledged element(s) above the cut-off "
+            f"missing from the answer (e.g. {worst}, cut-off {cutoff})",
+        )
+        return
+    # -- phase 4: with every relevant ambiguity resolved, the answer
+    # must be *exactly* the top-k of the resolved state.
+    expected = sorted(
+        (e for e in state.present.values() if predicate.matches(e.obj)),
+        key=lambda e: -e.weight,
+    )[:k]
+    if [e.weight for e in expected] != weights:
+        _flag(
+            result, INCONSISTENT_READ, event.op_id,
+            f"answer {weights} != resolved top-k "
+            f"{[e.weight for e in expected]}",
+        )
+    else:
+        result.exact_reads += 1
+
+
+__all__ = [
+    "HistoryEvent",
+    "HistoryRecorder",
+    "Violation",
+    "CheckResult",
+    "check_history",
+    "INVOKE",
+    "OK",
+    "FAIL",
+    "INFO",
+    "LOST_ACK_WRITE",
+    "UNACKED_VISIBLE",
+    "INCONSISTENT_READ",
+    "MALFORMED_ANSWER",
+    "MALFORMED_HISTORY",
+]

@@ -49,6 +49,14 @@ identical anomaly stream.  The rule set mirrors the failure modes PRs
     served)) crossed ``shed_rate_ratio`` with at least
     ``shed_rate_min_sheds`` absolute sheds — admission control doing
     so much turning-away that capacity, not noise, is the story.
+``ack_timeout_spike``
+    WAL-ship transport timeouts this tick crossed the floor — the
+    network-partition signature that is *not* a machine fault (ship
+    timeouts feed no failure-detector streak), so nothing else fires.
+``epoch_reject_spike``
+    Stale-epoch envelopes rejected this tick — a deposed primary (or a
+    partition-stranded client of one) is still talking.  The fencing
+    *worked*; the anomaly is that it had to.
 """
 
 from __future__ import annotations
@@ -92,6 +100,8 @@ class DetectorPolicy:
     queue_growth_min: int = 16       # ...once depth is past this floor
     shed_rate_ratio: float = 0.1     # sheds / (sheds + served) per tick
     shed_rate_min_sheds: int = 4     # absolute shed floor for the ratio
+    ack_timeout_min: int = 2         # ship transport timeouts per tick
+    epoch_reject_min: int = 1        # stale-epoch rejects per tick
 
 
 @dataclass(frozen=True)
@@ -213,6 +223,22 @@ class AnomalyDetector:
                     lag, policy.lag_bound,
                     f"not shrinking for {policy.lag_flat_ticks} ticks",
                 )
+
+        # --- network / fencing -----------------------------------------
+        if sample.ship_timeouts >= policy.ack_timeout_min:
+            flag(
+                "ack_timeout_spike", (SCOPE_SUBSYSTEM, "network"),
+                "ship_timeouts", sample.ship_timeouts,
+                policy.ack_timeout_min,
+                f"{sample.partitions_active} partitioned links",
+            )
+        if sample.fenced_rejects >= policy.epoch_reject_min:
+            flag(
+                "epoch_reject_spike", (SCOPE_SUBSYSTEM, "network"),
+                "fenced_rejects", sample.fenced_rejects,
+                policy.epoch_reject_min,
+                f"{sample.lease_expirations} lease expirations this tick",
+            )
 
         # --- query path -------------------------------------------------
         degradations = sample.rung_unavailable + sample.degraded_queries

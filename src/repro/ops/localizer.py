@@ -45,6 +45,8 @@ _SEVERITY = (
     "fault_spike",
     "latency_storm",
     "lag_growth",
+    "epoch_reject_spike",
+    "ack_timeout_spike",
     "staleness_suspect",
     "hot_shard",
     "slo_breach",

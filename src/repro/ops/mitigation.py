@@ -28,6 +28,9 @@ added around them):
                     shard at fire time).
 ``recover_replica`` :meth:`ReplicaSet.recover_replica` on the first
                     dead replica — restore lost serving fan-out.
+``heal_partition``  :meth:`NetworkFabric.heal` — clear every scheduled
+                    partition window (reconnect the topology; loss and
+                    reorder rates stay, they are hardware).
 =================  ====================================================
 
 Planning is **state-aware**: the same blamed machine gets
@@ -63,9 +66,14 @@ LEVER_REBALANCE = "rebalance"
 LEVER_FLUSH_CACHE = "flush_cache"
 LEVER_SPLIT_SHARD = "split_shard"
 LEVER_RECOVER_REPLICA = "recover_replica"
+LEVER_HEAL = "heal_partition"
 
 _CORRUPTION_KINDS = ("corruption_drip",)
 _LAG_KINDS = ("lag_growth",)
+# Network-scope symptoms: first reconnect the topology; if the rejects
+# persist after a heal, a deposed-but-talking primary needs deposing
+# *again* via a forced failover (which re-announces the epoch).
+_PARTITION_KINDS = ("ack_timeout_spike", "epoch_reject_spike")
 # Subsystem symptoms whose root cause is capacity, not state: the
 # remedy is scale-out, and flushing the cache would make them *worse*.
 _OVERLOAD_KINDS = (
@@ -90,10 +98,15 @@ class PlannedAction:
 class MitigationPlanner:
     """Blame + live state -> the next lever on the escalation ladder."""
 
-    def __init__(self, cluster=None, sharded=None, engine=None) -> None:
+    def __init__(
+        self, cluster=None, sharded=None, engine=None, fabric=None
+    ) -> None:
         self.cluster = cluster
         self.sharded = sharded
         self.engine = engine
+        if fabric is None and cluster is not None:
+            fabric = getattr(cluster, "fabric", None)
+        self.fabric = fabric
 
     # ------------------------------------------------------------------
     # Ladder construction
@@ -128,6 +141,13 @@ class MitigationPlanner:
 
     def _subsystem_ladder(self, incident: Incident) -> List[str]:
         kinds = {a.kind for a in incident.anomalies}
+        if kinds.intersection(_PARTITION_KINDS):
+            ladder = []
+            if self.fabric is not None:
+                ladder.append(LEVER_HEAL)
+            if self.cluster is not None:
+                ladder.append(LEVER_FAILOVER)
+            return ladder
         if kinds.intersection(_OVERLOAD_KINDS):
             # Overload is a capacity problem: scale out (each split adds
             # one parallel server), even the load across what exists,
@@ -235,6 +255,11 @@ class MitigationPlanner:
                     return "no splittable shard remains"
                 donor, newborn = self.sharded.split_shard(name)
                 return f"split {donor} -> {newborn} (+1 server)"
+        elif lever == LEVER_HEAL:
+            def apply() -> str:
+                healed = self.fabric.heal()
+                self.fabric.flush_all_holdback()
+                return f"{healed} links reconnected"
         elif lever == LEVER_RECOVER_REPLICA:
             def apply() -> str:
                 dead = next(
@@ -260,4 +285,5 @@ __all__ = [
     "LEVER_FLUSH_CACHE",
     "LEVER_SPLIT_SHARD",
     "LEVER_RECOVER_REPLICA",
+    "LEVER_HEAL",
 ]

@@ -121,7 +121,8 @@ class Operator:
             cluster=self.cluster, sharded=self.sharded
         )
         self.planner = MitigationPlanner(
-            cluster=self.cluster, sharded=self.sharded, engine=engine
+            cluster=self.cluster, sharded=self.sharded, engine=engine,
+            fabric=getattr(self.cluster, "fabric", None),
         )
         self.log = IncidentLog()
         self.probes = list(probes)

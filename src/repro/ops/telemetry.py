@@ -78,6 +78,11 @@ class TelemetrySample:
     primary_crashes: int = 0
     ship_failures: int = 0
     scrub_repairs: int = 0
+    # --- network / fencing (deltas except the partition gauge) ---
+    ship_timeouts: int = 0
+    fenced_rejects: int = 0
+    lease_expirations: int = 0
+    partitions_active: int = 0
     # --- sharding ---
     shards_alive: Dict[str, bool] = field(default_factory=dict)
     shard_sizes: Dict[str, int] = field(default_factory=dict)
@@ -248,6 +253,7 @@ class TelemetryCollector:
         if self.cluster is not None:
             cluster = self.cluster
             stats = cluster.stats
+            fabric = getattr(cluster, "fabric", None)
             current = {
                 "promotions": stats.promotions,
                 "follower_deaths": stats.follower_deaths,
@@ -255,8 +261,14 @@ class TelemetryCollector:
                 "ship_failures": stats.ship_failures,
                 "scrub_repairs": stats.scrub_repairs,
             }
+            if fabric is not None:
+                current["ship_timeouts"] = stats.ship_timeouts
+                current["fenced_rejects"] = fabric.stats.fenced_rejects
+                current["lease_expirations"] = fabric.stats.lease_expirations
             fields.update(self._delta_fields(current, self._prev_cluster))
             self._prev_cluster = current
+            if fabric is not None:
+                fields["partitions_active"] = fabric.active_partitions()
             fields["primary"] = cluster.replicas[cluster.primary_index].name
             fields["replicas_alive"] = {
                 r.name: r.alive for r in cluster.replicas

@@ -33,8 +33,9 @@ from typing import Dict, List, Optional
 from repro.durability.recovery import apply_record
 from repro.durability.snapshot import read_snapshot
 from repro.durability.wal import read_committed
+from repro.net.fabric import MSG_RESYNC
 from repro.replication.replica import Replica
-from repro.resilience.errors import SnapshotIntegrityError
+from repro.resilience.errors import PartitionedError, SnapshotIntegrityError
 from repro.resilience.faults import FaultPlan
 
 
@@ -112,7 +113,15 @@ class AntiEntropyScrubber:
             for replica in divergent:
                 if replica is source:
                     continue
-                report.records_resynced += self.repair(cluster, replica, source)
+                try:
+                    report.records_resynced += self.repair(
+                        cluster, replica, source
+                    )
+                except PartitionedError:
+                    # Unreachable across a partition: stays divergent
+                    # (and listed as such) until a later scrub after
+                    # the heal.
+                    continue
                 report.repaired.append(replica.name)
         self.scrubs += 1
         return report
@@ -159,6 +168,20 @@ class AntiEntropyScrubber:
         the cluster's LSN sequence exactly where the source's committed
         history ends.  Returns the number of WAL records resynced.
         """
+        fabric = getattr(cluster, "fabric", None)
+        if fabric is not None and source.name != target.name:
+            # A resync is bulk traffic source -> target: probe the link
+            # with one envelope before moving anything, so a partitioned
+            # target fails here (PartitionedError) with the cluster
+            # untouched rather than mid-swap.
+            fabric.send(
+                source.name,
+                target.name,
+                MSG_RESYNC,
+                None,
+                epoch=getattr(cluster, "commit_epoch", 0),
+                key=("resync", source.name, target.name, source.durable_lsn),
+            )
         if not source.store.snapshots:
             raise SnapshotIntegrityError(
                 f"source replica {source.name!r} has no snapshot to resync from"
@@ -196,6 +219,10 @@ class AntiEntropyScrubber:
             ),
             next_lsn=source.durable_lsn + 1,
         )
+        # The replacement holds the source's current-epoch state, so it
+        # rejoins fully fenced — old-epoch envelopes bounce off it.
+        replacement.fence_epoch = getattr(cluster, "commit_epoch", 0)
+        replacement.log_epoch = getattr(cluster, "commit_epoch", 0)
         cluster.replace_replica(target, replacement)
         self.repairs += 1
         self.records_resynced += resynced

@@ -43,6 +43,24 @@ replicas than a majority — served and counted, never silently) →
 the highest durable LSN is mounted fresh and recovered via
 :func:`~repro.durability.recovery.recover_index`, becoming the new
 primary of a one-machine set).
+
+**Network + fencing** (PR 8): all WAL shipping, lease renewal, and
+anti-entropy resync traffic crosses a
+:class:`~repro.net.fabric.NetworkFabric` in typed envelopes carrying
+idempotency keys — a default fabric is perfect, so the pre-PR-8
+behaviour is unchanged; a chaos fabric drops, duplicates, reorders,
+delays, and partitions per directed link.  Transport failures
+(:class:`~repro.resilience.errors.PartitionedError`) are *never*
+machine faults: they feed no failure-detector streak and kill no
+follower.  With ``lease_ttl > 0`` the set is **fenced**: the commit
+epoch doubles as a fencing token stamped on every envelope, stale
+epochs are rejected at delivery, the primary must renew a counted
+virtual-time lease against a quorum before acknowledging (a write that
+cannot reach a quorum is rolled back and refused — or surfaced as
+indeterminate when even the rollback's fate is unknown), a primary
+whose lease lapses demotes itself to read-only, and elections promote
+only quorum-reachable followers after waiting out the deposed holder's
+lease — split-brain is structurally impossible, not just unlikely.
 """
 
 from __future__ import annotations
@@ -55,12 +73,21 @@ from repro.core.problem import Element, Predicate
 from repro.core.theorem2 import ExpectedTopKIndex
 from repro.durability.durable import DurableTopKIndex
 from repro.durability.wal import OP_DELETE, OP_INSERT, read_committed
+from repro.net.fabric import (
+    MSG_LEASE_RENEW,
+    MSG_RESYNC,
+    MSG_WAL_SHIP,
+    Message,
+    NetworkFabric,
+)
 from repro.replication.antientropy import AntiEntropyScrubber, ScrubReport
 from repro.replication.failover import FailoverController, FailoverPolicy
 from repro.replication.replica import ROLE_FOLLOWER, ROLE_PRIMARY, Replica
 from repro.resilience.errors import (
     FailoverError,
+    FencedError,
     InvalidConfiguration,
+    PartitionedError,
     RecoveryError,
     ReplicaUnavailable,
     SimulatedCrash,
@@ -110,6 +137,13 @@ class ReplicationStats:
     rebuilds: int = 0
     forced_failovers: int = 0
     replica_reboots: int = 0
+    # Network / fencing (PR 8).
+    ship_timeouts: int = 0         # transport-level ship failures (not deaths)
+    ship_retries: int = 0          # idempotent re-sends after a timeout
+    lease_renewals: int = 0
+    lease_expirations: int = 0     # self-demotions of a quorum-less primary
+    quorum_ack_failures: int = 0   # writes that could not reach a majority
+    write_compensations: int = 0   # failed writes rolled back on the primary
 
 
 class ReplicaSet(TopKIndex):
@@ -139,6 +173,14 @@ class ReplicaSet(TopKIndex):
     read_mode / max_staleness:
         Default read mode and the per-replica staleness bound (in LSNs
         behind the primary's applied LSN) a serving replica may carry.
+    fabric:
+        The :class:`~repro.net.fabric.NetworkFabric` carrying all
+        inter-replica traffic.  Omitted, a private perfect fabric is
+        created — identical behaviour to direct calls.
+    lease_ttl:
+        ``> 0`` turns on epoch-fenced leases with this TTL in fabric
+        clock units (module docstring); ``0`` (default) keeps the
+        pre-fencing semantics bit-for-bit.
     """
 
     def __init__(
@@ -156,6 +198,8 @@ class ReplicaSet(TopKIndex):
         failover_policy: Optional[FailoverPolicy] = None,
         fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
         names: Optional[Sequence[str]] = None,
+        fabric: Optional[NetworkFabric] = None,
+        lease_ttl: int = 0,
     ) -> None:
         if num_replicas < 1:
             raise InvalidConfiguration(
@@ -213,7 +257,26 @@ class ReplicaSet(TopKIndex):
         # *lower* applied LSN than its predecessor (an uncommitted tail
         # died with the old machine), so LSN comparison alone cannot
         # validate cached answers across failovers — the epoch can.
+        # With fencing on it doubles as the fencing token.
         self.commit_epoch = 0
+        if lease_ttl < 0:
+            raise InvalidConfiguration(
+                f"lease_ttl must be >= 0, got {lease_ttl}"
+            )
+        self.fabric = fabric if fabric is not None else NetworkFabric(seed=0)
+        self.lease_ttl = lease_ttl
+        self._fenced = lease_ttl > 0
+        self._ship_retries = 1
+        # Highest LSN the current epoch inherited.  A rejoining replica
+        # whose durable log extends past this while its fence epoch is
+        # stale holds a divergent tail from a dead epoch — it must be
+        # resynced, never spliced.
+        self._epoch_base_lsn = 0
+        for name in names:
+            self.fabric.register(name, self._net_receive)
+        if self._fenced:
+            self.failover.configure_lease(lease_ttl)
+            self.failover.grant_lease(self.primary.name, self.fabric.now)
 
     # ------------------------------------------------------------------
     # Membership / health surface
@@ -259,6 +322,160 @@ class ReplicaSet(TopKIndex):
         raise TypeError(f"{type(inner).__name__} does not support membership")
 
     # ------------------------------------------------------------------
+    # Network delivery (the fabric's endpoint handler for every replica)
+    # ------------------------------------------------------------------
+    def _net_receive(self, message: Message):
+        """Apply one delivered envelope at its destination replica.
+
+        Fencing happens *here*, at the resource: a fenced cluster
+        refuses any envelope whose epoch trails the epoch in force —
+        ZooKeeper-style fencing tokens checked by the storage fabric —
+        so a deposed primary's late or retried traffic can never mutate
+        a follower, even one that has not yet heard of the new epoch.
+        """
+        replica = next(
+            (r for r in self.replicas if r.name == message.dst), None
+        )
+        if replica is None:
+            raise ReplicaUnavailable(
+                f"no replica named {message.dst!r}", replica=message.dst
+            )
+        if self._fenced and message.epoch < self.commit_epoch:
+            raise FencedError(
+                f"{message.kind!r} from {message.src!r} carries stale epoch "
+                f"{message.epoch} < {self.commit_epoch}",
+                epoch=message.epoch,
+                current=self.commit_epoch,
+            )
+        replica.require_alive()
+        if self._fenced:
+            replica.fence_epoch = max(replica.fence_epoch, message.epoch)
+        if message.kind == MSG_WAL_SHIP:
+            appended = replica.durable.apply_shipped(
+                message.payload, apply_now=self.apply_mode == APPLY_EAGER
+            )
+            if appended:
+                replica.log_epoch = max(replica.log_epoch, message.epoch)
+                if message.epoch < self.commit_epoch:
+                    # Only reachable unfenced: the ablation's smoking gun.
+                    self.fabric.stats.stale_epoch_applies += 1
+            return appended
+        if message.kind == MSG_LEASE_RENEW:
+            return replica.durable_lsn
+        if message.kind == MSG_RESYNC:
+            return True
+        raise InvalidConfiguration(
+            f"unknown message kind {message.kind!r}"
+        )
+
+    def _electable(self, candidates: List[Replica]) -> List[Replica]:
+        """Raft-style eligibility: a majority must *vote* for the winner.
+
+        Reachability alone is not enough — under an asymmetric cut the
+        most caught-up follower can be unreachable while a stale one
+        still sees a quorum, and promoting the stale one would truncate
+        quorum-acknowledged records at the next resync.  So each live
+        peer grants its vote only to a candidate whose log is at least
+        as up to date as its own, compared by ``(log_epoch,
+        durable_lsn)``: any elected log then covers every record some
+        majority acknowledged, because the ack majority and the vote
+        majority always intersect.  The epoch leads the comparison so a
+        deposed primary's compensation-inflated LSN cannot outrank (or
+        veto) the current epoch's logs.
+        """
+        live = self.live_replicas
+        needed = len(live) // 2 + 1
+        eligible = []
+        for candidate in candidates:
+            ticket = (candidate.log_epoch, candidate.durable_lsn)
+            votes = 0
+            for peer in live:
+                if peer is candidate:
+                    votes += 1
+                elif (
+                    not self.fabric.blocked(candidate.name, peer.name)
+                    and (peer.log_epoch, peer.durable_lsn) <= ticket
+                ):
+                    votes += 1
+            if votes >= needed:
+                eligible.append(candidate)
+        return eligible
+
+    def _ensure_lease(self, primary: Replica) -> None:
+        """Renew (or enforce the lapse of) the primary's fenced lease.
+
+        Renewal is a quorum heartbeat over the fabric.  Failing to
+        renew is tolerated while the old grant lives; once the TTL runs
+        out with no quorum in sight the primary **demotes itself to a
+        read-only follower** and raises :class:`FencedError` — the
+        self-fencing half of the split-brain guarantee (the other half
+        is the election's wait for this very lease to lapse).
+        """
+        controller = self.failover
+        now = self.fabric.now
+        if controller.lease_valid(primary.name, now) and (
+            controller.lease_expires - now > controller.lease_ttl // 2
+        ):
+            return
+        others = [r for r in self.replicas if r is not primary and r.alive]
+        grants = 1  # the primary's own vote
+        for peer in others:
+            try:
+                self.fabric.send(
+                    primary.name,
+                    peer.name,
+                    MSG_LEASE_RENEW,
+                    epoch=self.commit_epoch,
+                    key=("lease", primary.name, peer.name, self.fabric.now),
+                )
+            except (PartitionedError, ReplicaUnavailable, TransientIOError):
+                continue
+            grants += 1
+        if grants >= (len(others) + 1) // 2 + 1:
+            controller.grant_lease(primary.name, self.fabric.now)
+            self.stats.lease_renewals += 1
+            return
+        if controller.lease_valid(primary.name, self.fabric.now):
+            # Renewal failed but the old grant has not lapsed yet; the
+            # primary may keep serving until the TTL runs out.
+            return
+        primary.role = ROLE_FOLLOWER
+        self.stats.lease_expirations += 1
+        self.fabric.stats.lease_expirations += 1
+        raise FencedError(
+            f"primary {primary.name!r} could not renew its lease "
+            f"(expired t={controller.lease_expires}, now t={self.fabric.now});"
+            " demoted to read-only",
+            epoch=self.commit_epoch,
+            current=self.commit_epoch,
+        )
+
+    def _announce_epoch(self, successor: Replica) -> None:
+        """Best-effort fence of every reachable follower at promotion.
+
+        Marks the new epoch on whoever can hear it so fenced reads know
+        which replicas rejoined; followers beyond a partition stay at
+        their stale epoch and are fenced out of serving until a ship at
+        the current epoch reaches them.
+        """
+        successor.fence_epoch = self.commit_epoch
+        for follower in self.live_replicas:
+            if follower is successor:
+                continue
+            try:
+                self.fabric.send(
+                    successor.name,
+                    follower.name,
+                    MSG_LEASE_RENEW,
+                    epoch=self.commit_epoch,
+                    key=("fence", successor.name, follower.name,
+                         self.commit_epoch),
+                )
+            except (PartitionedError, ReplicaUnavailable, FencedError,
+                    TransientIOError):
+                continue
+
+    # ------------------------------------------------------------------
     # Primary election / degradation ladder
     # ------------------------------------------------------------------
     def _require_primary(self) -> Replica:
@@ -268,13 +485,31 @@ class ReplicaSet(TopKIndex):
         return self._elect()
 
     def _elect(self) -> Replica:
-        """Promote the best surviving follower (or rebuild from disk)."""
+        """Promote the best surviving follower (or rebuild from disk).
+
+        Fenced clusters add two safeguards: only a follower that can
+        reach a quorum of live replicas may stand (promoting into the
+        minority side of a partition is exactly the split-brain the
+        leases exist to prevent), and the deposed holder's lease must
+        lapse before the epoch turns — two valid leaseholders never
+        coexist.
+        """
         while True:
             candidates = [r for r in self.replicas if r.alive and not r.is_primary]
+            if self._fenced and candidates:
+                eligible = self._electable(candidates)
+                if not eligible:
+                    raise ReplicaUnavailable(
+                        "no follower can win an election quorum; refusing "
+                        "to promote into the minority side of a partition"
+                    )
+                candidates = eligible
             try:
                 successor = self.failover.pick_successor(candidates)
             except FailoverError:
                 return self._rebuild_from_durable()
+            if self._fenced:
+                self.fabric.advance_to(self.failover.lease_expires)
             try:
                 replayed = self.failover.promote(successor)
             except SimulatedCrash:
@@ -293,6 +528,11 @@ class ReplicaSet(TopKIndex):
             self.stats.promotions += 1
             self.stats.failover_records_replayed += replayed
             self.commit_epoch += 1
+            self._epoch_base_lsn = successor.durable_lsn
+            successor.log_epoch = self.commit_epoch
+            if self._fenced:
+                self.failover.grant_lease(successor.name, self.fabric.now)
+                self._announce_epoch(successor)
             return successor
 
     def _on_primary_death(self, primary: Replica) -> Replica:
@@ -333,6 +573,12 @@ class ReplicaSet(TopKIndex):
             self.primary_index = slot
             self.stats.rebuilds += 1
             self.commit_epoch += 1
+            self._epoch_base_lsn = reborn.durable_lsn
+            reborn.fence_epoch = self.commit_epoch
+            reborn.log_epoch = self.commit_epoch
+            if self._fenced:
+                self.fabric.advance_to(self.failover.lease_expires)
+                self.failover.grant_lease(reborn.name, self.fabric.now)
             self.failover.note_success(reborn.name)
             return reborn
         raise ReplicaUnavailable(
@@ -340,10 +586,20 @@ class ReplicaSet(TopKIndex):
         ) from last_error
 
     def replace_replica(self, old: Replica, new: Replica) -> None:
-        """Swap a rebuilt machine into ``old``'s slot (same role)."""
+        """Swap a rebuilt machine into ``old``'s slot (same role).
+
+        Failure-detector hygiene rides along: fault streaks for names
+        no longer in the cluster are evicted, and the newcomer starts
+        with a clean streak — the machine behind the name is new, and
+        its predecessor's sins must not condemn it.
+        """
         slot = self.replicas.index(old)
         new.role = old.role
         self.replicas[slot] = new
+        if new.name != old.name:
+            self.fabric.register(new.name, self._net_receive)
+        self.failover.evict({r.name for r in self.replicas})
+        self.failover.note_success(new.name)
 
     # ------------------------------------------------------------------
     # Operator levers (pulled by the repro.ops control plane)
@@ -370,7 +626,17 @@ class ReplicaSet(TopKIndex):
                 raise FailoverError(
                     "force_failover needs a live follower to promote"
                 )
+            if self._fenced:
+                candidates = self._electable(candidates)
+                if not candidates:
+                    raise FailoverError(
+                        "force_failover: no follower can win an election "
+                        "quorum; refusing to promote into the minority "
+                        "side of a partition"
+                    )
             successor = self.failover.pick_successor(candidates)
+            if self._fenced:
+                self.fabric.advance_to(self.failover.lease_expires)
             try:
                 replayed = self.failover.promote(successor)
             except SimulatedCrash:
@@ -390,6 +656,11 @@ class ReplicaSet(TopKIndex):
             self.stats.forced_failovers += 1
             self.stats.failover_records_replayed += replayed
             self.commit_epoch += 1
+            self._epoch_base_lsn = successor.durable_lsn
+            successor.log_epoch = self.commit_epoch
+            if self._fenced:
+                self.failover.grant_lease(successor.name, self.fabric.now)
+                self._announce_epoch(successor)
             if old.alive:
                 # The deposed primary's streak starts clean under its
                 # new, lighter follower duty.
@@ -453,22 +724,37 @@ class ReplicaSet(TopKIndex):
 
     def _update(self, op: str, element: Element) -> None:
         retrying = False
+        fence_retries = 0
         while True:
             primary = self._require_primary()
             try:
+                if self._fenced:
+                    # Lease first: a primary that cannot prove it still
+                    # holds the lease must not even log the record.
+                    self._ensure_lease(primary)
                 if retrying and self._already_applied(primary, op, element):
                     # The record crossed before the crash (it is on the
                     # freshest follower, which is now primary) — the op
                     # is done; just make sure it propagates.
-                    self._ship(primary)
+                    self._ship_quorum(primary)
                     return
                 if op == OP_INSERT:
                     primary.durable.insert(element)
                 else:
                     primary.durable.delete(element)
                 self.failover.note_success(primary.name)
-                self._ship(primary)
+                self._ship_quorum(primary, op=op, element=element)
                 return
+            except FencedError:
+                # The lease lapsed and the primary self-demoted; a new
+                # election (possible only where a quorum is reachable)
+                # retries the op under the next epoch.  Bounded: each
+                # retry consumes a fresh election, and elections cannot
+                # outnumber the machines.
+                fence_retries += 1
+                if fence_retries > len(self.replicas) + 2:
+                    raise
+                retrying = True
             except SimulatedCrash:
                 self._on_primary_death(primary)
                 retrying = True
@@ -485,22 +771,116 @@ class ReplicaSet(TopKIndex):
         present = element in inner
         return present if op == OP_INSERT else not present
 
-    def _ship(self, primary: Replica) -> None:
+    def _ship_quorum(
+        self,
+        primary: Replica,
+        op: Optional[str] = None,
+        element: Optional[Element] = None,
+    ) -> None:
+        """Ship, then enforce the quorum-ack contract of a fenced write.
+
+        Unfenced clusters keep the pre-network contract: best-effort
+        shipping, success as soon as the primary logged the record.  A
+        fenced cluster only acknowledges a write once a majority holds
+        it durably; when shipping cannot reach a majority (a partition
+        stranding the primary with a minority), the write is
+        **compensated** — the inverse op is logged and shipped so the
+        minority side never serves a value the client was told failed —
+        and the client sees a *definite* failure.  Only when the
+        compensation itself cannot be confirmed does the client get an
+        indeterminate verdict (``PartitionedError(indeterminate=True)``,
+        the history checker's ``info``).
+        """
+        acked, needed = self._ship(primary)
+        if not self._fenced or acked >= needed:
+            return
+        self.stats.quorum_ack_failures += 1
+        if op is None or element is None:
+            # Nothing to unwind (idempotent re-ship of an old record):
+            # the caller's op may or may not be majority-durable.
+            raise PartitionedError(
+                "write could not reach a majority", indeterminate=True
+            )
+        inverse = OP_DELETE if op == OP_INSERT else OP_INSERT
+        try:
+            if inverse == OP_INSERT:
+                primary.durable.insert(element)
+            else:
+                primary.durable.delete(element)
+        except SimulatedCrash:
+            primary.mark_dead()
+            self.stats.primary_crashes += 1
+            raise PartitionedError(
+                "write could not reach a majority and the compensating "
+                "record crashed the primary",
+                indeterminate=True,
+            ) from None
+        except TransientIOError:
+            raise PartitionedError(
+                "write could not reach a majority and the compensating "
+                "record could not be logged",
+                indeterminate=True,
+            ) from None
+        self.stats.write_compensations += 1
+        acked2, _ = self._ship(primary)
+        if acked2 >= acked:
+            # The compensation reached everyone the original did: no
+            # replica anywhere holds the op un-reverted, so the failure
+            # is definite.
+            raise PartitionedError(
+                "write could not reach a majority (compensated)",
+                indeterminate=False,
+            )
+        raise PartitionedError(
+            "write could not reach a majority; compensation reached "
+            "fewer replicas than the original",
+            indeterminate=True,
+        )
+
+    def _ship(self, primary: Replica) -> tuple:
         """Ship the primary's committed tail to every live follower.
 
-        A crash while *reading* the primary's log is the primary's
-        death and propagates to the caller; a fault on a *follower*
-        only costs that follower (dead or skipped until the next ship —
-        its durable LSN watermark makes re-shipping resume exactly
-        where it left off).
+        Returns ``(acked, needed)`` — machines (primary included) that
+        durably hold the tail vs. the majority threshold.  A crash
+        while *reading* the primary's log is the primary's death and
+        propagates to the caller; a fault on a *follower* only costs
+        that follower (dead or skipped until the next ship — its
+        durable LSN watermark makes re-shipping resume exactly where it
+        left off).  A :class:`PartitionedError` is a property of the
+        *link*, not the machine: it never feeds the failure detector's
+        streak and never condemns the follower.
         """
         # Complete any group commit whose flush faulted transiently.
         primary.durable.commit()
         committed = primary.durable.committed_lsn
-        for follower in self.replicas:
+        acked = 1  # the primary's own log
+        for follower in list(self.replicas):
             if follower is primary or not follower.alive:
                 continue
+            if (
+                self._fenced
+                and follower.log_epoch < self.commit_epoch
+                and follower.durable_lsn > self._epoch_base_lsn
+            ):
+                # The follower carries records from a dead epoch past
+                # the fork point (a deposed primary rejoining): its
+                # tail would splice by LSN but diverge by content.
+                # Full snapshot resync, checked *before* the watermark
+                # skip — such a follower can look "caught up".
+                self.stats.resyncs += 1
+                try:
+                    self.scrubber.repair(self, follower, primary)
+                except PartitionedError:
+                    self.stats.ship_failures += 1
+                    self.stats.ship_timeouts += 1
+                    continue
+                except (RecoveryError, SnapshotIntegrityError):
+                    self.stats.ship_failures += 1
+                    continue
+                acked += 1
+                continue
             if follower.durable_lsn >= committed:
+                acked += 1
                 continue
             groups, _ = read_committed(
                 primary.store,
@@ -508,9 +888,15 @@ class ReplicaSet(TopKIndex):
                 after_lsn=follower.durable_lsn,
             )
             try:
-                appended = follower.durable.apply_shipped(
-                    groups, apply_now=self.apply_mode == APPLY_EAGER
-                )
+                appended = self._ship_groups(primary, follower, groups)
+            except PartitionedError:
+                # Link trouble, not machine trouble: no streak, no
+                # death.  The watermark resumes the ship after heal.
+                self.stats.ship_failures += 1
+                self.stats.ship_timeouts += 1
+                continue
+            except ReplicaUnavailable:
+                continue
             except SimulatedCrash:
                 follower.mark_dead()
                 self.stats.follower_deaths += 1
@@ -525,13 +911,60 @@ class ReplicaSet(TopKIndex):
                 # The tail no longer splices (the primary checkpointed
                 # past this follower's watermark): full snapshot resync.
                 self.stats.resyncs += 1
-                self.scrubber.repair(self, follower, primary)
+                try:
+                    self.scrubber.repair(self, follower, primary)
+                except PartitionedError:
+                    self.stats.ship_failures += 1
+                    self.stats.ship_timeouts += 1
+                    continue
+                acked += 1
                 continue
             if appended:
                 self.stats.groups_shipped += len(groups)
                 self.stats.records_shipped += appended
                 self.stats.acks += 1
-                self.failover.note_success(follower.name)
+            self.failover.note_success(follower.name)
+            acked += 1
+        needed = len(self.live_replicas) // 2 + 1
+        return acked, needed
+
+    def _ship_groups(self, primary: Replica, follower: Replica, groups) -> int:
+        """One WAL-ship envelope over the fabric, idempotently retried.
+
+        The idempotency key is derived from the *content* of the ship
+        (epoch + both watermarks), so a retry after an indeterminate
+        transport verdict reuses the same key and a duplicate delivery
+        is absorbed by the receiver's dedupe cache rather than applied
+        twice.
+        """
+        key = (
+            "ship",
+            primary.name,
+            follower.name,
+            self.commit_epoch,
+            follower.durable_lsn,
+            primary.durable.committed_lsn,
+        )
+        attempt = 0
+        while True:
+            try:
+                return self.fabric.send(
+                    primary.name,
+                    follower.name,
+                    MSG_WAL_SHIP,
+                    groups,
+                    epoch=self.commit_epoch,
+                    key=key,
+                )
+            except PartitionedError as exc:
+                if exc.indeterminate and attempt < self._ship_retries:
+                    # A transport timeout: the ship *may* have landed.
+                    # Retrying with the same key is safe — if it did,
+                    # the dedupe cache answers for it.
+                    attempt += 1
+                    self.stats.ship_retries += 1
+                    continue
+                raise
 
     # ------------------------------------------------------------------
     # Alignment barrier (scrub / checkpoint substrate)
@@ -624,6 +1057,17 @@ class ReplicaSet(TopKIndex):
             (r for r in self.live_replicas if not r.is_primary),
             key=lambda r: r.name,
         ):
+            if (
+                self._fenced
+                and follower.log_epoch < self.commit_epoch
+                and follower.durable_lsn > self._epoch_base_lsn
+            ):
+                # A dead-epoch tail past the fork point: divergent,
+                # cannot serve (same rule as _serve).  Note this is a
+                # *log* test — a lease heartbeat heard over a half-open
+                # link must not launder a divergent replica back in.
+                self.stats.stale_fallbacks += 1
+                continue
             try:
                 if follower.applied_lsn < required:
                     follower.durable.replay_unapplied()
@@ -663,10 +1107,21 @@ class ReplicaSet(TopKIndex):
         return self._query_quorum(predicate, k, staleness, kwargs)
 
     def _query_primary(self, predicate: Predicate, k: int, kwargs: dict) -> List[Element]:
+        fence_retries = 0
         while True:
             primary = self._require_primary()
             try:
+                if self._fenced:
+                    # Linearizable reads need the same lease proof as
+                    # writes: a deposed primary stranded in a minority
+                    # must not serve a read that misses newer-epoch
+                    # writes on the majority side.
+                    self._ensure_lease(primary)
                 return primary.durable.query(predicate, k, **kwargs)
+            except FencedError:
+                fence_retries += 1
+                if fence_retries > len(self.replicas) + 2:
+                    raise
             except SimulatedCrash:
                 self._on_primary_death(primary)
 
@@ -685,6 +1140,23 @@ class ReplicaSet(TopKIndex):
         acked), it cannot serve and the read falls elsewhere.
         """
         replica.require_alive()
+        if (
+            self._fenced
+            and not replica.is_primary
+            and replica.log_epoch < self.commit_epoch
+            and replica.durable_lsn > self._epoch_base_lsn
+        ):
+            # A dead-epoch tail past the fork point (a deposed primary
+            # rejoining): its applied LSN can look *fresher* than the
+            # truth while its content is wrong.  It cannot serve until
+            # resynced — and merely having heard the new epoch over a
+            # half-open link does not clear it.
+            raise _StaleRead(
+                f"replica {replica.name!r} log epoch "
+                f"{replica.log_epoch} < commit epoch {self.commit_epoch} "
+                "with a divergent tail",
+                replica=replica.name,
+            )
         if replica.applied_lsn < required_lsn:
             replica.durable.replay_unapplied()
         if replica.applied_lsn < required_lsn:

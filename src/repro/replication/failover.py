@@ -61,6 +61,12 @@ class FailoverController:
         self._consecutive: Dict[str, int] = {}
         self.promotions = 0
         self.records_replayed = 0
+        # Fenced-lease state (counted virtual time; see ReplicaSet).
+        # lease_ttl == 0 means leases are off and every lease check is
+        # vacuously false — the pre-fencing behaviour.
+        self.lease_ttl = 0
+        self.lease_holder: Optional[str] = None
+        self.lease_expires = 0
 
     # ------------------------------------------------------------------
     # Failure detection
@@ -84,6 +90,43 @@ class FailoverController:
 
     def fault_streak(self, name: str) -> int:
         return self._consecutive.get(name, 0)
+
+    def evict(self, active_names) -> List[str]:
+        """Drop fault streaks of machines no longer in the cluster.
+
+        A replaced replica's streak must not outlive it: the
+        anti-entropy rebuild that swapped it out produced a *new*
+        machine, and a stale streak would condemn the newcomer (or a
+        later same-named replacement) for its predecessor's sins.
+        Returns the evicted names.
+        """
+        active = set(active_names)
+        gone = [name for name in self._consecutive if name not in active]
+        for name in gone:
+            del self._consecutive[name]
+        return gone
+
+    # ------------------------------------------------------------------
+    # Fenced leases (counted virtual time)
+    # ------------------------------------------------------------------
+    def configure_lease(self, ttl: int) -> None:
+        """Turn leases on with a TTL in fabric clock units."""
+        if ttl < 1:
+            raise InvalidConfiguration(f"lease ttl must be >= 1, got {ttl}")
+        self.lease_ttl = ttl
+
+    def grant_lease(self, name: str, now: int) -> None:
+        """Grant (or renew) the primary lease to ``name`` at time ``now``."""
+        self.lease_holder = name
+        self.lease_expires = now + self.lease_ttl
+
+    def lease_valid(self, name: str, now: int) -> bool:
+        """Whether ``name`` holds an unexpired lease at time ``now``."""
+        return (
+            self.lease_ttl > 0
+            and self.lease_holder == name
+            and now < self.lease_expires
+        )
 
     # ------------------------------------------------------------------
     # Election

@@ -89,6 +89,18 @@ class Replica:
         )
         self.role = ROLE_FOLLOWER
         self.alive = True
+        # Highest fencing epoch this machine has acknowledged.  A
+        # fenced cluster stamps it on every accepted envelope; a
+        # replica whose fence_epoch trails the cluster's commit epoch
+        # has not yet rejoined the current regime and may neither serve
+        # reads nor splice a divergent tail.
+        self.fence_epoch = 0
+        # Epoch of the last *log mutation* (ship, resync, promotion).
+        # Distinct from fence_epoch on purpose: merely hearing the new
+        # epoch (a lease heartbeat over a half-open link) proves
+        # nothing about the log's content, and divergence decisions
+        # must key off what the log actually received.
+        self.log_epoch = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -117,6 +129,8 @@ class Replica:
         self.durable = durable
         self.role = ROLE_FOLLOWER
         self.alive = True
+        self.fence_epoch = 0
+        self.log_epoch = 0
         return self
 
     # ------------------------------------------------------------------

@@ -273,6 +273,55 @@ class ShardUnavailable(ReplicaUnavailable):
         self.shard = shard
 
 
+class PartitionedError(ReproError):
+    """A message could not cross a network link.
+
+    Deliberately *not* a :class:`TransientIOError`: a transport failure
+    says nothing about the health of the machine behind the link, so it
+    must never feed the failure detector's per-machine fault streaks —
+    condemning a healthy replica because the wire to it is down is how
+    real systems turn a partition into an outage.
+
+    ``indeterminate`` is the crucial bit.  ``False`` means the fabric
+    *knows* the message never arrived (the link is partitioned — the
+    send was refused outright).  ``True`` means the sender timed out:
+    the message **may have been delivered** and only the reply lost, so
+    a retry must be idempotent (carry the same idempotency key) and an
+    acknowledged-side effect may exist even though the caller saw a
+    failure — the history checker's ``info`` verdict.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        indeterminate: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.indeterminate = indeterminate
+
+
+class FencedError(ReproError):
+    """A message carried a fencing epoch older than the current one.
+
+    Raised at the *receiver* when a deposed primary (or any stale
+    sender) ships records stamped with a dead epoch, and at the *old
+    primary itself* when it fails to renew its lease and self-demotes.
+    Not retryable at the same epoch: the sender must rejoin the cluster
+    (resync, observe the new epoch) before it may write again.
+    ``epoch`` is the stale epoch the message carried; ``current`` the
+    fencing epoch in force.
+    """
+
+    def __init__(self, message: str, epoch: int = 0, current: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.current = current
+
+
 class StaleShardMap(ReproError):
     """A scatter-gather ran against a shard map that changed mid-flight.
 
@@ -308,6 +357,8 @@ __all__ = [
     "ReplicaUnavailable",
     "ShardUnavailable",
     "StaleShardMap",
+    "PartitionedError",
+    "FencedError",
     "FailoverError",
     "WALShippingGap",
     "AdmissionRejected",

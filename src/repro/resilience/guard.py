@@ -269,6 +269,9 @@ class HealthSummary:
     hedge_wins: int = 0
     scrub_repairs: int = 0
     replica_lag: Dict[str, int] = field(default_factory=dict)
+    partitions_active: int = 0
+    fenced_rejects: int = 0
+    lease_expirations: int = 0
     served_queries: int = 0
     served_batches: int = 0
     cache_hits: int = 0
@@ -315,11 +318,18 @@ class HealthSummary:
         guard does) to keep the mirror current.
         """
         stats = cluster.stats
+        fabric = getattr(cluster, "fabric", None)
         with self._lock:
             self.promotions = stats.promotions
             self.hedge_wins = stats.hedge_wins
             self.scrub_repairs = stats.scrub_repairs
             self.replica_lag = cluster.replica_lag()
+            if fabric is not None:
+                # The network's health rides the same mirror: active
+                # partition windows are a gauge, the rest cumulative.
+                self.partitions_active = fabric.active_partitions()
+                self.fenced_rejects = fabric.stats.fenced_rejects
+                self.lease_expirations = fabric.stats.lease_expirations
 
     def record_serving(self, engine) -> None:
         """Mirror a :class:`~repro.serving.engine.ServingEngine`'s health.

@@ -75,11 +75,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.interfaces import TopKIndex
 from repro.core.problem import Element, Predicate, require_distinct_weights
 from repro.durability.durable import DurableTopKIndex
+from repro.net.fabric import MSG_PROBE, Message, NetworkFabric
 from repro.replication.cluster import ReplicaSet
 from repro.replication.replica import Replica
 from repro.resilience.errors import (
     ContractViolation,
     InvalidConfiguration,
+    PartitionedError,
     RecoveryError,
     ReplicaUnavailable,
     ShardUnavailable,
@@ -116,6 +118,7 @@ class ShardingStats:
     shard_recoveries: int = 0
     partial_answers: int = 0
     parallel_batches: int = 0
+    unreachable_probes: int = 0  # probes refused/lost by the fabric
 
     @property
     def contact_ratio(self) -> float:
@@ -160,6 +163,16 @@ class ShardedTopKIndex(TopKIndex):
     fault_plans:
         Optional per-shard chaos schedules (durable shards only),
         bound to each shard machine's disk.
+    fabric / coordinator:
+        Route every scatter-gather probe over a
+        :class:`~repro.net.fabric.NetworkFabric` as a ``coordinator ->
+        shard`` :data:`~repro.net.fabric.MSG_PROBE` envelope.  A probe
+        that cannot cross (partition, persistent loss) degrades through
+        the ordinary shard-loss rungs — ``None`` with ``allow_partial``,
+        :class:`ShardUnavailable` otherwise — and is counted in
+        :attr:`ShardingStats.unreachable_probes`.  ``fabric=None`` (the
+        default) keeps probes in-process, byte-for-byte the pre-network
+        behaviour.
     """
 
     def __init__(
@@ -181,6 +194,8 @@ class ShardedTopKIndex(TopKIndex):
         max_map_retries: int = 4,
         fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
         replica_set_kwargs: Optional[dict] = None,
+        fabric: Optional[NetworkFabric] = None,
+        coordinator: str = "coordinator",
     ) -> None:
         if num_shards < 1:
             raise InvalidConfiguration(f"num_shards must be >= 1, got {num_shards}")
@@ -204,6 +219,9 @@ class ShardedTopKIndex(TopKIndex):
         self.replicas_per_shard = replicas_per_shard
         self.allow_partial = allow_partial
         self.replica_set_kwargs = dict(replica_set_kwargs or {})
+        self.fabric = fabric
+        self.coordinator = coordinator
+        self._probe_serial = 0
         self.stats = ShardingStats()
         self._query_local = threading.local()
         self._weights = {element.weight for element in elements}
@@ -434,7 +452,22 @@ class ShardedTopKIndex(TopKIndex):
                         raise SimulatedCrash(
                             f"shard {shard.name!r} machine is down"
                         )
-                    return shard.backend.query(predicate, k_prime)
+                    return self._backend_query(shard, predicate, k_prime)
+            except PartitionedError:
+                # A link problem, not a machine problem: the shard is
+                # fine, we just cannot reach it.  Degrade through the
+                # same partial/raise rungs as an unrecoverable shard —
+                # but touch no machine state and no recovery path.
+                with self._stats_lock:
+                    self.stats.unreachable_probes += 1
+                if trace.partial_ok:
+                    trace.shard_losses += 1
+                    return None
+                raise ShardUnavailable(
+                    f"shard {shard.name!r} is unreachable across a "
+                    "partition",
+                    shard=shard.name,
+                ) from None
             except SimulatedCrash:
                 if shard.machine is not None:
                     shard.machine.mark_dead()
@@ -459,6 +492,51 @@ class ShardedTopKIndex(TopKIndex):
             f"shard {shard.name!r} died again immediately after recovery",
             shard=shard.name,
         )
+
+    def _backend_query(
+        self, shard: Shard, predicate: Predicate, k_prime: int
+    ) -> List[Element]:
+        """One backend probe, over the fabric when one is attached.
+
+        The envelope's idempotency key is reused across the retry after
+        an indeterminate transport verdict: a probe is a read, so a
+        duplicate execution is harmless, and the shared key lets the
+        receiver's dedupe cache answer for a delivery that *did* land.
+        Endpoints register lazily (by shard name, resolved at receive
+        time) so shards born from online splits are reachable without
+        any coordination.
+        """
+        if self.fabric is None:
+            return shard.backend.query(predicate, k_prime)
+        self.fabric.register(shard.name, self._probe_receive)
+        with self._stats_lock:
+            self._probe_serial += 1
+            serial = self._probe_serial
+        key = ("probe", self.coordinator, shard.name, serial)
+        for attempt in range(2):
+            try:
+                return self.fabric.send(
+                    self.coordinator,
+                    shard.name,
+                    MSG_PROBE,
+                    (predicate, k_prime),
+                    key=key,
+                )
+            except PartitionedError as exc:
+                if exc.indeterminate and attempt == 0:
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _probe_receive(self, message: Message) -> List[Element]:
+        """Fabric endpoint handler: resolve the shard *now* and probe it."""
+        shard = self.router.shards.get(message.dst)
+        if shard is None:
+            raise ShardUnavailable(
+                f"no shard named {message.dst!r}", shard=message.dst
+            )
+        predicate, k_prime = message.payload
+        return shard.backend.query(predicate, k_prime)
 
     # ------------------------------------------------------------------
     # Batched / parallel execution

@@ -1,0 +1,56 @@
+"""Shared builders for the network/fencing test suite.
+
+Mirrors ``tests/replication/conftest.py`` — toy-backed clusters — but
+every builder threads a caller-supplied :class:`NetworkFabric` and
+(optionally) a lease TTL through, since that is the whole point here.
+(Named ``net_util`` rather than living in the conftest so the import
+cannot collide with other suites' conftests under rootdir collection.)
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Element
+from repro.core.theorem2 import ExpectedTopKIndex
+from repro.net import NetworkFabric
+from repro.replication import ReplicaSet
+from toy import ToyMax, ToyPrioritized
+
+LEASE_TTL = 48
+
+
+def elem(i: int) -> Element:
+    return Element(i, 1000.0 + i)
+
+
+def build_fn(elements):
+    # The seed is pinned: every replica must build bit-for-bit alike.
+    return ExpectedTopKIndex(elements, ToyPrioritized, ToyMax, B=2, seed=3)
+
+
+def restore_fn(state):
+    return ExpectedTopKIndex.restore(state, ToyPrioritized, ToyMax)
+
+
+def make_cluster(
+    n=40, num_replicas=3, fabric=None, lease_ttl=0, **kwargs
+) -> ReplicaSet:
+    kwargs.setdefault("B", 8)
+    return ReplicaSet(
+        [elem(i) for i in range(n)],
+        build_fn,
+        restore_fn,
+        num_replicas=num_replicas,
+        fabric=fabric,
+        lease_ttl=lease_ttl,
+        **kwargs,
+    )
+
+
+def make_fenced(n=40, num_replicas=3, seed=0, **kwargs):
+    """A fenced cluster plus its fabric (most tests want both)."""
+    fabric = NetworkFabric(seed=seed)
+    cluster = make_cluster(
+        n=n, num_replicas=num_replicas, fabric=fabric,
+        lease_ttl=LEASE_TTL, **kwargs,
+    )
+    return cluster, fabric

@@ -1,0 +1,234 @@
+"""Unit tests of the fabric itself: links, faults, dedupe, the clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import LinkPlan, NetworkFabric
+from repro.resilience.errors import (
+    FencedError,
+    InvalidConfiguration,
+    PartitionedError,
+)
+
+
+def echo_endpoint(fabric, name="b"):
+    """Register a counting echo handler; returns the call log."""
+    calls = []
+
+    def handler(message):
+        calls.append(message)
+        return ("echo", message.payload)
+
+    fabric.register(name, handler)
+    return calls
+
+
+class TestPerfectFabric:
+    def test_send_invokes_handler_and_returns_reply(self):
+        fabric = NetworkFabric(seed=0)
+        calls = echo_endpoint(fabric)
+        assert fabric.send("a", "b", "probe", 42) == ("echo", 42)
+        assert len(calls) == 1
+        assert calls[0].src == "a" and calls[0].kind == "probe"
+
+    def test_clock_advances_per_send_plus_delay(self):
+        fabric = NetworkFabric(seed=0)
+        echo_endpoint(fabric)
+        fabric.send("a", "b", "probe")
+        assert fabric.now == 1
+        fabric.link("a", "b").plan.delay = 3
+        fabric.send("a", "b", "probe")
+        assert fabric.now == 5
+
+    def test_unregistered_endpoint_is_definite_failure(self):
+        fabric = NetworkFabric(seed=0)
+        with pytest.raises(PartitionedError) as err:
+            fabric.send("a", "nowhere", "probe")
+        assert not err.value.indeterminate
+
+
+class TestLinkPlanValidation:
+    def test_rates_validated(self):
+        with pytest.raises(InvalidConfiguration):
+            LinkPlan(drop_rate=1.5)
+        with pytest.raises(InvalidConfiguration):
+            LinkPlan(drop_rate=0.6, dup_rate=0.6)
+        with pytest.raises(InvalidConfiguration):
+            LinkPlan(reorder_window=0)
+        with pytest.raises(InvalidConfiguration):
+            LinkPlan(delay=-1)
+
+
+class TestPartitions:
+    def test_window_refuses_definitely(self):
+        fabric = NetworkFabric(seed=0)
+        echo_endpoint(fabric)
+        fabric.partition("a", "b", start=0, end=100)
+        with pytest.raises(PartitionedError) as err:
+            fabric.send("a", "b", "probe")
+        assert not err.value.indeterminate
+        assert fabric.stats.partition_refusals == 1
+
+    def test_window_expires_with_the_clock(self):
+        fabric = NetworkFabric(seed=0)
+        echo_endpoint(fabric)
+        fabric.partition("a", "b", start=0, end=10)
+        fabric.advance_to(10)
+        assert fabric.send("a", "b", "probe", 1) == ("echo", 1)
+
+    def test_asymmetric_partition_one_direction_only(self):
+        fabric = NetworkFabric(seed=0)
+        echo_endpoint(fabric, "a")
+        echo_endpoint(fabric, "b")
+        fabric.partition("a", "b", start=0, end=100, symmetric=False)
+        with pytest.raises(PartitionedError):
+            fabric.send("a", "b", "probe")
+        assert fabric.send("b", "a", "probe", 9) == ("echo", 9)
+
+    def test_isolate_cuts_both_directions(self):
+        fabric = NetworkFabric(seed=0)
+        for name in ("a", "b", "c"):
+            echo_endpoint(fabric, name)
+        fabric.isolate("a", ["b", "c"], start=0, end=100)
+        for peer in ("b", "c"):
+            with pytest.raises(PartitionedError):
+                fabric.send("a", peer, "probe")
+            with pytest.raises(PartitionedError):
+                fabric.send(peer, "a", "probe")
+        assert fabric.send("b", "c", "probe", 5) == ("echo", 5)
+        assert fabric.active_partitions() == 4
+
+    def test_heal_clears_windows_but_not_rates(self):
+        fabric = NetworkFabric(seed=0)
+        echo_endpoint(fabric)
+        fabric.partition("a", "b", start=0, end=None)
+        fabric.link("a", "b").plan.drop_rate = 0.5
+        assert fabric.heal() == 2  # both directions had windows
+        assert fabric.active_partitions() == 0
+        assert fabric.link("a", "b").plan.drop_rate == 0.5
+
+
+class TestChaos:
+    def test_drops_surface_as_indeterminate_timeouts(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        fabric.link("a", "b").plan.drop_rate = 1.0
+        for _ in range(20):
+            with pytest.raises(PartitionedError) as err:
+                fabric.send("a", "b", "probe", key=None)
+            assert err.value.indeterminate
+        assert fabric.stats.drops == 20
+        # Roughly half are reply-drops: the handler DID run for those.
+        assert fabric.stats.reply_drops == len(calls)
+        assert 0 < fabric.stats.reply_drops < 20
+
+    def test_retry_after_reply_drop_dedupes(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        link = fabric.link("a", "b")
+        # Force reply-drops until one happens, then retry clean.
+        link.plan.drop_rate = 1.0
+        ran = 0
+        while not calls:
+            with pytest.raises(PartitionedError):
+                fabric.send("a", "b", "probe", "payload", key="op-1")
+            ran += 1
+        link.plan.drop_rate = 0.0
+        reply = fabric.send("a", "b", "probe", "payload", key="op-1")
+        assert reply == ("echo", "payload")
+        # The retry was answered from the dedupe cache: handler ran once.
+        assert len(calls) == 1
+        assert fabric.stats.duplicates_detected == 1
+
+    def test_duplicate_delivery_absorbed_by_key(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        fabric.link("a", "b").plan.dup_rate = 1.0
+        reply = fabric.send("a", "b", "probe", 7, key="op-dup")
+        assert reply == ("echo", 7)
+        assert fabric.stats.duplicates == 1
+        # Handler ran once for real; the duplicate hit the cache.
+        assert len(calls) == 1
+        assert fabric.stats.duplicates_detected == 1
+
+    def test_duplicate_without_key_runs_handler_twice(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        fabric.link("a", "b").plan.dup_rate = 1.0
+        fabric.send("a", "b", "probe", 7, key=None)
+        assert len(calls) == 2
+
+    def test_reordered_message_delivered_late(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        link = fabric.link("a", "b")
+        link.plan.reorder_rate = 1.0
+        link.plan.reorder_window = 2
+        with pytest.raises(PartitionedError) as err:
+            fabric.send("a", "b", "probe", "old", key="held")
+        assert err.value.indeterminate
+        assert fabric.stats.reorders_held == 1
+        assert not calls
+        link.plan.reorder_rate = 0.0
+        fabric.send("a", "b", "probe", "new-1", key="n1")
+        fabric.send("a", "b", "probe", "new-2", key="n2")
+        fabric.send("a", "b", "probe", "new-3", key="n3")
+        # The held message was flushed behind the younger traffic.
+        assert [m.payload for m in calls][-1] in ("old", "new-3")
+        assert "old" in [m.payload for m in calls]
+        assert calls[0].payload == "new-1"
+        assert fabric.stats.late_deliveries == 1
+
+    def test_flush_all_holdback_drains_everything(self):
+        fabric = NetworkFabric(seed=1)
+        calls = echo_endpoint(fabric)
+        link = fabric.link("a", "b")
+        link.plan.reorder_rate = 1.0
+        link.plan.reorder_window = 100
+        for i in range(3):
+            with pytest.raises(PartitionedError):
+                fabric.send("a", "b", "probe", i, key=("h", i))
+        assert not calls
+        fabric.flush_all_holdback()
+        assert [m.payload for m in calls] == [0, 1, 2]
+
+    def test_late_delivery_swallows_handler_errors(self):
+        fabric = NetworkFabric(seed=1)
+
+        def fencer(message):
+            raise FencedError("stale", epoch=message.epoch, current=5)
+
+        fabric.register("b", fencer)
+        link = fabric.link("a", "b")
+        link.plan.reorder_rate = 1.0
+        with pytest.raises(PartitionedError):
+            fabric.send("a", "b", "probe", key="held")
+        fabric.flush_all_holdback()  # must not raise
+        assert fabric.stats.fenced_rejects == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        outcomes = []
+        for _ in range(2):
+            fabric = NetworkFabric(seed=42)
+            echo_endpoint(fabric)
+            fabric.link("a", "b").plan.drop_rate = 0.4
+            fabric.link("a", "b").plan.dup_rate = 0.2
+            run = []
+            for i in range(40):
+                try:
+                    fabric.send("a", "b", "probe", i, key=("d", i))
+                    run.append("ok")
+                except PartitionedError:
+                    run.append("timeout")
+            outcomes.append((run, fabric.stats.drops, fabric.stats.duplicates))
+        assert outcomes[0] == outcomes[1]
+
+    def test_links_draw_independently(self):
+        fabric = NetworkFabric(seed=42)
+        assert (
+            fabric.link("a", "b").rng.random()
+            != fabric.link("b", "a").rng.random()
+        )

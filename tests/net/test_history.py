@@ -1,0 +1,193 @@
+"""The offline checker: clean histories pass, each violation is caught."""
+
+from __future__ import annotations
+
+from net_util import elem
+from repro.core.problem import Element
+from repro.net import HistoryRecorder, check_history
+from repro.net.history import (
+    INCONSISTENT_READ,
+    LOST_ACK_WRITE,
+    MALFORMED_ANSWER,
+    UNACKED_VISIBLE,
+)
+from toy import RangePredicate
+
+ALL = RangePredicate(-1e9, 1e9)
+
+
+def topk(elements, k, predicate=ALL):
+    return sorted(
+        (e for e in elements if predicate.matches(e.obj)),
+        key=lambda e: -e.weight,
+    )[:k]
+
+
+class TestCleanHistories:
+    def test_reads_over_initial_state(self):
+        initial = [elem(i) for i in range(10)]
+        rec = HistoryRecorder()
+        op = rec.invoke_query(ALL, 4)
+        rec.ok(op, topk(initial, 4))
+        res = check_history(rec.events, initial)
+        assert res.ok and res.exact_reads == 1
+
+    def test_acked_insert_then_visible(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        new = elem(50)
+        op = rec.invoke_insert(new)
+        rec.ok(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial + [new], 3))
+        res = check_history(rec.events, initial)
+        assert res.ok and res.ok_writes == 1
+
+    def test_acked_delete_then_absent(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_delete(initial[-1])
+        rec.ok(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial[:-1], 3))
+        assert check_history(rec.events, initial).ok
+
+    def test_failed_insert_never_visible_is_fine(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(elem(50))
+        rec.fail(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial, 3))
+        res = check_history(rec.events, initial)
+        assert res.ok and res.failed_writes == 1
+
+    def test_short_answer_when_fewer_match(self):
+        initial = [elem(i) for i in range(3)]
+        rec = HistoryRecorder()
+        op = rec.invoke_query(ALL, 10)
+        rec.ok(op, topk(initial, 10))
+        assert check_history(rec.events, initial).ok
+
+
+class TestIndeterminateResolution:
+    def test_info_insert_may_appear(self):
+        initial = [elem(i) for i in range(5)]
+        new = elem(50)
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(new)
+        rec.info(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial + [new], 3))
+        res = check_history(rec.events, initial)
+        assert res.ok and res.resolved_applied == 1
+
+    def test_info_insert_may_be_absent(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(elem(50))
+        rec.info(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial, 3))
+        res = check_history(rec.events, initial)
+        assert res.ok and res.resolved_unapplied == 1
+
+    def test_resolution_is_binding_flip_flop_is_caught(self):
+        initial = [elem(i) for i in range(5)]
+        new = elem(50)
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(new)
+        rec.info(op)
+        # First read: absent above the cut-off => resolved unapplied.
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial, 3))
+        # Second read: suddenly present => a phantom.
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial + [new], 3))
+        res = check_history(rec.events, initial)
+        assert not res.ok
+        assert UNACKED_VISIBLE in res.kinds()
+
+    def test_below_cutoff_stays_ambiguous(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        ghost = Element(100, 1.0)  # lightest of all
+        op = rec.invoke_insert(ghost)
+        rec.info(op)
+        # k=2 read: the ghost is below the cut-off either way, so the
+        # ambiguity survives and BOTH later outcomes stay legal.
+        op = rec.invoke_query(ALL, 2)
+        rec.ok(op, topk(initial, 2))
+        op = rec.invoke_query(ALL, 10)
+        rec.ok(op, topk(initial + [ghost], 10))
+        assert check_history(rec.events, initial).ok
+
+
+class TestViolations:
+    def test_lost_acknowledged_write(self):
+        initial = [elem(i) for i in range(5)]
+        new = elem(50)  # heaviest
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(new)
+        rec.ok(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial, 3))  # new element missing!
+        res = check_history(rec.events, initial)
+        assert not res.ok and res.kinds() == [LOST_ACK_WRITE]
+
+    def test_failed_write_visible(self):
+        initial = [elem(i) for i in range(5)]
+        new = elem(50)
+        rec = HistoryRecorder()
+        op = rec.invoke_insert(new)
+        rec.fail(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial + [new], 3))  # phantom!
+        res = check_history(rec.events, initial)
+        assert not res.ok and UNACKED_VISIBLE in res.kinds()
+
+    def test_never_written_element_visible(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial + [elem(99)], 3))
+        res = check_history(rec.events, initial)
+        assert not res.ok and UNACKED_VISIBLE in res.kinds()
+
+    def test_acked_delete_still_visible(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_delete(initial[-1])
+        rec.ok(op)
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, topk(initial, 3))  # the deleted one resurfaces
+        res = check_history(rec.events, initial)
+        assert not res.ok and UNACKED_VISIBLE in res.kinds()
+
+    def test_wrong_order_is_malformed(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, list(reversed(topk(initial, 3))))
+        res = check_history(rec.events, initial)
+        assert not res.ok and res.kinds() == [MALFORMED_ANSWER]
+
+    def test_not_the_exact_topk_is_inconsistent(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        # Legal shape, every element real — but it skipped the heaviest.
+        answer = topk(initial, 4)[1:]
+        op = rec.invoke_query(ALL, 3)
+        rec.ok(op, answer)
+        res = check_history(rec.events, initial)
+        assert not res.ok
+        assert LOST_ACK_WRITE in res.kinds() or INCONSISTENT_READ in res.kinds()
+
+    def test_predicate_mismatch_is_malformed(self):
+        initial = [elem(i) for i in range(5)]
+        rec = HistoryRecorder()
+        outside = RangePredicate(1000, 2000)
+        op = rec.invoke_query(outside, 3)
+        rec.ok(op, topk(initial, 3))  # none of these match
+        res = check_history(rec.events, initial)
+        assert not res.ok and MALFORMED_ANSWER in res.kinds()
