@@ -3,7 +3,11 @@
 Two throughput claims about :class:`repro.serving.engine.ServingEngine`
 over a 3-replica :class:`~repro.replication.cluster.ReplicaSet`, both
 measured against the serial baseline (one ``cluster.query`` per
-request, primary reads — the PR-3 serving story):
+request, primary reads — the PR-3 serving story).  The serial baseline
+is pinned to the legacy Element path (``columnar_disabled``) so it
+stays comparable across releases; the columnar-vs-legacy delta on an
+otherwise identical stack is E23's job
+(``benchmarks/bench_e23_columnar_hotpath.py``):
 
 1. **Skewed traffic with a warm cache is >= 3x faster.**  A Zipf
    workload repeats hot predicates; after the first batch stamps the
@@ -32,6 +36,7 @@ import time
 from pathlib import Path
 
 from repro.bench.tables import render_table
+from repro.core.columnar import columnar_disabled
 from repro.core.problem import Element, top_k_of
 from repro.replication import replicated_index
 from repro.serving import ServingEngine
@@ -111,8 +116,14 @@ def _measure(workload_name, requests, elements, cache_capacity, floor):
     cluster.align()
     oracle = [top_k_of(elements, p, k) for p, k in requests]
 
+    # The serial baseline is a legacy-path cluster (columnar disabled at
+    # build, so its reductions run Element-at-a-time rounds): a fixed
+    # reference across releases.  E23 measures columnar vs legacy.
+    with columnar_disabled():
+        legacy = make_cluster(elements)
+        legacy.align()
     serial_seconds, serial = _best_time(
-        lambda: _serial_answers(cluster, requests)
+        lambda: _serial_answers(legacy, requests)
     )
     assert serial == oracle, f"{workload_name}: serial baseline inexact"
 

@@ -1,0 +1,220 @@
+"""E23 — Columnar hot path: flat arrays + compiled predicates vs legacy.
+
+The PR-9 optimization claim, isolated: the *same* reduction over the
+*same* workload, once with the columnar core engaged (flat weight
+arrays, compiled predicates, resumable match scans) and once pinned to
+the legacy Element path (``columnar=False``), answer-checked against
+each other and the brute-force oracle on every query.
+
+Two regimes, reported separately because they measure different
+things:
+
+* **cold** — every query hits a fresh index (best-of-N with a rebuild
+  per round, builds untimed): what one-shot predicates pay.
+* **warm** — the same request batch repeats against one index:
+  visit-promoted :class:`~repro.core.columnar.MatchScan` objects answer
+  repeats from the flat columns (dense predicates prove truncation by
+  early exit, sparse ones materialize their seeded match sets), which
+  the legacy path has no analogue of outside ``batched()`` windows.
+
+The two reductions make different claims, and the floors encode that
+honestly.  Theorem 2's ladder shortcut answers *every* columnar query
+by one early-exit scan, so it must win cold and warm.  Theorem 1's
+chain descent keeps first visits on the sublinear per-level structures
+(a cold flat scan would lose to them), so its cold entry is a bounded
+**overhead budget** — the visit bookkeeping and larger working set may
+cost a little, guarded by a < 1.0 floor — and its speedup claim lives
+in the warm regime.  All answers in both modes and both regimes are
+checked against the brute-force oracle.
+
+Results land as JSON in
+``benchmarks/results/e23_columnar_hotpath.json`` (the ``columnar-speed``
+CI job uploads it as an artifact and enforces the floors).
+
+Set ``REPRO_BENCH_QUICK=1`` for the reduced CI workload.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import make_problem
+from repro.core.columnar import columnar_disabled
+from repro.core.problem import top_k_of
+from repro.core.theorem1 import WorstCaseTopKIndex
+from repro.core.theorem2 import ExpectedTopKIndex
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N = 400 if QUICK else 2000
+QUERIES = 120 if QUICK else 600
+MAX_K = 12
+ROUNDS = 2 if QUICK else 3
+#: Fresh-index floors.  Theorem 2 must win cold (measured ~1.3x: every
+#: query is one early-exit column scan).  Theorem 1's cold queries do
+#: legacy work plus visit bookkeeping by design, so its floor is an
+#: overhead budget: no more than ~25% cold regression (measured ~8%,
+#: with headroom for CI jitter).  Quick mode shrinks the workload to
+#: single-digit milliseconds where fixed per-query costs and runner
+#: jitter swamp the signal, so its floors are loose catastrophe guards
+#: only — the real claims are enforced at full scale.
+COLD_FLOORS = (
+    {"theorem2": 0.4, "theorem1": 0.4}
+    if QUICK
+    else {"theorem2": 1.05, "theorem1": 0.75}
+)
+#: Repeat-batch floors: promoted scans answer repeats from the columns
+#: (theorem2 measured ~25x, theorem1 ~3.5x; floors well below).
+WARM_FLOORS = (
+    {"theorem2": 2.0, "theorem1": 1.1}
+    if QUICK
+    else {"theorem2": 4.0, "theorem1": 1.5}
+)
+RESULTS_JSON = Path(__file__).resolve().parent / "results" / "e23_columnar_hotpath.json"
+
+
+def _requests(problem, count, seed):
+    rng = random.Random(seed)
+    predicates = problem.predicates(count, seed=seed + 1)
+    return [(p, rng.randint(1, MAX_K)) for p in predicates]
+
+
+def _best_time(fn, rounds=ROUNDS):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        began = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - began)
+    return best, result
+
+
+def _speedup(legacy_seconds, columnar_seconds):
+    return legacy_seconds / columnar_seconds if columnar_seconds > 0 else float("inf")
+
+
+def _measure_pair(label, build, requests, oracle):
+    def run(index):
+        return [index.query(p, k) for p, k in requests]
+
+    def build_legacy():
+        with columnar_disabled():
+            return build()
+
+    def cold_time(builder):
+        # Best-of-N where every round rebuilds (untimed), so no scan
+        # survives into the timed query pass.
+        best, answers = float("inf"), None
+        for _ in range(ROUNDS):
+            index = builder()
+            began = time.perf_counter()
+            answers = run(index)
+            best = min(best, time.perf_counter() - began)
+        return best, answers
+
+    legacy_cold, legacy_answers = cold_time(build_legacy)
+    columnar_cold, columnar_answers = cold_time(build)
+    assert columnar_answers == oracle, f"{label}: columnar answers inexact"
+    assert legacy_answers == oracle, f"{label}: legacy answers inexact"
+
+    # Warm: the batch repeats against one index; columnar repeats
+    # resume completed MatchScans instead of re-traversing.
+    columnar_index, legacy_index = build(), build_legacy()
+    run(columnar_index), run(legacy_index)
+    legacy_warm, _ = _best_time(lambda: run(legacy_index))
+    columnar_warm, warm_answers = _best_time(lambda: run(columnar_index))
+    assert warm_answers == oracle, f"{label}: warm columnar answers inexact"
+
+    cold_speedup = _speedup(legacy_cold, columnar_cold)
+    warm_speedup = _speedup(legacy_warm, columnar_warm)
+    cold_floor, warm_floor = COLD_FLOORS[label], WARM_FLOORS[label]
+    assert cold_speedup >= cold_floor, (
+        f"{label}: cold speedup {cold_speedup:.2f}x below the {cold_floor}x "
+        f"floor (legacy {legacy_cold * 1e3:.1f}ms, "
+        f"columnar {columnar_cold * 1e3:.1f}ms)"
+    )
+    assert warm_speedup >= warm_floor, (
+        f"{label}: warm speedup {warm_speedup:.2f}x below the {warm_floor}x "
+        f"floor (legacy {legacy_warm * 1e3:.1f}ms, "
+        f"columnar {columnar_warm * 1e3:.1f}ms)"
+    )
+    return {
+        "cold": {
+            "legacy_ms": round(legacy_cold * 1e3, 2),
+            "columnar_ms": round(columnar_cold * 1e3, 2),
+            "speedup": round(cold_speedup, 2),
+            "floor": cold_floor,
+        },
+        "warm": {
+            "legacy_ms": round(legacy_warm * 1e3, 2),
+            "columnar_ms": round(columnar_warm * 1e3, 2),
+            "speedup": round(warm_speedup, 2),
+            "floor": warm_floor,
+        },
+        "queries": len(requests),
+        "exact_fraction": 1.0,
+    }
+
+
+def bench_e23_columnar_hotpath(benchmark, results_sink):
+    problem = make_problem("range1d", N, seed=51)
+    requests = _requests(problem, QUERIES, seed=61)
+    oracle = [top_k_of(problem.elements, p, k) for p, k in requests]
+
+    theorem2 = _measure_pair(
+        "theorem2",
+        lambda: ExpectedTopKIndex(
+            problem.elements, problem.prioritized_factory,
+            problem.max_factory, seed=71,
+        ),
+        requests, oracle,
+    )
+    theorem1 = _measure_pair(
+        "theorem1",
+        lambda: WorstCaseTopKIndex(
+            problem.elements, problem.prioritized_factory, seed=71,
+        ),
+        requests, oracle,
+    )
+
+    def rows(label, doc):
+        return [
+            [label, regime, doc[regime]["legacy_ms"],
+             doc[regime]["columnar_ms"], f"{doc[regime]['speedup']}x",
+             f"{doc[regime]['floor']}x", "100%"]
+            for regime in ("cold", "warm")
+        ]
+
+    results_sink(
+        render_table(
+            f"E23 Columnar hot path vs legacy Element path "
+            f"(range1d, n={N}, {QUERIES} queries, k<={MAX_K})",
+            ["reduction", "regime", "legacy ms", "columnar ms", "speedup",
+             "floor", "exact"],
+            rows("theorem2", theorem2) + rows("theorem1", theorem1),
+            note="cold = fresh index per round (theorem1's floor is an "
+            "overhead budget, not a speedup claim); warm = repeated "
+            "batch (visit-promoted MatchScans); answers oracle-checked "
+            "in every mode",
+        )
+    )
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {"quick": QUICK, "n": N, "queries": QUERIES,
+             "theorem2": theorem2, "theorem1": theorem1},
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Timing hook: one columnar theorem-2 query batch.
+    index = ExpectedTopKIndex(
+        problem.elements, problem.prioritized_factory,
+        problem.max_factory, seed=71,
+    )
+    sample = requests[:32]
+    benchmark(lambda: [index.query(p, k) for p, k in sample])

@@ -14,19 +14,31 @@ Examples
     python -m repro.bench.profile
     python -m repro.bench.profile --index theorem1 --n 5000 --queries 400
     python -m repro.bench.profile --index serving --sort tottime --top 40
+    python -m repro.bench.profile --json
+    python -m repro.bench.profile --compare columnar,legacy --json
+
+``--compare columnar,legacy`` times the same workload once per mode
+(columnar fast paths on / pinned off) instead of profiling — the
+one-command answer to "how much does the columnar core buy here?".
+``--json`` switches either output to a machine-readable document
+(consumed by the E23 bench and the ``columnar-speed`` CI job).
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
+import time
 from typing import Callable, List
 
 from repro.bench.workloads import PROBLEMS, make_problem
+from repro.core.columnar import columnar_disabled
 
 INDEXES = ("theorem1", "theorem2", "baseline", "serving")
+COMPARE_MODES = ("columnar", "legacy")
 
 
 def _build_runner(args) -> Callable[[], None]:
@@ -113,20 +125,99 @@ def main(argv: List[str] = None) -> int:
         choices=("cumulative", "tottime", "ncalls"),
         help="pstats sort key (default: cumulative)",
     )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON document instead of text",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="MODES",
+        help="comma-separated modes from {columnar,legacy}: time the "
+        "workload once per mode instead of profiling",
+    )
     args = parser.parse_args(argv)
+
+    config = {
+        "index": args.index, "problem": args.problem, "n": args.n,
+        "queries": args.queries, "k": args.k, "seed": args.seed,
+    }
+
+    if args.compare is not None:
+        modes = [mode.strip() for mode in args.compare.split(",") if mode.strip()]
+        unknown = [mode for mode in modes if mode not in COMPARE_MODES]
+        if not modes or unknown:
+            parser.error(
+                f"--compare takes modes from {set(COMPARE_MODES)}, got {args.compare!r}"
+            )
+        return _run_compare(args, modes, config)
 
     run = _build_runner(args)
     profiler = cProfile.Profile()
     profiler.enable()
+    began = time.perf_counter()
     run()
+    wall_seconds = time.perf_counter() - began
     profiler.disable()
 
-    print(
-        f"# profile: index={args.index} problem={args.problem} "
-        f"n={args.n} queries={args.queries} k={args.k} seed={args.seed}"
-    )
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    stats.strip_dirs().sort_stats(args.sort)
+    if args.as_json:
+        frames = []
+        for func in stats.fcn_list[: args.top]:  # already sorted
+            cc, nc, tottime, cumtime, _ = stats.stats[func]
+            filename, line, name = func
+            frames.append({
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            })
+        print(json.dumps(
+            {**config, "sort": args.sort, "wall_seconds": round(wall_seconds, 6),
+             "frames": frames},
+            indent=2,
+        ))
+    else:
+        print(
+            f"# profile: index={args.index} problem={args.problem} "
+            f"n={args.n} queries={args.queries} k={args.k} seed={args.seed}"
+        )
+        stats.print_stats(args.top)
+    return 0
+
+
+def _run_compare(args, modes: List[str], config: dict) -> int:
+    """Time the workload once per mode; no profiler in the timed region."""
+    timings = {}
+    for mode in modes:
+        run = _build_runner(args)
+        if mode == "legacy":
+            with columnar_disabled():
+                began = time.perf_counter()
+                run()
+                timings[mode] = time.perf_counter() - began
+        else:
+            began = time.perf_counter()
+            run()
+            timings[mode] = time.perf_counter() - began
+
+    doc = {**config, "modes": {
+        mode: {"wall_seconds": round(seconds, 6)}
+        for mode, seconds in timings.items()
+    }}
+    if "columnar" in timings and "legacy" in timings and timings["columnar"] > 0:
+        doc["speedup"] = round(timings["legacy"] / timings["columnar"], 2)
+
+    if args.as_json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"# compare: index={args.index} problem={args.problem} "
+            f"n={args.n} queries={args.queries} k={args.k} seed={args.seed}"
+        )
+        for mode, seconds in timings.items():
+            print(f"{mode:>10}: {seconds * 1e3:9.2f} ms")
+        if "speedup" in doc:
+            print(f"{'speedup':>10}: {doc['speedup']:8.2f}x (legacy / columnar)")
     return 0
 
 

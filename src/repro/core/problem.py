@@ -43,8 +43,24 @@ class Element:
 
     def __lt__(self, other: "Element") -> bool:
         # Weight order with the object as a deterministic tie-breaker, so
-        # heaps over elements never compare arbitrary payloads.
-        return (self.weight, repr(self.obj)) < (other.weight, repr(other.obj))
+        # heaps over elements never compare arbitrary payloads.  Weights
+        # are distinct under the repo's standing convention, so the
+        # repr-based tie-break — string formatting, far too slow for a
+        # comparator — only runs on exact weight ties, and its result is
+        # cached per instance.
+        if self.weight != other.weight:
+            return self.weight < other.weight
+        return self._tie_break() < other._tie_break()
+
+    def _tie_break(self) -> str:
+        try:
+            return self._tie_key  # type: ignore[attr-defined]
+        except AttributeError:
+            key = repr(self.obj)
+            # The dataclass is frozen; the cache is identity-local state,
+            # not a field, so object.__setattr__ is the sanctioned door.
+            object.__setattr__(self, "_tie_key", key)
+            return key
 
 
 class Predicate(ABC):
@@ -93,7 +109,10 @@ def top_k_of(elements: Iterable[Element], predicate: Predicate, k: int) -> List[
     Sorted by descending weight; returns all matches when fewer than
     ``k`` satisfy the predicate — exactly the paper's query semantics.
     """
-    matching = predicate.filter(elements)
+    from repro.core.columnar import compiled_matcher
+
+    match = compiled_matcher(predicate)
+    matching = [e for e in elements if match(e.obj)]
     if k < len(matching):
         # Partial selection: O(t log k) beats the full O(t log t) sort,
         # and nlargest is stable, so ties rank as a stable reverse sort

@@ -34,16 +34,30 @@ def bernoulli_sample(
     proportional to the sample size, not to ``len(items)`` — this keeps
     core-set construction cheap at bench scale.
     """
+    return [items[i] for i in bernoulli_sample_positions(len(items), p, rng)]
+
+
+def bernoulli_sample_positions(
+    n: int, p: float, rng: random.Random
+) -> List[int]:
+    """The *positions* kept by a p-sample of ``n`` slots (ascending).
+
+    This is :func:`bernoulli_sample` with the item indirection removed —
+    columnar callers sample positions into parallel arrays directly.
+    The RNG stream consumed is **identical** to :func:`bernoulli_sample`
+    for every ``(n, p)``: fixed-seed builds (core-set hierarchies,
+    ladder samples, snapshot replays) see the same coin flips whichever
+    entry point runs.
+    """
     if p >= 1.0:
-        return list(items)
+        return list(range(n))
     if p <= 0.0:
         return []
-    out: List[T] = []
-    n = len(items)
+    out: List[int] = []
     if p > 0.1:
-        for item in items:
+        for position in range(n):
             if rng.random() < p:
-                out.append(item)
+                out.append(position)
         return out
     # Skip-ahead sampling: gaps between successes are geometric.
     log1p = math.log1p(-p)
@@ -55,7 +69,7 @@ def bernoulli_sample(
         index += int(gap) + 1
         if index >= n:
             return out
-        out.append(items[index])
+        out.append(index)
 
 
 def chernoff_lower_tail(mu: float, alpha: float) -> float:

@@ -37,6 +37,15 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.core.columnar import (
+    ColumnSet,
+    MatchScan,
+    ScanCache,
+    auto_columnar,
+    columnar_enabled,
+    next_structure_id,
+    predicate_key,
+)
 from repro.core.coreset import (
     CoresetHierarchy,
     CoresetStats,
@@ -91,10 +100,17 @@ class _TopFStructure:
         stats: ReductionStats,
         ground_index: Optional[PrioritizedIndex] = None,
         hierarchy: Optional[CoresetHierarchy] = None,
+        columnar: Optional[bool] = None,
+        ground_columns: Optional[ColumnSet] = None,
     ) -> None:
         self.f = f
         self.params = params
         self.stats = stats
+        #: Monotonic id keying shared memo windows.  ``id(self)`` is not
+        #: usable: a long-lived window can outlive this structure, and a
+        #: successor allocated at the same address would then alias its
+        #: memoized answers.  The counter never repeats in a process.
+        self.sid = next_structure_id()
         # A prebuilt hierarchy (snapshot restore) skips the sampling —
         # the recorded levels *are* the coin flips being replayed.
         if hierarchy is None:
@@ -111,6 +127,48 @@ class _TopFStructure:
                 self.indexes.append(ground_index)
             else:
                 self.indexes.append(factory(level))
+        # Columnar fast path: RAM-resident levels are mirrored (lazily)
+        # into weight-descending ColumnSets, and probes/fetches become
+        # resumable MatchScans.  EM-backed structures stay on the black
+        # box — bypassing them would skip the I/O accounting.
+        if columnar is None:
+            probe = next((ix for ix in self.indexes if ix is not None), None)
+            self._columnar = columnar_enabled() and (
+                probe is None or auto_columnar(probe)
+            )
+        else:
+            self._columnar = bool(columnar)
+        self._ground_columns = ground_columns
+        self._scan_caches: List[Optional[ScanCache]] = [None] * len(self.levels)
+        if self._columnar:
+            # Materialize the level mirrors now: the first query touches
+            # them all anyway, and build time is the honest place for a
+            # columnar index to pay its layout cost.
+            for j in range(len(self.levels)):
+                self._level_columns(j)
+
+    def _level_columns(self, j: int) -> ColumnSet:
+        """Level ``j``'s flat columns (level 0 may share the ground's)."""
+        if j == 0 and self._ground_columns is not None:
+            return self._ground_columns
+        return self.hierarchy.column(j)
+
+    def _level_cache(self, j: int) -> ScanCache:
+        cache = self._scan_caches[j]
+        if cache is None:
+            cache = self._scan_caches[j] = ScanCache()
+        return cache
+
+    def _level_scan(self, j: int, predicate: Predicate) -> MatchScan:
+        """The resumable match scan for level ``j`` (lazy columns).
+
+        Scans persist across queries — the structure is static, so a
+        scan can only ever be extended, never invalidated; repeats of a
+        predicate (batches, guard retries, probe-then-fetch within one
+        descent) resume the same traversal.  Level 0 of the small-k
+        structure shares the owning index's ground columns.
+        """
+        return self._level_cache(j).get(self._level_columns(j), predicate)
 
     # ------------------------------------------------------------------
     def top_f(
@@ -127,9 +185,7 @@ class _TopFStructure:
         """
         if memo is None:
             return self._query_level(0, predicate)
-        from repro.serving.batch import predicate_key
-
-        key = (id(self), predicate_key(predicate))
+        key = (self.sid, predicate_key(predicate))
         cached = memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
@@ -139,21 +195,56 @@ class _TopFStructure:
         return answer
 
     def _query_level(self, j: int, predicate: Predicate) -> List[Element]:
+        # The columnar branches answer each probe/fetch from the level's
+        # flat weight-descending columns instead of the per-level black
+        # box.  Branch conditions, counters, and answers are identical:
+        # a columnar probe truncates iff strictly more than ``cap``
+        # elements match (the legacy condition), and under distinct
+        # weights both paths produce the same unique top-f set.
         level = self.levels[j]
         index = self.indexes[j]
+        columnar = self._columnar
         cap = math.ceil(self.params.slack * self.f)
         if index is None:
             # Bottom of the recursion: |R_h| <= 4f, scan it.
+            if columnar:
+                return list(self._level_scan(j, predicate).first(self.f))
             matching = [e for e in level if predicate.matches(e.obj)]
             return select_top_k(matching, self.f)
+        # Visit-promoted columnar: the per-level structures answer
+        # selective probes in sublinear time, so a *cold* flat scan
+        # would lose to them.  First visit of a (level, predicate)
+        # stays on the structure — the visit costs two dict ops, and
+        # any complete legacy result (a non-truncated probe is the
+        # full match set, a fetch the full ``weight >= tau`` prefix)
+        # is recorded as a seed.  The second visit promotes to a live
+        # scan: dense predicates prove truncation by early exit, sparse
+        # ones materialize their seeded match set, and further repeats
+        # (batch windows, guard retries, ladder re-descents) answer
+        # from the columns without re-traversing.
+        if columnar:
+            cache = self._level_cache(j)
+            columns = self._level_columns(j)
+            scan = cache.visit(columns, predicate)
+        else:
+            cache = columns = scan = None
         self.stats.monitored_probes += 1
-        probe = index.query(predicate, -math.inf, limit=cap)
+        if scan is not None:
+            probe = scan.probe(cap)
+        else:
+            probe = index.query(predicate, -math.inf, limit=cap)
+            if cache is not None and not probe.truncated:
+                cache.record_seed(probe.elements, len(columns))
         if not probe.truncated:
             # |q(R_j)| <= 4f: the probe fetched everything; k-select.
             return select_top_k(probe.elements, self.f)
         if j + 1 >= len(self.levels):
             # The chain stopped early (saturated sampling rate): exact query.
             self.stats.fallbacks += 1
+            if columnar:
+                # Full traversal either way — promote and keep the scan.
+                scan = scan or self._level_scan(j, predicate)
+                return list(scan.all_matches()[: self.f])
             exact = index.query(predicate, -math.inf)
             return select_top_k(exact.elements, self.f)
         # |q(R_j)| > 4f: consult the next core-set for a threshold.
@@ -162,11 +253,21 @@ class _TopFStructure:
         if rank <= len(deeper):
             threshold = deeper[rank - 1].weight
             self.stats.threshold_fetches += 1
-            fetched = index.query(predicate, threshold)
+            if scan is not None:
+                fetched = scan.fetch(threshold)
+            else:
+                fetched = index.query(predicate, threshold)
+                if cache is not None:
+                    cache.record_seed(
+                        fetched.elements, columns.count_at_least(threshold)
+                    )
             if len(fetched.elements) >= self.f:
                 return select_top_k(fetched.elements, self.f)
         # The sampled rank fell outside its window — exact fallback.
         self.stats.fallbacks += 1
+        if columnar:
+            scan = scan or self._level_scan(j, predicate)
+            return list(scan.all_matches()[: self.f])
         exact = index.query(predicate, -math.inf)
         return select_top_k(exact.elements, self.f)
 
@@ -216,6 +317,7 @@ class WorstCaseTopKIndex(TopKIndex):
         B: int = 2,
         rng: Optional[random.Random] = None,
         seed: int = 0,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.params = params if params is not None else TuningParams()
         self._elements = list(elements)
@@ -228,16 +330,19 @@ class WorstCaseTopKIndex(TopKIndex):
         rng = rng if rng is not None else random.Random(seed)
 
         self._ground = factory(self._elements)
+        self._init_columnar(columnar)
         q_pri = self._ground.query_cost_bound()
         self.f = min(
             self.params.small_k_cutoff(B, q_pri),
             max(1, len(self._elements)),
         )
         # Small-k machinery: a top-f structure whose ground level is D
-        # itself (reusing the main prioritized index).
+        # itself (reusing the main prioritized index, and — columnar —
+        # the ground columns, so D is sorted once, not twice).
         self._small = _TopFStructure(
             self._elements, self.f, factory, self.params, rng, self.stats,
             ground_index=self._ground,
+            columnar=self._columnar, ground_columns=self._columns,
         )
         # Large-k machinery: the doubling ladder R[1..h], each level
         # carrying its own top-f structure.
@@ -247,9 +352,25 @@ class WorstCaseTopKIndex(TopKIndex):
         for i, coreset in enumerate(doubling_coresets(self._elements, self.f, self.params, rng)):
             K = float((2**i) * self.f)  # 0-based i: ladder level K = 2^{i-1} f, 1-based
             self._ladder.append(
-                _TopFStructure(coreset, self.f, factory, self.params, rng, self.stats)
+                _TopFStructure(
+                    coreset, self.f, factory, self.params, rng, self.stats,
+                    columnar=self._columnar,
+                )
             )
             self._ladder_rates.append(self.params.coreset_rate(n, K))
+
+    def _init_columnar(self, columnar: Optional[bool]) -> None:
+        """Decide the columnar mode and mirror ``D`` into columns."""
+        if columnar is None:
+            self._columnar = auto_columnar(self._ground)
+        else:
+            self._columnar = bool(columnar) and columnar_enabled()
+        self._columns = ColumnSet(self._elements) if self._columnar else None
+        self._scan_cache = ScanCache() if self._columnar else None
+
+    def _ground_scan(self, predicate: Predicate) -> MatchScan:
+        """The resumable ground-set scan for ``predicate``."""
+        return self._scan_cache.get(self._columns, predicate)
 
     # ------------------------------------------------------------------
     @property
@@ -311,9 +432,12 @@ class WorstCaseTopKIndex(TopKIndex):
             top = self._small.top_f(predicate, memo=self._memo)
             return top[:k]
         if k >= n / 2:
-            # O(n/B) = O(k/B): scan everything — through the ground
-            # structure so the cost is counted.
+            # O(n/B) = O(k/B): scan everything — columnar when the
+            # ground set is RAM-resident, else through the ground
+            # structure so the I/O cost is counted.
             self.stats.full_scans += 1
+            if self._columnar:
+                return list(self._ground_scan(predicate).first(k))
             result = self._ground.query(predicate, -math.inf)
             return select_top_k(result.elements, k)
         return self._large_k(predicate, k)
@@ -326,12 +450,27 @@ class WorstCaseTopKIndex(TopKIndex):
             i += 1
         if i > len(self._ladder):
             self.stats.full_scans += 1
+            if self._columnar:
+                return list(self._ground_scan(predicate).first(k))
             result = self._ground.query(predicate, -math.inf)
             return select_top_k(result.elements, k)
         K = (2 ** (i - 1)) * self.f
         cap = math.ceil(self.params.slack * K)
+        # Visit-promoted, as in ``_TopFStructure._query_level``: first
+        # visits stay on the sublinear ground structure (complete
+        # results recorded as scan seeds), repeats answer columnar.
+        scan = (
+            self._scan_cache.visit(self._columns, predicate)
+            if self._columnar
+            else None
+        )
         self.stats.monitored_probes += 1
-        probe = self._ground.query(predicate, -math.inf, limit=cap)
+        if scan is not None:
+            probe = scan.probe(cap)
+        else:
+            probe = self._ground.query(predicate, -math.inf, limit=cap)
+            if self._columnar and not probe.truncated:
+                self._scan_cache.record_seed(probe.elements, len(self._columns))
         if not probe.truncated:
             return select_top_k(probe.elements, k)
         # |q(D)| > 4K: obtain a threshold from the ladder's top-f answer.
@@ -340,10 +479,20 @@ class WorstCaseTopKIndex(TopKIndex):
         if rank <= len(top_f):
             threshold = top_f[rank - 1].weight
             self.stats.threshold_fetches += 1
-            fetched = self._ground.query(predicate, threshold)
+            if scan is not None:
+                fetched = scan.fetch(threshold)
+            else:
+                fetched = self._ground.query(predicate, threshold)
+                if self._columnar:
+                    self._scan_cache.record_seed(
+                        fetched.elements, self._columns.count_at_least(threshold)
+                    )
             if len(fetched.elements) >= k:
                 return select_top_k(fetched.elements, k)
         self.stats.fallbacks += 1
+        if self._columnar:
+            scan = scan or self._ground_scan(predicate)
+            return list(scan.all_matches()[:k])
         exact = self._ground.query(predicate, -math.inf)
         return select_top_k(exact.elements, k)
 
@@ -434,6 +583,7 @@ class WorstCaseTopKIndex(TopKIndex):
         self.applied_lsn = 0
         self._memo = None
         self._ground = factory(elements)
+        self._init_columnar(None)
         self.f = state["f"]
 
         def hierarchy_from(hstate: dict) -> CoresetHierarchy:
@@ -451,6 +601,7 @@ class WorstCaseTopKIndex(TopKIndex):
             elements, self.f, factory, self.params, rng, self.stats,
             ground_index=self._ground,
             hierarchy=hierarchy_from(state["small"]),
+            columnar=self._columnar, ground_columns=self._columns,
         )
         self._ladder = []
         for hstate in state["ladder"]:
@@ -459,6 +610,7 @@ class WorstCaseTopKIndex(TopKIndex):
                 _TopFStructure(
                     hierarchy.levels[0], self.f, factory, self.params, rng,
                     self.stats, hierarchy=hierarchy,
+                    columnar=self._columnar,
                 )
             )
         self._ladder_rates = list(state["ladder_rates"])

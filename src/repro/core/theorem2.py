@@ -34,6 +34,14 @@ from contextlib import contextmanager
 from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.columnar import (
+    ColumnSet,
+    MatchScan,
+    ScanCache,
+    auto_columnar,
+    columnar_enabled,
+    predicate_key,
+)
 from repro.core.interfaces import (
     DynamicMaxIndex,
     DynamicPrioritizedIndex,
@@ -86,6 +94,7 @@ class ExpectedTopKIndex(TopKIndex):
         rng: Optional[random.Random] = None,
         seed: int = 0,
         q_max_bound: Optional[Callable[[int], float]] = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         self.params = params if params is not None else TuningParams()
         self.B = B
@@ -96,6 +105,10 @@ class ExpectedTopKIndex(TopKIndex):
         self.stats = ReductionStats()
         self.applied_lsn = 0
         self._memo: Optional[dict] = None
+        #: ``None`` auto-detects per build (RAM ground -> on, EM -> off);
+        #: an explicit bool pins the mode (tests of the ladder machinery
+        #: pass ``False`` to exercise the black-box rounds).
+        self._columnar_mode = columnar
         self._build(list(elements))
 
     # ------------------------------------------------------------------
@@ -108,6 +121,16 @@ class ExpectedTopKIndex(TopKIndex):
         n = len(elements)
         self._built_n = max(1, n)
         self._ground = self._prioritized_factory(elements)
+        if self._columnar_mode is None:
+            self._columnar = auto_columnar(self._ground)
+        else:
+            self._columnar = bool(self._columnar_mode) and columnar_enabled()
+        # The ground set mirrored as weight-descending columns, plus the
+        # per-predicate resumable scans over it.  Scans are dropped on
+        # every update (insert/delete bump the column version and clear
+        # the cache), so a scan can never serve a stale prefix.
+        self._columns = ColumnSet(elements) if self._columnar else None
+        self._scans = ScanCache()
         if self._q_max_bound is not None:
             q_max = self._q_max_bound(max(2, n))
         else:
@@ -232,6 +255,13 @@ class ExpectedTopKIndex(TopKIndex):
         self._weights = {element.weight for element in elements}
         self._built_n = state["built_n"]
         self._ground = prioritized_factory(elements)
+        # Columns are a derived mirror of the element list, not state:
+        # rebuilding them deterministically keeps snapshot formats
+        # unchanged while the restored index answers columnar too.
+        self._columnar_mode = None
+        self._columnar = auto_columnar(self._ground)
+        self._columns = ColumnSet(elements) if self._columnar else None
+        self._scans = ScanCache()
         self._K = list(state["K"])
         if len(state["samples"]) != len(self._K):
             raise SerializationError(
@@ -303,6 +333,15 @@ class ExpectedTopKIndex(TopKIndex):
         self.stats.queries += 1
         if k <= 0 or self.n == 0:
             return []
+        if round_budget is None and self._columnar:
+            # Columnar direct path: the ground columns are weight-
+            # descending, so the first k matches of one resumable scan
+            # *are* the answer — the sample ladder exists to simulate
+            # exactly this scan order on black boxes that cannot
+            # provide it.  Budgeted queries stay on the faithful
+            # rounds: their contract is "this many ladder rounds, then
+            # RetryBudgetExhausted", which a direct answer would void.
+            return self._columnar_query(predicate, k)
         n = self.n
         if not self._K or k > self._K[-1]:
             # k beyond the ladder (or no ladder at all): scan D.
@@ -328,6 +367,36 @@ class ExpectedTopKIndex(TopKIndex):
         # Step 6(b): every round failed — read the whole of D.
         return self._scan_answer(predicate, k)
 
+    def _columnar_query(self, predicate: Predicate, k: int) -> List[Element]:
+        """Top-k via one early-exit scan of the ground columns.
+
+        Inside a ``batched()`` window the scan itself is the memoized
+        artifact — a ``(columns, frontier, match positions)`` triple,
+        not a copied answer list — so the window's repeats (same
+        predicate at other ``k`` values, guard retries) resume the
+        traversal; a repeat already covered by the frontier is a memo
+        hit.  Counters keep their meanings: a ladder-answerable ``k``
+        counts one monitored probe (the scan plays the probe's role), a
+        beyond-ladder ``k`` counts a full scan.
+        """
+        memo = self._memo
+        scan: Optional[MatchScan] = None
+        key = None
+        if memo is not None:
+            key = ("cscan", predicate_key(predicate))
+            scan = memo.get(key)
+            if scan is not None:
+                self.stats.memo_hits += 1
+        if scan is None:
+            scan = self._scans.get(self._columns, predicate)
+            if memo is not None:
+                memo[key] = scan
+        if not self._K or k > self._K[-1]:
+            self.stats.full_scans += 1
+        else:
+            self.stats.monitored_probes += 1
+        return list(scan.first(k))
+
     def _first_level_at_least(self, k_eff: float) -> int:
         """Smallest ladder index ``i`` (0-based) with ``K_i >= k_eff``."""
         lo, hi = 0, len(self._K) - 1
@@ -343,8 +412,6 @@ class ExpectedTopKIndex(TopKIndex):
         """The per-predicate memo handle, or ``None`` outside a window."""
         if self._memo is None:
             return None
-        from repro.serving.batch import predicate_key
-
         return predicate_key(predicate)
 
     def _round(self, predicate: Predicate, k: int, j: int) -> Optional[List[Element]]:
@@ -354,10 +421,23 @@ class ExpectedTopKIndex(TopKIndex):
         memo, pkey = self._memo, self._memo_key(predicate)
         # Step 1: if |q(D)| <= 4K_j the monitored probe fetches everything.
         # Deterministic in (predicate, cap), so a batch window reuses it.
+        # Visit-promoted: a cold flat scan loses to a sublinear ground
+        # structure on selective predicates, so a predicate's first
+        # visit stays on the structure (complete results recorded as
+        # scan seeds) and repeats answer from the columns — see
+        # ``theorem1._query_level`` for the full rationale.
+        scan = (
+            self._scans.visit(self._columns, predicate) if self._columnar else None
+        )
         probe = memo.get(("probe", pkey, cap)) if memo is not None else None
         if probe is None:
             self.stats.monitored_probes += 1
-            probe = self._ground.query(predicate, -math.inf, limit=cap)
+            if scan is not None:
+                probe = scan.probe(cap)
+            else:
+                probe = self._ground.query(predicate, -math.inf, limit=cap)
+                if self._columnar and not probe.truncated:
+                    self._scans.record_seed(probe.elements, len(self._columns))
             if memo is not None:
                 memo[("probe", pkey, cap)] = probe
         else:
@@ -378,7 +458,14 @@ class ExpectedTopKIndex(TopKIndex):
         fetched = memo.get(("fetch", pkey, tau, cap)) if memo is not None else None
         if fetched is None:
             self.stats.threshold_fetches += 1
-            fetched = self._ground.query(predicate, tau, limit=cap)
+            if scan is not None:
+                fetched = scan.fetch(tau, limit=cap)
+            else:
+                fetched = self._ground.query(predicate, tau, limit=cap)
+                if self._columnar and not fetched.truncated:
+                    self._scans.record_seed(
+                        fetched.elements, self._columns.count_at_least(tau)
+                    )
             if memo is not None:
                 memo[("fetch", pkey, tau, cap)] = fetched
         else:
@@ -396,9 +483,12 @@ class ExpectedTopKIndex(TopKIndex):
 
         Routed through the prioritized structure with ``tau = -inf`` so
         the scan's cost is *counted* (I/Os in EM mode, ops in RAM mode)
-        rather than silently free.
+        rather than silently free; columnar mode answers from the flat
+        ground columns instead (early exit at ``k`` matches).
         """
         self.stats.full_scans += 1
+        if self._columnar:
+            return list(self._scans.get(self._columns, predicate).first(k))
         result = self._ground.query(predicate, -math.inf)
         return select_top_k(result.elements, k)
 
@@ -424,9 +514,12 @@ class ExpectedTopKIndex(TopKIndex):
         ground = self._require_dynamic_ground()
         if self._memo is not None:
             self._memo.clear()  # memoized probes must not survive updates
+        self._scans.clear()
         self._elements[element] = None
         self._weights.add(element.weight)
         ground.insert(element)
+        if self._columns is not None:
+            self._columns.insert(element)
         for i, K_i in enumerate(self._K):
             if self._rng.random() < 1.0 / K_i:
                 self._membership.setdefault(element, []).append(i)
@@ -441,9 +534,12 @@ class ExpectedTopKIndex(TopKIndex):
         ground = self._require_dynamic_ground()
         if self._memo is not None:
             self._memo.clear()  # memoized probes must not survive updates
+        self._scans.clear()
         del self._elements[element]
         self._weights.discard(element.weight)
         ground.delete(element)
+        if self._columns is not None:
+            self._columns.delete(element)
         for i in self._membership.pop(element, []):
             del self._samples[i][element]
             self._dynamic_max(i).delete(element)

@@ -12,7 +12,8 @@ Two layers:
 
 * :func:`encode` / :func:`decode` — one *value* to one tagged primitive
   tree.  Supported leaves: ``None``, ``bool``, ``int``, ``float``,
-  ``str``; containers: ``tuple``, ``list``, ``dict`` (string keys);
+  ``str``, numeric ``array.array`` columns; containers: ``tuple``,
+  ``list``, ``dict`` (string keys);
   domain types: :class:`~repro.core.problem.Element` and the geometry
   primitives (:class:`Interval`, :class:`Rect`, :class:`Halfplane`,
   :class:`Ball`, :class:`Line2D`).  Anything else raises
@@ -26,6 +27,7 @@ Two layers:
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterator, List, Tuple
 
 from repro.core.problem import Element
@@ -65,6 +67,11 @@ def encode(value: Any) -> Any:
         return ("dict", tuple(items))
     if kind is Element:
         return ("Element", encode(value.obj), value.weight, encode(value.payload))
+    if kind is array:
+        # Flat numeric columns (the columnar layer's weight arrays).
+        # Doubles are Python floats, so a plain float tuple round-trips
+        # bit-for-bit; the typecode restores the exact array kind.
+        return ("array", value.typecode, tuple(value))
     hit = _GEOMETRY_BY_TYPE.get(kind)
     if hit is not None:
         tag, fields = hit
@@ -90,6 +97,8 @@ def decode(encoded: Any) -> Any:
         return {key: decode(val) for key, val in encoded[1]}
     if tag == "Element":
         return Element(decode(encoded[1]), encoded[2], decode(encoded[3]))
+    if tag == "array":
+        return array(encoded[1], encoded[2])
     hit = _GEOMETRY.get(tag)
     if hit is not None:
         cls, _ = hit

@@ -19,6 +19,7 @@ import heapq
 import random
 from typing import Callable, Iterable, List, Optional
 
+from repro.core.columnar import DescendingElements
 from repro.em.blockarray import BlockArray
 from repro.em.model import EMContext
 
@@ -36,6 +37,10 @@ def select_top_k(
     """
     if k <= 0:
         return []
+    if weight is None and isinstance(records, DescendingElements):
+        # Columnar candidates arrive already in strictly descending
+        # weight order; selection is a slice, not a heap.
+        return list(records[:k])
     weight = weight if weight is not None else _as_weight
     return heapq.nlargest(k, records, key=weight)
 

@@ -30,11 +30,19 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import predicate_key
 from repro.core.problem import Element, Predicate
 
 #: ``object.__repr__`` embeds the instance's memory address; masking it
 #: keeps sort keys equal across processes.
 _ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+#: ``_sort_key`` walks dataclass fields and runs a regex per call —
+#: measurably hot when every engine pass plans hundreds of groups, yet a
+#: pure function of the predicate.  Cached per ``predicate_key``,
+#: bounded so adversarial predicate churn cannot grow it without limit.
+_SORT_KEY_CACHE: Dict[Hashable, Tuple[str, str]] = {}
+_SORT_KEY_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -45,19 +53,9 @@ class QueryRequest:
     k: int
 
 
-def predicate_key(predicate: Predicate) -> Hashable:
-    """A stable grouping/caching key for a predicate.
-
-    Frozen-dataclass predicates (the repo convention) are hashable and
-    key as themselves; unhashable predicates fall back to their type
-    and ``repr`` — deterministic as long as the repr is (dataclasses'
-    generated reprs are).
-    """
-    try:
-        hash(predicate)
-    except TypeError:
-        return (type(predicate).__qualname__, repr(predicate))
-    return predicate
+# ``predicate_key`` now lives in repro.core.columnar (the compiled-
+# predicate cache keys on it too, and core must not import serving);
+# re-exported here because this module is its historical home.
 
 
 def _sort_key(predicate: Predicate) -> Tuple[str, str]:
@@ -72,6 +70,10 @@ def _sort_key(predicate: Predicate) -> Tuple[str, str]:
     way, memory addresses are masked out — a dataclass field's *value*
     may itself be an object without its own ``__repr__``.
     """
+    cache_key = predicate_key(predicate)
+    cached = _SORT_KEY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     if dataclasses.is_dataclass(predicate):
         detail = repr(
             [(f.name, _ADDRESS_RE.sub("0xADDR", repr(getattr(predicate, f.name))))
@@ -79,7 +81,11 @@ def _sort_key(predicate: Predicate) -> Tuple[str, str]:
         )
     else:
         detail = _ADDRESS_RE.sub("0xADDR", repr(predicate))
-    return (type(predicate).__qualname__, detail)
+    key = (type(predicate).__qualname__, detail)
+    if len(_SORT_KEY_CACHE) >= _SORT_KEY_CACHE_MAX:
+        _SORT_KEY_CACHE.clear()
+    _SORT_KEY_CACHE[cache_key] = key
+    return key
 
 
 @dataclass

@@ -49,7 +49,6 @@ import heapq
 import math
 import threading
 from dataclasses import dataclass
-from itertools import islice
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.problem import Element, Predicate
@@ -60,18 +59,32 @@ from repro.sharding.router import MapSnapshot, Shard, ShardRouter
 def merge_topk(runs: Sequence[Sequence[Element]], k: int) -> List[Element]:
     """K-way merge of descending-weight runs, cut off at ``k``.
 
-    ``heapq.merge`` streams the runs through one ``len(runs)``-sized
-    heap, and the ``islice`` stops it after ``k`` outputs — ``O(k log
+    One ``len(runs)``-sized heap of flat ``(-weight, run, position)``
+    tuples streams the runs and stops after ``k`` outputs — ``O(k log
     S)`` comparisons instead of the concatenate-then-``nlargest``
-    ``O(T log k)`` over the full ``T`` collected elements.
+    ``O(T log k)`` over the full ``T`` collected elements, and tuple
+    comparisons bottom out on the float weight (weights are distinct)
+    rather than a per-element key callable.
     """
     if k <= 0:
         return []
     live = [run for run in runs if run]
+    if not live:
+        return []
     if len(live) == 1:
         return list(live[0][:k])
-    merged = heapq.merge(*live, key=lambda e: -e.weight)
-    return list(islice(merged, k))
+    heap = [(-run[0].weight, index, 0) for index, run in enumerate(live)]
+    heapq.heapify(heap)
+    out: List[Element] = []
+    push, pop = heapq.heappush, heapq.heappop
+    while heap and len(out) < k:
+        _, index, position = pop(heap)
+        run = live[index]
+        out.append(run[position])
+        position += 1
+        if position < len(run):
+            push(heap, (-run[position].weight, index, position))
+    return out
 
 
 @dataclass

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.columnar import register_predicate_compiler
 from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
 from repro.core.problem import Element, Predicate
 from repro.geometry.duality import lift_ball_to_halfspace, lift_point
@@ -33,6 +34,16 @@ class CircularPredicate(Predicate):
 
     def matches(self, obj: Point) -> bool:
         return self.ball.contains(obj)
+
+
+@register_predicate_compiler(CircularPredicate)
+def _compile_circular(predicate: CircularPredicate):
+    """Closure-specialized ball test; 2D unrolls the squared distance."""
+    center, r2 = predicate.ball.center, predicate.ball.radius ** 2
+    if len(center) == 2:
+        cx, cy = center
+        return lambda obj: (cx - obj[0]) ** 2 + (cy - obj[1]) ** 2 <= r2
+    return predicate.ball.contains
 
 
 def _lift_elements(elements: Sequence[Element]) -> List[Element]:

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.columnar import register_predicate_compiler
 from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
 from repro.core.problem import Element, Predicate
 from repro.geometry.primitives import Point
@@ -37,6 +38,13 @@ class DominancePredicate(Predicate):
 
     def matches(self, obj: Point) -> bool:
         return obj[0] <= self.q[0] and obj[1] <= self.q[1] and obj[2] <= self.q[2]
+
+
+@register_predicate_compiler(DominancePredicate)
+def _compile_dominance(predicate: DominancePredicate):
+    """Closure-specialized dominance test: corner unpacked into locals."""
+    q0, q1, q2 = predicate.q[0], predicate.q[1], predicate.q[2]
+    return lambda obj: obj[0] <= q0 and obj[1] <= q1 and obj[2] <= q2
 
 
 def _z_of(element: Element) -> float:

@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import register_predicate_compiler
 from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
 from repro.core.problem import Element, Predicate
 from repro.geometry.convexhull import PreparedHull, convex_hull, convex_layers
@@ -44,6 +45,16 @@ class HalfplanePredicate(Predicate):
 
     def matches(self, obj: Point) -> bool:
         return self.halfplane.contains(obj)
+
+
+@register_predicate_compiler(HalfplanePredicate)
+def _compile_halfplane(predicate: HalfplanePredicate):
+    """Closure-specialized halfplane test; 2D unrolls the dot product."""
+    normal, c = predicate.halfplane.normal, predicate.halfplane.c
+    if len(normal) == 2:
+        a, b = normal
+        return lambda obj: a * obj[0] + b * obj[1] >= c
+    return predicate.halfplane.contains
 
 
 class ConvexLayerReporting:

@@ -38,6 +38,7 @@ from repro.core.interfaces import (
     OpCounter,
     PrioritizedResult,
 )
+from repro.core.columnar import register_predicate_compiler
 from repro.core.problem import Element, Predicate
 from repro.em.blockarray import BlockArray
 from repro.em.btree import BPlusTree
@@ -53,6 +54,13 @@ class StabbingPredicate(Predicate):
 
     def matches(self, obj: Interval) -> bool:
         return obj.contains(self.x)
+
+
+@register_predicate_compiler(StabbingPredicate)
+def _compile_stabbing(predicate: StabbingPredicate):
+    """Closure-specialized stabbing test: endpoint compare, no dispatch."""
+    x = predicate.x
+    return lambda obj: obj.lo <= x <= obj.hi
 
 
 # ----------------------------------------------------------------------

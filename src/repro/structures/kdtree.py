@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.core.columnar import register_predicate_compiler
 from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
 from repro.core.problem import Element, Predicate
 from repro.geometry.primitives import Ball, Halfplane, Point
@@ -51,6 +52,19 @@ class HalfspacePredicate(Predicate):
 
     def matches(self, obj: Point) -> bool:
         return self.halfspace.contains(obj)
+
+
+@register_predicate_compiler(HalfspacePredicate)
+def _compile_halfspace(predicate: HalfspacePredicate):
+    """Closure-specialized halfspace test; low dims unroll the dot."""
+    normal, c = predicate.halfspace.normal, predicate.halfspace.c
+    if len(normal) == 2:
+        n0, n1 = normal
+        return lambda obj: n0 * obj[0] + n1 * obj[1] >= c
+    if len(normal) == 3:
+        n0, n1, n2 = normal
+        return lambda obj: n0 * obj[0] + n1 * obj[1] + n2 * obj[2] >= c
+    return predicate.halfspace.contains
 
 
 @dataclass(frozen=True)
@@ -93,6 +107,23 @@ class OrthogonalRangePredicate(Predicate):
 
     def matches(self, obj: Point) -> bool:
         return self.box.contains(obj)
+
+
+@register_predicate_compiler(OrthogonalRangePredicate)
+def _compile_orthorange(predicate: OrthogonalRangePredicate):
+    """Closure-specialized box test; low dims unroll the coordinate loop."""
+    lo, hi = predicate.box.lo, predicate.box.hi
+    if len(lo) == 2:
+        l0, l1 = lo
+        h0, h1 = hi
+        return lambda obj: l0 <= obj[0] <= h0 and l1 <= obj[1] <= h1
+    if len(lo) == 3:
+        l0, l1, l2 = lo
+        h0, h1, h2 = hi
+        return lambda obj: (
+            l0 <= obj[0] <= h0 and l1 <= obj[1] <= h1 and l2 <= obj[2] <= h2
+        )
+    return predicate.box.contains
 
 
 def classify_halfspace(halfspace: Halfplane, lo: Point, hi: Point) -> int:

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import register_predicate_compiler
 from repro.core.interfaces import MaxIndex, OpCounter, PrioritizedIndex, PrioritizedResult
 from repro.core.problem import Element, Predicate
 from repro.geometry.cascading import CascadeNode, FractionalCascading
@@ -48,6 +49,13 @@ class EnclosurePredicate(Predicate):
 
     def matches(self, obj: Rect) -> bool:
         return obj.contains(self.point)
+
+
+@register_predicate_compiler(EnclosurePredicate)
+def _compile_enclosure(predicate: EnclosurePredicate):
+    """Closure-specialized enclosure test: query point in locals."""
+    x, y = predicate.point[0], predicate.point[1]
+    return lambda obj: obj.x1 <= x <= obj.x2 and obj.y1 <= y <= obj.y2
 
 
 def _x_interval(element: Element) -> Interval:

@@ -33,6 +33,7 @@ from repro.core.interfaces import (
     PrioritizedIndex,
     PrioritizedResult,
 )
+from repro.core.columnar import register_predicate_compiler
 from repro.core.problem import Element, Predicate
 
 
@@ -45,6 +46,13 @@ class RangePredicate1D(Predicate):
 
     def matches(self, obj: float) -> bool:
         return self.lo <= obj <= self.hi
+
+
+@register_predicate_compiler(RangePredicate1D)
+def _compile_range1d(predicate: RangePredicate1D):
+    """Closure-specialized membership: bounds hoisted into locals."""
+    lo, hi = predicate.lo, predicate.hi
+    return lambda obj: lo <= obj <= hi
 
 
 class _Canon:

@@ -34,3 +34,43 @@ def test_module_entry_point():
     )
     assert result.returncode == 0, result.stderr
     assert "Ordered by" in result.stdout
+
+
+def test_profile_json_output(capsys):
+    import json as json_module
+
+    assert main([
+        "--n", "120", "--queries", "10", "--k", "4", "--top", "5", "--json",
+    ]) == 0
+    doc = json_module.loads(capsys.readouterr().out)
+    assert doc["n"] == 120 and doc["queries"] == 10
+    assert doc["wall_seconds"] > 0
+    assert len(doc["frames"]) <= 5
+    assert all("cumtime" in frame for frame in doc["frames"])
+
+
+def test_profile_compare_modes(capsys):
+    import json as json_module
+
+    assert main([
+        "--n", "150", "--queries", "12", "--k", "4",
+        "--compare", "columnar,legacy", "--json",
+    ]) == 0
+    doc = json_module.loads(capsys.readouterr().out)
+    assert set(doc["modes"]) == {"columnar", "legacy"}
+    assert doc["modes"]["legacy"]["wall_seconds"] > 0
+    assert "speedup" in doc
+
+
+def test_profile_compare_single_mode_text(capsys):
+    assert main([
+        "--n", "150", "--queries", "12", "--compare", "legacy",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "legacy" in out
+    assert "speedup" not in out  # needs both modes
+
+
+def test_profile_compare_rejects_unknown_mode():
+    with pytest.raises(SystemExit):
+        main(["--compare", "turbo"])

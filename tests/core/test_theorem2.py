@@ -95,8 +95,10 @@ def sizes_sum(index):
 class TestFailureInjection:
     def test_broken_max_still_exact(self):
         """A max structure that never answers forces every round to fail;
-        escalation must end in the exact full scan."""
-        elements, index = build(n=400, max_factory=BrokenMax)
+        escalation must end in the exact full scan.  Pin ``columnar=False``
+        so queries exercise the ladder rounds rather than the columnar
+        first-k shortcut (which never consults the max structure)."""
+        elements, index = build(n=400, max_factory=BrokenMax, columnar=False)
         rng = random.Random(3)
         for _ in range(20):
             p = random_predicate(rng, 400)

@@ -18,6 +18,7 @@ from repro.core.interfaces import (
     OpCounter,
     PrioritizedResult,
 )
+from repro.core.columnar import register_predicate_compiler
 from repro.core.problem import Element, Predicate
 
 
@@ -30,6 +31,12 @@ class RangePredicate(Predicate):
 
     def matches(self, obj) -> bool:
         return self.lo <= obj <= self.hi
+
+
+@register_predicate_compiler(RangePredicate)
+def _compile_toy_range(predicate: RangePredicate):
+    lo, hi = predicate.lo, predicate.hi
+    return lambda obj: lo <= obj <= hi
 
 
 class ToyPrioritized(DynamicPrioritizedIndex):
