@@ -27,9 +27,12 @@ from repro.bench.tables import render_table
 from repro.core.problem import Element, top_k_of
 from repro.core.theorem2 import ExpectedTopKIndex
 from repro.durability.durable import DurableTopKIndex
+from repro.durability.logstore import LogStructuredStore
 from repro.durability.recovery import recover_index
 from repro.durability.store import DurableStore
 from repro.em.model import EMContext
+from repro.flash.disk import FlashDisk
+from repro.flash.ftl import FlashConfig
 from repro.resilience.errors import SimulatedCrash
 from repro.resilience.faults import FaultPlan
 from repro.resilience.guard import ResilientTopKIndex
@@ -67,10 +70,25 @@ def build_fn(elements):
     return ExpectedTopKIndex(elements, DynamicRangeTreap, DynamicRangeTreap, seed=0)
 
 
-def _victim():
+#: The sweep rotates over device/layout combinations: the in-place
+#: store on a magnetic disk, the same store on a flash device (the FTL
+#: hides the no-overwrite constraint), and the log-structured store on
+#: flash.  Recovery dispatches on the on-disk layout automatically.
+DEVICES = ("plain", "flash", "flash-log")
+
+
+def _victim(device="plain"):
     """A durable Theorem 2 index whose store can be crashed on demand."""
     plan = FaultPlan(armed=False)
-    store = DurableStore(ctx=EMContext(B=16, fault_plan=plan), B=16)
+    if device == "plain":
+        ctx = EMContext(B=16, fault_plan=plan)
+    else:
+        disk = FlashDisk(config=FlashConfig(pages_per_block=8))
+        ctx = EMContext(B=16, disk=disk, fault_plan=plan)
+    if device == "flash-log":
+        store = LogStructuredStore(ctx=ctx, B=16)
+    else:
+        store = DurableStore(ctx=ctx, B=16)
     inner = ExpectedTopKIndex(
         point_elements(BASE_N), DynamicRangeTreap, DynamicRangeTreap, seed=7
     )
@@ -148,10 +166,12 @@ def _healthy_overhead():
 def _run_sweep():
     extras = point_elements(EXTRA_N, start=BASE_N)
     predicates = _range_queries(CHECK_QUERIES, seed=31)
-    outcomes = {"prefixes": set(), "replayed_total": 0, "max_at_io": 0}
+    outcomes = {"prefixes": set(), "replayed_total": 0, "max_at_io": 0,
+                "devices": {device: 0 for device in DEVICES}}
     swept = 0
     for at_io in range(1, SWEEP_POINTS + 1):
-        durable, plan = _victim()
+        device = DEVICES[(at_io - 1) % len(DEVICES)]
+        durable, plan = _victim(device)
         plan.schedule_crash(at_io=at_io, torn_fraction=0.5)
         applied = 0
         try:
@@ -190,6 +210,7 @@ def _run_sweep():
 
         outcomes["prefixes"].add(n_extra)
         outcomes["replayed_total"] += result.wal_records_replayed
+        outcomes["devices"][device] += 1
     return swept, outcomes
 
 
@@ -221,7 +242,11 @@ def bench_e16_crash_recovery(benchmark, results_sink):
             [[swept, len(outcomes["prefixes"]), outcomes["replayed_total"], 0]],
             note=f"machine killed at transfers 1..{outcomes['max_at_io']} of the "
             "insert workload; every recovered index matched the brute-force "
-            "oracle exactly at its committed prefix",
+            "oracle exactly at its committed prefix; crash points rotate "
+            "over device/layouts " + ", ".join(
+                f"{device}={count}"
+                for device, count in outcomes["devices"].items()
+            ),
         )
     )
 

@@ -10,6 +10,8 @@ machine death on the simulated external-memory disk:
 * :mod:`~repro.durability.snapshot` — verified whole-index snapshots;
 * :mod:`~repro.durability.wal` — the write-ahead log with group
   commit and torn-tail-safe replay;
+* :mod:`~repro.durability.logstore` — :class:`LogStructuredStore`, the
+  flash-aware append-only root (anchors + manifest chain + compaction);
 * :mod:`~repro.durability.recovery` — the recovery driver and the
   post-recovery invariant auditor;
 * :mod:`~repro.durability.durable` — :class:`DurableTopKIndex`, the
@@ -21,6 +23,11 @@ Crash injection itself lives with the rest of the chaos machinery in
 
 from repro.durability.codec import decode, encode, flatten_state, unflatten_state
 from repro.durability.durable import DurableTopKIndex
+from repro.durability.logstore import (
+    LogStructuredStore,
+    is_log_structured,
+    open_store,
+)
 from repro.durability.recovery import (
     AuditCheck,
     AuditReport,
@@ -44,6 +51,7 @@ __all__ = [
     "AuditReport",
     "DurableStore",
     "DurableTopKIndex",
+    "LogStructuredStore",
     "OP_DELETE",
     "OP_INSERT",
     "RecoveryResult",
@@ -55,6 +63,8 @@ __all__ = [
     "decode",
     "encode",
     "flatten_state",
+    "is_log_structured",
+    "open_store",
     "read_committed",
     "read_snapshot",
     "recover_index",

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional
 
 from repro.core.interfaces import TopKIndex
 from repro.core.problem import Element, Predicate
+from repro.durability.logstore import open_store
 from repro.durability.recovery import RecoveryResult, apply_record, recover_index
 from repro.durability.snapshot import write_snapshot
 from repro.durability.store import DurableStore
@@ -274,11 +275,29 @@ class DurableTopKIndex(TopKIndex):
         }
         entry = write_snapshot(self.store, state)
         self.store.flush()  # barrier: data before the pointer to it
-        self.store.snapshots = [entry, *self.store.snapshots][:SNAPSHOTS_RETAINED]
+        retained = [entry, *self.store.snapshots][:SNAPSHOTS_RETAINED]
+        # Snapshots falling off the retention window are retired before
+        # the commit: their blocks sit in limbo until the commit below
+        # (the one that stops referencing them) is durable.
+        for dropped in self.store.snapshots[SNAPSHOTS_RETAINED - 1 :]:
+            self.store.retire_chain(dropped.head_block)
+        self.store.snapshots = retained
         self.wal.truncate()
         self.store.wal_head = self.wal.head
         self.store.commit_superblock()
         self.checkpoints += 1
+
+    def compact_store(self) -> int:
+        """Checkpoint, then fold the store's dead segments (ops lever).
+
+        On a :class:`~repro.durability.logstore.LogStructuredStore`
+        this rewrites the manifest and TRIMs every dead block — the
+        mitigation for a ``write_amp_spike`` incident.  On a plain
+        store it degrades to a checkpoint and returns 0.
+        """
+        self.checkpoint()
+        compact = getattr(self.store, "compact", None)
+        return compact() if compact is not None else 0
 
     # ------------------------------------------------------------------
     # Recovery
@@ -300,7 +319,7 @@ class DurableTopKIndex(TopKIndex):
         immediately so the pre-crash log is retired and the recovered
         state becomes the new durable baseline.
         """
-        store = DurableStore.open(disk, B=B, M=M)
+        store = open_store(disk, B=B, M=M)
         result = recover_index(store, restore_fn, build_fn)
         return cls(
             result.index,

@@ -1,0 +1,364 @@
+"""Log-structured durable root: anchors, a manifest chain, compaction.
+
+:class:`~repro.durability.store.DurableStore` commits its root by
+overwriting one of two superblocks in place — harmless on a magnetic
+disk, hostile on flash, where an in-place overwrite of the same logical
+block on every checkpoint concentrates program/erase traffic and the
+truncated WAL's abandoned chains are never declared dead, so the FTL
+copies their garbage forever.  :class:`LogStructuredStore` keeps the
+same store surface with a flash-native layout:
+
+* **anchors** — blocks 0 and 1 hold ``("ANCHOR", version, anchor_seq,
+  manifest_head)``.  They are rewritten only at *compaction* (anchor
+  parity alternates with ``anchor_seq``), not per checkpoint, so the
+  hottest blocks of the plain layout become the coldest ones here.
+* **manifest chain** — an append-only chain of sealed blocks, each
+  ``[("MANI", seq, next_id), ("ROOT", version, epoch, snapshots,
+  wal_head, next_snapshot_id)]``.  A superblock commit *appends* one
+  root record instead of overwriting anything; mounting walks the chain
+  from the anchored head and adopts the **last** valid root.  The tail
+  block is pre-allocated like every other chain in the store, so a torn
+  commit fails its seal and mounting stops at the previous root.
+* **space recycling** — chains dropped by a checkpoint (truncated WAL,
+  expired snapshots) are retired into *limbo* and promoted to the free
+  pool only once the superblock commit that stopped referencing them is
+  durable.  :meth:`allocate` reuses free blocks **wipe-on-reuse**: the
+  block is discarded (TRIM on flash, cleared on a plain disk) before it
+  re-enters service, so a stale sealed chain block can never splice
+  itself into a new chain after a crash.
+* **compaction** (:meth:`compact`) — folds the ever-growing manifest
+  into a single fresh record, flips the anchor, then discards every
+  block the new root does not reference.  On a :class:`~repro.flash.
+  disk.FlashDisk` those discards are the TRIMs that let garbage
+  collection reclaim dead segments without copying them — the
+  difference experiment E24 measures.
+
+Crash ordering at compaction is load-bearing: (1) new manifest chain
+durable, (2) anchor flip durable, (3) discards.  A crash inside (1) or
+(2) leaves the old anchor pointing at the old, intact manifest; a crash
+inside (3) leaves the new anchor pointing at the new, intact manifest —
+either way recovery mounts a complete root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.durability.store import (
+    FORMAT_VERSION,
+    DurableStore,
+    SnapshotEntry,
+    unseal,
+)
+from repro.em.model import Disk, block_checksum
+from repro.resilience.errors import RecoveryError, SnapshotIntegrityError
+
+_ANCHOR_BLOCKS = (0, 1)
+_MANI_KIND = "MANI"
+
+
+def is_log_structured(disk: Disk) -> bool:
+    """Whether ``disk`` carries a :class:`LogStructuredStore` layout.
+
+    Peeks at the anchor blocks raw (no context, no charge): a disk
+    formatted by this store has a sealed ``ANCHOR`` record in block 0
+    or 1, where the plain layout keeps ``SUPER`` records.  Used by
+    recovery to mount the right store class without being told.
+    """
+    for block_id in _ANCHOR_BLOCKS:
+        if block_id >= disk.num_blocks:
+            return False
+        try:
+            payload = unseal(list(disk.raw_read(block_id)), block_id=block_id)
+        except SnapshotIntegrityError:
+            continue
+        record = payload[0] if len(payload) == 1 else None
+        if isinstance(record, tuple) and record and record[0] == "ANCHOR":
+            return True
+    return False
+
+
+def open_store(disk: Disk, B: int = 16, M: Optional[int] = None) -> DurableStore:
+    """Mount ``disk`` with whichever store class formatted it."""
+    if is_log_structured(disk):
+        return LogStructuredStore.open(disk, B=B, M=M)
+    return DurableStore.open(disk, B=B, M=M)
+
+
+class LogStructuredStore(DurableStore):
+    """Append-only root publication over the plain store's block layer.
+
+    Drop-in for :class:`DurableStore` — same ``allocate`` /
+    ``write_sealed`` / chain / ``commit_superblock`` surface, so the
+    WAL, snapshots, recovery, replication and anti-entropy layers run
+    unmodified.  See the module docstring for the on-disk layout.
+    """
+
+    def __init__(
+        self,
+        ctx=None,
+        B: int = 16,
+        M: Optional[int] = None,
+        _format: bool = True,
+    ) -> None:
+        super().__init__(ctx=ctx, B=B, M=M, _format=False)
+        self.anchor_seq = 0
+        self.compactions = 0
+        self._mani_head: Optional[int] = None
+        self._mani_open: Optional[int] = None
+        self._mani_seq = 0
+        self._free: List[int] = []
+        self._limbo: List[int] = []
+        if _format:
+            for _ in _ANCHOR_BLOCKS:
+                self.ctx.disk.allocate()
+            self._mani_head = self.ctx.disk.allocate()
+            self._mani_open = self._mani_head
+            self._append_root()
+            self._write_anchor(target=_ANCHOR_BLOCKS[0])
+            self.ctx.flush()
+
+    # ------------------------------------------------------------------
+    # Space recycling
+    # ------------------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        """Blocks ready for reuse (dead, discarded on reallocation)."""
+        return len(self._free)
+
+    @property
+    def limbo_blocks(self) -> int:
+        """Retired blocks awaiting the commit that unreferences them."""
+        return len(self._limbo)
+
+    def allocate(self) -> int:
+        if not self._free:
+            return self.ctx.disk.allocate()
+        block_id = self._free.pop(0)
+        # Wipe-on-reuse: the block's stale sealed contents must be
+        # unreadable before the id re-enters service, or a crash could
+        # let recovery splice the retired chain it used to belong to
+        # into a live one (their (kind, seq) headers can collide).
+        self.ctx.disk.discard(block_id)
+        self.ctx.drop_frame(block_id)
+        return block_id
+
+    def retire_chain(self, head: Optional[int]) -> None:
+        if head is None:
+            return
+        self._limbo.extend(self._chain_blocks(head))
+
+    # ------------------------------------------------------------------
+    # Root publication
+    # ------------------------------------------------------------------
+    def commit_superblock(self) -> None:
+        """Publish the root by appending one manifest record.
+
+        Nothing is overwritten: the record goes into the pre-allocated
+        manifest tail, a new tail is pre-allocated, and the flush makes
+        it durable.  Until then, mounting sees the previous root; torn,
+        the new record fails its seal and mounting *still* sees the
+        previous root.  Once the commit is durable, limbo blocks —
+        retired by the checkpoint this commit concludes — are finally
+        unreferenced from every mountable root and re-enter the free
+        pool.
+        """
+        self.epoch += 1
+        self._append_root()
+        self.ctx.flush()
+        self._free.extend(sorted(set(self._limbo)))
+        self._limbo.clear()
+
+    def _append_root(self) -> None:
+        next_id = self.allocate()
+        record = (
+            "ROOT",
+            FORMAT_VERSION,
+            self.epoch,
+            tuple(entry.as_record() for entry in self.snapshots),
+            self.wal_head,
+            self.next_snapshot_id,
+        )
+        self.write_sealed(
+            self._mani_open, [(_MANI_KIND, self._mani_seq, next_id), record]
+        )
+        self._mani_open = next_id
+        self._mani_seq += 1
+
+    def _write_anchor(self, target: int) -> None:
+        self.write_sealed(
+            target, [("ANCHOR", FORMAT_VERSION, self.anchor_seq, self._mani_head)]
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Fold the manifest, flip the anchor, discard dead blocks.
+
+        Returns the number of blocks discarded.  On flash the discards
+        are TRIMs — after this, garbage collection reclaims every dead
+        segment for free instead of copying its pages around.
+        """
+        self._mani_head = self.allocate()
+        self._mani_open = self._mani_head
+        self._mani_seq = 0
+        self._append_root()
+        self.ctx.flush()
+        self.anchor_seq += 1
+        self._write_anchor(target=_ANCHOR_BLOCKS[self.anchor_seq % 2])
+        self.ctx.flush()
+        live = set(self.reachable_blocks())
+        trimmed = 0
+        for block_id in range(self.ctx.disk.num_blocks):
+            if block_id in live:
+                continue
+            self.ctx.disk.discard(block_id)
+            self.ctx.drop_frame(block_id)
+            trimmed += 1
+        self._free = sorted(set(range(self.ctx.disk.num_blocks)) - live)
+        self._limbo.clear()
+        self.compactions += 1
+        return trimmed
+
+    # ------------------------------------------------------------------
+    # Mounting
+    # ------------------------------------------------------------------
+    def _load_superblock(self) -> None:
+        best: Optional[Tuple] = None
+        for block_id in _ANCHOR_BLOCKS:
+            try:
+                payload = self.read_sealed(block_id)
+            except SnapshotIntegrityError:
+                continue
+            if len(payload) != 1:
+                continue
+            record = payload[0]
+            if not (
+                isinstance(record, tuple)
+                and len(record) == 4
+                and record[0] == "ANCHOR"
+            ):
+                continue
+            if record[1] != FORMAT_VERSION:
+                raise SnapshotIntegrityError(
+                    f"anchor {block_id} has format version {record[1]}, "
+                    f"this build reads version {FORMAT_VERSION}"
+                )
+            if best is None or record[2] > best[2]:
+                best = record
+        if best is None:
+            raise RecoveryError(
+                "no valid anchor: both anchor blocks are damaged or the "
+                "disk was never formatted by a LogStructuredStore"
+            )
+        self.anchor_seq = best[2]
+        self._mani_head = best[3]
+
+        root: Optional[Tuple] = None
+        block_id: Optional[int] = self._mani_head
+        seq = 0
+        while block_id is not None and block_id < self.ctx.disk.num_blocks:
+            try:
+                payload = self.read_sealed(block_id)
+            except SnapshotIntegrityError:
+                break  # the pre-allocated open tail (or a torn commit)
+            if len(payload) != 2:
+                break
+            header, record = payload
+            if not (
+                isinstance(header, tuple)
+                and len(header) == 3
+                and header[0] == _MANI_KIND
+                and header[1] == seq
+            ):
+                break
+            if not (
+                isinstance(record, tuple)
+                and len(record) == 6
+                and record[0] == "ROOT"
+            ):
+                break
+            root = record
+            block_id = header[2]
+            seq += 1
+        if root is None:
+            raise RecoveryError(
+                f"anchor {self.anchor_seq} points at manifest block "
+                f"{self._mani_head} but no valid root record is readable"
+            )
+        # Resume appending where the last valid root's pre-allocated
+        # tail sits; a torn record there is simply rewritten (it never
+        # sealed, so no durable state is overwritten).
+        self._mani_open = block_id
+        self._mani_seq = seq
+        _, _, self.epoch, snapshots, self.wal_head, self.next_snapshot_id = root
+        self.snapshots = [SnapshotEntry.from_record(r) for r in snapshots]
+        live = set(self.reachable_blocks())
+        self._free = sorted(set(range(self.ctx.disk.num_blocks)) - live)
+        self._limbo = []
+        if self._mani_open is None or self._mani_open >= self.ctx.disk.num_blocks:
+            # Only reachable through a damaged next-pointer; give the
+            # manifest a sound tail to continue on.
+            self._mani_open = self.allocate()
+
+    # ------------------------------------------------------------------
+    # Audit surface
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> List[int]:
+        """Anchors + manifest chain + every chain the root references."""
+        out = list(_ANCHOR_BLOCKS)
+        if self._mani_head is not None:
+            out.extend(self._chain_blocks(self._mani_head))
+        for entry in self.snapshots:
+            out.extend(self._chain_blocks(entry.head_block))
+        if self.wal_head is not None:
+            out.extend(self._chain_blocks(self.wal_head))
+        return out
+
+    def fingerprints(self) -> Dict[int, Tuple[int, bool]]:
+        """The base walk plus the manifest chain.
+
+        The manifest's terminal block is the pre-allocated open tail —
+        unreadable by design, excluded exactly like the WAL's, so a
+        healthy replica never fingerprints as damaged.  (Blocks 0 and 1
+        are fingerprinted by the base walk; here they hold the anchors,
+        which seal-verify the same way superblocks do.)
+        """
+        out = super().fingerprints()
+        for block_id in _ANCHOR_BLOCKS:
+            entry = out.get(block_id)
+            if entry is None or entry[1]:
+                continue
+            self.ctx.stats.reads += 1
+            if not list(self.ctx.disk.raw_read(block_id)):
+                # An anchor the parity has not yet flipped to is blank
+                # by design (anchors are written only at compaction) —
+                # blank is not damage, so don't report it as such.
+                del out[block_id]
+        if self._mani_head is None:
+            return out
+        chain = self._chain_blocks(self._mani_head)
+        for position, block_id in enumerate(chain):
+            records = list(self.ctx.disk.raw_read(block_id))
+            self.ctx.stats.reads += 1
+            try:
+                unseal(records, block_id=block_id)
+                seal_ok = True
+            except SnapshotIntegrityError:
+                seal_ok = False
+            if not seal_ok and position == len(chain) - 1:
+                continue
+            out[block_id] = (block_checksum(records), seal_ok)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogStructuredStore(epoch={self.epoch}, anchor_seq={self.anchor_seq}, "
+            f"manifest={self._mani_head}..{self._mani_open}, "
+            f"free={len(self._free)}, limbo={len(self._limbo)}, "
+            f"blocks={self.ctx.disk.num_blocks})"
+        )
+
+
+__all__ = ["LogStructuredStore", "is_log_structured", "open_store"]

@@ -31,7 +31,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.em.model import Disk, EMContext
+from repro.em.model import Disk, EMContext, stable_repr
 from repro.resilience.errors import (
     CorruptBlockError,
     InvalidConfiguration,
@@ -44,9 +44,16 @@ _SUPER_BLOCKS = (0, 1)
 
 
 def seal(payload: Sequence[object]) -> List[object]:
-    """Append the integrity seal: payload + ``("SEAL", crc)``."""
+    """Append the integrity seal: payload + ``("SEAL", crc)``.
+
+    CRCs are taken over the address-masked :func:`stable_repr`, so two
+    processes sealing identical logical contents produce identical
+    seals (default ``repr`` embeds ``id()`` addresses).
+    """
     records = list(payload)
-    records.append(("SEAL", zlib.crc32(repr(records).encode("utf-8", "backslashreplace"))))
+    records.append(
+        ("SEAL", zlib.crc32(stable_repr(records).encode("utf-8", "backslashreplace")))
+    )
     return records
 
 
@@ -63,7 +70,7 @@ def unseal(records: Sequence[object], block_id: Optional[int] = None) -> List[ob
             f"block {block_id} has no seal (torn write)", block_id=block_id
         )
     payload = list(records[:-1])
-    expect = zlib.crc32(repr(payload).encode("utf-8", "backslashreplace"))
+    expect = zlib.crc32(stable_repr(payload).encode("utf-8", "backslashreplace"))
     if last[1] != expect:
         raise SnapshotIntegrityError(
             f"block {block_id} seal mismatch (damaged contents)", block_id=block_id
@@ -159,6 +166,15 @@ class DurableStore:
 
     def write_sealed(self, block_id: int, payload: Sequence[object]) -> None:
         self.ctx.write_block(block_id, seal(payload))
+
+    def retire_chain(self, head: Optional[int]) -> None:
+        """A chain the root no longer references (checkpoint cleanup).
+
+        The plain store simply abandons the blocks — disks with free
+        in-place overwrite have nothing to reclaim.  The log-structured
+        subclass holds them in limbo and recycles them once the commit
+        that dropped the reference is durable.
+        """
 
     def read_sealed(self, block_id: int) -> List[object]:
         """Read + verify one durable block.

@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple
 from repro.core.problem import Element
 from repro.durability.codec import decode, encode
 from repro.durability.store import DurableStore
+from repro.em.model import stable_repr
 from repro.resilience.errors import SnapshotIntegrityError
 
 OP_INSERT = "insert"
@@ -42,7 +43,9 @@ _CHAIN_KIND = "WAL"
 
 
 def _group_crc(op_records: List[Tuple]) -> int:
-    return zlib.crc32(repr(op_records).encode("utf-8", "backslashreplace"))
+    # stable_repr, not repr: group CRCs must agree across processes
+    # (a follower verifies CRCs over groups a primary computed).
+    return zlib.crc32(stable_repr(op_records).encode("utf-8", "backslashreplace"))
 
 
 @dataclass(frozen=True)
@@ -180,10 +183,15 @@ class WriteAheadLog:
         """
         if not self._chain_dirty:
             return
+        old_head = self.head
         self.head = self.store.allocate()
         self._open = self.head
         self._next_seq = 0
         self._chain_dirty = False
+        # On a log-structured store the old chain's blocks re-enter
+        # service once the superblock commit that stops referencing
+        # them lands; the plain store just abandons them.
+        self.store.retire_chain(old_head)
 
 
 def read_committed(

@@ -15,6 +15,7 @@ O(1) words" convention.
 
 from __future__ import annotations
 
+import re
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -29,14 +30,43 @@ from repro.resilience.errors import (
 from repro.resilience.faults import FaultPlan
 
 
+#: ``object.__repr__`` embeds the instance's memory address; masking it
+#: keeps checksums of identical logical contents equal across processes
+#: (the same idiom the serving planner uses for its sort keys).
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def stable_repr(value: object) -> str:
+    """``repr`` with memory addresses masked — process-independent."""
+    return _ADDRESS_RE.sub("0xADDR", repr(value))
+
+
 def block_checksum(records: List[object]) -> int:
     """A cheap deterministic checksum of one block's records.
 
-    CRC32 over the records' reprs — strong enough to catch the record
-    drops/overwrites a :class:`~repro.resilience.faults.FaultPlan`
-    injects, cheap enough to verify on every (uncached) read.
+    CRC32 over the records' *address-masked* reprs — strong enough to
+    catch the record drops/overwrites a
+    :class:`~repro.resilience.faults.FaultPlan` injects, cheap enough
+    to verify on every (uncached) read, and equal across processes even
+    for records whose default ``repr`` would embed a memory address.
     """
-    return zlib.crc32(repr(records).encode("utf-8", "backslashreplace"))
+    return zlib.crc32(stable_repr(records).encode("utf-8", "backslashreplace"))
+
+
+#: IOStats counter fields that subtract in :meth:`IOStats.delta`.
+_IOSTATS_COUNTERS = (
+    "reads",
+    "writes",
+    "cache_hits",
+    "flash_host_writes",
+    "flash_device_writes",
+    "flash_erases",
+    "flash_gc_copies",
+    "flash_gc_stalls",
+    "flash_trims",
+)
+#: Point-in-time gauges that pass through a delta unchanged.
+_IOSTATS_GAUGES = ("flash_max_wear", "flash_mean_wear")
 
 
 @dataclass
@@ -46,34 +76,68 @@ class IOStats:
     ``reads``/``writes`` count block transfers.  ``cache_hits`` counts
     block accesses served from memory (free in the EM model, tracked for
     diagnostics only).
+
+    The ``flash_*`` fields stay zero on a plain :class:`Disk`; a
+    :class:`~repro.flash.disk.FlashDisk` bound to the context mirrors
+    its device counters here — logical host writes, physical page
+    programs (host + GC relocations), erases, GC copies/stalls, trims —
+    plus the wear *gauges* (max / mean per-erase-block erase count).
+    Counters subtract in :meth:`delta`; gauges pass through as current
+    values, so a delta's :attr:`write_amplification` is the WA of
+    exactly that window.
     """
 
     reads: int = 0
     writes: int = 0
     cache_hits: int = 0
+    flash_host_writes: int = 0
+    flash_device_writes: int = 0
+    flash_erases: int = 0
+    flash_gc_copies: int = 0
+    flash_gc_stalls: int = 0
+    flash_trims: int = 0
+    flash_max_wear: int = 0
+    flash_mean_wear: float = 0.0
 
     @property
     def total(self) -> int:
         """Total I/Os (reads + writes) — the EM cost measure."""
         return self.reads + self.writes
 
+    @property
+    def write_amplification(self) -> float:
+        """Physical page programs per logical host write (0 off flash)."""
+        if self.flash_host_writes == 0:
+            return 0.0
+        return self.flash_device_writes / self.flash_host_writes
+
     def reset(self) -> None:
         """Zero every counter (used between benchmark phases)."""
-        self.reads = 0
-        self.writes = 0
-        self.cache_hits = 0
+        for name in _IOSTATS_COUNTERS:
+            setattr(self, name, 0)
+        self.flash_max_wear = 0
+        self.flash_mean_wear = 0.0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(self.reads, self.writes, self.cache_hits)
+        return IOStats(**{
+            name: getattr(self, name)
+            for name in _IOSTATS_COUNTERS + _IOSTATS_GAUGES
+        })
 
     def delta(self, earlier: "IOStats") -> "IOStats":
-        """Counters accumulated since ``earlier`` was snapshotted."""
-        return IOStats(
-            self.reads - earlier.reads,
-            self.writes - earlier.writes,
-            self.cache_hits - earlier.cache_hits,
-        )
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        Gauges (wear) are point-in-time values and carry the *current*
+        reading rather than a difference.
+        """
+        out = IOStats(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in _IOSTATS_COUNTERS
+        })
+        for name in _IOSTATS_GAUGES:
+            setattr(out, name, getattr(self, name))
+        return out
 
 
 class Disk:
@@ -125,6 +189,19 @@ class Disk:
         self._blocks[block_id] = list(records[:keep])
         if self._checksums_enabled:
             self._checksums[block_id] = block_checksum(list(records))
+
+    def discard(self, block_id: int) -> None:
+        """TRIM: the caller declares this block's contents dead.
+
+        On a plain disk the block is simply wiped (reads as empty until
+        rewritten); a :class:`~repro.flash.disk.FlashDisk` additionally
+        invalidates the backing page so garbage collection reclaims it
+        without copying.  Log-structured stores call this on retired
+        chain blocks — device-agnostically.
+        """
+        self._blocks[block_id] = []
+        if self._checksums_enabled:
+            self._checksums[block_id] = block_checksum([])
 
     @property
     def num_blocks(self) -> int:
@@ -198,6 +275,11 @@ class EMContext:
         self.M = M
         self.disk = disk if disk is not None else Disk()
         self.stats = IOStats()
+        # A flash device mirrors its counters (programs, erases, wear)
+        # into whichever context currently drives it — this one, now.
+        bind = getattr(self.disk, "bind_stats", None)
+        if bind is not None:
+            bind(self.stats)
         self.fault_plan: Optional[FaultPlan] = None
         self._frames: "OrderedDict[int, List[object]]" = OrderedDict()
         self._dirty: Dict[int, bool] = {}
@@ -295,6 +377,17 @@ class EMContext:
     def drop_cache(self) -> None:
         """Flush then forget all frames — forces cold-cache measurements."""
         self.flush()
+
+    def drop_frame(self, block_id: int) -> None:
+        """Forget any cached copy of ``block_id`` without performing I/O.
+
+        Used by log-structured storage after discarding a block: the
+        disk contents changed beneath the cache, so a retained frame —
+        clean or dirty — would serve (or write back) stale data for a
+        block that is dead by decree.
+        """
+        self._frames.pop(block_id, None)
+        self._dirty.pop(block_id, None)
 
     # ------------------------------------------------------------------
     # Analytic charging (for components modelled as sequential scans)

@@ -1,0 +1,28 @@
+"""`repro.flash` — a flash-translation layer beneath the block disk.
+
+Real deployments sit on flash, where overwrites are rewrites and
+sustained WAL+checkpoint traffic is silently multiplied by garbage
+collection.  This package models that device honestly —
+:class:`FlashTranslationLayer` (page mapping, erase blocks, greedy /
+cost-benefit GC, trim, per-block wear) under :class:`FlashDisk`, a
+drop-in for :class:`~repro.em.model.Disk` — so every layer built on the
+EM machine can measure what the medium actually does with its writes.
+"""
+
+from repro.flash.disk import FlashDisk
+from repro.flash.ftl import (
+    GC_COST_BENEFIT,
+    GC_GREEDY,
+    FlashConfig,
+    FlashStats,
+    FlashTranslationLayer,
+)
+
+__all__ = [
+    "FlashDisk",
+    "FlashConfig",
+    "FlashStats",
+    "FlashTranslationLayer",
+    "GC_GREEDY",
+    "GC_COST_BENEFIT",
+]

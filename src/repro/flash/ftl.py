@@ -1,0 +1,443 @@
+"""The flash-translation layer: page mapping, erase blocks, GC, wear.
+
+Real flash cannot overwrite in place.  The medium is organised into
+*erase blocks* of ``pages_per_block`` pages; a page can be **programmed**
+(written) only after its whole block was **erased**, and erases are the
+expensive, wear-limited operation.  An FTL hides this behind a
+logical-page interface:
+
+* every logical write programs a *clean* page at the write frontier and
+  invalidates the page that held the previous version — overwrites
+  never happen in place;
+* when clean blocks run low, **garbage collection** picks a victim
+  block, relocates its still-valid pages to the frontier (these copies
+  are the *write amplification*: device writes the host never asked
+  for), and erases it;
+* **trim** (`discard`) tells the device a logical page is dead, so GC
+  can reclaim its space without copying it.  An FTL that is never told
+  must treat logically-dead data as live and copy it forever — the
+  classic no-TRIM pathology this module makes measurable;
+* per-block erase counters expose **wear**: flash blocks survive a
+  bounded number of erases, so a GC policy that hammers one block is a
+  lifetime bug even when throughput looks fine.
+
+Two victim-selection policies are provided (both deterministic):
+
+``greedy``
+    Pick the block with the most invalid pages — minimal copying *now*.
+``cost_benefit``
+    Rank by ``(1 - u) / (2u) * age`` (u = valid fraction, age = ticks
+    since the block was last programmed), the classic cleaning rule
+    from LFS/flash literature: old, half-dirty blocks beat hot blocks
+    whose remaining valid pages are about to die anyway.
+
+The layer is a pure in-memory model — time is an operation counter, no
+wall clock, no RNG — so every (workload, config) pair reproduces the
+identical page layout, GC schedule, and wear profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resilience.errors import InvalidConfiguration, SimulatedCrash
+
+GC_GREEDY = "greedy"
+GC_COST_BENEFIT = "cost_benefit"
+
+
+@dataclass(frozen=True)
+class FlashConfig:
+    """Geometry and policy of one simulated flash device.
+
+    Parameters
+    ----------
+    pages_per_block:
+        Pages per erase block (the erase granularity).
+    capacity_pages:
+        ``None`` (default) makes the pool *elastic*: the device grows by
+        one erase block whenever GC cannot reclaim space, so any
+        workload that fits on a plain :class:`~repro.em.model.Disk`
+        runs unmodified.  A number fixes the physical pool at
+        ``capacity_pages * (1 + overprovision)`` pages — the realistic
+        mode where utilization pressure drives write amplification.
+    overprovision:
+        Extra physical space beyond ``capacity_pages``, as a fraction
+        (fixed-capacity mode only).  Real SSDs reserve 7–28%.
+    gc_policy:
+        ``"greedy"`` or ``"cost_benefit"`` (module docstring).
+    gc_reserve:
+        GC refills the clean-block pool to more than this many blocks
+        before a host write proceeds (fixed-capacity mode).
+    initial_blocks:
+        Starting pool size in elastic mode.
+    """
+
+    pages_per_block: int = 8
+    capacity_pages: Optional[int] = None
+    overprovision: float = 0.25
+    gc_policy: str = GC_GREEDY
+    gc_reserve: int = 1
+    initial_blocks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pages_per_block < 2:
+            raise InvalidConfiguration(
+                f"pages_per_block must be >= 2, got {self.pages_per_block}"
+            )
+        if self.gc_policy not in (GC_GREEDY, GC_COST_BENEFIT):
+            raise InvalidConfiguration(
+                f"unknown gc_policy {self.gc_policy!r}"
+            )
+        if self.overprovision < 0:
+            raise InvalidConfiguration(
+                f"overprovision must be >= 0, got {self.overprovision}"
+            )
+        if self.capacity_pages is not None and self.capacity_pages < 1:
+            raise InvalidConfiguration(
+                f"capacity_pages must be >= 1, got {self.capacity_pages}"
+            )
+
+
+@dataclass
+class FlashStats:
+    """Cumulative device-side counters (survive reboots with the device).
+
+    ``host_writes`` counts logical page writes the host issued;
+    ``device_writes`` counts physical page programs (host writes plus
+    GC relocations), so ``write_amplification = device / host`` is the
+    factor by which the medium worked harder than the workload asked.
+    """
+
+    host_writes: int = 0
+    device_writes: int = 0
+    erases: int = 0
+    gc_runs: int = 0
+    gc_page_copies: int = 0
+    gc_stalls: int = 0        # host writes that had to wait for GC
+    trims: int = 0
+    emergency_growths: int = 0  # fixed pool forced to grow (no victim)
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_writes == 0:
+            return 0.0
+        return self.device_writes / self.host_writes
+
+
+class _EraseBlock:
+    """One erase block: its valid-page map, invalid count, and wear."""
+
+    __slots__ = ("index", "valid", "invalid", "erases", "next_page", "stamp")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.valid: Dict[int, int] = {}  # page offset -> lpn
+        self.invalid = 0
+        self.erases = 0
+        self.next_page = 0  # frontier position; == pages_per_block: full
+        self.stamp = 0      # op-counter time of the last program (age)
+
+
+class FlashTranslationLayer:
+    """Page-mapped FTL over an in-memory page store (module docstring)."""
+
+    def __init__(self, config: Optional[FlashConfig] = None) -> None:
+        self.config = config if config is not None else FlashConfig()
+        self.stats = FlashStats()
+        self._blocks: List[_EraseBlock] = []
+        self._free: List[int] = []           # fully erased block indices
+        self._open: Optional[int] = None     # current write frontier
+        self._map: Dict[int, int] = {}       # lpn -> ppn
+        self._payloads: Dict[int, object] = {}  # ppn -> page payload
+        self._clock = 0                      # op counter (cost-benefit age)
+        self._gc_crash_after: Optional[int] = None  # one-shot crash hook
+        cfg = self.config
+        if cfg.capacity_pages is None:
+            blocks = max(1, cfg.initial_blocks)
+        else:
+            physical = int(cfg.capacity_pages * (1.0 + cfg.overprovision))
+            physical = max(physical, cfg.capacity_pages + cfg.pages_per_block)
+            blocks = -(-physical // cfg.pages_per_block)
+            blocks = max(blocks, cfg.gc_reserve + 2)
+        for _ in range(blocks):
+            self._add_block()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def num_erase_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def physical_pages(self) -> int:
+        return len(self._blocks) * self.config.pages_per_block
+
+    @property
+    def valid_pages(self) -> int:
+        return len(self._map)
+
+    @property
+    def free_pages(self) -> int:
+        """Clean, programmable pages (free blocks + frontier headroom)."""
+        ppb = self.config.pages_per_block
+        total = len(self._free) * ppb
+        if self._open is not None:
+            total += ppb - self._blocks[self._open].next_page
+        return total
+
+    @property
+    def utilization(self) -> float:
+        """Device-valid pages over physical pages (GC pressure gauge)."""
+        if not self._blocks:
+            return 0.0
+        return self.valid_pages / self.physical_pages
+
+    def wear_counters(self) -> List[int]:
+        """Per-erase-block erase counts, in block order."""
+        return [block.erases for block in self._blocks]
+
+    @property
+    def max_wear(self) -> int:
+        return max((b.erases for b in self._blocks), default=0)
+
+    @property
+    def mean_wear(self) -> float:
+        if not self._blocks:
+            return 0.0
+        return sum(b.erases for b in self._blocks) / len(self._blocks)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self._map
+
+    def physical_page(self, lpn: int) -> Optional[int]:
+        """The current physical page of ``lpn`` (None when unmapped)."""
+        return self._map.get(lpn)
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def read(self, lpn: int) -> Optional[object]:
+        """The payload of ``lpn``, or ``None`` when unmapped/trimmed."""
+        ppn = self._map.get(lpn)
+        if ppn is None:
+            return None
+        return self._payloads[ppn]
+
+    def write(self, lpn: int, payload: object) -> int:
+        """Program ``payload`` for ``lpn``; returns the physical page.
+
+        The previous version's page (if any) is invalidated — never
+        overwritten.  May run garbage collection first when clean pages
+        are scarce; a GC forced into the write path counts as one
+        ``gc_stalls``.
+        """
+        self.stats.host_writes += 1
+        gc_before = self.stats.gc_runs
+        self._ensure_frontier()
+        if self.stats.gc_runs > gc_before:
+            self.stats.gc_stalls += 1
+        return self._program(lpn, payload)
+
+    def trim(self, lpn: int) -> bool:
+        """Declare ``lpn`` dead: its page becomes reclaimable for free.
+
+        Returns whether a mapping existed.  This is the discard channel
+        a log-structured store uses after compaction; without it GC
+        must relocate logically-dead pages as if they were live.
+        """
+        ppn = self._map.pop(lpn, None)
+        if ppn is None:
+            return False
+        self._invalidate(ppn)
+        self.stats.trims += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Crash injection (deterministic chaos hooks)
+    # ------------------------------------------------------------------
+    def schedule_gc_crash(self, after_copies: int) -> None:
+        """One-shot: kill the machine after ``after_copies`` GC copies.
+
+        ``after_copies=0`` dies before the first relocation of the next
+        GC run.  Relocations already performed are durable (the mapping
+        is updated per page and the victim is erased only after every
+        copy landed), so a mid-GC crash must lose *nothing* — the sweep
+        benches assert exactly that.
+        """
+        self._gc_crash_after = max(0, int(after_copies))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add_block(self) -> None:
+        block = _EraseBlock(len(self._blocks))
+        self._blocks.append(block)
+        self._free.append(block.index)
+
+    def _grow(self) -> None:
+        if self.config.capacity_pages is not None:
+            # The fixed pool is out of reclaimable space: every page is
+            # device-valid.  Growing keeps the simulation running (and
+            # countable) instead of bricking the device.
+            self.stats.emergency_growths += 1
+        self._add_block()
+
+    def _ensure_frontier(self) -> None:
+        """Make sure the frontier has at least one clean page."""
+        cfg = self.config
+        if (
+            self._open is not None
+            and self._blocks[self._open].next_page < cfg.pages_per_block
+        ):
+            return
+        self._open = None
+        reserve = cfg.gc_reserve if cfg.capacity_pages is not None else 0
+        if len(self._free) <= reserve:
+            self._collect_until(reserve)
+        # GC relocations may have opened (and partially filled) a new
+        # frontier; keep writing into it — popping another free block
+        # here would strand the partial block outside both the free
+        # pool and the victim-candidate set.
+        if (
+            self._open is not None
+            and self._blocks[self._open].next_page < cfg.pages_per_block
+        ):
+            return
+        self._open = None
+        if not self._free:
+            self._grow()
+        self._open = self._free.pop(0)
+
+    def _collect_until(self, reserve: int) -> None:
+        """Run GC victims until the free pool exceeds ``reserve``."""
+        while len(self._free) <= reserve:
+            victim = self._select_victim()
+            if victim is None:
+                return  # nothing reclaimable; caller may grow the pool
+            self._collect(victim)
+
+    def _select_victim(self) -> Optional[_EraseBlock]:
+        candidates = [
+            block
+            for block in self._blocks
+            if block.index != self._open
+            and block.next_page == self.config.pages_per_block
+            and block.invalid > 0
+        ]
+        if not candidates:
+            return None
+        if self.config.gc_policy == GC_GREEDY:
+            return max(candidates, key=lambda b: (b.invalid, -b.index))
+        # cost-benefit: (1 - u) / (2u) * age; a fully-invalid block has
+        # u == 0 and wins outright.
+        def score(block: _EraseBlock) -> float:
+            ppb = self.config.pages_per_block
+            u = len(block.valid) / ppb
+            age = self._clock - block.stamp
+            if u == 0.0:
+                return float("inf")
+            return (1.0 - u) / (2.0 * u) * max(age, 1)
+
+        return max(candidates, key=lambda b: (score(b), -b.index))
+
+    def _collect(self, victim: _EraseBlock) -> None:
+        """Relocate the victim's valid pages, then erase it.
+
+        Crash-safe by construction: each relocation re-maps its logical
+        page atomically, and the erase happens only after every valid
+        page moved — a crash at any point leaves every logical page
+        mapped to an intact physical copy.
+        """
+        self.stats.gc_runs += 1
+        ppb = self.config.pages_per_block
+        for offset in sorted(victim.valid):
+            if self._gc_crash_after is not None:
+                if self._gc_crash_after == 0:
+                    self._gc_crash_after = None
+                    raise SimulatedCrash(
+                        "machine died during flash garbage collection"
+                    )
+                self._gc_crash_after -= 1
+            lpn = victim.valid[offset]
+            old_ppn = victim.index * ppb + offset
+            payload = self._payloads[old_ppn]
+            self._ensure_gc_frontier(exclude=victim.index)
+            new_ppn = self._program(lpn, payload, relocation=True)
+            assert new_ppn != old_ppn
+            self.stats.gc_page_copies += 1
+        # Every valid page has moved (relocation invalidated the old
+        # copies); the block is now pure garbage — erase it.
+        self._erase(victim)
+
+    def _ensure_gc_frontier(self, exclude: int) -> None:
+        cfg = self.config
+        if (
+            self._open is not None
+            and self._open != exclude
+            and self._blocks[self._open].next_page < cfg.pages_per_block
+        ):
+            return
+        if self._open == exclude:
+            self._open = None
+        if (
+            self._open is None
+            or self._blocks[self._open].next_page >= cfg.pages_per_block
+        ):
+            self._open = None
+            if not self._free:
+                self._grow()
+            self._open = self._free.pop(0)
+
+    def _program(self, lpn: int, payload: object, relocation: bool = False) -> int:
+        block = self._blocks[self._open]
+        ppn = block.index * self.config.pages_per_block + block.next_page
+        old_ppn = self._map.get(lpn)
+        self._payloads[ppn] = payload
+        block.valid[block.next_page] = lpn
+        block.next_page += 1
+        self._clock += 1
+        block.stamp = self._clock
+        self._map[lpn] = ppn
+        if old_ppn is not None:
+            self._invalidate(old_ppn)
+        self.stats.device_writes += 1
+        return ppn
+
+    def _invalidate(self, ppn: int) -> None:
+        ppb = self.config.pages_per_block
+        block = self._blocks[ppn // ppb]
+        block.valid.pop(ppn % ppb, None)
+        block.invalid += 1
+        self._payloads.pop(ppn, None)
+
+    def _erase(self, victim: _EraseBlock) -> None:
+        ppb = self.config.pages_per_block
+        base = victim.index * ppb
+        for offset in range(ppb):
+            self._payloads.pop(base + offset, None)
+        victim.valid.clear()
+        victim.invalid = 0
+        victim.next_page = 0
+        victim.erases += 1
+        self.stats.erases += 1
+        self._free.append(victim.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlashTranslationLayer(blocks={len(self._blocks)}, "
+            f"valid={self.valid_pages}/{self.physical_pages}, "
+            f"WA={self.stats.write_amplification:.2f}, "
+            f"erases={self.stats.erases})"
+        )
+
+
+__all__ = [
+    "FlashConfig",
+    "FlashStats",
+    "FlashTranslationLayer",
+    "GC_GREEDY",
+    "GC_COST_BENEFIT",
+]

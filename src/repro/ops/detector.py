@@ -57,6 +57,17 @@ identical anomaly stream.  The rule set mirrors the failure modes PRs
     Stale-epoch envelopes rejected this tick — a deposed primary (or a
     partition-stranded client of one) is still talking.  The fencing
     *worked*; the anomaly is that it had to.
+``write_amp_spike``
+    The flash-backed store's per-tick write amplification (device page
+    programs per logical host write, over this tick's deltas) crossed
+    ``write_amp_max`` with at least ``write_amp_min_writes`` host
+    writes behind it — garbage collection is churning relocations
+    because the log-structured store has accumulated dead segments.
+    The remedy is the ``compact_store`` lever.
+``wear_imbalance``
+    The most-erased flash block's wear exceeds
+    ``wear_imbalance_ratio`` times the mean (once the mean is past a
+    floor) — erase load is concentrating instead of leveling.
 """
 
 from __future__ import annotations
@@ -102,6 +113,10 @@ class DetectorPolicy:
     shed_rate_min_sheds: int = 4     # absolute shed floor for the ratio
     ack_timeout_min: int = 2         # ship transport timeouts per tick
     epoch_reject_min: int = 1        # stale-epoch rejects per tick
+    write_amp_max: float = 2.0       # per-tick device/host writes; 0 disables
+    write_amp_min_writes: int = 32   # host-write floor before WA is judged
+    wear_imbalance_ratio: float = 3.0  # max/mean block wear; 0 disables
+    wear_mean_floor: float = 2.0     # mean erases/block before wear is judged
 
 
 @dataclass(frozen=True)
@@ -238,6 +253,32 @@ class AnomalyDetector:
                 "fenced_rejects", sample.fenced_rejects,
                 policy.epoch_reject_min,
                 f"{sample.lease_expirations} lease expirations this tick",
+            )
+
+        # --- flash-backed durable storage ------------------------------
+        if (
+            policy.write_amp_max > 0.0
+            and sample.flash_host_writes >= policy.write_amp_min_writes
+            and sample.storage_write_amp >= policy.write_amp_max
+        ):
+            flag(
+                "write_amp_spike", (SCOPE_SUBSYSTEM, "storage"),
+                "storage_write_amp", sample.storage_write_amp,
+                policy.write_amp_max,
+                f"{sample.flash_device_writes} device / "
+                f"{sample.flash_host_writes} host writes this tick",
+            )
+        if (
+            policy.wear_imbalance_ratio > 0.0
+            and sample.flash_mean_wear >= policy.wear_mean_floor
+            and sample.flash_max_wear
+            >= policy.wear_imbalance_ratio * sample.flash_mean_wear
+        ):
+            flag(
+                "wear_imbalance", (SCOPE_SUBSYSTEM, "storage"),
+                "flash_max_wear", sample.flash_max_wear,
+                policy.wear_imbalance_ratio * sample.flash_mean_wear,
+                f"mean wear {sample.flash_mean_wear:.2f} erases/block",
             )
 
         # --- query path -------------------------------------------------

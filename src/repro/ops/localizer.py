@@ -48,6 +48,8 @@ _SEVERITY = (
     "epoch_reject_spike",
     "ack_timeout_spike",
     "staleness_suspect",
+    "write_amp_spike",
+    "wear_imbalance",
     "hot_shard",
     "slo_breach",
     "shed_rate_spike",

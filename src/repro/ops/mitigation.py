@@ -31,6 +31,10 @@ added around them):
 ``heal_partition``  :meth:`NetworkFabric.heal` — clear every scheduled
                     partition window (reconnect the topology; loss and
                     reorder rates stay, they are hardware).
+``compact_store``   :meth:`DurableTopKIndex.compact_store` — checkpoint,
+                    then fold the log-structured store's dead segments
+                    and TRIM them back to the flash device; the
+                    write-amplification / wear lever.
 =================  ====================================================
 
 Planning is **state-aware**: the same blamed machine gets
@@ -67,6 +71,7 @@ LEVER_FLUSH_CACHE = "flush_cache"
 LEVER_SPLIT_SHARD = "split_shard"
 LEVER_RECOVER_REPLICA = "recover_replica"
 LEVER_HEAL = "heal_partition"
+LEVER_COMPACT = "compact_store"
 
 _CORRUPTION_KINDS = ("corruption_drip",)
 _LAG_KINDS = ("lag_growth",)
@@ -84,6 +89,10 @@ _OVERLOAD_KINDS = (
     "queue_depth",
     "latency_regression",
 )
+# Storage-scope symptoms from a flash-backed durable store: the store's
+# layout (dead segments, concentrated erase load), not its machine, is
+# sick — the remedy is a compaction, never a reboot or cache flush.
+_FLASH_KINDS = ("write_amp_spike", "wear_imbalance")
 
 
 @dataclass
@@ -99,7 +108,8 @@ class MitigationPlanner:
     """Blame + live state -> the next lever on the escalation ladder."""
 
     def __init__(
-        self, cluster=None, sharded=None, engine=None, fabric=None
+        self, cluster=None, sharded=None, engine=None, fabric=None,
+        stores=None,
     ) -> None:
         self.cluster = cluster
         self.sharded = sharded
@@ -107,6 +117,10 @@ class MitigationPlanner:
         if fabric is None and cluster is not None:
             fabric = getattr(cluster, "fabric", None)
         self.fabric = fabric
+        #: Mapping ``label -> DurableTopKIndex`` (anything exposing
+        #: ``compact_store()``); ``"storage"`` matches the scope the
+        #: flash detector rules blame.
+        self.stores = dict(stores) if stores else {}
 
     # ------------------------------------------------------------------
     # Ladder construction
@@ -141,6 +155,8 @@ class MitigationPlanner:
 
     def _subsystem_ladder(self, incident: Incident) -> List[str]:
         kinds = {a.kind for a in incident.anomalies}
+        if kinds.intersection(_FLASH_KINDS):
+            return [LEVER_COMPACT] if self.stores else []
         if kinds.intersection(_PARTITION_KINDS):
             ladder = []
             if self.fabric is not None:
@@ -260,6 +276,13 @@ class MitigationPlanner:
                 healed = self.fabric.heal()
                 self.fabric.flush_all_holdback()
                 return f"{healed} links reconnected"
+        elif lever == LEVER_COMPACT:
+            def apply() -> str:
+                store = self.stores.get(target)
+                if store is None:
+                    store = self.stores[sorted(self.stores)[0]]
+                trimmed = store.compact_store()
+                return f"store compacted, {trimmed} dead blocks trimmed"
         elif lever == LEVER_RECOVER_REPLICA:
             def apply() -> str:
                 dead = next(
@@ -286,4 +309,5 @@ __all__ = [
     "LEVER_SPLIT_SHARD",
     "LEVER_RECOVER_REPLICA",
     "LEVER_HEAL",
+    "LEVER_COMPACT",
 ]

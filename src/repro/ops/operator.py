@@ -93,6 +93,11 @@ class Operator:
         keeps it current across inserts/deletes); with it, verification
         compares against the exact :func:`top_k_of` oracle.  Without
         it, answers are spot-checked structurally.
+    flash_sources / stores:
+        Flash telemetry feeds (``label -> IOStats``) and compaction
+        targets (``label -> DurableTopKIndex``) for the storage rules;
+        a durable backend reachable from the guard or engine is
+        discovered automatically as ``"storage"``.
     """
 
     def __init__(
@@ -106,11 +111,13 @@ class Operator:
         probes: Sequence[Tuple[Any, int]] = (),
         elements: Optional[List] = None,
         latency_source=None,
+        flash_sources=None,
+        stores=None,
     ) -> None:
         self.policy = policy if policy is not None else OperatorPolicy()
         self.collector = TelemetryCollector(
             guard=guard, cluster=cluster, sharded=sharded, engine=engine,
-            latency_source=latency_source,
+            latency_source=latency_source, flash_sources=flash_sources,
         )
         self.guard = guard
         self.engine = engine
@@ -120,9 +127,25 @@ class Operator:
         self.localizer = FaultLocalizer(
             cluster=self.cluster, sharded=self.sharded
         )
+        if stores is None:
+            # Mirror the collector's discovery: a durable backend
+            # reachable from the guard or engine is the "storage" the
+            # flash detector rules blame (and compact_store fixes).
+            from repro.durability.durable import DurableTopKIndex
+
+            candidates = [
+                guard.primary if guard is not None else None,
+                engine.backend if engine is not None else None,
+            ]
+            durable = next(
+                (b for b in candidates if isinstance(b, DurableTopKIndex)),
+                None,
+            )
+            stores = {"storage": durable} if durable is not None else {}
         self.planner = MitigationPlanner(
             cluster=self.cluster, sharded=self.sharded, engine=engine,
             fabric=getattr(self.cluster, "fabric", None),
+            stores=stores,
         )
         self.log = IncidentLog()
         self.probes = list(probes)

@@ -32,6 +32,18 @@ def _counter_delta(current: float, previous: float) -> float:
     return current - previous if current >= previous else current
 
 
+#: Flash counters mirrored from :class:`~repro.em.model.IOStats` into
+#: the sample as per-tick deltas (the wear fields are gauges).
+_FLASH_COUNTERS = (
+    "flash_host_writes",
+    "flash_device_writes",
+    "flash_erases",
+    "flash_gc_copies",
+    "flash_gc_stalls",
+    "flash_trims",
+)
+
+
 @dataclass(frozen=True)
 class MachineDelta:
     """One machine's fault-plan activity since the previous sample."""
@@ -104,6 +116,17 @@ class TelemetrySample:
     p50_latency: float = 0.0
     p99_latency: float = 0.0
     p999_latency: float = 0.0
+    # --- flash-backed durable storage (deltas; wear and WA are gauges,
+    # --- with the WA computed over exactly this tick's write deltas) ---
+    flash_host_writes: int = 0
+    flash_device_writes: int = 0
+    flash_erases: int = 0
+    flash_gc_copies: int = 0
+    flash_gc_stalls: int = 0
+    flash_trims: int = 0
+    storage_write_amp: float = 0.0
+    flash_max_wear: int = 0
+    flash_mean_wear: float = 0.0
 
     @property
     def total_machine_faults(self) -> int:
@@ -126,7 +149,9 @@ class TelemetryCollector:
         sharded=None,
         engine=None,
         latency_source=None,
+        flash_sources=None,
     ) -> None:
+        from repro.durability.durable import DurableTopKIndex
         from repro.replication.cluster import ReplicaSet
         from repro.sharding.sharded import ShardedTopKIndex
 
@@ -154,6 +179,23 @@ class TelemetryCollector:
             )
         self.cluster = cluster
         self.sharded = sharded
+        #: Mapping ``label -> IOStats`` of flash-backed durability
+        #: contexts to watch.  When not given, a
+        #: :class:`~repro.durability.durable.DurableTopKIndex` reachable
+        #: as the guard's primary (or the engine's backend) contributes
+        #: its durability context as ``"storage"`` automatically.  The
+        #: fields stay zero for plain-disk stores, so wiring one is
+        #: always safe.
+        sources = dict(flash_sources) if flash_sources else {}
+        if not sources:
+            durable = next(
+                (b for b in backends if isinstance(b, DurableTopKIndex)),
+                None,
+            )
+            if durable is not None:
+                sources["storage"] = durable.durability_io
+        self.flash_sources = sources
+        self._prev_flash: Dict[str, int] = {}
         self._prev_health: Optional[Dict[str, Any]] = None
         self._prev_machines: Dict[str, Tuple[int, int, int, int, int, int]] = {}
         self._prev_cluster: Dict[str, int] = {}
@@ -312,6 +354,31 @@ class TelemetryCollector:
             brownout = getattr(engine, "brownout", None)
             if brownout is not None:
                 fields["brownout_level"] = brownout.level
+
+        if self.flash_sources:
+            totals = {name: 0 for name in _FLASH_COUNTERS}
+            max_wear = 0
+            mean_wears: List[float] = []
+            for label in sorted(self.flash_sources):
+                stats = self.flash_sources[label]
+                for name in _FLASH_COUNTERS:
+                    totals[name] += int(getattr(stats, name))
+                max_wear = max(max_wear, stats.flash_max_wear)
+                mean_wears.append(stats.flash_mean_wear)
+            delta = self._delta_fields(totals, self._prev_flash)
+            self._prev_flash = totals
+            fields.update(delta)
+            host = delta["flash_host_writes"]
+            # WA over exactly this tick's window — the detector sees
+            # the *current* churn, not a lifetime average diluted by
+            # a long healthy past.
+            fields["storage_write_amp"] = (
+                delta["flash_device_writes"] / host if host > 0 else 0.0
+            )
+            fields["flash_max_wear"] = max_wear
+            fields["flash_mean_wear"] = (
+                sum(mean_wears) / len(mean_wears) if mean_wears else 0.0
+            )
 
         if self.latency_source is not None:
             quantiles = self.latency_source() or {}

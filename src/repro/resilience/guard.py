@@ -297,6 +297,11 @@ class HealthSummary:
     stale_map_retries: int = 0
     scatter_contact_ratio: float = 0.0
     shard_sizes: Dict[str, int] = field(default_factory=dict)
+    flash_write_amp: float = 0.0
+    flash_max_wear: int = 0
+    flash_mean_wear: float = 0.0
+    flash_erases: int = 0
+    flash_gc_stalls: int = 0
 
     def __post_init__(self) -> None:
         # Deliberately not a dataclass field: asdict()/fields() stay
@@ -382,6 +387,22 @@ class HealthSummary:
             self.stale_map_retries = stats.stale_map_retries
             self.scatter_contact_ratio = stats.contact_ratio
             self.shard_sizes = sharded.router.shard_sizes()
+
+    def record_flash(self, io_stats) -> None:
+        """Mirror a flash-backed store's wear and write-amplification.
+
+        ``io_stats`` is the durability context's
+        :class:`~repro.em.model.IOStats`; on a plain (non-flash) disk
+        its ``flash_*`` fields stay zero and the mirror is a no-op in
+        effect.  Same overwrite-not-accumulate contract as
+        :meth:`record_replication`.
+        """
+        with self._lock:
+            self.flash_write_amp = io_stats.write_amplification
+            self.flash_max_wear = io_stats.flash_max_wear
+            self.flash_mean_wear = io_stats.flash_mean_wear
+            self.flash_erases = io_stats.flash_erases
+            self.flash_gc_stalls = io_stats.flash_gc_stalls
 
     def record(self, report: HealthReport) -> None:
         with self._lock:
@@ -510,6 +531,18 @@ class ResilientTopKIndex(TopKIndex):
         for backend in (primary, *fallbacks):
             if isinstance(backend, DurableTopKIndex) and backend.recovery is not None:
                 self.health.record_recovery(backend.recovery)
+        # A durable backend's device health (flash wear / write amp)
+        # rides the same summary; zeros on a plain disk.
+        self._durable_backend = next(
+            (
+                backend
+                for backend in (primary, *fallbacks)
+                if isinstance(backend, DurableTopKIndex)
+            ),
+            None,
+        )
+        if self._durable_backend is not None:
+            self.health.record_flash(self._durable_backend.durability_io)
         self._replica_set = primary if isinstance(primary, ReplicaSet) else None
         if self._replica_set is not None:
             self.health.record_replication(self._replica_set)
@@ -592,6 +625,8 @@ class ResilientTopKIndex(TopKIndex):
                 self.health.record_replication(self._replica_set)
             if self._sharded is not None:
                 self.health.record_sharding(self._sharded)
+            if self._durable_backend is not None:
+                self.health.record_flash(self._durable_backend.durability_io)
             self.last_report = report
             if report.degraded and self.policy.raise_on_degraded:
                 raise DegradedAnswer(

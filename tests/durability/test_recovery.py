@@ -13,10 +13,13 @@ import pytest
 from toy import RangePredicate, ToyMax, ToyPrioritized, make_toy_elements
 from repro.core.theorem2 import ExpectedTopKIndex
 from repro.durability.durable import DurableTopKIndex
+from repro.durability.logstore import LogStructuredStore
 from repro.durability.recovery import apply_record, audit_index, recover_index
 from repro.durability.store import DurableStore
 from repro.durability.wal import OP_INSERT, WALRecord
 from repro.em.model import EMContext
+from repro.flash.disk import FlashDisk
+from repro.flash.ftl import FlashConfig
 from repro.resilience.errors import RecoveryError, SimulatedCrash
 from repro.resilience.faults import FaultPlan
 from repro.resilience.guard import ResilientTopKIndex
@@ -49,23 +52,39 @@ def extra_elements():
     return make_toy_elements(EXTRA_N, seed=2, weight_offset=0.5)
 
 
-def durable_victim(commit_interval=GROUP):
-    """A durable index with a fault plan wired into its store's machine."""
+DEVICES = ["plain", "flash", "flash-log"]
+
+
+def durable_victim(commit_interval=GROUP, device="plain"):
+    """A durable index with a fault plan wired into its store's machine.
+
+    ``device`` picks the platter and layout: ``plain`` is the in-place
+    store on a magnetic ``Disk``; ``flash`` runs the same in-place store
+    on a ``FlashDisk`` (the FTL hides the no-overwrite constraint);
+    ``flash-log`` pairs the flash device with the log-structured store.
+    """
     plan = FaultPlan(armed=False)
-    ctx = EMContext(B=8, fault_plan=plan)
-    store = DurableStore(ctx=ctx, B=8)
+    if device == "plain":
+        ctx = EMContext(B=8, fault_plan=plan)
+    else:
+        disk = FlashDisk(config=FlashConfig(pages_per_block=8))
+        ctx = EMContext(B=8, disk=disk, fault_plan=plan)
+    if device == "flash-log":
+        store = LogStructuredStore(ctx=ctx, B=8)
+    else:
+        store = DurableStore(ctx=ctx, B=8)
     inner = ExpectedTopKIndex(base_elements(), ToyPrioritized, ToyMax, seed=3)
     durable = DurableTopKIndex(inner, store=store, commit_interval=commit_interval)
     return durable, plan
 
 
-def crash_while_inserting(at_io):
+def crash_while_inserting(at_io, device="plain"):
     """Run the insert workload until the scheduled crash fires.
 
     Returns ``(disk, applied)`` — the surviving platter and how many
     inserts went through before the machine died.
     """
-    durable, plan = durable_victim()
+    durable, plan = durable_victim(device=device)
     plan.schedule_crash(at_io=at_io, torn_fraction=0.5)
     applied = 0
     try:
@@ -95,10 +114,12 @@ def assert_matches_committed_prefix(recovered, applied):
 
 class TestCrashSweep:
     # The insert workload performs exactly 10 durability transfers
-    # (one group-commit write-back per 4 inserts); crash at every one.
+    # (one group-commit write-back per 4 inserts); crash at every one,
+    # on every device/layout combination.
+    @pytest.mark.parametrize("device", DEVICES)
     @pytest.mark.parametrize("at_io", list(range(1, 11)))
-    def test_recovery_matches_oracle_at_committed_prefix(self, at_io):
-        disk, applied = crash_while_inserting(at_io)
+    def test_recovery_matches_oracle_at_committed_prefix(self, at_io, device):
+        disk, applied = crash_while_inserting(at_io, device=device)
         recovered = DurableTopKIndex.recover(
             disk, restore_fn, build_fn, B=8, commit_interval=GROUP
         )
@@ -107,8 +128,9 @@ class TestCrashSweep:
         assert not recovered.recovery.rebuilt
         assert_matches_committed_prefix(recovered, applied)
 
-    def test_crash_during_checkpoint_keeps_previous_root(self):
-        durable, plan = durable_victim()
+    @pytest.mark.parametrize("device", DEVICES)
+    def test_crash_during_checkpoint_keeps_previous_root(self, device):
+        durable, plan = durable_victim(device=device)
         for element in extra_elements()[:12]:
             durable.insert(element)
         plan.schedule_crash(at_io=2, torn_fraction=0.5)
